@@ -1,0 +1,52 @@
+// E14 (extension) — multi-layer spiral design space for the implant
+// outline, in the spirit of the paper's companion study (ref [28]):
+// inductance, Q, and SRF across layers / turns / trace width inside the
+// 38 x 2 mm implant footprint.
+#include <iostream>
+
+#include "src/magnetics/coil_design.hpp"
+#include "src/util/table.hpp"
+
+using namespace ironic;
+using namespace ironic::magnetics;
+
+int main() {
+  std::cout << "E14 — implant coil design space (38 x 2 mm outline, 5 MHz)\n\n";
+
+  CoilSpec base = implant_coil_spec();
+  CoilDesignGoal goal;
+  goal.target_inductance = 3.5e-6;
+  goal.tolerance = 0.3;
+  goal.frequency = 5e6;
+
+  const std::vector<int> layers{1, 2, 4, 7, 8};
+  const std::vector<int> turns{1, 2, 3};
+  const std::vector<double> widths{80e-6, 120e-6, 200e-6};
+
+  const auto all = enumerate_coil_designs(base, goal, layers, turns, widths);
+  util::Table t({"layers", "turns/layer", "trace (um)", "L (uH)", "Q @5MHz",
+                 "SRF (MHz)", "meets target"});
+  int shown = 0;
+  for (const auto& c : all) {
+    if (++shown > 16) break;  // top of the Q ranking
+    t.add_row({util::Table::cell(static_cast<double>(c.spec.layers), 2),
+               util::Table::cell(static_cast<double>(c.spec.turns_per_layer), 2),
+               util::Table::cell(c.spec.trace_width * 1e6, 3),
+               util::Table::cell(c.inductance * 1e6, 3), util::Table::cell(c.q, 3),
+               util::Table::cell(c.srf / 1e6, 3), util::Table::cell(c.meets_target)});
+  }
+  t.print(std::cout);
+  std::cout << "  (" << all.size() << " geometrically feasible candidates)\n";
+
+  const auto best = design_coil(base, goal, layers, turns, widths);
+  std::cout << "\nChosen design: " << best.spec.layers << " layers x "
+            << best.spec.turns_per_layer << " turns, "
+            << best.spec.trace_width * 1e6 << " um trace -> L = "
+            << util::format_si(best.inductance, "H") << ", Q = "
+            << util::Table::cell(best.q, 3) << ", SRF = "
+            << util::format_si(best.srf, "Hz") << "\n";
+  std::cout << "\nThe paper's inductor (8 layers, 14 turns total) sits in the\n"
+            << "same region: multi-layer stacking is how a 2 mm-wide implant\n"
+            << "outline reaches the microhenries the 5 MHz link wants.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// E13 (extension) — coil orientation study: the wearability concern of
+// Fig. 5 ("concave or convex parts of the body") quantified. A patch on
+// a curved limb tilts relative to the implant; the single-coil link
+// collapses with tilt while a tri-axial receiver (paper ref [25],
+// omnidirectional powering) holds its harvest nearly constant.
+#include <cmath>
+#include <iostream>
+
+#include "src/magnetics/polygon.hpp"
+#include "src/util/constants.hpp"
+#include "src/util/table.hpp"
+
+using namespace ironic;
+namespace constants = ironic::constants;
+
+int main() {
+  std::cout << "E13 — coupling vs patch tilt (12 mm separation)\n\n";
+
+  const auto tx = magnetics::PolygonCoil::circular(magnetics::patch_coil_spec(), 32);
+  const auto rx = magnetics::PolygonCoil::rectangular(magnetics::implant_coil_spec());
+
+  const double m0 =
+      std::abs(magnetics::mutual_inductance_tilted(tx, rx, 12e-3, 0.0));
+
+  util::Table t({"tilt (deg)", "single-coil M/M0", "cos(tilt)", "tri-axial RSS/M0"});
+  for (double deg : {0.0, 15.0, 30.0, 45.0, 60.0, 75.0, 90.0}) {
+    const double tilt = deg * constants::kPi / 180.0;
+    const double single =
+        std::abs(magnetics::mutual_inductance_tilted(tx, rx, 12e-3, tilt));
+    const double rss = magnetics::triaxial_coupling_rss(tx, rx, 12e-3, tilt);
+    t.add_row({util::Table::cell(deg, 3), util::Table::cell(single / m0, 3),
+               util::Table::cell(std::cos(tilt), 3),
+               util::Table::cell(rss / m0, 3)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nPower impact (P ~ M^2, under-coupled link):\n";
+  util::Table p({"tilt (deg)", "single-coil power loss", "tri-axial power loss"});
+  for (double deg : {30.0, 60.0, 85.0}) {
+    const double tilt = deg * constants::kPi / 180.0;
+    const double single =
+        std::abs(magnetics::mutual_inductance_tilted(tx, rx, 12e-3, tilt)) / m0;
+    const double rss = magnetics::triaxial_coupling_rss(tx, rx, 12e-3, tilt) / m0;
+    const auto loss = [](double ratio) {
+      return util::Table::cell((1.0 - ratio * ratio) * 100.0, 3) + " %";
+    };
+    p.add_row({util::Table::cell(deg, 3), loss(single), loss(rss)});
+  }
+  p.print(std::cout);
+
+  std::cout << "\nReading: at 30 deg of body curvature the single coil already\n"
+            << "loses a quarter of its power; past 60 deg the link is dead. The\n"
+            << "tri-axial receiver trades implant volume for near-constant\n"
+            << "harvest — the engineering argument of the paper's ref [25].\n";
+  return 0;
+}

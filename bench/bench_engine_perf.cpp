@@ -1,0 +1,92 @@
+// Engine micro-benchmarks (google-benchmark): the cost centres of the
+// circuit simulator that all reproduction experiments stand on.
+#include <benchmark/benchmark.h>
+
+#include "src/linalg/lu.hpp"
+#include "src/magnetics/coupling.hpp"
+#include "src/pm/rectifier.hpp"
+#include "src/spice/devices_passive.hpp"
+#include "src/spice/devices_sources.hpp"
+#include "src/spice/engine.hpp"
+
+using namespace ironic;
+using namespace ironic::spice;
+
+static void BM_LuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  linalg::Matrix a(n, n);
+  linalg::Vector b(n, 1.0);
+  unsigned s = 7;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      s = s * 1103515245u + 12345u;
+      a(r, c) = static_cast<double>((s >> 8) % 1000) / 1000.0;
+    }
+    a(r, r) += 4.0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::solve(a, b));
+  }
+}
+BENCHMARK(BM_LuSolve)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+static void BM_TransientRcLadder(benchmark::State& state) {
+  // N-section RC ladder driven by the 5 MHz carrier: pure linear cost.
+  const int sections = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Circuit ckt;
+    NodeId prev = ckt.node("in");
+    ckt.add<VoltageSource>("V1", prev, kGround, Waveform::sine(1.0, 5e6));
+    for (int i = 0; i < sections; ++i) {
+      const NodeId next = ckt.node("n" + std::to_string(i));
+      ckt.add<Resistor>("R" + std::to_string(i), prev, next, 100.0);
+      ckt.add<Capacitor>("C" + std::to_string(i), next, kGround, 100e-12);
+      prev = next;
+    }
+    TransientOptions opts;
+    opts.t_stop = 2e-6;
+    opts.dt_max = 2e-9;
+    opts.record_every = 16;
+    benchmark::DoNotOptimize(run_transient(ckt, opts));
+  }
+}
+BENCHMARK(BM_TransientRcLadder)->Arg(4)->Arg(12)->Arg(24);
+
+static void BM_TransientRectifier(benchmark::State& state) {
+  // The nonlinear workhorse: rectifier + clamps + switches at 5 MHz.
+  for (auto _ : state) {
+    Circuit ckt;
+    const auto src = ckt.node("src");
+    const auto vi = ckt.node("vi");
+    ckt.add<VoltageSource>("Vs", src, kGround, Waveform::sine(3.5, 5e6));
+    ckt.add<Resistor>("Rs", src, vi, 150.0);
+    pm::RectifierOptions opt;
+    opt.storage_capacitance = 10e-9;
+    pm::build_rectifier(ckt, "r", vi, Waveform::dc(0.0), Waveform::dc(1.8), opt);
+    TransientOptions opts;
+    opts.t_stop = 4e-6;
+    opts.dt_max = 5e-9;
+    opts.record_every = 16;
+    benchmark::DoNotOptimize(run_transient(ckt, opts));
+  }
+}
+BENCHMARK(BM_TransientRectifier);
+
+static void BM_CoilMutualInductance(benchmark::State& state) {
+  const magnetics::Coil tx{magnetics::patch_coil_spec()};
+  const magnetics::Coil rx{magnetics::implant_coil_spec()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(magnetics::mutual_inductance(tx, rx, 6e-3));
+  }
+}
+BENCHMARK(BM_CoilMutualInductance);
+
+static void BM_NeumannOffsetFilament(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        magnetics::mutual_filaments(25e-3, 5e-3, 6e-3, 8e-3, 64));
+  }
+}
+BENCHMARK(BM_NeumannOffsetFilament);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// E9 — Sec. III-A: link data rates. Downlink 100 kbps (ASK); uplink
+// 66.6 kbps (LSK), "slightly lower than the downlink bit-rate due to the
+// computational time required to perform a real-time threshold check".
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "src/comms/ask.hpp"
+#include "src/comms/bitstream.hpp"
+#include "src/comms/lsk.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/table.hpp"
+
+using namespace ironic;
+using namespace ironic::comms;
+
+namespace {
+
+std::pair<std::vector<double>, std::vector<double>> sampled(
+    const ironic::spice::Waveform& w, double t_stop, double dt) {
+  std::vector<double> ts, vs;
+  for (double t = 0.0; t <= t_stop; t += dt) {
+    ts.push_back(t);
+    vs.push_back(w(t));
+  }
+  return {ts, vs};
+}
+
+double ask_ber(double bit_rate, double noise_rms, std::size_t n_bits) {
+  AskSpec spec;
+  spec.bit_rate = bit_rate;
+  spec.edge_time = std::min(1e-6, 0.2 / bit_rate);
+  util::Rng rng(1234);
+  const auto bits = random_bits(n_bits, rng);
+  const double t0 = 10e-6;
+  const double t_stop = t0 + n_bits / bit_rate + 10e-6;
+  const auto w = ask_waveform(bits, spec, t0, t_stop);
+  auto [ts, vs] = sampled(w, t_stop, 20e-9);
+  for (auto& v : vs) v += rng.normal(0.0, noise_rms);
+  const auto rx = demodulate_ask(ts, vs, spec, t0, n_bits);
+  return bit_error_rate(bits, rx);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E9 — link data rates\n\n";
+
+  std::cout << "Uplink real-time budget (why 66.6 < 100 kbps):\n";
+  util::Table b({"samples/bit", "ADC time (us)", "check time (us)", "max rate (kbps)"});
+  for (const UplinkBudget budget :
+       {UplinkBudget{1e-6, 5e-6, 10}, UplinkBudget{1e-6, 2e-6, 10},
+        UplinkBudget{1e-6, 0.0, 10}, UplinkBudget{0.5e-6, 5e-6, 10}}) {
+    b.add_row({util::Table::cell(static_cast<double>(budget.samples_per_bit), 3),
+               util::Table::cell(budget.adc_sample_time * 1e6, 3),
+               util::Table::cell(budget.threshold_check_time * 1e6, 3),
+               util::Table::cell(achievable_uplink_rate(budget) / 1e3, 4)});
+  }
+  b.print(std::cout);
+  std::cout << "  paper's operating point: 10 x 1 us + 5 us -> "
+            << achievable_uplink_rate(UplinkBudget{}) / 1e3
+            << " kbps (published: 66.6 kbps)\n";
+
+  std::cout << "\nDownlink ASK BER vs bit rate and channel noise (DSP loopback,\n"
+            << "400 bits per cell; amplitude 1.0, depth 0.423):\n";
+  util::Table t({"bit rate (kbps)", "noise rms", "BER"});
+  for (double rate : {50e3, 100e3, 200e3, 400e3}) {
+    for (double noise : {0.05, 0.2, 0.35}) {
+      t.add_row({util::Table::cell(rate / 1e3, 4), util::Table::cell(noise, 3),
+                 util::Table::cell(ask_ber(rate, noise, 400), 3)});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nLSK detection robustness vs current contrast (synthetic patch\n"
+            << "supply current, 200 bits at 66.6 kbps, sense noise 2 mA rms):\n";
+  util::Table l({"contrast (mA)", "BER"});
+  util::Rng rng(77);
+  for (double contrast_ma : {1.0, 2.0, 5.0, 15.0, 35.0}) {
+    LskSpec spec;
+    const auto bits = random_bits(200, rng);
+    const double tb = spec.bit_period();
+    std::vector<double> ts, is;
+    for (double t = 0.0; t < 200 * tb; t += 0.3e-6) {
+      const auto bit = static_cast<std::size_t>(t / tb);
+      const double base = 80e-3;
+      const double current =
+          bits[std::min<std::size_t>(bit, 199)] ? base : base - contrast_ma * 1e-3;
+      ts.push_back(t);
+      is.push_back(current + rng.normal(0.0, 2e-3));
+    }
+    const auto rx = detect_lsk(ts, is, spec, 0.0, 200);
+    l.add_row({util::Table::cell(contrast_ma, 3),
+               util::Table::cell(bit_error_rate(bits, rx), 3)});
+  }
+  l.print(std::cout);
+
+  std::cout << "\nFraming overhead (CRC-8 protected):\n";
+  Frame f;
+  f.payload = {0xDE, 0xAD, 0xBE, 0xEF};
+  const auto encoded = encode_frame(f);
+  std::cout << "  4-byte payload -> " << encoded.size() << " bits on the air ("
+            << encoded.size() / 8 << " bytes), decode ok = "
+            << (decode_frame(encoded).has_value() ? "yes" : "no") << "\n";
+  return 0;
+}

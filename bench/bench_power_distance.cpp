@@ -1,0 +1,69 @@
+// E2 — Sec. III-B: received power vs coil distance, air vs beef sirloin.
+// Paper anchors: 15 mW at 6 mm in air (maximum transmitter setting);
+// 1.17 mW through a 17 mm sirloin slab, "similar to that obtained in
+// air" at 17 mm.
+#include <iostream>
+
+#include "src/magnetics/link.hpp"
+#include "src/util/table.hpp"
+
+using namespace ironic;
+
+int main() {
+  std::cout << "E2 — received power vs distance (fixed transmitter setting)\n"
+            << "Paper: 15 mW @ 6 mm (air); 1.17 mW @ 17 mm (sirloin ~ air).\n\n";
+
+  magnetics::LinkConfig cfg;
+  cfg.distance = 6e-3;
+  magnetics::InductiveLink link{cfg};
+  // A lightly loaded (under-coupled) secondary, as in the paper's fixed
+  // transmitter setup — delivered power then tracks M^2 and falls
+  // monotonically with distance instead of peaking at critical coupling.
+  const double load = 150.0;
+  // The paper's "maximum transmitted power": calibrate the drive so the
+  // 6 mm air point delivers exactly 15 mW, then never touch it again.
+  const double drive = link.drive_for_power(15e-3, load);
+
+  util::Table t({"distance (mm)", "P air (mW)", "P sirloin (mW)", "ratio", "k"});
+  for (double d_mm : {3.0, 4.0, 6.0, 8.0, 10.0, 13.0, 17.0, 21.0, 25.0, 30.0}) {
+    const double d = d_mm * 1e-3;
+    link.set_tissue(std::nullopt);
+    link.set_distance(d);
+    const auto air = link.analyze(drive, load);
+    link.set_tissue(magnetics::TissueSlab(magnetics::sirloin_properties(), d));
+    const auto meat = link.analyze(drive, load);
+    t.add_row({util::Table::cell(d_mm, 3),
+               util::Table::cell(air.power_delivered * 1e3, 4),
+               util::Table::cell(meat.power_delivered * 1e3, 4),
+               util::Table::cell(meat.power_delivered / air.power_delivered, 3),
+               util::Table::cell(air.coupling, 3)});
+  }
+  t.print(std::cout);
+
+  link.set_tissue(std::nullopt);
+  link.set_distance(6e-3);
+  std::cout << "\nAnchor checks:\n  P(6 mm, air)      = "
+            << util::format_si(link.analyze(drive, load).power_delivered, "W")
+            << "  (paper: 15 mW, by calibration)\n";
+  link.set_distance(17e-3);
+  const double p_air17 = link.analyze(drive, load).power_delivered;
+  link.set_tissue(magnetics::TissueSlab(magnetics::sirloin_properties(), 17e-3));
+  const double p_meat17 = link.analyze(drive, load).power_delivered;
+  std::cout << "  P(17 mm, air)     = " << util::format_si(p_air17, "W")
+            << "\n  P(17 mm, sirloin) = " << util::format_si(p_meat17, "W")
+            << "  (paper: 1.17 mW, 'similar to air')\n";
+
+  std::cout << "\nMisalignment at 6 mm (fixed drive):\n";
+  util::Table m({"lateral offset (mm)", "P (mW)", "k"});
+  link.set_tissue(std::nullopt);
+  link.set_distance(6e-3);
+  for (double off_mm : {0.0, 5.0, 10.0, 20.0, 30.0, 40.0}) {
+    link.set_lateral_offset(off_mm * 1e-3);
+    const auto a = link.analyze(drive, load);
+    m.add_row({util::Table::cell(off_mm, 3),
+               util::Table::cell(a.power_delivered * 1e3, 4),
+               util::Table::cell(a.coupling, 3)});
+  }
+  m.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// E12 (extension) — Monte-Carlo component-tolerance yield of the power-
+// management module on the (shortened) Fig. 11 scenario: the robustness
+// analysis the paper's "future works ... characterization by means of
+// measurements" points toward.
+#include <iostream>
+
+#include "src/core/tolerance.hpp"
+#include "src/util/table.hpp"
+
+using namespace ironic;
+
+int main() {
+  std::cout << "E12 — component-tolerance Monte Carlo (shortened Fig. 11)\n"
+            << "Perturbed per draw: Co, drive level, demodulator threshold,\n"
+            << "rectifier diode Is. 20 seeded draws per row.\n\n";
+
+  util::Table t({"scenario", "charged", "downlink", "uplink", "regulation",
+                 "yield", "worst Vo min (V)"});
+  const auto row = [&](const char* name, const core::ToleranceSpec& spec) {
+    const auto r = core::run_tolerance_analysis(spec);
+    t.add_row({name,
+               util::Table::cell(static_cast<double>(r.pass_charged), 3) + "/" +
+                   util::Table::cell(static_cast<double>(r.runs), 3),
+               util::Table::cell(static_cast<double>(r.pass_downlink), 3),
+               util::Table::cell(static_cast<double>(r.pass_uplink), 3),
+               util::Table::cell(static_cast<double>(r.pass_regulation), 3),
+               util::Table::cell(r.yield(), 3),
+               util::Table::cell(r.vo_min_worst, 4)});
+  };
+
+  core::ToleranceSpec nominal;
+  row("nominal tolerances (10% Co, 5% drive, 4% Vth)", nominal);
+
+  core::ToleranceSpec loose = nominal;
+  loose.storage_cap_tol = 0.20;
+  loose.diode_is_tol = 0.6;
+  row("loose passives (20% Co, wide diode spread)", loose);
+
+  core::ToleranceSpec misplaced = nominal;
+  misplaced.drive_tol = 0.20;
+  row("sloppy patch placement (20% drive spread)", misplaced);
+
+  core::ToleranceSpec comparator = nominal;
+  comparator.threshold_tol = 0.15;
+  row("uncalibrated comparator (15% threshold spread)", comparator);
+
+  t.print(std::cout);
+  std::cout << "\nReading: regulation and charging are robust; the downlink\n"
+            << "decision threshold is the yield-limiting spread, matching the\n"
+            << "paper's choice to set modulation depth with a resistor divider\n"
+            << "(trimmable) rather than an absolute reference.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Implant lifetime study: 30 days after implantation, with enzyme drift,
+// weekly two-point recalibration, and the patch's daily energy budget —
+// the long-horizon view behind the paper's "large power autonomy should
+// be ensured" and "lack of stability" remarks.
+#include <cmath>
+#include <iostream>
+
+#include "src/bio/drift.hpp"
+#include "src/patch/scheduler.hpp"
+#include "src/util/table.hpp"
+
+using namespace ironic;
+
+int main() {
+  std::cout << "30-day implant lifetime study (cLODx on MWCNT electrodes)\n\n";
+
+  bio::ElectrochemicalCell cell{bio::clodx_params()};
+  bio::DriftModel drift;                 // MWCNT-stabilized decay
+  bio::DriftModel bare{bio::bare_electrode_drift()};
+
+  // Weekly recalibration schedule: days 0, 7, 14, 21, 28.
+  const auto last_calibration_day = [](double day) {
+    return 7.0 * std::floor(day / 7.0);
+  };
+
+  std::cout << "True lactate held at 1.0 mM; reported value vs implant age:\n";
+  util::Table t({"day", "sensitivity left", "naive est (mM)",
+                 "weekly recal est (mM)", "bare electrode naive (mM)"});
+  for (double day : {0.0, 3.0, 6.0, 9.0, 13.0, 17.0, 21.0, 25.0, 29.0}) {
+    const double truth = 1.0;
+    // Naive: invert the aged reading through the pristine transfer.
+    const double j_aged = drift.aged_current_density(cell, truth, day);
+    const double naive =
+        cell.concentration_from_current(j_aged * cell.geometry().area);
+    // Weekly recalibration: calibrate at the last service day, then use
+    // that correction for today's reading.
+    const bio::TwoPointCalibration cal(cell, drift, last_calibration_day(day), 0.2,
+                                       2.0);
+    const double recal = cal.concentration_from_density(cell, j_aged);
+    const double j_bare = bare.aged_current_density(cell, truth, day);
+    const double bare_naive =
+        cell.concentration_from_current(j_bare * cell.geometry().area);
+    t.add_row({util::Table::cell(day, 3),
+               util::Table::cell(drift.sensitivity_gain(day), 3),
+               util::Table::cell(naive, 3), util::Table::cell(recal, 3),
+               util::Table::cell(bare_naive, 3)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nReading: uncorrected drift is a ~2x error by week two. Weekly\n"
+            << "recalibration resets the error at each service day; mid-week\n"
+            << "residuals stay large only during the steep first-week decay and\n"
+            << "shrink as the sensitivity flattens (days 21+ track within a few\n"
+            << "percent). Without MWCNT immobilization the sensor is unusable\n"
+            << "within days — the stability argument of the paper's refs [20, 21].\n";
+
+  // Energy side: what daily routine can the patch sustain?
+  std::cout << "\nPatch energy budget per day (240 mAh cell, recharged nightly):\n";
+  patch::PatchPowerSpec power;
+  patch::BatterySpec battery;
+  patch::SessionPlan session;
+  util::Table e({"awake window (h)", "max sessions/day", "end-of-day charge"});
+  for (double awake : {4.0, 6.0, 8.0, 10.0}) {
+    const auto mission = patch::max_daily_sessions(power, battery, session, awake);
+    e.add_row({util::Table::cell(awake, 3),
+               mission.feasible
+                   ? util::Table::cell(static_cast<double>(mission.sessions_per_day), 4)
+                   : "infeasible",
+               mission.feasible ? util::Table::cell(mission.end_soc * 100.0, 3) + " %"
+                                : "-"});
+  }
+  e.print(std::cout);
+  std::cout << "\n(The patch's own idle draw dominates: the paper's 10 h idle\n"
+            << "figure means all-day wear requires either duty-cycled wearing\n"
+            << "or a mid-day top-up.)\n";
+  return 0;
+}

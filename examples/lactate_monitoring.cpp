@@ -1,0 +1,70 @@
+// Lactate monitoring during exercise — the application the paper's
+// introduction motivates ("the lactate concentration ... can be recorded
+// to monitor the muscular effort in sportsmen or people under
+// rehabilitation").
+//
+// Simulates a 30-minute training session: blood lactate rises from the
+// ~1 mM resting baseline through the ~4 mM threshold during intervals,
+// then recovers. Each minute the implant wakes into measurement mode,
+// runs the full chain (cell -> potentiostat -> 14-bit sigma-delta ADC),
+// and the energy cost is charged against the delivered link power.
+#include <cmath>
+#include <iostream>
+
+#include "src/bio/interface.hpp"
+#include "src/core/budget.hpp"
+#include "src/magnetics/link.hpp"
+#include "src/util/table.hpp"
+
+using namespace ironic;
+
+namespace {
+
+// Simple exercise lactate profile [mM] vs time [min].
+double lactate_mM(double t_min) {
+  if (t_min < 5.0) return 1.0 + 0.1 * t_min;                  // warm-up
+  if (t_min < 20.0) return 1.5 + 3.5 * (1.0 - std::exp(-(t_min - 5.0) / 6.0));
+  return 1.5 + 3.5 * std::exp(-(t_min - 20.0) / 8.0);          // recovery
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Lactate monitoring session (cLODx enzyme, MWCNT electrodes)\n\n";
+
+  bio::ElectronicInterface implant{bio::ElectrochemicalCell{bio::clodx_params()}};
+  std::cout << "Cell bias from the two bandgaps: " << implant.applied_bias()
+            << " V (paper: 0.65 V)\n\n";
+
+  util::Table t({"t (min)", "true [lac] (mM)", "IWE (uA)", "ADC code",
+                 "reported (mM)", "error (%)"});
+  double energy_mj = 0.0;
+  for (double t_min = 0.0; t_min <= 30.0; t_min += 3.0) {
+    const double truth = lactate_mM(t_min);
+    const auto m = implant.measure(truth);
+    const double err = 100.0 * (m.estimated_concentration - truth) / truth;
+    t.add_row({util::Table::cell(t_min, 3), util::Table::cell(truth, 3),
+               util::Table::cell(m.cell_current * 1e6, 3),
+               util::Table::cell(static_cast<double>(m.adc_code), 6),
+               util::Table::cell(m.estimated_concentration, 3),
+               util::Table::cell(err, 2)});
+    // One measurement: 100 ms in high-power mode at 1.8 V.
+    energy_mj += implant.supply_current(pm::SensorMode::kHighPower) * 1.8 * 0.1 * 1e3;
+  }
+  t.print(std::cout);
+
+  std::cout << "\nEnergy for the session's measurements: " << energy_mj
+            << " mJ (plus low-power idle between samples)\n";
+
+  // Is the link budget comfortable for this duty cycle?
+  magnetics::InductiveLink link{magnetics::LinkConfig{}};
+  const double drive =
+      core::drive_for_high_power_mode(link, pm::LdoSpec{}, pm::SensorLoadSpec{});
+  std::cout << "Drive needed to sustain measurement mode continuously: "
+            << util::format_si(drive, "V") << " at the patch coil ("
+            << util::format_si(link.analyze(drive, link.optimal_load_resistance())
+                                   .power_delivered,
+                               "W")
+            << " received)\n";
+  return 0;
+}

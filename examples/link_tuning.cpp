@@ -1,0 +1,82 @@
+// Link tuning workbench: explore coil placement and matching — the
+// day-to-day questions of an implant power-link designer (paper Sec. III
+// calls patch wearability and receiver miniaturization "still an open
+// research topic").
+#include <iostream>
+
+#include "src/magnetics/coupling.hpp"
+#include "src/magnetics/link.hpp"
+#include "src/rf/classe.hpp"
+#include "src/rf/matching.hpp"
+#include "src/util/table.hpp"
+
+using namespace ironic;
+
+int main() {
+  std::cout << "Inductive-link tuning workbench\n\n";
+
+  const magnetics::Coil patch{magnetics::patch_coil_spec()};
+  const magnetics::Coil implant{magnetics::implant_coil_spec()};
+  util::Table coils({"coil", "L (uH)", "R_ac @5MHz (Ohm)", "Q @5MHz", "SRF (MHz)"});
+  const auto coil_row = [&](const char* name, const magnetics::Coil& c) {
+    coils.add_row({name, util::Table::cell(c.inductance() * 1e6, 4),
+                   util::Table::cell(c.ac_resistance(5e6), 3),
+                   util::Table::cell(c.quality_factor(5e6), 3),
+                   util::Table::cell(c.self_resonance_frequency() / 1e6, 3)});
+  };
+  coil_row("patch (22 mm spiral)", patch);
+  coil_row("implant (38x2 mm, 8-layer)", implant);
+  coils.print(std::cout);
+
+  std::cout << "\nPlacement sweep (efficiency at the optimal load):\n";
+  util::Table place({"distance (mm)", "offset (mm)", "k", "efficiency (%)",
+                     "drive for 5 mW (V)"});
+  magnetics::InductiveLink link{magnetics::LinkConfig{}};
+  for (double d : {4.0, 6.0, 10.0, 17.0}) {
+    for (double off : {0.0, 8.0}) {
+      link.set_distance(d * 1e-3);
+      link.set_lateral_offset(off * 1e-3);
+      const double rl = link.optimal_load_resistance();
+      const auto a = link.analyze(1.0, rl);
+      place.add_row({util::Table::cell(d, 3), util::Table::cell(off, 3),
+                     util::Table::cell(a.coupling, 3),
+                     util::Table::cell(a.efficiency * 100.0, 3),
+                     util::Table::cell(link.drive_for_power(5e-3, rl), 3)});
+    }
+  }
+  place.print(std::cout);
+
+  std::cout << "\nSecondary-side matching (CA/CB) options at 5 MHz, rectifier\n"
+            << "average impedance 150 Ohm:\n";
+  util::Table match({"target R at coil (Ohm)", "CA (pF)", "CB (pF)", "Q"});
+  for (double rt : {2.0, 4.0, 8.0, 15.0}) {
+    try {
+      const auto m = rf::design_capacitive_match(implant.inductance(), 150.0, rt, 5e6);
+      match.add_row({util::Table::cell(rt, 3), util::Table::cell(m.series_c * 1e12, 4),
+                     util::Table::cell(m.shunt_c * 1e12, 4),
+                     util::Table::cell(m.q, 3)});
+    } catch (const std::invalid_argument&) {
+      match.add_row({util::Table::cell(rt, 3), "infeasible", "-", "-"});
+    }
+  }
+  match.print(std::cout);
+
+  std::cout << "\nClass-E transmitter for the reflected load at 6 mm:\n";
+  link.set_distance(6e-3);
+  link.set_lateral_offset(0.0);
+  const auto analysis = link.analyze(1.0, link.optimal_load_resistance());
+  const double omega_m = 2.0 * 3.14159265358979 * 5e6 * analysis.mutual;
+  const double reflected =
+      omega_m * omega_m /
+      (implant.ac_resistance(5e6) + link.optimal_load_resistance());
+  rf::ClassESpec pa;
+  pa.load_resistance = reflected;
+  pa.supply_voltage = 0.6;
+  const auto design = rf::design_class_e(pa);
+  std::cout << "  reflected load " << util::format_si(reflected, "Ohm")
+            << " -> C_shunt " << util::format_si(design.shunt_capacitance, "F")
+            << ", C_series " << util::format_si(design.series_capacitance, "F")
+            << ", L_tank " << util::format_si(design.series_inductance, "H")
+            << ", P_out " << util::format_si(design.output_power, "W") << "\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+#include "src/bio/adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ironic::bio {
+
+int SigmaDeltaModulator::step(double x) {
+  // CIFB with 0.5 loop gains: stable for |x| <~ 0.9.
+  const double fb = static_cast<double>(y_);
+  s1_ += 0.5 * (x - fb);
+  s2_ += 0.5 * (s1_ - fb);
+  y_ = s2_ >= 0.0 ? 1 : -1;
+  return y_;
+}
+
+void SigmaDeltaModulator::reset() {
+  s1_ = 0.0;
+  s2_ = 0.0;
+  y_ = 1;
+}
+
+double SigmaDeltaModulator::integrator_magnitude() const {
+  return std::max(std::abs(s1_), std::abs(s2_));
+}
+
+Sinc3Decimator::Sinc3Decimator(int decimation_ratio) : ratio_(decimation_ratio) {
+  if (ratio_ < 2) throw std::invalid_argument("Sinc3Decimator: ratio must be >= 2");
+}
+
+bool Sinc3Decimator::push(double sample) {
+  i1_ += sample;
+  i2_ += i1_;
+  i3_ += i2_;
+  if (++phase_ < ratio_) return false;
+  phase_ = 0;
+  // Comb cascade at the decimated rate.
+  const double d1 = i3_ - c1_;
+  c1_ = i3_;
+  const double d2 = d1 - c2_;
+  c2_ = d1;
+  const double d3 = d2 - c3_;
+  c3_ = d2;
+  const double r3 = static_cast<double>(ratio_) * ratio_ * ratio_;
+  output_ = d3 / r3;
+  primed_ = true;
+  // The first two outputs carry the filter's startup transient.
+  return ++outputs_seen_ > 2;
+}
+
+void Sinc3Decimator::reset() {
+  phase_ = 0;
+  i1_ = i2_ = i3_ = 0.0;
+  c1_ = c2_ = c3_ = 0.0;
+  output_ = 0.0;
+  primed_ = false;
+  outputs_seen_ = 0;
+}
+
+SigmaDeltaAdc::SigmaDeltaAdc(AdcSpec spec, std::uint64_t noise_seed)
+    : spec_(spec), decimator_(spec.oversampling_ratio), noise_(noise_seed) {
+  if (spec_.bits < 2 || spec_.bits > 24 || spec_.full_scale_current <= 0.0 ||
+      spec_.average_outputs < 1 || spec_.settle_outputs < 0) {
+    throw std::invalid_argument("SigmaDeltaAdc: invalid spec");
+  }
+}
+
+double SigmaDeltaAdc::convert_normalized(double x) {
+  if (x < -0.95 || x > 0.95) {
+    throw std::invalid_argument("SigmaDeltaAdc: input outside stable range");
+  }
+  modulator_.reset();
+  decimator_.reset();
+  int outputs = 0;
+  int averaged = 0;
+  double sum = 0.0;
+  // Run until settle + average outputs have been produced.
+  const int needed = spec_.settle_outputs + spec_.average_outputs;
+  while (averaged < spec_.average_outputs) {
+    const double noisy = x + (spec_.input_noise_rms > 0.0
+                                  ? noise_.normal(0.0, spec_.input_noise_rms)
+                                  : 0.0);
+    if (decimator_.push(modulator_.step(noisy))) {
+      ++outputs;
+      if (outputs > spec_.settle_outputs) {
+        sum += decimator_.output();
+        ++averaged;
+      }
+    }
+    if (outputs > needed + 8) break;  // safety (cannot normally trigger)
+  }
+  return sum / spec_.average_outputs;
+}
+
+std::uint32_t SigmaDeltaAdc::convert_current(double current) {
+  if (current < 0.0 || current > spec_.full_scale_current) {
+    throw std::invalid_argument("SigmaDeltaAdc: current outside [0, full scale]");
+  }
+  // Map [0, FS] onto the stable modulator range [-0.9, 0.9].
+  const double x = -0.9 + 1.8 * current / spec_.full_scale_current;
+  const double est = convert_normalized(x);
+  const double frac = std::clamp((est + 0.9) / 1.8, 0.0, 1.0);
+  return static_cast<std::uint32_t>(std::lround(frac * spec_.max_code()));
+}
+
+double SigmaDeltaAdc::current_from_code(std::uint32_t code) const {
+  const double frac =
+      static_cast<double>(std::min<int>(static_cast<int>(code), spec_.max_code())) /
+      spec_.max_code();
+  return frac * spec_.full_scale_current;
+}
+
+}  // namespace ironic::bio

@@ -1,0 +1,87 @@
+// Second-order sigma-delta ADC (paper Sec. II-B): digitizes the readout
+// of the working-electrode current — 4 uA full scale, 250 pA resolution,
+// hence 14 bits; implemented as a bit-true behavioural model: a 2nd-order
+// single-bit modulator followed by a sinc^3 (CIC) decimator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace ironic::bio {
+
+// Single-bit, second-order CIFB modulator. Inputs are normalized to
+// [-1, 1]; the usable (stable) range is about +/-0.9.
+class SigmaDeltaModulator {
+ public:
+  SigmaDeltaModulator() = default;
+  // One modulator clock: returns the quantizer decision (+1/-1).
+  int step(double x);
+  void reset();
+  // State bound used by the stability test.
+  double integrator_magnitude() const;
+
+ private:
+  double s1_ = 0.0;
+  double s2_ = 0.0;
+  int y_ = 1;
+};
+
+// sinc^3 CIC decimator with decimation ratio R: three integrators at the
+// modulator rate, three combs at the output rate; DC gain R^3 (removed).
+class Sinc3Decimator {
+ public:
+  explicit Sinc3Decimator(int decimation_ratio);
+  // Push one modulator sample (+1/-1 or any double); returns true when a
+  // decimated output is ready via `output()`.
+  bool push(double sample);
+  double output() const { return output_; }
+  int ratio() const { return ratio_; }
+  void reset();
+
+ private:
+  int ratio_;
+  int phase_ = 0;
+  double i1_ = 0.0, i2_ = 0.0, i3_ = 0.0;
+  double c1_ = 0.0, c2_ = 0.0, c3_ = 0.0;
+  double output_ = 0.0;
+  bool primed_ = false;
+  int outputs_seen_ = 0;
+};
+
+struct AdcSpec {
+  int bits = 14;
+  double full_scale_current = 4e-6;  // [A]
+  int oversampling_ratio = 256;
+  int settle_outputs = 4;   // decimator outputs discarded per conversion
+  int average_outputs = 4;  // outputs averaged per conversion
+  double input_noise_rms = 0.0;  // input-referred noise, normalized units
+
+  double lsb_current() const {
+    return full_scale_current / static_cast<double>((1 << bits) - 1);
+  }
+  int max_code() const { return (1 << bits) - 1; }
+};
+
+class SigmaDeltaAdc {
+ public:
+  explicit SigmaDeltaAdc(AdcSpec spec = {}, std::uint64_t noise_seed = 1);
+  const AdcSpec& spec() const { return spec_; }
+
+  // Convert a normalized input in [-0.9, 0.9] to an estimate in the same
+  // units (runs the modulator + decimator for one conversion).
+  double convert_normalized(double x);
+  // Convert a current in [0, full_scale] to the output code [0, 2^14-1].
+  std::uint32_t convert_current(double current);
+  // Current corresponding to a code (the ADC transfer inverse).
+  double current_from_code(std::uint32_t code) const;
+
+ private:
+  AdcSpec spec_;
+  SigmaDeltaModulator modulator_;
+  Sinc3Decimator decimator_;
+  util::Rng noise_;
+};
+
+}  // namespace ironic::bio

@@ -1,0 +1,139 @@
+#include "src/bio/cell.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ironic::bio {
+
+EnzymeParams clodx_params() {
+  // Fit to the upper Fig. 4 curve: ~4.2 uA/cm^2 at 1 mM, ~1 uA/cm^2 at
+  // 0.16 mM. j in A/m^2: 1 uA/cm^2 == 1e-2 A/m^2.
+  EnzymeParams p;
+  p.name = "cLODx";
+  p.j_max = 9.0e-2;   // 9 uA/cm^2 saturation
+  p.km = 1.15;        // mM
+  p.mwcnt_gain = 1.0; // gain folded into j_max for the MWCNT electrodes
+  return p;
+}
+
+EnzymeParams wtlodx_params() {
+  // Lower Fig. 4 curve: ~1.6 uA/cm^2 at 1 mM.
+  EnzymeParams p;
+  p.name = "wtLODx";
+  p.j_max = 3.6e-2;
+  p.km = 1.25;
+  p.mwcnt_gain = 1.0;
+  return p;
+}
+
+EnzymeParams clodx_bare_params() {
+  // Without MWCNTs the sensitivity drops several-fold (refs [20,21]).
+  EnzymeParams p = clodx_params();
+  p.name = "cLODx (no MWCNT)";
+  p.mwcnt_gain = 0.3;
+  return p;
+}
+
+EnzymeParams gox_params() {
+  // Glucose oxidase on the same MWCNT screen-printed electrodes:
+  // physiological glycemia spans ~4-10 mM, so Km sits higher than the
+  // lactate enzymes'.
+  EnzymeParams p;
+  p.name = "GOx";
+  p.j_max = 12.0e-2;
+  p.km = 8.0;
+  return p;
+}
+
+ElectrochemicalCell::ElectrochemicalCell(EnzymeParams enzyme, ElectrodeGeometry geometry,
+                                         RandlesParams randles)
+    : enzyme_(std::move(enzyme)), geometry_(geometry), randles_(randles) {
+  if (enzyme_.j_max <= 0.0 || enzyme_.km <= 0.0 || enzyme_.mwcnt_gain <= 0.0) {
+    throw std::invalid_argument("ElectrochemicalCell: invalid enzyme parameters");
+  }
+  if (geometry_.area <= 0.0) {
+    throw std::invalid_argument("ElectrochemicalCell: electrode area must be > 0");
+  }
+}
+
+double ElectrochemicalCell::current_density(double concentration) const {
+  if (concentration < 0.0) {
+    throw std::invalid_argument("ElectrochemicalCell: concentration must be >= 0");
+  }
+  return enzyme_.mwcnt_gain * enzyme_.j_max * concentration /
+         (enzyme_.km + concentration);
+}
+
+double ElectrochemicalCell::current_density(double concentration,
+                                            double temperature) const {
+  if (temperature <= 0.0) {
+    throw std::invalid_argument("ElectrochemicalCell: temperature must be > 0 K");
+  }
+  const double activity =
+      std::pow(enzyme_.q10, (temperature - enzyme_.t_ref) / 10.0);
+  return current_density(concentration) * activity;
+}
+
+double ElectrochemicalCell::current(double concentration) const {
+  return current_density(concentration) * geometry_.area;
+}
+
+double ElectrochemicalCell::current(double concentration, double temperature) const {
+  return current_density(concentration, temperature) * geometry_.area;
+}
+
+double ElectrochemicalCell::delta_current_density_ua_cm2(double concentration) const {
+  // 1 A/m^2 == 100 uA/cm^2.
+  return current_density(concentration) * 100.0;
+}
+
+double ElectrochemicalCell::concentration_from_current(double i_we) const {
+  if (i_we < 0.0) {
+    throw std::invalid_argument("concentration_from_current: current must be >= 0");
+  }
+  const double j = i_we / geometry_.area;
+  const double j_sat = enzyme_.mwcnt_gain * enzyme_.j_max;
+  if (j >= j_sat) {
+    throw std::invalid_argument("concentration_from_current: current beyond saturation");
+  }
+  return enzyme_.km * j / (j_sat - j);
+}
+
+double chronoamperometric_current(const ElectrochemicalCell& cell,
+                                  double concentration, double t,
+                                  ChronoamperometryParams params) {
+  if (t <= 0.0) throw std::invalid_argument("chronoamperometric_current: t must be > 0");
+  if (params.diffusion_time <= 0.0) {
+    throw std::invalid_argument("chronoamperometric_current: t_d must be > 0");
+  }
+  const double i_ss = cell.current(concentration);
+  return i_ss * (1.0 + std::sqrt(params.diffusion_time / t));
+}
+
+double settling_time_for_tolerance(double tolerance, ChronoamperometryParams params) {
+  if (tolerance <= 0.0 || params.diffusion_time <= 0.0) {
+    throw std::invalid_argument("settling_time_for_tolerance: bad arguments");
+  }
+  // (1 + sqrt(td/t)) <= 1 + tol  ->  t >= td / tol^2.
+  return params.diffusion_time / (tolerance * tolerance);
+}
+
+std::vector<CalibrationPoint> calibration_curve(const ElectrochemicalCell& cell,
+                                                double c_min_mM, double c_max_mM,
+                                                int n) {
+  if (n < 2 || c_min_mM <= 0.0 || c_max_mM <= c_min_mM) {
+    throw std::invalid_argument("calibration_curve: bad sweep parameters");
+  }
+  std::vector<CalibrationPoint> points;
+  points.reserve(static_cast<std::size_t>(n));
+  const double log_min = std::log10(c_min_mM);
+  const double log_max = std::log10(c_max_mM);
+  for (int i = 0; i < n; ++i) {
+    const double lg = log_min + (log_max - log_min) * i / (n - 1);
+    const double c = std::pow(10.0, lg);
+    points.push_back({lg, cell.delta_current_density_ua_cm2(c)});
+  }
+  return points;
+}
+
+}  // namespace ironic::bio

@@ -1,0 +1,124 @@
+// Three-electrode electrochemical cell (paper Sec. II, Fig. 2/4).
+//
+// The faradaic current of an enzyme-functionalized working electrode
+// follows Michaelis–Menten kinetics in the metabolite concentration:
+//   j(C) = j_max * C / (Km + C)       [A/m^2]
+// The two enzymes of Fig. 4 (commercial cLODx and wild-type wtLODx on
+// MWCNT screen-printed electrodes) are captured as parameter sets fitted
+// to the published calibration curves; MWCNT functionalization enters as
+// a multiplicative sensitivity gain.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace ironic::bio {
+
+struct EnzymeParams {
+  std::string name;
+  double j_max = 0.0;      // saturation current density [A/m^2] at t_ref
+  double km = 1.0;         // Michaelis constant [mol/m^3] (== mM)
+  double mwcnt_gain = 1.0; // sensitivity multiplier from MWCNT coating
+  // Enzyme-kinetics temperature dependence: activity scales by
+  // q10^((T - t_ref)/10 K). Subcutaneous implants sit at ~37 C, bench
+  // calibration often at room temperature — this is the correction.
+  double q10 = 2.0;
+  double t_ref = 310.15;   // [K]
+};
+
+// Fitted to Fig. 4 (delta-current density in uA/cm^2 vs log10[mM]).
+EnzymeParams clodx_params();   // commercial lactate oxidase
+EnzymeParams wtlodx_params();  // wild-type lactate oxidase
+// Same enzymes without the MWCNT enhancement (ablation of refs [20,21]).
+EnzymeParams clodx_bare_params();
+// Glucose oxidase for the glycemia application the paper's intro leads
+// with (GlucoMen-class subcutaneous monitoring, ref [1]).
+EnzymeParams gox_params();
+
+struct ElectrodeGeometry {
+  // Screen-printed working electrodes are ~0.25 cm^2; with the Fig. 4
+  // current densities that puts IWE in the uA range the 4 uA-full-scale
+  // ADC was designed for.
+  double area = 2.5e-5;  // [m^2]
+};
+
+// Randles-type small-signal elements, for the circuit-level cell model.
+// Rct is the *small-signal* slope of the faradaic branch around the
+// operating point — the DC faradaic current itself is injected by a
+// separate source in the circuit macro, so Rct is kept large enough not
+// to double-count the bias current.
+struct RandlesParams {
+  double solution_resistance = 500.0;    // Rs, CE..RE path [Ohm]
+  double charge_transfer_resistance = 10e6;  // Rct at the WE interface [Ohm]
+  double double_layer_capacitance = 100e-9;  // Cdl at the WE [F]
+};
+
+class ElectrochemicalCell {
+ public:
+  ElectrochemicalCell(EnzymeParams enzyme, ElectrodeGeometry geometry = {},
+                      RandlesParams randles = {});
+
+  const EnzymeParams& enzyme() const { return enzyme_; }
+  const ElectrodeGeometry& geometry() const { return geometry_; }
+  const RandlesParams& randles() const { return randles_; }
+
+  // Faradaic current density at concentration C [mol/m^3] -> [A/m^2],
+  // at the enzyme's reference temperature. Requires the cell to be
+  // biased at/above the oxidation potential.
+  double current_density(double concentration) const;
+  // Same, at junction temperature T [K] (Q10 kinetics scaling).
+  double current_density(double concentration, double temperature) const;
+  // Total working-electrode current [A] at the given concentration.
+  double current(double concentration) const;
+  double current(double concentration, double temperature) const;
+  // Delta current density in the paper's units [uA/cm^2].
+  double delta_current_density_ua_cm2(double concentration) const;
+  // Inverse of current(): concentration [mol/m^3] for a measured current.
+  double concentration_from_current(double i_we) const;
+
+  // Whether an applied WE-RE bias runs the oxidation (>= ~0.55 V for
+  // lactate/glucose with these electrodes; the paper applies 0.65 V).
+  static bool bias_sufficient(double v_we_re) { return v_we_re >= 0.55; }
+
+ private:
+  EnzymeParams enzyme_;
+  ElectrodeGeometry geometry_;
+  RandlesParams randles_;
+};
+
+// Chronoamperometry: after the oxidation potential steps on, the
+// faradaic current decays from a diffusion-limited transient onto the
+// steady state (Cottrell behaviour):
+//   i(t) = i_ss * (1 + sqrt(t_d / t)),
+// with t_d the electrode's diffusion time constant. Sampling too early
+// after power-up over-reads — the timing constraint the power-management
+// module's charge-up imposes on the measurement schedule.
+struct ChronoamperometryParams {
+  double diffusion_time = 0.5;  // t_d [s] for the SPE geometry
+};
+
+// Current at time t after the bias steps on (t > 0). [A]
+double chronoamperometric_current(const ElectrochemicalCell& cell,
+                                  double concentration, double t,
+                                  ChronoamperometryParams params = {});
+
+// Earliest sampling time with the transient over-read below `tolerance`
+// (relative): sqrt(t_d/t) <= tol  =>  t >= t_d / tol^2. [s]
+double settling_time_for_tolerance(double tolerance,
+                                   ChronoamperometryParams params = {});
+
+// One (log10-concentration, delta-current) calibration point.
+struct CalibrationPoint {
+  double log10_mM = 0.0;
+  double delta_current_ua_cm2 = 0.0;
+};
+
+// Sweep the cell over [c_min, c_max] mM with `n` log-spaced points —
+// regenerates a Fig. 4 curve.
+std::vector<CalibrationPoint> calibration_curve(const ElectrochemicalCell& cell,
+                                                double c_min_mM, double c_max_mM,
+                                                int n);
+
+}  // namespace ironic::bio

@@ -1,0 +1,66 @@
+#include "src/bio/drift.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ironic::bio {
+
+DriftParams bare_electrode_drift() {
+  DriftParams p;
+  p.sensitivity_tau_days = 3.0;  // unprotected enzyme decays fast
+  p.sensitivity_floor = 0.1;
+  p.baseline_drift_per_day = 6e-4;
+  return p;
+}
+
+DriftModel::DriftModel(DriftParams params) : params_(params) {
+  if (params_.sensitivity_tau_days <= 0.0 || params_.sensitivity_floor < 0.0 ||
+      params_.sensitivity_floor > 1.0) {
+    throw std::invalid_argument("DriftModel: invalid parameters");
+  }
+}
+
+double DriftModel::sensitivity_gain(double days) const {
+  if (days < 0.0) throw std::invalid_argument("DriftModel: days must be >= 0");
+  return params_.sensitivity_floor +
+         (1.0 - params_.sensitivity_floor) *
+             std::exp(-days / params_.sensitivity_tau_days);
+}
+
+double DriftModel::baseline_density(double days) const {
+  if (days < 0.0) throw std::invalid_argument("DriftModel: days must be >= 0");
+  return params_.baseline_drift_per_day * days;
+}
+
+double DriftModel::aged_current_density(const ElectrochemicalCell& cell,
+                                        double concentration, double days) const {
+  return sensitivity_gain(days) * cell.current_density(concentration) +
+         baseline_density(days);
+}
+
+TwoPointCalibration::TwoPointCalibration(const ElectrochemicalCell& cell,
+                                         const DriftModel& drift, double days,
+                                         double c_low, double c_high) {
+  if (c_high <= c_low || c_low < 0.0) {
+    throw std::invalid_argument("TwoPointCalibration: need 0 <= c_low < c_high");
+  }
+  // Measure the aged sensor at the two reference points.
+  const double j_low = drift.aged_current_density(cell, c_low, days);
+  const double j_high = drift.aged_current_density(cell, c_high, days);
+  // The pristine transfer at the same points.
+  const double j0_low = cell.current_density(c_low);
+  const double j0_high = cell.current_density(c_high);
+  gain_ = (j_high - j_low) / (j0_high - j0_low);
+  baseline_ = j_low - gain_ * j0_low;
+}
+
+double TwoPointCalibration::concentration_from_density(const ElectrochemicalCell& cell,
+                                                       double j_measured) const {
+  if (gain_ <= 0.0) throw std::logic_error("TwoPointCalibration: non-physical gain");
+  // Undo the drift, then invert Michaelis–Menten through the cell model.
+  const double j_pristine = (j_measured - baseline_) / gain_;
+  const double i_equiv = j_pristine * cell.geometry().area;
+  return cell.concentration_from_current(std::max(i_equiv, 0.0));
+}
+
+}  // namespace ironic::bio

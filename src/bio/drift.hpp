@@ -1,0 +1,65 @@
+// Sensor stability over implant lifetime (paper Sec. II-A: "A main issue
+// of metabolite biosensors is the lack of stability").
+//
+// Enzyme electrodes lose activity over days (enzyme denaturation,
+// membrane fouling) and their baseline shifts. DriftModel applies both
+// effects to a cell; TwoPointCalibration is the standard field fix — the
+// paper's MWCNT immobilization slows the decay, which the parameters
+// expose.
+#pragma once
+
+#include "src/bio/cell.hpp"
+
+namespace ironic::bio {
+
+struct DriftParams {
+  // Exponential sensitivity decay: gain(t) = end + (1-end) exp(-t/tau).
+  double sensitivity_tau_days = 12.0;   // MWCNT-stabilized electrode
+  double sensitivity_floor = 0.35;      // long-term residual activity
+  // Baseline (zero-analyte) current creep [A/m^2 per day].
+  double baseline_drift_per_day = 2e-4;
+};
+
+// Faster decay without the nanotube immobilization (refs [20, 21]).
+DriftParams bare_electrode_drift();
+
+class DriftModel {
+ public:
+  explicit DriftModel(DriftParams params = {});
+  const DriftParams& params() const { return params_; }
+
+  // Multiplicative sensitivity remaining after `days` implanted.
+  double sensitivity_gain(double days) const;
+  // Additive baseline current density after `days` [A/m^2].
+  double baseline_density(double days) const;
+  // The current density an aged sensor actually reports.
+  double aged_current_density(const ElectrochemicalCell& cell, double concentration,
+                              double days) const;
+
+ private:
+  DriftParams params_;
+};
+
+// Two-point recalibration: measure the aged sensor at two known
+// concentrations, recover effective gain and baseline, then invert
+// subsequent readings back to concentration.
+class TwoPointCalibration {
+ public:
+  // Calibrate against the aged sensor at `days`, using reference
+  // solutions c_low and c_high [mM].
+  TwoPointCalibration(const ElectrochemicalCell& cell, const DriftModel& drift,
+                      double days, double c_low, double c_high);
+
+  double gain() const { return gain_; }
+  double baseline() const { return baseline_; }
+
+  // Concentration estimate from an aged current-density reading.
+  double concentration_from_density(const ElectrochemicalCell& cell,
+                                    double j_measured) const;
+
+ private:
+  double gain_ = 1.0;
+  double baseline_ = 0.0;
+};
+
+}  // namespace ironic::bio

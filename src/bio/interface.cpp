@@ -1,0 +1,49 @@
+#include "src/bio/interface.hpp"
+
+#include <algorithm>
+
+#include "src/pm/bandgap.hpp"
+
+namespace ironic::bio {
+
+ElectronicInterface::ElectronicInterface(ElectrochemicalCell cell, InterfaceSpec spec,
+                                         std::uint64_t noise_seed)
+    : cell_(std::move(cell)),
+      spec_(spec),
+      potentiostat_(spec.potentiostat),
+      adc_(spec.adc, noise_seed) {}
+
+double ElectronicInterface::applied_bias() const {
+  return pm::cell_bias_voltage(spec_.temperature, spec_.supply_voltage);
+}
+
+MeasurementResult ElectronicInterface::measure(double concentration) {
+  MeasurementResult out;
+  if (!ElectrochemicalCell::bias_sufficient(applied_bias())) {
+    return out;  // references collapsed (e.g. under-volted supply)
+  }
+  out.cell_current = cell_.current(concentration);
+  out.readout_voltage = potentiostat_.readout_voltage(out.cell_current);
+  const double current_seen = potentiostat_.current_from_readout(out.readout_voltage);
+  const double clamped =
+      std::clamp(current_seen, 0.0, adc_.spec().full_scale_current);
+  out.adc_code = adc_.convert_current(clamped);
+  out.estimated_current = adc_.current_from_code(out.adc_code);
+  out.estimated_concentration = cell_.concentration_from_current(
+      std::min(out.estimated_current, cell_.current(1e9) * 0.999));
+  return out;
+}
+
+double ElectronicInterface::supply_current(pm::SensorMode mode) const {
+  switch (mode) {
+    case pm::SensorMode::kSleep:
+      return 2e-6;
+    case pm::SensorMode::kLowPower:
+      return spec_.frontend_current;
+    case pm::SensorMode::kHighPower:
+      return spec_.frontend_current + spec_.adc_current;
+  }
+  return 0.0;
+}
+
+}  // namespace ironic::bio

@@ -1,0 +1,57 @@
+// The complete electronic interface of Fig. 3: bandgap references +
+// potentiostat/readout + sigma-delta ADC, with the power bookkeeping the
+// power-management module sizes itself against.
+#pragma once
+
+#include <cstdint>
+
+#include "src/bio/adc.hpp"
+#include "src/bio/cell.hpp"
+#include "src/bio/potentiostat.hpp"
+#include "src/pm/load.hpp"
+
+namespace ironic::bio {
+
+struct MeasurementResult {
+  double cell_current = 0.0;        // IWE [A]
+  double readout_voltage = 0.0;     // potentiostat output [V]
+  std::uint32_t adc_code = 0;       // 14-bit conversion
+  double estimated_current = 0.0;   // current reconstructed from the code [A]
+  double estimated_concentration = 0.0;  // [mol/m^3] == mM
+};
+
+struct InterfaceSpec {
+  PotentiostatSpec potentiostat;
+  AdcSpec adc;
+  // Supply currents (paper Sec. II-B): 45 uA front end, 240 uA ADC+bandgap.
+  double frontend_current = 45e-6;
+  double adc_current = 240e-6;
+  double supply_voltage = 1.8;
+  double temperature = 310.15;  // body temperature [K]
+};
+
+class ElectronicInterface {
+ public:
+  ElectronicInterface(ElectrochemicalCell cell, InterfaceSpec spec = {},
+                      std::uint64_t noise_seed = 1);
+
+  const ElectrochemicalCell& cell() const { return cell_; }
+  const InterfaceSpec& spec() const { return spec_; }
+
+  // Full measurement chain at a metabolite concentration [mM].
+  MeasurementResult measure(double concentration);
+
+  // Supply current in a sensor mode: the front end idles in low power,
+  // the ADC only burns during measurements (high power).
+  double supply_current(pm::SensorMode mode) const;
+  // The bias actually applied across the cell by the two bandgaps.
+  double applied_bias() const;
+
+ private:
+  ElectrochemicalCell cell_;
+  InterfaceSpec spec_;
+  PotentiostatModel potentiostat_;
+  SigmaDeltaAdc adc_;
+};
+
+}  // namespace ironic::bio

@@ -1,0 +1,114 @@
+#include "src/bio/potentiostat.hpp"
+
+#include <stdexcept>
+
+#include "src/spice/devices_nonlinear.hpp"
+#include "src/spice/devices_passive.hpp"
+#include "src/spice/devices_sources.hpp"
+#include "src/spice/waveform.hpp"
+
+namespace ironic::bio {
+
+PotentiostatModel::PotentiostatModel(PotentiostatSpec spec) : spec_(spec) {
+  if (spec_.readout_resistance <= 0.0 || spec_.mirror_ratio <= 0.0) {
+    throw std::invalid_argument("PotentiostatModel: invalid spec");
+  }
+}
+
+double PotentiostatModel::readout_voltage(double i_we) const {
+  if (i_we < 0.0) throw std::invalid_argument("readout_voltage: current must be >= 0");
+  const double gain = spec_.mirror_ratio * (1.0 + spec_.mirror_mismatch);
+  return i_we * gain * spec_.readout_resistance;
+}
+
+double PotentiostatModel::current_from_readout(double v) const {
+  const double gain = spec_.mirror_ratio * (1.0 + spec_.mirror_mismatch);
+  return v / (gain * spec_.readout_resistance);
+}
+
+double PotentiostatModel::measure(const ElectrochemicalCell& cell,
+                                  double concentration) const {
+  const double bias = spec_.oxidation_bias() + spec_.input_offset;
+  if (!ElectrochemicalCell::bias_sufficient(bias)) {
+    return 0.0;  // reaction does not run below the oxidation potential
+  }
+  return readout_voltage(cell.current(concentration));
+}
+
+PotentiostatHandles build_potentiostat_circuit(spice::Circuit& circuit,
+                                               const std::string& prefix,
+                                               const ElectrochemicalCell& cell,
+                                               double concentration,
+                                               const PotentiostatSpec& spec) {
+  using namespace spice;
+  PotentiostatHandles h;
+  h.ce = circuit.node(prefix + ".ce");
+  h.re = circuit.node(prefix + ".re");
+  h.we = circuit.node(prefix + ".we");
+  h.readout = circuit.node(prefix + ".vout");
+  h.readout_name = prefix + ".vout";
+  const NodeId vdd = circuit.node(prefix + ".vdd");
+  const NodeId vre_ref = circuit.node(prefix + ".vre_ref");
+  const NodeId vwe_ref = circuit.node(prefix + ".vwe_ref");
+  const NodeId gate = circuit.node(prefix + ".mirror_gate");
+
+  circuit.add<VoltageSource>(prefix + ".Vdd", vdd, kGround, Waveform::dc(1.8));
+  circuit.add<VoltageSource>(prefix + ".Vreref", vre_ref, kGround,
+                             Waveform::dc(spec.v_re));
+  circuit.add<VoltageSource>(prefix + ".Vweref", vwe_ref, kGround,
+                             Waveform::dc(spec.v_we));
+
+  // OP1: regulates the reference electrode to 550 mV by driving CE.
+  // Both amplifiers get an explicit dominant pole (R into a grounded
+  // capacitor): the real parts have one, and the transient engine needs
+  // it to settle these stiff loops the way the silicon does at start-up.
+  OpAmpParams op1;
+  op1.gain = 100.0;  // loop-stability: keeps the OP1 crossover below the CE pole
+  op1.v_out_min = 0.0;
+  op1.v_out_max = 1.8;
+  op1.input_offset = spec.input_offset;
+  const NodeId ce_raw = circuit.node(prefix + ".ce_raw");
+  circuit.add<OpAmp>(prefix + ".OP1", ce_raw, vre_ref, h.re, op1);
+  circuit.add<Resistor>(prefix + ".Rop1", ce_raw, h.ce, 2e3);
+  // Capacitor initial conditions put the start-up at the nominal
+  // operating point; without them the 1 uF double layer makes settling a
+  // multi-ms affair (physically true, pointlessly slow to simulate).
+  circuit.add<Capacitor>(prefix + ".Cop1", h.ce, kGround, 1e-9, spec.v_re);
+
+  // Randles cell: Rs from CE to RE, then Rct || Cdl from RE to WE, plus
+  // the concentration-programmed faradaic current drawn from WE into CE.
+  const auto& rp = cell.randles();
+  circuit.add<Resistor>(prefix + ".Rs", h.ce, h.re, rp.solution_resistance);
+  circuit.add<Resistor>(prefix + ".Rct", h.re, h.we, rp.charge_transfer_resistance);
+  circuit.add<Capacitor>(prefix + ".Cdl", h.re, h.we, rp.double_layer_capacitance,
+                         spec.v_re - spec.v_we);
+  const double i_far = cell.current(concentration);
+  circuit.add<CurrentSource>(prefix + ".Ifar", h.we, h.ce, Waveform::dc(i_far));
+
+  // OP2 + MP0: hold WE at 1.2 V; MP0 sources the cell current from vdd,
+  // and MP2 (gate-shared) mirrors it into the readout resistor.
+  OpAmpParams op2 = op1;
+  op2.gain = 30.0;  // WE loop: dominant pole at the WE node, gate pole parasitic
+  op2.input_offset = 0.0;
+  const NodeId gate_raw = circuit.node(prefix + ".gate_raw");
+  circuit.add<OpAmp>(prefix + ".OP2", gate_raw, h.we, vwe_ref, op2);
+  circuit.add<Resistor>(prefix + ".Rop2", gate_raw, gate, 10e3);
+  circuit.add<Capacitor>(prefix + ".Cop2", gate, kGround, 3e-12, 1.2);
+  // Node capacitances of the electrode and readout nets.
+  circuit.add<Capacitor>(prefix + ".Cwe", h.we, kGround, 100e-12, spec.v_we);
+  circuit.add<Capacitor>(prefix + ".Cro", h.readout, kGround, 100e-12);
+  MosParams mp;
+  mp.type = MosType::kPmos;
+  mp.kp = 70e-6;
+  mp.w = 2.0 * mp.l;  // small mirror: healthy overdrive at uA currents
+  mp.bulk_diodes = false;
+  circuit.add<Mosfet>(prefix + ".MP0", h.we, gate, vdd, vdd, mp);
+  MosParams mp2 = mp;
+  mp2.w = mp.w * spec.mirror_ratio * (1.0 + spec.mirror_mismatch);
+  circuit.add<Mosfet>(prefix + ".MP2", h.readout, gate, vdd, vdd, mp2);
+  circuit.add<Resistor>(prefix + ".Rread", h.readout, kGround,
+                        spec.readout_resistance);
+  return h;
+}
+
+}  // namespace ironic::bio

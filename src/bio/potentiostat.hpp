@@ -1,0 +1,66 @@
+// Potentiostat and current readout (paper Sec. II-B, Fig. 3).
+//
+// OP1 drives the counter electrode so the reference electrode sits at
+// the 550 mV bandgap potential; OP2 plus the MP0/MP2 pair holds the
+// working electrode at 1.2 V and mirrors the cell current into the
+// readout resistor. Provided here as
+//   - PotentiostatModel: behavioural transfer (current -> readout volts)
+//     with mirror gain error and opamp offsets, and
+//   - build_potentiostat_circuit: a transistor-level macro with a
+//     Randles-equivalent cell, used by the integration tests.
+#pragma once
+
+#include <string>
+
+#include "src/bio/cell.hpp"
+#include "src/spice/circuit.hpp"
+
+namespace ironic::bio {
+
+struct PotentiostatSpec {
+  double v_we = 1.2;           // working-electrode bias [V]
+  double v_re = 0.55;          // reference-electrode bias [V]
+  double readout_resistance = 300e3;  // converts the mirrored current [Ohm]
+  double mirror_ratio = 1.0;   // current mirror copy gain
+  double mirror_mismatch = 0.0;  // relative gain error
+  double input_offset = 0.0;   // OP1/OP2 offset [V]
+  double supply_current = 45e-6;  // paper: 45 uA at 1.8 V
+
+  double oxidation_bias() const { return v_we - v_re; }
+};
+
+class PotentiostatModel {
+ public:
+  explicit PotentiostatModel(PotentiostatSpec spec = {});
+  const PotentiostatSpec& spec() const { return spec_; }
+
+  // Readout voltage for a given working-electrode current.
+  double readout_voltage(double i_we) const;
+  // Inverse transfer: estimated current from a readout voltage.
+  double current_from_readout(double v) const;
+  // Measure a cell at a concentration: applies the bias check and the
+  // mirror/readout chain.
+  double measure(const ElectrochemicalCell& cell, double concentration) const;
+
+ private:
+  PotentiostatSpec spec_;
+};
+
+struct PotentiostatHandles {
+  spice::NodeId ce;
+  spice::NodeId re;
+  spice::NodeId we;
+  spice::NodeId readout;  // Vout of Fig. 3
+  std::string readout_name;
+};
+
+// Transistor-level macro: OP1/OP2, the MP0..MP3-style mirror (folded to
+// one copy branch), a Randles cell, and a concentration-programmed
+// faradaic current source.
+PotentiostatHandles build_potentiostat_circuit(spice::Circuit& circuit,
+                                               const std::string& prefix,
+                                               const ElectrochemicalCell& cell,
+                                               double concentration,
+                                               const PotentiostatSpec& spec = {});
+
+}  // namespace ironic::bio

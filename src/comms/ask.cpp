@@ -1,0 +1,154 @@
+#include "src/comms/ask.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ironic::comms {
+
+double modulation_depth_from_divider(double r7, double r8) {
+  if (r7 <= 0.0 || r8 <= 0.0) {
+    throw std::invalid_argument("modulation_depth_from_divider: resistances must be > 0");
+  }
+  return 1.0 - r8 / (r7 + r8);
+}
+
+util::PiecewiseLinear ask_envelope(const Bits& bits, const AskSpec& spec,
+                                   double t_start, double t_total) {
+  if (spec.bit_rate <= 0.0 || spec.edge_time < 0.0) {
+    throw std::invalid_argument("ask_envelope: invalid spec");
+  }
+  const double tb = spec.bit_period();
+  if (spec.edge_time >= tb / 2.0) {
+    throw std::invalid_argument("ask_envelope: edge time must be < half a bit");
+  }
+  const double hi = spec.amplitude_high;
+  const double lo = spec.amplitude_low();
+
+  std::vector<double> ts;
+  std::vector<double> vs;
+  const auto push = [&](double t, double v) {
+    if (!ts.empty() && t <= ts.back()) t = ts.back() + 1e-12;
+    ts.push_back(t);
+    vs.push_back(v);
+  };
+
+  push(0.0, hi);
+  double level = hi;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const double target = bits[i] ? hi : lo;
+    const double t_bit = t_start + static_cast<double>(i) * tb;
+    if (target != level) {
+      push(t_bit, level);
+      push(t_bit + spec.edge_time, target);
+      level = target;
+    }
+  }
+  // Return to the unmodulated carrier after the burst.
+  const double t_end = t_start + static_cast<double>(bits.size()) * tb;
+  if (level != hi) {
+    push(t_end, level);
+    push(t_end + spec.edge_time, hi);
+  }
+  push(std::max(t_total, (ts.empty() ? 0.0 : ts.back()) + 1e-12), hi);
+  return util::PiecewiseLinear(std::move(ts), std::move(vs));
+}
+
+spice::Waveform ask_waveform(const Bits& bits, const AskSpec& spec, double t_start,
+                             double t_total) {
+  return spice::Waveform::modulated_sine(spec.carrier_frequency,
+                                         ask_envelope(bits, spec, t_start, t_total));
+}
+
+std::vector<double> envelope_detect(std::span<const double> time,
+                                    std::span<const double> carrier, double tau) {
+  if (time.size() != carrier.size()) {
+    throw std::invalid_argument("envelope_detect: size mismatch");
+  }
+  if (tau <= 0.0) throw std::invalid_argument("envelope_detect: tau must be > 0");
+  std::vector<double> env(time.size(), 0.0);
+  double state = 0.0;
+  for (std::size_t i = 0; i < time.size(); ++i) {
+    const double x = std::abs(carrier[i]);
+    if (i > 0) {
+      const double dt = time[i] - time[i - 1];
+      if (x > state) {
+        state = x;  // ideal-diode fast attack
+      } else {
+        state += (x - state) * (1.0 - std::exp(-dt / tau));
+      }
+    } else {
+      state = x;
+    }
+    env[i] = state;
+  }
+  return env;
+}
+
+Bits slice_bits(std::span<const double> time, std::span<const double> envelope,
+                double bit_rate, double t_first_bit, std::size_t n_bits) {
+  if (time.size() != envelope.size() || time.empty() || n_bits == 0) {
+    throw std::invalid_argument("slice_bits: bad inputs");
+  }
+  const double tb = 1.0 / bit_rate;
+  if (t_first_bit + static_cast<double>(n_bits) * tb < time.front() ||
+      t_first_bit > time.back()) {
+    throw std::invalid_argument("slice_bits: window outside trace");
+  }
+
+  const auto sample = [&](double t) {
+    const auto it = std::lower_bound(time.begin(), time.end(), t);
+    std::size_t idx = static_cast<std::size_t>(it - time.begin());
+    if (idx >= time.size()) idx = time.size() - 1;
+    return envelope[idx];
+  };
+
+  // Sample late in each bit cell so the envelope has settled.
+  std::vector<double> values(n_bits);
+  for (std::size_t i = 0; i < n_bits; ++i) {
+    values[i] = sample(t_first_bit + (static_cast<double>(i) + 0.75) * tb);
+  }
+
+  // Robust adaptive threshold: midpoint of the lower- and upper-half
+  // means of the bit-center samples (a one-step two-means split); this
+  // ignores noise spikes that a raw min/max midpoint would track.
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t half = sorted.size() / 2;
+  double lo_mean = 0.0, hi_mean = 0.0;
+  if (half == 0) {
+    lo_mean = hi_mean = sorted.front();
+  } else {
+    for (std::size_t i = 0; i < half; ++i) lo_mean += sorted[i];
+    for (std::size_t i = half; i < sorted.size(); ++i) hi_mean += sorted[i];
+    lo_mean /= static_cast<double>(half);
+    hi_mean /= static_cast<double>(sorted.size() - half);
+  }
+  const double threshold = 0.5 * (lo_mean + hi_mean);
+
+  Bits out;
+  out.reserve(n_bits);
+  for (double v : values) out.push_back(v > threshold);
+  return out;
+}
+
+Bits demodulate_ask(std::span<const double> time, std::span<const double> carrier,
+                    const AskSpec& spec, double t_first_bit, std::size_t n_bits) {
+  // Envelope time constant: a few carrier periods, well below a bit.
+  const double tau = 4.0 / spec.carrier_frequency;
+  const auto env = envelope_detect(time, carrier, tau);
+  return slice_bits(time, env, spec.bit_rate, t_first_bit, n_bits);
+}
+
+double ask_theoretical_ber_bound(const AskSpec& spec, double noise_rms) {
+  if (noise_rms < 0.0) {
+    throw std::invalid_argument("ask_theoretical_ber_bound: noise must be >= 0");
+  }
+  if (noise_rms == 0.0) return 0.0;
+  const double separation = spec.amplitude_high - spec.amplitude_low();
+  const double argument = separation / (2.0 * noise_rms);
+  // Q(x) = erfc(x / sqrt 2) / 2.
+  return 0.5 * std::erfc(argument / std::sqrt(2.0));
+}
+
+}  // namespace ironic::comms

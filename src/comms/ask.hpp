@@ -1,0 +1,73 @@
+// ASK downlink (paper Sec. III-A): the patch keys the amplitude of the
+// 5 MHz power carrier at 100 kbps; the implant recovers bits with a
+// clocked peak sampler (Sec. IV-B). This module provides
+//   - the transmit side: bit envelope generation (depth set by the
+//     R7/R8 divider of Fig. 6) and the modulated carrier Waveform, and
+//   - a DSP-level receiver (envelope detector + slicer) used for BER
+//     sweeps; the transistor-level demodulator lives in src/pm.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/comms/bitstream.hpp"
+#include "src/spice/waveform.hpp"
+#include "src/util/interp.hpp"
+
+namespace ironic::comms {
+
+struct AskSpec {
+  double bit_rate = 100e3;       // paper: 100 kbps downlink
+  double carrier_frequency = 5e6;
+  double amplitude_high = 1.0;   // carrier amplitude for a '1'
+  // Modulation depth m = (high - low) / high, set on the patch by the
+  // R7/R8 divider. The paper's measured powers (3 mW high / 1 mW low)
+  // imply an amplitude ratio of sqrt(1/3) ~ 0.577.
+  double modulation_depth = 1.0 - 0.577;
+  double edge_time = 1e-6;       // envelope rise/fall [s]
+
+  double amplitude_low() const { return amplitude_high * (1.0 - modulation_depth); }
+  double bit_period() const { return 1.0 / bit_rate; }
+};
+
+// Modulation depth produced by the patch's R7/R8 divider (Fig. 6): the
+// modulating transistor switches R8 in parallel with the PA supply path,
+// scaling the carrier by R8 / (R7 + R8) during a '0'.
+double modulation_depth_from_divider(double r7, double r8);
+
+// Envelope for a bitstream starting at `t_start`: amplitude_high before
+// and after the burst (unmodulated carrier keeps powering the implant).
+util::PiecewiseLinear ask_envelope(const Bits& bits, const AskSpec& spec,
+                                   double t_start, double t_total);
+
+// Full transmit waveform: envelope * sin(2 pi f t).
+spice::Waveform ask_waveform(const Bits& bits, const AskSpec& spec, double t_start,
+                             double t_total);
+
+// --- receiver ---------------------------------------------------------------
+
+// Rectify + single-pole low-pass: recovers the envelope from carrier
+// samples. `tau` should sit between the carrier and bit periods.
+std::vector<double> envelope_detect(std::span<const double> time,
+                                    std::span<const double> carrier, double tau);
+
+// Threshold slicer sampling at bit centers. The threshold is the
+// midpoint of the envelope extremes observed across the burst.
+Bits slice_bits(std::span<const double> time, std::span<const double> envelope,
+                double bit_rate, double t_first_bit, std::size_t n_bits);
+
+// End-to-end reference receiver used by BER benches.
+Bits demodulate_ask(std::span<const double> time, std::span<const double> carrier,
+                    const AskSpec& spec, double t_first_bit, std::size_t n_bits);
+
+// Theoretical BER of ideal envelope-sampled ASK with additive gaussian
+// noise of `noise_rms` on the carrier samples: the two envelope levels
+// sit (high - low)/2 from the slicing threshold, so
+//   BER = Q(separation / (2 sigma_env)),
+// with the envelope-detector noise bandwidth folding sigma down by
+// sqrt(2 tau / T_carrier-ish); this uses the conservative sigma_env =
+// noise_rms (no averaging gain), an upper bound the measured BER must
+// stay below in the benches.
+double ask_theoretical_ber_bound(const AskSpec& spec, double noise_rms);
+
+}  // namespace ironic::comms

@@ -1,0 +1,114 @@
+#include "src/comms/bitstream.hpp"
+
+#include <stdexcept>
+
+namespace ironic::comms {
+
+Bits bits_from_string(const std::string& s) {
+  Bits bits;
+  bits.reserve(s.size());
+  for (char c : s) {
+    if (c == '0') {
+      bits.push_back(false);
+    } else if (c == '1') {
+      bits.push_back(true);
+    } else {
+      throw std::invalid_argument("bits_from_string: expected only '0'/'1'");
+    }
+  }
+  return bits;
+}
+
+std::string bits_to_string(const Bits& bits) {
+  std::string s;
+  s.reserve(bits.size());
+  for (bool b : bits) s.push_back(b ? '1' : '0');
+  return s;
+}
+
+Bits bits_from_bytes(const std::vector<std::uint8_t>& bytes) {
+  Bits bits;
+  bits.reserve(bytes.size() * 8);
+  for (std::uint8_t byte : bytes) {
+    for (int i = 7; i >= 0; --i) bits.push_back((byte >> i) & 1u);
+  }
+  return bits;
+}
+
+std::optional<std::vector<std::uint8_t>> bytes_from_bits(const Bits& bits) {
+  if (bits.size() % 8 != 0) return std::nullopt;
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(bits.size() / 8);
+  for (std::size_t i = 0; i < bits.size(); i += 8) {
+    std::uint8_t byte = 0;
+    for (int j = 0; j < 8; ++j) byte = static_cast<std::uint8_t>((byte << 1) | bits[i + j]);
+    bytes.push_back(byte);
+  }
+  return bytes;
+}
+
+Bits random_bits(std::size_t n, util::Rng& rng) { return rng.bits(n); }
+
+std::size_t hamming_distance(const Bits& a, const Bits& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("hamming_distance: length mismatch");
+  }
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += (a[i] != b[i]);
+  return d;
+}
+
+double bit_error_rate(const Bits& sent, const Bits& received) {
+  if (sent.empty() && received.empty()) return 0.0;
+  return static_cast<double>(hamming_distance(sent, received)) /
+         static_cast<double>(sent.size());
+}
+
+std::uint8_t crc8(const std::vector<std::uint8_t>& data) {
+  std::uint8_t crc = 0x00;
+  for (std::uint8_t byte : data) {
+    crc ^= byte;
+    for (int i = 0; i < 8; ++i) {
+      crc = (crc & 0x80u) ? static_cast<std::uint8_t>((crc << 1) ^ 0x07u)
+                          : static_cast<std::uint8_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+namespace {
+constexpr std::uint8_t kPreamble = 0xAA;
+constexpr std::uint8_t kSync = 0x7E;
+}  // namespace
+
+Bits encode_frame(const Frame& frame) {
+  if (frame.payload.size() > 255) {
+    throw std::invalid_argument("encode_frame: payload exceeds 255 bytes");
+  }
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(frame.payload.size() + 4);
+  bytes.push_back(kPreamble);
+  bytes.push_back(kSync);
+  bytes.push_back(static_cast<std::uint8_t>(frame.payload.size()));
+  bytes.insert(bytes.end(), frame.payload.begin(), frame.payload.end());
+  std::vector<std::uint8_t> crc_region(bytes.begin() + 2, bytes.end());
+  bytes.push_back(crc8(crc_region));
+  return bits_from_bytes(bytes);
+}
+
+std::optional<Frame> decode_frame(const Bits& bits) {
+  const auto bytes_opt = bytes_from_bits(bits);
+  if (!bytes_opt.has_value()) return std::nullopt;
+  const auto& bytes = *bytes_opt;
+  if (bytes.size() < 4) return std::nullopt;
+  if (bytes[0] != kPreamble || bytes[1] != kSync) return std::nullopt;
+  const std::size_t len = bytes[2];
+  if (bytes.size() != len + 4) return std::nullopt;
+  std::vector<std::uint8_t> crc_region(bytes.begin() + 2, bytes.end() - 1);
+  if (crc8(crc_region) != bytes.back()) return std::nullopt;
+  Frame frame;
+  frame.payload.assign(bytes.begin() + 3, bytes.end() - 1);
+  return frame;
+}
+
+}  // namespace ironic::comms

@@ -1,0 +1,43 @@
+// Bitstreams, CRC-8 integrity, and the simple frame format used on both
+// link directions (downlink commands, uplink sensor readings).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace ironic::comms {
+
+using Bits = std::vector<bool>;
+
+// Parse "10110..." into bits; throws on other characters.
+Bits bits_from_string(const std::string& s);
+std::string bits_to_string(const Bits& bits);
+// MSB-first expansion of bytes into bits.
+Bits bits_from_bytes(const std::vector<std::uint8_t>& bytes);
+std::optional<std::vector<std::uint8_t>> bytes_from_bits(const Bits& bits);
+// Deterministic random payload for tests/benches.
+Bits random_bits(std::size_t n, util::Rng& rng);
+
+// Bit errors between two streams of equal length; throws on mismatch.
+std::size_t hamming_distance(const Bits& a, const Bits& b);
+// Bit-error rate; 0 if both empty.
+double bit_error_rate(const Bits& sent, const Bits& received);
+
+// CRC-8 (polynomial 0x07, init 0x00), MSB first.
+std::uint8_t crc8(const std::vector<std::uint8_t>& data);
+
+// Frame format: [0xAA preamble] [0x7E sync] [len] [payload...] [crc8].
+// Max payload 255 bytes.
+struct Frame {
+  std::vector<std::uint8_t> payload;
+};
+
+Bits encode_frame(const Frame& frame);
+// Returns nullopt when the sync is absent or the CRC fails.
+std::optional<Frame> decode_frame(const Bits& bits);
+
+}  // namespace ironic::comms

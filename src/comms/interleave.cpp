@@ -1,0 +1,65 @@
+#include "src/comms/interleave.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ironic::comms {
+
+Bits interleave(const Bits& bits, std::size_t rows, std::size_t cols) {
+  if (rows == 0 || cols == 0 || bits.size() != rows * cols) {
+    throw std::invalid_argument("interleave: need exactly rows*cols bits");
+  }
+  Bits out(bits.size());
+  std::size_t k = 0;
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      out[k++] = bits[r * cols + c];
+    }
+  }
+  return out;
+}
+
+Bits deinterleave(const Bits& bits, std::size_t rows, std::size_t cols) {
+  if (rows == 0 || cols == 0 || bits.size() != rows * cols) {
+    throw std::invalid_argument("deinterleave: need exactly rows*cols bits");
+  }
+  Bits out(bits.size());
+  std::size_t k = 0;
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      out[r * cols + c] = bits[k++];
+    }
+  }
+  return out;
+}
+
+Bits burst_channel(const Bits& bits, double burst_prob, std::size_t burst_length,
+                   util::Rng& rng) {
+  Bits out = bits;
+  if (out.empty() || burst_length == 0) return out;
+  if (rng.bernoulli(burst_prob)) {
+    const std::size_t start = static_cast<std::size_t>(rng.below(out.size()));
+    const std::size_t end = std::min(start + burst_length, out.size());
+    for (std::size_t i = start; i < end; ++i) out[i] = !out[i];
+  }
+  return out;
+}
+
+std::size_t longest_error_burst(const Bits& sent, const Bits& received) {
+  if (sent.size() != received.size()) {
+    throw std::invalid_argument("longest_error_burst: length mismatch");
+  }
+  std::size_t best = 0;
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    if (sent[i] != received[i]) {
+      ++run;
+      best = std::max(best, run);
+    } else {
+      run = 0;
+    }
+  }
+  return best;
+}
+
+}  // namespace ironic::comms

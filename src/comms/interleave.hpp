@@ -1,0 +1,28 @@
+// Block interleaving for burst-error channels. LSK uplink errors come in
+// bursts (a motion artifact or patch slip corrupts several consecutive
+// bits); interleaving spreads a burst across many frames' worth of bits
+// so the CRC/retry layer sees isolated errors instead of losing whole
+// frames.
+#pragma once
+
+#include <cstddef>
+
+#include "src/comms/bitstream.hpp"
+#include "src/util/rng.hpp"
+
+namespace ironic::comms {
+
+// rows x cols block interleaver: write row-wise, read column-wise.
+// The input must be exactly rows*cols bits.
+Bits interleave(const Bits& bits, std::size_t rows, std::size_t cols);
+Bits deinterleave(const Bits& bits, std::size_t rows, std::size_t cols);
+
+// Burst channel: with probability `burst_prob` per transit, flips
+// `burst_length` consecutive bits starting at a random offset.
+Bits burst_channel(const Bits& bits, double burst_prob, std::size_t burst_length,
+                   util::Rng& rng);
+
+// Longest run of consecutive errors between two equal-length streams.
+std::size_t longest_error_burst(const Bits& sent, const Bits& received);
+
+}  // namespace ironic::comms

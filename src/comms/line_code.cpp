@@ -1,0 +1,74 @@
+#include "src/comms/line_code.hpp"
+
+#include <algorithm>
+
+namespace ironic::comms {
+
+Bits manchester_encode(const Bits& bits) {
+  Bits chips;
+  chips.reserve(bits.size() * 2);
+  for (bool b : bits) {
+    chips.push_back(b);
+    chips.push_back(!b);
+  }
+  return chips;
+}
+
+std::optional<Bits> manchester_decode(const Bits& chips) {
+  if (chips.size() % 2 != 0) return std::nullopt;
+  Bits bits;
+  bits.reserve(chips.size() / 2);
+  for (std::size_t i = 0; i < chips.size(); i += 2) {
+    if (chips[i] == chips[i + 1]) return std::nullopt;  // 00/11 invalid
+    bits.push_back(chips[i]);
+  }
+  return bits;
+}
+
+bool is_dc_free(const Bits& chips) {
+  std::size_t ones = 0;
+  for (bool c : chips) ones += c;
+  return 2 * ones == chips.size();
+}
+
+Bits standard_preamble() {
+  return bits_from_bytes({0xAA, 0x7E});
+}
+
+bool find_burst_start(std::span<const double> time, std::span<const double> envelope,
+                      double bit_rate, double threshold, const Bits& pattern,
+                      double& t_first_bit) {
+  if (time.size() != envelope.size() || time.empty() || pattern.empty() ||
+      bit_rate <= 0.0) {
+    return false;
+  }
+  const double tb = 1.0 / bit_rate;
+  const auto sample = [&](double t) -> int {
+    if (t < time.front() || t > time.back()) return -1;  // outside the trace
+    const auto it = std::lower_bound(time.begin(), time.end(), t);
+    const auto idx = static_cast<std::size_t>(it - time.begin());
+    return envelope[std::min(idx, envelope.size() - 1)] > threshold ? 1 : 0;
+  };
+
+  // Slide in quarter-bit steps; accept the first offset where every
+  // pattern bit matches at *two* phases inside its cell. The dual-phase
+  // check rejects offsets where a sample lands on an envelope edge and
+  // happens to slice the right way.
+  for (double t0 = time.front(); t0 + pattern.size() * tb <= time.back();
+       t0 += tb / 4.0) {
+    bool all = true;
+    for (std::size_t k = 0; k < pattern.size() && all; ++k) {
+      const int expected = pattern[k] ? 1 : 0;
+      const int early = sample(t0 + (static_cast<double>(k) + 0.35) * tb);
+      const int late = sample(t0 + (static_cast<double>(k) + 0.80) * tb);
+      all = (early == expected) && (late == expected);
+    }
+    if (all) {
+      t_first_bit = t0;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ironic::comms

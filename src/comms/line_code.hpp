@@ -1,0 +1,39 @@
+// Line coding and burst synchronization.
+//
+// The paper's links send raw NRZ bits with the receiver clock aligned by
+// construction. A deployed implant needs two more pieces this module
+// provides: Manchester coding (DC-free, self-clocking — important when
+// the ASK envelope also carries power) and preamble correlation so the
+// receiver can find the burst start on its own.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "src/comms/bitstream.hpp"
+
+namespace ironic::comms {
+
+// Manchester (IEEE 802.3 convention): '1' -> 10, '0' -> 01.
+Bits manchester_encode(const Bits& bits);
+// Decode; returns nullopt if the stream has odd length or an invalid
+// (00/11) symbol.
+std::optional<Bits> manchester_decode(const Bits& chips);
+
+// A Manchester stream is DC-free: equal ones and zeros.
+bool is_dc_free(const Bits& chips);
+
+// Preamble used to locate bursts: alternating 10101010 + sync 0x7E.
+Bits standard_preamble();
+
+// Locate the first occurrence of `pattern` in a sliced envelope: slides
+// a correlator over hard-decided samples (one per bit, given bit_rate)
+// and returns the time of the first full-score match.
+//
+// `time`/`envelope` are the receiver's envelope-detector output;
+// `threshold` the slicing level. Returns false if no match.
+bool find_burst_start(std::span<const double> time, std::span<const double> envelope,
+                      double bit_rate, double threshold, const Bits& pattern,
+                      double& t_first_bit);
+
+}  // namespace ironic::comms

@@ -1,0 +1,109 @@
+#include "src/comms/lsk.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace ironic::comms {
+namespace {
+
+// Build a PWL gate that is `active_level` during the given bit condition.
+spice::Waveform gate_from_bits(const Bits& bits, const LskSpec& spec, double t_start,
+                               bool active_on_zero, double v_active, double v_idle) {
+  const double tb = spec.bit_period();
+  std::vector<double> ts;
+  std::vector<double> vs;
+  const auto push = [&](double t, double v) {
+    if (!ts.empty() && t <= ts.back()) t = ts.back() + 1e-12;
+    ts.push_back(t);
+    vs.push_back(v);
+  };
+  push(0.0, v_idle);
+  double level = v_idle;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const bool active = active_on_zero ? !bits[i] : bits[i];
+    const double target = active ? v_active : v_idle;
+    const double t_bit = t_start + static_cast<double>(i) * tb;
+    if (target != level) {
+      push(t_bit, level);
+      push(t_bit + spec.edge_time, target);
+      level = target;
+    }
+  }
+  const double t_end = t_start + static_cast<double>(bits.size()) * tb;
+  if (level != v_idle) {
+    push(t_end, level);
+    push(t_end + spec.edge_time, v_idle);
+  }
+  return spice::Waveform::pwl(std::move(ts), std::move(vs));
+}
+
+}  // namespace
+
+spice::Waveform lsk_gate_waveform(const Bits& bits, const LskSpec& spec, double t_start) {
+  if (spec.bit_rate <= 0.0) throw std::invalid_argument("lsk_gate_waveform: bad bit rate");
+  // M1 shorts the input while transmitting a '0' (Sec. IV-A).
+  return gate_from_bits(bits, spec, t_start, /*active_on_zero=*/true, spec.v_on,
+                        spec.v_off);
+}
+
+spice::Waveform lsk_m2_gate_waveform(const Bits& bits, const LskSpec& spec,
+                                     double t_start) {
+  if (spec.bit_rate <= 0.0) {
+    throw std::invalid_argument("lsk_m2_gate_waveform: bad bit rate");
+  }
+  // M2 idles closed (clamps active) and opens while M1 shorts.
+  return gate_from_bits(bits, spec, t_start, /*active_on_zero=*/true, spec.v_off,
+                        spec.v_on);
+}
+
+Bits detect_lsk(std::span<const double> time, std::span<const double> supply_current,
+                const LskSpec& spec, double t_first_bit, std::size_t n_bits,
+                bool invert) {
+  if (time.size() != supply_current.size() || time.empty() || n_bits == 0) {
+    throw std::invalid_argument("detect_lsk: bad inputs");
+  }
+  const double tb = spec.bit_period();
+
+  // Per-bit averages (guard band of 20 % on each side of the cell).
+  std::vector<double> means(n_bits, 0.0);
+  std::vector<int> counts(n_bits, 0);
+  for (std::size_t i = 0; i < time.size(); ++i) {
+    const double rel = (time[i] - t_first_bit) / tb;
+    if (rel < 0.0) continue;
+    const auto bit = static_cast<std::size_t>(rel);
+    if (bit >= n_bits) break;
+    const double frac = rel - static_cast<double>(bit);
+    if (frac < 0.2 || frac > 0.8) continue;
+    means[bit] += supply_current[i];
+    ++counts[bit];
+  }
+  for (std::size_t b = 0; b < n_bits; ++b) {
+    if (counts[b] == 0) throw std::invalid_argument("detect_lsk: empty bit cell");
+    means[b] /= counts[b];
+  }
+
+  const double lo = *std::min_element(means.begin(), means.end());
+  const double hi = *std::max_element(means.begin(), means.end());
+  const double threshold = 0.5 * (lo + hi);
+
+  Bits out;
+  out.reserve(n_bits);
+  for (double m : means) {
+    const bool above = m > threshold;
+    out.push_back(invert ? !above : above);
+  }
+  return out;
+}
+
+double achievable_uplink_rate(const UplinkBudget& budget) {
+  if (budget.samples_per_bit < 1 || budget.adc_sample_time <= 0.0 ||
+      budget.threshold_check_time < 0.0) {
+    throw std::invalid_argument("achievable_uplink_rate: bad budget");
+  }
+  const double t_bit = budget.samples_per_bit * budget.adc_sample_time +
+                       budget.threshold_check_time;
+  return 1.0 / t_bit;
+}
+
+}  // namespace ironic::comms

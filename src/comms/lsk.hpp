@@ -1,0 +1,56 @@
+// LSK uplink (paper Sec. III-A / IV-A): the implant short-circuits the
+// rectifier input (switch M1 in Fig. 8) to key the load seen by the
+// link; the patch detects the resulting supply-current change of the
+// class-E amplifier across sense resistor R9 and thresholds it in the
+// microcontroller. The threshold check runs in real time, which is what
+// caps the uplink at 66.6 kbps (vs 100 kbps downlink).
+#pragma once
+
+#include <span>
+
+#include "src/comms/bitstream.hpp"
+#include "src/spice/waveform.hpp"
+
+namespace ironic::comms {
+
+struct LskSpec {
+  double bit_rate = 66.6e3;     // paper: 66.6 kbps uplink
+  double v_on = 1.8;            // gate drive for the shorting switch
+  double v_off = 0.0;
+  double edge_time = 0.2e-6;
+
+  double bit_period() const { return 1.0 / bit_rate; }
+};
+
+// Gate waveform for the shorting switch M1: high during '0' bits (a low
+// logic value short-circuits the rectifier input, Sec. IV-A), starting
+// at t_start; released after the burst.
+spice::Waveform lsk_gate_waveform(const Bits& bits, const LskSpec& spec, double t_start);
+
+// Complementary gate for M2 (the series clamp-chain switch): opened
+// (driven low) while M1 shorts the input so the clamping diodes cannot
+// leak Co away.
+spice::Waveform lsk_m2_gate_waveform(const Bits& bits, const LskSpec& spec,
+                                     double t_start);
+
+// Patch-side detector: average the sensed supply current per bit cell
+// and threshold at the midpoint of the observed extremes. A shorted
+// secondary reflects less load -> the paper detects a *low* drop across
+// R9 for a '0'; `invert` flips polarity for setups where the short
+// increases the current instead.
+Bits detect_lsk(std::span<const double> time, std::span<const double> supply_current,
+                const LskSpec& spec, double t_first_bit, std::size_t n_bits,
+                bool invert = false);
+
+// Real-time budget model for the microcontroller threshold check: each
+// bit requires n_samples ADC conversions plus one comparison.
+struct UplinkBudget {
+  double adc_sample_time = 1.0e-6;      // per conversion [s]
+  double threshold_check_time = 5.0e-6; // software compare + store [s]
+  int samples_per_bit = 10;
+};
+
+// Highest uplink bit rate the budget sustains [bit/s].
+double achievable_uplink_rate(const UplinkBudget& budget);
+
+}  // namespace ironic::comms

@@ -1,0 +1,75 @@
+#include "src/comms/protocol.hpp"
+
+namespace ironic::comms {
+
+Bits encode_request(const Request& request) {
+  Frame frame;
+  frame.payload.reserve(request.payload.size() + 2);
+  frame.payload.push_back(request.sequence);
+  frame.payload.push_back(static_cast<std::uint8_t>(request.command));
+  frame.payload.insert(frame.payload.end(), request.payload.begin(),
+                       request.payload.end());
+  return encode_frame(frame);
+}
+
+std::optional<Request> decode_request(const Bits& bits) {
+  const auto frame = decode_frame(bits);
+  if (!frame.has_value() || frame->payload.size() < 2) return std::nullopt;
+  Request request;
+  request.sequence = frame->payload[0];
+  request.command = static_cast<Command>(frame->payload[1]);
+  request.payload.assign(frame->payload.begin() + 2, frame->payload.end());
+  return request;
+}
+
+Bits encode_response(const Response& response) {
+  Frame frame;
+  frame.payload.reserve(response.payload.size() + 2);
+  frame.payload.push_back(response.sequence);
+  frame.payload.push_back(response.ok ? 0x00 : 0xFF);
+  frame.payload.insert(frame.payload.end(), response.payload.begin(),
+                       response.payload.end());
+  return encode_frame(frame);
+}
+
+std::optional<Response> decode_response(const Bits& bits) {
+  const auto frame = decode_frame(bits);
+  if (!frame.has_value() || frame->payload.size() < 2) return std::nullopt;
+  Response response;
+  response.sequence = frame->payload[0];
+  response.ok = frame->payload[1] == 0x00;
+  response.payload.assign(frame->payload.begin() + 2, frame->payload.end());
+  return response;
+}
+
+std::optional<Response> Transactor::execute(
+    const Request& request, const Channel& downlink, const Channel& uplink,
+    const std::function<Response(const Request&)>& implant_handler,
+    TransactorStats* stats) {
+  for (int attempt = 0; attempt <= max_retries_; ++attempt) {
+    if (stats) ++stats->attempts;
+    // Downlink: command to the implant.
+    const auto rx_request = decode_request(downlink(encode_request(request)));
+    if (!rx_request.has_value()) {
+      if (stats) ++stats->crc_failures;
+      continue;  // the implant never acks a broken frame; patch retries
+    }
+    // The implant processes the command and answers with the sequence.
+    Response response = implant_handler(*rx_request);
+    response.sequence = rx_request->sequence;
+    // Uplink: data back to the patch.
+    const auto rx_response = decode_response(uplink(encode_response(response)));
+    if (!rx_response.has_value()) {
+      if (stats) ++stats->crc_failures;
+      continue;
+    }
+    if (rx_response->sequence != request.sequence) {
+      if (stats) ++stats->sequence_mismatches;
+      continue;  // stale response from an earlier attempt
+    }
+    return rx_response;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ironic::comms

@@ -1,0 +1,71 @@
+// Transaction layer on top of the framed ASK/LSK links: sequence-numbered
+// request/response exchanges with CRC screening and bounded retries —
+// what the patch firmware runs when it says "acquired data are
+// transmitted to the user by means of the bluetooth link".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/comms/bitstream.hpp"
+
+namespace ironic::comms {
+
+enum class Command : std::uint8_t {
+  kPing = 0x01,
+  kMeasure = 0x02,       // run a measurement, respond with the ADC code
+  kSetMode = 0x03,       // payload: SensorMode ordinal
+  kReadStatus = 0x04,
+};
+
+struct Request {
+  std::uint8_t sequence = 0;
+  Command command = Command::kPing;
+  std::vector<std::uint8_t> payload;
+};
+
+struct Response {
+  std::uint8_t sequence = 0;
+  bool ok = false;
+  std::vector<std::uint8_t> payload;
+};
+
+// Wire format (inside the CRC frame): [seq] [cmd] [payload...].
+Bits encode_request(const Request& request);
+std::optional<Request> decode_request(const Bits& bits);
+// Response: [seq] [status] [payload...].
+Bits encode_response(const Response& response);
+std::optional<Response> decode_response(const Bits& bits);
+
+// Channel function: bits in -> bits out (possibly corrupted). The
+// transactor retries on CRC failure or sequence mismatch.
+using Channel = std::function<Bits(const Bits&)>;
+
+struct TransactorStats {
+  int attempts = 0;
+  int crc_failures = 0;
+  int sequence_mismatches = 0;
+};
+
+class Transactor {
+ public:
+  explicit Transactor(int max_retries = 3) : max_retries_(max_retries) {}
+
+  // Execute one request over `downlink`; the implant handler produces the
+  // response payload; `uplink` carries it back. Returns nullopt when all
+  // retries are exhausted.
+  std::optional<Response> execute(
+      const Request& request, const Channel& downlink, const Channel& uplink,
+      const std::function<Response(const Request&)>& implant_handler,
+      TransactorStats* stats = nullptr);
+
+  std::uint8_t next_sequence() { return sequence_++; }
+
+ private:
+  int max_retries_;
+  std::uint8_t sequence_ = 0;
+};
+
+}  // namespace ironic::comms

@@ -1,0 +1,49 @@
+#include "src/core/budget.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ironic::core {
+
+PowerBudget analyze_power_budget(const magnetics::InductiveLink& link,
+                                 double drive_amplitude, const pm::LdoSpec& ldo,
+                                 const pm::SensorLoadSpec& load,
+                                 double rectifier_efficiency) {
+  if (rectifier_efficiency <= 0.0 || rectifier_efficiency > 1.0) {
+    throw std::invalid_argument("analyze_power_budget: bad rectifier efficiency");
+  }
+  PowerBudget b;
+  b.drive_amplitude = drive_amplitude;
+  b.rectifier_efficiency = rectifier_efficiency;
+  const auto analysis = link.analyze(drive_amplitude, link.optimal_load_resistance());
+  b.received_power = analysis.power_delivered;
+  b.dc_power = b.received_power * rectifier_efficiency;
+
+  const pm::LdoModel ldo_model{ldo};
+  const double i_low = pm::mode_current(load, pm::SensorMode::kLowPower);
+  const double i_high = pm::mode_current(load, pm::SensorMode::kHighPower);
+  b.rail_power_low = load.supply_voltage * i_low;
+  b.rail_power_high = load.supply_voltage * i_high;
+  // The LDO input runs at its minimum regulation voltage in the worst case.
+  const double vin = ldo.min_input_voltage();
+  b.input_power_low = vin * ldo_model.input_current(i_low);
+  b.input_power_high = vin * ldo_model.input_current(i_high);
+  b.margin_low = b.dc_power - b.input_power_low;
+  b.margin_high = b.dc_power - b.input_power_high;
+  b.sustains_low = b.margin_low > 0.0;
+  b.sustains_high = b.margin_high > 0.0;
+  return b;
+}
+
+double drive_for_high_power_mode(const magnetics::InductiveLink& link,
+                                 const pm::LdoSpec& ldo,
+                                 const pm::SensorLoadSpec& load,
+                                 double rectifier_efficiency) {
+  const pm::LdoModel ldo_model{ldo};
+  const double i_high = pm::mode_current(load, pm::SensorMode::kHighPower);
+  const double needed_dc = ldo.min_input_voltage() * ldo_model.input_current(i_high);
+  const double needed_rf = needed_dc / rectifier_efficiency;
+  return link.drive_for_power(needed_rf, link.optimal_load_resistance());
+}
+
+}  // namespace ironic::core

@@ -1,0 +1,38 @@
+// Implant power-budget analysis: does the link deliver enough for the
+// sensor in each operating mode, with the rectifier and LDO in between?
+#pragma once
+
+#include "src/magnetics/link.hpp"
+#include "src/pm/load.hpp"
+#include "src/pm/regulator.hpp"
+
+namespace ironic::core {
+
+struct PowerBudget {
+  double drive_amplitude = 0.0;   // primary drive [V]
+  double received_power = 0.0;    // at the matched load [W]
+  double rectifier_efficiency = 0.55;  // half-wave + clamp losses
+  double dc_power = 0.0;          // after rectification [W]
+  double rail_power_low = 0.0;    // sensor demand, low-power mode [W]
+  double rail_power_high = 0.0;   // sensor demand, measurement mode [W]
+  double input_power_low = 0.0;   // demand seen at the LDO input [W]
+  double input_power_high = 0.0;
+  double margin_low = 0.0;        // dc_power - input_power_low [W]
+  double margin_high = 0.0;
+  bool sustains_low = false;
+  bool sustains_high = false;
+};
+
+// Analyze the budget for a link at a given drive into its optimal load.
+PowerBudget analyze_power_budget(const magnetics::InductiveLink& link,
+                                 double drive_amplitude, const pm::LdoSpec& ldo,
+                                 const pm::SensorLoadSpec& load,
+                                 double rectifier_efficiency = 0.55);
+
+// Drive amplitude needed so the budget sustains the high-power mode.
+double drive_for_high_power_mode(const magnetics::InductiveLink& link,
+                                 const pm::LdoSpec& ldo,
+                                 const pm::SensorLoadSpec& load,
+                                 double rectifier_efficiency = 0.55);
+
+}  // namespace ironic::core

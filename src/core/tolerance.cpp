@@ -1,0 +1,66 @@
+#include "src/core/tolerance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/rng.hpp"
+
+namespace ironic::core {
+
+EndToEndConfig shortened_fig11_config() {
+  EndToEndConfig cfg;
+  cfg.t_stop = 450e-6;
+  cfg.downlink_start = 300e-6;
+  cfg.downlink_bits = comms::bits_from_string("101100");
+  cfg.uplink_start = 380e-6;
+  cfg.uplink_bits = comms::bits_from_string("0110");
+  return cfg;
+}
+
+ToleranceResult run_tolerance_analysis(const ToleranceSpec& spec,
+                                       const EndToEndConfig& base) {
+  if (spec.runs < 1) throw std::invalid_argument("run_tolerance_analysis: runs >= 1");
+  util::Rng rng(spec.seed);
+  ToleranceResult out;
+  out.runs = spec.runs;
+  out.details.reserve(static_cast<std::size_t>(spec.runs));
+
+  const auto perturb = [&](double nominal, double tol) {
+    // Log-normal spread (clamped at +/-3 sigma): multiplicative, always
+    // positive, and equivalent to a relative gaussian for small tol.
+    const double draw = std::clamp(rng.normal(0.0, tol), -3.0 * tol, 3.0 * tol);
+    return nominal * std::exp(draw);
+  };
+
+  for (int k = 0; k < spec.runs; ++k) {
+    EndToEndConfig cfg = base;
+    cfg.rectifier.storage_capacitance =
+        perturb(base.rectifier.storage_capacitance, spec.storage_cap_tol);
+    cfg.source_amplitude = perturb(base.source_amplitude, spec.drive_tol);
+    cfg.demodulator.threshold =
+        perturb(base.demodulator.threshold, spec.threshold_tol);
+    cfg.rectifier.diode_is = perturb(base.rectifier.diode_is, spec.diode_is_tol);
+
+    const auto result = EndToEndSim{cfg}.run();
+    ToleranceRun run;
+    run.charged = result.charged;
+    run.downlink_ok = result.downlink_ok;
+    run.uplink_ok = result.uplink_ok;
+    run.regulation_ok = result.regulator_never_starved;
+    run.vo_min = result.vo_min_after_charge;
+    run.t_charge = result.t_charge;
+
+    out.pass_charged += run.charged;
+    out.pass_downlink += run.downlink_ok;
+    out.pass_uplink += run.uplink_ok;
+    out.pass_regulation += run.regulation_ok;
+    out.pass_all += (run.charged && run.downlink_ok && run.uplink_ok &&
+                     run.regulation_ok);
+    out.vo_min_worst = std::min(out.vo_min_worst, run.vo_min);
+    out.details.push_back(run);
+  }
+  return out;
+}
+
+}  // namespace ironic::core

@@ -1,0 +1,60 @@
+// Component-tolerance Monte Carlo of the Fig. 11 scenario: does the
+// power-management module still charge, communicate, and hold the
+// 2.1 V regulation floor when Co, the drive level, the demodulator
+// threshold, and the diode process spread across their tolerance bands?
+// The paper's silicon would face exactly these spreads; this is the
+// robustness analysis its "future works ... characterization by means of
+// measurements" points toward.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/system.hpp"
+
+namespace ironic::core {
+
+struct ToleranceSpec {
+  int runs = 20;
+  std::uint64_t seed = 0xF16A11;
+  // 1-sigma relative spreads.
+  double storage_cap_tol = 0.10;     // +/-10 % Co (typical MLCC)
+  double drive_tol = 0.05;           // link/placement variation
+  double threshold_tol = 0.04;       // comparator reference spread
+  double diode_is_tol = 0.30;        // process spread (log-normal-ish)
+};
+
+struct ToleranceRun {
+  bool charged = false;
+  bool downlink_ok = false;
+  bool uplink_ok = false;
+  bool regulation_ok = false;
+  double vo_min = 0.0;
+  double t_charge = 0.0;
+};
+
+struct ToleranceResult {
+  int runs = 0;
+  int pass_charged = 0;
+  int pass_downlink = 0;
+  int pass_uplink = 0;
+  int pass_regulation = 0;
+  int pass_all = 0;
+  double vo_min_worst = 1e9;
+  std::vector<ToleranceRun> details;
+
+  double yield() const {
+    return runs == 0 ? 0.0 : static_cast<double>(pass_all) / runs;
+  }
+};
+
+// A shortened Fig. 11 scenario (6 downlink bits, 4 uplink bits, 450 us)
+// so a 20-run Monte Carlo stays interactive.
+EndToEndConfig shortened_fig11_config();
+
+// Run the Monte Carlo. Deterministic for a given spec/seed.
+ToleranceResult run_tolerance_analysis(const ToleranceSpec& spec,
+                                       const EndToEndConfig& base =
+                                           shortened_fig11_config());
+
+}  // namespace ironic::core

@@ -1,0 +1,87 @@
+#include "src/linalg/complex_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/linalg/lu.hpp"
+
+namespace ironic::linalg {
+
+CMatrix::CMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, Complex{0.0, 0.0}) {}
+
+void CMatrix::fill(Complex value) {
+  for (auto& x : data_) x = value;
+}
+
+CVector CMatrix::multiply(std::span<const Complex> x) const {
+  if (x.size() != cols_) throw std::invalid_argument("CMatrix::multiply: size mismatch");
+  CVector y(rows_, Complex{0.0, 0.0});
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const Complex* a = row(r);
+    Complex sum{0.0, 0.0};
+    for (std::size_t c = 0; c < cols_; ++c) sum += a[c] * x[c];
+    y[r] = sum;
+  }
+  return y;
+}
+
+CVector solve_complex(const CMatrix& a, std::span<const Complex> b) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("solve_complex: matrix must be square");
+  }
+  if (b.size() != a.rows()) throw std::invalid_argument("solve_complex: size mismatch");
+  const std::size_t n = a.rows();
+  CMatrix lu = a;
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot_row = k;
+    double pivot_mag = std::abs(lu(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::abs(lu(r, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_mag < 1e-30) {
+      throw SingularMatrixError("solve_complex: pivot " + std::to_string(k) +
+                                " below tolerance");
+    }
+    if (pivot_row != k) {
+      std::swap(perm[k], perm[pivot_row]);
+      Complex* rk = lu.row(k);
+      Complex* rp = lu.row(pivot_row);
+      for (std::size_t c = 0; c < n; ++c) std::swap(rk[c], rp[c]);
+    }
+    const Complex inv_pivot = 1.0 / lu(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const Complex factor = lu(r, k) * inv_pivot;
+      lu(r, k) = factor;
+      if (factor == Complex{0.0, 0.0}) continue;
+      Complex* rr = lu.row(r);
+      const Complex* rk = lu.row(k);
+      for (std::size_t c = k + 1; c < n; ++c) rr[c] -= factor * rk[c];
+    }
+  }
+
+  CVector y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = b[perm[i]];
+  for (std::size_t r = 1; r < n; ++r) {
+    const Complex* row = lu.row(r);
+    Complex sum = y[r];
+    for (std::size_t c = 0; c < r; ++c) sum -= row[c] * y[c];
+    y[r] = sum;
+  }
+  for (std::size_t ri = n; ri-- > 0;) {
+    const Complex* row = lu.row(ri);
+    Complex sum = y[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) sum -= row[c] * y[c];
+    y[ri] = sum / row[ri];
+  }
+  return y;
+}
+
+}  // namespace ironic::linalg

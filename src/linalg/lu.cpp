@@ -1,0 +1,98 @@
+#include "src/linalg/lu.hpp"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace ironic::linalg {
+
+LuFactorization::LuFactorization(const Matrix& a, double pivot_tol) : lu_(a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("LuFactorization: matrix must be square");
+  }
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest |entry| in column k at/below row k.
+    std::size_t pivot_row = k;
+    double pivot_mag = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::abs(lu_(r, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_mag < pivot_tol) {
+      throw SingularMatrixError("LU pivot " + std::to_string(k) + " below tolerance (" +
+                                std::to_string(pivot_mag) + ") — floating node or " +
+                                "inconsistent circuit?");
+    }
+    if (pivot_row != k) {
+      std::swap(perm_[k], perm_[pivot_row]);
+      double* rk = lu_.row(k);
+      double* rp = lu_.row(pivot_row);
+      for (std::size_t c = 0; c < n; ++c) std::swap(rk[c], rp[c]);
+    }
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_(r, k) * inv_pivot;
+      lu_(r, k) = factor;
+      if (factor == 0.0) continue;
+      double* rr = lu_.row(r);
+      const double* rk = lu_.row(k);
+      for (std::size_t c = k + 1; c < n; ++c) rr[c] -= factor * rk[c];
+    }
+  }
+}
+
+Vector LuFactorization::solve(std::span<const double> b) const {
+  Vector x(b.begin(), b.end());
+  solve_in_place(x);
+  return x;
+}
+
+void LuFactorization::solve_in_place(std::span<double> b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) throw std::invalid_argument("LuFactorization::solve: size mismatch");
+
+  // Apply permutation: y = P b.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = b[perm_[i]];
+
+  // Forward substitution (L has implicit unit diagonal).
+  for (std::size_t r = 1; r < n; ++r) {
+    const double* row = lu_.row(r);
+    double sum = y[r];
+    for (std::size_t c = 0; c < r; ++c) sum -= row[c] * y[c];
+    y[r] = sum;
+  }
+  // Back substitution.
+  for (std::size_t ri = n; ri-- > 0;) {
+    const double* row = lu_.row(ri);
+    double sum = y[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) sum -= row[c] * y[c];
+    y[ri] = sum / row[ri];
+  }
+  for (std::size_t i = 0; i < n; ++i) b[i] = y[i];
+}
+
+double LuFactorization::diagonal_ratio() const {
+  const std::size_t n = lu_.rows();
+  double max_d = 0.0;
+  double min_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = std::abs(lu_(i, i));
+    max_d = std::max(max_d, d);
+    min_d = std::min(min_d, d);
+  }
+  return (min_d == 0.0) ? std::numeric_limits<double>::infinity() : max_d / min_d;
+}
+
+Vector solve(const Matrix& a, std::span<const double> b) {
+  return LuFactorization(a).solve(b);
+}
+
+}  // namespace ironic::linalg

@@ -1,0 +1,91 @@
+#include "src/linalg/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ironic::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+void Matrix::fill(double value) {
+  for (auto& x : data_) x = value;
+}
+
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
+Vector Matrix::multiply(std::span<const double> x) const {
+  if (x.size() != cols_) throw std::invalid_argument("Matrix::multiply: size mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* a = row(r);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) sum += a[c] * x[c];
+    y[r] = sum;
+  }
+  return y;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  if (cols_ != other.rows_) throw std::invalid_argument("Matrix::multiply: shape mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      const double* b = other.row(k);
+      double* o = out.row(r);
+      for (std::size_t c = 0; c < other.cols_; ++c) o[c] += a * b[c];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+double Matrix::max_abs() const {
+  double best = 0.0;
+  for (double x : data_) best = std::max(best, std::abs(x));
+  return best;
+}
+
+void axpy(double a, std::span<const double> x, std::span<double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+double norm2(std::span<const double> x) {
+  double sum = 0.0;
+  for (double v : x) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double norm_inf(std::span<const double> x) {
+  double best = 0.0;
+  for (double v : x) best = std::max(best, std::abs(v));
+  return best;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace ironic::linalg

@@ -1,0 +1,128 @@
+#include "src/magnetics/coil.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/magnetics/coupling.hpp"
+#include "src/util/constants.hpp"
+
+namespace ironic::magnetics {
+
+using constants::kEps0;
+using constants::kMu0;
+using constants::kPi;
+using constants::kTwoPi;
+
+Coil::Coil(CoilSpec spec) : spec_(spec) {
+  if (spec_.turns_per_layer < 1 || spec_.layers < 1) {
+    throw std::invalid_argument("Coil: need at least one turn and one layer");
+  }
+  if (spec_.trace_width <= 0.0 || spec_.trace_thickness <= 0.0) {
+    throw std::invalid_argument("Coil: trace dimensions must be > 0");
+  }
+  equivalent_radius_ = std::sqrt(spec_.outer_width * spec_.outer_height / kPi);
+
+  // Build the filament list: turns shrink inward per layer; layers stack
+  // along z starting at the coil face.
+  const double pitch = spec_.trace_width + spec_.turn_spacing;
+  for (int layer = 0; layer < spec_.layers; ++layer) {
+    const double z = layer * spec_.layer_pitch;
+    for (int turn = 0; turn < spec_.turns_per_layer; ++turn) {
+      const double radius =
+          equivalent_radius_ - spec_.trace_width / 2.0 - turn * pitch;
+      if (radius <= spec_.trace_width) {
+        throw std::invalid_argument("Coil: turns do not fit inside the outline");
+      }
+      filaments_.push_back({radius, z});
+    }
+  }
+
+  // Self-inductance: Greenhouse decomposition. Loop self term uses the
+  // geometric-mean-distance wire radius for a rectangular cross-section.
+  const double gmd_radius = 0.2235 * (spec_.trace_width + spec_.trace_thickness);
+  double total = 0.0;
+  for (std::size_t i = 0; i < filaments_.size(); ++i) {
+    const double r = filaments_[i].radius;
+    total += kMu0 * r * (std::log(8.0 * r / gmd_radius) - 1.75);
+    for (std::size_t j = i + 1; j < filaments_.size(); ++j) {
+      const double dz = std::abs(filaments_[i].z - filaments_[j].z);
+      total += 2.0 * mutual_coaxial_filaments(filaments_[i].radius,
+                                              filaments_[j].radius, dz);
+    }
+  }
+  inductance_ = total;
+
+  for (const auto& f : filaments_) wire_length_ += kTwoPi * f.radius;
+  dc_resistance_ =
+      spec_.resistivity * wire_length_ / (spec_.trace_width * spec_.trace_thickness);
+
+  // Parasitic capacitance: overlapping-plate estimate between adjacent
+  // layers (in series through the stack); adjacent-turn fringing for a
+  // single-layer coil.
+  const double overlap_area = spec_.turns_per_layer *
+                              (kTwoPi * equivalent_radius_ * 0.8) * spec_.trace_width;
+  if (spec_.layers >= 2) {
+    const double gap = std::max(spec_.layer_pitch - spec_.trace_thickness, 1e-6);
+    const double c_pair = kEps0 * spec_.rel_permittivity * overlap_area / gap;
+    parasitic_capacitance_ = c_pair / static_cast<double>(spec_.layers - 1);
+  } else {
+    const double side_area = wire_length_ * spec_.trace_thickness;
+    parasitic_capacitance_ =
+        kEps0 * spec_.rel_permittivity * side_area / std::max(spec_.turn_spacing, 1e-6);
+  }
+}
+
+double Coil::ac_resistance(double frequency) const {
+  if (frequency <= 0.0) return dc_resistance_;
+  const double omega = kTwoPi * frequency;
+  const double skin_depth = std::sqrt(2.0 * spec_.resistivity / (omega * kMu0));
+  const double t = spec_.trace_thickness;
+  // 1-D skin-effect crowding factor across the trace thickness.
+  const double t_eff = skin_depth * (1.0 - std::exp(-t / skin_depth));
+  return dc_resistance_ * t / t_eff;
+}
+
+double Coil::self_resonance_frequency() const {
+  return 1.0 / (kTwoPi * std::sqrt(inductance_ * parasitic_capacitance_));
+}
+
+double Coil::quality_factor(double frequency) const {
+  const double omega = kTwoPi * frequency;
+  return omega * inductance_ / ac_resistance(frequency);
+}
+
+CoilSpec implant_coil_spec() {
+  // Paper Sec. III-B / ref [28]: 8 layers, 14 turns total, 38 x 2 x
+  // 0.544 mm^3 on flexible substrate. Two turns per layer across seven
+  // active layers keeps the published turn count within the 2 mm outline.
+  CoilSpec spec;
+  spec.outer_width = 38e-3;
+  spec.outer_height = 2e-3;
+  spec.turns_per_layer = 2;
+  spec.layers = 7;
+  spec.trace_width = 120e-6;
+  spec.trace_thickness = 35e-6;
+  spec.turn_spacing = 120e-6;
+  spec.layer_pitch = 0.544e-3 / 8.0;
+  return spec;
+}
+
+CoilSpec patch_coil_spec() {
+  // Transmitting spiral on the 6 cm flexible patch (Fig. 5). The coil
+  // itself is considerably smaller than the patch: the paper's measured
+  // power decay (15 mW at 6 mm falling to ~1.2 mW at 17 mm) pins the
+  // transmit-field extent to a ~12 mm equivalent radius — a 22 mm
+  // spiral, with the rest of the patch carrying the electronics.
+  CoilSpec spec;
+  spec.outer_width = 22e-3;
+  spec.outer_height = 22e-3;
+  spec.turns_per_layer = 6;
+  spec.layers = 1;
+  spec.trace_width = 500e-6;
+  spec.trace_thickness = 35e-6;
+  spec.turn_spacing = 300e-6;
+  spec.layer_pitch = 0.0;
+  return spec;
+}
+
+}  // namespace ironic::magnetics

@@ -1,0 +1,60 @@
+#include "src/magnetics/coil_design.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ironic::magnetics {
+
+std::vector<CoilCandidate> enumerate_coil_designs(
+    const CoilSpec& base, const CoilDesignGoal& goal,
+    const std::vector<int>& layer_options, const std::vector<int>& turn_options,
+    const std::vector<double>& trace_width_options) {
+  if (layer_options.empty() || turn_options.empty() || trace_width_options.empty()) {
+    throw std::invalid_argument("enumerate_coil_designs: empty option lists");
+  }
+  std::vector<CoilCandidate> out;
+  for (int layers : layer_options) {
+    for (int turns : turn_options) {
+      for (double width : trace_width_options) {
+        CoilSpec spec = base;
+        spec.layers = layers;
+        spec.turns_per_layer = turns;
+        spec.trace_width = width;
+        spec.turn_spacing = width;  // keep pitch proportional to the trace
+        CoilCandidate candidate;
+        candidate.spec = spec;
+        try {
+          const Coil coil{spec};
+          candidate.inductance = coil.inductance();
+          candidate.q = coil.quality_factor(goal.frequency);
+          candidate.srf = coil.self_resonance_frequency();
+        } catch (const std::invalid_argument&) {
+          continue;  // does not fit the outline
+        }
+        const double lo = goal.target_inductance * (1.0 - goal.tolerance);
+        const double hi = goal.target_inductance * (1.0 + goal.tolerance);
+        candidate.meets_target = candidate.inductance >= lo &&
+                                 candidate.inductance <= hi &&
+                                 candidate.srf >= goal.min_srf_ratio * goal.frequency;
+        out.push_back(candidate);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CoilCandidate& a, const CoilCandidate& b) { return a.q > b.q; });
+  return out;
+}
+
+CoilCandidate design_coil(const CoilSpec& base, const CoilDesignGoal& goal,
+                          const std::vector<int>& layer_options,
+                          const std::vector<int>& turn_options,
+                          const std::vector<double>& trace_width_options) {
+  const auto candidates = enumerate_coil_designs(base, goal, layer_options,
+                                                 turn_options, trace_width_options);
+  for (const auto& candidate : candidates) {
+    if (candidate.meets_target) return candidate;  // highest-Q qualifier
+  }
+  throw std::runtime_error("design_coil: no candidate meets the target band");
+}
+
+}  // namespace ironic::magnetics

@@ -1,0 +1,44 @@
+// Coil design-space search — the engineering loop of the paper's
+// companion study (ref [28], "A Study of Multi-Layer Spiral Inductors
+// for Remote Powering of Implantable Sensors"): within a fixed implant
+// outline, choose layers / turns / trace width to hit an inductance
+// target and maximize Q at the carrier.
+#pragma once
+
+#include <vector>
+
+#include "src/magnetics/coil.hpp"
+
+namespace ironic::magnetics {
+
+struct CoilDesignGoal {
+  double target_inductance = 2e-6;  // [H]
+  double tolerance = 0.25;          // relative band around the target
+  double frequency = 5e6;           // Q evaluated here
+  double min_srf_ratio = 4.0;       // SRF must exceed ratio * frequency
+};
+
+struct CoilCandidate {
+  CoilSpec spec;
+  double inductance = 0.0;
+  double q = 0.0;
+  double srf = 0.0;
+  bool meets_target = false;
+};
+
+// Enumerate the grid {layers} x {turns per layer} x {trace widths} within
+// the outline of `base` (other fields copied from it); returns all
+// candidates that fit geometrically, sorted by Q descending.
+std::vector<CoilCandidate> enumerate_coil_designs(
+    const CoilSpec& base, const CoilDesignGoal& goal,
+    const std::vector<int>& layer_options, const std::vector<int>& turn_options,
+    const std::vector<double>& trace_width_options);
+
+// Best candidate meeting the inductance band and SRF constraint; throws
+// std::runtime_error if none qualifies.
+CoilCandidate design_coil(const CoilSpec& base, const CoilDesignGoal& goal,
+                          const std::vector<int>& layer_options,
+                          const std::vector<int>& turn_options,
+                          const std::vector<double>& trace_width_options);
+
+}  // namespace ironic::magnetics

@@ -1,0 +1,81 @@
+#include "src/magnetics/coupling.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/magnetics/elliptic.hpp"
+#include "src/util/constants.hpp"
+
+namespace ironic::magnetics {
+
+using constants::kMu0;
+using constants::kTwoPi;
+
+double mutual_coaxial_filaments(double a, double b, double d) {
+  if (a <= 0.0 || b <= 0.0) {
+    throw std::invalid_argument("mutual_coaxial_filaments: radii must be > 0");
+  }
+  const double denom = (a + b) * (a + b) + d * d;
+  const double kappa = std::sqrt(4.0 * a * b / denom);
+  if (kappa >= 1.0) {
+    throw std::invalid_argument("mutual_coaxial_filaments: degenerate geometry");
+  }
+  const double kk = elliptic_k(kappa);
+  const double ee = elliptic_e(kappa);
+  return kMu0 * std::sqrt(a * b) *
+         ((2.0 / kappa - kappa) * kk - (2.0 / kappa) * ee);
+}
+
+double mutual_filaments(double a, double b, double d, double rho,
+                        int quadrature_points) {
+  if (std::abs(rho) < 1e-12) return mutual_coaxial_filaments(a, b, d);
+  if (quadrature_points < 8) {
+    throw std::invalid_argument("mutual_filaments: too few quadrature points");
+  }
+  // Neumann formula over the two loop angles; both integrands are
+  // periodic, so the trapezoid rule converges spectrally.
+  const int n = quadrature_points;
+  const double h = kTwoPi / n;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double t = i * h;
+    const double x1 = a * std::cos(t);
+    const double y1 = a * std::sin(t);
+    for (int j = 0; j < n; ++j) {
+      const double s = j * h;
+      const double x2 = rho + b * std::cos(s);
+      const double y2 = b * std::sin(s);
+      const double dx = x2 - x1;
+      const double dy = y2 - y1;
+      const double r = std::sqrt(dx * dx + dy * dy + d * d);
+      sum += std::cos(t - s) / r;
+    }
+  }
+  return kMu0 / (4.0 * constants::kPi) * a * b * sum * h * h;
+}
+
+double mutual_inductance(const Coil& tx, const Coil& rx, double distance,
+                         double lateral_offset) {
+  if (distance <= 0.0) {
+    throw std::invalid_argument("mutual_inductance: distance must be > 0");
+  }
+  double total = 0.0;
+  for (const auto& f1 : tx.filaments()) {
+    for (const auto& f2 : rx.filaments()) {
+      const double d = distance + f1.z + f2.z;
+      // Coaxial path is exact and fast; the offset path integrates Neumann.
+      total += std::abs(lateral_offset) < 1e-12
+                   ? mutual_coaxial_filaments(f1.radius, f2.radius, d)
+                   : mutual_filaments(f1.radius, f2.radius, d, lateral_offset, 64);
+    }
+  }
+  return total;
+}
+
+double coupling_coefficient(const Coil& tx, const Coil& rx, double distance,
+                            double lateral_offset) {
+  const double m = mutual_inductance(tx, rx, distance, lateral_offset);
+  return m / std::sqrt(tx.inductance() * rx.inductance());
+}
+
+}  // namespace ironic::magnetics

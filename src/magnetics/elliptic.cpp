@@ -1,0 +1,44 @@
+#include "src/magnetics/elliptic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/constants.hpp"
+
+namespace ironic::magnetics {
+
+// Arithmetic-geometric-mean evaluation: quadratic convergence, full
+// double precision in < 10 iterations.
+double elliptic_k(double k) {
+  if (k < 0.0 || k >= 1.0) throw std::invalid_argument("elliptic_k: need 0 <= k < 1");
+  double a = 1.0;
+  double b = std::sqrt(1.0 - k * k);
+  for (int i = 0; i < 40 && std::abs(a - b) > 1e-16 * a; ++i) {
+    const double an = 0.5 * (a + b);
+    b = std::sqrt(a * b);
+    a = an;
+  }
+  return constants::kPi / (2.0 * a);
+}
+
+double elliptic_e(double k) {
+  if (k < 0.0 || k > 1.0) throw std::invalid_argument("elliptic_e: need 0 <= k <= 1");
+  if (k == 1.0) return 1.0;
+  // AGM with the sum of squared differences (Abramowitz & Stegun 17.6).
+  double a = 1.0;
+  double b = std::sqrt(1.0 - k * k);
+  double c = k;
+  double sum = c * c / 2.0;
+  double pow2 = 1.0;
+  for (int i = 0; i < 40 && std::abs(c) > 1e-17; ++i) {
+    const double an = 0.5 * (a + b);
+    c = 0.5 * (a - b);
+    b = std::sqrt(a * b);
+    a = an;
+    pow2 *= 2.0;
+    sum += pow2 * c * c / 2.0;
+  }
+  return elliptic_k(k) * (1.0 - sum);
+}
+
+}  // namespace ironic::magnetics

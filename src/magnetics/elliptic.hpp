@@ -1,0 +1,15 @@
+// Complete elliptic integrals, used by the coaxial-filament mutual
+// inductance formula (Maxwell).
+#pragma once
+
+namespace ironic::magnetics {
+
+// Complete elliptic integral of the first kind K(k), parameterized by the
+// modulus k (not m = k^2). Valid for 0 <= k < 1.
+double elliptic_k(double k);
+
+// Complete elliptic integral of the second kind E(k), modulus convention.
+// Valid for 0 <= k <= 1.
+double elliptic_e(double k);
+
+}  // namespace ironic::magnetics

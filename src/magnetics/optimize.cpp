@@ -1,0 +1,44 @@
+#include "src/magnetics/optimize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ironic::magnetics {
+
+FrequencyChoice optimal_carrier_frequency(const LinkConfig& config, double f_min,
+                                          double f_max, int points,
+                                          double srf_fraction) {
+  if (f_min <= 0.0 || f_max <= f_min || points < 2 || srf_fraction <= 0.0) {
+    throw std::invalid_argument("optimal_carrier_frequency: bad arguments");
+  }
+  FrequencyChoice best;
+  const double log_min = std::log10(f_min);
+  const double log_max = std::log10(f_max);
+  for (int i = 0; i < points; ++i) {
+    const double f = std::pow(10.0, log_min + (log_max - log_min) * i / (points - 1));
+    LinkConfig cfg = config;
+    cfg.frequency = f;
+    if (cfg.tissue.has_value()) {
+      // Rebuild the slab so its loss is evaluated at this frequency.
+      cfg.tissue = TissueSlab(cfg.tissue->properties(), cfg.tissue->thickness());
+    }
+    InductiveLink link{cfg};
+    const double srf =
+        std::min(link.tx_coil().self_resonance_frequency(),
+                 link.rx_coil().self_resonance_frequency());
+    if (f > srf_fraction * srf) continue;  // too close to self-resonance
+    const auto analysis = link.analyze(1.0, link.optimal_load_resistance());
+    if (analysis.efficiency > best.efficiency) {
+      best.frequency = f;
+      best.efficiency = analysis.efficiency;
+      best.srf_margin = srf / f;
+    }
+  }
+  if (best.frequency == 0.0) {
+    throw std::runtime_error(
+        "optimal_carrier_frequency: no feasible frequency in the band");
+  }
+  return best;
+}
+
+}  // namespace ironic::magnetics

@@ -1,0 +1,23 @@
+// Carrier-frequency selection: the paper runs at 5 MHz; this utility
+// shows where that sits — link efficiency rises with frequency (higher
+// coil Q) until tissue loss and the coils' self-resonance take over.
+#pragma once
+
+#include "src/magnetics/link.hpp"
+
+namespace ironic::magnetics {
+
+struct FrequencyChoice {
+  double frequency = 0.0;      // best carrier in the searched band [Hz]
+  double efficiency = 0.0;     // link efficiency at the optimum
+  double srf_margin = 0.0;     // min(SRF_tx, SRF_rx) / frequency
+};
+
+// Sweep [f_min, f_max] (log grid, `points` samples) and return the
+// carrier maximizing link efficiency into the frequency-local optimal
+// load, subject to staying below `srf_fraction` of both coils' SRF.
+FrequencyChoice optimal_carrier_frequency(const LinkConfig& config, double f_min,
+                                          double f_max, int points = 60,
+                                          double srf_fraction = 0.5);
+
+}  // namespace ironic::magnetics

@@ -1,0 +1,52 @@
+#include "src/magnetics/tissue.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/constants.hpp"
+
+namespace ironic::magnetics {
+
+using constants::kMu0;
+using constants::kTwoPi;
+
+double tissue_skin_depth(const TissueProperties& props, double frequency) {
+  if (frequency <= 0.0) throw std::invalid_argument("tissue_skin_depth: f must be > 0");
+  const double omega = kTwoPi * frequency;
+  return std::sqrt(2.0 / (omega * kMu0 * props.conductivity));
+}
+
+TissueSlab::TissueSlab(TissueProperties props, double thickness)
+    : props_(props), thickness_(thickness) {
+  if (thickness_ < 0.0) throw std::invalid_argument("TissueSlab: thickness must be >= 0");
+}
+
+double TissueSlab::field_attenuation(double frequency) const {
+  const double delta = tissue_skin_depth(props_, frequency);
+  return std::exp(-thickness_ / delta);
+}
+
+double TissueSlab::power_attenuation(double frequency) const {
+  const double f = field_attenuation(frequency);
+  return f * f;
+}
+
+double TissueSlab::reflected_resistance(double frequency, double coil_radius) const {
+  // Quasi-static estimate: the coil's dipole field induces eddy currents
+  // in a conductive half-space; the equivalent series resistance scales
+  // as sigma * omega^2 * mu0^2 * r^3 (dimensional analysis of the induced
+  // EMF loop), truncated by the finite slab thickness.
+  const double omega = kTwoPi * frequency;
+  const double half_space =
+      props_.conductivity * omega * omega * kMu0 * kMu0 * std::pow(coil_radius, 3) / 32.0;
+  const double delta = tissue_skin_depth(props_, frequency);
+  const double fill = 1.0 - std::exp(-thickness_ / delta);
+  return half_space * fill;
+}
+
+TissueProperties sirloin_properties() {
+  // Lean bovine muscle at ~5 MHz (Gabriel dispersion data, rounded).
+  return TissueProperties{0.59, 250.0};
+}
+
+}  // namespace ironic::magnetics

@@ -1,0 +1,47 @@
+// Biological-tissue channel model.
+//
+// The paper measures the link through a 17 mm beef-sirloin slab and finds
+// the received power nearly identical to air at the same distance: at
+// 5 MHz the conductive loss of muscle tissue is small because the skin
+// depth (~0.3 m) vastly exceeds the implantation depth. This model
+// reproduces that behaviour from the tissue's electrical properties
+// instead of hard-coding it: eddy-current (induced-field) attenuation
+// through the slab plus a small dielectric-loading detune factor.
+#pragma once
+
+namespace ironic::magnetics {
+
+struct TissueProperties {
+  double conductivity = 0.59;       // sigma [S/m] (muscle near 5 MHz)
+  double rel_permittivity = 250.0;  // epsilon_r (muscle near 5 MHz)
+};
+
+// Electromagnetic skin depth in the tissue at frequency f [m].
+double tissue_skin_depth(const TissueProperties& props, double frequency);
+
+class TissueSlab {
+ public:
+  TissueSlab(TissueProperties props, double thickness);
+
+  const TissueProperties& properties() const { return props_; }
+  double thickness() const { return thickness_; }
+
+  // Power attenuation factor (<= 1) for a link whose flux crosses the
+  // slab at frequency f: exp(-2 t / delta).
+  double power_attenuation(double frequency) const;
+  // Field (amplitude) attenuation factor exp(-t / delta).
+  double field_attenuation(double frequency) const;
+  // Eddy-loss resistance reflected into the transmit coil for a coil of
+  // the given equivalent radius: a small series resistance proportional
+  // to sigma * omega^2 (quasi-static loop-in-conductor estimate). [Ohm]
+  double reflected_resistance(double frequency, double coil_radius) const;
+
+ private:
+  TissueProperties props_;
+  double thickness_;
+};
+
+// Properties of beef sirloin used as muscle stand-in (paper Sec. III-B).
+TissueProperties sirloin_properties();
+
+}  // namespace ironic::magnetics

@@ -1,0 +1,62 @@
+#include "src/patch/battery.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ironic::patch {
+
+LiIonBattery::LiIonBattery(BatterySpec spec) : spec_(spec) {
+  if (spec_.capacity_mah <= 0.0 || spec_.nominal_voltage <= 0.0 ||
+      spec_.flat_region_end <= 0.0 || spec_.flat_region_end >= 1.0) {
+    throw std::invalid_argument("LiIonBattery: invalid spec");
+  }
+}
+
+double LiIonBattery::voltage() const {
+  const double dod = depth_of_discharge();
+  if (dod <= spec_.flat_region_end) {
+    // Nearly constant voltage region: linear full -> knee.
+    const double t = dod / spec_.flat_region_end;
+    return spec_.full_voltage + (spec_.knee_voltage - spec_.full_voltage) * t;
+  }
+  // Droop region: knee -> cutoff as the cell empties.
+  const double t = (dod - spec_.flat_region_end) / (1.0 - spec_.flat_region_end);
+  return spec_.knee_voltage + (spec_.cutoff_voltage - spec_.knee_voltage) * t;
+}
+
+bool LiIonBattery::depleted() const { return soc_ <= 1e-9; }
+
+double LiIonBattery::draw(double current, double dt) {
+  if (current < 0.0 || dt < 0.0) {
+    throw std::invalid_argument("LiIonBattery::draw: current and dt must be >= 0");
+  }
+  const double capacity = effective_capacity_coulombs();
+  const double requested = current * dt;
+  const double available = soc_ * capacity;
+  const double delivered = std::min(requested, available);
+  soc_ = std::max(0.0, soc_ - delivered / capacity);
+  // Throughput-based cycle counting: one equivalent full cycle per
+  // nameplate capacity of charge moved.
+  cycles_ += delivered / spec_.capacity_coulombs();
+  return delivered;
+}
+
+void LiIonBattery::recharge() { soc_ = 1.0; }
+
+double LiIonBattery::time_to_empty(double current) const {
+  if (current <= 0.0) {
+    throw std::invalid_argument("LiIonBattery::time_to_empty: current must be > 0");
+  }
+  return soc_ * effective_capacity_coulombs() / current;
+}
+
+double LiIonBattery::effective_capacity_coulombs() const {
+  return spec_.capacity_coulombs() * health();
+}
+
+double LiIonBattery::health() const {
+  return std::max(0.05, 1.0 - spec_.fade_per_cycle * cycles_);
+}
+
+}  // namespace ironic::patch

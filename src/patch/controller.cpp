@@ -1,0 +1,97 @@
+#include "src/patch/controller.hpp"
+
+#include <stdexcept>
+
+namespace ironic::patch {
+
+const char* to_string(PatchState state) {
+  switch (state) {
+    case PatchState::kIdle: return "idle";
+    case PatchState::kConnected: return "connected";
+    case PatchState::kPowering: return "powering";
+    case PatchState::kDownlink: return "downlink";
+    case PatchState::kUplink: return "uplink";
+  }
+  return "?";
+}
+
+PatchController::PatchController(PatchPowerSpec power, BatterySpec battery)
+    : power_(power), battery_(battery) {
+  push_log();
+}
+
+bool PatchController::can_handle(PatchEvent event) const {
+  if (shut_down()) return false;
+  switch (event) {
+    case PatchEvent::kBtConnect:
+      return !bt_connected_;
+    case PatchEvent::kBtDisconnect:
+      return bt_connected_;
+    case PatchEvent::kStartPowering:
+      return state_ == PatchState::kIdle || state_ == PatchState::kConnected;
+    case PatchEvent::kStopPowering:
+      return state_ == PatchState::kPowering;
+    case PatchEvent::kSendDownlink:
+    case PatchEvent::kReceiveUplink:
+      return state_ == PatchState::kPowering;
+    case PatchEvent::kBurstDone:
+      return state_ == PatchState::kDownlink || state_ == PatchState::kUplink;
+  }
+  return false;
+}
+
+void PatchController::handle(PatchEvent event) {
+  if (!can_handle(event)) {
+    throw std::logic_error(std::string("PatchController: illegal event in state ") +
+                           to_string(state_));
+  }
+  switch (event) {
+    case PatchEvent::kBtConnect:
+      bt_connected_ = true;
+      if (state_ == PatchState::kIdle) state_ = PatchState::kConnected;
+      break;
+    case PatchEvent::kBtDisconnect:
+      bt_connected_ = false;
+      if (state_ == PatchState::kConnected) state_ = PatchState::kIdle;
+      break;
+    case PatchEvent::kStartPowering:
+      state_ = PatchState::kPowering;
+      break;
+    case PatchEvent::kStopPowering:
+      state_ = bt_connected_ ? PatchState::kConnected : PatchState::kIdle;
+      break;
+    case PatchEvent::kSendDownlink:
+      state_ = PatchState::kDownlink;
+      break;
+    case PatchEvent::kReceiveUplink:
+      state_ = PatchState::kUplink;
+      break;
+    case PatchEvent::kBurstDone:
+      state_ = PatchState::kPowering;
+      break;
+  }
+  push_log();
+}
+
+void PatchController::advance(double dt) {
+  if (dt < 0.0) throw std::invalid_argument("PatchController::advance: dt must be >= 0");
+  battery_.draw(state_current(power_, state_), dt);
+  time_ += dt;
+  if (shut_down() && state_ != PatchState::kIdle) {
+    state_ = PatchState::kIdle;
+    bt_connected_ = false;
+  }
+  push_log();
+}
+
+bool PatchController::shut_down() const { return battery_.depleted(); }
+
+double PatchController::remaining_runtime() const {
+  return battery_.time_to_empty(state_current(power_, state_));
+}
+
+void PatchController::push_log() {
+  log_.push_back({time_, state_, battery_.state_of_charge()});
+}
+
+}  // namespace ironic::patch

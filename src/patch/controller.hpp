@@ -1,0 +1,67 @@
+// Patch controller: the microcontroller firmware state machine that runs
+// the remote-powering sessions (paper Sec. III-A: the whole system —
+// amplifier, modulator, demodulator — is driven over bluetooth from a
+// laptop or smartphone).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/patch/battery.hpp"
+#include "src/patch/power_model.hpp"
+
+namespace ironic::patch {
+
+enum class PatchEvent {
+  kBtConnect,
+  kBtDisconnect,
+  kStartPowering,
+  kStopPowering,
+  kSendDownlink,   // transmit a command frame (ASK)
+  kReceiveUplink,  // read back sensor data (LSK)
+  kBurstDone,      // downlink/uplink burst finished
+};
+
+struct LogEntry {
+  double time = 0.0;
+  PatchState state = PatchState::kIdle;
+  double battery_soc = 1.0;
+};
+
+// Deterministic FSM with battery bookkeeping. Invalid transitions throw;
+// time advances explicitly through `advance`.
+class PatchController {
+ public:
+  PatchController(PatchPowerSpec power = {}, BatterySpec battery = {});
+
+  PatchState state() const { return state_; }
+  double time() const { return time_; }
+  const LiIonBattery& battery() const { return battery_; }
+  const std::vector<LogEntry>& log() const { return log_; }
+
+  // Whether `event` is legal in the current state.
+  bool can_handle(PatchEvent event) const;
+  // Apply an event (throws std::logic_error when illegal).
+  void handle(PatchEvent event);
+  // Spend `dt` seconds in the current state, draining the battery.
+  void advance(double dt);
+  // True once the battery is empty; all powering stops.
+  bool shut_down() const;
+
+  // Seconds of runtime left at the present state's current draw.
+  double remaining_runtime() const;
+
+ private:
+  void push_log();
+
+  PatchPowerSpec power_;
+  LiIonBattery battery_;
+  PatchState state_ = PatchState::kIdle;
+  bool bt_connected_ = false;
+  double time_ = 0.0;
+  std::vector<LogEntry> log_;
+};
+
+const char* to_string(PatchState state);
+
+}  // namespace ironic::patch

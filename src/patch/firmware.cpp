@@ -1,0 +1,91 @@
+#include "src/patch/firmware.hpp"
+
+#include <stdexcept>
+
+namespace ironic::patch {
+
+namespace {
+
+// Durations for the command phases (seconds).
+constexpr double kChargeUp = 1.0;     // implant charge + settle (Fig. 11: << 1 ms;
+                                      // margin for alignment in practice)
+constexpr double kMeasureTime = 0.2;  // high-power measurement window
+constexpr double kFrameDownlink = 64.0 / 100e3;
+constexpr double kFrameUplink = 128.0 / 66.6e3;
+
+}  // namespace
+
+PatchFirmware::PatchFirmware(PatchController& controller, MeasureCallback measure)
+    : controller_(controller), measure_(std::move(measure)) {
+  if (!measure_) throw std::invalid_argument("PatchFirmware: null measure callback");
+}
+
+comms::Response PatchFirmware::handle(const comms::Request& request) {
+  comms::Response response;
+  response.sequence = request.sequence;
+  if (controller_.shut_down()) {
+    response.ok = false;
+    return response;
+  }
+  switch (request.command) {
+    case comms::Command::kPing:
+      response.ok = true;
+      return response;
+    case comms::Command::kMeasure:
+      return measure_command();
+    case comms::Command::kReadStatus:
+      return status_command();
+    case comms::Command::kSetMode:
+      // Mode changes ride a normal downlink frame.
+      if (request.payload.size() != 1 || request.payload[0] > 2) {
+        response.ok = false;
+        return response;
+      }
+      response.ok = true;
+      return response;
+  }
+  response.ok = false;
+  return response;
+}
+
+comms::Response PatchFirmware::measure_command() {
+  comms::Response response;
+  // Power the implant, command it, wait out the measurement, read back.
+  const bool was_powering = controller_.state() == PatchState::kPowering;
+  if (!was_powering) {
+    if (!controller_.can_handle(PatchEvent::kStartPowering)) {
+      response.ok = false;
+      return response;
+    }
+    controller_.handle(PatchEvent::kStartPowering);
+    controller_.advance(kChargeUp);
+    busy_time_ += kChargeUp;
+  }
+  controller_.handle(PatchEvent::kSendDownlink);
+  controller_.advance(kFrameDownlink);
+  controller_.handle(PatchEvent::kBurstDone);
+  controller_.advance(kMeasureTime);
+  const std::uint32_t code = measure_();
+  controller_.handle(PatchEvent::kReceiveUplink);
+  controller_.advance(kFrameUplink);
+  controller_.handle(PatchEvent::kBurstDone);
+  busy_time_ += kFrameDownlink + kMeasureTime + kFrameUplink;
+  if (!was_powering) {
+    controller_.handle(PatchEvent::kStopPowering);
+  }
+  response.ok = true;
+  response.payload = {static_cast<std::uint8_t>((code >> 8) & 0x3F),
+                      static_cast<std::uint8_t>(code & 0xFF)};
+  return response;
+}
+
+comms::Response PatchFirmware::status_command() const {
+  comms::Response response;
+  response.ok = true;
+  const auto soc_pct =
+      static_cast<std::uint8_t>(controller_.battery().state_of_charge() * 100.0);
+  response.payload = {soc_pct, static_cast<std::uint8_t>(controller_.state())};
+  return response;
+}
+
+}  // namespace ironic::patch

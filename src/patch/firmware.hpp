@@ -1,0 +1,38 @@
+// Patch firmware: binds the transaction protocol to the controller FSM
+// and the implant's measurement chain — the code path behind the paper's
+// "the whole system ... can be driven by a remote device, such as a
+// laptop or a smartphone".
+#pragma once
+
+#include <functional>
+
+#include "src/comms/protocol.hpp"
+#include "src/patch/controller.hpp"
+
+namespace ironic::patch {
+
+// What the implant does when asked to measure: returns the 14-bit code.
+using MeasureCallback = std::function<std::uint32_t()>;
+
+class PatchFirmware {
+ public:
+  PatchFirmware(PatchController& controller, MeasureCallback measure);
+
+  // Serve one command arriving over bluetooth. Runs the controller
+  // through the needed powering/communication states, charging the
+  // battery ledger with realistic durations.
+  comms::Response handle(const comms::Request& request);
+
+  // Wall-clock spent servicing commands so far [s].
+  double busy_time() const { return busy_time_; }
+
+ private:
+  comms::Response measure_command();
+  comms::Response status_command() const;
+
+  PatchController& controller_;
+  MeasureCallback measure_;
+  double busy_time_ = 0.0;
+};
+
+}  // namespace ironic::patch

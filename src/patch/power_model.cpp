@@ -1,0 +1,46 @@
+#include "src/patch/power_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ironic::patch {
+
+double state_current(const PatchPowerSpec& spec, PatchState state) {
+  switch (state) {
+    case PatchState::kIdle:
+      return spec.mcu_active + spec.bt_listening;
+    case PatchState::kConnected:
+      return spec.mcu_active + spec.bt_connected;
+    case PatchState::kPowering:
+      return spec.mcu_active + spec.bt_listening + spec.pa_transmitting;
+    case PatchState::kDownlink:
+      return spec.mcu_active + spec.bt_listening + spec.pa_transmitting;
+    case PatchState::kUplink:
+      return spec.mcu_active + spec.bt_listening + spec.pa_transmitting +
+             spec.adc_sense;
+  }
+  return 0.0;
+}
+
+double state_run_time(const PatchPowerSpec& spec, PatchState state,
+                      double capacity_mah) {
+  if (capacity_mah <= 0.0) {
+    throw std::invalid_argument("state_run_time: capacity must be > 0");
+  }
+  return capacity_mah * 3.6 / state_current(spec, state);
+}
+
+double average_current(const PatchPowerSpec& spec, const DutyProfile& profile) {
+  const double total = profile.idle + profile.connected + profile.powering +
+                       profile.downlink + profile.uplink;
+  if (total <= 0.0 || std::abs(total - 1.0) > 1e-6) {
+    throw std::invalid_argument("average_current: fractions must sum to 1");
+  }
+  return profile.idle * state_current(spec, PatchState::kIdle) +
+         profile.connected * state_current(spec, PatchState::kConnected) +
+         profile.powering * state_current(spec, PatchState::kPowering) +
+         profile.downlink * state_current(spec, PatchState::kDownlink) +
+         profile.uplink * state_current(spec, PatchState::kUplink);
+}
+
+}  // namespace ironic::patch

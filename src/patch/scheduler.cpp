@@ -1,0 +1,60 @@
+#include "src/patch/scheduler.hpp"
+
+#include <stdexcept>
+
+namespace ironic::patch {
+
+double session_charge(const PatchPowerSpec& power, const SessionPlan& plan) {
+  if (plan.downlink_rate <= 0.0 || plan.uplink_rate <= 0.0) {
+    throw std::invalid_argument("session_charge: rates must be > 0");
+  }
+  double q = 0.0;
+  q += state_current(power, PatchState::kConnected) * plan.connect_time;
+  q += state_current(power, PatchState::kPowering) *
+       (plan.charge_time + plan.measure_time);
+  q += state_current(power, PatchState::kDownlink) *
+       (plan.downlink_bits / plan.downlink_rate);
+  q += state_current(power, PatchState::kUplink) * (plan.uplink_bits / plan.uplink_rate);
+  return q;
+}
+
+int sessions_per_charge(const PatchPowerSpec& power, const BatterySpec& battery,
+                        const SessionPlan& plan, double idle_between) {
+  if (idle_between < 0.0) {
+    throw std::invalid_argument("sessions_per_charge: idle time must be >= 0");
+  }
+  const double per_session = session_charge(power, plan) +
+                             state_current(power, PatchState::kIdle) * idle_between;
+  if (per_session <= 0.0) return 0;
+  return static_cast<int>(battery.capacity_coulombs() / per_session);
+}
+
+double end_of_day_soc(const PatchPowerSpec& power, const BatterySpec& battery,
+                      const SessionPlan& plan, int sessions_per_day,
+                      double awake_hours) {
+  if (sessions_per_day < 0 || awake_hours <= 0.0) {
+    throw std::invalid_argument("end_of_day_soc: invalid schedule");
+  }
+  const double session_time = plan.duration() * sessions_per_day;
+  const double idle_time = awake_hours * 3600.0 - session_time;
+  if (idle_time < 0.0) return -1.0;  // sessions do not even fit in the day
+  const double used = session_charge(power, plan) * sessions_per_day +
+                      state_current(power, PatchState::kIdle) * idle_time;
+  return 1.0 - used / battery.capacity_coulombs();
+}
+
+MissionSummary max_daily_sessions(const PatchPowerSpec& power,
+                                  const BatterySpec& battery, const SessionPlan& plan,
+                                  double awake_hours, double reserve_soc) {
+  MissionSummary best;
+  for (int n = 0;; ++n) {
+    const double soc = end_of_day_soc(power, battery, plan, n, awake_hours);
+    if (soc < reserve_soc) break;
+    best.sessions_per_day = n;
+    best.end_soc = soc;
+    best.feasible = true;
+  }
+  return best;
+}
+
+}  // namespace ironic::patch

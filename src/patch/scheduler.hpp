@@ -1,0 +1,58 @@
+// Mission planning for the patch: how many measurement sessions fit in a
+// battery charge, and what daily routine keeps a continuous-monitoring
+// patient covered (the paper's intro scenarios: diabetic glycemia checks
+// and athlete lactate tracking).
+#pragma once
+
+#include <vector>
+
+#include "src/patch/battery.hpp"
+#include "src/patch/power_model.hpp"
+
+namespace ironic::patch {
+
+// One telemetry session: power the implant, command a measurement, read
+// the data back.
+struct SessionPlan {
+  double connect_time = 10.0;    // bluetooth setup [s]
+  double charge_time = 2.0;      // implant charge-up + settle [s]
+  double measure_time = 5.0;     // sensor in high-power mode (patch powering)
+  double downlink_bits = 64.0;   // command frame
+  double uplink_bits = 128.0;    // data frames
+  double downlink_rate = 100e3;  // [bit/s]
+  double uplink_rate = 66.6e3;   // [bit/s]
+
+  double duration() const {
+    return connect_time + charge_time + measure_time +
+           downlink_bits / downlink_rate + uplink_bits / uplink_rate;
+  }
+};
+
+// Charge consumed by one session [C].
+double session_charge(const PatchPowerSpec& power, const SessionPlan& plan);
+
+// Sessions a full battery supports, with `idle_between` seconds of idle
+// drain between consecutive sessions.
+int sessions_per_charge(const PatchPowerSpec& power, const BatterySpec& battery,
+                        const SessionPlan& plan, double idle_between);
+
+// Daily schedule feasibility: `sessions_per_day` sessions spread over
+// `awake_hours`, patch recharged overnight. Returns the end-of-day state
+// of charge (negative if the battery cannot finish the day).
+double end_of_day_soc(const PatchPowerSpec& power, const BatterySpec& battery,
+                      const SessionPlan& plan, int sessions_per_day,
+                      double awake_hours);
+
+struct MissionSummary {
+  int sessions_per_day = 0;
+  double end_soc = 0.0;
+  bool feasible = false;
+};
+
+// Largest number of evenly spaced daily sessions that still ends the day
+// above `reserve_soc`.
+MissionSummary max_daily_sessions(const PatchPowerSpec& power,
+                                  const BatterySpec& battery, const SessionPlan& plan,
+                                  double awake_hours, double reserve_soc = 0.2);
+
+}  // namespace ironic::patch

@@ -1,0 +1,52 @@
+#include "src/pm/bandgap.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ironic::pm {
+
+BandgapReference::BandgapReference(BandgapSpec spec) : spec_(spec) {
+  if (spec_.nominal_voltage <= 0.0 || spec_.min_supply <= 0.0) {
+    throw std::invalid_argument("BandgapReference: invalid spec");
+  }
+}
+
+double BandgapReference::voltage(double temperature, double supply) const {
+  if (supply < spec_.min_supply) {
+    // Collapsed: output follows the starved supply through the core.
+    return spec_.nominal_voltage * std::max(supply, 0.0) / spec_.min_supply * 0.5;
+  }
+  const double dt = temperature - spec_.t_nominal;
+  const double bow = -spec_.curvature * dt * dt;
+  const double line = spec_.line_sensitivity * (supply - spec_.v_supply_nominal);
+  return spec_.nominal_voltage + bow + line;
+}
+
+double BandgapReference::tempco_ppm(double t_lo, double t_hi) const {
+  if (t_hi <= t_lo) throw std::invalid_argument("tempco_ppm: bad range");
+  const double v_lo = voltage(t_lo, spec_.v_supply_nominal);
+  const double v_hi = voltage(t_hi, spec_.v_supply_nominal);
+  const double v_mid = voltage(0.5 * (t_lo + t_hi), spec_.v_supply_nominal);
+  return std::abs(v_hi - v_lo) / (v_mid * (t_hi - t_lo)) * 1e6;
+}
+
+BandgapReference we_reference() {
+  BandgapSpec spec;
+  spec.nominal_voltage = 1.2;
+  return BandgapReference(spec);
+}
+
+BandgapReference re_reference() {
+  BandgapSpec spec;
+  spec.nominal_voltage = 0.55;
+  spec.curvature = 5e-6;
+  spec.min_supply = 0.9;  // sub-1V operation is the point of Banba's core
+  return BandgapReference(spec);
+}
+
+double cell_bias_voltage(double temperature, double supply) {
+  return we_reference().voltage(temperature, supply) -
+         re_reference().voltage(temperature, supply);
+}
+
+}  // namespace ironic::pm

@@ -1,0 +1,44 @@
+// Bandgap references (paper Sec. II-B): a conventional 1.2 V reference
+// biases the working electrode and a Banba-style sub-1V reference [22]
+// puts 550 mV on the reference electrode, so the cell sees the 650 mV
+// oxidation potential of glucose/lactate independent of temperature and
+// supply.
+//
+// Behavioural model: nominal voltage with a parabolic temperature bow
+// (classic first-order-compensated bandgap) and a finite line
+// regulation, dropping out of regulation below a minimum supply.
+#pragma once
+
+namespace ironic::pm {
+
+struct BandgapSpec {
+  double nominal_voltage = 1.2;       // [V] at t_nominal and v_supply_nominal
+  double t_nominal = 310.15;          // [K] (implant runs at body temperature)
+  double curvature = 8e-6;            // [V/K^2] parabolic bow
+  double line_sensitivity = 1e-3;     // [V/V] d(vout)/d(vsupply)
+  double v_supply_nominal = 1.8;      // [V]
+  double min_supply = 1.0;            // below this the reference collapses
+};
+
+class BandgapReference {
+ public:
+  explicit BandgapReference(BandgapSpec spec = {});
+  const BandgapSpec& spec() const { return spec_; }
+
+  // Output voltage at the given junction temperature and supply.
+  double voltage(double temperature, double supply) const;
+  // Temperature coefficient in ppm/K over [t_lo, t_hi] at nominal supply.
+  double tempco_ppm(double t_lo, double t_hi) const;
+
+ private:
+  BandgapSpec spec_;
+};
+
+// The two references of the electronic interface (Fig. 3).
+BandgapReference we_reference();   // 1.2 V regular bandgap on WE
+BandgapReference re_reference();   // 550 mV sub-1V (Banba) reference on RE
+
+// Oxidation potential applied across the cell: V(WE) - V(RE) = 650 mV.
+double cell_bias_voltage(double temperature, double supply);
+
+}  // namespace ironic::pm

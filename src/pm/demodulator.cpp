@@ -1,0 +1,152 @@
+#include "src/pm/demodulator.hpp"
+
+#include <stdexcept>
+
+#include "src/pm/digital.hpp"
+#include "src/spice/devices_passive.hpp"
+#include "src/spice/devices_sources.hpp"
+#include "src/spice/waveform.hpp"
+
+namespace ironic::pm {
+
+using namespace spice;
+
+NodeId build_cmos_inverter(Circuit& circuit, const std::string& prefix, NodeId input,
+                           NodeId vdd, double w_over_l_n) {
+  const NodeId out = circuit.node(prefix + ".out");
+  MosParams nmos;
+  nmos.type = MosType::kNmos;
+  nmos.w = w_over_l_n * nmos.l;
+  nmos.bulk_diodes = false;
+  MosParams pmos;
+  pmos.type = MosType::kPmos;
+  pmos.kp = 70e-6;  // weaker hole mobility
+  pmos.w = 2.4 * w_over_l_n * pmos.l;
+  pmos.bulk_diodes = false;
+  circuit.add<Mosfet>(prefix + ".MN", out, input, kGround, kGround, nmos);
+  circuit.add<Mosfet>(prefix + ".MP", out, input, vdd, vdd, pmos);
+  // Output load keeps the node defined when both devices are nearly off.
+  circuit.add<Capacitor>(prefix + ".Cl", out, kGround, 20e-15);
+  circuit.add<Resistor>(prefix + ".Rl", out, kGround, 50e6);
+  return out;
+}
+
+DemodulatorHandles build_demodulator(Circuit& circuit, const std::string& prefix,
+                                     NodeId input, const DemodulatorOptions& options) {
+  if (options.clock_frequency <= 0.0 || options.sample_capacitance <= 0.0) {
+    throw std::invalid_argument("build_demodulator: invalid options");
+  }
+  const double period = 1.0 / options.clock_frequency;
+  if (options.non_overlap >= period / 4.0) {
+    throw std::invalid_argument("build_demodulator: non-overlap too large");
+  }
+
+  DemodulatorHandles h;
+  h.input = input;
+  h.options = options;
+  h.sample = circuit.node(prefix + ".c2");
+  const NodeId vdd = circuit.node(prefix + ".vdd");
+  const NodeId comp = circuit.node(prefix + ".comp");
+
+  // Logic rail for the comparator and inverters.
+  circuit.add<VoltageSource>(prefix + ".Vdd", vdd, kGround,
+                             Waveform::dc(options.supply));
+
+  const double edge = 20e-9;
+  if (options.gate_level_clock) {
+    // Single master clock through the transistor-level generator; the
+    // RC delay elements are sized so the guard gap matches the option.
+    const NodeId clk = circuit.node(prefix + ".clk");
+    circuit.add<VoltageSource>(
+        prefix + ".Vclk", clk, kGround,
+        Waveform::pulse(0.0, options.supply, options.clock_delay, edge, edge,
+                        period / 2.0 - edge, period));
+    const auto gen = build_nonoverlap_generator(circuit, prefix + ".gen", clk, vdd,
+                                                100e3, options.non_overlap / 2.2 / 100e3);
+    h.phi1 = gen.phi1;
+    h.phi2 = gen.phi2;
+  } else {
+    // Two-phase non-overlapping clock from ideal pulse sources: phi1
+    // occupies the first half of the period, phi2 the second, with a
+    // guard gap on each edge.
+    h.phi1 = circuit.node(prefix + ".phi1");
+    h.phi2 = circuit.node(prefix + ".phi2");
+    const double high1 = period / 2.0 - 2.0 * options.non_overlap;
+    circuit.add<VoltageSource>(
+        prefix + ".Vphi1", h.phi1, kGround,
+        Waveform::pulse(0.0, options.supply, options.clock_delay + options.non_overlap,
+                        edge, edge, high1, period));
+    circuit.add<VoltageSource>(
+        prefix + ".Vphi2", h.phi2, kGround,
+        Waveform::pulse(0.0, options.supply,
+                        options.clock_delay + period / 2.0 + options.non_overlap, edge,
+                        edge, high1, period));
+  }
+
+  // Sampling path: D6 -> M10 (phi1-keyed) -> C2, with a bleeder that
+  // stands in for the paper's controlled discharge of the diode string.
+  DiodeParams dp;
+  dp.saturation_current = options.diode_is;
+  const NodeId after_diode = circuit.internal_node(prefix + ".d6");
+  circuit.add<Diode>(prefix + ".D6", input, after_diode, dp);
+  SwitchParams sample_sw;
+  sample_sw.r_on = 50.0;
+  sample_sw.r_off = 1e9;
+  sample_sw.v_on = 0.7 * options.supply;
+  sample_sw.v_off = 0.3 * options.supply;
+  circuit.add<SmoothSwitch>(prefix + ".M10", after_diode, h.sample, h.phi1, kGround,
+                            sample_sw);
+  circuit.add<Capacitor>(prefix + ".C2", h.sample, kGround, options.sample_capacitance);
+  circuit.add<Resistor>(prefix + ".Rbleed", after_diode, kGround, 1e6);
+
+  // phi2: discharge C2.
+  SwitchParams discharge_sw = sample_sw;
+  discharge_sw.r_on = 200.0;
+  circuit.add<SmoothSwitch>(prefix + ".Mdis", h.sample, kGround, h.phi2, kGround,
+                            discharge_sw);
+
+  // Comparator + I3/I4 inverter pair (real CMOS stages).
+  const NodeId ref = circuit.node(prefix + ".ref");
+  circuit.add<VoltageSource>(prefix + ".Vref", ref, kGround,
+                             Waveform::dc(options.threshold));
+  OpAmpParams cp;
+  cp.gain = 2e3;
+  cp.v_out_min = 0.0;
+  cp.v_out_max = options.supply;
+  circuit.add<OpAmp>(prefix + ".CMP", comp, h.sample, ref, cp);
+  const NodeId i3 = build_cmos_inverter(circuit, prefix + ".I3", comp, vdd);
+  const NodeId i4 = build_cmos_inverter(circuit, prefix + ".I4", i3, vdd);
+
+  // phi1-clocked hold: the decision is valid while C2 holds the sampled
+  // peak (i.e. during phi1); phi2 discharges C2, so latching then would
+  // capture the cleared comparator. Holding on phi1 makes Vdem a clean
+  // staircase through the phi2 half of each bit.
+  h.output = circuit.node(prefix + ".vdem");
+  h.output_name = prefix + ".vdem";
+  h.sample_name = prefix + ".c2";
+  SwitchParams hold_sw = sample_sw;
+  hold_sw.r_on = 1e3;
+  circuit.add<SmoothSwitch>(prefix + ".Mhold", i4, h.output, h.phi1, kGround, hold_sw);
+  circuit.add<Capacitor>(prefix + ".Chold", h.output, kGround, 10e-12);
+  circuit.add<Resistor>(prefix + ".Rhold", h.output, kGround, 100e6);
+  return h;
+}
+
+std::vector<bool> decode_demodulator_output(const TransientResult& result,
+                                            const DemodulatorHandles& handles,
+                                            double t_first_bit, std::size_t n_bits) {
+  const double period = 1.0 / handles.options.clock_frequency;
+  const double threshold = handles.options.supply / 2.0;
+  const std::string signal = "v(" + handles.output_name + ")";
+  std::vector<bool> bits;
+  bits.reserve(n_bits);
+  for (std::size_t i = 0; i < n_bits; ++i) {
+    // The hold capacitor is refreshed during phi2 (second half of the
+    // cell); read just before the next cell starts.
+    const double t = t_first_bit + (static_cast<double>(i) + 0.98) * period;
+    bits.push_back(result.value_at(signal, t) > threshold);
+  }
+  return bits;
+}
+
+}  // namespace ironic::pm

@@ -1,0 +1,70 @@
+// Clocked ASK amplitude demodulator (paper Fig. 9/10, Sec. IV-B).
+//
+// Device-level reproduction of the paper's sampling scheme:
+//   - phase phi1: sampling switch M10 (plus series diode, the paper's
+//     D6-D8 string) charges C2 to the carrier amplitude; inverters I3/I4
+//     read the stored level,
+//   - phase phi2: M10 is forced off (the paper uses C1 to null its Vgs;
+//     here the switch gate is keyed by the phase directly) and C2 is
+//     discharged, ready for the next bit.
+// A comparator with an explicit reference replaces the bare inverter
+// threshold of the paper's silicon (whose levels were set by their coil
+// amplitudes); two real CMOS inverter stages (I3/I4) then square and
+// buffer the decision, and a phi2-clocked hold capacitor makes Vdem a
+// clean staircase as in Fig. 11.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/spice/circuit.hpp"
+#include "src/spice/devices_nonlinear.hpp"
+#include "src/spice/trace.hpp"
+
+namespace ironic::pm {
+
+struct DemodulatorOptions {
+  double clock_frequency = 100e3;  // one sample per downlink bit
+  double clock_delay = 0.0;        // aligns phi1 with the bit cells [s]
+  double non_overlap = 100e-9;     // phi1/phi2 guard gap [s]
+  double sample_capacitance = 50e-12;  // C2
+  double threshold = 1.4;          // comparator reference [V]
+  double supply = 1.8;             // logic rail for I3/I4 [V]
+  double diode_is = 2e-12;
+  // false: phi1/phi2 come from two ideal pulse sources (fast, default).
+  // true: a single clock drives the transistor-level cross-coupled-NAND
+  // non-overlap generator (src/pm/digital.hpp) — the full silicon path.
+  bool gate_level_clock = false;
+};
+
+struct DemodulatorHandles {
+  spice::NodeId input;    // carrier node being monitored (Vi)
+  spice::NodeId sample;   // C2 top plate
+  spice::NodeId output;   // Vdem (held logic level)
+  spice::NodeId phi1;     // sampling phase (exposed for probing)
+  spice::NodeId phi2;
+  std::string output_name;  // node name of Vdem ("<prefix>.vdem")
+  std::string sample_name;  // node name of the C2 plate ("<prefix>.c2")
+  DemodulatorOptions options;
+};
+
+// Build the demodulator watching `input`. The two-phase non-overlapping
+// clock is generated internally from the options.
+DemodulatorHandles build_demodulator(spice::Circuit& circuit, const std::string& prefix,
+                                     spice::NodeId input,
+                                     const DemodulatorOptions& options = {});
+
+// Decode the held output: sample v(output) just before each phi2 phase
+// ends, for `n_bits` bits starting at `t_first_bit` (one bit per clock).
+std::vector<bool> decode_demodulator_output(const spice::TransientResult& result,
+                                            const DemodulatorHandles& handles,
+                                            double t_first_bit, std::size_t n_bits);
+
+// A minimal CMOS inverter macro (used for I3/I4; also handy on its own).
+// Returns the output node. `w_over_l_n` sizes the NMOS; the PMOS is made
+// ~2.4x wider to balance the weaker hole mobility.
+spice::NodeId build_cmos_inverter(spice::Circuit& circuit, const std::string& prefix,
+                                  spice::NodeId input, spice::NodeId vdd,
+                                  double w_over_l_n = 10.0);
+
+}  // namespace ironic::pm

@@ -1,0 +1,109 @@
+#include "src/pm/digital.hpp"
+
+#include "src/spice/devices_nonlinear.hpp"
+#include "src/spice/devices_passive.hpp"
+
+namespace ironic::pm {
+
+using namespace spice;
+
+namespace {
+
+MosParams nmos_params(const GateSizing& sizing) {
+  MosParams p;
+  p.type = MosType::kNmos;
+  p.w = sizing.w_over_l_n * p.l;
+  p.bulk_diodes = false;
+  return p;
+}
+
+MosParams pmos_params(const GateSizing& sizing, double series_factor = 1.0) {
+  MosParams p;
+  p.type = MosType::kPmos;
+  p.kp = 70e-6;
+  p.w = sizing.p_ratio * sizing.w_over_l_n * series_factor * p.l;
+  p.bulk_diodes = false;
+  return p;
+}
+
+void add_output_load(Circuit& circuit, const std::string& prefix, NodeId out,
+                     const GateSizing& sizing) {
+  circuit.add<Capacitor>(prefix + ".Cl", out, kGround, sizing.load_capacitance);
+  circuit.add<Resistor>(prefix + ".Rl", out, kGround, 50e6);
+}
+
+}  // namespace
+
+NodeId build_inverter(Circuit& circuit, const std::string& prefix, NodeId in,
+                      NodeId vdd, const GateSizing& sizing) {
+  const NodeId out = circuit.node(prefix + ".out");
+  circuit.add<Mosfet>(prefix + ".MN", out, in, kGround, kGround, nmos_params(sizing));
+  circuit.add<Mosfet>(prefix + ".MP", out, in, vdd, vdd, pmos_params(sizing));
+  add_output_load(circuit, prefix, out, sizing);
+  return out;
+}
+
+NodeId build_nand(Circuit& circuit, const std::string& prefix, NodeId a, NodeId b,
+                  NodeId vdd, const GateSizing& sizing) {
+  const NodeId out = circuit.node(prefix + ".out");
+  const NodeId mid = circuit.internal_node(prefix + ".stack");
+  // Series NMOS pull-down (double width to keep the stack strength).
+  MosParams n = nmos_params(sizing);
+  n.w *= 2.0;
+  circuit.add<Mosfet>(prefix + ".MNa", out, a, mid, kGround, n);
+  circuit.add<Mosfet>(prefix + ".MNb", mid, b, kGround, kGround, n);
+  // Parallel PMOS pull-up.
+  circuit.add<Mosfet>(prefix + ".MPa", out, a, vdd, vdd, pmos_params(sizing));
+  circuit.add<Mosfet>(prefix + ".MPb", out, b, vdd, vdd, pmos_params(sizing));
+  add_output_load(circuit, prefix, out, sizing);
+  return out;
+}
+
+NodeId build_nor(Circuit& circuit, const std::string& prefix, NodeId a, NodeId b,
+                 NodeId vdd, const GateSizing& sizing) {
+  const NodeId out = circuit.node(prefix + ".out");
+  const NodeId mid = circuit.internal_node(prefix + ".stack");
+  // Parallel NMOS pull-down.
+  circuit.add<Mosfet>(prefix + ".MNa", out, a, kGround, kGround, nmos_params(sizing));
+  circuit.add<Mosfet>(prefix + ".MNb", out, b, kGround, kGround, nmos_params(sizing));
+  // Series PMOS pull-up (double width for the stack).
+  circuit.add<Mosfet>(prefix + ".MPa", mid, a, vdd, vdd, pmos_params(sizing, 2.0));
+  circuit.add<Mosfet>(prefix + ".MPb", out, b, mid, vdd, pmos_params(sizing, 2.0));
+  add_output_load(circuit, prefix, out, sizing);
+  return out;
+}
+
+NonOverlapHandles build_nonoverlap_generator(Circuit& circuit,
+                                             const std::string& prefix, NodeId clk,
+                                             NodeId vdd, double delay_r,
+                                             double delay_c) {
+  // clkb = INV(clk); cross-coupled NANDs with RC-delayed feedback taken
+  // from the NAND outputs (the phase complements):
+  //   x = NAND(clk,  yd)   phi1 = INV(x)   xd = RC(x)
+  //   y = NAND(clkb, xd)   phi2 = INV(y)   yd = RC(y)
+  // phi1 = clk AND yd can only rise once y (= NOT phi2) has been high
+  // through the RC delay, and symmetrically for phi2: the high phases
+  // never overlap and the guard gap is ~the RC delay.
+  const NodeId clkb = build_inverter(circuit, prefix + ".I0", clk, vdd);
+  const NodeId xd = circuit.node(prefix + ".xd");
+  const NodeId yd = circuit.node(prefix + ".yd");
+
+  const NodeId x = build_nand(circuit, prefix + ".NA", clk, yd, vdd);
+  const NodeId phi1 = build_inverter(circuit, prefix + ".I1", x, vdd);
+  circuit.add<Resistor>(prefix + ".Rdx", x, xd, delay_r);
+  circuit.add<Capacitor>(prefix + ".Cdx", xd, kGround, delay_c);
+
+  const NodeId y = build_nand(circuit, prefix + ".NB", clkb, xd, vdd);
+  const NodeId phi2 = build_inverter(circuit, prefix + ".I2", y, vdd);
+  circuit.add<Resistor>(prefix + ".Rdy", y, yd, delay_r);
+  circuit.add<Capacitor>(prefix + ".Cdy", yd, kGround, delay_c);
+
+  NonOverlapHandles h;
+  h.phi1 = phi1;
+  h.phi2 = phi2;
+  h.phi1_name = prefix + ".I1.out";
+  h.phi2_name = prefix + ".I2.out";
+  return h;
+}
+
+}  // namespace ironic::pm

@@ -1,0 +1,49 @@
+// Static-CMOS gate macros and the two-phase non-overlapping clock
+// generator that produces the demodulator's phi1/phi2 on silicon
+// (Fig. 9 shows the phases; this is the cell that makes them).
+#pragma once
+
+#include <string>
+
+#include "src/spice/circuit.hpp"
+
+namespace ironic::pm {
+
+struct GateSizing {
+  double w_over_l_n = 10.0;  // NMOS strength
+  double p_ratio = 2.4;      // PMOS widening for the weaker hole mobility
+  double load_capacitance = 20e-15;  // output load [F]
+};
+
+// Static-CMOS inverter; returns the output node.
+spice::NodeId build_inverter(spice::Circuit& circuit, const std::string& prefix,
+                             spice::NodeId in, spice::NodeId vdd,
+                             const GateSizing& sizing = {});
+
+// Two-input NAND (series NMOS, parallel PMOS); returns the output node.
+spice::NodeId build_nand(spice::Circuit& circuit, const std::string& prefix,
+                         spice::NodeId a, spice::NodeId b, spice::NodeId vdd,
+                         const GateSizing& sizing = {});
+
+// Two-input NOR (parallel NMOS, series PMOS); returns the output node.
+spice::NodeId build_nor(spice::Circuit& circuit, const std::string& prefix,
+                        spice::NodeId a, spice::NodeId b, spice::NodeId vdd,
+                        const GateSizing& sizing = {});
+
+struct NonOverlapHandles {
+  spice::NodeId phi1;
+  spice::NodeId phi2;
+  std::string phi1_name;
+  std::string phi2_name;
+};
+
+// Classic cross-coupled-NAND non-overlap generator: from a single clock,
+// produce phi1 (in phase) and phi2 (anti-phase) whose high intervals
+// never overlap; the RC delay elements set the guard gap (~2.2 R C).
+NonOverlapHandles build_nonoverlap_generator(spice::Circuit& circuit,
+                                             const std::string& prefix,
+                                             spice::NodeId clk, spice::NodeId vdd,
+                                             double delay_r = 100e3,
+                                             double delay_c = 1e-12);
+
+}  // namespace ironic::pm

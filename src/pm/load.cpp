@@ -1,0 +1,77 @@
+#include "src/pm/load.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/spice/devices_nonlinear.hpp"
+#include "src/spice/devices_passive.hpp"
+
+namespace ironic::pm {
+
+double mode_current(const SensorLoadSpec& spec, SensorMode mode) {
+  switch (mode) {
+    case SensorMode::kSleep: return spec.sleep_current;
+    case SensorMode::kLowPower: return spec.low_power_current;
+    case SensorMode::kHighPower: return spec.high_power_current;
+  }
+  return 0.0;
+}
+
+SensorLoadProfile::SensorLoadProfile(SensorLoadSpec spec,
+                                     std::vector<ModeInterval> schedule)
+    : spec_(spec), schedule_(std::move(schedule)) {
+  if (schedule_.empty()) {
+    throw std::invalid_argument("SensorLoadProfile: schedule must not be empty");
+  }
+  for (std::size_t i = 1; i < schedule_.size(); ++i) {
+    if (schedule_[i].t_start <= schedule_[i - 1].t_start) {
+      throw std::invalid_argument("SensorLoadProfile: schedule must be increasing");
+    }
+  }
+}
+
+double SensorLoadProfile::current(double t) const {
+  SensorMode mode = schedule_.front().mode;
+  for (const auto& iv : schedule_) {
+    if (t >= iv.t_start) mode = iv.mode;
+  }
+  return mode_current(spec_, mode);
+}
+
+double SensorLoadProfile::charge(double t0, double t1) const {
+  if (t1 < t0) throw std::invalid_argument("SensorLoadProfile::charge: bad window");
+  // Integrate the piecewise-constant current between mode boundaries.
+  double total = 0.0;
+  double t = t0;
+  for (std::size_t i = 0; i < schedule_.size(); ++i) {
+    const double seg_end =
+        (i + 1 < schedule_.size()) ? std::min(schedule_[i + 1].t_start, t1) : t1;
+    if (seg_end <= t) continue;
+    const double seg_start = std::max(schedule_[i].t_start, t);
+    if (seg_start >= t1) break;
+    total += mode_current(spec_, schedule_[i].mode) * (std::min(seg_end, t1) - seg_start);
+    t = seg_end;
+  }
+  return total;
+}
+
+void build_sensor_load(spice::Circuit& circuit, const std::string& prefix,
+                       spice::NodeId rail, const SensorLoadSpec& spec, SensorMode mode,
+                       double turn_on_voltage) {
+  using namespace spice;
+  const double current = mode_current(spec, mode);
+  if (current <= 0.0) throw std::invalid_argument("build_sensor_load: bad mode current");
+  const double r = spec.supply_voltage / current;
+  const NodeId mid = circuit.internal_node(prefix + ".load");
+  // Power-on-reset behaviour: the load engages once the rail crosses the
+  // POR threshold (self-controlled switch).
+  SwitchParams sw;
+  sw.r_on = 1.0;
+  sw.r_off = 1e9;
+  sw.v_on = turn_on_voltage;
+  sw.v_off = 0.7 * turn_on_voltage;
+  circuit.add<SmoothSwitch>(prefix + ".Spor", rail, mid, rail, kGround, sw);
+  circuit.add<Resistor>(prefix + ".Rload", mid, kGround, r);
+}
+
+}  // namespace ironic::pm

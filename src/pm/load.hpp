@@ -1,0 +1,52 @@
+// Implanted-sensor load models (paper Sec. IV-C): ~350 uA in low-power
+// (communication) mode and ~1.3 mA in high-power (measurement) mode at
+// 1.8 V — deliberately pessimistic values the paper uses to stress the
+// power module.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/spice/circuit.hpp"
+
+namespace ironic::pm {
+
+enum class SensorMode { kSleep, kLowPower, kHighPower };
+
+struct SensorLoadSpec {
+  double supply_voltage = 1.8;
+  double sleep_current = 20e-6;
+  double low_power_current = 350e-6;   // receive / transmit
+  double high_power_current = 1.3e-3;  // measurement
+};
+
+// Current drawn in a mode.
+double mode_current(const SensorLoadSpec& spec, SensorMode mode);
+
+// A scheduled mode profile for behavioural power studies.
+struct ModeInterval {
+  double t_start = 0.0;
+  SensorMode mode = SensorMode::kLowPower;
+};
+
+class SensorLoadProfile {
+ public:
+  SensorLoadProfile(SensorLoadSpec spec, std::vector<ModeInterval> schedule);
+  // Current at time t.
+  double current(double t) const;
+  // Charge consumed over [t0, t1] [C].
+  double charge(double t0, double t1) const;
+
+ private:
+  SensorLoadSpec spec_;
+  std::vector<ModeInterval> schedule_;
+};
+
+// Circuit-level load on the rectifier output: a resistor sized for the
+// mode current at the nominal supply, gated by a switch that releases
+// the rail during start-up (a real sensor draws ~nothing below POR).
+void build_sensor_load(spice::Circuit& circuit, const std::string& prefix,
+                       spice::NodeId rail, const SensorLoadSpec& spec,
+                       SensorMode mode, double turn_on_voltage = 1.0);
+
+}  // namespace ironic::pm

@@ -1,0 +1,93 @@
+#include "src/pm/por.hpp"
+
+#include <stdexcept>
+
+#include "src/spice/devices_nonlinear.hpp"
+#include "src/spice/devices_passive.hpp"
+#include "src/spice/devices_sources.hpp"
+#include "src/spice/waveform.hpp"
+
+namespace ironic::pm {
+
+PorModel::PorModel(PorSpec spec) : spec_(spec) {
+  if (spec_.assert_threshold >= spec_.release_threshold || spec_.delay < 0.0) {
+    throw std::invalid_argument("PorModel: need assert < release and delay >= 0");
+  }
+}
+
+bool PorModel::release_time(const spice::TransientResult& trace,
+                            const std::string& rail_signal, double& t_out) const {
+  const auto& time = trace.time();
+  const auto rail = trace.signal(rail_signal);
+  double above_since = -1.0;
+  for (std::size_t i = 0; i < time.size(); ++i) {
+    if (rail[i] >= spec_.release_threshold) {
+      if (above_since < 0.0) above_since = time[i];
+      if (time[i] - above_since >= spec_.delay) {
+        t_out = time[i];
+        return true;
+      }
+    } else {
+      above_since = -1.0;
+    }
+  }
+  return false;
+}
+
+bool PorModel::brownout_after_release(const spice::TransientResult& trace,
+                                      const std::string& rail_signal) const {
+  double t_release = 0.0;
+  if (!release_time(trace, rail_signal, t_release)) return false;
+  const auto& time = trace.time();
+  const auto rail = trace.signal(rail_signal);
+  for (std::size_t i = 0; i < time.size(); ++i) {
+    if (time[i] > t_release && rail[i] < spec_.assert_threshold) return true;
+  }
+  return false;
+}
+
+PorHandles build_por(spice::Circuit& circuit, const std::string& prefix,
+                     spice::NodeId rail, const PorSpec& spec) {
+  using namespace spice;
+  if (spec.assert_threshold >= spec.release_threshold) {
+    throw std::invalid_argument("build_por: need assert < release");
+  }
+  PorHandles h;
+  h.rail = rail;
+  h.reset_n = circuit.node(prefix + ".reset_n");
+  h.reset_n_name = prefix + ".reset_n";
+  const NodeId ref = circuit.node(prefix + ".ref");
+  const NodeId cmp = circuit.node(prefix + ".cmp");
+  const NodeId fb = circuit.node(prefix + ".fb");
+
+  // Reference from the sub-1V bandgap (available before the main rail).
+  circuit.add<VoltageSource>(prefix + ".Vref", ref, kGround, Waveform::dc(0.55));
+
+  // Rail divider with comparator-driven hysteresis: the feedback
+  // resistor lifts the tap once reset_n goes high, moving the effective
+  // threshold from `release` down to `assert`.
+  const double r_top = 300e3;
+  // Divider sized so rail = release_threshold puts the tap at the ref.
+  const double r_bot = r_top * 0.55 / (spec.release_threshold - 0.55);
+  circuit.add<Resistor>(prefix + ".Rt", rail, fb, r_top);
+  circuit.add<Resistor>(prefix + ".Rb", fb, kGround, r_bot);
+  const double r_hyst =
+      r_top * 0.55 / (spec.release_threshold - spec.assert_threshold);
+  circuit.add<Resistor>(prefix + ".Rh", h.reset_n, fb, r_hyst);
+
+  OpAmpParams cp;
+  cp.gain = 2e3;
+  cp.v_out_min = 0.0;
+  cp.v_out_max = 1.8;
+  circuit.add<OpAmp>(prefix + ".CMP", cmp, fb, ref, cp);
+
+  // Qualification delay: RC into the output flag.
+  const double r_delay = 100e3;
+  const double c_delay = spec.delay / (r_delay * 2.2);  // ~10-90 % rise
+  circuit.add<Resistor>(prefix + ".Rd", cmp, h.reset_n, r_delay);
+  circuit.add<Capacitor>(prefix + ".Cd", h.reset_n, kGround,
+                         std::max(c_delay, 1e-12));
+  return h;
+}
+
+}  // namespace ironic::pm

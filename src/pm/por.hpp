@@ -1,0 +1,52 @@
+// Power-on reset: holds the implant logic in reset until the rectifier
+// output has genuinely settled above the LDO's minimum input, with
+// hysteresis so communication droop cannot chatter the sensor on/off.
+// Not drawn in the paper's figures but required by its operating story
+// (the sensor "boots" once Vo clears 2.1 V and must ride through the
+// ASK/LSK dips of Fig. 11).
+#pragma once
+
+#include <string>
+
+#include "src/spice/circuit.hpp"
+#include "src/spice/trace.hpp"
+
+namespace ironic::pm {
+
+struct PorSpec {
+  double release_threshold = 2.2;  // rail level releasing reset [V]
+  double assert_threshold = 1.9;   // rail level re-asserting reset [V]
+  double delay = 20e-6;            // qualification time above threshold [s]
+};
+
+// Behavioural model operating on a simulated rail waveform.
+class PorModel {
+ public:
+  explicit PorModel(PorSpec spec = {});
+  const PorSpec& spec() const { return spec_; }
+
+  // First time the reset releases (rail above release_threshold for the
+  // full delay). Returns false if it never does.
+  bool release_time(const spice::TransientResult& trace, const std::string& rail_signal,
+                    double& t_out) const;
+  // True if, after releasing, the rail ever falls below assert_threshold
+  // (a brown-out that would re-reset the sensor).
+  bool brownout_after_release(const spice::TransientResult& trace,
+                              const std::string& rail_signal) const;
+
+ private:
+  PorSpec spec_;
+};
+
+struct PorHandles {
+  spice::NodeId rail;
+  spice::NodeId reset_n;      // high once the rail qualifies
+  std::string reset_n_name;
+};
+
+// Circuit macro: comparator with a hysteresis divider plus an RC
+// qualification delay driving the reset_n flag.
+PorHandles build_por(spice::Circuit& circuit, const std::string& prefix,
+                     spice::NodeId rail, const PorSpec& spec = {});
+
+}  // namespace ironic::pm

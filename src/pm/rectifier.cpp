@@ -1,0 +1,194 @@
+#include "src/pm/rectifier.hpp"
+
+#include <stdexcept>
+
+#include "src/spice/engine.hpp"
+
+namespace ironic::pm {
+
+using namespace spice;
+
+RectifierHandles build_rectifier(Circuit& circuit, const std::string& prefix,
+                                 NodeId input, Waveform vup, Waveform vm2,
+                                 const RectifierOptions& options) {
+  if (options.storage_capacitance <= 0.0 || options.clamp_diodes < 1) {
+    throw std::invalid_argument("build_rectifier: invalid options");
+  }
+  RectifierHandles h;
+  h.input = input;
+  h.output = circuit.node(prefix + ".vo");
+  h.m1_gate = circuit.node(prefix + ".vup");
+  h.m2_gate = circuit.node(prefix + ".vm2g");
+
+  DiodeParams dp;
+  dp.saturation_current = options.diode_is;
+
+  // Rectifying diode and storage capacitor.
+  circuit.add<Diode>(prefix + ".Drect", input, h.output, dp);
+  h.co = &circuit.add<Capacitor>(prefix + ".Co", h.output, kGround,
+                                 options.storage_capacitance);
+
+  // Gate drives.
+  circuit.add<VoltageSource>(prefix + ".Vup", h.m1_gate, kGround, std::move(vup));
+  circuit.add<VoltageSource>(prefix + ".Vm2", h.m2_gate, kGround, std::move(vm2));
+
+  // Clamp chain: Vo -> D x N -> M2 -> gnd. M2 opens during uplink lows so
+  // the clamp leakage cannot discharge Co.
+  if (options.clamps_enabled) {
+    DiodeParams clamp_dp = dp;
+    clamp_dp.saturation_current = dp.saturation_current * options.clamp_area_scale;
+    NodeId prev = h.output;
+    for (int i = 0; i < options.clamp_diodes; ++i) {
+      const NodeId next = circuit.internal_node(prefix + ".clamp");
+      circuit.add<Diode>(prefix + ".Dc" + std::to_string(i + 1), prev, next, clamp_dp);
+      prev = next;
+    }
+    MosParams m2p;
+    m2p.w = options.m2_w_over_l * m2p.l;
+    m2p.bulk_diodes = true;
+    h.m2 = &circuit.add<Mosfet>(prefix + ".M2", prev, h.m2_gate, kGround, kGround, m2p);
+  }
+
+  // LSK shunt M1 with bulk steering (Ma/Mb keep the bulk at the lower of
+  // drain/source; without them the body diode clamps negative inputs).
+  MosParams m1p;
+  m1p.w = options.m1_w_over_l * m1p.l;
+  m1p.bulk_diodes = true;
+  if (options.bulk_bias) {
+    const NodeId bulk = circuit.node(prefix + ".m1bulk");
+    h.m1 = &circuit.add<Mosfet>(prefix + ".M1", input, h.m1_gate, kGround, bulk, m1p);
+    MosParams bp;
+    bp.w = 20.0 * bp.l;
+    bp.bulk_diodes = false;  // the steering pair lives in the isolated well
+    // Ma: when the input is high, pull the bulk to ground (the source).
+    circuit.add<Mosfet>(prefix + ".Ma", bulk, input, kGround, bulk, bp);
+    // Mb: when the input swings below ground, the (grounded) gate turns
+    // Mb on and the bulk follows the input (the drain side).
+    circuit.add<Mosfet>(prefix + ".Mb", bulk, kGround, input, bulk, bp);
+    // Keep the well weakly referenced so it cannot float away.
+    circuit.add<Resistor>(prefix + ".Rbulk", bulk, kGround, 1e6);
+  } else {
+    h.m1 = &circuit.add<Mosfet>(prefix + ".M1", input, h.m1_gate, kGround, kGround, m1p);
+  }
+  return h;
+}
+
+RectifierHandles build_bridge_rectifier(Circuit& circuit, const std::string& prefix,
+                                        NodeId in_p, NodeId in_n, Waveform vup,
+                                        Waveform vm2, const RectifierOptions& options) {
+  if (options.storage_capacitance <= 0.0 || options.clamp_diodes < 1) {
+    throw std::invalid_argument("build_bridge_rectifier: invalid options");
+  }
+  RectifierHandles h;
+  h.input = in_p;
+  h.output = circuit.node(prefix + ".vo");
+  h.m1_gate = circuit.node(prefix + ".vup");
+  h.m2_gate = circuit.node(prefix + ".vm2g");
+  const NodeId vneg = circuit.node(prefix + ".vneg");
+
+  DiodeParams dp;
+  dp.saturation_current = options.diode_is;
+  // Bridge: both input phases feed Vo on alternating half-cycles; the
+  // return path closes through the low-side pair into the local ground.
+  circuit.add<Diode>(prefix + ".D1", in_p, h.output, dp);
+  circuit.add<Diode>(prefix + ".D2", in_n, h.output, dp);
+  circuit.add<Diode>(prefix + ".D3", vneg, in_p, dp);
+  circuit.add<Diode>(prefix + ".D4", vneg, in_n, dp);
+  circuit.add<Resistor>(prefix + ".Rgnd", vneg, kGround, 1.0);
+  h.co = &circuit.add<Capacitor>(prefix + ".Co", h.output, kGround,
+                                 options.storage_capacitance);
+
+  // The shunt's gate drive is referenced to in_n: with a floating
+  // differential input, in_n rides a diode drop below the local ground
+  // on alternate half-cycles, and a ground-referenced gate would turn
+  // M1 on by itself.
+  circuit.add<VoltageSource>(prefix + ".Vup", h.m1_gate, in_n, std::move(vup));
+  circuit.add<VoltageSource>(prefix + ".Vm2", h.m2_gate, kGround, std::move(vm2));
+
+  if (options.clamps_enabled) {
+    DiodeParams clamp_dp = dp;
+    clamp_dp.saturation_current = dp.saturation_current * options.clamp_area_scale;
+    NodeId prev = h.output;
+    for (int i = 0; i < options.clamp_diodes; ++i) {
+      const NodeId next = circuit.internal_node(prefix + ".clamp");
+      circuit.add<Diode>(prefix + ".Dc" + std::to_string(i + 1), prev, next, clamp_dp);
+      prev = next;
+    }
+    MosParams m2p;
+    m2p.w = options.m2_w_over_l * m2p.l;
+    h.m2 = &circuit.add<Mosfet>(prefix + ".M2", prev, h.m2_gate, kGround, kGround, m2p);
+  }
+
+  // LSK shunt across the differential input; isolated well bulk tied to
+  // the source side (in_n).
+  MosParams m1p;
+  m1p.w = options.m1_w_over_l * m1p.l;
+  h.m1 = &circuit.add<Mosfet>(prefix + ".M1", in_p, h.m1_gate, in_n, in_n, m1p);
+  return h;
+}
+
+DoublerHandles build_voltage_doubler(Circuit& circuit, const std::string& prefix,
+                                     NodeId input, const DoublerOptions& options) {
+  if (options.pump_capacitance <= 0.0 || options.storage_capacitance <= 0.0) {
+    throw std::invalid_argument("build_voltage_doubler: invalid options");
+  }
+  DoublerHandles h;
+  h.input = input;
+  h.output = circuit.node(prefix + ".vo");
+  const NodeId pumped = circuit.node(prefix + ".pump");
+
+  DiodeParams dp;
+  dp.saturation_current = options.diode_is;
+  // Series pump capacitor; D1 clamps the pumped node's negative swing to
+  // ground, D2 peak-rectifies the (now 0..2A) swing onto Co.
+  circuit.add<Capacitor>(prefix + ".Cp", input, pumped, options.pump_capacitance);
+  circuit.add<Diode>(prefix + ".D1", kGround, pumped, dp);
+  circuit.add<Diode>(prefix + ".D2", pumped, h.output, dp);
+  h.co = &circuit.add<Capacitor>(prefix + ".Co", h.output, kGround,
+                                 options.storage_capacitance);
+  return h;
+}
+
+InputImpedanceResult extract_average_input_impedance(double drive_amplitude,
+                                                     double source_resistance,
+                                                     double load_resistance,
+                                                     const RectifierOptions& options,
+                                                     double frequency) {
+  if (drive_amplitude <= 0.0 || source_resistance <= 0.0 || load_resistance <= 0.0) {
+    throw std::invalid_argument("extract_average_input_impedance: bad arguments");
+  }
+  Circuit ckt;
+  const NodeId src = ckt.node("src");
+  const NodeId vi = ckt.node("vi");
+  ckt.add<VoltageSource>("Vs", src, kGround,
+                         Waveform::sine(drive_amplitude, frequency));
+  ckt.add<Resistor>("Rs", src, vi, source_resistance);
+  const auto rect = build_rectifier(ckt, "rect", vi, Waveform::dc(0.0),
+                                    Waveform::dc(1.8), options);
+  ckt.add<Resistor>("RL", rect.output, kGround, load_resistance);
+
+  // Simulate long enough for Vo to settle, then average over the tail.
+  const double period = 1.0 / frequency;
+  TransientOptions opts;
+  opts.t_stop = 400.0 * period;
+  opts.dt_max = period / 40.0;
+  opts.record_every = 2;
+  opts.record_signals = {"v(vi)", "v(src)", "v(rect.vo)"};
+  const auto res = run_transient(ckt, opts);
+
+  const double w0 = opts.t_stop - 50.0 * period;
+  const double w1 = opts.t_stop;
+  // Input current through Rs: (v(src) - v(vi)) / Rs.
+  const double mean_vv = res.mean_product_between("v(vi)", "v(vi)", w0, w1);
+  const double mean_sv = res.mean_product_between("v(src)", "v(vi)", w0, w1);
+  const double p_in = (mean_sv - mean_vv) / source_resistance;
+
+  InputImpedanceResult out;
+  out.input_rms = res.rms_between("v(vi)", w0, w1);
+  out.average_power = p_in;
+  out.resistance = p_in > 0.0 ? out.input_rms * out.input_rms / p_in : 1e12;
+  out.output_voltage = res.mean_between("v(rect.vo)", w0, w1);
+  return out;
+}
+
+}  // namespace ironic::pm

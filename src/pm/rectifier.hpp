@@ -1,0 +1,106 @@
+// The implant's voltage rectifier and LSK load-modulation unit
+// (paper Fig. 8, Sec. IV-A).
+//
+// Topology reproduced at device level:
+//   - half-wave rectifying diode from the input Vi to the output Vo,
+//   - storage capacitor Co and the sensor load on Vo,
+//   - four series clamping diodes from Vo through switch M2 to ground,
+//     limiting Vo to ~3 V (four forward drops),
+//   - shunt NMOS M1 across the input: closing it short-circuits the
+//     rectifier input to key the uplink (LSK),
+//   - bulk-bias pair Ma/Mb steering M1's bulk to the lower of its
+//     drain/source so the body diode never forward-biases when Vi swings
+//     negative (the paper's triple-well anti-latch-up circuit).
+#pragma once
+
+#include <string>
+
+#include "src/spice/circuit.hpp"
+#include "src/spice/devices_nonlinear.hpp"
+#include "src/spice/devices_passive.hpp"
+#include "src/spice/devices_sources.hpp"
+#include "src/spice/trace.hpp"
+#include "src/spice/waveform.hpp"
+
+namespace ironic::pm {
+
+struct RectifierOptions {
+  double storage_capacitance = 220e-9;  // Co [F]
+  int clamp_diodes = 4;                 // series clamp chain length
+  double diode_is = 1e-16;              // junction Is; ~0.75 V drop at mA level
+  double clamp_area_scale = 10.0;       // clamp diodes are drawn larger
+  // M1 (LSK shunt) sizing: wide switch, ~2 Ohm on-resistance.
+  double m1_w_over_l = 2000.0;
+  // M2 (clamp-chain series switch) sizing.
+  double m2_w_over_l = 500.0;
+  bool bulk_bias = true;   // false -> M1 bulk hard-tied to ground (ablation)
+  bool clamps_enabled = true;  // false -> no overvoltage clamp (ablation)
+};
+
+struct RectifierHandles {
+  spice::NodeId input;    // Vi
+  spice::NodeId output;   // Vo
+  spice::NodeId m1_gate;  // Vup (uplink bitstream)
+  spice::NodeId m2_gate;
+  spice::Mosfet* m1 = nullptr;
+  spice::Mosfet* m2 = nullptr;
+  spice::Capacitor* co = nullptr;
+};
+
+// Build the rectifier into `circuit`. `vup` drives M1's gate (high =
+// input shorted); `vm2` drives M2 (high = clamps engaged). The caller
+// connects Vi to the matching network / link secondary and attaches the
+// load to Vo.
+RectifierHandles build_rectifier(spice::Circuit& circuit, const std::string& prefix,
+                                 spice::NodeId input, spice::Waveform vup,
+                                 spice::Waveform vm2, const RectifierOptions& options = {});
+
+// Full-wave (Gr&auml;tzel bridge) variant — an extension the paper lists as
+// obvious follow-on work: doubles the conduction events per carrier
+// cycle, halving ripple at the cost of two diode drops in the path.
+// Shares RectifierOptions; M1/M2/clamps are attached the same way.
+RectifierHandles build_bridge_rectifier(spice::Circuit& circuit,
+                                        const std::string& prefix, spice::NodeId in_p,
+                                        spice::NodeId in_n, spice::Waveform vup,
+                                        spice::Waveform vm2,
+                                        const RectifierOptions& options = {});
+
+// Greinacher voltage doubler — the other classic follow-on topology:
+// a series pump capacitor plus two diodes deliver ~2x the carrier
+// amplitude, letting the implant work at weaker coupling at the cost of
+// doubled ripple charge through the pump.
+struct DoublerOptions {
+  double pump_capacitance = 10e-9;      // series pump C [F]
+  double storage_capacitance = 220e-9;  // Co [F]
+  double diode_is = 1e-16;
+};
+
+struct DoublerHandles {
+  spice::NodeId input;
+  spice::NodeId output;
+  spice::Capacitor* co = nullptr;
+};
+
+DoublerHandles build_voltage_doubler(spice::Circuit& circuit, const std::string& prefix,
+                                     spice::NodeId input,
+                                     const DoublerOptions& options = {});
+
+// --- characterization -------------------------------------------------------
+
+struct InputImpedanceResult {
+  double resistance = 0.0;      // effective average input resistance [Ohm]
+  double average_power = 0.0;   // mean power absorbed at the input [W]
+  double input_rms = 0.0;       // rms input voltage [V]
+  double output_voltage = 0.0;  // settled Vo [V]
+};
+
+// The paper's procedure (Sec. IV-C): because the rectifier is nonlinear,
+// drive it with the carrier, run a transient, and define the average
+// input impedance as Vrms^2 / Pavg at the input. ~150 Ohm is reported.
+InputImpedanceResult extract_average_input_impedance(double drive_amplitude,
+                                                     double source_resistance,
+                                                     double load_resistance,
+                                                     const RectifierOptions& options = {},
+                                                     double frequency = 5e6);
+
+}  // namespace ironic::pm

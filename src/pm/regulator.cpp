@@ -1,0 +1,87 @@
+#include "src/pm/regulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/spice/devices_nonlinear.hpp"
+#include "src/spice/devices_passive.hpp"
+#include "src/spice/devices_sources.hpp"
+#include "src/spice/waveform.hpp"
+
+namespace ironic::pm {
+
+LdoModel::LdoModel(LdoSpec spec) : spec_(spec) {
+  if (spec_.output_voltage <= 0.0 || spec_.dropout < 0.0) {
+    throw std::invalid_argument("LdoModel: invalid spec");
+  }
+}
+
+double LdoModel::output_voltage(double vin, double load_current) const {
+  if (vin <= spec_.dropout) return 0.0;
+  const double regulated =
+      spec_.output_voltage - spec_.load_regulation * std::max(load_current, 0.0);
+  return std::min(regulated, vin - spec_.dropout);
+}
+
+bool LdoModel::in_regulation(double vin) const {
+  return vin >= spec_.min_input_voltage();
+}
+
+double LdoModel::input_current(double load_current) const {
+  return std::max(load_current, 0.0) + spec_.quiescent_current;
+}
+
+double LdoModel::dissipation(double vin, double load_current) const {
+  const double vout = output_voltage(vin, load_current);
+  return (vin - vout) * std::max(load_current, 0.0) + vin * spec_.quiescent_current;
+}
+
+double LdoModel::efficiency(double vin, double load_current) const {
+  if (vin <= 0.0 || load_current <= 0.0) return 0.0;
+  const double vout = output_voltage(vin, load_current);
+  return vout * load_current / (vin * input_current(load_current));
+}
+
+LdoHandles build_ldo(spice::Circuit& circuit, const std::string& prefix,
+                     spice::NodeId input, const LdoSpec& spec, double v_ref) {
+  using namespace spice;
+  LdoHandles h;
+  h.input = input;
+  h.output = circuit.node(prefix + ".vout");
+  const NodeId gate = circuit.node(prefix + ".gate");
+  const NodeId fb = circuit.node(prefix + ".fb");
+  const NodeId ref = circuit.node(prefix + ".ref");
+
+  circuit.add<VoltageSource>(prefix + ".Vref", ref, kGround, Waveform::dc(v_ref));
+
+  // Error amplifier: drives the PMOS gate. Feedback on the inverting
+  // path through the divider; output rails track the input node loosely
+  // (a 5 V ceiling covers the rectifier's clamped range).
+  OpAmpParams ea;
+  ea.gain = 5e3;
+  ea.v_out_min = 0.0;
+  ea.v_out_max = 5.0;
+  circuit.add<OpAmp>(prefix + ".EA", gate, fb, ref, ea);
+
+  // PMOS pass device, sized for a few mA at a few hundred mV dropout.
+  MosParams pass;
+  pass.type = MosType::kPmos;
+  pass.kp = 70e-6;
+  pass.w = 4000.0 * pass.l;
+  pass.bulk_diodes = false;
+  circuit.add<Mosfet>(prefix + ".Mpass", h.output, gate, input, input, pass);
+
+  // Feedback divider sets vout = v_ref * (R1 + R2) / R2.
+  const double ratio = spec.output_voltage / v_ref;
+  const double r2 = 200e3;
+  const double r1 = (ratio - 1.0) * r2;
+  if (r1 <= 0.0) throw std::invalid_argument("build_ldo: vout must exceed v_ref");
+  circuit.add<Resistor>(prefix + ".R1", h.output, fb, r1);
+  circuit.add<Resistor>(prefix + ".R2", fb, kGround, r2);
+
+  // Output capacitor for stability of the sampled transient.
+  circuit.add<Capacitor>(prefix + ".Cout", h.output, kGround, 100e-9);
+  return h;
+}
+
+}  // namespace ironic::pm

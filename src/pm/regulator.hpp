@@ -1,0 +1,60 @@
+// Low-dropout regulator (paper Sec. IV-C): 1.8 V output, 300 mV dropout,
+// so the rectifier must hold Vo >= 2.1 V for the sensor to stay in
+// regulation — the invariant Fig. 11 verifies.
+//
+// Two representations:
+//   - LdoModel: fast behavioural transfer function for system studies,
+//   - build_ldo: device-level macro (error amp + PMOS pass + divider)
+//     for transient netlists.
+#pragma once
+
+#include <string>
+
+#include "src/spice/circuit.hpp"
+
+namespace ironic::pm {
+
+struct LdoSpec {
+  double output_voltage = 1.8;   // regulated rail [V]
+  double dropout = 0.3;          // [V]
+  double quiescent_current = 5e-6;  // ground-pin current [A]
+  double load_regulation = 2e-3; // dVout per A of load [V/A]
+
+  // Minimum input for full regulation (the paper's 2.1 V threshold).
+  double min_input_voltage() const { return output_voltage + dropout; }
+};
+
+class LdoModel {
+ public:
+  explicit LdoModel(LdoSpec spec = {});
+  const LdoSpec& spec() const { return spec_; }
+
+  // Output voltage for a given input and load current: regulated when
+  // vin >= vout + dropout, tracking (vin - dropout) below that, zero
+  // below the dropout itself.
+  double output_voltage(double vin, double load_current = 0.0) const;
+  // True when the device holds the nominal output at this input.
+  bool in_regulation(double vin) const;
+  // Input current drawn for a given load current (pass-through + Iq).
+  double input_current(double load_current) const;
+  // Power dissipated in the pass device.
+  double dissipation(double vin, double load_current) const;
+  // Efficiency vout*Iload / (vin * Iin).
+  double efficiency(double vin, double load_current) const;
+
+ private:
+  LdoSpec spec_;
+};
+
+struct LdoHandles {
+  spice::NodeId input;
+  spice::NodeId output;
+};
+
+// Device-level macro: PMOS pass transistor driven by an error amplifier
+// comparing the feedback divider against `v_ref`.
+LdoHandles build_ldo(spice::Circuit& circuit, const std::string& prefix,
+                     spice::NodeId input, const LdoSpec& spec = {},
+                     double v_ref = 0.9);
+
+}  // namespace ironic::pm

@@ -1,0 +1,96 @@
+#include "src/rf/classe.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/constants.hpp"
+
+namespace ironic::rf {
+
+using constants::kPi;
+using constants::kTwoPi;
+
+ClassEDesign design_class_e(const ClassESpec& spec) {
+  if (spec.supply_voltage <= 0.0 || spec.frequency <= 0.0 ||
+      spec.load_resistance <= 0.0) {
+    throw std::invalid_argument("design_class_e: spec values must be > 0");
+  }
+  if (spec.loaded_q <= 1.8) {
+    throw std::invalid_argument("design_class_e: loaded Q must exceed ~1.8");
+  }
+  const double omega = kTwoPi * spec.frequency;
+  const double r = spec.load_resistance;
+
+  ClassEDesign d;
+  d.spec = spec;
+  // Idealized 50 %-duty class-E relations (Sokal, QEX 2001; Raab 1977).
+  d.output_power = spec.supply_voltage * spec.supply_voltage / r * 2.0 /
+                   (1.0 + kPi * kPi / 4.0);
+  d.shunt_capacitance = 1.0 / (5.447 * omega * r);
+  d.series_inductance = spec.loaded_q * r / omega;
+  d.series_capacitance = d.shunt_capacitance * (5.447 / spec.loaded_q) *
+                         (1.0 + 1.153 / (spec.loaded_q - 1.153));
+  d.choke_inductance = 30.0 * r / omega;
+  d.peak_switch_voltage = 3.562 * spec.supply_voltage;
+  return d;
+}
+
+double class_e_load_for_power(double target_power, double supply_voltage) {
+  if (target_power <= 0.0 || supply_voltage <= 0.0) {
+    throw std::invalid_argument("class_e_load_for_power: arguments must be > 0");
+  }
+  return supply_voltage * supply_voltage * 2.0 / ((1.0 + kPi * kPi / 4.0) * target_power);
+}
+
+ClassEInstance build_class_e(spice::Circuit& circuit, const std::string& prefix,
+                             const ClassEDesign& design, spice::Waveform gate_drive) {
+  using namespace spice;
+  ClassEInstance inst;
+  const NodeId vdd = circuit.node(prefix + ".vdd");
+  const NodeId drain = circuit.node(prefix + ".drain");
+  const NodeId tank = circuit.node(prefix + ".tank");
+  const NodeId out = circuit.node(prefix + ".out");
+  const NodeId gate = circuit.node(prefix + ".gate");
+  inst.drain = drain;
+  inst.output = out;
+
+  inst.supply = &circuit.add<VoltageSource>(prefix + ".Vdd", vdd, kGround,
+                                            Waveform::dc(design.spec.supply_voltage));
+  circuit.add<VoltageSource>(prefix + ".Vgate", gate, kGround, std::move(gate_drive));
+  inst.choke = &circuit.add<Inductor>(prefix + ".Lchoke", vdd, drain,
+                                      design.choke_inductance, 0.05);
+
+  SwitchParams sw;
+  sw.r_on = 0.2;    // on-resistance of the patch power FET (M2 in Fig. 6)
+  sw.r_off = 1e6;
+  sw.v_on = 1.2;
+  sw.v_off = 0.6;
+  inst.power_switch =
+      &circuit.add<SmoothSwitch>(prefix + ".M", drain, kGround, gate, kGround, sw);
+
+  circuit.add<Capacitor>(prefix + ".Cshunt", drain, kGround, design.shunt_capacitance);
+  circuit.add<Inductor>(prefix + ".Ltank", drain, tank, design.series_inductance, 0.05);
+  circuit.add<Capacitor>(prefix + ".Cseries", tank, out, design.series_capacitance);
+  return inst;
+}
+
+double zvs_error(const spice::TransientResult& result, const std::string& drain_node,
+                 double frequency, double first_turn_on, double t_start, double t_stop,
+                 double supply_voltage) {
+  if (t_stop <= t_start) throw std::invalid_argument("zvs_error: bad window");
+  const double period = 1.0 / frequency;
+  const std::string sig = "v(" + drain_node + ")";
+  double sum = 0.0;
+  int count = 0;
+  // Sample the drain a hair before each turn-on edge: a tuned class-E
+  // brings the voltage to ~0 exactly there.
+  for (double t = first_turn_on; t <= t_stop; t += period) {
+    if (t < t_start) continue;
+    sum += std::abs(result.value_at(sig, t - period * 1e-3));
+    ++count;
+  }
+  if (count == 0) throw std::invalid_argument("zvs_error: no turn-on edges in window");
+  return sum / count / supply_voltage;
+}
+
+}  // namespace ironic::rf

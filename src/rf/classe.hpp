@@ -1,0 +1,68 @@
+// Class-E power amplifier: the transmitter of the IronIC patch (paper
+// Sec. III-A, Fig. 6) driving the inductive link at 5 MHz with a 50 %
+// duty square gate drive.
+//
+// Design equations follow the idealized Sokal/Raab analysis: with the
+// shunt and series capacitors tuned, the switch voltage returns to zero
+// with zero slope exactly at turn-on (zero-voltage switching), giving a
+// theoretical efficiency of 100 %.
+#pragma once
+
+#include <string>
+
+#include "src/spice/circuit.hpp"
+#include "src/spice/devices_nonlinear.hpp"
+#include "src/spice/devices_passive.hpp"
+#include "src/spice/devices_sources.hpp"
+#include "src/spice/trace.hpp"
+
+namespace ironic::rf {
+
+struct ClassESpec {
+  double supply_voltage = 3.7;   // patch battery rail [V]
+  double frequency = 5e6;        // switching frequency [Hz]
+  double load_resistance = 5.0;  // effective load seen by the PA [Ohm]
+  double loaded_q = 7.0;         // series-tank loaded quality factor
+};
+
+struct ClassEDesign {
+  ClassESpec spec;
+  double output_power = 0.0;     // idealized Pout [W]
+  double shunt_capacitance = 0.0;   // C across the switch (paper's C4) [F]
+  double series_capacitance = 0.0;  // series tank C (paper's C3) [F]
+  double series_inductance = 0.0;   // series tank L [H]
+  double choke_inductance = 0.0;    // RF choke from the supply [H]
+  double peak_switch_voltage = 0.0; // ~3.56 Vdd stress on the switch [V]
+};
+
+// Idealized Sokal design for the given spec.
+ClassEDesign design_class_e(const ClassESpec& spec);
+
+// Load resistance that produces `target_power` from `supply_voltage`.
+double class_e_load_for_power(double target_power, double supply_voltage);
+
+// Handles to the devices instantiated by build_class_e.
+struct ClassEInstance {
+  spice::NodeId drain;           // switch/shunt-cap node
+  spice::NodeId output;          // node feeding the load (after the tank)
+  spice::VoltageSource* supply = nullptr;
+  spice::SmoothSwitch* power_switch = nullptr;
+  spice::Inductor* choke = nullptr;
+};
+
+// Build the PA into `circuit` with device names prefixed by `prefix`.
+// The gate is driven by `gate_drive` (e.g. a 50 % square clock; for ASK
+// downlink the comms module supplies an amplitude-keyed supply rail
+// instead). The caller attaches the load (resistor or link primary)
+// between the returned `output` node and ground.
+ClassEInstance build_class_e(spice::Circuit& circuit, const std::string& prefix,
+                             const ClassEDesign& design, spice::Waveform gate_drive);
+
+// Zero-voltage-switching quality metric: mean |v(drain)| at the switch
+// turn-on instants over the analyzed window, normalized by the supply
+// voltage. ~0 for a tuned amplifier; grows as C3/C4 detune.
+double zvs_error(const spice::TransientResult& result, const std::string& drain_node,
+                 double frequency, double first_turn_on, double t_start, double t_stop,
+                 double supply_voltage);
+
+}  // namespace ironic::rf

@@ -1,0 +1,52 @@
+#include "src/rf/matching.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/constants.hpp"
+
+namespace ironic::rf {
+
+using constants::kTwoPi;
+
+CapacitiveMatch design_capacitive_match(double coil_inductance, double r_load,
+                                        double r_target, double frequency) {
+  if (coil_inductance <= 0.0 || r_load <= 0.0 || r_target <= 0.0 || frequency <= 0.0) {
+    throw std::invalid_argument("design_capacitive_match: arguments must be > 0");
+  }
+  if (r_target >= r_load) {
+    throw std::invalid_argument(
+        "design_capacitive_match: can only transform down (r_target < r_load)");
+  }
+  const double omega = kTwoPi * frequency;
+
+  // Shunt section: Re{ R || 1/(jwCB) } = r_target fixes q = w CB R.
+  const double q = std::sqrt(r_load / r_target - 1.0);
+  const double cb = q / (omega * r_load);
+  // The parallel section contributes X_par = -q r_target; the series
+  // capacitor absorbs the remaining coil reactance.
+  const double x_series_needed = omega * coil_inductance - q * r_target;
+  if (x_series_needed <= 0.0) {
+    throw std::invalid_argument(
+        "design_capacitive_match: coil reactance too small for this transformation");
+  }
+  CapacitiveMatch match;
+  match.series_c = 1.0 / (omega * x_series_needed);
+  match.shunt_c = cb;
+  match.q = q;
+  return match;
+}
+
+std::complex<double> matched_input_impedance(const CapacitiveMatch& match,
+                                             double coil_inductance, double r_load,
+                                             double frequency) {
+  const double omega = kTwoPi * frequency;
+  const std::complex<double> jw(0.0, omega);
+  const std::complex<double> z_coil = jw * coil_inductance;
+  const std::complex<double> z_ca = 1.0 / (jw * match.series_c);
+  const std::complex<double> y_par = 1.0 / std::complex<double>(r_load, 0.0) +
+                                     jw * match.shunt_c;
+  return z_coil + z_ca + 1.0 / y_par;
+}
+
+}  // namespace ironic::rf

@@ -1,0 +1,33 @@
+// Purely capacitive L-match (the paper's CA / CB, Sec. IV-C, Fig. 7)
+// between the receiving inductor and the rectifier input.
+//
+// The rectifier is nonlinear; the paper extracts an *average* input
+// impedance (~150 Ohm) from transient simulation and sizes CA/CB against
+// it. `design_capacitive_match` implements the same procedure: series CA
+// resonates the coil, shunt CB transforms the rectifier resistance down
+// to the load the link wants to see.
+#pragma once
+
+#include <complex>
+
+namespace ironic::rf {
+
+struct CapacitiveMatch {
+  double series_c = 0.0;  // CA [F]
+  double shunt_c = 0.0;   // CB [F]
+  double q = 0.0;         // transformation Q
+};
+
+// Design CA/CB so that, at `frequency`, a source with series inductance
+// `coil_inductance` driving [CA series -> (CB || r_load)] sees a purely
+// resistive `r_target` (r_target < r_load required).
+CapacitiveMatch design_capacitive_match(double coil_inductance, double r_load,
+                                        double r_target, double frequency);
+
+// Input impedance of the matched network (coil reactance + CA + CB||R)
+// at `frequency` — used by tests to verify the design closes.
+std::complex<double> matched_input_impedance(const CapacitiveMatch& match,
+                                             double coil_inductance, double r_load,
+                                             double frequency);
+
+}  // namespace ironic::rf

@@ -1,0 +1,149 @@
+// Device abstraction for the MNA engine.
+//
+// Every circuit element implements `stamp`, contributing its linearized
+// companion model to the system A x = rhs for the current Newton iterate.
+// The unknown vector x holds node voltages first, then branch currents
+// (voltage sources, inductors) in setup order.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/linalg/complex_matrix.hpp"
+#include "src/linalg/matrix.hpp"
+
+namespace ironic::spice {
+
+// Node handle. kGround is the reference node and has no matrix row.
+using NodeId = int;
+constexpr NodeId kGround = -1;
+
+enum class Integrator { kBackwardEuler, kTrapezoidal };
+
+class Circuit;
+
+// Everything a device needs to stamp one Newton iteration.
+struct StampContext {
+  linalg::Matrix& a;
+  std::vector<double>& rhs;
+  std::span<const double> x;  // current Newton iterate (full unknown vector)
+  double time = 0.0;          // time point being solved
+  double dt = 0.0;            // step size; <= 0 in DC analysis
+  Integrator integrator = Integrator::kTrapezoidal;
+  bool dc = false;            // true during DC operating-point analysis
+  double gmin = 1e-12;        // minimum junction conductance
+  double source_scale = 1.0;  // < 1 only during DC source stepping
+  // Set by devices when junction/step limiting altered an evaluation
+  // voltage; the Newton loop refuses to declare convergence while any
+  // device is still walking its limited variables toward the iterate.
+  bool limited = false;
+
+  // Voltage of `node` in the current iterate (0 for ground).
+  double v(NodeId node) const { return node == kGround ? 0.0 : x[static_cast<std::size_t>(node)]; }
+  // Value of unknown `index` (node or branch).
+  double unknown(int index) const { return x[static_cast<std::size_t>(index)]; }
+};
+
+// Small-signal (AC) stamping context: the complex MNA system at one
+// angular frequency, linearized around the DC operating point `op`.
+struct AcStampContext {
+  linalg::CMatrix& a;
+  linalg::CVector& rhs;
+  std::span<const double> op;  // DC operating point (full unknown vector)
+  double omega = 0.0;
+
+  double v_op(NodeId node) const {
+    return node == kGround ? 0.0 : op[static_cast<std::size_t>(node)];
+  }
+};
+
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // Called once per analysis, after all devices exist; allocate branch
+  // unknowns here via Circuit::allocate_branch.
+  virtual void setup(Circuit&) {}
+
+  // Contribute the linearized companion model at the current iterate.
+  virtual void stamp(StampContext& ctx) = 0;
+
+  // Called when the engine begins a new time point (before Newton);
+  // devices reset per-iteration limiting state here.
+  virtual void start_step(double /*time*/, double /*dt*/) {}
+
+  // Called when a time point is accepted; devices update integration state.
+  virtual void accept_step(std::span<const double> /*x*/, double /*time*/, double /*dt*/,
+                           Integrator /*integrator*/) {}
+
+  // Called once before transient stepping with the initial solution
+  // (DC operating point, or zeros under use-initial-conditions).
+  virtual void initialize(std::span<const double> /*x0*/) {}
+
+  // Append stimulus breakpoints in [t0, t1].
+  virtual void collect_breakpoints(double /*t0*/, double /*t1*/,
+                                   std::vector<double>& /*out*/) const {}
+
+  // True if the device's stamp depends on the iterate (forces Newton).
+  virtual bool nonlinear() const { return false; }
+
+  // Contribute the small-signal model at the operating point. Devices
+  // without an AC model must override nothing — the engine reports them.
+  virtual void stamp_ac(AcStampContext&) const {
+    throw std::logic_error("device '" + name_ + "' has no small-signal (AC) model");
+  }
+
+ protected:
+  // --- ground-aware stamping helpers -------------------------------------
+  static void add_a(StampContext& ctx, int row, int col, double value) {
+    if (row < 0 || col < 0) return;
+    ctx.a(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += value;
+  }
+  static void add_rhs(StampContext& ctx, int row, double value) {
+    if (row < 0) return;
+    ctx.rhs[static_cast<std::size_t>(row)] += value;
+  }
+  // Stamp a conductance g between nodes a and b.
+  static void stamp_conductance(StampContext& ctx, NodeId a, NodeId b, double g) {
+    add_a(ctx, a, a, g);
+    add_a(ctx, b, b, g);
+    add_a(ctx, a, b, -g);
+    add_a(ctx, b, a, -g);
+  }
+  // Stamp a constant current flowing from a to b (through the device).
+  static void stamp_current(StampContext& ctx, NodeId a, NodeId b, double i) {
+    add_rhs(ctx, a, -i);
+    add_rhs(ctx, b, i);
+  }
+
+  // --- complex (AC) stamping helpers --------------------------------------
+  static void ac_add(AcStampContext& ctx, int row, int col, linalg::Complex value) {
+    if (row < 0 || col < 0) return;
+    ctx.a(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += value;
+  }
+  static void ac_rhs(AcStampContext& ctx, int row, linalg::Complex value) {
+    if (row < 0) return;
+    ctx.rhs[static_cast<std::size_t>(row)] += value;
+  }
+  static void ac_admittance(AcStampContext& ctx, NodeId a, NodeId b,
+                            linalg::Complex y) {
+    ac_add(ctx, a, a, y);
+    ac_add(ctx, b, b, y);
+    ac_add(ctx, a, b, -y);
+    ac_add(ctx, b, a, -y);
+  }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace ironic::spice

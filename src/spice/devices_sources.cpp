@@ -1,0 +1,102 @@
+#include "src/spice/devices_sources.hpp"
+
+namespace ironic::spice {
+
+// ------------------------------------------------------------ VoltageSource
+
+VoltageSource::VoltageSource(std::string name, NodeId a, NodeId b, Waveform waveform)
+    : Device(std::move(name)), a_(a), b_(b), waveform_(std::move(waveform)) {}
+
+void VoltageSource::setup(Circuit& ckt) { branch_ = ckt.allocate_branch(name()); }
+
+void VoltageSource::stamp(StampContext& ctx) {
+  add_a(ctx, a_, branch_, 1.0);
+  add_a(ctx, b_, branch_, -1.0);
+  add_a(ctx, branch_, a_, 1.0);
+  add_a(ctx, branch_, b_, -1.0);
+  const double value = waveform_(ctx.dc ? 0.0 : ctx.time) * ctx.source_scale;
+  add_rhs(ctx, branch_, value);
+}
+
+void VoltageSource::stamp_ac(AcStampContext& ctx) const {
+  ac_add(ctx, a_, branch_, {1.0, 0.0});
+  ac_add(ctx, b_, branch_, {-1.0, 0.0});
+  ac_add(ctx, branch_, a_, {1.0, 0.0});
+  ac_add(ctx, branch_, b_, {-1.0, 0.0});
+  ac_rhs(ctx, branch_, std::polar(ac_magnitude_, ac_phase_));
+}
+
+void VoltageSource::collect_breakpoints(double t0, double t1,
+                                        std::vector<double>& out) const {
+  waveform_.breakpoints(t0, t1, out);
+}
+
+// ------------------------------------------------------------ CurrentSource
+
+CurrentSource::CurrentSource(std::string name, NodeId a, NodeId b, Waveform waveform)
+    : Device(std::move(name)), a_(a), b_(b), waveform_(std::move(waveform)) {}
+
+void CurrentSource::stamp(StampContext& ctx) {
+  const double value = waveform_(ctx.dc ? 0.0 : ctx.time) * ctx.source_scale;
+  stamp_current(ctx, a_, b_, value);
+}
+
+void CurrentSource::stamp_ac(AcStampContext& ctx) const {
+  const linalg::Complex i = std::polar(ac_magnitude_, ac_phase_);
+  ac_rhs(ctx, a_, -i);
+  ac_rhs(ctx, b_, i);
+}
+
+void CurrentSource::collect_breakpoints(double t0, double t1,
+                                        std::vector<double>& out) const {
+  waveform_.breakpoints(t0, t1, out);
+}
+
+// --------------------------------------------------------------------- Vcvs
+
+Vcvs::Vcvs(std::string name, NodeId a, NodeId b, NodeId cp, NodeId cn, double gain)
+    : Device(std::move(name)), a_(a), b_(b), cp_(cp), cn_(cn), gain_(gain) {}
+
+void Vcvs::setup(Circuit& ckt) { branch_ = ckt.allocate_branch(name()); }
+
+void Vcvs::stamp(StampContext& ctx) {
+  add_a(ctx, a_, branch_, 1.0);
+  add_a(ctx, b_, branch_, -1.0);
+  // v(a) - v(b) - gain (v(cp) - v(cn)) = 0
+  add_a(ctx, branch_, a_, 1.0);
+  add_a(ctx, branch_, b_, -1.0);
+  add_a(ctx, branch_, cp_, -gain_);
+  add_a(ctx, branch_, cn_, gain_);
+}
+
+void Vcvs::stamp_ac(AcStampContext& ctx) const {
+  ac_add(ctx, a_, branch_, {1.0, 0.0});
+  ac_add(ctx, b_, branch_, {-1.0, 0.0});
+  ac_add(ctx, branch_, a_, {1.0, 0.0});
+  ac_add(ctx, branch_, b_, {-1.0, 0.0});
+  ac_add(ctx, branch_, cp_, {-gain_, 0.0});
+  ac_add(ctx, branch_, cn_, {gain_, 0.0});
+}
+
+// --------------------------------------------------------------------- Vccs
+
+Vccs::Vccs(std::string name, NodeId a, NodeId b, NodeId cp, NodeId cn,
+           double transconductance)
+    : Device(std::move(name)), a_(a), b_(b), cp_(cp), cn_(cn), gm_(transconductance) {}
+
+void Vccs::stamp(StampContext& ctx) {
+  // Current a -> b equals gm (v(cp) - v(cn)).
+  add_a(ctx, a_, cp_, gm_);
+  add_a(ctx, a_, cn_, -gm_);
+  add_a(ctx, b_, cp_, -gm_);
+  add_a(ctx, b_, cn_, gm_);
+}
+
+void Vccs::stamp_ac(AcStampContext& ctx) const {
+  ac_add(ctx, a_, cp_, {gm_, 0.0});
+  ac_add(ctx, a_, cn_, {-gm_, 0.0});
+  ac_add(ctx, b_, cp_, {-gm_, 0.0});
+  ac_add(ctx, b_, cn_, {gm_, 0.0});
+}
+
+}  // namespace ironic::spice

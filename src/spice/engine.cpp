@@ -1,0 +1,325 @@
+#include "src/spice/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/linalg/lu.hpp"
+#include "src/util/log.hpp"
+
+namespace ironic::spice {
+namespace {
+
+struct NewtonOutcome {
+  bool converged = false;
+  int iterations = 0;
+};
+
+// One Newton solve of the (possibly nonlinear) MNA system at a fixed
+// time point. `x` is both the initial guess and the result.
+NewtonOutcome newton_solve(Circuit& circuit, std::vector<double>& x, double time,
+                           double dt, Integrator integrator, bool dc,
+                           const NewtonOptions& opts, double source_scale,
+                           double extra_gshunt) {
+  const std::size_t n = circuit.num_unknowns();
+  const std::size_t num_nodes = circuit.num_nodes();
+  linalg::Matrix a(n, n);
+  std::vector<double> rhs(n, 0.0);
+  std::vector<double> x_new(n, 0.0);
+  NewtonOutcome outcome;
+
+  bool any_nonlinear = false;
+  for (const auto& dev : circuit.devices()) any_nonlinear |= dev->nonlinear();
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    ++outcome.iterations;
+    a.fill(0.0);
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+
+    StampContext ctx{a, rhs, x, time, dt, integrator, dc, opts.gmin, source_scale, false};
+    for (const auto& dev : circuit.devices()) dev->stamp(ctx);
+    const bool limiting_active = ctx.limited;
+
+    const double gshunt = opts.gshunt + extra_gshunt;
+    if (gshunt > 0.0) {
+      for (std::size_t i = 0; i < num_nodes; ++i) a(i, i) += gshunt;
+    }
+
+    try {
+      linalg::LuFactorization lu(a);
+      x_new = rhs;
+      lu.solve_in_place(x_new);
+    } catch (const linalg::SingularMatrixError&) {
+      return outcome;  // not converged
+    }
+
+    // Convergence check on the update.
+    bool converged = true;
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double delta = std::abs(x_new[i] - x[i]);
+      max_delta = std::max(max_delta, delta);
+      const double magnitude = std::max(std::abs(x_new[i]), std::abs(x[i]));
+      const double abs_tol = i < num_nodes ? opts.vntol : opts.abstol;
+      if (delta > abs_tol + opts.reltol * magnitude) converged = false;
+    }
+
+    // Damping: clamp runaway updates to keep the exponentials bounded.
+    if (max_delta > opts.max_update) {
+      const double scale = opts.max_update / max_delta;
+      for (std::size_t i = 0; i < n; ++i) {
+        x_new[i] = x[i] + scale * (x_new[i] - x[i]);
+      }
+      converged = false;
+    }
+
+    if (limiting_active) converged = false;
+    x = x_new;
+    if (converged && (iter >= 1 || !any_nonlinear)) {
+      outcome.converged = true;
+      return outcome;
+    }
+    if (!any_nonlinear && iter >= 1) {
+      // Linear circuit: second solve is identical; accept.
+      outcome.converged = true;
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+void reset_devices_for_point(Circuit& circuit, double time, double dt) {
+  for (const auto& dev : circuit.devices()) dev->start_step(time, dt);
+}
+
+}  // namespace
+
+DcResult solve_dc(Circuit& circuit, const DcOptions& options) {
+  circuit.finalize();
+  const std::size_t n = circuit.num_unknowns();
+  DcResult result;
+  result.x.assign(n, 0.0);
+
+  // 1. Plain Newton.
+  {
+    std::vector<double> x(n, 0.0);
+    reset_devices_for_point(circuit, 0.0, 0.0);
+    const auto outcome = newton_solve(circuit, x, 0.0, 0.0, Integrator::kBackwardEuler,
+                                      /*dc=*/true, options.newton, 1.0, 0.0);
+    result.total_iterations += outcome.iterations;
+    if (outcome.converged) {
+      result.x = std::move(x);
+      result.converged = true;
+      result.strategy = "newton";
+      return result;
+    }
+  }
+
+  // 2. Gmin (shunt) stepping: start heavily damped, relax to nominal.
+  if (options.gmin_stepping) {
+    std::vector<double> x(n, 0.0);
+    bool ladder_ok = true;
+    for (double g = 1e-2; g >= 1e-12; g /= 10.0) {
+      reset_devices_for_point(circuit, 0.0, 0.0);
+      const auto outcome = newton_solve(circuit, x, 0.0, 0.0, Integrator::kBackwardEuler,
+                                        true, options.newton, 1.0, g);
+      result.total_iterations += outcome.iterations;
+      if (!outcome.converged) {
+        ladder_ok = false;
+        break;
+      }
+    }
+    if (ladder_ok) {
+      reset_devices_for_point(circuit, 0.0, 0.0);
+      const auto outcome = newton_solve(circuit, x, 0.0, 0.0, Integrator::kBackwardEuler,
+                                        true, options.newton, 1.0, 0.0);
+      result.total_iterations += outcome.iterations;
+      if (outcome.converged) {
+        result.x = std::move(x);
+        result.converged = true;
+        result.strategy = "gmin-stepping";
+        return result;
+      }
+    }
+  }
+
+  // 3. Source stepping.
+  if (options.source_stepping) {
+    std::vector<double> x(n, 0.0);
+    bool ladder_ok = true;
+    for (double scale = 0.05; scale <= 1.0 + 1e-12; scale += 0.05) {
+      reset_devices_for_point(circuit, 0.0, 0.0);
+      const auto outcome = newton_solve(circuit, x, 0.0, 0.0, Integrator::kBackwardEuler,
+                                        true, options.newton, std::min(scale, 1.0), 0.0);
+      result.total_iterations += outcome.iterations;
+      if (!outcome.converged) {
+        ladder_ok = false;
+        break;
+      }
+    }
+    if (ladder_ok) {
+      result.x = std::move(x);
+      result.converged = true;
+      result.strategy = "source-stepping";
+      return result;
+    }
+  }
+
+  util::Log::warn("solve_dc: all strategies failed to converge");
+  return result;
+}
+
+TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
+                              TransientStats* stats) {
+  if (options.t_stop <= 0.0) throw std::invalid_argument("run_transient: t_stop must be > 0");
+  if (options.dt_max <= 0.0) throw std::invalid_argument("run_transient: dt_max must be > 0");
+  circuit.finalize();
+  const std::size_t n = circuit.num_unknowns();
+  const double dt_min =
+      options.dt_min > 0.0 ? options.dt_min : options.dt_max / 65536.0;
+
+  // Initial solution.
+  std::vector<double> x(n, 0.0);
+  if (options.start_from_dc) {
+    DcOptions dc_opts;
+    dc_opts.newton = options.newton;
+    const DcResult dc = solve_dc(circuit, dc_opts);
+    if (!dc.converged) {
+      throw std::runtime_error("run_transient: DC operating point failed to converge");
+    }
+    x = dc.x;
+    circuit.finalize();  // re-run setup in case solve_dc's finalize reordered branches
+  }
+  for (const auto& dev : circuit.devices()) dev->initialize(x);
+
+  // Recording setup.
+  const auto all_names = circuit.signal_names();
+  std::vector<std::string> record_names;
+  std::vector<std::size_t> record_indices;
+  if (options.record_signals.empty()) {
+    record_names = all_names;
+    record_indices.resize(all_names.size());
+    for (std::size_t i = 0; i < all_names.size(); ++i) record_indices[i] = i;
+  } else {
+    for (const auto& want : options.record_signals) {
+      const auto it = std::find(all_names.begin(), all_names.end(), want);
+      if (it == all_names.end()) {
+        throw std::invalid_argument("run_transient: unknown record signal '" + want + "'");
+      }
+      record_names.push_back(want);
+      record_indices.push_back(static_cast<std::size_t>(it - all_names.begin()));
+    }
+  }
+  TransientResult result(std::move(record_names), std::move(record_indices));
+  result.reserve(static_cast<std::size_t>(options.t_stop / options.dt_max /
+                                          std::max(options.record_every, 1)) + 16);
+
+  // Breakpoints from stimulus waveforms.
+  std::vector<double> breakpoints;
+  for (const auto& dev : circuit.devices()) {
+    dev->collect_breakpoints(0.0, options.t_stop, breakpoints);
+  }
+  std::sort(breakpoints.begin(), breakpoints.end());
+  breakpoints.erase(std::unique(breakpoints.begin(), breakpoints.end(),
+                                [](double a, double b) { return std::abs(a - b) < 1e-15; }),
+                    breakpoints.end());
+  std::size_t bp_index = 0;
+
+  if (options.record_start <= 0.0) result.append(0.0, x);
+
+  double t = 0.0;
+  double dt = options.dt_max;
+  std::size_t accepted = 0;
+  int success_streak = 0;
+  std::vector<double> x_try(n);
+  // LTE controller history: the previous accepted point and its step.
+  std::vector<double> x_prev(n, 0.0);
+  double dt_prev = 0.0;
+  bool have_prev_point = false;
+  const std::size_t kMaxSteps = 200'000'000;
+
+  while (t < options.t_stop - 1e-15 * options.t_stop) {
+    if (accepted + (stats ? stats->rejected_steps : 0) > kMaxSteps) {
+      throw std::runtime_error("run_transient: step-count safety limit exceeded");
+    }
+    // Advance the breakpoint cursor past points at/behind t.
+    while (bp_index < breakpoints.size() && breakpoints[bp_index] <= t + 1e-18) {
+      ++bp_index;
+    }
+    double dt_step = std::min(dt, options.t_stop - t);
+    if (bp_index < breakpoints.size()) {
+      const double to_bp = breakpoints[bp_index] - t;
+      if (to_bp > 1e-18) dt_step = std::min(dt_step, to_bp);
+    }
+
+    const double t_next = t + dt_step;
+    reset_devices_for_point(circuit, t_next, dt_step);
+    x_try = x;
+    const auto outcome = newton_solve(circuit, x_try, t_next, dt_step, options.integrator,
+                                      /*dc=*/false, options.newton, 1.0, 0.0);
+    if (stats) stats->newton_iterations += static_cast<std::size_t>(outcome.iterations);
+
+    if (!outcome.converged) {
+      if (stats) ++stats->rejected_steps;
+      success_streak = 0;
+      dt = dt_step / 2.0;
+      if (dt < dt_min) {
+        throw std::runtime_error("run_transient: Newton failed below minimum step at t=" +
+                                 std::to_string(t_next));
+      }
+      continue;
+    }
+
+    // LTE step control: measure the deviation from a linear prediction.
+    if (options.adaptive && have_prev_point && dt_prev > 0.0) {
+      double err = 0.0;
+      const double ratio = dt_step / dt_prev;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double predicted = x[i] + (x[i] - x_prev[i]) * ratio;
+        err = std::max(err, std::abs(x_try[i] - predicted));
+      }
+      if (err > 4.0 * options.lte_tol && dt_step > 2.0 * dt_min) {
+        if (stats) ++stats->rejected_steps;
+        success_streak = 0;
+        dt = std::max(dt_step / 2.0, dt_min);
+        continue;  // redo the point with a smaller step
+      }
+      // Accepted: pick the next step from the error (clamped growth).
+      const double scale =
+          err > 0.0 ? std::sqrt(options.lte_tol / err) : 2.0;
+      dt = std::min(options.dt_max,
+                    std::max(dt_min, dt_step * std::min(std::max(scale, 0.5), 2.0)));
+    }
+
+    if (options.adaptive) {
+      x_prev = x;
+      dt_prev = dt_step;
+      have_prev_point = true;
+    }
+
+    for (const auto& dev : circuit.devices()) {
+      dev->accept_step(x_try, t_next, dt_step, options.integrator);
+    }
+    x.swap(x_try);
+    t = t_next;
+    ++accepted;
+    if (stats) ++stats->accepted_steps;
+
+    const bool is_final = t >= options.t_stop - 1e-15 * options.t_stop;
+    if (t >= options.record_start &&
+        (is_final || accepted % static_cast<std::size_t>(std::max(options.record_every, 1)) == 0)) {
+      result.append(t, x);
+    }
+
+    // Step recovery after a run of clean accepts (the LTE controller
+    // manages dt itself in adaptive mode).
+    ++success_streak;
+    if (!options.adaptive && success_streak >= 4 && dt < options.dt_max) {
+      dt = std::min(dt * 2.0, options.dt_max);
+      success_streak = 0;
+    }
+  }
+  return result;
+}
+
+}  // namespace ironic::spice

@@ -1,0 +1,76 @@
+// Analysis engines: Newton-based DC operating point and transient.
+//
+// DC: plain Newton first, then gmin (shunt) stepping, then source
+// stepping — the standard SPICE escalation ladder.
+//
+// Transient: fixed nominal step with breakpoint snapping (clock edges and
+// envelope corners are hit exactly), Newton at each point, and automatic
+// step halving/recovery when Newton fails to converge.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/linalg/matrix.hpp"
+#include "src/spice/circuit.hpp"
+#include "src/spice/trace.hpp"
+
+namespace ironic::spice {
+
+struct NewtonOptions {
+  int max_iterations = 150;
+  double reltol = 1e-4;    // relative tolerance on unknown updates
+  double vntol = 1e-6;     // absolute voltage tolerance [V]
+  double abstol = 1e-9;    // absolute current tolerance [A]
+  double gmin = 1e-12;     // junction floor conductance [S]
+  double gshunt = 1e-12;   // node-to-ground leak, keeps matrices regular [S]
+  double max_update = 5.0; // Newton damping: clamp ||dx||_inf to this
+};
+
+struct DcOptions {
+  NewtonOptions newton;
+  bool gmin_stepping = true;
+  bool source_stepping = true;
+};
+
+struct DcResult {
+  linalg::Vector x;
+  bool converged = false;
+  int total_iterations = 0;
+  std::string strategy;  // "newton", "gmin-stepping", "source-stepping"
+};
+
+// Solve the DC operating point. Throws std::invalid_argument on malformed
+// circuits; returns converged == false if all strategies fail.
+DcResult solve_dc(Circuit& circuit, const DcOptions& options = {});
+
+struct TransientOptions {
+  double t_stop = 1e-3;
+  double dt_max = 1e-6;     // nominal step (engine may shorten, never exceed)
+  double dt_min = 0.0;      // 0 -> dt_max / 65536
+  Integrator integrator = Integrator::kTrapezoidal;
+  bool start_from_dc = false;  // false: use-initial-conditions (x = 0 + device ICs)
+  NewtonOptions newton;
+  int record_every = 1;                   // record every k-th accepted point
+  std::vector<std::string> record_signals;  // empty -> all signals
+  double record_start = 0.0;              // suppress recording before this time
+  // Local-truncation-error step control: compare each solution against a
+  // linear extrapolation of the previous two points and shrink/grow the
+  // step to hold the discrepancy near `lte_tol` (per-unknown, in volts/
+  // amps). dt never exceeds dt_max, so breakpoint snapping still works.
+  bool adaptive = false;
+  double lte_tol = 1e-3;
+};
+
+struct TransientStats {
+  std::size_t accepted_steps = 0;
+  std::size_t rejected_steps = 0;
+  std::size_t newton_iterations = 0;
+};
+
+// Run a transient analysis. Throws std::runtime_error if the step size
+// underflows dt_min without convergence.
+TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
+                              TransientStats* stats = nullptr);
+
+}  // namespace ironic::spice

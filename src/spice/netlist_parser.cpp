@@ -1,0 +1,556 @@
+#include "src/spice/netlist_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "src/spice/devices_nonlinear.hpp"
+#include "src/spice/devices_passive.hpp"
+#include "src/spice/devices_sources.hpp"
+#include "src/spice/waveform.hpp"
+
+namespace ironic::spice {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+// Split a line into tokens; parentheses groups like SIN(0 1 5meg) become
+// "sin(" ... ")" split at whitespace and commas, so we normalize by
+// inserting spaces around parens and commas first.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::string spaced;
+  for (char c : line) {
+    if (c == '(' || c == ')' || c == ',' || c == '=') {
+      spaced.push_back(' ');
+      spaced.push_back(c);
+      spaced.push_back(' ');
+    } else {
+      spaced.push_back(c);
+    }
+  }
+  std::istringstream ss(spaced);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (ss >> token) tokens.push_back(lower(token));
+  return tokens;
+}
+
+// Key=value options from the tail of a token list (tokens are already
+// split as key, '=', value).
+std::map<std::string, std::string> parse_options(const std::vector<std::string>& tokens,
+                                                 std::size_t start, int line) {
+  std::map<std::string, std::string> opts;
+  for (std::size_t i = start; i < tokens.size(); i += 3) {
+    if (tokens.size() - i < 3) {
+      throw NetlistError(line, "dangling option '" + tokens[i] + "'");
+    }
+    if (tokens[i + 1] != "=") {
+      throw NetlistError(line, "expected '=' after '" + tokens[i] + "'");
+    }
+    opts[tokens[i]] = tokens[i + 2];
+  }
+  return opts;
+}
+
+double opt_value(const std::map<std::string, std::string>& opts, const std::string& key,
+                 double fallback, int line) {
+  const auto it = opts.find(key);
+  if (it == opts.end()) return fallback;
+  try {
+    return parse_spice_value(it->second);
+  } catch (const std::invalid_argument&) {
+    throw NetlistError(line, "bad value for " + key + ": '" + it->second + "'");
+  }
+}
+
+double require_value(const std::string& token, int line, const std::string& what) {
+  try {
+    return parse_spice_value(token);
+  } catch (const std::invalid_argument&) {
+    throw NetlistError(line, "bad " + what + ": '" + token + "'");
+  }
+}
+
+// Parse a stimulus specification starting at tokens[i]; returns the
+// Waveform and advances i past it.
+Waveform parse_stimulus(const std::vector<std::string>& tokens, std::size_t& i,
+                        int line) {
+  if (i >= tokens.size()) throw NetlistError(line, "missing stimulus");
+  const std::string kind = tokens[i];
+
+  const auto read_group = [&](std::size_t min_args) {
+    ++i;  // kind
+    if (i >= tokens.size() || tokens[i] != "(") {
+      throw NetlistError(line, "expected '(' after " + kind);
+    }
+    ++i;
+    std::vector<double> args;
+    while (i < tokens.size() && tokens[i] != ")") {
+      args.push_back(require_value(tokens[i], line, kind + " argument"));
+      ++i;
+    }
+    if (i >= tokens.size()) throw NetlistError(line, "unterminated " + kind + "(...)");
+    ++i;  // ')'
+    if (args.size() < min_args) {
+      throw NetlistError(line, kind + " needs at least " + std::to_string(min_args) +
+                                   " arguments");
+    }
+    return args;
+  };
+
+  if (kind == "dc") {
+    ++i;
+    if (i >= tokens.size()) throw NetlistError(line, "DC needs a value");
+    const double v = require_value(tokens[i], line, "DC value");
+    ++i;
+    return Waveform::dc(v);
+  }
+  if (kind == "sin") {
+    const auto args = read_group(3);
+    const double offset = args[0];
+    const double amplitude = args[1];
+    const double freq = args[2];
+    const double delay = args.size() > 3 ? args[3] : 0.0;
+    return Waveform::sine(amplitude, freq, offset, delay);
+  }
+  if (kind == "pulse") {
+    const auto args = read_group(7);
+    return Waveform::pulse(args[0], args[1], args[2], args[3], args[4], args[5],
+                           args[6]);
+  }
+  if (kind == "pwl") {
+    const auto args = read_group(2);
+    if (args.size() % 2 != 0) {
+      throw NetlistError(line, "PWL needs time/value pairs");
+    }
+    std::vector<double> ts, vs;
+    for (std::size_t k = 0; k < args.size(); k += 2) {
+      ts.push_back(args[k]);
+      vs.push_back(args[k + 1]);
+    }
+    try {
+      return Waveform::pwl(std::move(ts), std::move(vs));
+    } catch (const std::invalid_argument& e) {
+      throw NetlistError(line, std::string("bad PWL: ") + e.what());
+    }
+  }
+  // Bare number == DC value.
+  const double v = require_value(kind, line, "stimulus");
+  ++i;
+  return Waveform::dc(v);
+}
+
+// ------------------------------------------------------ subcircuit support
+
+struct NumberedLine {
+  int number = 0;
+  std::vector<std::string> tokens;
+};
+
+struct Subckt {
+  std::vector<std::string> ports;
+  std::vector<NumberedLine> body;
+};
+
+// Node positions per element kind (for subcircuit expansion).
+std::vector<std::size_t> node_positions(const std::vector<std::string>& tokens,
+                                        const std::map<std::string, Subckt>& subckts,
+                                        int line) {
+  switch (tokens[0][0]) {
+    case 'r':
+    case 'c':
+    case 'l':
+    case 'v':
+    case 'i':
+    case 'd':
+      return {1, 2};
+    case 'm':
+    case 's':
+    case 'e':
+    case 'g':
+      return {1, 2, 3, 4};
+    case 'k':
+      return {};  // references inductor names, handled separately
+    case 'x': {
+      // Nodes run up to the subcircuit/OPAMP keyword.
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        if (tokens[i] == "opamp" || subckts.count(tokens[i]) > 0) {
+          std::vector<std::size_t> out;
+          for (std::size_t k = 1; k < i; ++k) out.push_back(k);
+          return out;
+        }
+      }
+      throw NetlistError(line, "X line names no known subcircuit");
+    }
+    default:
+      return {};
+  }
+}
+
+// Expand an instance body: privatize names and internal nodes, map ports.
+void expand_subckt(const std::string& instance, const Subckt& sub,
+                   const std::vector<std::string>& outer_nodes,
+                   const std::map<std::string, Subckt>& subckts,
+                   std::vector<NumberedLine>& out, int depth, int line) {
+  if (depth > 16) throw NetlistError(line, "subcircuit nesting too deep");
+  if (outer_nodes.size() != sub.ports.size()) {
+    throw NetlistError(line, "subcircuit instance has " +
+                                 std::to_string(outer_nodes.size()) + " nodes, needs " +
+                                 std::to_string(sub.ports.size()));
+  }
+  std::map<std::string, std::string> port_map;
+  for (std::size_t i = 0; i < sub.ports.size(); ++i) {
+    port_map[sub.ports[i]] = outer_nodes[i];
+  }
+  const auto map_node = [&](const std::string& token) -> std::string {
+    if (token == "0" || token == "gnd") return "0";
+    const auto it = port_map.find(token);
+    return it != port_map.end() ? it->second : instance + "." + token;
+  };
+
+  for (const auto& body_line : sub.body) {
+    NumberedLine mapped = body_line;
+    // Privatize the element name as a *suffix* so the leading letter —
+    // which selects the element kind — is preserved.
+    mapped.tokens[0] = mapped.tokens[0] + "@" + instance;
+    for (std::size_t pos : node_positions(body_line.tokens, subckts, body_line.number)) {
+      mapped.tokens[pos] = map_node(body_line.tokens[pos]);
+    }
+    if (body_line.tokens[0][0] == 'k') {
+      // Coupling lines reference (now privatized) inductor names.
+      mapped.tokens[1] = body_line.tokens[1] + "@" + instance;
+      mapped.tokens[2] = body_line.tokens[2] + "@" + instance;
+    }
+    if (body_line.tokens[0][0] == 'x') {
+      // Nested instance of a user subcircuit: recurse.
+      std::size_t kw = 0;
+      for (std::size_t i = 1; i < body_line.tokens.size(); ++i) {
+        if (body_line.tokens[i] == "opamp" || subckts.count(body_line.tokens[i]) > 0) {
+          kw = i;
+          break;
+        }
+      }
+      if (kw > 0 && body_line.tokens[kw] != "opamp") {
+        std::vector<std::string> inner_nodes;
+        for (std::size_t i = 1; i < kw; ++i) {
+          inner_nodes.push_back(map_node(body_line.tokens[i]));
+        }
+        expand_subckt(mapped.tokens[0], subckts.at(body_line.tokens[kw]), inner_nodes,
+                      subckts, out, depth + 1, body_line.number);
+        continue;
+      }
+    }
+    out.push_back(std::move(mapped));
+  }
+}
+
+// Record of a parsed inductor (K-lines may convert pairs of them).
+struct InductorRecord {
+  std::string name;
+  NodeId a = kGround, b = kGround;
+  double value = 0.0;
+  double esr = 0.0;
+  double ic = 0.0;
+  int line = 0;
+  bool consumed = false;
+};
+
+struct CouplingRecord {
+  std::string name, la, lb;
+  double k = 0.0;
+  int line = 0;
+};
+
+}  // namespace
+
+double parse_spice_value(const std::string& token) {
+  if (token.empty()) throw std::invalid_argument("empty value");
+  const std::string t = lower(token);
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(t, &pos);
+  } catch (...) {
+    throw std::invalid_argument("not a number: " + token);
+  }
+  std::string suffix = t.substr(pos);
+  // Strip trailing unit letters (10nF, 4.7kOhm) after the magnitude.
+  static const std::map<std::string, double> kSuffixes = {
+      {"f", 1e-15}, {"p", 1e-12}, {"n", 1e-9}, {"u", 1e-6}, {"m", 1e-3},
+      {"k", 1e3},   {"meg", 1e6}, {"g", 1e9},
+  };
+  if (suffix.empty()) return value;
+  // Longest match first ("meg" before "m").
+  for (const std::string key : {"meg", "f", "p", "n", "u", "m", "k", "g"}) {
+    if (suffix.rfind(key, 0) == 0) {
+      const std::string rest = suffix.substr(key.size());
+      for (char c : rest) {
+        if (!std::isalpha(static_cast<unsigned char>(c))) {
+          throw std::invalid_argument("bad value suffix: " + token);
+        }
+      }
+      return value * kSuffixes.at(key);
+    }
+  }
+  // Pure unit letters (e.g. "5V") are allowed.
+  for (char c : suffix) {
+    if (!std::isalpha(static_cast<unsigned char>(c))) {
+      throw std::invalid_argument("bad value suffix: " + token);
+    }
+  }
+  return value;
+}
+
+int parse_netlist(Circuit& circuit, const std::string& text) {
+  std::istringstream stream(text);
+  std::string raw;
+  int line_no = 0;
+  int created = 0;
+  std::vector<InductorRecord> inductors;
+  std::vector<CouplingRecord> couplings;
+
+  const auto node = [&](const std::string& name) { return circuit.node(name); };
+
+  // Pass 1: tokenize, collect .subckt definitions, and expand instances
+  // into a flat element list.
+  std::map<std::string, Subckt> subckts;
+  std::vector<NumberedLine> flat;
+  {
+    std::vector<NumberedLine> raw_lines;
+    while (std::getline(stream, raw)) {
+      ++line_no;
+      auto tokens = tokenize(raw);
+      if (tokens.empty() || tokens[0][0] == '*') continue;
+      if (tokens[0] == ".end") break;
+      raw_lines.push_back({line_no, std::move(tokens)});
+    }
+    for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+      const auto& tokens = raw_lines[i].tokens;
+      if (tokens[0] == ".subckt") {
+        if (tokens.size() < 2) {
+          throw NetlistError(raw_lines[i].number, ".subckt needs a name");
+        }
+        Subckt sub;
+        sub.ports.assign(tokens.begin() + 2, tokens.end());
+        std::size_t j = i + 1;
+        for (; j < raw_lines.size() && raw_lines[j].tokens[0] != ".ends"; ++j) {
+          sub.body.push_back(raw_lines[j]);
+        }
+        if (j >= raw_lines.size()) {
+          throw NetlistError(raw_lines[i].number, "unterminated .subckt");
+        }
+        subckts[tokens[1]] = std::move(sub);
+        i = j;  // skip past .ends
+        continue;
+      }
+      if (tokens[0][0] == '.') continue;  // other directives ignored
+      if (tokens[0][0] == 'x') {
+        // User-subcircuit instance? (OPAMP stays a primitive.)
+        std::size_t kw = 0;
+        for (std::size_t k = 1; k < tokens.size(); ++k) {
+          if (tokens[k] == "opamp" || subckts.count(tokens[k]) > 0) {
+            kw = k;
+            break;
+          }
+        }
+        if (kw > 0 && tokens[kw] != "opamp") {
+          std::vector<std::string> nodes(tokens.begin() + 1, tokens.begin() + kw);
+          expand_subckt(tokens[0], subckts.at(tokens[kw]), nodes, subckts, flat, 0,
+                        raw_lines[i].number);
+          continue;
+        }
+      }
+      flat.push_back(raw_lines[i]);
+    }
+  }
+
+  // Pass 2: stamp every flattened element into the circuit.
+  for (const auto& element : flat) {
+    const auto& tokens = element.tokens;
+    const std::string& head = tokens[0];
+    line_no = element.number;
+
+    const auto need = [&](std::size_t n, const char* what) {
+      if (tokens.size() < n) throw NetlistError(line_no, std::string("too few fields for ") + what);
+    };
+
+    try {
+      switch (head[0]) {
+        case 'r': {
+          need(4, "resistor");
+          circuit.add<Resistor>(head, node(tokens[1]), node(tokens[2]),
+                                require_value(tokens[3], line_no, "resistance"));
+          ++created;
+          break;
+        }
+        case 'c': {
+          need(4, "capacitor");
+          const auto opts = parse_options(tokens, 4, line_no);
+          circuit.add<Capacitor>(head, node(tokens[1]), node(tokens[2]),
+                                 require_value(tokens[3], line_no, "capacitance"),
+                                 opt_value(opts, "ic", 0.0, line_no));
+          ++created;
+          break;
+        }
+        case 'l': {
+          need(4, "inductor");
+          const auto opts = parse_options(tokens, 4, line_no);
+          InductorRecord rec;
+          rec.name = head;
+          rec.a = node(tokens[1]);
+          rec.b = node(tokens[2]);
+          rec.value = require_value(tokens[3], line_no, "inductance");
+          rec.esr = opt_value(opts, "esr", 0.0, line_no);
+          rec.ic = opt_value(opts, "ic", 0.0, line_no);
+          rec.line = line_no;
+          inductors.push_back(rec);
+          break;
+        }
+        case 'k': {
+          need(4, "coupling");
+          CouplingRecord rec;
+          rec.name = head;
+          rec.la = tokens[1];
+          rec.lb = tokens[2];
+          rec.k = require_value(tokens[3], line_no, "coupling coefficient");
+          rec.line = line_no;
+          couplings.push_back(rec);
+          break;
+        }
+        case 'v': {
+          need(4, "voltage source");
+          std::size_t i = 3;
+          circuit.add<VoltageSource>(head, node(tokens[1]), node(tokens[2]),
+                                     parse_stimulus(tokens, i, line_no));
+          ++created;
+          break;
+        }
+        case 'i': {
+          need(4, "current source");
+          std::size_t i = 3;
+          circuit.add<CurrentSource>(head, node(tokens[1]), node(tokens[2]),
+                                     parse_stimulus(tokens, i, line_no));
+          ++created;
+          break;
+        }
+        case 'd': {
+          need(3, "diode");
+          const auto opts = parse_options(tokens, 3, line_no);
+          DiodeParams dp;
+          dp.saturation_current = opt_value(opts, "is", dp.saturation_current, line_no);
+          dp.emission_coeff = opt_value(opts, "n", dp.emission_coeff, line_no);
+          dp.breakdown_voltage = opt_value(opts, "bv", 0.0, line_no);
+          circuit.add<Diode>(head, node(tokens[1]), node(tokens[2]), dp);
+          ++created;
+          break;
+        }
+        case 'm': {
+          need(6, "mosfet");
+          MosParams mp;
+          const std::string& model = tokens[5];
+          if (model == "nmos") {
+            mp.type = MosType::kNmos;
+          } else if (model == "pmos") {
+            mp.type = MosType::kPmos;
+            mp.kp = 70e-6;
+          } else {
+            throw NetlistError(line_no, "unknown MOSFET model '" + model + "'");
+          }
+          const auto opts = parse_options(tokens, 6, line_no);
+          mp.w = opt_value(opts, "w", mp.w, line_no);
+          mp.l = opt_value(opts, "l", mp.l, line_no);
+          mp.vt0 = opt_value(opts, "vt0", mp.vt0, line_no);
+          mp.kp = opt_value(opts, "kp", mp.kp, line_no);
+          circuit.add<Mosfet>(head, node(tokens[1]), node(tokens[2]), node(tokens[3]),
+                              node(tokens[4]), mp);
+          ++created;
+          break;
+        }
+        case 's': {
+          need(5, "switch");
+          const auto opts = parse_options(tokens, 5, line_no);
+          SwitchParams sp;
+          sp.r_on = opt_value(opts, "ron", sp.r_on, line_no);
+          sp.r_off = opt_value(opts, "roff", sp.r_off, line_no);
+          sp.v_on = opt_value(opts, "von", sp.v_on, line_no);
+          sp.v_off = opt_value(opts, "voff", sp.v_off, line_no);
+          circuit.add<SmoothSwitch>(head, node(tokens[1]), node(tokens[2]),
+                                    node(tokens[3]), node(tokens[4]), sp);
+          ++created;
+          break;
+        }
+        case 'e': {
+          need(6, "vcvs");
+          circuit.add<Vcvs>(head, node(tokens[1]), node(tokens[2]), node(tokens[3]),
+                            node(tokens[4]),
+                            require_value(tokens[5], line_no, "gain"));
+          ++created;
+          break;
+        }
+        case 'g': {
+          need(6, "vccs");
+          circuit.add<Vccs>(head, node(tokens[1]), node(tokens[2]), node(tokens[3]),
+                            node(tokens[4]),
+                            require_value(tokens[5], line_no, "transconductance"));
+          ++created;
+          break;
+        }
+        case 'x': {
+          need(5, "subcircuit");
+          if (tokens[4] != "opamp") {
+            throw NetlistError(line_no, "unknown subcircuit '" + tokens[4] + "'");
+          }
+          const auto opts = parse_options(tokens, 5, line_no);
+          OpAmpParams op;
+          op.gain = opt_value(opts, "gain", op.gain, line_no);
+          op.v_out_min = opt_value(opts, "vmin", op.v_out_min, line_no);
+          op.v_out_max = opt_value(opts, "vmax", op.v_out_max, line_no);
+          circuit.add<OpAmp>(head, node(tokens[1]), node(tokens[2]), node(tokens[3]),
+                             op);
+          ++created;
+          break;
+        }
+        default:
+          throw NetlistError(line_no, "unknown element '" + head + "'");
+      }
+    } catch (const std::invalid_argument& e) {
+      throw NetlistError(line_no, e.what());
+    }
+  }
+
+  // Resolve couplings: each K-line consumes two staged inductors.
+  for (const auto& k : couplings) {
+    InductorRecord* la = nullptr;
+    InductorRecord* lb = nullptr;
+    for (auto& rec : inductors) {
+      if (rec.name == k.la) la = &rec;
+      if (rec.name == k.lb) lb = &rec;
+    }
+    if (la == nullptr || lb == nullptr) {
+      throw NetlistError(k.line, "coupling references unknown inductor");
+    }
+    if (la->consumed || lb->consumed) {
+      throw NetlistError(k.line, "inductor already coupled");
+    }
+    la->consumed = true;
+    lb->consumed = true;
+    circuit.add<CoupledInductors>(k.name, la->a, la->b, lb->a, lb->b, la->value,
+                                  lb->value, k.k, la->esr, lb->esr);
+    ++created;
+  }
+  for (const auto& rec : inductors) {
+    if (rec.consumed) continue;
+    circuit.add<Inductor>(rec.name, rec.a, rec.b, rec.value, rec.esr, rec.ic);
+    ++created;
+  }
+  return created;
+}
+
+}  // namespace ironic::spice

@@ -1,0 +1,56 @@
+// SPICE-style netlist parser: build a Circuit from text.
+//
+// Grammar (one element per line, case-insensitive, '*' comments,
+// values accept f/p/n/u/m/k/meg/g suffixes):
+//
+//   R<name> n+ n- <value>
+//   C<name> n+ n- <value> [IC=<v>]
+//   L<name> n+ n- <value> [ESR=<r>] [IC=<i>]
+//   K<name> L<a> L<b> <k>                     ; merges the two inductors
+//   V<name> n+ n- DC <v> | SIN(<off> <amp> <freq>) |
+//                  PULSE(<v1> <v2> <delay> <rise> <fall> <width> <period>) |
+//                  PWL(<t1> <v1> <t2> <v2> ...)
+//   I<name> n+ n- <same stimulus forms>
+//   D<name> anode cathode [IS=<a>] [N=<n>] [BV=<v>]
+//   M<name> d g s b NMOS|PMOS [W=<m>] [L=<m>] [VT0=<v>] [KP=<a/v2>]
+//   S<name> n+ n- cp cn [RON=] [ROFF=] [VON=] [VOFF=]
+//   E<name> n+ n- cp cn <gain>                ; VCVS
+//   G<name> n+ n- cp cn <gm>                  ; VCCS
+//   X<name> out inp inn OPAMP [GAIN=] [VMIN=] [VMAX=]
+//   X<name> n1 n2 ... <subckt-name>           ; user subcircuit instance
+//   .SUBCKT <name> p1 p2 ...                  ; subcircuit definition ...
+//   .ENDS                                     ; ... ends here
+//   .END                                      ; optional terminator
+//
+// Subcircuit bodies may contain any element (including nested X
+// instances of previously defined subcircuits). Internal nodes are
+// privatized as "<instance>.<node>"; element names are prefixed the same
+// way, so a subcircuit can be instantiated many times.
+//
+// Node "0" (or gnd) is ground. Throws NetlistError with the line number
+// on any malformed input.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "src/spice/circuit.hpp"
+
+namespace ironic::spice {
+
+struct NetlistError : std::runtime_error {
+  NetlistError(int line, const std::string& what)
+      : std::runtime_error("netlist line " + std::to_string(line) + ": " + what),
+        line_number(line) {}
+  int line_number;
+};
+
+// Parse `text` into `circuit` (appending to whatever it already holds).
+// Returns the number of devices created.
+int parse_netlist(Circuit& circuit, const std::string& text);
+
+// Parse a single SPICE value token ("10n", "4.7k", "2meg", "1e-6").
+// Throws std::invalid_argument on garbage.
+double parse_spice_value(const std::string& token);
+
+}  // namespace ironic::spice

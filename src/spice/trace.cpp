@@ -1,0 +1,194 @@
+#include "src/spice/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace ironic::spice {
+
+TransientResult::TransientResult(std::vector<std::string> names,
+                                 std::vector<std::size_t> recorded_indices)
+    : names_(std::move(names)), recorded_indices_(std::move(recorded_indices)) {
+  if (names_.size() != recorded_indices_.size()) {
+    throw std::invalid_argument("TransientResult: name/index count mismatch");
+  }
+  columns_.resize(names_.size());
+  for (std::size_t i = 0; i < names_.size(); ++i) index_.emplace(names_[i], i);
+}
+
+void TransientResult::append(double time, std::span<const double> x) {
+  time_.push_back(time);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].push_back(x[recorded_indices_[c]]);
+  }
+}
+
+void TransientResult::reserve(std::size_t points) {
+  time_.reserve(points);
+  for (auto& col : columns_) col.reserve(points);
+}
+
+bool TransientResult::has_signal(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+std::span<const double> TransientResult::column(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    throw std::invalid_argument("TransientResult: unknown signal '" + name + "'");
+  }
+  return columns_[it->second];
+}
+
+std::span<const double> TransientResult::signal(const std::string& name) const {
+  return column(name);
+}
+
+std::span<const double> TransientResult::voltage(const std::string& node) const {
+  return column("v(" + node + ")");
+}
+
+std::span<const double> TransientResult::current(const std::string& branch) const {
+  return column("i(" + branch + ")");
+}
+
+double TransientResult::value_at(const std::string& name, double t) const {
+  const auto ys = column(name);
+  if (time_.empty()) throw std::runtime_error("TransientResult: no data");
+  if (t <= time_.front()) return ys.front();
+  if (t >= time_.back()) return ys.back();
+  const auto it = std::upper_bound(time_.begin(), time_.end(), t);
+  const std::size_t hi = static_cast<std::size_t>(it - time_.begin());
+  const std::size_t lo = hi - 1;
+  const double u = (t - time_[lo]) / (time_[hi] - time_[lo]);
+  return ys[lo] + (ys[hi] - ys[lo]) * u;
+}
+
+void TransientResult::window_indices(double t0, double t1, std::size_t& lo,
+                                     std::size_t& hi) const {
+  lo = static_cast<std::size_t>(
+      std::lower_bound(time_.begin(), time_.end(), t0) - time_.begin());
+  hi = static_cast<std::size_t>(
+      std::upper_bound(time_.begin(), time_.end(), t1) - time_.begin());
+  if (lo >= hi) throw std::invalid_argument("TransientResult: empty window");
+}
+
+double TransientResult::min_between(const std::string& name, double t0, double t1) const {
+  const auto ys = column(name);
+  std::size_t lo, hi;
+  window_indices(t0, t1, lo, hi);
+  return *std::min_element(ys.begin() + lo, ys.begin() + hi);
+}
+
+double TransientResult::max_between(const std::string& name, double t0, double t1) const {
+  const auto ys = column(name);
+  std::size_t lo, hi;
+  window_indices(t0, t1, lo, hi);
+  return *std::max_element(ys.begin() + lo, ys.begin() + hi);
+}
+
+double TransientResult::mean_between(const std::string& name, double t0, double t1) const {
+  const auto ys = column(name);
+  std::size_t lo, hi;
+  window_indices(t0, t1, lo, hi);
+  if (hi - lo < 2) return ys[lo];
+  // Trapezoidal time average (robust to non-uniform steps).
+  double area = 0.0;
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    area += 0.5 * (ys[i] + ys[i - 1]) * (time_[i] - time_[i - 1]);
+  }
+  return area / (time_[hi - 1] - time_[lo]);
+}
+
+double TransientResult::rms_between(const std::string& name, double t0, double t1) const {
+  const auto ys = column(name);
+  std::size_t lo, hi;
+  window_indices(t0, t1, lo, hi);
+  if (hi - lo < 2) return std::abs(ys[lo]);
+  double area = 0.0;
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    const double y2 = 0.5 * (ys[i] * ys[i] + ys[i - 1] * ys[i - 1]);
+    area += y2 * (time_[i] - time_[i - 1]);
+  }
+  return std::sqrt(area / (time_[hi - 1] - time_[lo]));
+}
+
+double TransientResult::peak_abs_between(const std::string& name, double t0,
+                                         double t1) const {
+  const auto ys = column(name);
+  std::size_t lo, hi;
+  window_indices(t0, t1, lo, hi);
+  double best = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) best = std::max(best, std::abs(ys[i]));
+  return best;
+}
+
+double TransientResult::mean_product_between(const std::string& name,
+                                             const std::string& other, double t0,
+                                             double t1) const {
+  const auto ya = column(name);
+  const auto yb = column(other);
+  std::size_t lo, hi;
+  window_indices(t0, t1, lo, hi);
+  if (hi - lo < 2) return ya[lo] * yb[lo];
+  double area = 0.0;
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    const double p1 = ya[i] * yb[i];
+    const double p0 = ya[i - 1] * yb[i - 1];
+    area += 0.5 * (p1 + p0) * (time_[i] - time_[i - 1]);
+  }
+  return area / (time_[hi - 1] - time_[lo]);
+}
+
+bool TransientResult::first_crossing(const std::string& name, double level, double after,
+                                     bool rising, double& t_out) const {
+  const auto ys = column(name);
+  for (std::size_t i = 1; i < time_.size(); ++i) {
+    if (time_[i] < after) continue;
+    const double y0 = ys[i - 1];
+    const double y1 = ys[i];
+    const bool crossed =
+        rising ? (y0 < level && y1 >= level) : (y0 > level && y1 <= level);
+    if (crossed) {
+      const double u = (level - y0) / (y1 - y0);
+      t_out = time_[i - 1] + u * (time_[i] - time_[i - 1]);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<double> TransientResult::sample(const std::string& name,
+                                            std::span<const double> times) const {
+  std::vector<double> out;
+  out.reserve(times.size());
+  for (double t : times) out.push_back(value_at(name, t));
+  return out;
+}
+
+void TransientResult::write_csv(std::ostream& os, std::vector<std::string> signals,
+                                int decimate) const {
+  if (decimate < 1) throw std::invalid_argument("write_csv: decimate must be >= 1");
+  if (signals.empty()) signals = names_;
+  std::vector<std::span<const double>> cols;
+  cols.reserve(signals.size());
+  for (const auto& name : signals) cols.push_back(column(name));
+
+  os << "time";
+  for (const auto& name : signals) os << ',' << name;
+  os << '\n';
+  char buf[32];
+  for (std::size_t i = 0; i < time_.size(); i += static_cast<std::size_t>(decimate)) {
+    std::snprintf(buf, sizeof(buf), "%.9g", time_[i]);
+    os << buf;
+    for (const auto& col : cols) {
+      std::snprintf(buf, sizeof(buf), "%.9g", col[i]);
+      os << ',' << buf;
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace ironic::spice

@@ -1,0 +1,69 @@
+// Transient simulation results: recorded waveforms plus the waveform
+// post-processing the benches and tests rely on (crossings, windowed
+// extrema, envelopes).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ironic::spice {
+
+class TransientResult {
+ public:
+  TransientResult() = default;
+  TransientResult(std::vector<std::string> names, std::vector<std::size_t> recorded_indices);
+
+  // --- engine interface ---------------------------------------------------
+  void append(double time, std::span<const double> x);
+  void reserve(std::size_t points);
+
+  // --- access --------------------------------------------------------------
+  const std::vector<double>& time() const { return time_; }
+  std::size_t num_points() const { return time_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+  bool has_signal(const std::string& name) const;
+  // Full recorded waveform; name is "v(<node>)" or "i(<branch>)".
+  std::span<const double> signal(const std::string& name) const;
+  std::span<const double> voltage(const std::string& node) const;
+  std::span<const double> current(const std::string& branch) const;
+
+  // --- analysis -------------------------------------------------------------
+  // Linear interpolation at time t (clamped to the simulated range).
+  double value_at(const std::string& name, double t) const;
+  // Extrema / mean over the window [t0, t1].
+  double min_between(const std::string& name, double t0, double t1) const;
+  double max_between(const std::string& name, double t0, double t1) const;
+  double mean_between(const std::string& name, double t0, double t1) const;
+  double rms_between(const std::string& name, double t0, double t1) const;
+  double peak_abs_between(const std::string& name, double t0, double t1) const;
+  // Mean of f(name) * g(other) over a window — used for average power.
+  double mean_product_between(const std::string& name, const std::string& other,
+                              double t0, double t1) const;
+  // First time after `after` at which the signal crosses `level` rising
+  // (or falling). Returns false if never.
+  bool first_crossing(const std::string& name, double level, double after, bool rising,
+                      double& t_out) const;
+  // Sample the signal at a list of times.
+  std::vector<double> sample(const std::string& name, std::span<const double> times) const;
+
+  // Write the recorded waveforms as CSV (time first, then the requested
+  // signals — all recorded signals when `signals` is empty). `decimate`
+  // keeps every k-th row to bound file size.
+  void write_csv(std::ostream& os, std::vector<std::string> signals = {},
+                 int decimate = 1) const;
+
+ private:
+  std::span<const double> column(const std::string& name) const;
+  void window_indices(double t0, double t1, std::size_t& lo, std::size_t& hi) const;
+
+  std::vector<std::string> names_;                       // recorded signal names
+  std::vector<std::size_t> recorded_indices_;            // unknown index per column
+  std::unordered_map<std::string, std::size_t> index_;   // name -> column
+  std::vector<double> time_;
+  std::vector<std::vector<double>> columns_;
+};
+
+}  // namespace ironic::spice

@@ -1,0 +1,194 @@
+#include "src/spice/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "src/util/constants.hpp"
+
+namespace ironic::spice {
+namespace {
+
+using constants::kTwoPi;
+
+class DcImpl final : public WaveformImpl {
+ public:
+  explicit DcImpl(double v) : v_(v) {}
+  double value(double) const override { return v_; }
+
+ private:
+  double v_;
+};
+
+class SineImpl final : public WaveformImpl {
+ public:
+  SineImpl(double amplitude, double frequency, double offset, double delay, double phase)
+      : amplitude_(amplitude),
+        frequency_(frequency),
+        offset_(offset),
+        delay_(delay),
+        phase_(phase) {}
+
+  double value(double t) const override {
+    if (t < delay_) return offset_;
+    return offset_ + amplitude_ * std::sin(kTwoPi * frequency_ * (t - delay_) + phase_);
+  }
+
+  void breakpoints(double t0, double t1, std::vector<double>& out) const override {
+    if (delay_ > t0 && delay_ < t1) out.push_back(delay_);
+  }
+
+ private:
+  double amplitude_, frequency_, offset_, delay_, phase_;
+};
+
+class PulseImpl final : public WaveformImpl {
+ public:
+  PulseImpl(double v1, double v2, double delay, double rise, double fall, double width,
+            double period)
+      : v1_(v1), v2_(v2), delay_(delay), rise_(rise), fall_(fall), width_(width),
+        period_(period) {
+    if (rise_ <= 0.0) rise_ = 1e-12;
+    if (fall_ <= 0.0) fall_ = 1e-12;
+  }
+
+  double value(double t) const override {
+    if (t < delay_) return v1_;
+    double local = t - delay_;
+    if (period_ > 0.0) local = std::fmod(local, period_);
+    if (local < rise_) return v1_ + (v2_ - v1_) * (local / rise_);
+    if (local < rise_ + width_) return v2_;
+    if (local < rise_ + width_ + fall_) {
+      return v2_ + (v1_ - v2_) * ((local - rise_ - width_) / fall_);
+    }
+    return v1_;
+  }
+
+  void breakpoints(double t0, double t1, std::vector<double>& out) const override {
+    // Corners of each pulse: start, top-start, top-end, bottom-start.
+    if (period_ <= 0.0) {
+      for (double corner : {delay_, delay_ + rise_, delay_ + rise_ + width_,
+                            delay_ + rise_ + width_ + fall_}) {
+        if (corner > t0 && corner < t1) out.push_back(corner);
+      }
+      return;
+    }
+    const double first_cycle =
+        std::floor(std::max(0.0, t0 - delay_) / period_);
+    for (double k = first_cycle;; k += 1.0) {
+      const double base = delay_ + k * period_;
+      if (base > t1) break;
+      for (double corner : {base, base + rise_, base + rise_ + width_,
+                            base + rise_ + width_ + fall_}) {
+        if (corner > t0 && corner < t1) out.push_back(corner);
+      }
+    }
+  }
+
+ private:
+  double v1_, v2_, delay_, rise_, fall_, width_, period_;
+};
+
+class PwlImpl final : public WaveformImpl {
+ public:
+  explicit PwlImpl(util::PiecewiseLinear pwl) : pwl_(std::move(pwl)) {}
+
+  double value(double t) const override { return pwl_(t); }
+
+  void breakpoints(double t0, double t1, std::vector<double>& out) const override {
+    for (double t : pwl_.xs()) {
+      if (t > t0 && t < t1) out.push_back(t);
+    }
+  }
+
+ private:
+  util::PiecewiseLinear pwl_;
+};
+
+class ModulatedSineImpl final : public WaveformImpl {
+ public:
+  ModulatedSineImpl(double frequency, util::PiecewiseLinear envelope, double phase)
+      : frequency_(frequency), envelope_(std::move(envelope)), phase_(phase) {}
+
+  double value(double t) const override {
+    return envelope_(t) * std::sin(kTwoPi * frequency_ * t + phase_);
+  }
+
+  void breakpoints(double t0, double t1, std::vector<double>& out) const override {
+    for (double t : envelope_.xs()) {
+      if (t > t0 && t < t1) out.push_back(t);
+    }
+  }
+
+ private:
+  double frequency_;
+  util::PiecewiseLinear envelope_;
+  double phase_;
+};
+
+class CustomImpl final : public WaveformImpl {
+ public:
+  CustomImpl(std::function<double(double)> fn, std::vector<double> bps)
+      : fn_(std::move(fn)), bps_(std::move(bps)) {
+    std::sort(bps_.begin(), bps_.end());
+  }
+
+  double value(double t) const override { return fn_(t); }
+
+  void breakpoints(double t0, double t1, std::vector<double>& out) const override {
+    for (double t : bps_) {
+      if (t > t0 && t < t1) out.push_back(t);
+    }
+  }
+
+ private:
+  std::function<double(double)> fn_;
+  std::vector<double> bps_;
+};
+
+}  // namespace
+
+void WaveformImpl::breakpoints(double, double, std::vector<double>&) const {}
+
+Waveform::Waveform() : impl_(std::make_shared<DcImpl>(0.0)) {}
+
+Waveform Waveform::dc(double value) {
+  return Waveform(std::make_shared<DcImpl>(value));
+}
+
+Waveform Waveform::sine(double amplitude, double frequency, double offset, double delay,
+                        double phase_rad) {
+  return Waveform(std::make_shared<SineImpl>(amplitude, frequency, offset, delay, phase_rad));
+}
+
+Waveform Waveform::pulse(double v1, double v2, double delay, double rise, double fall,
+                         double width, double period) {
+  return Waveform(std::make_shared<PulseImpl>(v1, v2, delay, rise, fall, width, period));
+}
+
+Waveform Waveform::pwl(std::vector<double> times, std::vector<double> values) {
+  return Waveform(std::make_shared<PwlImpl>(
+      util::PiecewiseLinear(std::move(times), std::move(values))));
+}
+
+Waveform Waveform::modulated_sine(double frequency, util::PiecewiseLinear envelope,
+                                  double phase_rad) {
+  return Waveform(
+      std::make_shared<ModulatedSineImpl>(frequency, std::move(envelope), phase_rad));
+}
+
+Waveform Waveform::custom(std::function<double(double)> fn,
+                          std::vector<double> breakpoints) {
+  if (!fn) throw std::invalid_argument("Waveform::custom: null function");
+  return Waveform(std::make_shared<CustomImpl>(std::move(fn), std::move(breakpoints)));
+}
+
+Waveform square_clock(double v_lo, double v_hi, double frequency, double delay,
+                      double edge_time) {
+  const double period = 1.0 / frequency;
+  return Waveform::pulse(v_lo, v_hi, delay, edge_time, edge_time,
+                         period / 2.0 - edge_time, period);
+}
+
+}  // namespace ironic::spice

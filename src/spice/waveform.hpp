@@ -1,0 +1,72 @@
+// Time-domain stimulus waveforms for independent sources.
+//
+// A Waveform is a value object evaluated at arbitrary times by the
+// transient engine. Waveforms with discontinuities or corners publish
+// *breakpoints* so the engine can place time steps exactly on them —
+// essential for clocks (the demodulator's two-phase clock) and for the
+// ASK bit envelope.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/util/interp.hpp"
+
+namespace ironic::spice {
+
+class WaveformImpl {
+ public:
+  virtual ~WaveformImpl() = default;
+  virtual double value(double t) const = 0;
+  // Append all breakpoints in [t0, t1] to `out`.
+  virtual void breakpoints(double t0, double t1, std::vector<double>& out) const;
+};
+
+// Value-semantics handle. Copyable; shares the immutable implementation.
+class Waveform {
+ public:
+  Waveform();  // DC 0
+  explicit Waveform(std::shared_ptr<const WaveformImpl> impl) : impl_(std::move(impl)) {}
+
+  double operator()(double t) const { return impl_->value(t); }
+  void breakpoints(double t0, double t1, std::vector<double>& out) const {
+    impl_->breakpoints(t0, t1, out);
+  }
+
+  // --- factories ---------------------------------------------------------
+
+  // Constant value.
+  static Waveform dc(double value);
+
+  // amplitude * sin(2 pi f (t - delay) + phase) + offset, 0 before delay.
+  static Waveform sine(double amplitude, double frequency, double offset = 0.0,
+                       double delay = 0.0, double phase_rad = 0.0);
+
+  // SPICE-style pulse: v1 -> v2 with the given delay, rise, fall, width,
+  // and period (period <= 0 means single-shot).
+  static Waveform pulse(double v1, double v2, double delay, double rise, double fall,
+                        double width, double period);
+
+  // Piecewise-linear; breakpoints at each corner.
+  static Waveform pwl(std::vector<double> times, std::vector<double> values);
+
+  // Carrier sine whose amplitude is scaled by a piecewise-linear envelope:
+  // v(t) = envelope(t) * sin(2 pi f t + phase). This is the ASK stimulus.
+  static Waveform modulated_sine(double frequency, util::PiecewiseLinear envelope,
+                                 double phase_rad = 0.0);
+
+  // Arbitrary function with optional explicit breakpoints.
+  static Waveform custom(std::function<double(double)> fn,
+                         std::vector<double> breakpoints = {});
+
+ private:
+  std::shared_ptr<const WaveformImpl> impl_;
+};
+
+// Convenience: a 50 %-duty square clock between v_lo and v_hi with the
+// given frequency, phase delay, and edge time.
+Waveform square_clock(double v_lo, double v_hi, double frequency, double delay,
+                      double edge_time);
+
+}  // namespace ironic::spice

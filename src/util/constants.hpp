@@ -1,0 +1,43 @@
+// Physical constants used across the magnetics, device, and sensor models.
+#pragma once
+
+namespace ironic::constants {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kTwoPi = 2.0 * kPi;
+
+// Vacuum permeability [H/m].
+constexpr double kMu0 = 4.0e-7 * kPi;
+// Vacuum permittivity [F/m].
+constexpr double kEps0 = 8.8541878128e-12;
+// Boltzmann constant [J/K].
+constexpr double kBoltzmann = 1.380649e-23;
+// Elementary charge [C].
+constexpr double kElementaryCharge = 1.602176634e-19;
+// Faraday constant [C/mol].
+constexpr double kFaraday = 96485.33212;
+// Ideal gas constant [J/(mol K)].
+constexpr double kGasConstant = 8.31446261815324;
+
+// Body temperature [K] — implants operate at 37 C.
+constexpr double kBodyTemperature = 310.15;
+// Lab / bench temperature [K].
+constexpr double kRoomTemperature = 300.15;
+
+// Thermal voltage kT/q at a given temperature [V].
+constexpr double thermal_voltage(double temperature_kelvin) {
+  return kBoltzmann * temperature_kelvin / kElementaryCharge;
+}
+
+// Copper resistivity at 20 C [Ohm m]; used by the spiral-inductor ESR model.
+constexpr double kCopperResistivity = 1.68e-8;
+// Copper temperature coefficient [1/K].
+constexpr double kCopperTempCoeff = 3.93e-3;
+
+// Muscle-tissue electrical properties near 5 MHz (Gabriel dispersion data,
+// rounded): used by the tissue attenuation model standing in for the
+// beef-sirloin measurements of the paper.
+constexpr double kMuscleConductivity5MHz = 0.59;       // [S/m]
+constexpr double kMuscleRelPermittivity5MHz = 250.0;   // [-]
+
+}  // namespace ironic::constants

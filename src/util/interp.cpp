@@ -1,0 +1,45 @@
+#include "src/util/interp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ironic::util {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  if (xs_.size() != ys_.size()) {
+    throw std::invalid_argument("PiecewiseLinear: size mismatch");
+  }
+  for (std::size_t i = 1; i < xs_.size(); ++i) {
+    if (xs_[i] <= xs_[i - 1]) {
+      throw std::invalid_argument("PiecewiseLinear: x must be strictly increasing");
+    }
+  }
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  if (xs_.empty()) return 0.0;
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs_.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+  return lerp(ys_[lo], ys_[hi], t);
+}
+
+bool PiecewiseLinear::first_crossing(double level, double& x_out) const {
+  for (std::size_t i = 1; i < xs_.size(); ++i) {
+    const double y0 = ys_[i - 1];
+    const double y1 = ys_[i];
+    const bool crossed = (y0 < level && y1 >= level) || (y0 > level && y1 <= level);
+    if (crossed) {
+      const double t = (level - y0) / (y1 - y0);
+      x_out = lerp(xs_[i - 1], xs_[i], t);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ironic::util

@@ -1,0 +1,42 @@
+// 1-D interpolation helpers used by waveform sources (PWL), calibration
+// tables, and battery discharge curves.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace ironic::util {
+
+// Piecewise-linear interpolation over sorted (x, y) breakpoints.
+// Outside the table the value is clamped to the first/last y.
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+  // Breakpoints must be sorted by strictly increasing x; throws otherwise.
+  PiecewiseLinear(std::vector<double> xs, std::vector<double> ys);
+
+  double operator()(double x) const;
+  bool empty() const { return xs_.empty(); }
+  std::size_t size() const { return xs_.size(); }
+  std::span<const double> xs() const { return xs_; }
+  std::span<const double> ys() const { return ys_; }
+
+  // First x at which the curve crosses `level` (linear interpolation
+  // between breakpoints); returns false if never crossed.
+  bool first_crossing(double level, double& x_out) const;
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+// Linear interpolation between two scalars.
+constexpr double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+// Clamp helper (std::clamp is fine but this reads better with doubles).
+constexpr double clamp(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+}  // namespace ironic::util

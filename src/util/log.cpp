@@ -1,0 +1,41 @@
+#include "src/util/log.hpp"
+
+#include <cstdio>
+
+namespace ironic::util {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+Log::Sink g_sink;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level = level; }
+LogLevel Log::level() { return g_level; }
+void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
+
+void Log::emit(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (g_sink) {
+    g_sink(level, msg);
+    return;
+  }
+  std::fprintf(stderr, "[ironic %s] %s\n", level_name(level), msg.c_str());
+}
+
+void Log::debug(const std::string& msg) { emit(LogLevel::kDebug, msg); }
+void Log::info(const std::string& msg) { emit(LogLevel::kInfo, msg); }
+void Log::warn(const std::string& msg) { emit(LogLevel::kWarn, msg); }
+void Log::error(const std::string& msg) { emit(LogLevel::kError, msg); }
+
+}  // namespace ironic::util

@@ -1,0 +1,35 @@
+// Minimal leveled logging for simulator diagnostics.
+//
+// The engine reports Newton convergence trouble, step rejections, and
+// similar events through this sink so tests can silence or capture them.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace ironic::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global log configuration. Thread-compatible (not thread-safe): the
+// simulators in this library are single-threaded by design.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static void set_level(LogLevel level);
+  static LogLevel level();
+  // Replace the output sink (default writes to stderr). Pass nullptr to
+  // restore the default sink.
+  static void set_sink(Sink sink);
+
+  static void debug(const std::string& msg);
+  static void info(const std::string& msg);
+  static void warn(const std::string& msg);
+  static void error(const std::string& msg);
+
+ private:
+  static void emit(LogLevel level, const std::string& msg);
+};
+
+}  // namespace ironic::util

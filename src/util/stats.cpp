@@ -1,0 +1,115 @@
+#include "src/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ironic::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double rms(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x * x;
+  return std::sqrt(sum / static_cast<double>(xs.size()));
+}
+
+double min_value(std::span<const double> xs) {
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double peak_to_peak(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return max_value(xs) - min_value(xs);
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("linear_fit: size mismatch");
+  }
+  if (xs.size() < 2) {
+    throw std::invalid_argument("linear_fit: need at least 2 points");
+  }
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  LinearFit fit;
+  if (sxx == 0.0) {
+    throw std::invalid_argument("linear_fit: degenerate x values");
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+double integrate_uniform(std::span<const double> ys, double dt) {
+  if (ys.size() < 2) return 0.0;
+  double sum = 0.5 * (ys.front() + ys.back());
+  for (std::size_t i = 1; i + 1 < ys.size(); ++i) sum += ys[i];
+  return sum * dt;
+}
+
+double mean_abs(std::span<const double> ys) {
+  if (ys.empty()) return 0.0;
+  double sum = 0.0;
+  for (double y : ys) sum += std::abs(y);
+  return sum / static_cast<double>(ys.size());
+}
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  // Welford update.
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace ironic::util

@@ -1,0 +1,51 @@
+// Small statistics helpers for waveform post-processing and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ironic::util {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);   // population variance
+double stddev(std::span<const double> xs);
+double rms(std::span<const double> xs);
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+double peak_to_peak(std::span<const double> xs);
+
+// Linear regression y = a + b x; returns {a, b}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+// Numerically integrate samples on a uniform grid (trapezoidal rule).
+double integrate_uniform(std::span<const double> ys, double dt);
+
+// Mean of |ys| over the samples (useful for average rectified values).
+double mean_abs(std::span<const double> ys);
+
+// Running summary accumulator for streaming simulation probes.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ironic::util

@@ -1,0 +1,41 @@
+// Aligned console tables and CSV emission for the benchmark harnesses.
+//
+// Every bench binary reproduces one of the paper's tables or figures;
+// Table gives them a uniform, diff-friendly text rendering.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ironic::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Append a row; cells are formatted by the caller (use cell() helpers).
+  void add_row(std::vector<std::string> cells);
+
+  // Numeric cell formatting helpers.
+  static std::string cell(double value, int precision = 4);
+  static std::string cell_si(double value, const std::string& unit, int precision = 3);
+  static std::string cell(const std::string& s) { return s; }
+  static std::string cell(bool b) { return b ? "yes" : "no"; }
+
+  // Render with aligned columns.
+  void print(std::ostream& os) const;
+  // Render as CSV.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Format a value with an SI magnitude prefix, e.g. 1.5e-3, "W" -> "1.50 mW".
+std::string format_si(double value, const std::string& unit, int precision = 3);
+
+}  // namespace ironic::util

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/bio/drift.hpp"
+
+namespace {
+
+using namespace ironic::bio;
+
+TEST(Drift, FreshSensorUnchanged) {
+  DriftModel drift;
+  ElectrochemicalCell cell{clodx_params()};
+  EXPECT_DOUBLE_EQ(drift.sensitivity_gain(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(drift.baseline_density(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(drift.aged_current_density(cell, 1.0, 0.0),
+                   cell.current_density(1.0));
+}
+
+TEST(Drift, SensitivityDecaysTowardFloor) {
+  DriftModel drift;
+  double prev = 1.0;
+  for (double d : {2.0, 5.0, 10.0, 20.0, 40.0}) {
+    const double g = drift.sensitivity_gain(d);
+    EXPECT_LT(g, prev);
+    EXPECT_GE(g, drift.params().sensitivity_floor);
+    prev = g;
+  }
+  EXPECT_NEAR(drift.sensitivity_gain(1000.0), drift.params().sensitivity_floor, 1e-9);
+}
+
+TEST(Drift, BaselineCreepsLinearly) {
+  DriftModel drift;
+  EXPECT_NEAR(drift.baseline_density(10.0), 2e-3, 1e-12);
+  EXPECT_THROW(drift.baseline_density(-1.0), std::invalid_argument);
+}
+
+TEST(Drift, MwcntSlowsDecay) {
+  // The paper's motivation for the nanotube immobilization: stability.
+  DriftModel mwcnt{DriftParams{}};
+  DriftModel bare{bare_electrode_drift()};
+  for (double d : {3.0, 7.0, 14.0}) {
+    EXPECT_GT(mwcnt.sensitivity_gain(d), bare.sensitivity_gain(d)) << "day " << d;
+  }
+}
+
+TEST(Drift, UncalibratedAgedSensorMisreads) {
+  DriftModel drift;
+  ElectrochemicalCell cell{clodx_params()};
+  const double days = 10.0;
+  // Naive inversion of an aged reading through the pristine transfer.
+  const double j_aged = drift.aged_current_density(cell, 1.0, days);
+  const double naive =
+      cell.concentration_from_current(j_aged * cell.geometry().area);
+  // Sensitivity has dropped ~40 %: the naive estimate is badly low.
+  EXPECT_LT(naive, 0.8);
+}
+
+TEST(Calibration, TwoPointRecoversConcentration) {
+  DriftModel drift;
+  ElectrochemicalCell cell{clodx_params()};
+  const double days = 10.0;
+  const TwoPointCalibration cal(cell, drift, days, 0.2, 2.0);
+  for (double truth : {0.3, 0.7, 1.0, 1.5}) {
+    const double j = drift.aged_current_density(cell, truth, days);
+    const double est = cal.concentration_from_density(cell, j);
+    EXPECT_NEAR(est, truth, truth * 0.02) << "c=" << truth;
+  }
+}
+
+TEST(Calibration, GainAndBaselineMatchDriftModel) {
+  DriftModel drift;
+  ElectrochemicalCell cell{clodx_params()};
+  const double days = 7.0;
+  const TwoPointCalibration cal(cell, drift, days, 0.2, 2.0);
+  EXPECT_NEAR(cal.gain(), drift.sensitivity_gain(days), 1e-9);
+  EXPECT_NEAR(cal.baseline(), drift.baseline_density(days), 1e-9);
+}
+
+TEST(Calibration, Validation) {
+  DriftModel drift;
+  ElectrochemicalCell cell{clodx_params()};
+  EXPECT_THROW(TwoPointCalibration(cell, drift, 1.0, 2.0, 0.5), std::invalid_argument);
+  DriftParams bad;
+  bad.sensitivity_tau_days = 0.0;
+  EXPECT_THROW(DriftModel{bad}, std::invalid_argument);
+}
+
+}  // namespace

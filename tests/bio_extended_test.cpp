@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/bio/cell.hpp"
+
+namespace {
+
+using namespace ironic::bio;
+
+TEST(Glucose, PhysiologicalRangeCoverage) {
+  // Glycemia spans ~4-10 mM; the GOx electrode must resolve that span
+  // without saturating (Km above the range midpoint).
+  ElectrochemicalCell cell{gox_params()};
+  const double j4 = cell.current_density(4.0);
+  const double j7 = cell.current_density(7.0);
+  const double j10 = cell.current_density(10.0);
+  EXPECT_GT(j7, j4);
+  EXPECT_GT(j10, j7);
+  // Still usefully steep at the top of the range (not yet saturated).
+  EXPECT_GT((j10 - j7) / j7, 0.1);
+}
+
+TEST(Glucose, CurrentsFitTheAdcRange) {
+  // With the standard electrode the glucose currents stay inside the
+  // 4 uA full scale of the paper's ADC.
+  ElectrochemicalCell cell{gox_params()};
+  EXPECT_LT(cell.current(10.0), 4e-6);
+  EXPECT_GT(cell.current(4.0), 0.1e-6);
+}
+
+TEST(TemperatureKinetics, Q10ScalingAtBodyVsRoom) {
+  // Q10 = 2: cooling from 37 C to 27 C halves the enzyme activity.
+  ElectrochemicalCell cell{clodx_params()};
+  const double at_body = cell.current_density(1.0, 310.15);
+  const double at_room = cell.current_density(1.0, 300.15);
+  EXPECT_NEAR(at_room / at_body, 0.5, 1e-9);
+  // Reference temperature leaves the base value unchanged.
+  EXPECT_DOUBLE_EQ(at_body, cell.current_density(1.0));
+}
+
+TEST(TemperatureKinetics, MonotoneInTemperature) {
+  ElectrochemicalCell cell{gox_params()};
+  double prev = 0.0;
+  for (double t : {295.15, 300.15, 305.15, 310.15, 313.15}) {
+    const double j = cell.current_density(5.0, t);
+    EXPECT_GT(j, prev);
+    prev = j;
+  }
+}
+
+TEST(TemperatureKinetics, FeverShiftIsSmallButVisible) {
+  // 37 -> 39 C: ~15 % activity increase with Q10 = 2 — a known error
+  // source for implanted sensors that the calibration must absorb.
+  ElectrochemicalCell cell{clodx_params()};
+  const double shift =
+      cell.current_density(1.0, 312.15) / cell.current_density(1.0, 310.15);
+  EXPECT_NEAR(shift, std::pow(2.0, 0.2), 1e-9);
+}
+
+TEST(TemperatureKinetics, RejectsNonPhysicalTemperature) {
+  ElectrochemicalCell cell{clodx_params()};
+  EXPECT_THROW(cell.current_density(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Glucose, CurrentWithTemperatureOverloadConsistent) {
+  ElectrochemicalCell cell{gox_params()};
+  EXPECT_DOUBLE_EQ(cell.current(5.0, cell.enzyme().t_ref), cell.current(5.0));
+}
+
+}  // namespace

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/bio/adc.hpp"
+#include "src/bio/cell.hpp"
+#include "src/bio/interface.hpp"
+#include "src/bio/potentiostat.hpp"
+#include "src/spice/engine.hpp"
+
+namespace {
+
+using namespace ironic::bio;
+
+// -------------------------------------------------------------------- cell
+
+TEST(Cell, MichaelisMentenShape) {
+  ElectrochemicalCell cell{clodx_params()};
+  // Monotone increasing, saturating.
+  double prev = 0.0;
+  for (double c : {0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0}) {
+    const double j = cell.current_density(c);
+    EXPECT_GT(j, prev);
+    prev = j;
+  }
+  // Saturation bound: j < j_max.
+  EXPECT_LT(cell.current_density(1e4), clodx_params().j_max);
+  // Half of saturation exactly at Km.
+  EXPECT_NEAR(cell.current_density(clodx_params().km), 0.5 * clodx_params().j_max,
+              1e-12);
+}
+
+TEST(Cell, Fig4OrderingAndMagnitudes) {
+  // cLODx above wtLODx across the published range (log10 in [-0.8, 0]).
+  ElectrochemicalCell commercial{clodx_params()};
+  ElectrochemicalCell wild{wtlodx_params()};
+  for (double lg = -0.8; lg <= 0.01; lg += 0.1) {
+    const double c = std::pow(10.0, lg);
+    EXPECT_GT(commercial.delta_current_density_ua_cm2(c),
+              wild.delta_current_density_ua_cm2(c));
+  }
+  // Magnitudes in the Fig. 4 window: a few uA/cm^2 at 1 mM.
+  EXPECT_NEAR(commercial.delta_current_density_ua_cm2(1.0), 4.2, 1.0);
+  EXPECT_NEAR(wild.delta_current_density_ua_cm2(1.0), 1.6, 0.8);
+}
+
+TEST(Cell, MwcntAblationReducesSensitivity) {
+  ElectrochemicalCell enhanced{clodx_params()};
+  ElectrochemicalCell bare{clodx_bare_params()};
+  EXPECT_LT(bare.current_density(1.0), 0.5 * enhanced.current_density(1.0));
+}
+
+TEST(Cell, CurrentInverseRoundTrip) {
+  ElectrochemicalCell cell{clodx_params()};
+  for (double c : {0.1, 0.5, 1.0, 3.0}) {
+    const double i = cell.current(c);
+    EXPECT_NEAR(cell.concentration_from_current(i), c, c * 1e-9);
+  }
+  EXPECT_THROW(cell.concentration_from_current(-1.0), std::invalid_argument);
+  EXPECT_THROW(cell.concentration_from_current(1.0), std::invalid_argument);  // > sat
+}
+
+TEST(Cell, BiasGate) {
+  EXPECT_TRUE(ElectrochemicalCell::bias_sufficient(0.65));
+  EXPECT_FALSE(ElectrochemicalCell::bias_sufficient(0.4));
+}
+
+TEST(Cell, CalibrationCurveCoversRange) {
+  ElectrochemicalCell cell{clodx_params()};
+  const auto pts = calibration_curve(cell, 0.158, 1.0, 9);  // log10: -0.8 .. 0
+  ASSERT_EQ(pts.size(), 9u);
+  EXPECT_NEAR(pts.front().log10_mM, -0.8, 1e-2);
+  EXPECT_NEAR(pts.back().log10_mM, 0.0, 1e-12);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GT(pts[i].delta_current_ua_cm2, pts[i - 1].delta_current_ua_cm2);
+  }
+  EXPECT_THROW(calibration_curve(cell, 1.0, 0.5, 5), std::invalid_argument);
+}
+
+TEST(Cell, RejectsInvalidParameters) {
+  EnzymeParams bad = clodx_params();
+  bad.j_max = 0.0;
+  EXPECT_THROW(ElectrochemicalCell{bad}, std::invalid_argument);
+  ElectrodeGeometry geom;
+  geom.area = 0.0;
+  EXPECT_THROW(ElectrochemicalCell(clodx_params(), geom), std::invalid_argument);
+  ElectrochemicalCell cell{clodx_params()};
+  EXPECT_THROW(cell.current_density(-1.0), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- adc
+
+TEST(Adc, ModulatorStableInRange) {
+  SigmaDeltaModulator mod;
+  for (int i = 0; i < 20000; ++i) {
+    mod.step(0.85);
+    ASSERT_LT(mod.integrator_magnitude(), 20.0) << "diverged at step " << i;
+  }
+}
+
+TEST(Adc, ModulatorBitDensityTracksInput) {
+  SigmaDeltaModulator mod;
+  for (double x : {-0.5, 0.0, 0.3, 0.8}) {
+    mod.reset();
+    long sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) sum += mod.step(x);
+    EXPECT_NEAR(static_cast<double>(sum) / n, x, 0.01) << "x=" << x;
+  }
+}
+
+TEST(Adc, DecimatorRecoversDc) {
+  SigmaDeltaModulator mod;
+  Sinc3Decimator dec(128);
+  const double x = 0.4;
+  double last = 0.0;
+  int outputs = 0;
+  for (int i = 0; i < 128 * 32; ++i) {
+    if (dec.push(mod.step(x))) {
+      last = dec.output();
+      ++outputs;
+    }
+  }
+  EXPECT_GT(outputs, 8);
+  EXPECT_NEAR(last, x, 0.02);
+  EXPECT_THROW(Sinc3Decimator{1}, std::invalid_argument);
+}
+
+TEST(Adc, FourteenBitResolutionMeetsPaper) {
+  AdcSpec spec;
+  // 4 uA full scale over 14 bits: LSB ~ 244 pA, compliant with the
+  // paper's 250 pA requirement.
+  EXPECT_EQ(spec.max_code(), 16383);
+  EXPECT_LT(spec.lsb_current(), 250e-12);
+  EXPECT_GT(spec.lsb_current(), 230e-12);
+}
+
+TEST(Adc, DcTransferAccurate) {
+  SigmaDeltaAdc adc;
+  for (double i_in : {0.2e-6, 1.0e-6, 2.0e-6, 3.5e-6}) {
+    const auto code = adc.convert_current(i_in);
+    const double back = adc.current_from_code(code);
+    // Within 4 LSB across the range.
+    EXPECT_NEAR(back, i_in, 4.0 * adc.spec().lsb_current()) << "i=" << i_in;
+  }
+}
+
+TEST(Adc, TransferIsMonotone) {
+  SigmaDeltaAdc adc;
+  std::uint32_t prev = 0;
+  for (double i_in = 0.1e-6; i_in <= 3.9e-6; i_in += 0.2e-6) {
+    const auto code = adc.convert_current(i_in);
+    EXPECT_GE(code, prev) << "i=" << i_in;
+    prev = code;
+  }
+}
+
+TEST(Adc, RejectsOutOfRange) {
+  SigmaDeltaAdc adc;
+  EXPECT_THROW(adc.convert_current(-1e-9), std::invalid_argument);
+  EXPECT_THROW(adc.convert_current(5e-6), std::invalid_argument);
+  EXPECT_THROW(adc.convert_normalized(0.99), std::invalid_argument);
+  AdcSpec bad;
+  bad.bits = 1;
+  EXPECT_THROW(SigmaDeltaAdc{bad}, std::invalid_argument);
+}
+
+TEST(Adc, NoiseDegradesRepeatability) {
+  AdcSpec noisy;
+  noisy.input_noise_rms = 0.02;
+  SigmaDeltaAdc adc(noisy, 3);
+  std::vector<double> codes;
+  for (int i = 0; i < 10; ++i) {
+    codes.push_back(static_cast<double>(adc.convert_current(2e-6)));
+  }
+  double lo = codes[0], hi = codes[0];
+  for (double c : codes) {
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  EXPECT_GT(hi - lo, 0.5);    // visible spread
+  EXPECT_LT(hi - lo, 400.0);  // but bounded
+}
+
+// ------------------------------------------------------------- potentiostat
+
+TEST(Potentiostat, ReadoutTransferAndInverse) {
+  PotentiostatModel pstat;
+  const double v = pstat.readout_voltage(2e-6);
+  EXPECT_NEAR(v, 2e-6 * 300e3, 1e-9);
+  EXPECT_NEAR(pstat.current_from_readout(v), 2e-6, 1e-15);
+  EXPECT_THROW(pstat.readout_voltage(-1e-6), std::invalid_argument);
+}
+
+TEST(Potentiostat, OxidationBiasIs650mV) {
+  PotentiostatSpec spec;
+  EXPECT_NEAR(spec.oxidation_bias(), 0.65, 1e-12);
+}
+
+TEST(Potentiostat, MeasureGatesOnBias) {
+  ElectrochemicalCell cell{clodx_params()};
+  PotentiostatSpec starved;
+  starved.v_we = 0.8;  // only 250 mV across the cell
+  PotentiostatModel pstat{starved};
+  EXPECT_DOUBLE_EQ(pstat.measure(cell, 1.0), 0.0);
+  PotentiostatModel good{PotentiostatSpec{}};
+  EXPECT_GT(good.measure(cell, 1.0), 0.0);
+}
+
+TEST(Potentiostat, MirrorMismatchSkewsGain) {
+  PotentiostatSpec spec;
+  spec.mirror_mismatch = 0.05;
+  PotentiostatModel pstat{spec};
+  EXPECT_NEAR(pstat.readout_voltage(1e-6), 1.05 * 1e-6 * 300e3, 1e-9);
+}
+
+TEST(Potentiostat, CircuitRegulatesElectrodes) {
+  using namespace ironic::spice;
+  ElectrochemicalCell cell{clodx_params()};
+  Circuit ckt;
+  const auto h = build_potentiostat_circuit(ckt, "ps", cell, 1.0);
+  TransientOptions opts;
+  opts.t_stop = 2e-3;  // let Cdl finish charging
+  opts.dt_max = 1e-6;
+  const auto res = run_transient(ckt, opts);
+  // RE at 550 mV, WE at 1.2 V (the 650 mV oxidation bias); small
+  // residuals reflect the finite loop gains of the two amplifiers.
+  EXPECT_NEAR(res.mean_between("v(ps.re)", 1.5e-3, 2e-3), 0.55, 0.02);
+  EXPECT_NEAR(res.mean_between("v(ps.we)", 1.5e-3, 2e-3), 1.2, 0.03);
+}
+
+TEST(Potentiostat, CircuitReadoutTracksConcentration) {
+  using namespace ironic::spice;
+  ElectrochemicalCell cell{clodx_params()};
+  const auto readout_at = [&](double conc) {
+    Circuit ckt;
+    const auto h = build_potentiostat_circuit(ckt, "ps", cell, conc);
+    TransientOptions opts;
+    opts.t_stop = 2e-3;
+    opts.dt_max = 1e-6;
+    const auto res = run_transient(ckt, opts);
+    return res.mean_between("v(" + h.readout_name + ")", 1.5e-3, 2e-3);
+  };
+  const double v_low = readout_at(0.2);
+  const double v_high = readout_at(1.0);
+  EXPECT_GT(v_high, v_low * 1.5);
+  // Compare against the behavioural transfer within 15 %.
+  PotentiostatModel model;
+  EXPECT_NEAR(v_high, model.readout_voltage(cell.current(1.0)),
+              0.15 * model.readout_voltage(cell.current(1.0)));
+}
+
+// ---------------------------------------------------------------- interface
+
+TEST(Interface, EndToEndConcentrationRecovery) {
+  ElectronicInterface ei{ElectrochemicalCell{clodx_params()}};
+  for (double c : {0.2, 0.5, 1.0, 2.0}) {
+    const auto m = ei.measure(c);
+    EXPECT_GT(m.adc_code, 0u);
+    EXPECT_NEAR(m.estimated_concentration, c, 0.08 * c + 0.02) << "c=" << c;
+  }
+}
+
+TEST(Interface, AppliedBiasFromBandgaps) {
+  ElectronicInterface ei{ElectrochemicalCell{clodx_params()}};
+  EXPECT_NEAR(ei.applied_bias(), 0.65, 1e-6);
+}
+
+TEST(Interface, UnderVoltedSupplyReturnsNothing) {
+  InterfaceSpec spec;
+  spec.supply_voltage = 0.6;  // references collapse
+  ElectronicInterface ei{ElectrochemicalCell{clodx_params()}, spec};
+  const auto m = ei.measure(1.0);
+  EXPECT_EQ(m.adc_code, 0u);
+  EXPECT_DOUBLE_EQ(m.cell_current, 0.0);
+}
+
+TEST(Interface, SupplyCurrentsMatchPaperBudget) {
+  ElectronicInterface ei{ElectrochemicalCell{clodx_params()}};
+  // Low power: front end only (45 uA); high power adds the ADC (240 uA).
+  EXPECT_NEAR(ei.supply_current(ironic::pm::SensorMode::kLowPower), 45e-6, 1e-9);
+  EXPECT_NEAR(ei.supply_current(ironic::pm::SensorMode::kHighPower), 285e-6, 1e-9);
+  EXPECT_LT(ei.supply_current(ironic::pm::SensorMode::kSleep), 45e-6);
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/comms/ask.hpp"
+#include "src/comms/line_code.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace ironic::comms;
+
+TEST(Manchester, EncodeExpandsAndAlternates) {
+  const auto chips = manchester_encode(bits_from_string("10"));
+  EXPECT_EQ(bits_to_string(chips), "1001");
+}
+
+TEST(Manchester, RoundTrip) {
+  ironic::util::Rng rng(3);
+  const auto bits = random_bits(257, rng);
+  const auto decoded = manchester_decode(manchester_encode(bits));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, bits);
+}
+
+TEST(Manchester, InvalidSymbolsRejected) {
+  EXPECT_FALSE(manchester_decode(bits_from_string("11")).has_value());
+  EXPECT_FALSE(manchester_decode(bits_from_string("001")).has_value());  // odd
+  EXPECT_FALSE(manchester_decode(bits_from_string("1000")).has_value());
+}
+
+TEST(Manchester, StreamIsDcFree) {
+  ironic::util::Rng rng(5);
+  // Even a heavily biased source becomes DC-free after coding.
+  Bits biased(300, true);
+  EXPECT_TRUE(is_dc_free(manchester_encode(biased)));
+  EXPECT_TRUE(is_dc_free(manchester_encode(random_bits(100, rng))));
+  EXPECT_FALSE(is_dc_free(bits_from_string("111")));
+}
+
+TEST(BurstSync, FindsPreambleInEnvelope) {
+  // Build an envelope: idle high, then preamble + payload keyed at 100 kbps.
+  AskSpec spec;
+  const auto preamble = standard_preamble();
+  Bits burst = preamble;
+  const auto payload = bits_from_string("1100101");
+  burst.insert(burst.end(), payload.begin(), payload.end());
+
+  const double t0 = 137e-6;  // receiver does not know this
+  const double t_stop = t0 + burst.size() * spec.bit_period() + 50e-6;
+  const auto env = ask_envelope(burst, spec, t0, t_stop);
+  std::vector<double> ts, vs;
+  for (double t = 0.0; t <= t_stop; t += 0.5e-6) {
+    ts.push_back(t);
+    vs.push_back(env(t));
+  }
+
+  double found = 0.0;
+  const double threshold = 0.5 * (spec.amplitude_high + spec.amplitude_low());
+  ASSERT_TRUE(find_burst_start(ts, vs, spec.bit_rate, threshold, preamble, found));
+  EXPECT_NEAR(found, t0, 0.3 * spec.bit_period());
+
+  // Decode the payload using the recovered timing.
+  const auto rx = slice_bits(ts, vs, spec.bit_rate,
+                             found + preamble.size() * spec.bit_period(),
+                             payload.size());
+  EXPECT_EQ(bits_to_string(rx), bits_to_string(payload));
+}
+
+TEST(BurstSync, NoMatchReturnsFalse) {
+  std::vector<double> ts, vs;
+  for (double t = 0.0; t < 1e-3; t += 1e-6) {
+    ts.push_back(t);
+    vs.push_back(1.0);  // constant envelope: no preamble present
+  }
+  double found = 0.0;
+  EXPECT_FALSE(find_burst_start(ts, vs, 100e3, 0.8, standard_preamble(), found));
+  EXPECT_FALSE(find_burst_start({}, {}, 100e3, 0.8, standard_preamble(), found));
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "src/comms/protocol.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace ironic::comms;
+
+Channel clean_channel() {
+  return [](const Bits& bits) { return bits; };
+}
+
+// Flips one random bit with probability p per transit.
+Channel lossy_channel(double p, ironic::util::Rng& rng) {
+  return [p, &rng](const Bits& bits) {
+    Bits out = bits;
+    if (rng.bernoulli(p) && !out.empty()) {
+      const auto i = static_cast<std::size_t>(rng.below(out.size()));
+      out[i] = !out[i];
+    }
+    return out;
+  };
+}
+
+Response echo_handler(const Request& request) {
+  Response response;
+  response.ok = true;
+  response.payload = request.payload;
+  return response;
+}
+
+TEST(Protocol, RequestRoundTrip) {
+  Request request;
+  request.sequence = 42;
+  request.command = Command::kMeasure;
+  request.payload = {0x10, 0x20};
+  const auto decoded = decode_request(encode_request(request));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->sequence, 42);
+  EXPECT_EQ(decoded->command, Command::kMeasure);
+  EXPECT_EQ(decoded->payload, request.payload);
+}
+
+TEST(Protocol, ResponseRoundTripAndStatus) {
+  Response response;
+  response.sequence = 7;
+  response.ok = false;
+  response.payload = {0xAB};
+  const auto decoded = decode_response(encode_response(response));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->sequence, 7);
+  EXPECT_FALSE(decoded->ok);
+}
+
+TEST(Protocol, MalformedFramesRejected) {
+  EXPECT_FALSE(decode_request(bits_from_string("101010")).has_value());
+  Frame tiny;
+  tiny.payload = {0x01};  // too short for seq + cmd
+  EXPECT_FALSE(decode_request(encode_frame(tiny)).has_value());
+}
+
+TEST(Transactor, CleanChannelSingleAttempt) {
+  Transactor tx;
+  Request request;
+  request.sequence = tx.next_sequence();
+  request.command = Command::kPing;
+  TransactorStats stats;
+  const auto response =
+      tx.execute(request, clean_channel(), clean_channel(), echo_handler, &stats);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->ok);
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(stats.crc_failures, 0);
+}
+
+TEST(Transactor, RetriesThroughLossyChannel) {
+  ironic::util::Rng rng(99);
+  Transactor tx(10);
+  int delivered = 0;
+  TransactorStats stats;
+  for (int k = 0; k < 50; ++k) {
+    Request request;
+    request.sequence = tx.next_sequence();
+    request.command = Command::kMeasure;
+    request.payload = {static_cast<std::uint8_t>(k)};
+    const auto response = tx.execute(request, lossy_channel(0.3, rng),
+                                     lossy_channel(0.3, rng), echo_handler, &stats);
+    if (response.has_value()) {
+      ++delivered;
+      EXPECT_EQ(response->payload[0], static_cast<std::uint8_t>(k));
+    }
+  }
+  // Per-attempt success is ~0.49 (0.7 x 0.7); with 10 retries the
+  // failure probability collapses below 1e-3 per transaction.
+  EXPECT_GE(delivered, 49);
+  EXPECT_GT(stats.crc_failures, 0);  // retries actually happened
+}
+
+TEST(Transactor, ExhaustedRetriesReturnNothing) {
+  Transactor tx(2);
+  Request request;
+  request.sequence = tx.next_sequence();
+  const Channel dead = [](const Bits& bits) {
+    Bits out = bits;
+    out[0] = !out[0];  // always corrupt the preamble
+    return out;
+  };
+  TransactorStats stats;
+  const auto response = tx.execute(request, dead, clean_channel(), echo_handler,
+                                   &stats);
+  EXPECT_FALSE(response.has_value());
+  EXPECT_EQ(stats.attempts, 3);  // initial + 2 retries
+  EXPECT_EQ(stats.crc_failures, 3);
+}
+
+TEST(Transactor, StaleSequenceRejected) {
+  // The implant echoes a wrong sequence: the transactor must not accept.
+  Transactor tx(1);
+  Request request;
+  request.sequence = 5;
+  const auto bad_handler = [](const Request&) {
+    Response response;
+    response.ok = true;
+    return response;
+  };
+  // Wrap the uplink so the sequence byte gets overwritten with garbage.
+  const Channel uplink = [](const Bits& bits) {
+    auto frame = decode_frame(bits);
+    frame->payload[0] = 0x77;  // wrong sequence
+    return encode_frame(*frame);
+  };
+  TransactorStats stats;
+  const auto response =
+      tx.execute(request, clean_channel(), uplink, bad_handler, &stats);
+  EXPECT_FALSE(response.has_value());
+  EXPECT_EQ(stats.sequence_mismatches, 2);
+}
+
+TEST(Transactor, SequenceCounterWraps) {
+  Transactor tx;
+  std::uint8_t last = 0;
+  for (int i = 0; i < 300; ++i) last = tx.next_sequence();
+  EXPECT_EQ(last, static_cast<std::uint8_t>(299));
+}
+
+}  // namespace

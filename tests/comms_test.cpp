@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/comms/ask.hpp"
+#include "src/comms/bitstream.hpp"
+#include "src/comms/lsk.hpp"
+#include "src/util/constants.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace ironic::comms;
+
+// --------------------------------------------------------------- bitstream
+
+TEST(Bitstream, StringRoundTrip) {
+  const auto bits = bits_from_string("1011001");
+  EXPECT_EQ(bits.size(), 7u);
+  EXPECT_EQ(bits_to_string(bits), "1011001");
+  EXPECT_THROW(bits_from_string("10x"), std::invalid_argument);
+}
+
+TEST(Bitstream, ByteRoundTrip) {
+  const std::vector<std::uint8_t> bytes{0xA5, 0x3C, 0x00, 0xFF};
+  const auto bits = bits_from_bytes(bytes);
+  EXPECT_EQ(bits.size(), 32u);
+  EXPECT_EQ(bits_to_string(bits).substr(0, 8), "10100101");
+  const auto back = bytes_from_bits(bits);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, bytes);
+}
+
+TEST(Bitstream, PartialByteRejected) {
+  EXPECT_FALSE(bytes_from_bits(bits_from_string("1010101")).has_value());
+}
+
+TEST(Bitstream, HammingAndBer) {
+  const auto a = bits_from_string("10110");
+  const auto b = bits_from_string("10011");
+  EXPECT_EQ(hamming_distance(a, b), 2u);
+  EXPECT_DOUBLE_EQ(bit_error_rate(a, b), 0.4);
+  EXPECT_DOUBLE_EQ(bit_error_rate({}, {}), 0.0);
+  EXPECT_THROW(hamming_distance(a, bits_from_string("1")), std::invalid_argument);
+}
+
+TEST(Bitstream, Crc8KnownVector) {
+  // CRC-8/ATM of "123456789" is 0xF4.
+  const std::vector<std::uint8_t> msg{'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc8(msg), 0xF4);
+}
+
+TEST(Bitstream, FrameRoundTrip) {
+  Frame f;
+  f.payload = {0x01, 0x42, 0x99};
+  const auto bits = encode_frame(f);
+  const auto decoded = decode_frame(bits);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->payload, f.payload);
+}
+
+TEST(Bitstream, FrameDetectsCorruption) {
+  Frame f;
+  f.payload = {0x10, 0x20};
+  auto bits = encode_frame(f);
+  bits[4 * 8 + 3] = !bits[4 * 8 + 3];  // flip a payload bit
+  EXPECT_FALSE(decode_frame(bits).has_value());
+}
+
+TEST(Bitstream, FrameRejectsBadSyncAndLength) {
+  Frame f;
+  f.payload = {0x55};
+  auto bits = encode_frame(f);
+  bits[8] = !bits[8];  // corrupt the sync byte
+  EXPECT_FALSE(decode_frame(bits).has_value());
+  EXPECT_FALSE(decode_frame(bits_from_string("1010")).has_value());
+  Frame big;
+  big.payload.assign(256, 0);
+  EXPECT_THROW(encode_frame(big), std::invalid_argument);
+}
+
+TEST(Bitstream, EmptyPayloadFrame) {
+  const auto decoded = decode_frame(encode_frame(Frame{}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+// --------------------------------------------------------------------- ask
+
+TEST(Ask, ModulationDepthFromDivider) {
+  // R8/(R7+R8) scaling: equal resistors halve the carrier.
+  EXPECT_NEAR(modulation_depth_from_divider(1e3, 1e3), 0.5, 1e-12);
+  EXPECT_NEAR(modulation_depth_from_divider(1e3, 9e3), 0.1, 1e-12);
+  EXPECT_THROW(modulation_depth_from_divider(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Ask, EnvelopeLevels) {
+  AskSpec spec;
+  spec.amplitude_high = 2.0;
+  spec.modulation_depth = 0.4;
+  EXPECT_NEAR(spec.amplitude_low(), 1.2, 1e-12);
+
+  const auto env = ask_envelope(bits_from_string("101"), spec, 100e-6, 400e-6);
+  // Unmodulated before the burst.
+  EXPECT_NEAR(env(50e-6), 2.0, 1e-9);
+  // Mid-bit values: '1' high, '0' low.
+  EXPECT_NEAR(env(105e-6), 2.0, 1e-9);
+  EXPECT_NEAR(env(115e-6), 1.2, 1e-9);
+  EXPECT_NEAR(env(125e-6), 2.0, 1e-9);
+  // Back to the carrier after the burst.
+  EXPECT_NEAR(env(300e-6), 2.0, 1e-9);
+}
+
+TEST(Ask, EnvelopeRejectsSlowEdges) {
+  AskSpec spec;
+  spec.edge_time = 6e-6;  // > half a 10 us bit
+  EXPECT_THROW(ask_envelope(bits_from_string("10"), spec, 0.0, 1e-3),
+               std::invalid_argument);
+}
+
+TEST(Ask, WaveformCarriesEnvelope) {
+  AskSpec spec;
+  const auto w = ask_waveform(bits_from_string("10"), spec, 0.0, 50e-6);
+  // Peak near a '1' carrier maximum: amplitude_high.
+  double peak = 0.0;
+  for (double t = 2e-6; t < 8e-6; t += 1e-8) peak = std::max(peak, std::abs(w(t)));
+  EXPECT_NEAR(peak, spec.amplitude_high, 0.01);
+  double peak0 = 0.0;
+  for (double t = 12e-6; t < 18e-6; t += 1e-8) peak0 = std::max(peak0, std::abs(w(t)));
+  EXPECT_NEAR(peak0, spec.amplitude_low(), 0.01);
+}
+
+std::pair<std::vector<double>, std::vector<double>> sampled_carrier(
+    const ironic::spice::Waveform& w, double t_stop, double dt) {
+  std::vector<double> ts, vs;
+  for (double t = 0.0; t <= t_stop; t += dt) {
+    ts.push_back(t);
+    vs.push_back(w(t));
+  }
+  return {ts, vs};
+}
+
+TEST(Ask, CleanLoopbackRecoversBits) {
+  AskSpec spec;
+  const auto bits = bits_from_string("110100101101011001");  // paper: 18 bits
+  const double t0 = 20e-6;
+  const auto w = ask_waveform(bits, spec, t0, 250e-6);
+  const auto [ts, vs] = sampled_carrier(w, 250e-6, 10e-9);
+  const auto rx = demodulate_ask(ts, vs, spec, t0, bits.size());
+  EXPECT_EQ(bits_to_string(rx), bits_to_string(bits));
+}
+
+TEST(Ask, LoopbackSurvivesModerateNoise) {
+  AskSpec spec;
+  ironic::util::Rng rng(77);
+  const auto bits = random_bits(40, rng);
+  const double t0 = 10e-6;
+  const double t_stop = t0 + 40.0 * spec.bit_period() + 20e-6;
+  const auto w = ask_waveform(bits, spec, t0, t_stop);
+  auto [ts, vs] = sampled_carrier(w, t_stop, 10e-9);
+  for (auto& v : vs) v += rng.normal(0.0, 0.05);  // SNR ~ 20 dB on amplitude
+  const auto rx = demodulate_ask(ts, vs, spec, t0, bits.size());
+  EXPECT_EQ(bit_error_rate(bits, rx), 0.0);
+}
+
+TEST(Ask, HeavyNoiseCausesErrors) {
+  AskSpec spec;
+  spec.modulation_depth = 0.15;  // shallow modulation
+  ironic::util::Rng rng(99);
+  const auto bits = random_bits(60, rng);
+  const double t0 = 10e-6;
+  const double t_stop = t0 + 60.0 * spec.bit_period() + 20e-6;
+  const auto w = ask_waveform(bits, spec, t0, t_stop);
+  auto [ts, vs] = sampled_carrier(w, t_stop, 20e-9);
+  for (auto& v : vs) v += rng.normal(0.0, 0.5);
+  const auto rx = demodulate_ask(ts, vs, spec, t0, bits.size());
+  EXPECT_GT(bit_error_rate(bits, rx), 0.0);
+}
+
+TEST(Ask, EnvelopeDetectorTracksAmplitude) {
+  AskSpec spec;
+  const auto w = ask_waveform(bits_from_string("1"), spec, 0.0, 20e-6);
+  const auto [ts, vs] = sampled_carrier(w, 20e-6, 5e-9);
+  const auto env = envelope_detect(ts, vs, 4.0 / spec.carrier_frequency);
+  // After settling, the envelope hugs the carrier amplitude.
+  double late = 0.0;
+  for (std::size_t i = ts.size() * 3 / 4; i < ts.size(); ++i) late = std::max(late, env[i]);
+  EXPECT_NEAR(late, 1.0, 0.05);
+  EXPECT_THROW(envelope_detect(ts, vs, -1.0), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- lsk
+
+TEST(Lsk, GateWaveformActiveOnZeros) {
+  LskSpec spec;
+  const auto gate = lsk_gate_waveform(bits_from_string("010"), spec, 100e-6);
+  const double tb = spec.bit_period();
+  // '0' bits short the input: gate high during bits 0 and 2.
+  EXPECT_NEAR(gate(100e-6 + 0.5 * tb), spec.v_on, 1e-9);
+  EXPECT_NEAR(gate(100e-6 + 1.5 * tb), spec.v_off, 1e-9);
+  EXPECT_NEAR(gate(100e-6 + 2.5 * tb), spec.v_on, 1e-9);
+  // Idle (no transmission) -> released.
+  EXPECT_NEAR(gate(50e-6), spec.v_off, 1e-9);
+  EXPECT_NEAR(gate(100e-6 + 4.0 * tb), spec.v_off, 1e-9);
+}
+
+TEST(Lsk, M2GateIsComplementary) {
+  LskSpec spec;
+  const auto m1 = lsk_gate_waveform(bits_from_string("01"), spec, 0.0);
+  const auto m2 = lsk_m2_gate_waveform(bits_from_string("01"), spec, 0.0);
+  const double tb = spec.bit_period();
+  // While M1 shorts (bit '0'), M2 must be open (low).
+  EXPECT_NEAR(m1(0.5 * tb), spec.v_on, 1e-9);
+  EXPECT_NEAR(m2(0.5 * tb), spec.v_off, 1e-9);
+  EXPECT_NEAR(m1(1.5 * tb), spec.v_off, 1e-9);
+  EXPECT_NEAR(m2(1.5 * tb), spec.v_on, 1e-9);
+}
+
+TEST(Lsk, DetectorRecoversBitsFromSyntheticCurrent) {
+  LskSpec spec;
+  const auto bits = bits_from_string("1011001010");
+  const double tb = spec.bit_period();
+  const double t0 = 50e-6;
+  std::vector<double> ts, is;
+  ironic::util::Rng rng(5);
+  for (double t = 0.0; t < t0 + 11.0 * tb; t += 0.2e-6) {
+    const double rel = (t - t0) / tb;
+    double current = 80e-3;  // idle supply current
+    if (rel >= 0.0 && rel < 10.0) {
+      const auto bit = static_cast<std::size_t>(rel);
+      current = bits[bit] ? 80e-3 : 45e-3;  // short -> lighter load
+    }
+    ts.push_back(t);
+    is.push_back(current + rng.normal(0.0, 2e-3));
+  }
+  const auto rx = detect_lsk(ts, is, spec, t0, bits.size());
+  EXPECT_EQ(bits_to_string(rx), bits_to_string(bits));
+}
+
+TEST(Lsk, DetectorInvertFlipsPolarity) {
+  LskSpec spec;
+  const auto bits = bits_from_string("10");
+  const double tb = spec.bit_period();
+  std::vector<double> ts, is;
+  for (double t = 0.0; t < 3.0 * tb; t += 0.2e-6) {
+    const double rel = t / tb;
+    const auto bit = static_cast<std::size_t>(std::min(rel, 1.9));
+    ts.push_back(t);
+    is.push_back(bits[bit] ? 10e-3 : 50e-3);  // opposite polarity
+  }
+  const auto rx = detect_lsk(ts, is, spec, 0.0, 2, /*invert=*/true);
+  EXPECT_EQ(bits_to_string(rx), "10");
+}
+
+TEST(Lsk, DetectorValidatesWindow) {
+  LskSpec spec;
+  std::vector<double> ts{0.0, 1e-6};
+  std::vector<double> is{1.0, 1.0};
+  EXPECT_THROW(detect_lsk(ts, is, spec, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Lsk, UplinkBudgetReproducesPaperRate) {
+  // 10 samples x 1 us + 5 us threshold check -> 66.6 kbps, the paper's
+  // published uplink rate (and why it is below the 100 kbps downlink).
+  UplinkBudget budget;
+  EXPECT_NEAR(achievable_uplink_rate(budget), 66.6e3, 0.2e3);
+  EXPECT_LT(achievable_uplink_rate(budget), 100e3);
+  EXPECT_THROW(achievable_uplink_rate({-1.0, 1e-6, 1}), std::invalid_argument);
+}
+
+}  // namespace

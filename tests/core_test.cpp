@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "src/comms/bitstream.hpp"
+#include "src/core/budget.hpp"
+#include "src/core/system.hpp"
+
+namespace {
+
+using namespace ironic;
+using namespace ironic::core;
+
+// The full Fig. 11 run takes a couple of seconds; share one result.
+const Fig11Result& fig11() {
+  static const Fig11Result result = run_fig11_scenario();
+  return result;
+}
+
+TEST(Fig11, CoChargesNearPaperTime) {
+  const auto& r = fig11();
+  ASSERT_TRUE(r.charged);
+  // Paper: Vo = 2.75 V at t = 270 us. Same event, same decade.
+  EXPECT_GT(r.t_charge, 150e-6);
+  EXPECT_LT(r.t_charge, 400e-6);
+}
+
+TEST(Fig11, DownlinkBitsAllRecovered) {
+  const auto& r = fig11();
+  EXPECT_TRUE(r.downlink_ok)
+      << "sent " << comms::bits_to_string(EndToEndConfig{}.downlink_bits) << " got "
+      << comms::bits_to_string(r.decoded_downlink);
+  EXPECT_EQ(r.decoded_downlink.size(), 18u);  // the paper's 18-bit burst
+}
+
+TEST(Fig11, UplinkBitsDetectedOnTransmitterCurrent) {
+  const auto& r = fig11();
+  EXPECT_TRUE(r.uplink_ok) << "got " << comms::bits_to_string(r.detected_uplink);
+}
+
+TEST(Fig11, OutputStaysAboveRegulatorMinimum) {
+  const auto& r = fig11();
+  // The paper's invariant: Vo >= 2.1 V after charge-up, through both
+  // communication bursts.
+  EXPECT_GE(r.vo_min_after_charge, 2.1);
+  EXPECT_TRUE(r.regulator_never_starved);
+  EXPECT_NEAR(r.worst_case_rail, 1.8, 0.01);
+}
+
+TEST(Fig11, OutputNeverExceedsClampCeiling) {
+  const auto& r = fig11();
+  EXPECT_LT(r.trace.max_between("v(rect.vo)", 0.0, 700e-6), 3.3);
+}
+
+TEST(EndToEnd, ConfigValidation) {
+  EndToEndConfig cfg;
+  cfg.t_stop = 0.0;
+  EXPECT_THROW(EndToEndSim{cfg}, std::invalid_argument);
+  cfg = EndToEndConfig{};
+  cfg.downlink_start = 500e-6;  // 18 bits x 10 us runs past uplink_start
+  EXPECT_THROW(EndToEndSim{cfg}, std::invalid_argument);
+}
+
+TEST(EndToEnd, DeeperDischargeWithHighPowerLoad) {
+  // The 1.3 mA measurement mode droops Vo more than the 350 uA mode.
+  EndToEndConfig cfg;
+  cfg.t_stop = 250e-6;
+  cfg.downlink_bits.clear();
+  cfg.uplink_bits.clear();
+  cfg.downlink_start = 10e-6;
+  cfg.uplink_start = 200e-6;
+  cfg.load_mode = pm::SensorMode::kLowPower;
+  const auto low = EndToEndSim{cfg}.run();
+  cfg.load_mode = pm::SensorMode::kHighPower;
+  const auto high = EndToEndSim{cfg}.run();
+  EXPECT_LT(high.trace.value_at("v(rect.vo)", 240e-6),
+            low.trace.value_at("v(rect.vo)", 240e-6));
+}
+
+// ------------------------------------------------------------------ budget
+
+TEST(Budget, SustainsBothModesAtPaperPower) {
+  magnetics::InductiveLink link{magnetics::LinkConfig{}};
+  const double drive = link.drive_for_power(5e-3, link.optimal_load_resistance());
+  const auto b = analyze_power_budget(link, drive, pm::LdoSpec{}, pm::SensorLoadSpec{});
+  // 5 mW received >> the 0.8 mW (350 uA) and 2.9 mW (1.3 mA) demands.
+  EXPECT_NEAR(b.received_power, 5e-3, 1e-5);
+  EXPECT_TRUE(b.sustains_low);
+  EXPECT_GT(b.margin_low, 0.0);
+  EXPECT_GE(b.margin_high, b.margin_low - b.input_power_high + b.input_power_low - 1e-12);
+}
+
+TEST(Budget, HighPowerModeNeedsMoreDrive) {
+  magnetics::InductiveLink link{magnetics::LinkConfig{}};
+  const double v_high = drive_for_high_power_mode(link, pm::LdoSpec{},
+                                                  pm::SensorLoadSpec{});
+  const auto b = analyze_power_budget(link, v_high, pm::LdoSpec{}, pm::SensorLoadSpec{});
+  EXPECT_NEAR(b.margin_high, 0.0, 1e-9);
+  EXPECT_TRUE(b.sustains_low);
+}
+
+TEST(Budget, StarvedLinkFailsHighPowerMode) {
+  magnetics::LinkConfig weak;
+  weak.distance = 25e-3;
+  magnetics::InductiveLink link{weak};
+  const double v_low_only = drive_for_high_power_mode(link, pm::LdoSpec{},
+                                                      pm::SensorLoadSpec{}) * 0.5;
+  const auto b = analyze_power_budget(link, v_low_only, pm::LdoSpec{},
+                                      pm::SensorLoadSpec{});
+  EXPECT_FALSE(b.sustains_high);
+}
+
+TEST(Budget, RejectsBadEfficiency) {
+  magnetics::InductiveLink link{magnetics::LinkConfig{}};
+  EXPECT_THROW(analyze_power_budget(link, 1.0, pm::LdoSpec{}, pm::SensorLoadSpec{}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(analyze_power_budget(link, 1.0, pm::LdoSpec{}, pm::SensorLoadSpec{}, 1.5),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "src/comms/interleave.hpp"
+#include "src/magnetics/coil_design.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace ironic;
+
+// ------------------------------------------------------------- coil design
+
+TEST(CoilDesign, EnumerationSortedByQ) {
+  const auto base = magnetics::implant_coil_spec();
+  magnetics::CoilDesignGoal goal;
+  const auto all = magnetics::enumerate_coil_designs(base, goal, {1, 4, 8}, {1, 2},
+                                                     {120e-6});
+  ASSERT_GT(all.size(), 3u);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i - 1].q, all[i].q);
+  }
+}
+
+TEST(CoilDesign, InfeasibleGeometriesSkippedNotFatal) {
+  auto base = magnetics::implant_coil_spec();
+  magnetics::CoilDesignGoal goal;
+  // 30 turns of 400 um pitch cannot fit even the area-equivalent radius
+  // (~4.9 mm); the candidate must be dropped silently while others
+  // survive.
+  const auto all = magnetics::enumerate_coil_designs(base, goal, {1}, {1, 30},
+                                                     {200e-6});
+  EXPECT_EQ(all.size(), 1u);
+}
+
+TEST(CoilDesign, DesignMeetsInductanceBand) {
+  const auto base = magnetics::implant_coil_spec();
+  magnetics::CoilDesignGoal goal;
+  goal.target_inductance = 3.5e-6;
+  goal.tolerance = 0.3;
+  const auto best = magnetics::design_coil(base, goal, {1, 2, 4, 7, 8}, {1, 2, 3},
+                                           {80e-6, 120e-6, 200e-6});
+  EXPECT_TRUE(best.meets_target);
+  EXPECT_GE(best.inductance, goal.target_inductance * 0.7);
+  EXPECT_LE(best.inductance, goal.target_inductance * 1.3);
+  EXPECT_GE(best.srf, goal.min_srf_ratio * goal.frequency);
+}
+
+TEST(CoilDesign, ImpossibleTargetThrows) {
+  const auto base = magnetics::implant_coil_spec();
+  magnetics::CoilDesignGoal goal;
+  goal.target_inductance = 1.0;  // one full henry in a 2 mm outline
+  EXPECT_THROW(magnetics::design_coil(base, goal, {1, 8}, {1, 2}, {120e-6}),
+               std::runtime_error);
+  EXPECT_THROW(magnetics::enumerate_coil_designs(base, goal, {}, {1}, {1e-4}),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- interleave
+
+TEST(Interleave, RoundTrip) {
+  util::Rng rng(4);
+  const auto bits = comms::random_bits(8 * 16, rng);
+  const auto mixed = comms::interleave(bits, 8, 16);
+  EXPECT_NE(comms::bits_to_string(mixed), comms::bits_to_string(bits));
+  const auto back = comms::deinterleave(mixed, 8, 16);
+  EXPECT_EQ(back, bits);
+}
+
+TEST(Interleave, SizeValidation) {
+  util::Rng rng(4);
+  const auto bits = comms::random_bits(10, rng);
+  EXPECT_THROW(comms::interleave(bits, 3, 4), std::invalid_argument);
+  EXPECT_THROW(comms::deinterleave(bits, 0, 10), std::invalid_argument);
+}
+
+TEST(Interleave, SpreadsBurstsIntoIsolatedErrors) {
+  util::Rng rng(9);
+  const std::size_t rows = 16, cols = 16;
+  const auto bits = comms::random_bits(rows * cols, rng);
+
+  // Corrupt a burst on the interleaved stream, then deinterleave.
+  auto on_air = comms::interleave(bits, rows, cols);
+  util::Rng burst_rng(1);
+  on_air = comms::burst_channel(on_air, 1.0, 8, burst_rng);
+  const auto received = comms::deinterleave(on_air, rows, cols);
+
+  // Same burst applied without interleaving.
+  util::Rng burst_rng2(1);
+  const auto plain = comms::burst_channel(bits, 1.0, 8, burst_rng2);
+
+  const auto burst_plain = comms::longest_error_burst(bits, plain);
+  const auto burst_inter = comms::longest_error_burst(bits, received);
+  EXPECT_GE(burst_plain, 8u);
+  // After deinterleaving, the 8-bit burst lands as isolated single-bit
+  // errors at least `rows` apart.
+  EXPECT_LE(burst_inter, 1u);
+  EXPECT_EQ(comms::hamming_distance(bits, received),
+            comms::hamming_distance(bits, plain));
+}
+
+TEST(Interleave, BurstChannelRespectsProbability) {
+  util::Rng rng(17);
+  const auto bits = comms::random_bits(256, rng);
+  int corrupted = 0;
+  for (int k = 0; k < 200; ++k) {
+    const auto out = comms::burst_channel(bits, 0.25, 4, rng);
+    corrupted += (out != bits);
+  }
+  EXPECT_NEAR(corrupted, 50, 20);
+}
+
+TEST(Interleave, LongestBurstHelper) {
+  const auto a = comms::bits_from_string("0000000000");
+  const auto b = comms::bits_from_string("0110011100");
+  EXPECT_EQ(comms::longest_error_burst(a, b), 3u);
+  EXPECT_EQ(comms::longest_error_burst(a, a), 0u);
+  EXPECT_THROW(comms::longest_error_burst(a, comms::bits_from_string("0")),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,282 @@
+// Tests for the second extension wave: coil tilt / tri-axial receivers,
+// CSV waveform export, the voltage-doubler topology, and the patch
+// firmware command handler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/comms/protocol.hpp"
+#include "src/magnetics/polygon.hpp"
+#include "src/patch/firmware.hpp"
+#include "src/pm/rectifier.hpp"
+#include "src/spice/devices_passive.hpp"
+#include "src/spice/devices_sources.hpp"
+#include "src/spice/engine.hpp"
+#include "src/util/constants.hpp"
+
+namespace {
+
+using namespace ironic;
+using namespace ironic::spice;
+namespace constants = ironic::constants;
+
+// ------------------------------------------------------------------- tilt
+
+magnetics::CoilSpec small_square(double side) {
+  magnetics::CoilSpec spec;
+  spec.outer_width = side;
+  spec.outer_height = side;
+  spec.turns_per_layer = 1;
+  spec.layers = 1;
+  spec.trace_width = 200e-6;
+  spec.trace_thickness = 35e-6;
+  spec.turn_spacing = 200e-6;
+  spec.layer_pitch = 0.0;
+  return spec;
+}
+
+TEST(CoilTilt, ZeroTiltMatchesUntilted) {
+  const auto tx = magnetics::PolygonCoil::rectangular(small_square(20e-3));
+  const auto rx = magnetics::PolygonCoil::rectangular(small_square(8e-3));
+  const double m0 = magnetics::mutual_inductance(tx, rx, 10e-3);
+  const double mt = magnetics::mutual_inductance_tilted(tx, rx, 10e-3, 0.0);
+  EXPECT_NEAR(mt, m0, std::abs(m0) * 1e-12);
+}
+
+TEST(CoilTilt, CouplingFollowsCosineShape) {
+  const auto tx = magnetics::PolygonCoil::rectangular(small_square(20e-3));
+  const auto rx = magnetics::PolygonCoil::rectangular(small_square(6e-3));
+  const double m0 = magnetics::mutual_inductance_tilted(tx, rx, 12e-3, 0.0);
+  const double m45 =
+      magnetics::mutual_inductance_tilted(tx, rx, 12e-3, constants::kPi / 4.0);
+  const double m80 =
+      magnetics::mutual_inductance_tilted(tx, rx, 12e-3, 80.0 * constants::kPi / 180.0);
+  // Roughly cos(theta), within the near-field correction.
+  EXPECT_NEAR(m45 / m0, std::cos(constants::kPi / 4.0), 0.12);
+  EXPECT_LT(std::abs(m80), std::abs(m45));
+  EXPECT_GT(std::abs(m45), 0.0);
+}
+
+TEST(CoilTilt, NinetyDegreesNearlyDecouples) {
+  const auto tx = magnetics::PolygonCoil::rectangular(small_square(20e-3));
+  const auto rx = magnetics::PolygonCoil::rectangular(small_square(6e-3));
+  const double m0 = magnetics::mutual_inductance_tilted(tx, rx, 12e-3, 0.0);
+  const double m90 =
+      magnetics::mutual_inductance_tilted(tx, rx, 12e-3, constants::kPi / 2.0);
+  EXPECT_LT(std::abs(m90), 0.05 * std::abs(m0));
+}
+
+TEST(CoilTilt, TriaxialReceiverIsOrientationTolerant) {
+  // The ref [25] idea: a tri-axial receiver's RSS coupling stays within
+  // a tight band across tilt, where the single coil collapses.
+  const auto tx = magnetics::PolygonCoil::rectangular(small_square(20e-3));
+  const auto rx = magnetics::PolygonCoil::rectangular(small_square(6e-3));
+  double rss_min = 1e300, rss_max = 0.0, single_min = 1e300;
+  for (double deg : {0.0, 20.0, 40.0, 60.0, 80.0, 90.0}) {
+    const double tilt = deg * constants::kPi / 180.0;
+    const double rss = magnetics::triaxial_coupling_rss(tx, rx, 12e-3, tilt);
+    const double single =
+        std::abs(magnetics::mutual_inductance_tilted(tx, rx, 12e-3, tilt));
+    rss_min = std::min(rss_min, rss);
+    rss_max = std::max(rss_max, rss);
+    single_min = std::min(single_min, single);
+  }
+  EXPECT_GT(rss_min, 0.5 * rss_max);       // tri-axial: bounded variation
+  EXPECT_LT(single_min, 0.05 * rss_max);   // single coil: full dropout
+}
+
+TEST(CoilTilt, Validation) {
+  const auto tx = magnetics::PolygonCoil::rectangular(small_square(10e-3));
+  EXPECT_THROW(magnetics::mutual_inductance_tilted(tx, tx, 0.0, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW(magnetics::triaxial_coupling_rss(tx, tx, -1.0, 0.1),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- CSV export
+
+TEST(CsvExport, HeaderAndRows) {
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  ckt.add<VoltageSource>("V1", in, kGround, Waveform::dc(1.0));
+  ckt.add<Resistor>("R1", in, kGround, 1e3);
+  TransientOptions opts;
+  opts.t_stop = 10e-6;
+  opts.dt_max = 1e-6;
+  const auto res = run_transient(ckt, opts);
+
+  std::ostringstream os;
+  res.write_csv(os, {"v(in)"});
+  const std::string csv = os.str();
+  EXPECT_EQ(csv.rfind("time,v(in)\n", 0), 0u);  // header first
+  // One row per recorded point plus header.
+  const auto rows = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(rows), res.num_points() + 1);
+  EXPECT_NE(csv.find(",1"), std::string::npos);
+}
+
+TEST(CsvExport, DecimationAndValidation) {
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  ckt.add<VoltageSource>("V1", in, kGround, Waveform::dc(1.0));
+  ckt.add<Resistor>("R1", in, kGround, 1e3);
+  TransientOptions opts;
+  opts.t_stop = 100e-6;
+  opts.dt_max = 1e-6;
+  const auto res = run_transient(ckt, opts);
+  std::ostringstream os;
+  res.write_csv(os, {}, 10);
+  const std::string csv = os.str();
+  const auto rows = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_LT(rows, 14);
+  EXPECT_THROW(res.write_csv(os, {}, 0), std::invalid_argument);
+  EXPECT_THROW(res.write_csv(os, {"v(ghost)"}), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- doubler
+
+TEST(VoltageDoubler, NearlyDoublesTheCarrier) {
+  Circuit ckt;
+  const auto src = ckt.node("src");
+  const auto vi = ckt.node("vi");
+  ckt.add<VoltageSource>("Vs", src, kGround, Waveform::sine(2.0, 5e6));
+  ckt.add<Resistor>("Rs", src, vi, 20.0);
+  pm::DoublerOptions opt;
+  opt.storage_capacitance = 10e-9;
+  const auto h = pm::build_voltage_doubler(ckt, "dbl", vi, opt);
+  ckt.add<Resistor>("RL", h.output, kGround, 50e3);
+  TransientOptions opts;
+  opts.t_stop = 80e-6;
+  opts.dt_max = 5e-9;
+  const auto res = run_transient(ckt, opts);
+  const double vo = res.mean_between("v(dbl.vo)", 70e-6, 80e-6);
+  // 2A - 2 drops ~ 2.4-2.6 V from a 2 V carrier.
+  EXPECT_GT(vo, 2.2);
+  EXPECT_LT(vo, 4.0);
+}
+
+TEST(VoltageDoubler, BeatsHalfWaveAtLowDrive) {
+  // The doubler's reason to exist: usable output from a carrier too weak
+  // for the single-diode rectifier.
+  const double amplitude = 1.4;
+  const auto run_doubler = [&] {
+    Circuit ckt;
+    const auto src = ckt.node("src");
+    const auto vi = ckt.node("vi");
+    ckt.add<VoltageSource>("Vs", src, kGround, Waveform::sine(amplitude, 5e6));
+    ckt.add<Resistor>("Rs", src, vi, 20.0);
+    pm::DoublerOptions opt;
+    opt.storage_capacitance = 10e-9;
+    pm::build_voltage_doubler(ckt, "dbl", vi, opt);
+    ckt.add<Resistor>("RL", ckt.find_node("dbl.vo"), kGround, 50e3);
+    TransientOptions opts;
+    opts.t_stop = 80e-6;
+    opts.dt_max = 5e-9;
+    return run_transient(ckt, opts).mean_between("v(dbl.vo)", 70e-6, 80e-6);
+  };
+  const auto run_half = [&] {
+    Circuit ckt;
+    const auto src = ckt.node("src");
+    const auto vi = ckt.node("vi");
+    ckt.add<VoltageSource>("Vs", src, kGround, Waveform::sine(amplitude, 5e6));
+    ckt.add<Resistor>("Rs", src, vi, 20.0);
+    pm::RectifierOptions opt;
+    opt.storage_capacitance = 10e-9;
+    pm::build_rectifier(ckt, "r", vi, Waveform::dc(0.0), Waveform::dc(1.8), opt);
+    ckt.add<Resistor>("RL", ckt.find_node("r.vo"), kGround, 50e3);
+    TransientOptions opts;
+    opts.t_stop = 80e-6;
+    opts.dt_max = 5e-9;
+    return run_transient(ckt, opts).mean_between("v(r.vo)", 70e-6, 80e-6);
+  };
+  EXPECT_GT(run_doubler(), run_half() + 0.5);
+}
+
+TEST(VoltageDoubler, Validation) {
+  Circuit ckt;
+  pm::DoublerOptions bad;
+  bad.pump_capacitance = 0.0;
+  EXPECT_THROW(pm::build_voltage_doubler(ckt, "d", ckt.node("a"), bad),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- firmware
+
+TEST(Firmware, MeasureCommandRunsFullSession) {
+  patch::PatchController controller;
+  controller.handle(patch::PatchEvent::kBtConnect);
+  patch::PatchFirmware fw(controller, [] { return 0x12B7u; });
+
+  comms::Request request;
+  request.sequence = 9;
+  request.command = comms::Command::kMeasure;
+  const auto response = fw.handle(request);
+  ASSERT_TRUE(response.ok);
+  // 14-bit code split across two bytes.
+  const auto code = static_cast<std::uint32_t>((response.payload[0] << 8) |
+                                               response.payload[1]);
+  EXPECT_EQ(code, 0x12B7u);
+  // The controller went back to connected and burned real charge.
+  EXPECT_EQ(controller.state(), patch::PatchState::kConnected);
+  EXPECT_LT(controller.battery().state_of_charge(), 1.0);
+  EXPECT_GT(fw.busy_time(), 1.0);
+}
+
+TEST(Firmware, PingAndStatus) {
+  patch::PatchController controller;
+  patch::PatchFirmware fw(controller, [] { return 0u; });
+  comms::Request ping;
+  ping.command = comms::Command::kPing;
+  EXPECT_TRUE(fw.handle(ping).ok);
+
+  comms::Request status;
+  status.command = comms::Command::kReadStatus;
+  const auto response = fw.handle(status);
+  ASSERT_TRUE(response.ok);
+  ASSERT_EQ(response.payload.size(), 2u);
+  EXPECT_EQ(response.payload[0], 100);  // full battery, percent
+}
+
+TEST(Firmware, BadModePayloadRejected) {
+  patch::PatchController controller;
+  patch::PatchFirmware fw(controller, [] { return 0u; });
+  comms::Request mode;
+  mode.command = comms::Command::kSetMode;
+  mode.payload = {9};  // no such mode
+  EXPECT_FALSE(fw.handle(mode).ok);
+  mode.payload = {1};
+  EXPECT_TRUE(fw.handle(mode).ok);
+}
+
+TEST(Firmware, DeadBatteryRefusesService) {
+  patch::PatchController controller;
+  controller.handle(patch::PatchEvent::kStartPowering);
+  controller.advance(20.0 * 3600.0);  // drain completely
+  patch::PatchFirmware fw(controller, [] { return 0u; });
+  comms::Request request;
+  request.command = comms::Command::kMeasure;
+  EXPECT_FALSE(fw.handle(request).ok);
+}
+
+TEST(Firmware, EndToEndWithTransactor) {
+  patch::PatchController controller;
+  controller.handle(patch::PatchEvent::kBtConnect);
+  patch::PatchFirmware fw(controller, [] { return 4286u; });
+  comms::Transactor tx;
+  comms::Request request;
+  request.sequence = tx.next_sequence();
+  request.command = comms::Command::kMeasure;
+  const auto clean = [](const comms::Bits& b) { return b; };
+  const auto response = tx.execute(
+      request, clean, clean,
+      [&](const comms::Request& r) { return fw.handle(r); });
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->ok);
+  const auto code = static_cast<std::uint32_t>((response->payload[0] << 8) |
+                                               response->payload[1]);
+  EXPECT_EQ(code, 4286u);
+}
+
+}  // namespace

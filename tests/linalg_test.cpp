@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+#include <cmath>
+
+#include "src/linalg/lu.hpp"
+#include "src/linalg/matrix.hpp"
+
+namespace {
+
+using ironic::linalg::LuFactorization;
+using ironic::linalg::Matrix;
+using ironic::linalg::SingularMatrixError;
+using ironic::linalg::Vector;
+
+TEST(Matrix, IdentityAndIndexing) {
+  auto eye = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(eye(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(eye(1, 2), 0.0);
+  eye(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(eye(1, 2), 5.0);
+}
+
+TEST(Matrix, MultiplyVector) {
+  Matrix a(2, 3);
+  a(0, 0) = 1.0; a(0, 1) = 2.0; a(0, 2) = 3.0;
+  a(1, 0) = 4.0; a(1, 1) = 5.0; a(1, 2) = 6.0;
+  const Vector x{1.0, 1.0, 1.0};
+  const Vector y = a.multiply(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(Matrix, MultiplyMatrix) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 3.0; a(1, 1) = 4.0;
+  const Matrix b = a.multiply(Matrix::identity(2));
+  EXPECT_DOUBLE_EQ(b(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(b(1, 0), 3.0);
+}
+
+TEST(Matrix, Transposed) {
+  Matrix a(2, 3);
+  a(0, 2) = 7.0;
+  const Matrix at = a.transposed();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_EQ(at.cols(), 2u);
+  EXPECT_DOUBLE_EQ(at(2, 0), 7.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 3);
+  const Vector x{1.0, 2.0};
+  EXPECT_THROW(a.multiply(x), std::invalid_argument);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  // [2 1; 1 3] x = [3; 5] -> x = [0.8, 1.4]
+  Matrix a(2, 2);
+  a(0, 0) = 2.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 3.0;
+  const Vector x = ironic::linalg::solve(a, Vector{3.0, 5.0});
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(Lu, RequiresPivoting) {
+  // Zero on the leading diagonal forces a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 0.0;
+  const Vector x = ironic::linalg::solve(a, Vector{2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, ResidualSmallOnRandomSystem) {
+  const std::size_t n = 24;
+  Matrix a(n, n);
+  Vector b(n);
+  // Deterministic pseudo-random fill.
+  unsigned s = 12345;
+  const auto next = [&s]() {
+    s = s * 1103515245u + 12345u;
+    return static_cast<double>((s >> 8) % 2000) / 1000.0 - 1.0;
+  };
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = next();
+    a(r, r) += 4.0;  // diagonally dominant -> well conditioned
+    b[r] = next();
+  }
+  const Vector x = ironic::linalg::solve(a, b);
+  const Vector ax = a.multiply(x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-10);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 4.0;  // rank 1
+  EXPECT_THROW(LuFactorization{a}, SingularMatrixError);
+}
+
+TEST(Lu, NonSquareThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(LuFactorization{a}, std::invalid_argument);
+}
+
+TEST(Lu, ReuseFactorizationForMultipleRhs) {
+  Matrix a(3, 3);
+  a(0, 0) = 4.0; a(0, 1) = 1.0; a(0, 2) = 0.0;
+  a(1, 0) = 1.0; a(1, 1) = 3.0; a(1, 2) = 1.0;
+  a(2, 0) = 0.0; a(2, 1) = 1.0; a(2, 2) = 2.0;
+  const LuFactorization lu(a);
+  for (int k = 0; k < 3; ++k) {
+    Vector b(3, 0.0);
+    b[static_cast<std::size_t>(k)] = 1.0;
+    const Vector x = lu.solve(b);
+    const Vector ax = a.multiply(x);
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_NEAR(ax[i], b[i], 1e-12);
+    }
+  }
+}
+
+TEST(Lu, DiagonalRatioReasonable) {
+  const auto eye = Matrix::identity(4);
+  const LuFactorization lu(eye);
+  EXPECT_NEAR(lu.diagonal_ratio(), 1.0, 1e-12);
+}
+
+TEST(VectorOps, AxpyDotNorms) {
+  Vector x{1.0, 2.0};
+  Vector y{10.0, 20.0};
+  ironic::linalg::axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  EXPECT_DOUBLE_EQ(ironic::linalg::dot(x, x), 5.0);
+  EXPECT_DOUBLE_EQ(ironic::linalg::norm_inf(y), 24.0);
+  EXPECT_NEAR(ironic::linalg::norm2(x), std::sqrt(5.0), 1e-14);
+}
+
+}  // namespace

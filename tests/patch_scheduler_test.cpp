@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "src/patch/scheduler.hpp"
+
+namespace {
+
+using namespace ironic::patch;
+
+TEST(SessionPlan, DurationAddsUp) {
+  SessionPlan plan;
+  const double expected = 10.0 + 2.0 + 5.0 + 64.0 / 100e3 + 128.0 / 66.6e3;
+  EXPECT_NEAR(plan.duration(), expected, 1e-9);
+}
+
+TEST(SessionCharge, DominatedByPoweringPhases) {
+  PatchPowerSpec power;
+  SessionPlan plan;
+  const double q = session_charge(power, plan);
+  // Powering runs 7 s at ~158 mA -> ~1.1 C; connect 10 s at 68 mA -> 0.68 C.
+  EXPECT_GT(q, 1.5);
+  EXPECT_LT(q, 2.5);
+  SessionPlan bad;
+  bad.downlink_rate = 0.0;
+  EXPECT_THROW(session_charge(power, bad), std::invalid_argument);
+}
+
+TEST(SessionsPerCharge, BackToBackMatchesLedger) {
+  PatchPowerSpec power;
+  BatterySpec battery;
+  SessionPlan plan;
+  const int n = sessions_per_charge(power, battery, plan, 0.0);
+  const double q = session_charge(power, plan);
+  EXPECT_EQ(n, static_cast<int>(battery.capacity_coulombs() / q));
+  EXPECT_GT(n, 100);  // hundreds of short sessions per charge
+}
+
+TEST(SessionsPerCharge, IdleGapsReduceCount) {
+  PatchPowerSpec power;
+  BatterySpec battery;
+  SessionPlan plan;
+  const int dense = sessions_per_charge(power, battery, plan, 0.0);
+  const int sparse = sessions_per_charge(power, battery, plan, 600.0);
+  EXPECT_LT(sparse, dense);
+  EXPECT_THROW(sessions_per_charge(power, battery, plan, -1.0), std::invalid_argument);
+}
+
+TEST(EndOfDay, MoreSessionsLowerSoc) {
+  PatchPowerSpec power;
+  BatterySpec battery;
+  SessionPlan plan;
+  const double s4 = end_of_day_soc(power, battery, plan, 4, 16.0);
+  const double s12 = end_of_day_soc(power, battery, plan, 12, 16.0);
+  EXPECT_GT(s4, s12);
+  EXPECT_THROW(end_of_day_soc(power, battery, plan, -1, 16.0), std::invalid_argument);
+}
+
+TEST(EndOfDay, IdleDrainAloneLimitsTheDay) {
+  // 16 awake hours at the 23 mA idle draw already costs most of the
+  // 240 mAh cell — the paper's 10 h idle figure, restated daily.
+  PatchPowerSpec power;
+  BatterySpec battery;
+  SessionPlan plan;
+  const double soc = end_of_day_soc(power, battery, plan, 0, 16.0);
+  EXPECT_LT(soc, 0.0);  // cannot cover 16 h awake without recharging
+  EXPECT_GT(end_of_day_soc(power, battery, plan, 0, 8.0), 0.1);
+}
+
+TEST(Mission, MaxSessionsConsistentWithSoc) {
+  PatchPowerSpec power;
+  BatterySpec battery;
+  SessionPlan plan;
+  const auto mission = max_daily_sessions(power, battery, plan, 8.0, 0.2);
+  ASSERT_TRUE(mission.feasible);
+  EXPECT_GE(mission.end_soc, 0.2);
+  // One more session would breach the reserve.
+  EXPECT_LT(end_of_day_soc(power, battery, plan, mission.sessions_per_day + 1, 8.0),
+            0.2);
+}
+
+TEST(Mission, InfeasibleAwakeWindowReportsZeroSessions) {
+  PatchPowerSpec power;
+  BatterySpec battery;
+  SessionPlan plan;
+  // 16 h awake: even zero sessions breaches the reserve (idle drain).
+  const auto mission = max_daily_sessions(power, battery, plan, 16.0, 0.2);
+  EXPECT_FALSE(mission.feasible);
+  EXPECT_EQ(mission.sessions_per_day, 0);
+}
+
+}  // namespace

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/patch/battery.hpp"
+#include "src/patch/controller.hpp"
+#include "src/patch/power_model.hpp"
+
+namespace {
+
+using namespace ironic::patch;
+
+// ----------------------------------------------------------------- battery
+
+TEST(Battery, StartsFullAndFlat) {
+  LiIonBattery batt;
+  EXPECT_DOUBLE_EQ(batt.state_of_charge(), 1.0);
+  EXPECT_NEAR(batt.voltage(), 4.2, 1e-9);
+  EXPECT_FALSE(batt.depleted());
+}
+
+TEST(Battery, NearlyConstantVoltageUntilKnee) {
+  // The paper's Li-ion premise: almost constant voltage until 75-80 % DoD.
+  LiIonBattery batt;
+  const double cap = batt.spec().capacity_coulombs();
+  batt.draw(1.0, 0.5 * cap);  // 50 % DoD
+  EXPECT_GT(batt.voltage(), batt.spec().knee_voltage);
+  batt.draw(1.0, 0.25 * cap);  // 75 % DoD
+  EXPECT_GT(batt.voltage(), batt.spec().knee_voltage - 0.05);
+  batt.draw(1.0, 0.2 * cap);  // 95 % DoD: in the droop
+  EXPECT_LT(batt.voltage(), batt.spec().knee_voltage - 0.2);
+}
+
+TEST(Battery, CoulombCountingAndClipping) {
+  LiIonBattery batt;
+  const double cap = batt.spec().capacity_coulombs();
+  EXPECT_DOUBLE_EQ(batt.draw(2.0, cap / 4.0), cap / 2.0);
+  EXPECT_NEAR(batt.state_of_charge(), 0.5, 1e-6);
+  // Ask for more than remains: only the remainder is delivered (a hair
+  // under cap/2 because the half cycle already aged the cell slightly).
+  EXPECT_NEAR(batt.draw(1.0, cap), cap / 2.0, cap * 1e-3);
+  EXPECT_TRUE(batt.depleted());
+  batt.recharge();
+  EXPECT_DOUBLE_EQ(batt.state_of_charge(), 1.0);
+}
+
+TEST(Battery, TimeToEmptyScalesInversely) {
+  LiIonBattery batt;
+  const double t1 = batt.time_to_empty(0.1);
+  const double t2 = batt.time_to_empty(0.2);
+  EXPECT_NEAR(t1, 2.0 * t2, 1e-6);
+  EXPECT_THROW(batt.time_to_empty(0.0), std::invalid_argument);
+}
+
+TEST(Battery, EnergyDensityWithinLiIonBounds) {
+  // The paper quotes up to 0.2 Wh/g for modern Li-ion cells.
+  BatterySpec spec;
+  EXPECT_GT(spec.energy_density_wh_per_g(), 0.05);
+  EXPECT_LE(spec.energy_density_wh_per_g(), 0.2);
+}
+
+TEST(Battery, RejectsBadDrawAndSpec) {
+  LiIonBattery batt;
+  EXPECT_THROW(batt.draw(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(batt.draw(1.0, -1.0), std::invalid_argument);
+  BatterySpec bad;
+  bad.capacity_mah = 0.0;
+  EXPECT_THROW(LiIonBattery{bad}, std::invalid_argument);
+}
+
+// ------------------------------------------------------------- power model
+
+TEST(PowerModel, PaperRunTimesReproduced) {
+  // Paper Sec. III-B: ~10 h idle, ~3.5 h connected, ~1.5 h powering.
+  PatchPowerSpec spec;
+  const double cap = BatterySpec{}.capacity_mah;
+  EXPECT_NEAR(state_run_time(spec, PatchState::kIdle, cap) / 3600.0, 10.0, 0.6);
+  EXPECT_NEAR(state_run_time(spec, PatchState::kConnected, cap) / 3600.0, 3.5, 0.25);
+  EXPECT_NEAR(state_run_time(spec, PatchState::kPowering, cap) / 3600.0, 1.5, 0.1);
+}
+
+TEST(PowerModel, RunTimeOrderingMatchesPaper) {
+  PatchPowerSpec spec;
+  const double cap = 240.0;
+  const double idle = state_run_time(spec, PatchState::kIdle, cap);
+  const double connected = state_run_time(spec, PatchState::kConnected, cap);
+  const double powering = state_run_time(spec, PatchState::kPowering, cap);
+  EXPECT_GT(idle, connected);
+  EXPECT_GT(connected, powering);
+}
+
+TEST(PowerModel, UplinkCostsMoreThanDownlink) {
+  // The R9 sense digitization adds current during uplink detection.
+  PatchPowerSpec spec;
+  EXPECT_GT(state_current(spec, PatchState::kUplink),
+            state_current(spec, PatchState::kDownlink));
+}
+
+TEST(PowerModel, DutyCycleAveraging) {
+  PatchPowerSpec spec;
+  DutyProfile profile;
+  profile.idle = 0.5;
+  profile.powering = 0.5;
+  const double avg = average_current(spec, profile);
+  EXPECT_NEAR(avg, 0.5 * state_current(spec, PatchState::kIdle) +
+                       0.5 * state_current(spec, PatchState::kPowering),
+              1e-12);
+  DutyProfile bad;
+  bad.idle = 0.7;  // does not sum to 1
+  bad.powering = 0.6;
+  EXPECT_THROW(average_current(spec, bad), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- controller
+
+TEST(Controller, LegalSessionFlow) {
+  PatchController pc;
+  EXPECT_EQ(pc.state(), PatchState::kIdle);
+  pc.handle(PatchEvent::kBtConnect);
+  EXPECT_EQ(pc.state(), PatchState::kConnected);
+  pc.handle(PatchEvent::kStartPowering);
+  EXPECT_EQ(pc.state(), PatchState::kPowering);
+  pc.handle(PatchEvent::kSendDownlink);
+  EXPECT_EQ(pc.state(), PatchState::kDownlink);
+  pc.handle(PatchEvent::kBurstDone);
+  pc.handle(PatchEvent::kReceiveUplink);
+  EXPECT_EQ(pc.state(), PatchState::kUplink);
+  pc.handle(PatchEvent::kBurstDone);
+  pc.handle(PatchEvent::kStopPowering);
+  EXPECT_EQ(pc.state(), PatchState::kConnected);  // BT still up
+  pc.handle(PatchEvent::kBtDisconnect);
+  EXPECT_EQ(pc.state(), PatchState::kIdle);
+}
+
+TEST(Controller, IllegalTransitionsThrow) {
+  PatchController pc;
+  EXPECT_FALSE(pc.can_handle(PatchEvent::kStopPowering));
+  EXPECT_THROW(pc.handle(PatchEvent::kStopPowering), std::logic_error);
+  EXPECT_THROW(pc.handle(PatchEvent::kSendDownlink), std::logic_error);
+  EXPECT_THROW(pc.handle(PatchEvent::kBtDisconnect), std::logic_error);
+  pc.handle(PatchEvent::kBtConnect);
+  EXPECT_THROW(pc.handle(PatchEvent::kBtConnect), std::logic_error);
+}
+
+TEST(Controller, BatteryDrainsWithTime) {
+  PatchController pc;
+  pc.handle(PatchEvent::kStartPowering);
+  const double soc0 = pc.battery().state_of_charge();
+  pc.advance(600.0);  // 10 minutes of powering
+  EXPECT_LT(pc.battery().state_of_charge(), soc0);
+  // ~1.5 h total powering budget: after 10 min about 1/9 is gone.
+  EXPECT_NEAR(soc0 - pc.battery().state_of_charge(), 600.0 / 5470.0, 0.02);
+}
+
+TEST(Controller, ShutsDownWhenDepleted) {
+  PatchController pc;
+  pc.handle(PatchEvent::kStartPowering);
+  pc.advance(10.0 * 3600.0);  // way past the 1.5 h budget
+  EXPECT_TRUE(pc.shut_down());
+  EXPECT_EQ(pc.state(), PatchState::kIdle);
+  EXPECT_FALSE(pc.can_handle(PatchEvent::kStartPowering));
+}
+
+TEST(Controller, RemainingRuntimeMatchesStateCurrent) {
+  PatchController pc;
+  const double idle_left = pc.remaining_runtime();
+  EXPECT_NEAR(idle_left / 3600.0, 10.0, 0.6);
+  pc.handle(PatchEvent::kStartPowering);
+  EXPECT_LT(pc.remaining_runtime(), idle_left);
+}
+
+TEST(Controller, LogRecordsProgression) {
+  PatchController pc;
+  pc.handle(PatchEvent::kBtConnect);
+  pc.advance(60.0);
+  pc.handle(PatchEvent::kStartPowering);
+  pc.advance(60.0);
+  const auto& log = pc.log();
+  ASSERT_GE(log.size(), 5u);
+  EXPECT_EQ(log.front().state, PatchState::kIdle);
+  EXPECT_EQ(log.back().state, PatchState::kPowering);
+  EXPECT_LT(log.back().battery_soc, 1.0);
+  EXPECT_NEAR(log.back().time, 120.0, 1e-9);
+}
+
+TEST(Controller, AdvanceRejectsNegativeTime) {
+  PatchController pc;
+  EXPECT_THROW(pc.advance(-1.0), std::invalid_argument);
+}
+
+TEST(Controller, StateNamesForLogs) {
+  EXPECT_STREQ(to_string(PatchState::kIdle), "idle");
+  EXPECT_STREQ(to_string(PatchState::kUplink), "uplink");
+}
+
+}  // namespace

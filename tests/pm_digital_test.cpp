@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "src/pm/digital.hpp"
+#include "src/spice/devices_passive.hpp"
+#include "src/spice/devices_sources.hpp"
+#include "src/spice/engine.hpp"
+
+namespace {
+
+using namespace ironic::pm;
+using namespace ironic::spice;
+
+// DC evaluation of a gate at fixed logic inputs.
+double gate_dc(const char* kind, double a, double b) {
+  Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  const auto na = ckt.node("a");
+  const auto nb = ckt.node("b");
+  ckt.add<VoltageSource>("Vdd", vdd, kGround, Waveform::dc(1.8));
+  ckt.add<VoltageSource>("Va", na, kGround, Waveform::dc(a));
+  ckt.add<VoltageSource>("Vb", nb, kGround, Waveform::dc(b));
+  const NodeId out = std::string(kind) == "nand"
+                         ? build_nand(ckt, "g", na, nb, vdd)
+                         : build_nor(ckt, "g", na, nb, vdd);
+  // DC can chatter on ratioed logic; settle through a short transient.
+  TransientOptions opts;
+  opts.t_stop = 2e-6;
+  opts.dt_max = 1e-9;
+  const auto res = run_transient(ckt, opts);
+  (void)out;
+  return res.value_at("v(g.out)", 2e-6);
+}
+
+TEST(DigitalGates, NandTruthTable) {
+  EXPECT_GT(gate_dc("nand", 0.0, 0.0), 1.6);
+  EXPECT_GT(gate_dc("nand", 1.8, 0.0), 1.6);
+  EXPECT_GT(gate_dc("nand", 0.0, 1.8), 1.6);
+  EXPECT_LT(gate_dc("nand", 1.8, 1.8), 0.2);
+}
+
+TEST(DigitalGates, NorTruthTable) {
+  EXPECT_GT(gate_dc("nor", 0.0, 0.0), 1.6);
+  EXPECT_LT(gate_dc("nor", 1.8, 0.0), 0.2);
+  EXPECT_LT(gate_dc("nor", 0.0, 1.8), 0.2);
+  EXPECT_LT(gate_dc("nor", 1.8, 1.8), 0.2);
+}
+
+TEST(DigitalGates, InverterSwitchesAroundMidrail) {
+  Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  const auto in = ckt.node("in");
+  ckt.add<VoltageSource>("Vdd", vdd, kGround, Waveform::dc(1.8));
+  ckt.add<VoltageSource>("Vin", in, kGround,
+                         Waveform::pwl({0.0, 10e-6}, {0.0, 1.8}));
+  build_inverter(ckt, "inv", in, vdd);
+  TransientOptions opts;
+  opts.t_stop = 10e-6;
+  opts.dt_max = 5e-9;
+  const auto res = run_transient(ckt, opts);
+  EXPECT_GT(res.value_at("v(inv.out)", 1e-6), 1.6);   // input low
+  EXPECT_LT(res.value_at("v(inv.out)", 9.5e-6), 0.2); // input high
+  // Switching threshold in the middle third of the rail.
+  double t_switch = 0.0;
+  ASSERT_TRUE(res.first_crossing("v(inv.out)", 0.9, 0.0, /*rising=*/false, t_switch));
+  const double vin_at_switch = res.value_at("v(in)", t_switch);
+  EXPECT_GT(vin_at_switch, 0.6);
+  EXPECT_LT(vin_at_switch, 1.2);
+}
+
+TEST(NonOverlap, PhasesNeverBothHigh) {
+  Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  const auto clk = ckt.node("clk");
+  ckt.add<VoltageSource>("Vdd", vdd, kGround, Waveform::dc(1.8));
+  ckt.add<VoltageSource>("Vclk", clk, kGround,
+                         square_clock(0.0, 1.8, 100e3, 0.0, 20e-9));
+  const auto gen = build_nonoverlap_generator(ckt, "no", clk, vdd);
+
+  TransientOptions opts;
+  opts.t_stop = 40e-6;  // four clock periods
+  opts.dt_max = 5e-9;
+  opts.record_signals = {"v(" + gen.phi1_name + ")", "v(" + gen.phi2_name + ")"};
+  const auto res = run_transient(ckt, opts);
+
+  const auto p1 = res.signal("v(" + gen.phi1_name + ")");
+  const auto p2 = res.signal("v(" + gen.phi2_name + ")");
+  const double threshold = 0.9;
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    ASSERT_FALSE(p1[i] > threshold && p2[i] > threshold)
+        << "overlap at sample " << i;
+  }
+}
+
+TEST(NonOverlap, BothPhasesActuallyToggle) {
+  Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  const auto clk = ckt.node("clk");
+  ckt.add<VoltageSource>("Vdd", vdd, kGround, Waveform::dc(1.8));
+  ckt.add<VoltageSource>("Vclk", clk, kGround,
+                         square_clock(0.0, 1.8, 100e3, 0.0, 20e-9));
+  const auto gen = build_nonoverlap_generator(ckt, "no", clk, vdd);
+  TransientOptions opts;
+  opts.t_stop = 40e-6;
+  opts.dt_max = 5e-9;
+  opts.record_signals = {"v(" + gen.phi1_name + ")", "v(" + gen.phi2_name + ")"};
+  const auto res = run_transient(ckt, opts);
+  // Skip the first period (start-up) and verify both phases swing.
+  EXPECT_GT(res.max_between("v(" + gen.phi1_name + ")", 10e-6, 40e-6), 1.6);
+  EXPECT_LT(res.min_between("v(" + gen.phi1_name + ")", 10e-6, 40e-6), 0.2);
+  EXPECT_GT(res.max_between("v(" + gen.phi2_name + ")", 10e-6, 40e-6), 1.6);
+  EXPECT_LT(res.min_between("v(" + gen.phi2_name + ")", 10e-6, 40e-6), 0.2);
+}
+
+TEST(NonOverlap, GuardGapTracksRcDelay) {
+  const auto measure_gap = [](double delay_c) {
+    Circuit ckt;
+    const auto vdd = ckt.node("vdd");
+    const auto clk = ckt.node("clk");
+    ckt.add<VoltageSource>("Vdd", vdd, kGround, Waveform::dc(1.8));
+    ckt.add<VoltageSource>("Vclk", clk, kGround,
+                           square_clock(0.0, 1.8, 100e3, 0.0, 20e-9));
+    const auto gen = build_nonoverlap_generator(ckt, "no", clk, vdd, 100e3, delay_c);
+    TransientOptions opts;
+    opts.t_stop = 30e-6;
+    opts.dt_max = 5e-9;
+    opts.record_signals = {"v(" + gen.phi1_name + ")", "v(" + gen.phi2_name + ")"};
+    const auto res = run_transient(ckt, opts);
+    // Gap between phi2 falling and phi1 rising within the third period.
+    double t_fall = 0.0, t_rise = 0.0;
+    if (!res.first_crossing("v(" + gen.phi2_name + ")", 0.9, 20e-6, false, t_fall)) {
+      return -1.0;
+    }
+    if (!res.first_crossing("v(" + gen.phi1_name + ")", 0.9, t_fall, true, t_rise)) {
+      return -1.0;
+    }
+    return t_rise - t_fall;
+  };
+  const double gap_small = measure_gap(0.5e-12);
+  const double gap_large = measure_gap(3e-12);
+  ASSERT_GT(gap_small, 0.0);
+  ASSERT_GT(gap_large, 0.0);
+  EXPECT_GT(gap_large, gap_small * 1.8);
+}
+
+}  // namespace

@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/pm/bandgap.hpp"
+#include "src/pm/demodulator.hpp"
+#include "src/pm/load.hpp"
+#include "src/pm/regulator.hpp"
+#include "src/spice/devices_passive.hpp"
+#include "src/spice/devices_sources.hpp"
+#include "src/spice/engine.hpp"
+#include "src/util/interp.hpp"
+
+namespace {
+
+using namespace ironic::pm;
+using namespace ironic::spice;
+
+// ------------------------------------------------------------- demodulator
+
+TEST(Demodulator, DecodesAmplitudeKeyedCarrier) {
+  // 6-bit burst at 100 kbps: amplitude 3.5 V for '1', 2.0 V for '0'.
+  const std::vector<bool> bits{true, false, true, true, false, false};
+  const double tb = 10e-6;
+  const double t0 = 10e-6;
+  std::vector<double> ts{0.0};
+  std::vector<double> vs{3.5};
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const double a = bits[i] ? 3.5 : 2.0;
+    ts.push_back(t0 + i * tb);
+    vs.push_back(vs.back());
+    ts.push_back(t0 + i * tb + 0.5e-6);
+    vs.push_back(a);
+  }
+  ts.push_back(t0 + bits.size() * tb);
+  vs.push_back(vs.back());
+  ts.push_back(t0 + bits.size() * tb + 0.5e-6);
+  vs.push_back(3.5);
+
+  Circuit ckt;
+  const auto vi = ckt.node("vi");
+  ckt.add<VoltageSource>(
+      "Vs", vi, kGround,
+      Waveform::modulated_sine(5e6, ironic::util::PiecewiseLinear(ts, vs)));
+
+  DemodulatorOptions dopt;
+  dopt.clock_frequency = 100e3;
+  dopt.clock_delay = t0;
+  dopt.threshold = 2.3;  // between the two sampled peaks (minus the drop)
+  const auto demod = build_demodulator(ckt, "dm", vi, dopt);
+
+  TransientOptions opts;
+  opts.t_stop = t0 + (bits.size() + 1) * tb;
+  opts.dt_max = 4e-9;
+  opts.record_every = 4;
+  const auto res = run_transient(ckt, opts);
+
+  const auto rx = decode_demodulator_output(res, demod, t0, bits.size());
+  ASSERT_EQ(rx.size(), bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_EQ(rx[i], bits[i]) << "bit " << i;
+  }
+}
+
+TEST(Demodulator, GateLevelClockAlsoDecodes) {
+  // Same 4-bit burst, but phi1/phi2 produced by the transistor-level
+  // cross-coupled-NAND generator instead of ideal sources.
+  const std::vector<bool> bits{true, false, false, true};
+  const double tb = 10e-6;
+  const double t0 = 10e-6;
+  std::vector<double> ts{0.0};
+  std::vector<double> vs{3.5};
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const double a = bits[i] ? 3.5 : 2.0;
+    ts.push_back(t0 + i * tb);
+    vs.push_back(vs.back());
+    ts.push_back(t0 + i * tb + 0.5e-6);
+    vs.push_back(a);
+  }
+  ts.push_back(t0 + bits.size() * tb);
+  vs.push_back(vs.back());
+  ts.push_back(t0 + bits.size() * tb + 0.5e-6);
+  vs.push_back(3.5);
+
+  Circuit ckt;
+  const auto vi = ckt.node("vi");
+  ckt.add<VoltageSource>(
+      "Vs", vi, kGround,
+      Waveform::modulated_sine(5e6, ironic::util::PiecewiseLinear(ts, vs)));
+  DemodulatorOptions dopt;
+  dopt.clock_frequency = 100e3;
+  dopt.clock_delay = t0 - 5e-6;  // phi1 samples the settled second half
+  dopt.threshold = 2.3;
+  dopt.gate_level_clock = true;
+  const auto demod = build_demodulator(ckt, "dm", vi, dopt);
+
+  TransientOptions opts;
+  opts.t_stop = t0 + (bits.size() + 1) * tb;
+  opts.dt_max = 4e-9;
+  opts.record_every = 4;
+  const auto res = run_transient(ckt, opts);
+  const auto rx = decode_demodulator_output(res, demod, t0, bits.size());
+  ASSERT_EQ(rx.size(), bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_EQ(rx[i], bits[i]) << "bit " << i;
+  }
+}
+
+TEST(Demodulator, SampleCapacitorTracksPeaks) {
+  Circuit ckt;
+  const auto vi = ckt.node("vi");
+  ckt.add<VoltageSource>("Vs", vi, kGround, Waveform::sine(3.0, 5e6));
+  DemodulatorOptions dopt;
+  dopt.clock_delay = 0.0;
+  const auto demod = build_demodulator(ckt, "dm", vi, dopt);
+  TransientOptions opts;
+  opts.t_stop = 30e-6;
+  opts.dt_max = 4e-9;
+  const auto res = run_transient(ckt, opts);
+  // During phi1 (first half of each 10 us cell) C2 reaches the carrier
+  // peak minus the D6 drop; during phi2 it is discharged.
+  const double peak = res.max_between("v(" + demod.sample_name + ")", 1e-6, 5e-6);
+  EXPECT_GT(peak, 2.2);
+  EXPECT_LT(peak, 3.0);
+  const double discharged = res.value_at("v(" + demod.sample_name + ")", 9.8e-6);
+  EXPECT_LT(discharged, 0.4);
+}
+
+TEST(Demodulator, RejectsBadOptions) {
+  Circuit ckt;
+  DemodulatorOptions dopt;
+  dopt.clock_frequency = 0.0;
+  EXPECT_THROW(build_demodulator(ckt, "dm", ckt.node("vi"), dopt),
+               std::invalid_argument);
+  dopt = DemodulatorOptions{};
+  dopt.non_overlap = 5e-6;
+  EXPECT_THROW(build_demodulator(ckt, "dm2", ckt.node("vi"), dopt),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------- regulator
+
+TEST(Ldo, RegulatesAboveMinimumInput) {
+  LdoModel ldo;
+  EXPECT_NEAR(ldo.spec().min_input_voltage(), 2.1, 1e-12);  // the Fig. 11 bound
+  EXPECT_NEAR(ldo.output_voltage(2.75), 1.8, 1e-9);
+  EXPECT_NEAR(ldo.output_voltage(2.1), 1.8, 1e-9);
+  EXPECT_TRUE(ldo.in_regulation(2.4));
+  EXPECT_FALSE(ldo.in_regulation(2.0));
+}
+
+TEST(Ldo, TracksInputMinusDropoutBelowRegulation) {
+  LdoModel ldo;
+  EXPECT_NEAR(ldo.output_voltage(2.0), 1.7, 1e-9);
+  EXPECT_NEAR(ldo.output_voltage(1.0), 0.7, 1e-9);
+  EXPECT_DOUBLE_EQ(ldo.output_voltage(0.2), 0.0);
+}
+
+TEST(Ldo, LoadRegulationAndEfficiency) {
+  LdoModel ldo;
+  const double v_light = ldo.output_voltage(2.75, 10e-6);
+  const double v_heavy = ldo.output_voltage(2.75, 1.3e-3);
+  EXPECT_LT(v_heavy, v_light);
+  EXPECT_NEAR(v_light - v_heavy, ldo.spec().load_regulation * (1.3e-3 - 10e-6), 1e-9);
+  const double eff = ldo.efficiency(2.75, 350e-6);
+  EXPECT_GT(eff, 0.5);
+  EXPECT_LT(eff, 1.8 / 2.75 + 0.01);
+  EXPECT_DOUBLE_EQ(ldo.efficiency(2.75, 0.0), 0.0);
+}
+
+TEST(Ldo, DissipationAccountsPassAndQuiescent) {
+  LdoModel ldo;
+  const double p = ldo.dissipation(2.75, 1e-3);
+  EXPECT_NEAR(p, (2.75 - 1.8 + ldo.spec().load_regulation * 0.0) * 1e-3 -
+                     ldo.spec().load_regulation * 1e-3 * 1e-3 +
+                     2.75 * ldo.spec().quiescent_current,
+              2e-5);
+}
+
+TEST(Ldo, CircuitMacroRegulates) {
+  Circuit ckt;
+  const auto vin = ckt.node("vin");
+  ckt.add<VoltageSource>("Vin", vin, kGround, Waveform::dc(2.75));
+  const auto ldo = build_ldo(ckt, "ldo", vin);
+  ckt.add<Resistor>("RL", ldo.output, kGround, 1.8 / 350e-6);
+  TransientOptions opts;
+  opts.t_stop = 200e-6;
+  opts.dt_max = 100e-9;
+  const auto res = run_transient(ckt, opts);
+  EXPECT_NEAR(res.mean_between("v(ldo.vout)", 150e-6, 200e-6), 1.8, 0.05);
+}
+
+TEST(Ldo, CircuitMacroDropsOutGracefully) {
+  Circuit ckt;
+  const auto vin = ckt.node("vin");
+  ckt.add<VoltageSource>("Vin", vin, kGround, Waveform::dc(1.6));
+  const auto ldo = build_ldo(ckt, "ldo", vin);
+  ckt.add<Resistor>("RL", ldo.output, kGround, 1.8 / 350e-6);
+  TransientOptions opts;
+  opts.t_stop = 200e-6;
+  opts.dt_max = 100e-9;
+  const auto res = run_transient(ckt, opts);
+  const double vout = res.mean_between("v(ldo.vout)", 150e-6, 200e-6);
+  EXPECT_LT(vout, 1.62);
+  EXPECT_GT(vout, 1.2);
+}
+
+// ----------------------------------------------------------------- bandgap
+
+TEST(Bandgap, NominalVoltagesAndCellBias) {
+  const double t = 310.15;
+  EXPECT_NEAR(we_reference().voltage(t, 1.8), 1.2, 1e-9);
+  EXPECT_NEAR(re_reference().voltage(t, 1.8), 0.55, 1e-9);
+  // The paper's 650 mV oxidation potential between WE and RE.
+  EXPECT_NEAR(cell_bias_voltage(t, 1.8), 0.65, 1e-9);
+}
+
+TEST(Bandgap, TemperatureBowIsSmall) {
+  const auto bg = we_reference();
+  // Over 27..47 C the reference must stay within a few mV.
+  const double v_cold = bg.voltage(300.15, 1.8);
+  const double v_hot = bg.voltage(320.15, 1.8);
+  EXPECT_NEAR(v_cold, 1.2, 5e-3);
+  EXPECT_NEAR(v_hot, 1.2, 5e-3);
+  EXPECT_LT(bg.tempco_ppm(300.15, 320.15), 200.0);
+}
+
+TEST(Bandgap, LineSensitivityAndCollapse) {
+  const auto bg = we_reference();
+  const double dv = bg.voltage(310.15, 2.0) - bg.voltage(310.15, 1.8);
+  EXPECT_NEAR(dv, 0.2 * bg.spec().line_sensitivity, 1e-12);
+  // Below the minimum supply the reference collapses well under nominal.
+  EXPECT_LT(bg.voltage(310.15, 0.5), 0.6 * bg.spec().nominal_voltage);
+}
+
+TEST(Bandgap, SubOneVoltReferenceSurvivesLowerSupply) {
+  // Banba's point: the RE reference still regulates at 1.0 V supply.
+  const auto re = re_reference();
+  EXPECT_NEAR(re.voltage(310.15, 1.0), 0.55, 5e-3);
+  const auto we = we_reference();
+  EXPECT_LT(we.voltage(310.15, 0.95), 1.0);  // the 1.2 V core cannot
+}
+
+// -------------------------------------------------------------------- load
+
+TEST(SensorLoad, ModeCurrents) {
+  SensorLoadSpec spec;
+  EXPECT_DOUBLE_EQ(mode_current(spec, SensorMode::kLowPower), 350e-6);
+  EXPECT_DOUBLE_EQ(mode_current(spec, SensorMode::kHighPower), 1.3e-3);
+  EXPECT_DOUBLE_EQ(mode_current(spec, SensorMode::kSleep), 20e-6);
+}
+
+TEST(SensorLoad, ProfileChargeIntegration) {
+  SensorLoadSpec spec;
+  SensorLoadProfile profile(spec, {{0.0, SensorMode::kSleep},
+                                   {1.0, SensorMode::kHighPower},
+                                   {2.0, SensorMode::kLowPower}});
+  EXPECT_DOUBLE_EQ(profile.current(0.5), 20e-6);
+  EXPECT_DOUBLE_EQ(profile.current(1.5), 1.3e-3);
+  EXPECT_DOUBLE_EQ(profile.current(2.5), 350e-6);
+  // Charge over [0, 3]: 20u + 1300u + 350u.
+  EXPECT_NEAR(profile.charge(0.0, 3.0), 20e-6 + 1.3e-3 + 350e-6, 1e-12);
+  // Sub-interval.
+  EXPECT_NEAR(profile.charge(0.5, 1.5), 20e-6 * 0.5 + 1.3e-3 * 0.5, 1e-12);
+  EXPECT_THROW(profile.charge(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(SensorLoad, ProfileRejectsBadSchedule) {
+  SensorLoadSpec spec;
+  EXPECT_THROW(SensorLoadProfile(spec, {}), std::invalid_argument);
+  EXPECT_THROW(SensorLoadProfile(spec, {{1.0, SensorMode::kSleep},
+                                        {1.0, SensorMode::kSleep}}),
+               std::invalid_argument);
+}
+
+TEST(SensorLoad, CircuitLoadDrawsModeCurrentWhenPowered) {
+  Circuit ckt;
+  const auto rail = ckt.node("rail");
+  auto& vs = ckt.add<VoltageSource>("V1", rail, kGround, Waveform::dc(1.8));
+  build_sensor_load(ckt, "sensor", rail, SensorLoadSpec{}, SensorMode::kLowPower);
+  const auto dc = solve_dc(ckt);
+  ASSERT_TRUE(dc.converged);
+  // Source branch current = -350 uA (delivering).
+  EXPECT_NEAR(dc.x[static_cast<std::size_t>(vs.branch_index())], -350e-6, 20e-6);
+}
+
+TEST(SensorLoad, CircuitLoadReleasedBelowPor) {
+  Circuit ckt;
+  const auto rail = ckt.node("rail");
+  auto& vs = ckt.add<VoltageSource>("V1", rail, kGround, Waveform::dc(0.4));
+  build_sensor_load(ckt, "sensor", rail, SensorLoadSpec{}, SensorMode::kLowPower);
+  const auto dc = solve_dc(ckt);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_GT(dc.x[static_cast<std::size_t>(vs.branch_index())], -5e-6);
+}
+
+}  // namespace

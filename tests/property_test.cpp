@@ -1,0 +1,321 @@
+// Property-based suites (TEST_P sweeps): invariants that must hold over
+// whole parameter regions, not just at hand-picked points.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "src/bio/adc.hpp"
+#include "src/comms/ask.hpp"
+#include "src/comms/line_code.hpp"
+#include "src/magnetics/coupling.hpp"
+#include "src/magnetics/link.hpp"
+#include "src/patch/battery.hpp"
+#include "src/pm/rectifier.hpp"
+#include "src/rf/matching.hpp"
+#include "src/spice/ac.hpp"
+#include "src/spice/devices_passive.hpp"
+#include "src/spice/devices_sources.hpp"
+#include "src/spice/engine.hpp"
+#include "src/util/constants.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace ironic;
+using namespace ironic::spice;
+namespace constants = ironic::constants;
+
+// ------------------------------------------------- RC analytic correctness
+
+class RcChargeP : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(RcChargeP, TransientMatchesClosedForm) {
+  const auto [r, c] = GetParam();
+  const double tau = r * c;
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  ckt.add<VoltageSource>("V1", in, kGround, Waveform::dc(1.0));
+  ckt.add<Resistor>("R1", in, out, r);
+  ckt.add<Capacitor>("C1", out, kGround, c);
+  TransientOptions opts;
+  opts.t_stop = 5.0 * tau;
+  opts.dt_max = tau / 200.0;
+  const auto res = run_transient(ckt, opts);
+  for (double k : {0.5, 1.0, 2.0, 4.0}) {
+    const double expected = 1.0 - std::exp(-k);
+    EXPECT_NEAR(res.value_at("v(out)", k * tau), expected, 3e-4)
+        << "R=" << r << " C=" << c << " at t=" << k << " tau";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RcChargeP,
+    ::testing::Combine(::testing::Values(10.0, 1e3, 100e3),
+                       ::testing::Values(100e-12, 10e-9, 1e-6)));
+
+// ------------------------------------------------ LC energy conservation
+
+class LcEnergyP : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(LcEnergyP, TrapezoidalPreservesAmplitude) {
+  const auto [l, c] = GetParam();
+  const double period = constants::kTwoPi * std::sqrt(l * c);
+  Circuit ckt;
+  const auto n = ckt.node("n");
+  ckt.add<Capacitor>("C1", n, kGround, c, 1.0);
+  ckt.add<Inductor>("L1", n, kGround, l);
+  TransientOptions opts;
+  opts.t_stop = 30.0 * period;
+  opts.dt_max = period / 80.0;
+  const auto res = run_transient(ckt, opts);
+  const double late = res.max_between("v(n)", 25.0 * period, 30.0 * period);
+  EXPECT_NEAR(late, 1.0, 0.02) << "L=" << l << " C=" << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, LcEnergyP,
+                         ::testing::Combine(::testing::Values(1e-6, 10e-6, 1e-3),
+                                            ::testing::Values(100e-12, 10e-9)));
+
+// ---------------------------------------------------- rectifier invariants
+
+class RectifierInvariantP
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(RectifierInvariantP, OutputBoundedAndRippleSmall) {
+  const auto [amplitude, co] = GetParam();
+  pm::RectifierOptions opt;
+  opt.storage_capacitance = co;
+  Circuit ckt;
+  const auto src = ckt.node("src");
+  const auto vi = ckt.node("vi");
+  ckt.add<VoltageSource>("Vs", src, kGround, Waveform::sine(amplitude, 5e6));
+  ckt.add<Resistor>("Rs", src, vi, 100.0);
+  build_rectifier(ckt, "r", vi, Waveform::dc(0.0), Waveform::dc(1.8), opt);
+  ckt.add<Resistor>("RL", ckt.find_node("r.vo"), kGround, 5e3);
+  TransientOptions opts;
+  opts.t_stop = 60e-6;
+  opts.dt_max = 5e-9;
+  opts.record_signals = {"v(r.vo)"};
+  const auto res = run_transient(ckt, opts);
+
+  // Invariants across the whole drive/capacitance grid:
+  // 1. the output never goes negative,
+  EXPECT_GT(res.min_between("v(r.vo)", 0.0, 60e-6), -0.05);
+  // 2. the clamp ceiling holds,
+  EXPECT_LT(res.max_between("v(r.vo)", 0.0, 60e-6), 3.45);
+  // 3. the output cannot exceed the driving peak,
+  EXPECT_LT(res.max_between("v(r.vo)", 0.0, 60e-6), amplitude);
+  // 4. tail ripple is bounded by the per-cycle load droop plus whatever
+  //    residual charging slope remains across the observation window
+  //    (large Co values are still settling at this horizon).
+  const double vo = res.mean_between("v(r.vo)", 50e-6, 60e-6);
+  const double ripple = res.max_between("v(r.vo)", 50e-6, 60e-6) -
+                        res.min_between("v(r.vo)", 50e-6, 60e-6);
+  const double slope = std::abs(res.value_at("v(r.vo)", 60e-6) -
+                                res.value_at("v(r.vo)", 50e-6));
+  if (vo < 3.0) {
+    const double droop_bound = vo / 5e3 * (1.0 / 5e6) / co * 3.0 + slope + 1e-3;
+    EXPECT_LT(ripple, droop_bound) << "A=" << amplitude << " Co=" << co;
+  } else {
+    // Clamped operating point: the clamp chain conducts every cycle and
+    // sets the ripple; just require it to stay small in absolute terms.
+    EXPECT_LT(ripple, 0.15) << "A=" << amplitude << " Co=" << co;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RectifierInvariantP,
+    ::testing::Combine(::testing::Values(2.0, 3.5, 5.0, 7.0),
+                       ::testing::Values(10e-9, 47e-9)));
+
+// --------------------------------------------------------- link physics
+
+class LinkPhysicsP : public ::testing::TestWithParam<double> {};
+
+TEST_P(LinkPhysicsP, ReciprocityAndBounds) {
+  const double d = GetParam();
+  const magnetics::Coil tx{magnetics::patch_coil_spec()};
+  const magnetics::Coil rx{magnetics::implant_coil_spec()};
+  // Mutual inductance is reciprocal.
+  const double m12 = magnetics::mutual_inductance(tx, rx, d);
+  const double m21 = magnetics::mutual_inductance(rx, tx, d);
+  EXPECT_NEAR(m12, m21, std::abs(m12) * 1e-9) << "d=" << d;
+  // Coupling bounded by 1; efficiency bounded by 1 and positive.
+  magnetics::LinkConfig cfg;
+  cfg.distance = d;
+  magnetics::InductiveLink link{cfg};
+  EXPECT_GT(link.coupling(), 0.0);
+  EXPECT_LT(link.coupling(), 1.0);
+  const auto a = link.analyze(1.0, link.optimal_load_resistance());
+  EXPECT_GT(a.efficiency, 0.0);
+  EXPECT_LT(a.efficiency, 1.0);
+  EXPECT_LE(a.power_delivered, a.power_in * (1.0 + 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, LinkPhysicsP,
+                         ::testing::Values(3e-3, 4e-3, 6e-3, 8e-3, 10e-3, 13e-3,
+                                           17e-3, 21e-3, 25e-3, 30e-3));
+
+// ------------------------------------------------------------ ADC accuracy
+
+class AdcAccuracyP : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(AdcAccuracyP, ReconstructionWithinFourLsb) {
+  const auto [frac, osr] = GetParam();
+  bio::AdcSpec spec;
+  spec.oversampling_ratio = osr;
+  bio::SigmaDeltaAdc adc{spec};
+  const double i_in = frac * spec.full_scale_current;
+  const double back = adc.current_from_code(adc.convert_current(i_in));
+  EXPECT_NEAR(back, i_in, 4.0 * spec.lsb_current()) << "frac=" << frac
+                                                    << " OSR=" << osr;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AdcAccuracyP,
+    ::testing::Combine(::testing::Values(0.05, 0.2, 0.4, 0.6, 0.8, 0.95),
+                       ::testing::Values(128, 256, 512)));
+
+// ------------------------------------------------------- ASK loopback BER
+
+class AskRoundTripP : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(AskRoundTripP, CleanChannelIsErrorFree) {
+  const auto [bit_rate, depth] = GetParam();
+  comms::AskSpec spec;
+  spec.bit_rate = bit_rate;
+  spec.modulation_depth = depth;
+  spec.edge_time = std::min(1e-6, 0.1 / bit_rate);
+  util::Rng rng(11);
+  const auto bits = comms::random_bits(64, rng);
+  const double t0 = 10e-6;
+  const double t_stop = t0 + 64.0 / bit_rate + 10e-6;
+  const auto w = comms::ask_waveform(bits, spec, t0, t_stop);
+  std::vector<double> ts, vs;
+  for (double t = 0.0; t <= t_stop; t += 0.01 / spec.carrier_frequency) {
+    ts.push_back(t);
+    vs.push_back(w(t));
+  }
+  const auto rx = comms::demodulate_ask(ts, vs, spec, t0, bits.size());
+  EXPECT_EQ(comms::bit_error_rate(bits, rx), 0.0)
+      << "rate=" << bit_rate << " depth=" << depth;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AskRoundTripP,
+    ::testing::Combine(::testing::Values(50e3, 100e3, 200e3),
+                       ::testing::Values(0.25, 0.423, 0.6)));
+
+// -------------------------------------------------------- matching designs
+
+class MatchDesignP : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(MatchDesignP, ClosesWheneverFeasible) {
+  const auto [l_coil, r_target] = GetParam();
+  const double r_load = 150.0;
+  const double wl = constants::kTwoPi * 5e6 * l_coil;
+  const bool feasible = std::sqrt(r_target * (r_load - r_target)) < wl;
+  if (!feasible) {
+    EXPECT_THROW(rf::design_capacitive_match(l_coil, r_load, r_target, 5e6),
+                 std::invalid_argument);
+    return;
+  }
+  const auto match = rf::design_capacitive_match(l_coil, r_load, r_target, 5e6);
+  const auto z = rf::matched_input_impedance(match, l_coil, r_load, 5e6);
+  EXPECT_NEAR(z.real(), r_target, r_target * 1e-6);
+  EXPECT_NEAR(z.imag(), 0.0, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MatchDesignP,
+    ::testing::Combine(::testing::Values(0.5e-6, 1.5e-6, 4e-6),
+                       ::testing::Values(2.0, 6.0, 20.0, 60.0)));
+
+// ----------------------------------------------------- battery bookkeeping
+
+class BatteryLedgerP : public ::testing::TestWithParam<double> {};
+
+TEST_P(BatteryLedgerP, ChargeConservation) {
+  const double current = GetParam();
+  patch::LiIonBattery batt;
+  const double t = batt.time_to_empty(current);
+  // Drawing exactly time_to_empty empties the cell, no more, no less.
+  const double delivered = batt.draw(current, t);
+  EXPECT_NEAR(delivered, batt.spec().capacity_coulombs(),
+              batt.spec().capacity_coulombs() * 1e-9);
+  EXPECT_TRUE(batt.depleted());
+  EXPECT_DOUBLE_EQ(batt.draw(current, 10.0), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Currents, BatteryLedgerP,
+                         ::testing::Values(1e-3, 23e-3, 68e-3, 158e-3, 1.0));
+
+// ---------------------------------------------------- Manchester coverage
+
+class ManchesterP : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ManchesterP, RoundTripAndDcFreedom) {
+  util::Rng rng(GetParam() * 7919 + 1);
+  const auto bits = comms::random_bits(GetParam(), rng);
+  const auto chips = comms::manchester_encode(bits);
+  EXPECT_EQ(chips.size(), bits.size() * 2);
+  EXPECT_TRUE(comms::is_dc_free(chips));
+  const auto back = comms::manchester_decode(chips);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ManchesterP,
+                         ::testing::Values(1u, 2u, 17u, 64u, 255u, 1024u));
+
+// ----------------------------------------------------- failure injection
+
+class NoAcModelDevice final : public Device {
+ public:
+  using Device::Device;
+  void stamp(StampContext&) override {}
+};
+
+TEST(FailureInjection, MissingAcModelIsReported) {
+  Circuit ckt;
+  ckt.add<Resistor>("R1", ckt.node("a"), kGround, 1e3);
+  ckt.add<NoAcModelDevice>("X1");
+  AcOptions opts;
+  opts.use_operating_point = false;
+  EXPECT_THROW(run_ac(ckt, opts), std::logic_error);
+}
+
+TEST(FailureInjection, DcReportsNonConvergenceGracefully) {
+  // A latch (two cross-coupled comparators) has no unique DC solution;
+  // solve_dc must come back converged == false instead of looping.
+  Circuit ckt;
+  const auto a = ckt.node("a");
+  const auto b = ckt.node("b");
+  OpAmpParams comparator;
+  comparator.gain = 1e5;
+  ckt.add<OpAmp>("U1", a, b, kGround, comparator);
+  ckt.add<OpAmp>("U2", b, kGround, a, comparator);
+  ckt.add<Resistor>("Ra", a, kGround, 1e4);
+  ckt.add<Resistor>("Rb", b, kGround, 1e4);
+  const auto dc = solve_dc(ckt);
+  // Either it finds one of the metastable points or reports failure —
+  // but it must return, and a reported success must satisfy the rails.
+  if (dc.converged) {
+    EXPECT_LE(std::abs(dc.x[static_cast<std::size_t>(a)]), 1.81);
+  }
+  SUCCEED();
+}
+
+TEST(FailureInjection, TransientRecordsUnknownSignalRejected) {
+  Circuit ckt;
+  ckt.add<Resistor>("R1", ckt.node("a"), kGround, 1.0);
+  TransientOptions opts;
+  opts.t_stop = 1e-6;
+  opts.dt_max = 1e-8;
+  opts.record_signals = {"v(ghost)"};
+  EXPECT_THROW(run_transient(ckt, opts), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/rf/classe.hpp"
+#include "src/rf/matching.hpp"
+#include "src/spice/devices_passive.hpp"
+#include "src/spice/engine.hpp"
+#include "src/util/constants.hpp"
+
+namespace {
+
+using namespace ironic::rf;
+using namespace ironic::spice;
+namespace constants = ironic::constants;
+
+// ----------------------------------------------------------------- design
+
+TEST(ClassEDesign, OutputPowerFormula) {
+  ClassESpec spec;
+  spec.supply_voltage = 3.7;
+  spec.load_resistance = 5.0;
+  const auto d = design_class_e(spec);
+  // P = 0.5768 Vdd^2 / R.
+  EXPECT_NEAR(d.output_power, 0.5768 * 3.7 * 3.7 / 5.0, 1e-3);
+  EXPECT_NEAR(d.peak_switch_voltage, 3.562 * 3.7, 1e-9);
+}
+
+TEST(ClassEDesign, ComponentValuesPositiveAndOrdered) {
+  const auto d = design_class_e(ClassESpec{});
+  EXPECT_GT(d.shunt_capacitance, 0.0);
+  EXPECT_GT(d.series_capacitance, 0.0);
+  EXPECT_GT(d.series_inductance, 0.0);
+  // The choke must dwarf the tank inductance.
+  EXPECT_GT(d.choke_inductance, d.series_inductance);
+}
+
+TEST(ClassEDesign, LoadForPowerInvertsDesign) {
+  const double r = class_e_load_for_power(15e-3, 3.7);
+  ClassESpec spec;
+  spec.supply_voltage = 3.7;
+  spec.load_resistance = r;
+  EXPECT_NEAR(design_class_e(spec).output_power, 15e-3, 1e-6);
+}
+
+TEST(ClassEDesign, RejectsBadSpecs) {
+  ClassESpec spec;
+  spec.loaded_q = 1.0;
+  EXPECT_THROW(design_class_e(spec), std::invalid_argument);
+  spec = ClassESpec{};
+  spec.load_resistance = -1.0;
+  EXPECT_THROW(design_class_e(spec), std::invalid_argument);
+  EXPECT_THROW(class_e_load_for_power(0.0, 3.7), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- transient
+
+struct ClassESim {
+  TransientResult result;
+  ClassEDesign design;
+  std::string drain_name;
+  double efficiency = 0.0;
+  double p_load = 0.0;
+};
+
+ClassESim simulate_class_e(double c_shunt_scale, double t_stop = 30e-6) {
+  ClassESpec spec;
+  spec.supply_voltage = 3.7;
+  spec.frequency = 5e6;
+  spec.load_resistance = 10.0;
+  spec.loaded_q = 7.0;
+  auto design = design_class_e(spec);
+  design.shunt_capacitance *= c_shunt_scale;
+
+  Circuit ckt;
+  const auto drive = square_clock(0.0, 1.8, spec.frequency, 0.0, 2e-9);
+  const auto inst = build_class_e(ckt, "pa", design, drive);
+  ckt.add<Resistor>("RL", inst.output, kGround, spec.load_resistance);
+
+  TransientOptions opts;
+  opts.t_stop = t_stop;
+  opts.dt_max = 1e-9;
+  opts.record_every = 2;
+  ClassESim sim{run_transient(ckt, opts), design, "pa.drain", 0.0, 0.0};
+
+  // Steady-state window: last 20 carrier periods.
+  const double w0 = t_stop - 20.0 / spec.frequency;
+  const double p_load =
+      sim.result.mean_product_between("v(pa.out)", "v(pa.out)", w0, t_stop) /
+      spec.load_resistance;
+  // Supply power: Vdd * mean supply-branch current (source convention:
+  // delivering current makes i(Vdd) negative).
+  const double i_supply = -sim.result.mean_between("i(pa.Vdd)", w0, t_stop);
+  const double p_supply = spec.supply_voltage * i_supply;
+  sim.p_load = p_load;
+  sim.efficiency = p_load / p_supply;
+  return sim;
+}
+
+TEST(ClassETransient, TunedAmplifierIsEfficient) {
+  const auto sim = simulate_class_e(1.0);
+  EXPECT_GT(sim.efficiency, 0.80);
+  EXPECT_LE(sim.efficiency, 1.01);
+  // Output power within 2x of the idealized design equation.
+  EXPECT_GT(sim.p_load, sim.design.output_power * 0.5);
+  EXPECT_LT(sim.p_load, sim.design.output_power * 2.0);
+}
+
+TEST(ClassETransient, DrainPeaksNearTheoreticalStress) {
+  const auto sim = simulate_class_e(1.0);
+  const double peak = sim.result.max_between("v(pa.drain)", 20e-6, 30e-6);
+  // ~3.56 Vdd for ideal class-E; allow a generous band for finite Q.
+  EXPECT_GT(peak, 2.0 * 3.7);
+  EXPECT_LT(peak, 5.0 * 3.7);
+}
+
+TEST(ClassETransient, TunedZvsBeatsDetuned) {
+  const auto tuned = simulate_class_e(1.0);
+  const auto detuned = simulate_class_e(2.5);
+  const double e_tuned = zvs_error(tuned.result, "pa.drain", 5e6, 200e-9, 24e-6, 30e-6, 3.7);
+  const double e_detuned =
+      zvs_error(detuned.result, "pa.drain", 5e6, 200e-9, 24e-6, 30e-6, 3.7);
+  EXPECT_LT(e_tuned, e_detuned);
+}
+
+TEST(ClassETransient, DetunedAmplifierLosesEfficiency) {
+  const auto tuned = simulate_class_e(1.0);
+  const auto detuned = simulate_class_e(2.5);
+  EXPECT_GT(tuned.efficiency, detuned.efficiency);
+}
+
+TEST(ClassEZvs, WindowValidation) {
+  const auto sim = simulate_class_e(1.0, 5e-6);
+  EXPECT_THROW(zvs_error(sim.result, "pa.drain", 5e6, 0.0, 4e-6, 3e-6, 3.7),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- matching
+
+TEST(Matching, DesignClosesToTarget) {
+  // Paper values: implant coil ~uH range, rectifier average R ~150 Ohm,
+  // transformed to the few-ohm load the link prefers.
+  const double l = 1.5e-6;
+  const double r_load = 150.0;
+  const double r_target = 6.0;
+  const double f = 5e6;
+  const auto match = design_capacitive_match(l, r_load, r_target, f);
+  EXPECT_GT(match.series_c, 0.0);
+  EXPECT_GT(match.shunt_c, 0.0);
+  const auto z = matched_input_impedance(match, l, r_load, f);
+  EXPECT_NEAR(z.real(), r_target, r_target * 1e-6);
+  EXPECT_NEAR(z.imag(), 0.0, 1e-6);
+}
+
+TEST(Matching, QMatchesTransformationRatio) {
+  const auto match = design_capacitive_match(1.5e-6, 150.0, 6.0, 5e6);
+  EXPECT_NEAR(match.q, std::sqrt(150.0 / 6.0 - 1.0), 1e-12);
+}
+
+TEST(Matching, SweepAcrossTargetsAlwaysCloses) {
+  // Targets above ~20 Ohm need more coil reactance than 2 uH provides
+  // (the series capacitor would have to be inductive) — the design
+  // rightly rejects those, covered by the RejectsUpwardTransform test.
+  for (double rt : {2.0, 5.0, 10.0, 20.0}) {
+    const auto match = design_capacitive_match(2e-6, 150.0, rt, 5e6);
+    const auto z = matched_input_impedance(match, 2e-6, 150.0, 5e6);
+    EXPECT_NEAR(z.real(), rt, rt * 1e-6) << "r_target=" << rt;
+    EXPECT_NEAR(z.imag(), 0.0, 1e-5) << "r_target=" << rt;
+  }
+}
+
+TEST(Matching, RejectsUpwardTransformAndBadInputs) {
+  EXPECT_THROW(design_capacitive_match(1e-6, 10.0, 150.0, 5e6), std::invalid_argument);
+  EXPECT_THROW(design_capacitive_match(-1e-6, 150.0, 6.0, 5e6), std::invalid_argument);
+  // Coil reactance too small to absorb the series capacitor.
+  EXPECT_THROW(design_capacitive_match(1e-9, 150.0, 140.0, 5e6), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "src/rf/matching.hpp"
+#include "src/spice/ac.hpp"
+#include "src/spice/devices_nonlinear.hpp"
+#include "src/spice/devices_passive.hpp"
+#include "src/spice/devices_sources.hpp"
+#include "src/util/constants.hpp"
+
+namespace {
+
+using namespace ironic::spice;
+namespace constants = ironic::constants;
+
+// Index of the sweep point closest to f.
+std::size_t nearest_index(const AcResult& res, double f) {
+  std::size_t best = 0;
+  double best_err = 1e300;
+  for (std::size_t i = 0; i < res.frequency().size(); ++i) {
+    const double err = std::abs(std::log10(res.frequency()[i] / f));
+    if (err < best_err) {
+      best_err = err;
+      best = i;
+    }
+  }
+  return best;
+}
+
+TEST(Ac, RcLowPassCornerAndPhase) {
+  // R = 1k, C = 159.15 pF -> f_c = 1 MHz.
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  auto& vs = ckt.add<VoltageSource>("V1", in, kGround, Waveform::dc(0.0));
+  vs.set_ac(1.0);
+  ckt.add<Resistor>("R1", in, out, 1e3);
+  ckt.add<Capacitor>("C1", out, kGround, 159.155e-12);
+
+  AcOptions opts;
+  opts.f_start = 1e4;
+  opts.f_stop = 1e8;
+  opts.points_per_decade = 40;
+  opts.use_operating_point = false;
+  const auto res = run_ac(ckt, opts);
+
+  // Passband gain ~ 1.
+  EXPECT_NEAR(res.magnitude("v(out)", 0), 1.0, 1e-3);
+  // -3 dB corner at 1 MHz.
+  double fc = 0.0;
+  ASSERT_TRUE(res.upper_corner_frequency("v(out)", 3.0103, fc));
+  EXPECT_NEAR(fc, 1e6, 0.05e6);
+  // Phase at the corner ~ -45 deg.
+  EXPECT_NEAR(res.phase_deg("v(out)", nearest_index(res, 1e6)), -45.0, 3.0);
+  // Decade above: ~ -20 dB.
+  EXPECT_NEAR(res.magnitude_db("v(out)", nearest_index(res, 1e7)), -20.0, 0.5);
+}
+
+TEST(Ac, SeriesRlcResonance) {
+  // L = 10 uH, C = 101.32 pF -> f0 = 5 MHz; R = 10 -> Q = pi.
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto mid = ckt.node("mid");
+  const auto out = ckt.node("out");
+  auto& vs = ckt.add<VoltageSource>("V1", in, kGround, Waveform::dc(0.0));
+  vs.set_ac(1.0);
+  ckt.add<Inductor>("L1", in, mid, 10e-6);
+  ckt.add<Capacitor>("C1", mid, out, 101.321e-12);
+  ckt.add<Resistor>("R1", out, kGround, 10.0);
+
+  AcOptions opts;
+  opts.f_start = 1e6;
+  opts.f_stop = 30e6;
+  opts.points_per_decade = 200;
+  opts.use_operating_point = false;
+  const auto res = run_ac(ckt, opts);
+
+  // Peak of v(out) at the series resonance; full source voltage appears
+  // across R there.
+  EXPECT_NEAR(res.peak_frequency("v(out)"), 5e6, 0.1e6);
+  EXPECT_NEAR(res.magnitude("v(out)", nearest_index(res, 5e6)), 1.0, 0.02);
+  // Far below resonance the capacitor blocks.
+  EXPECT_LT(res.magnitude("v(out)", 0), 0.1);
+}
+
+TEST(Ac, CoupledCoilsTransferPeaksAtTuning) {
+  // Both windings series-tuned to 5 MHz: the transfer through the link
+  // peaks there (the link's operating point).
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto p = ckt.node("p");
+  const auto s = ckt.node("s");
+  const auto out = ckt.node("out");
+  auto& vs = ckt.add<VoltageSource>("V1", in, kGround, Waveform::dc(0.0));
+  vs.set_ac(1.0);
+  const double l1 = 2e-6, l2 = 1e-6, f0 = 5e6;
+  const double w0 = constants::kTwoPi * f0;
+  ckt.add<Capacitor>("Cp", in, p, 1.0 / (w0 * w0 * l1));
+  ckt.add<CoupledInductors>("T1", p, kGround, s, kGround, l1, l2, 0.05, 1.0, 1.0);
+  ckt.add<Capacitor>("Cs", s, out, 1.0 / (w0 * w0 * l2));
+  ckt.add<Resistor>("RL", out, kGround, 10.0);
+
+  AcOptions opts;
+  opts.f_start = 1e6;
+  opts.f_stop = 25e6;
+  opts.points_per_decade = 150;
+  opts.use_operating_point = false;
+  const auto res = run_ac(ckt, opts);
+  EXPECT_NEAR(res.peak_frequency("v(out)"), 5e6, 0.25e6);
+}
+
+TEST(Ac, MatchingNetworkImpedanceMatchesAnalytic) {
+  // The CA/CB design verified in-circuit: input impedance of coil + CA +
+  // (CB || R) at 5 MHz equals the analytic target.
+  const double l2 = 3.8e-6;
+  const auto match = ironic::rf::design_capacitive_match(l2, 150.0, 5.0, 5e6);
+
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto a = ckt.node("a");
+  const auto b = ckt.node("b");
+  auto& vs = ckt.add<VoltageSource>("V1", in, kGround, Waveform::dc(0.0));
+  vs.set_ac(1.0);
+  ckt.add<Inductor>("L2", in, a, l2);
+  ckt.add<Capacitor>("CA", a, b, match.series_c);
+  ckt.add<Capacitor>("CB", b, kGround, match.shunt_c);
+  ckt.add<Resistor>("RL", b, kGround, 150.0);
+
+  AcOptions opts;
+  opts.f_start = 4.99e6;
+  opts.f_stop = 5.01e6;
+  opts.log_sweep = false;
+  opts.linear_points = 3;
+  opts.use_operating_point = false;
+  const auto res = run_ac(ckt, opts);
+  const auto z = input_impedance(res, "V1");
+  EXPECT_NEAR(z[1].real(), 5.0, 0.05);
+  EXPECT_NEAR(z[1].imag(), 0.0, 0.2);
+}
+
+TEST(Ac, DiodeSmallSignalConductanceAtBias) {
+  // Diode biased at ~0.5 mA: r_d = nVt/Id.
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto d = ckt.node("d");
+  auto& vs = ckt.add<VoltageSource>("V1", in, kGround, Waveform::dc(1.2));
+  vs.set_ac(1.0);
+  ckt.add<Resistor>("R1", in, d, 1e3);
+  ckt.add<Diode>("D1", d, kGround);
+
+  AcOptions opts;
+  opts.f_start = 1e3;
+  opts.f_stop = 1e4;
+  opts.points_per_decade = 5;
+  const auto res = run_ac(ckt, opts);
+
+  // Divider: |v(d)| = rd / (R + rd). Estimate Id from the op point.
+  const double vd_mag = res.magnitude("v(d)", 0);
+  const double rd = 1e3 * vd_mag / (1.0 - vd_mag);
+  // Id ~ (1.2 - 0.6) / 1k = 0.6 mA -> rd ~ 43 Ohm.
+  EXPECT_GT(rd, 25.0);
+  EXPECT_LT(rd, 70.0);
+}
+
+TEST(Ac, MosfetCommonSourceGain) {
+  // NMOS common-source with a drain resistor: |gain| = gm RD || ro.
+  MosParams p;
+  p.lambda = 0.0;
+  p.gamma = 0.0;
+  p.bulk_diodes = false;
+  p.w = 1.8e-6;  // W/L = 10: Id ~ 76 uA keeps the drain in saturation
+  Circuit ckt;
+  const auto vdd = ckt.node("vdd");
+  const auto g = ckt.node("g");
+  const auto d = ckt.node("d");
+  ckt.add<VoltageSource>("Vdd", vdd, kGround, Waveform::dc(1.8));
+  auto& vg = ckt.add<VoltageSource>("Vg", g, kGround, Waveform::dc(0.8));
+  vg.set_ac(1.0);
+  ckt.add<Resistor>("RD", vdd, d, 10e3);
+  ckt.add<Mosfet>("M1", d, g, kGround, kGround, p);
+
+  AcOptions opts;
+  opts.f_start = 1e3;
+  opts.f_stop = 1e4;
+  opts.points_per_decade = 5;
+  const auto res = run_ac(ckt, opts);
+
+  // gm = beta * vov = (170u * 10/0.18) * 0.3 ~ 2.83 mS -> gain ~ 28.3.
+  const double beta = p.beta();
+  const double expected = beta * 0.3 * 10e3;
+  EXPECT_NEAR(res.magnitude("v(d)", 0), expected, expected * 0.05);
+  // Inverting stage: ~180 degrees.
+  EXPECT_NEAR(std::abs(res.phase_deg("v(d)", 0)), 180.0, 2.0);
+}
+
+TEST(Ac, OpAmpFollowerIsFlat) {
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  auto& vs = ckt.add<VoltageSource>("V1", in, kGround, Waveform::dc(0.9));
+  vs.set_ac(1.0);
+  OpAmpParams op;
+  op.v_out_max = 1.8;
+  ckt.add<OpAmp>("U1", out, in, out, op);
+  ckt.add<Resistor>("RL", out, kGround, 10e3);
+
+  AcOptions opts;
+  opts.f_start = 1e3;
+  opts.f_stop = 1e6;
+  opts.points_per_decade = 3;
+  const auto res = run_ac(ckt, opts);
+  for (std::size_t i = 0; i < res.num_points(); ++i) {
+    EXPECT_NEAR(res.magnitude("v(out)", i), 1.0, 1e-3);
+  }
+}
+
+TEST(Ac, SwitchStateControlsTransmission) {
+  SwitchParams sp;
+  sp.r_on = 10.0;
+  sp.r_off = 1e9;
+  sp.v_on = 1.0;
+  sp.v_off = 0.2;
+  for (bool on : {true, false}) {
+    Circuit ckt;
+    const auto in = ckt.node("in");
+    const auto out = ckt.node("out");
+    const auto c = ckt.node("c");
+    auto& vs = ckt.add<VoltageSource>("V1", in, kGround, Waveform::dc(0.0));
+    vs.set_ac(1.0);
+    ckt.add<VoltageSource>("Vc", c, kGround, Waveform::dc(on ? 1.8 : 0.0));
+    ckt.add<SmoothSwitch>("S1", in, out, c, kGround, sp);
+    ckt.add<Resistor>("RL", out, kGround, 1e3);
+    AcOptions opts;
+    opts.f_start = 1e3;
+    opts.f_stop = 1e4;
+    opts.points_per_decade = 3;
+    const auto res = run_ac(ckt, opts);
+    if (on) {
+      EXPECT_NEAR(res.magnitude("v(out)", 0), 1e3 / 1010.0, 1e-3);
+    } else {
+      EXPECT_LT(res.magnitude("v(out)", 0), 1e-4);
+    }
+  }
+}
+
+TEST(Ac, OptionsValidation) {
+  Circuit ckt;
+  ckt.add<Resistor>("R1", ckt.node("a"), kGround, 1.0);
+  AcOptions opts;
+  opts.f_start = 0.0;
+  EXPECT_THROW(run_ac(ckt, opts), std::invalid_argument);
+  opts.f_start = 1e6;
+  opts.f_stop = 1e3;
+  EXPECT_THROW(run_ac(ckt, opts), std::invalid_argument);
+}
+
+TEST(Ac, LinearSweepGrid) {
+  Circuit ckt;
+  const auto in = ckt.node("in");
+  auto& vs = ckt.add<VoltageSource>("V1", in, kGround, Waveform::dc(0.0));
+  vs.set_ac(1.0);
+  ckt.add<Resistor>("R1", in, kGround, 50.0);
+  AcOptions opts;
+  opts.f_start = 1e6;
+  opts.f_stop = 2e6;
+  opts.log_sweep = false;
+  opts.linear_points = 11;
+  opts.use_operating_point = false;
+  const auto res = run_ac(ckt, opts);
+  ASSERT_EQ(res.num_points(), 11u);
+  EXPECT_DOUBLE_EQ(res.frequency().front(), 1e6);
+  EXPECT_DOUBLE_EQ(res.frequency().back(), 2e6);
+  EXPECT_NEAR(res.frequency()[5], 1.5e6, 1.0);
+}
+
+}  // namespace

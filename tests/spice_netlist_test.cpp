@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/spice/engine.hpp"
+#include "src/spice/netlist_parser.hpp"
+
+namespace {
+
+using namespace ironic::spice;
+
+// ------------------------------------------------------------- value parser
+
+TEST(SpiceValue, MagnitudeSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_spice_value("10n"), 10e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_value("4.7k"), 4.7e3);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2meg"), 2e6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("5MEG"), 5e6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("100p"), 100e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_value("3u"), 3e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("1.5m"), 1.5e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2g"), 2e9);
+  EXPECT_DOUBLE_EQ(parse_spice_value("1f"), 1e-15);
+}
+
+TEST(SpiceValue, UnitLettersIgnored) {
+  EXPECT_DOUBLE_EQ(parse_spice_value("10nF"), 10e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_value("5V"), 5.0);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2kOhm"), 2e3);
+}
+
+TEST(SpiceValue, ScientificNotation) {
+  EXPECT_DOUBLE_EQ(parse_spice_value("1e-6"), 1e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("-3.3"), -3.3);
+}
+
+TEST(SpiceValue, GarbageRejected) {
+  EXPECT_THROW(parse_spice_value(""), std::invalid_argument);
+  EXPECT_THROW(parse_spice_value("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_spice_value("10x!"), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ parser
+
+TEST(Netlist, VoltageDividerDc) {
+  Circuit ckt;
+  const int n = parse_netlist(ckt, R"(
+* simple divider
+V1 in 0 DC 10
+R1 in out 1k
+R2 out 0 3k
+.end
+)");
+  EXPECT_EQ(n, 3);
+  const auto dc = solve_dc(ckt);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.x[static_cast<std::size_t>(ckt.find_node("out"))], 7.5, 1e-6);
+}
+
+TEST(Netlist, RcTransientWithIc) {
+  Circuit ckt;
+  parse_netlist(ckt, R"(
+C1 n 0 1u IC=2
+R1 n 0 1k
+)");
+  TransientOptions opts;
+  opts.t_stop = 2e-3;
+  opts.dt_max = 1e-6;
+  const auto res = run_transient(ckt, opts);
+  EXPECT_NEAR(res.value_at("v(n)", 1e-3), 2.0 * std::exp(-1.0), 3e-3);
+}
+
+TEST(Netlist, SineSourceAndDiode) {
+  Circuit ckt;
+  parse_netlist(ckt, R"(
+V1 in 0 SIN(0 3 1meg)
+R1 in a 50
+D1 a out IS=1e-16
+C1 out 0 10n
+R2 out 0 10k
+)");
+  TransientOptions opts;
+  opts.t_stop = 20e-6;
+  opts.dt_max = 2e-9;
+  const auto res = run_transient(ckt, opts);
+  EXPECT_GT(res.mean_between("v(out)", 15e-6, 20e-6), 1.5);
+}
+
+TEST(Netlist, PulseAndPwlSources) {
+  Circuit ckt;
+  parse_netlist(ckt, R"(
+V1 a 0 PULSE(0 1 1u 10n 10n 2u 0)
+I1 0 b PWL(0 0 1u 1m 2u 0)
+R1 a 0 1k
+R2 b 0 1k
+)");
+  TransientOptions opts;
+  opts.t_stop = 4e-6;
+  opts.dt_max = 10e-9;
+  const auto res = run_transient(ckt, opts);
+  EXPECT_NEAR(res.value_at("v(a)", 2e-6), 1.0, 1e-9);
+  EXPECT_NEAR(res.value_at("v(b)", 1e-6), 1.0, 0.02);  // 1 mA into 1k
+  EXPECT_NEAR(res.value_at("v(a)", 3.5e-6), 0.0, 1e-9);
+}
+
+TEST(Netlist, CoupledInductorsViaKLine) {
+  Circuit ckt;
+  parse_netlist(ckt, R"(
+V1 in 0 SIN(0 1 1meg)
+L1 in 0 10u
+L2 sec 0 10u
+K1 L1 L2 0.95
+R1 sec 0 1meg
+)");
+  TransientOptions opts;
+  opts.t_stop = 5e-6;
+  opts.dt_max = 1e-9;
+  const auto res = run_transient(ckt, opts);
+  EXPECT_NEAR(res.peak_abs_between("v(sec)", 2e-6, 5e-6), 0.95, 0.01);
+}
+
+TEST(Netlist, UncoupledInductorStillWorks) {
+  Circuit ckt;
+  parse_netlist(ckt, R"(
+V1 in 0 DC 1
+R1 in mid 10
+L1 mid 0 10m
+)");
+  TransientOptions opts;
+  opts.t_stop = 5e-3;
+  opts.dt_max = 1e-6;
+  const auto res = run_transient(ckt, opts);
+  EXPECT_NEAR(res.value_at("i(l1)", 5e-3), 0.1 * (1.0 - std::exp(-5.0)), 2e-4);
+}
+
+TEST(Netlist, MosfetSwitchOpampControlled) {
+  Circuit ckt;
+  parse_netlist(ckt, R"(
+V1 vdd 0 DC 1.8
+V2 g 0 DC 1.0
+M1 vdd g 0 0 NMOS W=1.8u L=0.18u
+V3 in 0 DC 0.9
+XU1 out in out OPAMP GAIN=1e5 VMIN=0 VMAX=1.8
+R1 out 0 10k
+V4 c 0 DC 1.8
+S1 out x c 0 RON=10 ROFF=1e9 VON=1 VOFF=0.2
+R2 x 0 1k
+)");
+  const auto dc = solve_dc(ckt);
+  ASSERT_TRUE(dc.converged);
+  // Follower output ~0.9; switch on -> divider to x.
+  EXPECT_NEAR(dc.x[static_cast<std::size_t>(ckt.find_node("out"))], 0.9, 0.01);
+  EXPECT_GT(dc.x[static_cast<std::size_t>(ckt.find_node("x"))], 0.8);
+}
+
+TEST(Netlist, ZenerOptionBv) {
+  Circuit ckt;
+  parse_netlist(ckt, R"(
+V1 in 0 DC -5
+R1 in k 1k
+D1 k 0 BV=3
+)");
+  const auto dc = solve_dc(ckt);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.x[static_cast<std::size_t>(ckt.find_node("k"))], -3.2, 0.3);
+}
+
+TEST(Netlist, ControlledSources) {
+  Circuit ckt;
+  parse_netlist(ckt, R"(
+V1 a 0 DC 0.5
+E1 out 0 a 0 4
+R1 out 0 1k
+G1 0 b a 0 2m
+R2 b 0 1k
+)");
+  const auto dc = solve_dc(ckt);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.x[static_cast<std::size_t>(ckt.find_node("out"))], 2.0, 1e-6);
+  EXPECT_NEAR(dc.x[static_cast<std::size_t>(ckt.find_node("b"))], 1.0, 1e-6);
+}
+
+// ------------------------------------------------------------------- errors
+
+TEST(NetlistErrors, ReportLineNumbers) {
+  Circuit ckt;
+  try {
+    parse_netlist(ckt, "R1 a 0 1k\nQ1 a b c\n");
+    FAIL() << "expected NetlistError";
+  } catch (const NetlistError& e) {
+    EXPECT_EQ(e.line_number, 2);
+  }
+}
+
+TEST(NetlistErrors, MalformedInputsRejected) {
+  Circuit ckt;
+  EXPECT_THROW(parse_netlist(ckt, "R1 a 0\n"), NetlistError);           // too few
+  EXPECT_THROW(parse_netlist(ckt, "Rbad a 0 zzz\n"), NetlistError);     // bad value
+  EXPECT_THROW(parse_netlist(ckt, "V1 a 0 SIN(0 1\n"), NetlistError);   // unterminated
+  EXPECT_THROW(parse_netlist(ckt, "C1 a 0 1n IC\n"), NetlistError);     // dangling opt
+  EXPECT_THROW(parse_netlist(ckt, "M1 d g s b BJT\n"), NetlistError);   // bad model
+  EXPECT_THROW(parse_netlist(ckt, "K1 L1 L2 0.5\n"), NetlistError);     // unknown L
+  EXPECT_THROW(parse_netlist(ckt, "X1 a b c FILTER\n"), NetlistError);  // unknown sub
+}
+
+TEST(NetlistErrors, DoubleCouplingRejected) {
+  Circuit ckt;
+  EXPECT_THROW(parse_netlist(ckt, R"(
+L1 a 0 1u
+L2 b 0 1u
+L3 c 0 1u
+K1 L1 L2 0.5
+K2 L2 L3 0.5
+)"),
+               NetlistError);
+}
+
+TEST(Netlist, CommentsAndDirectivesIgnored) {
+  Circuit ckt;
+  const int n = parse_netlist(ckt, R"(
+* a comment
+.options reltol=1e-4
+R1 a 0 1k
+.end
+R2 never 0 1k
+)");
+  EXPECT_EQ(n, 1);  // R2 after .end is not parsed
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/spice/engine.hpp"
+#include "src/spice/netlist_parser.hpp"
+
+namespace {
+
+using namespace ironic::spice;
+
+TEST(Subckt, SingleInstanceDivider) {
+  Circuit ckt;
+  parse_netlist(ckt, R"(
+.subckt divider in out
+R1 in out 1k
+R2 out 0 1k
+.ends
+V1 a 0 DC 2
+Xd a b divider
+)");
+  const auto dc = solve_dc(ckt);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.x[static_cast<std::size_t>(ckt.find_node("b"))], 1.0, 1e-6);
+}
+
+TEST(Subckt, MultipleInstancesArePrivate) {
+  Circuit ckt;
+  parse_netlist(ckt, R"(
+.subckt rc in out
+R1 in out 1k
+C1 out 0 1u
+.ends
+V1 a 0 DC 1
+X1 a m rc
+X2 m b rc
+)");
+  // Two cascaded RC sections: both instantiate without name collisions.
+  TransientOptions opts;
+  opts.t_stop = 30e-3;
+  opts.dt_max = 10e-6;
+  const auto res = run_transient(ckt, opts);
+  EXPECT_NEAR(res.value_at("v(b)", 30e-3), 1.0, 0.01);
+  EXPECT_GT(res.value_at("v(m)", 1e-3), res.value_at("v(b)", 1e-3));
+}
+
+TEST(Subckt, InternalNodesDoNotLeak) {
+  Circuit ckt;
+  parse_netlist(ckt, R"(
+.subckt cell in out
+R1 in mid 1k
+R2 mid out 1k
+.ends
+V1 a 0 DC 1
+X1 a b cell
+R3 b 0 1k
+)");
+  // The internal node is privatized as "x1.mid".
+  EXPECT_TRUE(ckt.has_node("x1.mid"));
+  EXPECT_FALSE(ckt.has_node("mid"));
+  const auto dc = solve_dc(ckt);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.x[static_cast<std::size_t>(ckt.find_node("b"))], 1.0 / 3.0, 1e-6);
+}
+
+TEST(Subckt, GroundStaysGlobal) {
+  Circuit ckt;
+  parse_netlist(ckt, R"(
+.subckt shunt in
+R1 in 0 2k
+.ends
+V1 a 0 DC 1
+X1 a shunt
+X2 a shunt
+)");
+  const auto dc = solve_dc(ckt);
+  ASSERT_TRUE(dc.converged);
+  // Two 2k shunts in parallel: source delivers 1 mA.
+  const auto* vs = ckt.find_device("v1");
+  ASSERT_NE(vs, nullptr);
+  // Branch current via the unknown vector: last entries are branches.
+  EXPECT_NEAR(dc.x.back(), -1e-3, 1e-8);
+}
+
+TEST(Subckt, NestedSubcircuits) {
+  Circuit ckt;
+  parse_netlist(ckt, R"(
+.subckt leg a b
+R1 a b 1k
+.ends
+.subckt divider top mid
+X1 top mid leg
+X2 mid 0 leg
+.ends
+V1 in 0 DC 4
+Xd in out divider
+)");
+  const auto dc = solve_dc(ckt);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.x[static_cast<std::size_t>(ckt.find_node("out"))], 2.0, 1e-6);
+}
+
+TEST(Subckt, CoupledInductorsInsideSubckt) {
+  Circuit ckt;
+  parse_netlist(ckt, R"(
+.subckt xfmr p s
+L1 p 0 10u
+L2 s 0 10u
+K1 L1 L2 0.95
+.ends
+V1 in 0 SIN(0 1 1meg)
+X1 in sec xfmr
+R1 sec 0 1meg
+)");
+  TransientOptions opts;
+  opts.t_stop = 5e-6;
+  opts.dt_max = 1e-9;
+  const auto res = run_transient(ckt, opts);
+  EXPECT_NEAR(res.peak_abs_between("v(sec)", 2e-6, 5e-6), 0.95, 0.01);
+}
+
+TEST(Subckt, OpAmpPrimitiveInsideSubckt) {
+  Circuit ckt;
+  parse_netlist(ckt, R"(
+.subckt follower in out
+XU1 out in out OPAMP GAIN=1e5 VMIN=0 VMAX=1.8
+R1 out 0 10k
+.ends
+V1 a 0 DC 0.9
+X1 a b follower
+)");
+  const auto dc = solve_dc(ckt);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.x[static_cast<std::size_t>(ckt.find_node("b"))], 0.9, 1e-3);
+}
+
+TEST(Subckt, Errors) {
+  Circuit ckt;
+  // Unterminated definition.
+  EXPECT_THROW(parse_netlist(ckt, ".subckt foo a\nR1 a 0 1k\n"), NetlistError);
+  // Port-count mismatch.
+  EXPECT_THROW(parse_netlist(ckt, R"(
+.subckt cell a b
+R1 a b 1k
+.ends
+X1 n1 cell
+)"),
+               NetlistError);
+  // Unknown subcircuit name.
+  EXPECT_THROW(parse_netlist(ckt, "X1 a b mystery\n"), NetlistError);
+}
+
+}  // namespace

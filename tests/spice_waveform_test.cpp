@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/spice/waveform.hpp"
+#include "src/util/constants.hpp"
+
+namespace {
+
+using ironic::spice::Waveform;
+using ironic::spice::square_clock;
+
+TEST(Waveform, DcIsConstant) {
+  const auto w = Waveform::dc(3.3);
+  EXPECT_DOUBLE_EQ(w(0.0), 3.3);
+  EXPECT_DOUBLE_EQ(w(1e6), 3.3);
+}
+
+TEST(Waveform, DefaultIsZero) {
+  const Waveform w;
+  EXPECT_DOUBLE_EQ(w(1.0), 0.0);
+}
+
+TEST(Waveform, SineAmplitudeFrequencyOffset) {
+  const auto w = Waveform::sine(2.0, 1.0, 1.0);  // 2 V, 1 Hz, +1 V offset
+  EXPECT_NEAR(w(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(w(0.25), 3.0, 1e-12);
+  EXPECT_NEAR(w(0.75), -1.0, 1e-12);
+}
+
+TEST(Waveform, SineDelayHoldsOffsetBefore) {
+  const auto w = Waveform::sine(1.0, 10.0, 0.5, /*delay=*/1.0);
+  EXPECT_DOUBLE_EQ(w(0.5), 0.5);
+  EXPECT_NEAR(w(1.0 + 0.025), 1.5, 1e-12);  // quarter period after delay
+}
+
+TEST(Waveform, PulseShape) {
+  // 0 -> 1, delay 1 s, rise 0.1, width 0.5, fall 0.1, period 2.
+  const auto w = Waveform::pulse(0.0, 1.0, 1.0, 0.1, 0.1, 0.5, 2.0);
+  EXPECT_DOUBLE_EQ(w(0.5), 0.0);
+  EXPECT_NEAR(w(1.05), 0.5, 1e-12);   // mid-rise
+  EXPECT_DOUBLE_EQ(w(1.3), 1.0);      // top
+  EXPECT_NEAR(w(1.65), 0.5, 1e-12);   // mid-fall
+  EXPECT_DOUBLE_EQ(w(1.9), 0.0);      // bottom
+  EXPECT_DOUBLE_EQ(w(3.3), 1.0);      // next period top
+}
+
+TEST(Waveform, PulseBreakpointsCoverCorners) {
+  const auto w = Waveform::pulse(0.0, 1.0, 1.0, 0.1, 0.1, 0.5, 2.0);
+  std::vector<double> bps;
+  w.breakpoints(0.0, 4.0, bps);
+  std::sort(bps.begin(), bps.end());
+  // First period corners: 1.0, 1.1, 1.6, 1.7; second period: 3.0, 3.1, 3.6, 3.7.
+  ASSERT_GE(bps.size(), 8u);
+  EXPECT_NEAR(bps[0], 1.0, 1e-12);
+  EXPECT_NEAR(bps[1], 1.1, 1e-12);
+  EXPECT_NEAR(bps[2], 1.6, 1e-12);
+  EXPECT_NEAR(bps[3], 1.7, 1e-12);
+  EXPECT_TRUE(std::any_of(bps.begin(), bps.end(),
+                          [](double t) { return std::abs(t - 3.0) < 1e-12; }));
+}
+
+TEST(Waveform, PwlInterpolatesCorners) {
+  const auto w = Waveform::pwl({0.0, 1.0, 2.0}, {0.0, 2.0, 0.0});
+  EXPECT_DOUBLE_EQ(w(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(w(1.5), 1.0);
+  EXPECT_DOUBLE_EQ(w(5.0), 0.0);
+  std::vector<double> bps;
+  w.breakpoints(0.0, 3.0, bps);
+  EXPECT_EQ(bps.size(), 2u);  // interior corners only (0 and 3 excluded)
+}
+
+TEST(Waveform, ModulatedSineEnvelopeScalesCarrier) {
+  ironic::util::PiecewiseLinear env({0.0, 1.0}, {1.0, 3.0});
+  const auto w = Waveform::modulated_sine(1.0, env);
+  // At t = 0.25 the carrier peaks (+1); envelope there is 1.5.
+  EXPECT_NEAR(w(0.25), 1.5, 1e-12);
+  // At t = 0.75 the carrier is -1; envelope is 2.5.
+  EXPECT_NEAR(w(0.75), -2.5, 1e-12);
+}
+
+TEST(Waveform, CustomFunctionAndBreakpoints) {
+  const auto w = Waveform::custom([](double t) { return t * t; }, {0.5});
+  EXPECT_DOUBLE_EQ(w(3.0), 9.0);
+  std::vector<double> bps;
+  w.breakpoints(0.0, 1.0, bps);
+  ASSERT_EQ(bps.size(), 1u);
+  EXPECT_DOUBLE_EQ(bps[0], 0.5);
+}
+
+TEST(Waveform, CustomRejectsNull) {
+  EXPECT_THROW(Waveform::custom(nullptr), std::invalid_argument);
+}
+
+TEST(Waveform, SquareClockDutyCycle) {
+  const auto clk = square_clock(0.0, 1.8, 1e6, 0.0, 1e-9);
+  // Middle of the high phase.
+  EXPECT_DOUBLE_EQ(clk(0.25e-6), 1.8);
+  // Middle of the low phase.
+  EXPECT_DOUBLE_EQ(clk(0.75e-6), 0.0);
+  // Next period high again.
+  EXPECT_DOUBLE_EQ(clk(1.25e-6), 1.8);
+}
+
+}  // namespace

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "src/util/constants.hpp"
+#include "src/util/interp.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/table.hpp"
+#include "src/util/units.hpp"
+
+namespace {
+
+using namespace ironic;
+using namespace ironic::units;
+
+// ------------------------------------------------------------------- units
+
+TEST(Units, MagnitudesComposeCorrectly) {
+  EXPECT_DOUBLE_EQ(1.0_mV, 1e-3);
+  EXPECT_DOUBLE_EQ(4.0_uA, 4e-6);
+  EXPECT_DOUBLE_EQ(250.0_pA, 250e-12);
+  EXPECT_DOUBLE_EQ(5.0_MHz, 5e6);
+  EXPECT_DOUBLE_EQ(100.0_kbps, 100e3);
+  EXPECT_DOUBLE_EQ(15.0_mW, 15e-3);
+  EXPECT_DOUBLE_EQ(6.0_mm, 6e-3);
+  EXPECT_DOUBLE_EQ(10.0_nF, 10e-9);
+  EXPECT_DOUBLE_EQ(1.5_hr, 5400.0);
+}
+
+TEST(Units, EnergyUnits) {
+  // 1 mAh at work: charge units (A s).
+  EXPECT_DOUBLE_EQ(1.0_mAh, 3.6);
+  EXPECT_DOUBLE_EQ(0.2_Wh, 720.0);
+}
+
+TEST(Constants, ThermalVoltageAtBodyTemperature) {
+  const double vt = constants::thermal_voltage(constants::kBodyTemperature);
+  EXPECT_NEAR(vt, 0.0267, 1e-3);
+}
+
+// --------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicAcrossInstances) {
+  util::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  util::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  util::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  util::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  util::Rng rng(11);
+  std::vector<double> xs(200000);
+  for (auto& x : xs) x = rng.normal();
+  EXPECT_NEAR(util::mean(xs), 0.0, 0.02);
+  EXPECT_NEAR(util::stddev(xs), 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithParameters) {
+  util::Rng rng(13);
+  std::vector<double> xs(100000);
+  for (auto& x : xs) x = rng.normal(2.0, 0.5);
+  EXPECT_NEAR(util::mean(xs), 2.0, 0.02);
+  EXPECT_NEAR(util::stddev(xs), 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliProbability) {
+  util::Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BelowIsUnbiased) {
+  util::Rng rng(19);
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(7)];
+  for (int c : counts) EXPECT_NEAR(c, n / 7, 600);
+}
+
+TEST(Rng, BitsLengthAndBalance) {
+  util::Rng rng(23);
+  const auto bits = rng.bits(10000);
+  ASSERT_EQ(bits.size(), 10000u);
+  int ones = 0;
+  for (bool b : bits) ones += b;
+  EXPECT_NEAR(ones, 5000, 300);
+}
+
+// ------------------------------------------------------------------- stats
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(util::mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(util::variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(util::stddev(xs), std::sqrt(1.25));
+}
+
+TEST(Stats, RmsOfSine) {
+  std::vector<double> xs(10000);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = std::sin(2.0 * constants::kPi * static_cast<double>(i) / 100.0);
+  }
+  EXPECT_NEAR(util::rms(xs), 1.0 / std::sqrt(2.0), 1e-3);
+}
+
+TEST(Stats, MinMaxPeakToPeak) {
+  const std::vector<double> xs{-1.0, 4.0, 2.0, -3.0};
+  EXPECT_DOUBLE_EQ(util::min_value(xs), -3.0);
+  EXPECT_DOUBLE_EQ(util::max_value(xs), 4.0);
+  EXPECT_DOUBLE_EQ(util::peak_to_peak(xs), 7.0);
+}
+
+TEST(Stats, LinearFitExactLine) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys{1.0, 3.0, 5.0, 7.0};
+  const auto fit = util::linear_fit(xs, ys);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitRejectsDegenerate) {
+  const std::vector<double> xs{1.0, 1.0};
+  const std::vector<double> ys{0.0, 1.0};
+  EXPECT_THROW(util::linear_fit(xs, ys), std::invalid_argument);
+}
+
+TEST(Stats, IntegrateUniformRamp) {
+  std::vector<double> ys(101);
+  for (std::size_t i = 0; i < ys.size(); ++i) ys[i] = static_cast<double>(i) * 0.01;
+  // Integral of y = t over [0, 1] is 0.5.
+  EXPECT_NEAR(util::integrate_uniform(ys, 0.01), 0.5, 1e-9);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  util::Rng rng(29);
+  util::RunningStats rs;
+  std::vector<double> xs(5000);
+  for (auto& x : xs) {
+    x = rng.normal(3.0, 2.0);
+    rs.add(x);
+  }
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), util::mean(xs), 1e-9);
+  EXPECT_NEAR(rs.variance(), util::variance(xs), 1e-6);
+  EXPECT_DOUBLE_EQ(rs.min(), util::min_value(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), util::max_value(xs));
+}
+
+// ------------------------------------------------------------------ interp
+
+TEST(PiecewiseLinear, InterpolatesAndClamps) {
+  util::PiecewiseLinear pwl({0.0, 1.0, 2.0}, {0.0, 10.0, 0.0});
+  EXPECT_DOUBLE_EQ(pwl(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(pwl(1.5), 5.0);
+  EXPECT_DOUBLE_EQ(pwl(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(pwl(3.0), 0.0);
+}
+
+TEST(PiecewiseLinear, RejectsUnsortedInput) {
+  EXPECT_THROW(util::PiecewiseLinear({0.0, 0.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(util::PiecewiseLinear({1.0, 0.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(util::PiecewiseLinear({0.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(PiecewiseLinear, FirstCrossing) {
+  util::PiecewiseLinear pwl({0.0, 1.0, 2.0}, {0.0, 10.0, 0.0});
+  double x = 0.0;
+  ASSERT_TRUE(pwl.first_crossing(5.0, x));
+  EXPECT_DOUBLE_EQ(x, 0.5);
+  ASSERT_FALSE(pwl.first_crossing(11.0, x));
+}
+
+// ------------------------------------------------------------------- table
+
+TEST(Table, FormatSiPicksPrefix) {
+  EXPECT_EQ(util::format_si(15e-3, "W"), "15 mW");
+  EXPECT_EQ(util::format_si(5e6, "Hz"), "5 MHz");
+  EXPECT_EQ(util::format_si(250e-12, "A"), "250 pA");
+  EXPECT_EQ(util::format_si(1.8, "V"), "1.8 V");
+}
+
+TEST(Table, RendersAlignedRows) {
+  util::Table t({"name", "value"});
+  t.add_row({"alpha", util::Table::cell(1.5)});
+  t.add_row({"b", util::Table::cell(true)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("yes"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  util::Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  util::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+}  // namespace
