@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ask_power_levels.dir/bench_ask_power_levels.cpp.o"
+  "CMakeFiles/bench_ask_power_levels.dir/bench_ask_power_levels.cpp.o.d"
+  "bench_ask_power_levels"
+  "bench_ask_power_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ask_power_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

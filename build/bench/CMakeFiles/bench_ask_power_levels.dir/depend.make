@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ask_power_levels.
+# This may be replaced when dependencies are built.

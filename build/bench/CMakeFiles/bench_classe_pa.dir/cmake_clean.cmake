@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_classe_pa.dir/bench_classe_pa.cpp.o"
+  "CMakeFiles/bench_classe_pa.dir/bench_classe_pa.cpp.o.d"
+  "bench_classe_pa"
+  "bench_classe_pa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_classe_pa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

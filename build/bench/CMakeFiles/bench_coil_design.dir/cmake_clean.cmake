@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coil_design.dir/bench_coil_design.cpp.o"
+  "CMakeFiles/bench_coil_design.dir/bench_coil_design.cpp.o.d"
+  "bench_coil_design"
+  "bench_coil_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coil_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coil_orientation.dir/bench_coil_orientation.cpp.o"
+  "CMakeFiles/bench_coil_orientation.dir/bench_coil_orientation.cpp.o.d"
+  "bench_coil_orientation"
+  "bench_coil_orientation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coil_orientation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_lactate.dir/bench_fig4_lactate.cpp.o"
+  "CMakeFiles/bench_fig4_lactate.dir/bench_fig4_lactate.cpp.o.d"
+  "bench_fig4_lactate"
+  "bench_fig4_lactate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_lactate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_link_datarates.dir/bench_link_datarates.cpp.o"
+  "CMakeFiles/bench_link_datarates.dir/bench_link_datarates.cpp.o.d"
+  "bench_link_datarates"
+  "bench_link_datarates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_link_datarates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

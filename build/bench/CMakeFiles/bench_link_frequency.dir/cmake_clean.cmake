@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_link_frequency.dir/bench_link_frequency.cpp.o"
+  "CMakeFiles/bench_link_frequency.dir/bench_link_frequency.cpp.o.d"
+  "bench_link_frequency"
+  "bench_link_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_link_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

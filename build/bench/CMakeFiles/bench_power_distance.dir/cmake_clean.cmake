@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_power_distance.dir/bench_power_distance.cpp.o"
+  "CMakeFiles/bench_power_distance.dir/bench_power_distance.cpp.o.d"
+  "bench_power_distance"
+  "bench_power_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_power_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rectifier_impedance.dir/bench_rectifier_impedance.cpp.o"
+  "CMakeFiles/bench_rectifier_impedance.dir/bench_rectifier_impedance.cpp.o.d"
+  "bench_rectifier_impedance"
+  "bench_rectifier_impedance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rectifier_impedance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

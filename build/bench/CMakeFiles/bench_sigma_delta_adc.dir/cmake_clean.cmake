@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sigma_delta_adc.dir/bench_sigma_delta_adc.cpp.o"
+  "CMakeFiles/bench_sigma_delta_adc.dir/bench_sigma_delta_adc.cpp.o.d"
+  "bench_sigma_delta_adc"
+  "bench_sigma_delta_adc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sigma_delta_adc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tolerance_yield.dir/bench_tolerance_yield.cpp.o"
+  "CMakeFiles/bench_tolerance_yield.dir/bench_tolerance_yield.cpp.o.d"
+  "bench_tolerance_yield"
+  "bench_tolerance_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tolerance_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implant_lifetime.dir/implant_lifetime.cpp.o"
+  "CMakeFiles/implant_lifetime.dir/implant_lifetime.cpp.o.d"
+  "implant_lifetime"
+  "implant_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implant_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

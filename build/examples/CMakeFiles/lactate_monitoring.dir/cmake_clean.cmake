@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lactate_monitoring.dir/lactate_monitoring.cpp.o"
+  "CMakeFiles/lactate_monitoring.dir/lactate_monitoring.cpp.o.d"
+  "lactate_monitoring"
+  "lactate_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lactate_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_tuning.dir/link_tuning.cpp.o"
+  "CMakeFiles/link_tuning.dir/link_tuning.cpp.o.d"
+  "link_tuning"
+  "link_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_session.dir/telemetry_session.cpp.o"
+  "CMakeFiles/telemetry_session.dir/telemetry_session.cpp.o.d"
+  "telemetry_session"
+  "telemetry_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

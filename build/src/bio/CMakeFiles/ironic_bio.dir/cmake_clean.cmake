@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ironic_bio.dir/adc.cpp.o"
+  "CMakeFiles/ironic_bio.dir/adc.cpp.o.d"
+  "CMakeFiles/ironic_bio.dir/cell.cpp.o"
+  "CMakeFiles/ironic_bio.dir/cell.cpp.o.d"
+  "CMakeFiles/ironic_bio.dir/drift.cpp.o"
+  "CMakeFiles/ironic_bio.dir/drift.cpp.o.d"
+  "CMakeFiles/ironic_bio.dir/interface.cpp.o"
+  "CMakeFiles/ironic_bio.dir/interface.cpp.o.d"
+  "CMakeFiles/ironic_bio.dir/potentiostat.cpp.o"
+  "CMakeFiles/ironic_bio.dir/potentiostat.cpp.o.d"
+  "libironic_bio.a"
+  "libironic_bio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ironic_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

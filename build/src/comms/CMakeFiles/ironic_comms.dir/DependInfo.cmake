@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comms/ask.cpp" "src/comms/CMakeFiles/ironic_comms.dir/ask.cpp.o" "gcc" "src/comms/CMakeFiles/ironic_comms.dir/ask.cpp.o.d"
+  "/root/repo/src/comms/bitstream.cpp" "src/comms/CMakeFiles/ironic_comms.dir/bitstream.cpp.o" "gcc" "src/comms/CMakeFiles/ironic_comms.dir/bitstream.cpp.o.d"
+  "/root/repo/src/comms/interleave.cpp" "src/comms/CMakeFiles/ironic_comms.dir/interleave.cpp.o" "gcc" "src/comms/CMakeFiles/ironic_comms.dir/interleave.cpp.o.d"
+  "/root/repo/src/comms/line_code.cpp" "src/comms/CMakeFiles/ironic_comms.dir/line_code.cpp.o" "gcc" "src/comms/CMakeFiles/ironic_comms.dir/line_code.cpp.o.d"
+  "/root/repo/src/comms/lsk.cpp" "src/comms/CMakeFiles/ironic_comms.dir/lsk.cpp.o" "gcc" "src/comms/CMakeFiles/ironic_comms.dir/lsk.cpp.o.d"
+  "/root/repo/src/comms/protocol.cpp" "src/comms/CMakeFiles/ironic_comms.dir/protocol.cpp.o" "gcc" "src/comms/CMakeFiles/ironic_comms.dir/protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/ironic_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ironic_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ironic_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

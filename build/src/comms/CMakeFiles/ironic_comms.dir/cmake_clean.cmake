@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ironic_comms.dir/ask.cpp.o"
+  "CMakeFiles/ironic_comms.dir/ask.cpp.o.d"
+  "CMakeFiles/ironic_comms.dir/bitstream.cpp.o"
+  "CMakeFiles/ironic_comms.dir/bitstream.cpp.o.d"
+  "CMakeFiles/ironic_comms.dir/interleave.cpp.o"
+  "CMakeFiles/ironic_comms.dir/interleave.cpp.o.d"
+  "CMakeFiles/ironic_comms.dir/line_code.cpp.o"
+  "CMakeFiles/ironic_comms.dir/line_code.cpp.o.d"
+  "CMakeFiles/ironic_comms.dir/lsk.cpp.o"
+  "CMakeFiles/ironic_comms.dir/lsk.cpp.o.d"
+  "CMakeFiles/ironic_comms.dir/protocol.cpp.o"
+  "CMakeFiles/ironic_comms.dir/protocol.cpp.o.d"
+  "libironic_comms.a"
+  "libironic_comms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ironic_comms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

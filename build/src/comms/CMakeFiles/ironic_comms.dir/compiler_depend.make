@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ironic_comms.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ironic_core.dir/budget.cpp.o"
+  "CMakeFiles/ironic_core.dir/budget.cpp.o.d"
+  "CMakeFiles/ironic_core.dir/system.cpp.o"
+  "CMakeFiles/ironic_core.dir/system.cpp.o.d"
+  "CMakeFiles/ironic_core.dir/tolerance.cpp.o"
+  "CMakeFiles/ironic_core.dir/tolerance.cpp.o.d"
+  "libironic_core.a"
+  "libironic_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ironic_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

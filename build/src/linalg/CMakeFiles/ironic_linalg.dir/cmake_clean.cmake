@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ironic_linalg.dir/complex_matrix.cpp.o"
+  "CMakeFiles/ironic_linalg.dir/complex_matrix.cpp.o.d"
+  "CMakeFiles/ironic_linalg.dir/lu.cpp.o"
+  "CMakeFiles/ironic_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/ironic_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/ironic_linalg.dir/matrix.cpp.o.d"
+  "libironic_linalg.a"
+  "libironic_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ironic_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/magnetics/coil.cpp" "src/magnetics/CMakeFiles/ironic_magnetics.dir/coil.cpp.o" "gcc" "src/magnetics/CMakeFiles/ironic_magnetics.dir/coil.cpp.o.d"
+  "/root/repo/src/magnetics/coil_design.cpp" "src/magnetics/CMakeFiles/ironic_magnetics.dir/coil_design.cpp.o" "gcc" "src/magnetics/CMakeFiles/ironic_magnetics.dir/coil_design.cpp.o.d"
+  "/root/repo/src/magnetics/coupling.cpp" "src/magnetics/CMakeFiles/ironic_magnetics.dir/coupling.cpp.o" "gcc" "src/magnetics/CMakeFiles/ironic_magnetics.dir/coupling.cpp.o.d"
+  "/root/repo/src/magnetics/elliptic.cpp" "src/magnetics/CMakeFiles/ironic_magnetics.dir/elliptic.cpp.o" "gcc" "src/magnetics/CMakeFiles/ironic_magnetics.dir/elliptic.cpp.o.d"
+  "/root/repo/src/magnetics/link.cpp" "src/magnetics/CMakeFiles/ironic_magnetics.dir/link.cpp.o" "gcc" "src/magnetics/CMakeFiles/ironic_magnetics.dir/link.cpp.o.d"
+  "/root/repo/src/magnetics/optimize.cpp" "src/magnetics/CMakeFiles/ironic_magnetics.dir/optimize.cpp.o" "gcc" "src/magnetics/CMakeFiles/ironic_magnetics.dir/optimize.cpp.o.d"
+  "/root/repo/src/magnetics/polygon.cpp" "src/magnetics/CMakeFiles/ironic_magnetics.dir/polygon.cpp.o" "gcc" "src/magnetics/CMakeFiles/ironic_magnetics.dir/polygon.cpp.o.d"
+  "/root/repo/src/magnetics/tissue.cpp" "src/magnetics/CMakeFiles/ironic_magnetics.dir/tissue.cpp.o" "gcc" "src/magnetics/CMakeFiles/ironic_magnetics.dir/tissue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ironic_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/ironic_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ironic_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

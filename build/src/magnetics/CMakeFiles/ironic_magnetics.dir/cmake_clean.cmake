@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ironic_magnetics.dir/coil.cpp.o"
+  "CMakeFiles/ironic_magnetics.dir/coil.cpp.o.d"
+  "CMakeFiles/ironic_magnetics.dir/coil_design.cpp.o"
+  "CMakeFiles/ironic_magnetics.dir/coil_design.cpp.o.d"
+  "CMakeFiles/ironic_magnetics.dir/coupling.cpp.o"
+  "CMakeFiles/ironic_magnetics.dir/coupling.cpp.o.d"
+  "CMakeFiles/ironic_magnetics.dir/elliptic.cpp.o"
+  "CMakeFiles/ironic_magnetics.dir/elliptic.cpp.o.d"
+  "CMakeFiles/ironic_magnetics.dir/link.cpp.o"
+  "CMakeFiles/ironic_magnetics.dir/link.cpp.o.d"
+  "CMakeFiles/ironic_magnetics.dir/optimize.cpp.o"
+  "CMakeFiles/ironic_magnetics.dir/optimize.cpp.o.d"
+  "CMakeFiles/ironic_magnetics.dir/polygon.cpp.o"
+  "CMakeFiles/ironic_magnetics.dir/polygon.cpp.o.d"
+  "CMakeFiles/ironic_magnetics.dir/tissue.cpp.o"
+  "CMakeFiles/ironic_magnetics.dir/tissue.cpp.o.d"
+  "libironic_magnetics.a"
+  "libironic_magnetics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ironic_magnetics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/patch/battery.cpp" "src/patch/CMakeFiles/ironic_patch.dir/battery.cpp.o" "gcc" "src/patch/CMakeFiles/ironic_patch.dir/battery.cpp.o.d"
+  "/root/repo/src/patch/controller.cpp" "src/patch/CMakeFiles/ironic_patch.dir/controller.cpp.o" "gcc" "src/patch/CMakeFiles/ironic_patch.dir/controller.cpp.o.d"
+  "/root/repo/src/patch/firmware.cpp" "src/patch/CMakeFiles/ironic_patch.dir/firmware.cpp.o" "gcc" "src/patch/CMakeFiles/ironic_patch.dir/firmware.cpp.o.d"
+  "/root/repo/src/patch/power_model.cpp" "src/patch/CMakeFiles/ironic_patch.dir/power_model.cpp.o" "gcc" "src/patch/CMakeFiles/ironic_patch.dir/power_model.cpp.o.d"
+  "/root/repo/src/patch/scheduler.cpp" "src/patch/CMakeFiles/ironic_patch.dir/scheduler.cpp.o" "gcc" "src/patch/CMakeFiles/ironic_patch.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ironic_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/comms/CMakeFiles/ironic_comms.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/ironic_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ironic_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ironic_patch.dir/battery.cpp.o"
+  "CMakeFiles/ironic_patch.dir/battery.cpp.o.d"
+  "CMakeFiles/ironic_patch.dir/controller.cpp.o"
+  "CMakeFiles/ironic_patch.dir/controller.cpp.o.d"
+  "CMakeFiles/ironic_patch.dir/firmware.cpp.o"
+  "CMakeFiles/ironic_patch.dir/firmware.cpp.o.d"
+  "CMakeFiles/ironic_patch.dir/power_model.cpp.o"
+  "CMakeFiles/ironic_patch.dir/power_model.cpp.o.d"
+  "CMakeFiles/ironic_patch.dir/scheduler.cpp.o"
+  "CMakeFiles/ironic_patch.dir/scheduler.cpp.o.d"
+  "libironic_patch.a"
+  "libironic_patch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ironic_patch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

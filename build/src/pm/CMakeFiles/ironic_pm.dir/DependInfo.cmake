@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pm/bandgap.cpp" "src/pm/CMakeFiles/ironic_pm.dir/bandgap.cpp.o" "gcc" "src/pm/CMakeFiles/ironic_pm.dir/bandgap.cpp.o.d"
+  "/root/repo/src/pm/demodulator.cpp" "src/pm/CMakeFiles/ironic_pm.dir/demodulator.cpp.o" "gcc" "src/pm/CMakeFiles/ironic_pm.dir/demodulator.cpp.o.d"
+  "/root/repo/src/pm/digital.cpp" "src/pm/CMakeFiles/ironic_pm.dir/digital.cpp.o" "gcc" "src/pm/CMakeFiles/ironic_pm.dir/digital.cpp.o.d"
+  "/root/repo/src/pm/load.cpp" "src/pm/CMakeFiles/ironic_pm.dir/load.cpp.o" "gcc" "src/pm/CMakeFiles/ironic_pm.dir/load.cpp.o.d"
+  "/root/repo/src/pm/por.cpp" "src/pm/CMakeFiles/ironic_pm.dir/por.cpp.o" "gcc" "src/pm/CMakeFiles/ironic_pm.dir/por.cpp.o.d"
+  "/root/repo/src/pm/rectifier.cpp" "src/pm/CMakeFiles/ironic_pm.dir/rectifier.cpp.o" "gcc" "src/pm/CMakeFiles/ironic_pm.dir/rectifier.cpp.o.d"
+  "/root/repo/src/pm/regulator.cpp" "src/pm/CMakeFiles/ironic_pm.dir/regulator.cpp.o" "gcc" "src/pm/CMakeFiles/ironic_pm.dir/regulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/ironic_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/ironic_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ironic_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ironic_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

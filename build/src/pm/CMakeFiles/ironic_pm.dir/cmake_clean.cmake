@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ironic_pm.dir/bandgap.cpp.o"
+  "CMakeFiles/ironic_pm.dir/bandgap.cpp.o.d"
+  "CMakeFiles/ironic_pm.dir/demodulator.cpp.o"
+  "CMakeFiles/ironic_pm.dir/demodulator.cpp.o.d"
+  "CMakeFiles/ironic_pm.dir/digital.cpp.o"
+  "CMakeFiles/ironic_pm.dir/digital.cpp.o.d"
+  "CMakeFiles/ironic_pm.dir/load.cpp.o"
+  "CMakeFiles/ironic_pm.dir/load.cpp.o.d"
+  "CMakeFiles/ironic_pm.dir/por.cpp.o"
+  "CMakeFiles/ironic_pm.dir/por.cpp.o.d"
+  "CMakeFiles/ironic_pm.dir/rectifier.cpp.o"
+  "CMakeFiles/ironic_pm.dir/rectifier.cpp.o.d"
+  "CMakeFiles/ironic_pm.dir/regulator.cpp.o"
+  "CMakeFiles/ironic_pm.dir/regulator.cpp.o.d"
+  "libironic_pm.a"
+  "libironic_pm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ironic_pm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

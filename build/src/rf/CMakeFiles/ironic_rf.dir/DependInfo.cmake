@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/classe.cpp" "src/rf/CMakeFiles/ironic_rf.dir/classe.cpp.o" "gcc" "src/rf/CMakeFiles/ironic_rf.dir/classe.cpp.o.d"
+  "/root/repo/src/rf/matching.cpp" "src/rf/CMakeFiles/ironic_rf.dir/matching.cpp.o" "gcc" "src/rf/CMakeFiles/ironic_rf.dir/matching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/ironic_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ironic_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ironic_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ironic_rf.dir/classe.cpp.o"
+  "CMakeFiles/ironic_rf.dir/classe.cpp.o.d"
+  "CMakeFiles/ironic_rf.dir/matching.cpp.o"
+  "CMakeFiles/ironic_rf.dir/matching.cpp.o.d"
+  "libironic_rf.a"
+  "libironic_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ironic_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

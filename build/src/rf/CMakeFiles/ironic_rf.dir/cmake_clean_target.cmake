@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libironic_rf.a"
+)

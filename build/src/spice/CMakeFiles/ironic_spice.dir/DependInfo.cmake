@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/ac.cpp" "src/spice/CMakeFiles/ironic_spice.dir/ac.cpp.o" "gcc" "src/spice/CMakeFiles/ironic_spice.dir/ac.cpp.o.d"
+  "/root/repo/src/spice/circuit.cpp" "src/spice/CMakeFiles/ironic_spice.dir/circuit.cpp.o" "gcc" "src/spice/CMakeFiles/ironic_spice.dir/circuit.cpp.o.d"
+  "/root/repo/src/spice/devices_nonlinear.cpp" "src/spice/CMakeFiles/ironic_spice.dir/devices_nonlinear.cpp.o" "gcc" "src/spice/CMakeFiles/ironic_spice.dir/devices_nonlinear.cpp.o.d"
+  "/root/repo/src/spice/devices_passive.cpp" "src/spice/CMakeFiles/ironic_spice.dir/devices_passive.cpp.o" "gcc" "src/spice/CMakeFiles/ironic_spice.dir/devices_passive.cpp.o.d"
+  "/root/repo/src/spice/devices_sources.cpp" "src/spice/CMakeFiles/ironic_spice.dir/devices_sources.cpp.o" "gcc" "src/spice/CMakeFiles/ironic_spice.dir/devices_sources.cpp.o.d"
+  "/root/repo/src/spice/engine.cpp" "src/spice/CMakeFiles/ironic_spice.dir/engine.cpp.o" "gcc" "src/spice/CMakeFiles/ironic_spice.dir/engine.cpp.o.d"
+  "/root/repo/src/spice/netlist_parser.cpp" "src/spice/CMakeFiles/ironic_spice.dir/netlist_parser.cpp.o" "gcc" "src/spice/CMakeFiles/ironic_spice.dir/netlist_parser.cpp.o.d"
+  "/root/repo/src/spice/trace.cpp" "src/spice/CMakeFiles/ironic_spice.dir/trace.cpp.o" "gcc" "src/spice/CMakeFiles/ironic_spice.dir/trace.cpp.o.d"
+  "/root/repo/src/spice/waveform.cpp" "src/spice/CMakeFiles/ironic_spice.dir/waveform.cpp.o" "gcc" "src/spice/CMakeFiles/ironic_spice.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/ironic_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ironic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

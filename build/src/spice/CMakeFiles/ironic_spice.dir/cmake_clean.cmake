@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ironic_spice.dir/ac.cpp.o"
+  "CMakeFiles/ironic_spice.dir/ac.cpp.o.d"
+  "CMakeFiles/ironic_spice.dir/circuit.cpp.o"
+  "CMakeFiles/ironic_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/ironic_spice.dir/devices_nonlinear.cpp.o"
+  "CMakeFiles/ironic_spice.dir/devices_nonlinear.cpp.o.d"
+  "CMakeFiles/ironic_spice.dir/devices_passive.cpp.o"
+  "CMakeFiles/ironic_spice.dir/devices_passive.cpp.o.d"
+  "CMakeFiles/ironic_spice.dir/devices_sources.cpp.o"
+  "CMakeFiles/ironic_spice.dir/devices_sources.cpp.o.d"
+  "CMakeFiles/ironic_spice.dir/engine.cpp.o"
+  "CMakeFiles/ironic_spice.dir/engine.cpp.o.d"
+  "CMakeFiles/ironic_spice.dir/netlist_parser.cpp.o"
+  "CMakeFiles/ironic_spice.dir/netlist_parser.cpp.o.d"
+  "CMakeFiles/ironic_spice.dir/trace.cpp.o"
+  "CMakeFiles/ironic_spice.dir/trace.cpp.o.d"
+  "CMakeFiles/ironic_spice.dir/waveform.cpp.o"
+  "CMakeFiles/ironic_spice.dir/waveform.cpp.o.d"
+  "libironic_spice.a"
+  "libironic_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ironic_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

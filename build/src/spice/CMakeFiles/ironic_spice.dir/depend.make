@@ -1,0 +1,2 @@
+# Empty dependencies file for ironic_spice.
+# This may be replaced when dependencies are built.

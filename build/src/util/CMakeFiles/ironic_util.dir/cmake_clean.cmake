@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ironic_util.dir/interp.cpp.o"
+  "CMakeFiles/ironic_util.dir/interp.cpp.o.d"
+  "CMakeFiles/ironic_util.dir/log.cpp.o"
+  "CMakeFiles/ironic_util.dir/log.cpp.o.d"
+  "CMakeFiles/ironic_util.dir/rng.cpp.o"
+  "CMakeFiles/ironic_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ironic_util.dir/stats.cpp.o"
+  "CMakeFiles/ironic_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ironic_util.dir/table.cpp.o"
+  "CMakeFiles/ironic_util.dir/table.cpp.o.d"
+  "libironic_util.a"
+  "libironic_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ironic_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

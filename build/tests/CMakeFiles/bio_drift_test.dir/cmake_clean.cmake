@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bio_drift_test.dir/bio_drift_test.cpp.o"
+  "CMakeFiles/bio_drift_test.dir/bio_drift_test.cpp.o.d"
+  "bio_drift_test"
+  "bio_drift_test.pdb"
+  "bio_drift_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bio_drift_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bio_extended_test.dir/bio_extended_test.cpp.o"
+  "CMakeFiles/bio_extended_test.dir/bio_extended_test.cpp.o.d"
+  "bio_extended_test"
+  "bio_extended_test.pdb"
+  "bio_extended_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bio_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

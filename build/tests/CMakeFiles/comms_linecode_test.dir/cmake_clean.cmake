@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comms_linecode_test.dir/comms_linecode_test.cpp.o"
+  "CMakeFiles/comms_linecode_test.dir/comms_linecode_test.cpp.o.d"
+  "comms_linecode_test"
+  "comms_linecode_test.pdb"
+  "comms_linecode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comms_linecode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

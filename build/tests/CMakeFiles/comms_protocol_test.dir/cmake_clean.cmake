@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comms_protocol_test.dir/comms_protocol_test.cpp.o"
+  "CMakeFiles/comms_protocol_test.dir/comms_protocol_test.cpp.o.d"
+  "comms_protocol_test"
+  "comms_protocol_test.pdb"
+  "comms_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comms_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

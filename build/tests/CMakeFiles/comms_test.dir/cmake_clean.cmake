@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comms_test.dir/comms_test.cpp.o"
+  "CMakeFiles/comms_test.dir/comms_test.cpp.o.d"
+  "comms_test"
+  "comms_test.pdb"
+  "comms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magnetics_polygon_test.dir/magnetics_polygon_test.cpp.o"
+  "CMakeFiles/magnetics_polygon_test.dir/magnetics_polygon_test.cpp.o.d"
+  "magnetics_polygon_test"
+  "magnetics_polygon_test.pdb"
+  "magnetics_polygon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magnetics_polygon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

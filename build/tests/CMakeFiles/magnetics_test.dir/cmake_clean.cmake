@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magnetics_test.dir/magnetics_test.cpp.o"
+  "CMakeFiles/magnetics_test.dir/magnetics_test.cpp.o.d"
+  "magnetics_test"
+  "magnetics_test.pdb"
+  "magnetics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magnetics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

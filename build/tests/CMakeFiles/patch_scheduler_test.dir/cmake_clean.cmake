@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patch_scheduler_test.dir/patch_scheduler_test.cpp.o"
+  "CMakeFiles/patch_scheduler_test.dir/patch_scheduler_test.cpp.o.d"
+  "patch_scheduler_test"
+  "patch_scheduler_test.pdb"
+  "patch_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patch_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

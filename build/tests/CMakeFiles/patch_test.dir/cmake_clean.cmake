@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patch_test.dir/patch_test.cpp.o"
+  "CMakeFiles/patch_test.dir/patch_test.cpp.o.d"
+  "patch_test"
+  "patch_test.pdb"
+  "patch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_digital_test.dir/pm_digital_test.cpp.o"
+  "CMakeFiles/pm_digital_test.dir/pm_digital_test.cpp.o.d"
+  "pm_digital_test"
+  "pm_digital_test.pdb"
+  "pm_digital_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_digital_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_modules_test.dir/pm_modules_test.cpp.o"
+  "CMakeFiles/pm_modules_test.dir/pm_modules_test.cpp.o.d"
+  "pm_modules_test"
+  "pm_modules_test.pdb"
+  "pm_modules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_modules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_rectifier_test.dir/pm_rectifier_test.cpp.o"
+  "CMakeFiles/pm_rectifier_test.dir/pm_rectifier_test.cpp.o.d"
+  "pm_rectifier_test"
+  "pm_rectifier_test.pdb"
+  "pm_rectifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_rectifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_topology_test.dir/pm_topology_test.cpp.o"
+  "CMakeFiles/pm_topology_test.dir/pm_topology_test.cpp.o.d"
+  "pm_topology_test"
+  "pm_topology_test.pdb"
+  "pm_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

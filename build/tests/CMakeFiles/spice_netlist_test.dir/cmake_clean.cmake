@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_netlist_test.dir/spice_netlist_test.cpp.o"
+  "CMakeFiles/spice_netlist_test.dir/spice_netlist_test.cpp.o.d"
+  "spice_netlist_test"
+  "spice_netlist_test.pdb"
+  "spice_netlist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_netlist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

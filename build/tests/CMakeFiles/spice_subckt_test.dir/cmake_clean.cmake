@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_subckt_test.dir/spice_subckt_test.cpp.o"
+  "CMakeFiles/spice_subckt_test.dir/spice_subckt_test.cpp.o.d"
+  "spice_subckt_test"
+  "spice_subckt_test.pdb"
+  "spice_subckt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_subckt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
