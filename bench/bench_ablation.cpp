@@ -13,6 +13,8 @@
 #include "src/spice/engine.hpp"
 #include "src/util/table.hpp"
 
+#include "src/obs/report.hpp"
+
 using namespace ironic;
 using namespace ironic::spice;
 
@@ -91,6 +93,7 @@ double lc_amplitude_error(Integrator integrator) {
 }  // namespace
 
 int main() {
+  ironic::obs::RunReport run_report("ablation");
   std::cout << "E10 — design-choice ablations\n\n";
 
   util::Table t({"ablation", "with feature", "without", "consequence"});

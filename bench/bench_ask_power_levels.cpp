@@ -8,9 +8,12 @@
 #include "src/magnetics/link.hpp"
 #include "src/util/table.hpp"
 
+#include "src/obs/report.hpp"
+
 using namespace ironic;
 
 int main() {
+  ironic::obs::RunReport run_report("ask_power_levels");
   std::cout << "E4 — delivered power vs ASK symbol at 10 mm\n"
             << "Paper: 5 mW unmodulated / ~3 mW high / ~1 mW low.\n\n";
 

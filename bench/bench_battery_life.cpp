@@ -6,10 +6,13 @@
 #include "src/patch/controller.hpp"
 #include "src/util/table.hpp"
 
+#include "src/obs/report.hpp"
+
 using namespace ironic;
 using namespace ironic::patch;
 
 int main() {
+  ironic::obs::RunReport run_report("battery_life");
   std::cout << "E3 — IronIC patch battery life by operating state\n"
             << "Paper: 10 h idle / 3.5 h connected / 1.5 h powering.\n\n";
 

@@ -9,6 +9,8 @@
 #include "src/spice/engine.hpp"
 #include "src/util/table.hpp"
 
+#include "src/obs/report.hpp"
+
 using namespace ironic;
 using namespace ironic::spice;
 
@@ -60,6 +62,7 @@ Row simulate(double shunt_scale) {
 }  // namespace
 
 int main() {
+  ironic::obs::RunReport run_report("classe_pa");
   std::cout << "E7 — class-E PA: design values and tuning sweep\n\n";
 
   rf::ClassESpec spec;

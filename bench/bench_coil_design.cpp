@@ -7,10 +7,13 @@
 #include "src/magnetics/coil_design.hpp"
 #include "src/util/table.hpp"
 
+#include "src/obs/report.hpp"
+
 using namespace ironic;
 using namespace ironic::magnetics;
 
 int main() {
+  ironic::obs::RunReport run_report("coil_design");
   std::cout << "E14 — implant coil design space (38 x 2 mm outline, 5 MHz)\n\n";
 
   CoilSpec base = implant_coil_spec();

@@ -10,10 +10,13 @@
 #include "src/util/constants.hpp"
 #include "src/util/table.hpp"
 
+#include "src/obs/report.hpp"
+
 using namespace ironic;
 namespace constants = ironic::constants;
 
 int main() {
+  ironic::obs::RunReport run_report("coil_orientation");
   std::cout << "E13 — coupling vs patch tilt (12 mm separation)\n\n";
 
   const auto tx = magnetics::PolygonCoil::circular(magnetics::patch_coil_spec(), 32);

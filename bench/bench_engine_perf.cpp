@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/linalg/lu.hpp"
+#include "src/obs/report.hpp"
 #include "src/magnetics/coupling.hpp"
 #include "src/pm/rectifier.hpp"
 #include "src/spice/devices_passive.hpp"
@@ -30,9 +31,33 @@ static void BM_LuSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_LuSolve)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
+// Fold the engine's per-run statistics into google-benchmark counters so
+// the machine-readable output carries solver behaviour alongside timing.
+static void report_transient_stats(benchmark::State& state,
+                                   const TransientStats& stats) {
+  state.counters["accepted_steps"] =
+      benchmark::Counter(static_cast<double>(stats.accepted_steps),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["newton_iters"] =
+      benchmark::Counter(static_cast<double>(stats.newton_iterations),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["lu_factorizations"] =
+      benchmark::Counter(static_cast<double>(stats.lu_factorizations),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["breakpoint_hits"] =
+      benchmark::Counter(static_cast<double>(stats.breakpoint_hits),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["max_newton_iters"] =
+      static_cast<double>(stats.max_newton_iterations);
+  state.counters["steps_per_sec"] =
+      benchmark::Counter(static_cast<double>(stats.accepted_steps),
+                         benchmark::Counter::kIsRate);
+}
+
 static void BM_TransientRcLadder(benchmark::State& state) {
   // N-section RC ladder driven by the 5 MHz carrier: pure linear cost.
   const int sections = static_cast<int>(state.range(0));
+  TransientStats stats;
   for (auto _ : state) {
     Circuit ckt;
     NodeId prev = ckt.node("in");
@@ -47,13 +72,15 @@ static void BM_TransientRcLadder(benchmark::State& state) {
     opts.t_stop = 2e-6;
     opts.dt_max = 2e-9;
     opts.record_every = 16;
-    benchmark::DoNotOptimize(run_transient(ckt, opts));
+    benchmark::DoNotOptimize(run_transient(ckt, opts, &stats));
   }
+  report_transient_stats(state, stats);
 }
 BENCHMARK(BM_TransientRcLadder)->Arg(4)->Arg(12)->Arg(24);
 
 static void BM_TransientRectifier(benchmark::State& state) {
   // The nonlinear workhorse: rectifier + clamps + switches at 5 MHz.
+  TransientStats stats;
   for (auto _ : state) {
     Circuit ckt;
     const auto src = ckt.node("src");
@@ -67,8 +94,9 @@ static void BM_TransientRectifier(benchmark::State& state) {
     opts.t_stop = 4e-6;
     opts.dt_max = 5e-9;
     opts.record_every = 16;
-    benchmark::DoNotOptimize(run_transient(ckt, opts));
+    benchmark::DoNotOptimize(run_transient(ckt, opts, &stats));
   }
+  report_transient_stats(state, stats);
 }
 BENCHMARK(BM_TransientRectifier);
 
@@ -89,4 +117,14 @@ static void BM_NeumannOffsetFilament(benchmark::State& state) {
 }
 BENCHMARK(BM_NeumannOffsetFilament);
 
-BENCHMARK_MAIN();
+// Hand-rolled main (instead of BENCHMARK_MAIN) so the run is wrapped in a
+// RunReport: BENCH_engine_perf.json gets the registry snapshot the
+// transient benchmarks populate, next to google-benchmark's own output.
+int main(int argc, char** argv) {
+  ironic::obs::RunReport run_report("engine_perf");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

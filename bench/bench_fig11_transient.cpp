@@ -10,9 +10,12 @@
 #include "src/core/system.hpp"
 #include "src/util/table.hpp"
 
+#include "src/obs/report.hpp"
+
 using namespace ironic;
 
 int main() {
+  ironic::obs::RunReport run_report("fig11_transient");
   std::cout << "E6 / Fig. 11 — power-management transient (source-driven,\n"
             << "the paper's own methodology)\n\n";
 
@@ -67,5 +70,13 @@ int main() {
                               " V"});
   e.add_row({"min Vo after charge", util::Table::cell(ce.vo_min_after_charge, 4) + " V"});
   e.print(std::cout);
+
+  run_report.metric("fig11.t_charge_us", r.t_charge * 1e6);
+  run_report.metric("fig11.vo_min_after_charge_v", r.vo_min_after_charge);
+  run_report.metric("fig11.worst_case_rail_v", r.worst_case_rail);
+  run_report.metric("fig11.downlink_ok", r.downlink_ok ? 1.0 : 0.0);
+  run_report.metric("fig11.uplink_ok", r.uplink_ok ? 1.0 : 0.0);
+  run_report.metric("classe.downlink_ok", ce.downlink_ok ? 1.0 : 0.0);
+  run_report.metric("classe.uplink_ok", ce.uplink_ok ? 1.0 : 0.0);
   return 0;
 }

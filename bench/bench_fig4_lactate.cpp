@@ -10,6 +10,8 @@
 #include "src/spice/engine.hpp"
 #include "src/util/table.hpp"
 
+#include "src/obs/report.hpp"
+
 using namespace ironic;
 
 namespace {
@@ -30,6 +32,7 @@ double circuit_readout(const bio::ElectrochemicalCell& cell, double conc) {
 }  // namespace
 
 int main() {
+  ironic::obs::RunReport run_report("fig4_lactate");
   std::cout << "E1 / Fig. 4 — lactate calibration, cLODx vs wtLODx\n"
             << "Paper shape: both curves rise monotonically over log10[mM] in\n"
             << "[-0.8, 0]; cLODx reaches ~4.2 uA/cm^2 at 1 mM, wtLODx ~1.6.\n\n";

@@ -11,6 +11,8 @@
 #include "src/util/rng.hpp"
 #include "src/util/table.hpp"
 
+#include "src/obs/report.hpp"
+
 using namespace ironic;
 using namespace ironic::comms;
 
@@ -44,6 +46,7 @@ double ask_ber(double bit_rate, double noise_rms, std::size_t n_bits) {
 }  // namespace
 
 int main() {
+  ironic::obs::RunReport run_report("link_datarates");
   std::cout << "E9 — link data rates\n\n";
 
   std::cout << "Uplink real-time budget (why 66.6 < 100 kbps):\n";

@@ -14,10 +14,13 @@
 #include "src/spice/devices_sources.hpp"
 #include "src/util/table.hpp"
 
+#include "src/obs/report.hpp"
+
 using namespace ironic;
 using namespace ironic::spice;
 
 int main() {
+  ironic::obs::RunReport run_report("link_frequency");
   std::cout << "E11 — link frequency response (AC small-signal analysis)\n\n";
 
   magnetics::InductiveLink link{magnetics::LinkConfig{}};

@@ -7,9 +7,12 @@
 #include "src/magnetics/link.hpp"
 #include "src/util/table.hpp"
 
+#include "src/obs/report.hpp"
+
 using namespace ironic;
 
 int main() {
+  ironic::obs::RunReport run_report("power_distance");
   std::cout << "E2 — received power vs distance (fixed transmitter setting)\n"
             << "Paper: 15 mW @ 6 mm (air); 1.17 mW @ 17 mm (sirloin ~ air).\n\n";
 

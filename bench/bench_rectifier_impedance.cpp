@@ -8,9 +8,12 @@
 #include "src/rf/matching.hpp"
 #include "src/util/table.hpp"
 
+#include "src/obs/report.hpp"
+
 using namespace ironic;
 
 int main() {
+  ironic::obs::RunReport run_report("rectifier_impedance");
   std::cout << "E5 — average rectifier input impedance (Vrms^2 / Pavg)\n"
             << "Paper: ~150 Ohm at its operating point; the value is strongly\n"
             << "operating-point dependent, so the sweep below brackets it.\n\n";

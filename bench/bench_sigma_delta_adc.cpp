@@ -9,11 +9,14 @@
 #include "src/util/stats.hpp"
 #include "src/util/table.hpp"
 
+#include "src/obs/report.hpp"
+
 using namespace ironic;
 using ironic::bio::AdcSpec;
 using ironic::bio::SigmaDeltaAdc;
 
 int main() {
+  ironic::obs::RunReport run_report("sigma_delta_adc");
   std::cout << "E8 — sigma-delta ADC characterization\n\n";
 
   AdcSpec spec;

@@ -7,9 +7,12 @@
 #include "src/core/tolerance.hpp"
 #include "src/util/table.hpp"
 
+#include "src/obs/report.hpp"
+
 using namespace ironic;
 
 int main() {
+  ironic::obs::RunReport run_report("tolerance_yield");
   std::cout << "E12 — component-tolerance Monte Carlo (shortened Fig. 11)\n"
             << "Perturbed per draw: Co, drive level, demodulator threshold,\n"
             << "rectifier diode Is. 20 seeded draws per row.\n\n";

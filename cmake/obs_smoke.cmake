@@ -1,0 +1,31 @@
+# Observability smoke check (driven by ctest, see top-level CMakeLists):
+# run the telemetry_session example with tracing, run-report, and metrics
+# dumping enabled, then validate every emitted artifact with
+# tools/trace_validate. Variables: EXE, VALIDATOR, OUT_DIR.
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+set(ENV{IRONIC_TRACE} ${OUT_DIR}/telemetry_session.trace.json)
+set(ENV{IRONIC_METRICS} ${OUT_DIR}/telemetry_session.metrics.jsonl)
+set(ENV{IRONIC_REPORT_DIR} ${OUT_DIR})
+
+execute_process(
+  COMMAND ${EXE}
+  RESULT_VARIABLE run_rc
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE run_err)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "telemetry_session failed (rc=${run_rc}):\n${run_out}\n${run_err}")
+endif()
+
+execute_process(
+  COMMAND ${VALIDATOR} --min-metrics 5 --min-events 10
+    ${OUT_DIR}/telemetry_session.trace.json
+    ${OUT_DIR}/BENCH_telemetry_session.json
+    ${OUT_DIR}/telemetry_session.metrics.jsonl
+  RESULT_VARIABLE validate_rc
+  OUTPUT_VARIABLE validate_out
+  ERROR_VARIABLE validate_err)
+message(STATUS "${validate_out}")
+if(NOT validate_rc EQUAL 0)
+  message(FATAL_ERROR "telemetry artifacts invalid:\n${validate_out}\n${validate_err}")
+endif()

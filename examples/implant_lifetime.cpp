@@ -9,9 +9,12 @@
 #include "src/patch/scheduler.hpp"
 #include "src/util/table.hpp"
 
+#include "src/obs/report.hpp"
+
 using namespace ironic;
 
 int main() {
+  ironic::obs::RunReport run_report("implant_lifetime");
   std::cout << "30-day implant lifetime study (cLODx on MWCNT electrodes)\n\n";
 
   bio::ElectrochemicalCell cell{bio::clodx_params()};

@@ -16,6 +16,8 @@
 #include "src/magnetics/link.hpp"
 #include "src/util/table.hpp"
 
+#include "src/obs/report.hpp"
+
 using namespace ironic;
 
 namespace {
@@ -30,6 +32,7 @@ double lactate_mM(double t_min) {
 }  // namespace
 
 int main() {
+  ironic::obs::RunReport run_report("lactate_monitoring");
   std::cout << "Lactate monitoring session (cLODx enzyme, MWCNT electrodes)\n\n";
 
   bio::ElectronicInterface implant{bio::ElectrochemicalCell{bio::clodx_params()}};

@@ -10,9 +10,12 @@
 #include "src/rf/matching.hpp"
 #include "src/util/table.hpp"
 
+#include "src/obs/report.hpp"
+
 using namespace ironic;
 
 int main() {
+  ironic::obs::RunReport run_report("link_tuning");
   std::cout << "Inductive-link tuning workbench\n\n";
 
   const magnetics::Coil patch{magnetics::patch_coil_spec()};

@@ -9,10 +9,13 @@
 #include "src/spice/netlist_parser.hpp"
 #include "src/util/table.hpp"
 
+#include "src/obs/report.hpp"
+
 using namespace ironic;
 using namespace ironic::spice;
 
 int main() {
+  ironic::obs::RunReport run_report("netlist_playground");
   // The paper's receive chain: link stand-in -> half-wave rectifier with
   // a 3 V Zener clamp -> storage capacitor -> sensor load.
   const char* netlist = R"(

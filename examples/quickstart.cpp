@@ -13,10 +13,13 @@
 #include "src/util/table.hpp"
 #include "src/util/units.hpp"
 
+#include "src/obs/report.hpp"
+
 using namespace ironic;
 using namespace ironic::units;
 
 int main() {
+  ironic::obs::RunReport run_report("quickstart");
   // 1. The link: patch coil over the implant at 6 mm, 5 MHz carrier.
   magnetics::LinkConfig link_cfg;
   link_cfg.distance = 6.0_mm;

@@ -8,6 +8,7 @@
 #include "src/comms/ask.hpp"
 #include "src/comms/bitstream.hpp"
 #include "src/comms/lsk.hpp"
+#include "src/obs/report.hpp"
 #include "src/patch/controller.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/table.hpp"
@@ -56,6 +57,7 @@ bool receive_uplink_frame(const Frame& frame, double noise_rms) {
 }  // namespace
 
 int main() {
+  ironic::obs::RunReport run_report("telemetry_session");
   std::cout << "Telemetry session: smartphone -> patch -> implant -> back\n\n";
 
   PatchController patch;
@@ -103,5 +105,9 @@ int main() {
             << " h\n";
   std::cout << "Session verdict: downlink " << (dl_ok ? "OK" : "FAIL") << ", uplink "
             << (ul_ok ? "OK" : "FAIL") << "\n";
+  run_report.metric("session.downlink_ok", dl_ok ? 1.0 : 0.0);
+  run_report.metric("session.uplink_ok", ul_ok ? 1.0 : 0.0);
+  run_report.metric("session.battery_soc_end", patch.battery().state_of_charge());
+  run_report.metric("session.remaining_runtime_h", patch.remaining_runtime() / 3600.0);
   return dl_ok && ul_ok ? 0 : 1;
 }

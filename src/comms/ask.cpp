@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
 namespace ironic::comms {
 
 double modulation_depth_from_divider(double r7, double r8) {
@@ -129,6 +132,24 @@ Bits slice_bits(std::span<const double> time, std::span<const double> envelope,
   Bits out;
   out.reserve(n_bits);
   for (double v : values) out.push_back(v > threshold);
+
+  if constexpr (obs::kEnabled) {
+    auto& registry = obs::MetricsRegistry::instance();
+    registry.counter("comms.ask.bits_sliced").add(n_bits);
+    auto& margin = registry.histogram("comms.ask.decision_margin_v");
+    for (double v : values) margin.observe(std::abs(v - threshold));
+    auto& recorder = obs::TraceRecorder::instance();
+    if (recorder.enabled()) {
+      for (std::size_t i = 0; i < n_bits; ++i) {
+        recorder.sim_instant(
+            "ask.bit", "comms",
+            t_first_bit + (static_cast<double>(i) + 0.75) * tb,
+            {{"bit", out[i] ? "1" : "0"},
+             {"envelope_v", std::to_string(values[i])},
+             {"threshold_v", std::to_string(threshold)}});
+      }
+    }
+  }
   return out;
 }
 

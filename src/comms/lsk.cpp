@@ -1,8 +1,12 @@
 #include "src/comms/lsk.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <vector>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 
 namespace ironic::comms {
 namespace {
@@ -92,6 +96,24 @@ Bits detect_lsk(std::span<const double> time, std::span<const double> supply_cur
   for (double m : means) {
     const bool above = m > threshold;
     out.push_back(invert ? !above : above);
+  }
+
+  if constexpr (obs::kEnabled) {
+    auto& registry = obs::MetricsRegistry::instance();
+    registry.counter("comms.lsk.bits_detected").add(n_bits);
+    auto& margin = registry.histogram("comms.lsk.decision_margin_a");
+    for (double m : means) margin.observe(std::abs(m - threshold));
+    auto& recorder = obs::TraceRecorder::instance();
+    if (recorder.enabled()) {
+      for (std::size_t i = 0; i < n_bits; ++i) {
+        recorder.sim_instant(
+            "lsk.bit", "comms",
+            t_first_bit + (static_cast<double>(i) + 0.5) * tb,
+            {{"bit", out[i] ? "1" : "0"},
+             {"mean_current_a", std::to_string(means[i])},
+             {"threshold_a", std::to_string(threshold)}});
+      }
+    }
   }
   return out;
 }

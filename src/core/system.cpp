@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/rf/classe.hpp"
 #include "src/rf/matching.hpp"
 #include "src/util/constants.hpp"
@@ -44,6 +46,10 @@ EndToEndSim::EndToEndSim(EndToEndConfig config) : config_(std::move(config)) {
 }
 
 Fig11Result EndToEndSim::run() {
+  obs::Span run_span("EndToEndSim::run", "core");
+  run_span.arg("tx_mode",
+               config_.tx_mode == TxMode::kThevenin ? "thevenin" : "class-e");
+  obs::Span build_span("EndToEndSim::build_circuit", "core");
   Circuit ckt;
   const NodeId vi = ckt.node("vi");
 
@@ -124,6 +130,8 @@ Fig11Result EndToEndSim::run() {
   dm.clock_delay = config_.downlink_start - 0.5 * ask.bit_period();
   const auto demod = pm::build_demodulator(ckt, "dm", vi, dm);
 
+  build_span.end();
+
   // --- simulate ---------------------------------------------------------------
   TransientOptions opts;
   opts.t_stop = config_.t_stop;
@@ -135,10 +143,12 @@ Fig11Result EndToEndSim::run() {
     opts.record_signals.push_back("v(pa.vdd)");
     opts.record_signals.push_back("v(pa.drain)");
   }
-  Fig11Result result{run_transient(ckt, opts), 0.0, false, {}, false, {}, false,
-                     0.0, false, 0.0};
+  TransientStats sim_stats;
+  Fig11Result result{run_transient(ckt, opts, &sim_stats), 0.0, false, {}, false,
+                     {}, false, 0.0, false, 0.0};
 
   // --- Fig. 11 checks -----------------------------------------------------------
+  obs::Span post_span("EndToEndSim::postprocess", "core");
   result.charged =
       result.trace.first_crossing("v(rect.vo)", 2.75, 0.0, /*rising=*/true,
                                   result.t_charge);
@@ -175,6 +185,45 @@ Fig11Result EndToEndSim::run() {
       result.vo_min_after_charge >= ldo.spec().min_input_voltage();
   result.worst_case_rail = ldo.output_voltage(
       result.vo_min_after_charge, pm::mode_current(config_.load, config_.load_mode));
+  post_span.end();
+
+  if constexpr (obs::kEnabled) {
+    auto& r = obs::MetricsRegistry::instance();
+    r.counter("core.fig11.runs").add();
+    if (!result.downlink_ok || !result.uplink_ok) r.counter("core.fig11.comm_failures").add();
+    r.gauge("core.fig11.t_charge_us").set(result.charged ? result.t_charge * 1e6 : -1.0);
+    r.gauge("core.fig11.vo_min_after_charge").set(result.vo_min_after_charge);
+    r.gauge("core.fig11.worst_case_rail").set(result.worst_case_rail);
+    r.gauge("core.fig11.sim_steps_per_sec")
+        .set(sim_stats.wall_seconds > 0.0
+                 ? static_cast<double>(sim_stats.accepted_steps) / sim_stats.wall_seconds
+                 : 0.0);
+
+    // The paper's Fig. 11 phases on the simulation timeline: charge-up,
+    // then the ASK downlink and LSK uplink bursts.
+    auto& recorder = obs::TraceRecorder::instance();
+    if (recorder.enabled()) {
+      const double charge_end =
+          result.charged ? result.t_charge : config_.downlink_start;
+      recorder.sim_span("charge-up", "fig11", 0.0, charge_end,
+                        {{"target", "2.75 V"},
+                         {"charged", result.charged ? "true" : "false"}});
+      const double dl_end =
+          config_.downlink_start +
+          static_cast<double>(config_.downlink_bits.size()) * ask.bit_period();
+      recorder.sim_span("ask-downlink-burst", "fig11", config_.downlink_start, dl_end,
+                        {{"bits", comms::bits_to_string(config_.downlink_bits)},
+                         {"ok", result.downlink_ok ? "true" : "false"}});
+      if (!config_.uplink_bits.empty()) {
+        const double ul_end =
+            config_.uplink_start +
+            static_cast<double>(config_.uplink_bits.size()) * lsk.bit_period();
+        recorder.sim_span("lsk-uplink-burst", "fig11", config_.uplink_start, ul_end,
+                          {{"bits", comms::bits_to_string(config_.uplink_bits)},
+                           {"ok", result.uplink_ok ? "true" : "false"}});
+      }
+    }
+  }
   return result;
 }
 

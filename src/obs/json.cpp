@@ -1,0 +1,350 @@
+#include "src/obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+namespace ironic::obs::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Integral values within the exactly-representable range print without
+  // an exponent so counters stay readable in the emitted artifacts.
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+const Value& Value::at(const std::string& key) const {
+  const Object& o = as_object();
+  const auto it = o.find(key);
+  if (it == o.end()) throw JsonError("json: missing key '" + key + "'");
+  return it->second;
+}
+
+bool Value::contains(const std::string& key) const {
+  return is_object() && as_object().count(key) > 0;
+}
+
+const Value& Value::at(std::size_t index) const {
+  const Array& a = as_array();
+  if (index >= a.size()) throw JsonError("json: array index out of range");
+  return a[index];
+}
+
+std::size_t Value::size() const {
+  if (is_array()) return as_array().size();
+  if (is_object()) return as_object().size();
+  throw JsonError("json: size() on non-container");
+}
+
+namespace {
+
+void dump_to(const Value& v, std::string& out, int indent, int depth);
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+void dump_to(const Value& v, std::string& out, int indent, int depth) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    out += number(v.as_double());
+  } else if (v.is_string()) {
+    out += '"';
+    out += escape(v.as_string());
+    out += '"';
+  } else if (v.is_array()) {
+    const auto& a = v.as_array();
+    if (a.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    bool first = true;
+    for (const auto& e : a) {
+      if (!first) out += ',';
+      first = false;
+      newline_indent(out, indent, depth + 1);
+      dump_to(e, out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out += ']';
+  } else {
+    const auto& o = v.as_object();
+    if (o.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto& [k, e] : o) {
+      if (!first) out += ',';
+      first = false;
+      newline_indent(out, indent, depth + 1);
+      out += '"';
+      out += escape(k);
+      out += "\":";
+      if (indent >= 0) out += ' ';
+      dump_to(e, out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out += '}';
+  }
+}
+
+// Recursive-descent parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw JsonError("json: " + why + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    if (++depth_ > 256) fail("nesting too deep");
+    const char c = peek();
+    Value out;
+    switch (c) {
+      case '{': out = parse_object(); break;
+      case '[': out = parse_array(); break;
+      case '"': out = Value(parse_string()); break;
+      case 't':
+        if (!literal("true")) fail("bad literal");
+        out = Value(true);
+        break;
+      case 'f':
+        if (!literal("false")) fail("bad literal");
+        out = Value(false);
+        break;
+      case 'n':
+        if (!literal("null")) fail("bad literal");
+        out = Value(nullptr);
+        break;
+      default: out = parse_number(); break;
+    }
+    --depth_;
+    return out;
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value::Object obj;
+    if (consume('}')) return Value(std::move(obj));
+    while (true) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      expect(':');
+      obj[std::move(key)] = parse_value();
+      if (consume('}')) break;
+      expect(',');
+    }
+    return Value(std::move(obj));
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value::Array arr;
+    if (consume(']')) return Value(std::move(arr));
+    while (true) {
+      arr.push_back(parse_value());
+      if (consume(']')) break;
+      expect(',');
+    }
+    return Value(std::move(arr));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: fail("bad escape");
+      }
+    }
+    return out;
+  }
+
+  std::string parse_unicode_escape() {
+    const auto hex4 = [&]() -> unsigned {
+      if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+      unsigned value = 0;
+      for (int i = 0; i < 4; ++i) {
+        const char h = text_[pos_++];
+        value <<= 4;
+        if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+        else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
+        else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
+        else fail("bad \\u escape");
+      }
+      return value;
+    };
+    unsigned cp = hex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {  // surrogate pair
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+        fail("unpaired surrogate");
+      }
+      pos_ += 2;
+      const unsigned lo = hex4();
+      if (lo < 0xDC00 || lo > 0xDFFF) fail("bad low surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    }
+    // Encode the code point as UTF-8.
+    std::string out;
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+    return out;
+  }
+
+  Value parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') {
+      pos_ = start;
+      fail("malformed number");
+    }
+    return Value(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(*this, out, indent, 0);
+  return out;
+}
+
+Value Value::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace ironic::obs::json

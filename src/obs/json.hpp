@@ -1,0 +1,91 @@
+// Minimal JSON value model used by the observability subsystem: the
+// trace recorder and run-report writers emit JSON, and the tests (plus
+// tools/trace_validate) parse it back to prove well-formedness. This is
+// deliberately small — objects are std::map (deterministic key order in
+// output), numbers are double — and is not meant as a general-purpose
+// JSON library.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace ironic::obs::json {
+
+struct JsonError : std::runtime_error {
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Escape a string for inclusion between double quotes in a JSON document.
+std::string escape(std::string_view s);
+// Format a double the way JSON requires: finite values round-trip via
+// max_digits10; NaN/Inf (illegal in JSON) become null.
+std::string number(double v);
+
+class Value {
+ public:
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value>;
+
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(double d) : data_(d) {}
+  Value(int i) : data_(static_cast<double>(i)) {}
+  Value(std::int64_t i) : data_(static_cast<double>(i)) {}
+  Value(std::uint64_t u) : data_(static_cast<double>(u)) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_number() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<Array>(data_); }
+  bool is_object() const { return std::holds_alternative<Object>(data_); }
+
+  bool as_bool() const { return get<bool>("bool"); }
+  double as_double() const { return get<double>("number"); }
+  const std::string& as_string() const { return get<std::string>("string"); }
+  const Array& as_array() const { return get<Array>("array"); }
+  const Object& as_object() const { return get<Object>("object"); }
+  Array& as_array() { return get<Array>("array"); }
+  Object& as_object() { return get<Object>("object"); }
+
+  // Object access; throws JsonError on missing key or wrong type.
+  const Value& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  // Array access.
+  const Value& at(std::size_t index) const;
+  std::size_t size() const;
+
+  // Serialize. indent < 0 -> compact single line; otherwise pretty-print
+  // with `indent` spaces per level.
+  std::string dump(int indent = -1) const;
+
+  // Parse a complete JSON document (trailing whitespace allowed, trailing
+  // garbage is an error). Throws JsonError on malformed input.
+  static Value parse(std::string_view text);
+
+ private:
+  template <typename T>
+  const T& get(const char* what) const {
+    if (const T* p = std::get_if<T>(&data_)) return *p;
+    throw JsonError(std::string("json: value is not a ") + what);
+  }
+  template <typename T>
+  T& get(const char* what) {
+    if (T* p = std::get_if<T>(&data_)) return *p;
+    throw JsonError(std::string("json: value is not a ") + what);
+  }
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+}  // namespace ironic::obs::json

@@ -1,0 +1,194 @@
+#include "src/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "src/obs/json.hpp"
+
+namespace ironic::obs {
+
+namespace {
+
+// Atomically apply `op` (e.g. +, min, max) to an atomic<double>.
+template <typename Op>
+void atomic_apply(std::atomic<double>& target, double v, Op op) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, op(cur, v), std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Gauge::set_max(double v) {
+  atomic_apply(value_, v, [](double a, double b) { return a > b ? a : b; });
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  if (bounds_.empty()) bounds_ = default_histogram_bounds();
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    std::sort(bounds_.begin(), bounds_.end());
+  }
+  if (buckets_.size() != bounds_.size() + 1) {
+    // bounds_ may have been replaced by the default ladder above.
+    std::vector<std::atomic<std::uint64_t>> fresh(bounds_.size() + 1);
+    buckets_.swap(fresh);
+  }
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_apply(sum_, v, [](double a, double b) { return a + b; });
+  atomic_apply(min_, v, [](double a, double b) { return a < b ? a : b; });
+  atomic_apply(max_, v, [](double a, double b) { return a > b ? a : b; });
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::min() const {
+  const double v = min_.load(std::memory_order_relaxed);
+  return std::isinf(v) ? 0.0 : v;
+}
+
+double Histogram::max() const {
+  const double v = max_.load(std::memory_order_relaxed);
+  return std::isinf(v) ? 0.0 : v;
+}
+
+double Histogram::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(n);
+  const double lo_seen = min();
+  const double hi_seen = max();
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double in_bucket =
+        static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      // Interpolate inside this bucket, clamped to the observed range so
+      // sparse tails do not report values never seen.
+      const double lower = std::max(i == 0 ? lo_seen : bounds_[i - 1], lo_seen);
+      const double upper = std::min(i < bounds_.size() ? bounds_[i] : hi_seen, hi_seen);
+      const double frac = std::clamp((target - cumulative) / in_bucket, 0.0, 1.0);
+      return lower + (upper - lower) * frac;
+    }
+    cumulative += in_bucket;
+  }
+  return hi_seen;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSample s;
+    s.name = name;
+    s.type = "counter";
+    s.value = static_cast<double>(c->value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSample s;
+    s.name = name;
+    s.type = "gauge";
+    s.value = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSample s;
+    s.name = name;
+    s.type = "histogram";
+    s.value = h->mean();
+    s.count = h->count();
+    s.min = h->min();
+    s.max = h->max();
+    s.p50 = h->percentile(50.0);
+    s.p95 = h->percentile(95.0);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricsRegistry::write_jsonl(std::ostream& os) const {
+  for (const auto& s : snapshot()) {
+    os << "{\"name\":\"" << json::escape(s.name) << "\",\"type\":\"" << s.type
+       << "\",\"value\":" << json::number(s.value);
+    if (s.type == "histogram") {
+      os << ",\"count\":" << s.count << ",\"min\":" << json::number(s.min)
+         << ",\"max\":" << json::number(s.max) << ",\"p50\":" << json::number(s.p50)
+         << ",\"p95\":" << json::number(s.p95);
+    }
+    os << "}\n";
+  }
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::vector<double> default_histogram_bounds() {
+  std::vector<double> bounds;
+  bounds.reserve(3 * 19);
+  for (int decade = -9; decade <= 9; ++decade) {
+    const double base = std::pow(10.0, decade);
+    bounds.push_back(base);
+    bounds.push_back(2.0 * base);
+    bounds.push_back(5.0 * base);
+  }
+  return bounds;
+}
+
+}  // namespace ironic::obs

@@ -1,0 +1,132 @@
+// Process-wide metrics registry: counters, gauges, and fixed-bucket
+// histograms with atomic updates, so the (future) multi-threaded solver
+// sweeps can record into the same registry the single-threaded engine
+// uses today. Registration takes a mutex; recording into an already
+// obtained metric is lock-free.
+//
+// Compile-time gate: IRONIC_OBS_ENABLED (default 1, see CMake option of
+// the same name). When 0, `ironic::obs::kEnabled` is false and the
+// instrumented call sites in spice/core/comms/patch compile away; the
+// registry itself stays available so code linking against it still
+// builds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef IRONIC_OBS_ENABLED
+#define IRONIC_OBS_ENABLED 1
+#endif
+
+namespace ironic::obs {
+
+// Compile-time observability switch; instrumentation sites test this with
+// `if constexpr` so a disabled build carries zero overhead.
+inline constexpr bool kEnabled = IRONIC_OBS_ENABLED != 0;
+
+// Monotonic event count. `add` is a relaxed atomic increment.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Last-written instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  // Keep the larger of the current and the offered value (CAS loop).
+  void set_max(double v);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-boundary histogram: `bounds` are the inclusive upper edges of the
+// buckets; one overflow bucket catches everything above the last edge.
+// Observation is one relaxed atomic increment plus CAS-maintained
+// sum/min/max.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  // Percentile estimate (p in [0, 100]) by linear interpolation inside
+  // the containing bucket; exact at observed min/max.
+  double percentile(double p) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+// A flat snapshot row, used for the JSONL dump and the run reports.
+struct MetricSample {
+  std::string name;
+  std::string type;  // "counter" | "gauge" | "histogram"
+  double value = 0.0;  // counter/gauge value; histogram mean
+  // Histogram extras (count == 0 for the scalar kinds).
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry used by all instrumentation.
+  static MetricsRegistry& instance();
+
+  // Find-or-create. References stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  // `bounds` is used only on first creation; pass {} for the default
+  // geometric ladder (1, 2, 5 per decade across 1e-9..1e9).
+  Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
+
+  std::vector<MetricSample> snapshot() const;
+  // One JSON object per line: {"name":..., "type":..., "value":...}.
+  void write_jsonl(std::ostream& os) const;
+
+  // Drop every registered metric. Test-only: outstanding references from
+  // previous lookups dangle after this.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Default histogram bucket edges: 1-2-5 ladder spanning 1e-9 .. 1e9.
+std::vector<double> default_histogram_bounds();
+
+}  // namespace ironic::obs

@@ -1,0 +1,138 @@
+#include "src/obs/report.hpp"
+
+#include <cstdlib>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+
+#include "src/obs/json.hpp"
+#include "src/obs/trace.hpp"
+#include "src/util/log.hpp"
+
+#ifndef IRONIC_GIT_SHA
+#define IRONIC_GIT_SHA "unknown"
+#endif
+
+namespace ironic::obs {
+
+namespace {
+
+std::string env_or(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::string(v) : fallback;
+}
+
+}  // namespace
+
+const char* build_git_sha() { return IRONIC_GIT_SHA; }
+
+RunReport::RunReport(std::string name)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
+  install_log_bridge();
+  const std::string trace = env_or("IRONIC_TRACE", "");
+  if (!trace.empty() && trace != "0") {
+    trace_path_ = trace == "1" ? name_ + ".trace.json" : trace;
+    auto& recorder = TraceRecorder::instance();
+    if (!recorder.enabled()) {
+      recorder.enable();
+      trace_enabled_here_ = true;
+    }
+  }
+}
+
+RunReport::~RunReport() { write(); }
+
+void RunReport::metric(const std::string& key, double value) {
+  extra_metrics_[key] = value;
+}
+
+void RunReport::note(const std::string& key, std::string value) {
+  notes_[key] = std::move(value);
+}
+
+double RunReport::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+std::string RunReport::report_path() const {
+  if (env_or("IRONIC_REPORT", "1") == "0") return "";
+  const std::string dir = env_or("IRONIC_REPORT_DIR", "");
+  const std::string file = "BENCH_" + name_ + ".json";
+  return dir.empty() ? file : dir + "/" + file;
+}
+
+bool RunReport::write() {
+  if (written_) return true;
+  written_ = true;
+  bool ok = true;
+
+  if (!trace_path_.empty()) {
+    ok &= TraceRecorder::instance().write_chrome_trace_file(trace_path_);
+    if (trace_enabled_here_) TraceRecorder::instance().disable();
+  }
+
+  const std::string metrics_path = env_or("IRONIC_METRICS", "");
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    if (os) {
+      MetricsRegistry::instance().write_jsonl(os);
+    } else {
+      util::Log::warn("RunReport: cannot open metrics file " + metrics_path);
+      ok = false;
+    }
+  }
+
+  const std::string path = report_path();
+  if (path.empty()) return ok;
+  {
+    // IRONIC_REPORT_DIR may not exist yet; create it rather than fail.
+    std::error_code ec;
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  }
+
+  json::Value::Object root;
+  root["schema"] = "ironic.run_report/1";
+  root["name"] = name_;
+  root["git_sha"] = build_git_sha();
+  root["timestamp_unix"] = static_cast<double>(std::time(nullptr));
+  root["wall_seconds"] = elapsed_seconds();
+  root["obs_compiled_in"] = kEnabled;
+  if (!trace_path_.empty()) root["trace_file"] = trace_path_;
+
+  json::Value::Object extras;
+  for (const auto& [k, v] : extra_metrics_) extras[k] = v;
+  root["extras"] = std::move(extras);
+
+  json::Value::Object notes;
+  for (const auto& [k, v] : notes_) notes[k] = v;
+  root["notes"] = std::move(notes);
+
+  json::Value::Array metrics;
+  for (const auto& s : MetricsRegistry::instance().snapshot()) {
+    json::Value::Object m;
+    m["name"] = s.name;
+    m["type"] = s.type;
+    m["value"] = s.value;
+    if (s.type == "histogram") {
+      m["count"] = static_cast<double>(s.count);
+      m["min"] = s.min;
+      m["max"] = s.max;
+      m["p50"] = s.p50;
+      m["p95"] = s.p95;
+    }
+    metrics.push_back(json::Value(std::move(m)));
+  }
+  root["metrics"] = std::move(metrics);
+
+  std::ofstream os(path);
+  if (!os) {
+    util::Log::warn("RunReport: cannot open report file " + path);
+    return false;
+  }
+  os << json::Value(std::move(root)).dump(2) << "\n";
+  return ok && os.good();
+}
+
+}  // namespace ironic::obs

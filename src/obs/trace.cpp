@@ -1,0 +1,199 @@
+#include "src/obs/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "src/obs/json.hpp"
+#include "src/util/log.hpp"
+
+namespace ironic::obs {
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+double TraceRecorder::now_us() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double, std::micro>(elapsed).count();
+}
+
+void TraceRecorder::push(TraceEvent ev) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::complete_event(
+    std::string name, std::string category, double ts_us, double dur_us,
+    std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.phase = 'X';
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.pid = 1;
+  ev.args = std::move(args);
+  push(std::move(ev));
+}
+
+void TraceRecorder::instant_event(
+    std::string name, std::string category,
+    std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.phase = 'i';
+  ev.ts_us = now_us();
+  ev.pid = 1;
+  ev.args = std::move(args);
+  push(std::move(ev));
+}
+
+void TraceRecorder::counter_event(std::string name, double value) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = "counter";
+  ev.phase = 'C';
+  ev.ts_us = now_us();
+  ev.pid = 1;
+  ev.args.emplace_back("value", json::number(value));
+  push(std::move(ev));
+}
+
+void TraceRecorder::sim_span(std::string name, std::string category,
+                             double t_start_s, double t_end_s,
+                             std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.phase = 'X';
+  ev.ts_us = t_start_s * 1e6;
+  ev.dur_us = (t_end_s - t_start_s) * 1e6;
+  ev.pid = 2;
+  ev.args = std::move(args);
+  push(std::move(ev));
+}
+
+void TraceRecorder::sim_instant(std::string name, std::string category, double t_s,
+                                std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.phase = 'i';
+  ev.ts_us = t_s * 1e6;
+  ev.pid = 2;
+  ev.args = std::move(args);
+  push(std::move(ev));
+}
+
+std::size_t TraceRecorder::event_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void TraceRecorder::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  std::vector<TraceEvent> snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = events_;
+  }
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  // Process-name metadata so the two timelines are labelled in the UI.
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"wall clock\"}},\n";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,"
+        "\"args\":{\"name\":\"simulation time\"}}";
+  for (const auto& ev : snapshot) {
+    os << ",\n{\"name\":\"" << json::escape(ev.name) << "\",\"cat\":\""
+       << json::escape(ev.category.empty() ? "app" : ev.category) << "\",\"ph\":\""
+       << ev.phase << "\",\"ts\":" << json::number(ev.ts_us);
+    if (ev.phase == 'X') os << ",\"dur\":" << json::number(ev.dur_us);
+    if (ev.phase == 'i') os << ",\"s\":\"t\"";
+    os << ",\"pid\":" << ev.pid << ",\"tid\":1";
+    if (!ev.args.empty()) {
+      os << ",\"args\":{";
+      bool first = true;
+      for (const auto& [k, v] : ev.args) {
+        if (!first) os << ',';
+        first = false;
+        // Counter values must be numeric for the viewer's counter track.
+        if (ev.phase == 'C') {
+          os << '"' << json::escape(k) << "\":" << v;
+        } else {
+          os << '"' << json::escape(k) << "\":\"" << json::escape(v) << '"';
+        }
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "\n]}\n";
+}
+
+bool TraceRecorder::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    util::Log::warn("TraceRecorder: cannot open trace file " + path);
+    return false;
+  }
+  write_chrome_trace(os);
+  return os.good();
+}
+
+#if IRONIC_OBS_ENABLED
+
+Span::Span(std::string name, std::string category)
+    : name_(std::move(name)), category_(std::move(category)) {
+  auto& recorder = TraceRecorder::instance();
+  active_ = recorder.enabled();
+  if (active_) start_us_ = recorder.now_us();
+}
+
+Span::~Span() { end(); }
+
+void Span::end() {
+  if (!active_) return;
+  active_ = false;
+  auto& recorder = TraceRecorder::instance();
+  recorder.complete_event(std::move(name_), std::move(category_), start_us_,
+                          recorder.now_us() - start_us_, std::move(args_));
+}
+
+void Span::arg(std::string key, std::string value) {
+  if (active_) args_.emplace_back(std::move(key), std::move(value));
+}
+
+#endif  // IRONIC_OBS_ENABLED
+
+void install_log_bridge() {
+  util::Log::set_event_sink([](util::LogLevel, const std::string& component,
+                               const std::vector<util::Log::Field>& fields) {
+    if constexpr (kEnabled) {
+      MetricsRegistry::instance().counter("log.events." + component).add();
+      auto& recorder = TraceRecorder::instance();
+      if (recorder.enabled()) {
+        recorder.instant_event(component, "log", fields);
+      }
+    }
+  });
+}
+
+}  // namespace ironic::obs

@@ -1,6 +1,10 @@
 #include "src/patch/controller.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 
 namespace ironic::patch {
 
@@ -71,17 +75,41 @@ void PatchController::handle(PatchEvent event) {
       break;
   }
   push_log();
+  if constexpr (obs::kEnabled) {
+    obs::MetricsRegistry::instance().counter("patch.controller.events").add();
+    auto& recorder = obs::TraceRecorder::instance();
+    if (recorder.enabled()) {
+      recorder.sim_instant("patch.event", "patch", time_,
+                           {{"state", to_string(state_)}});
+    }
+  }
 }
 
 void PatchController::advance(double dt) {
   if (dt < 0.0) throw std::invalid_argument("PatchController::advance: dt must be >= 0");
-  battery_.draw(state_current(power_, state_), dt);
+  const double current = state_current(power_, state_);
+  battery_.draw(current, dt);
   time_ += dt;
   if (shut_down() && state_ != PatchState::kIdle) {
     state_ = PatchState::kIdle;
     bt_connected_ = false;
   }
   push_log();
+
+  // Battery-draw sampling for the scheduler/mission telemetry.
+  if constexpr (obs::kEnabled) {
+    auto& registry = obs::MetricsRegistry::instance();
+    registry.counter("patch.battery.draw_samples").add();
+    registry.gauge("patch.battery.soc").set(battery_.state_of_charge());
+    registry.gauge("patch.battery.draw_a").set(current);
+    auto& recorder = obs::TraceRecorder::instance();
+    if (recorder.enabled()) {
+      recorder.counter_event("patch.battery.soc", battery_.state_of_charge());
+      recorder.sim_span(to_string(state_), "patch", time_ - dt, time_,
+                        {{"draw_a", std::to_string(current)},
+                         {"soc", std::to_string(battery_.state_of_charge())}});
+    }
+  }
 }
 
 bool PatchController::shut_down() const { return battery_.depleted(); }

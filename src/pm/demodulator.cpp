@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/pm/digital.hpp"
 #include "src/spice/devices_passive.hpp"
 #include "src/spice/devices_sources.hpp"
@@ -144,7 +146,31 @@ std::vector<bool> decode_demodulator_output(const TransientResult& result,
     // The hold capacitor is refreshed during phi2 (second half of the
     // cell); read just before the next cell starts.
     const double t = t_first_bit + (static_cast<double>(i) + 0.98) * period;
-    bits.push_back(result.value_at(signal, t) > threshold);
+    const double vdem = result.value_at(signal, t);
+    bits.push_back(vdem > threshold);
+
+    if constexpr (obs::kEnabled) {
+      auto& recorder = obs::TraceRecorder::instance();
+      if (recorder.enabled()) {
+        // Edge timing: when Vdem actually crossed the logic threshold
+        // inside this bit cell, relative to the ideal cell start.
+        double t_edge = 0.0;
+        const bool edge_found = result.first_crossing(
+            signal, threshold, t_first_bit + static_cast<double>(i) * period,
+            /*rising=*/bits.back(), t_edge);
+        std::vector<std::pair<std::string, std::string>> args = {
+            {"bit", bits.back() ? "1" : "0"}, {"vdem_v", std::to_string(vdem)}};
+        if (edge_found && t_edge < t) {
+          const double offset =
+              t_edge - (t_first_bit + static_cast<double>(i) * period);
+          args.emplace_back("edge_offset_us", std::to_string(offset * 1e6));
+        }
+        recorder.sim_instant("demod.bit", "pm", t, std::move(args));
+      }
+    }
+  }
+  if constexpr (obs::kEnabled) {
+    obs::MetricsRegistry::instance().counter("pm.demod.bits_decoded").add(n_bits);
   }
   return bits;
 }

@@ -1,10 +1,13 @@
 #include "src/spice/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
 #include "src/linalg/lu.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/log.hpp"
 
 namespace ironic::spice {
@@ -12,7 +15,55 @@ namespace {
 
 struct NewtonOutcome {
   bool converged = false;
-  int iterations = 0;
+  int iterations = 0;            // == LU factor+solve pairs attempted
+  std::uint64_t lu_ns = 0;       // wall time spent factoring + solving
+};
+
+// Cached handles into the metrics registry for the engine's hot paths;
+// resolved once, reused by every solve in the process.
+struct EngineMetrics {
+  obs::Counter& dc_solves;
+  obs::Counter& dc_newton_iterations;
+  obs::Counter& dc_gmin_escalations;
+  obs::Counter& dc_source_escalations;
+  obs::Counter& dc_failures;
+  obs::Counter& tr_runs;
+  obs::Counter& tr_accepted_steps;
+  obs::Counter& tr_rejected_steps;
+  obs::Counter& tr_lte_rejections;
+  obs::Counter& tr_newton_iterations;
+  obs::Counter& tr_lu_factorizations;
+  obs::Counter& tr_breakpoint_hits;
+  obs::Counter& tr_lu_ns;       // time inside LU factor+solve (transient)
+  obs::Counter& dc_lu_ns;
+  obs::Gauge& tr_last_steps_per_sec;
+  obs::Histogram& tr_newton_iters_per_step;
+
+  static EngineMetrics& get() {
+    static EngineMetrics m = [] {
+      auto& r = obs::MetricsRegistry::instance();
+      return EngineMetrics{
+          r.counter("spice.dc.solves"),
+          r.counter("spice.dc.newton_iterations"),
+          r.counter("spice.dc.gmin_escalations"),
+          r.counter("spice.dc.source_escalations"),
+          r.counter("spice.dc.failures"),
+          r.counter("spice.transient.runs"),
+          r.counter("spice.transient.accepted_steps"),
+          r.counter("spice.transient.rejected_steps"),
+          r.counter("spice.transient.lte_rejections"),
+          r.counter("spice.transient.newton_iterations"),
+          r.counter("spice.transient.lu_factorizations"),
+          r.counter("spice.transient.breakpoint_hits"),
+          r.counter("spice.transient.lu_ns"),
+          r.counter("spice.dc.lu_ns"),
+          r.gauge("spice.transient.last_steps_per_sec"),
+          r.histogram("spice.transient.newton_iters_per_step",
+                      {1, 2, 3, 4, 5, 6, 8, 10, 15, 20, 30, 50, 100, 150}),
+      };
+    }();
+    return m;
+  }
 };
 
 // One Newton solve of the (possibly nonlinear) MNA system at a fixed
@@ -45,13 +96,23 @@ NewtonOutcome newton_solve(Circuit& circuit, std::vector<double>& x, double time
       for (std::size_t i = 0; i < num_nodes; ++i) a(i, i) += gshunt;
     }
 
+    std::chrono::steady_clock::time_point lu_start;
+    if constexpr (obs::kEnabled) lu_start = std::chrono::steady_clock::now();
+    bool singular = false;
     try {
       linalg::LuFactorization lu(a);
       x_new = rhs;
       lu.solve_in_place(x_new);
     } catch (const linalg::SingularMatrixError&) {
-      return outcome;  // not converged
+      singular = true;
     }
+    if constexpr (obs::kEnabled) {
+      outcome.lu_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - lu_start)
+              .count());
+    }
+    if (singular) return outcome;  // not converged
 
     // Convergence check on the update.
     bool converged = true;
@@ -100,6 +161,21 @@ DcResult solve_dc(Circuit& circuit, const DcOptions& options) {
   DcResult result;
   result.x.assign(n, 0.0);
 
+  obs::Span span("solve_dc", "spice");
+  std::uint64_t lu_ns = 0;
+  const auto finish = [&](DcResult&& done) {
+    if constexpr (obs::kEnabled) {
+      auto& m = EngineMetrics::get();
+      m.dc_solves.add();
+      m.dc_newton_iterations.add(static_cast<std::uint64_t>(done.total_iterations));
+      m.dc_lu_ns.add(lu_ns);
+      if (!done.converged) m.dc_failures.add();
+      span.arg("strategy", done.converged ? done.strategy : "failed");
+      span.arg("iterations", std::to_string(done.total_iterations));
+    }
+    return std::move(done);
+  };
+
   // 1. Plain Newton.
   {
     std::vector<double> x(n, 0.0);
@@ -107,16 +183,18 @@ DcResult solve_dc(Circuit& circuit, const DcOptions& options) {
     const auto outcome = newton_solve(circuit, x, 0.0, 0.0, Integrator::kBackwardEuler,
                                       /*dc=*/true, options.newton, 1.0, 0.0);
     result.total_iterations += outcome.iterations;
+    lu_ns += outcome.lu_ns;
     if (outcome.converged) {
       result.x = std::move(x);
       result.converged = true;
       result.strategy = "newton";
-      return result;
+      return finish(std::move(result));
     }
   }
 
   // 2. Gmin (shunt) stepping: start heavily damped, relax to nominal.
   if (options.gmin_stepping) {
+    if constexpr (obs::kEnabled) EngineMetrics::get().dc_gmin_escalations.add();
     std::vector<double> x(n, 0.0);
     bool ladder_ok = true;
     for (double g = 1e-2; g >= 1e-12; g /= 10.0) {
@@ -124,6 +202,7 @@ DcResult solve_dc(Circuit& circuit, const DcOptions& options) {
       const auto outcome = newton_solve(circuit, x, 0.0, 0.0, Integrator::kBackwardEuler,
                                         true, options.newton, 1.0, g);
       result.total_iterations += outcome.iterations;
+      lu_ns += outcome.lu_ns;
       if (!outcome.converged) {
         ladder_ok = false;
         break;
@@ -134,17 +213,19 @@ DcResult solve_dc(Circuit& circuit, const DcOptions& options) {
       const auto outcome = newton_solve(circuit, x, 0.0, 0.0, Integrator::kBackwardEuler,
                                         true, options.newton, 1.0, 0.0);
       result.total_iterations += outcome.iterations;
+      lu_ns += outcome.lu_ns;
       if (outcome.converged) {
         result.x = std::move(x);
         result.converged = true;
         result.strategy = "gmin-stepping";
-        return result;
+        return finish(std::move(result));
       }
     }
   }
 
   // 3. Source stepping.
   if (options.source_stepping) {
+    if constexpr (obs::kEnabled) EngineMetrics::get().dc_source_escalations.add();
     std::vector<double> x(n, 0.0);
     bool ladder_ok = true;
     for (double scale = 0.05; scale <= 1.0 + 1e-12; scale += 0.05) {
@@ -152,6 +233,7 @@ DcResult solve_dc(Circuit& circuit, const DcOptions& options) {
       const auto outcome = newton_solve(circuit, x, 0.0, 0.0, Integrator::kBackwardEuler,
                                         true, options.newton, std::min(scale, 1.0), 0.0);
       result.total_iterations += outcome.iterations;
+      lu_ns += outcome.lu_ns;
       if (!outcome.converged) {
         ladder_ok = false;
         break;
@@ -161,18 +243,70 @@ DcResult solve_dc(Circuit& circuit, const DcOptions& options) {
       result.x = std::move(x);
       result.converged = true;
       result.strategy = "source-stepping";
-      return result;
+      return finish(std::move(result));
     }
   }
 
-  util::Log::warn("solve_dc: all strategies failed to converge");
-  return result;
+  util::Log::event(util::LogLevel::kWarn, "spice.dc",
+                   {{"event", "all_strategies_failed"},
+                    {"iterations", std::to_string(result.total_iterations)}});
+  return finish(std::move(result));
 }
 
 TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
                               TransientStats* stats) {
   if (options.t_stop <= 0.0) throw std::invalid_argument("run_transient: t_stop must be > 0");
   if (options.dt_max <= 0.0) throw std::invalid_argument("run_transient: dt_max must be > 0");
+  // Per-run tallies, kept even when the caller passes no stats: the
+  // metrics registry is fed from the same numbers. Folded into the
+  // caller's struct (accumulating, as before) on every exit path.
+  TransientStats run;
+  const auto wall_start = std::chrono::steady_clock::now();
+  obs::Span span("run_transient", "spice");
+  std::uint64_t lu_ns = 0;
+  // Folds the per-run tallies into the caller's stats and the metrics
+  // registry on every exit path, including the throwing ones.
+  struct Finalize {
+    TransientStats& run;
+    TransientStats* out;
+    std::chrono::steady_clock::time_point start;
+    std::uint64_t& lu_ns;
+    obs::Span& span;
+    ~Finalize() {
+      run.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+      if (out != nullptr) {
+        out->accepted_steps += run.accepted_steps;
+        out->rejected_steps += run.rejected_steps;
+        out->newton_iterations += run.newton_iterations;
+        out->lu_factorizations += run.lu_factorizations;
+        out->breakpoint_hits += run.breakpoint_hits;
+        out->lte_rejections += run.lte_rejections;
+        out->max_newton_iterations =
+            std::max(out->max_newton_iterations, run.max_newton_iterations);
+        out->wall_seconds += run.wall_seconds;
+      }
+      if constexpr (obs::kEnabled) {
+        auto& m = EngineMetrics::get();
+        m.tr_runs.add();
+        m.tr_accepted_steps.add(run.accepted_steps);
+        m.tr_rejected_steps.add(run.rejected_steps);
+        m.tr_lte_rejections.add(run.lte_rejections);
+        m.tr_newton_iterations.add(run.newton_iterations);
+        m.tr_lu_factorizations.add(run.lu_factorizations);
+        m.tr_breakpoint_hits.add(run.breakpoint_hits);
+        m.tr_lu_ns.add(lu_ns);
+        if (run.wall_seconds > 0.0) {
+          m.tr_last_steps_per_sec.set(static_cast<double>(run.accepted_steps) /
+                                      run.wall_seconds);
+        }
+        span.arg("accepted_steps", std::to_string(run.accepted_steps));
+        span.arg("rejected_steps", std::to_string(run.rejected_steps));
+        span.arg("newton_iterations", std::to_string(run.newton_iterations));
+      }
+    }
+  } finalize{run, stats, wall_start, lu_ns, span};
   circuit.finalize();
   const std::size_t n = circuit.num_unknowns();
   const double dt_min =
@@ -229,7 +363,6 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
 
   double t = 0.0;
   double dt = options.dt_max;
-  std::size_t accepted = 0;
   int success_streak = 0;
   std::vector<double> x_try(n);
   // LTE controller history: the previous accepted point and its step.
@@ -238,18 +371,37 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
   bool have_prev_point = false;
   const std::size_t kMaxSteps = 200'000'000;
 
+  obs::Histogram* newton_hist = nullptr;
+  if constexpr (obs::kEnabled) {
+    newton_hist = &EngineMetrics::get().tr_newton_iters_per_step;
+  }
+
   while (t < options.t_stop - 1e-15 * options.t_stop) {
-    if (accepted + (stats ? stats->rejected_steps : 0) > kMaxSteps) {
+    if (run.accepted_steps + run.rejected_steps > kMaxSteps) {
       throw std::runtime_error("run_transient: step-count safety limit exceeded");
     }
-    // Advance the breakpoint cursor past points at/behind t.
-    while (bp_index < breakpoints.size() && breakpoints[bp_index] <= t + 1e-18) {
+    // Advance the breakpoint cursor past points at/behind t. The slack
+    // tolerates accumulated summation error in t relative to the exact
+    // breakpoint value.
+    const double bp_slack = std::max(1e-18, 1e-12 * t);
+    while (bp_index < breakpoints.size() && breakpoints[bp_index] <= t + bp_slack) {
       ++bp_index;
     }
     double dt_step = std::min(dt, options.t_stop - t);
+    // Snap the step to the next stimulus breakpoint when it falls inside
+    // this step; snapped points carry a recording guarantee (see
+    // TransientOptions::record_every). The relative tolerance on the
+    // comparison matters: after ~k accumulated steps, t carries O(k) ulps
+    // of rounding error, so a breakpoint exactly one nominal step away can
+    // measure infinitesimally beyond dt_step and would otherwise be
+    // stepped *onto* (within rounding) but never flagged as snapped.
+    bool snapped_to_bp = false;
     if (bp_index < breakpoints.size()) {
       const double to_bp = breakpoints[bp_index] - t;
-      if (to_bp > 1e-18) dt_step = std::min(dt_step, to_bp);
+      if (to_bp > bp_slack && to_bp <= dt_step * (1.0 + 1e-9)) {
+        dt_step = to_bp;
+        snapped_to_bp = true;
+      }
     }
 
     const double t_next = t + dt_step;
@@ -257,10 +409,17 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
     x_try = x;
     const auto outcome = newton_solve(circuit, x_try, t_next, dt_step, options.integrator,
                                       /*dc=*/false, options.newton, 1.0, 0.0);
-    if (stats) stats->newton_iterations += static_cast<std::size_t>(outcome.iterations);
+    run.newton_iterations += static_cast<std::size_t>(outcome.iterations);
+    run.lu_factorizations += static_cast<std::size_t>(outcome.iterations);
+    run.max_newton_iterations =
+        std::max(run.max_newton_iterations, static_cast<std::size_t>(outcome.iterations));
+    lu_ns += outcome.lu_ns;
+    if (newton_hist != nullptr) {
+      newton_hist->observe(static_cast<double>(outcome.iterations));
+    }
 
     if (!outcome.converged) {
-      if (stats) ++stats->rejected_steps;
+      ++run.rejected_steps;
       success_streak = 0;
       dt = dt_step / 2.0;
       if (dt < dt_min) {
@@ -279,7 +438,8 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
         err = std::max(err, std::abs(x_try[i] - predicted));
       }
       if (err > 4.0 * options.lte_tol && dt_step > 2.0 * dt_min) {
-        if (stats) ++stats->rejected_steps;
+        ++run.rejected_steps;
+        ++run.lte_rejections;
         success_streak = 0;
         dt = std::max(dt_step / 2.0, dt_min);
         continue;  // redo the point with a smaller step
@@ -302,12 +462,17 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
     }
     x.swap(x_try);
     t = t_next;
-    ++accepted;
-    if (stats) ++stats->accepted_steps;
+    ++run.accepted_steps;
+    if (snapped_to_bp) ++run.breakpoint_hits;
 
     const bool is_final = t >= options.t_stop - 1e-15 * options.t_stop;
+    // Recording guarantee: breakpoint-snapped points and the final point
+    // are never decimated away (see TransientOptions::record_every).
     if (t >= options.record_start &&
-        (is_final || accepted % static_cast<std::size_t>(std::max(options.record_every, 1)) == 0)) {
+        (is_final || snapped_to_bp ||
+         run.accepted_steps %
+                 static_cast<std::size_t>(std::max(options.record_every, 1)) ==
+             0)) {
       result.append(t, x);
     }
 

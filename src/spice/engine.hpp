@@ -51,7 +51,13 @@ struct TransientOptions {
   Integrator integrator = Integrator::kTrapezoidal;
   bool start_from_dc = false;  // false: use-initial-conditions (x = 0 + device ICs)
   NewtonOptions newton;
-  int record_every = 1;                   // record every k-th accepted point
+  // Record every k-th accepted point. Guarantee: points the engine
+  // snapped to a stimulus breakpoint (clock edges, envelope corners) and
+  // the final point are ALWAYS recorded, regardless of the decimation
+  // phase — decimation must never hide the exact instants the waveforms
+  // were shaped around. (Points before `record_start` are still
+  // suppressed.)
+  int record_every = 1;
   std::vector<std::string> record_signals;  // empty -> all signals
   double record_start = 0.0;              // suppress recording before this time
   // Local-truncation-error step control: compare each solution against a
@@ -64,8 +70,13 @@ struct TransientOptions {
 
 struct TransientStats {
   std::size_t accepted_steps = 0;
-  std::size_t rejected_steps = 0;
+  std::size_t rejected_steps = 0;       // Newton failures + LTE rejections
   std::size_t newton_iterations = 0;
+  std::size_t lu_factorizations = 0;    // one LU factor+solve per iteration
+  std::size_t breakpoint_hits = 0;      // accepted steps snapped to a breakpoint
+  std::size_t lte_rejections = 0;       // subset of rejected_steps (adaptive mode)
+  std::size_t max_newton_iterations = 0;  // worst single step attempt
+  double wall_seconds = 0.0;            // wall time of the whole run
 };
 
 // Run a transient analysis. Throws std::runtime_error if the step size

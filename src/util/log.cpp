@@ -1,12 +1,16 @@
 #include "src/util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace ironic::util {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;  // guards sink installation and lookup
 Log::Sink g_sink;
+Log::EventSink g_event_sink;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,17 +24,56 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-void Log::set_level(LogLevel level) { g_level = level; }
-LogLevel Log::level() { return g_level; }
-void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
+void Log::set_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+
+void Log::set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void Log::set_event_sink(EventSink sink) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_event_sink = std::move(sink);
+}
 
 void Log::emit(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
-  if (g_sink) {
-    g_sink(level, msg);
+  if (static_cast<int>(level) < static_cast<int>(Log::level())) return;
+  // Copy the sink out so a sink that logs (or swaps sinks) cannot
+  // deadlock against g_mutex; stderr writes are serialized by the FILE
+  // lock itself.
+  Sink sink;
+  {
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    sink = g_sink;
+  }
+  if (sink) {
+    sink(level, msg);
     return;
   }
   std::fprintf(stderr, "[ironic %s] %s\n", level_name(level), msg.c_str());
+}
+
+void Log::event(LogLevel level, const std::string& component,
+                std::vector<Field> fields) {
+  EventSink event_sink;
+  {
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    event_sink = g_event_sink;
+  }
+  // The structured sink sees every event regardless of the text-level
+  // filter: it feeds metrics/traces, not the console.
+  if (event_sink) event_sink(level, component, fields);
+
+  if (static_cast<int>(level) < static_cast<int>(Log::level())) return;
+  std::string msg = component + ":";
+  for (const auto& [k, v] : fields) {
+    msg += ' ';
+    msg += k;
+    msg += '=';
+    msg += v;
+  }
+  emit(level, msg);
 }
 
 void Log::debug(const std::string& msg) { emit(LogLevel::kDebug, msg); }

@@ -2,20 +2,28 @@
 //
 // The engine reports Newton convergence trouble, step rejections, and
 // similar events through this sink so tests can silence or capture them.
+// Thread-safe: the level is an atomic and sink swap/emit are serialized
+// behind a mutex, so worker threads of future parallel sweeps can log
+// concurrently.
 #pragma once
 
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace ironic::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-// Global log configuration. Thread-compatible (not thread-safe): the
-// simulators in this library are single-threaded by design.
 class Log {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;
+  // Structured event field: key -> already-formatted value.
+  using Field = std::pair<std::string, std::string>;
+  using EventSink =
+      std::function<void(LogLevel, const std::string& component,
+                         const std::vector<Field>& fields)>;
 
   static void set_level(LogLevel level);
   static LogLevel level();
@@ -27,6 +35,17 @@ class Log {
   static void info(const std::string& msg);
   static void warn(const std::string& msg);
   static void error(const std::string& msg);
+
+  // Structured variant: `component` names the emitting subsystem (e.g.
+  // "spice.transient") and fields are key=value pairs. When an event sink
+  // is installed (the obs subsystem does this via install_log_bridge) the
+  // record is delivered to it as data; it is ALSO formatted as
+  // "component: k=v k=v" through the plain text path, subject to the
+  // usual level filter.
+  static void event(LogLevel level, const std::string& component,
+                    std::vector<Field> fields);
+  // Install/clear the structured sink (nullptr clears).
+  static void set_event_sink(EventSink sink);
 
  private:
   static void emit(LogLevel level, const std::string& msg);

@@ -1,0 +1,438 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/obs.hpp"
+#include "src/spice/circuit.hpp"
+#include "src/spice/devices_passive.hpp"
+#include "src/spice/devices_sources.hpp"
+#include "src/spice/engine.hpp"
+#include "src/spice/waveform.hpp"
+#include "src/util/log.hpp"
+
+namespace {
+
+using namespace ironic;
+using obs::json::Value;
+
+// The compile-time gate and the macro must agree; the whole test binary is
+// built with the project-wide IRONIC_OBS_ENABLED setting.
+static_assert(obs::kEnabled == (IRONIC_OBS_ENABLED != 0));
+
+TEST(MetricsRegistry, CounterFindOrCreateReturnsSameInstance) {
+  auto& registry = obs::MetricsRegistry::instance();
+  auto& a = registry.counter("test.obs.counter_identity");
+  auto& b = registry.counter("test.obs.counter_identity");
+  EXPECT_EQ(&a, &b);
+
+  const auto before = a.value();
+  a.add();
+  a.add(41);
+  EXPECT_EQ(b.value(), before + 42);
+
+  a.reset();
+  EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(MetricsRegistry, GaugeSetAndSetMax) {
+  auto& g = obs::MetricsRegistry::instance().gauge("test.obs.gauge");
+  g.set(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.set_max(0.5);  // smaller: no change
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.set_max(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+}
+
+TEST(MetricsRegistry, SnapshotContainsAllKinds) {
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.counter("test.obs.snap_counter").add(3);
+  registry.gauge("test.obs.snap_gauge").set(7.0);
+  registry.histogram("test.obs.snap_hist").observe(1e-3);
+
+  bool saw_counter = false, saw_gauge = false, saw_hist = false;
+  for (const auto& s : registry.snapshot()) {
+    if (s.name == "test.obs.snap_counter") {
+      saw_counter = true;
+      EXPECT_EQ(s.type, "counter");
+      EXPECT_DOUBLE_EQ(s.value, 3.0);
+    } else if (s.name == "test.obs.snap_gauge") {
+      saw_gauge = true;
+      EXPECT_EQ(s.type, "gauge");
+      EXPECT_DOUBLE_EQ(s.value, 7.0);
+    } else if (s.name == "test.obs.snap_hist") {
+      saw_hist = true;
+      EXPECT_EQ(s.type, "histogram");
+      EXPECT_EQ(s.count, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(saw_hist);
+}
+
+TEST(MetricsRegistry, JsonlDumpParsesLineByLine) {
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.counter("test.obs.jsonl_counter").add(5);
+  registry.histogram("test.obs.jsonl_hist").observe(2.0);
+
+  std::ostringstream os;
+  registry.write_jsonl(os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t rows = 0;
+  bool saw_hist_extras = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const Value row = Value::parse(line);
+    EXPECT_TRUE(row.at("name").is_string());
+    EXPECT_TRUE(row.at("value").is_number());
+    if (row.at("type").as_string() == "histogram") {
+      EXPECT_TRUE(row.contains("p50"));
+      EXPECT_TRUE(row.contains("p95"));
+      saw_hist_extras = true;
+    }
+    ++rows;
+  }
+  EXPECT_GE(rows, 2u);
+  EXPECT_TRUE(saw_hist_extras);
+}
+
+TEST(Histogram, PercentilesWithExplicitBounds) {
+  // Bounds 1..9; observe 1..100 of each value 1..10 — uniform over buckets.
+  obs::Histogram h(std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8, 9});
+  for (int v = 1; v <= 10; ++v) h.observe(static_cast<double>(v));
+
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_DOUBLE_EQ(h.sum(), 55.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+
+  // Percentiles are clamped to the observed range and monotone.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 10.0);
+  const double p50 = h.percentile(50.0);
+  const double p95 = h.percentile(95.0);
+  EXPECT_GE(p50, 4.0);
+  EXPECT_LE(p50, 6.0);
+  EXPECT_GE(p95, p50);
+  EXPECT_LE(p95, 10.0);
+
+  // One observation per bucket 1..9 plus one overflow (10 > last bound 9).
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 10u);
+  EXPECT_EQ(buckets.back(), 1u);
+}
+
+TEST(Histogram, EmptyIsWellDefined) {
+  obs::Histogram h({});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  EXPECT_FALSE(h.bounds().empty());  // default 1-2-5 ladder kicks in
+}
+
+TEST(Json, RoundTripThroughDumpAndParse) {
+  Value::Object obj;
+  obj["name"] = "bench \"quoted\" \\ with\nnewline";
+  obj["value"] = 42.5;
+  obj["count"] = 7;
+  obj["flag"] = true;
+  obj["missing"] = nullptr;
+  obj["list"] = Value::Array{1.0, 2.0, Value("three")};
+  const Value original(std::move(obj));
+
+  const std::string compact = original.dump();
+  const Value reparsed = Value::parse(compact);
+  EXPECT_EQ(reparsed.dump(), compact);
+  EXPECT_EQ(reparsed.at("name").as_string(), "bench \"quoted\" \\ with\nnewline");
+  EXPECT_DOUBLE_EQ(reparsed.at("value").as_double(), 42.5);
+  EXPECT_TRUE(reparsed.at("flag").as_bool());
+  EXPECT_TRUE(reparsed.at("missing").is_null());
+  EXPECT_EQ(reparsed.at("list").size(), 3u);
+  EXPECT_EQ(reparsed.at("list").at(2).as_string(), "three");
+
+  // Pretty-printed output parses back to the same document.
+  EXPECT_EQ(Value::parse(original.dump(2)).dump(), compact);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Value::parse("{"), obs::json::JsonError);
+  EXPECT_THROW(Value::parse("[1,]"), obs::json::JsonError);
+  EXPECT_THROW(Value::parse("{} trailing"), obs::json::JsonError);
+  EXPECT_THROW(Value::parse("\"unterminated"), obs::json::JsonError);
+  EXPECT_THROW(Value::parse("nul"), obs::json::JsonError);
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(obs::json::number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(obs::json::number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(obs::json::number(3.0), "3");
+}
+
+#if IRONIC_OBS_ENABLED
+
+TEST(Trace, NestedSpansRecordContainedCompleteEvents) {
+  auto& recorder = obs::TraceRecorder::instance();
+  recorder.clear();
+  recorder.enable();
+  {
+    obs::Span outer("outer", "test");
+    outer.arg("key", "value");
+    {
+      obs::Span inner("inner", "test");
+    }
+  }
+  recorder.disable();
+
+  const auto events = recorder.events();
+  const obs::TraceEvent* outer_ev = nullptr;
+  const obs::TraceEvent* inner_ev = nullptr;
+  for (const auto& ev : events) {
+    if (ev.name == "outer") outer_ev = &ev;
+    if (ev.name == "inner") inner_ev = &ev;
+  }
+  ASSERT_NE(outer_ev, nullptr);
+  ASSERT_NE(inner_ev, nullptr);
+  EXPECT_EQ(outer_ev->phase, 'X');
+  EXPECT_EQ(inner_ev->phase, 'X');
+  // Inner span starts no earlier and ends no later than the outer one.
+  EXPECT_GE(inner_ev->ts_us, outer_ev->ts_us);
+  EXPECT_LE(inner_ev->ts_us + inner_ev->dur_us, outer_ev->ts_us + outer_ev->dur_us);
+  ASSERT_EQ(outer_ev->args.size(), 1u);
+  EXPECT_EQ(outer_ev->args[0].first, "key");
+  recorder.clear();
+}
+
+TEST(Trace, SpanEndIsIdempotentAndStopsTheClock) {
+  auto& recorder = obs::TraceRecorder::instance();
+  recorder.clear();
+  recorder.enable();
+  {
+    obs::Span span("ended-early", "test");
+    span.end();
+    span.end();  // second end must not record a duplicate
+  }
+  recorder.disable();
+  std::size_t hits = 0;
+  for (const auto& ev : recorder.events()) {
+    if (ev.name == "ended-early") ++hits;
+  }
+  EXPECT_EQ(hits, 1u);
+  recorder.clear();
+}
+
+TEST(Trace, DisabledRecorderRecordsNothing) {
+  auto& recorder = obs::TraceRecorder::instance();
+  recorder.clear();
+  recorder.disable();
+  {
+    obs::Span span("ghost", "test");
+  }
+  recorder.instant_event("ghost-instant", "test");
+  EXPECT_EQ(recorder.event_count(), 0u);
+}
+
+TEST(Trace, ChromeTraceJsonIsWellFormed) {
+  auto& recorder = obs::TraceRecorder::instance();
+  recorder.clear();
+  recorder.enable();
+  recorder.instant_event("tick", "test", {{"n", "1"}});
+  recorder.counter_event("level", 0.75);
+  recorder.sim_span("phase", "test", 1e-6, 3e-6, {{"what", "charge"}});
+  recorder.sim_instant("bit", "test", 2e-6);
+  recorder.disable();
+
+  std::ostringstream os;
+  recorder.write_chrome_trace(os);
+  const Value root = Value::parse(os.str());
+  const auto& events = root.at("traceEvents").as_array();
+  // 4 recorded + 2 process_name metadata events.
+  ASSERT_GE(events.size(), 6u);
+
+  bool saw_sim_pid = false, saw_metadata = false;
+  for (const auto& ev : events) {
+    const std::string& ph = ev.at("ph").as_string();
+    if (ph == "M") {
+      saw_metadata = true;
+      continue;
+    }
+    EXPECT_GE(ev.at("ts").as_double(), 0.0);
+    if (ev.at("name").as_string() == "phase") {
+      saw_sim_pid = true;
+      EXPECT_DOUBLE_EQ(ev.at("pid").as_double(), 2.0);  // simulation timeline
+      EXPECT_DOUBLE_EQ(ev.at("ts").as_double(), 1.0);   // 1e-6 s -> 1 us
+      EXPECT_DOUBLE_EQ(ev.at("dur").as_double(), 2.0);
+    }
+  }
+  EXPECT_TRUE(saw_sim_pid);
+  EXPECT_TRUE(saw_metadata);
+  recorder.clear();
+}
+
+TEST(Trace, ScopedTimerAccumulatesNanoseconds) {
+  obs::Counter sink;
+  {
+    obs::ScopedTimer timer(sink);
+    // Do a little work so the elapsed time is nonzero even on coarse clocks.
+    volatile double x = 0.0;
+    for (int i = 0; i < 10000; ++i) x = x + 1.0;
+  }
+  EXPECT_GT(sink.value(), 0u);
+}
+
+TEST(Trace, LogBridgeCountsStructuredEvents) {
+  obs::install_log_bridge();
+  auto& counter =
+      obs::MetricsRegistry::instance().counter("log.events.test.component");
+  const auto before = counter.value();
+  // Silence the text path; the bridge sees the record regardless of level.
+  util::Log::set_sink([](util::LogLevel, const std::string&) {});
+  util::Log::event(util::LogLevel::kDebug, "test.component",
+                   {{"k", "v"}, {"n", "3"}});
+  util::Log::set_sink(nullptr);
+  EXPECT_EQ(counter.value(), before + 1);
+}
+
+// The engine's registry counters and the per-run TransientStats are fed
+// from the same increments; their deltas over one run must agree exactly.
+TEST(Instrumentation, TransientCountersMatchStats) {
+  auto& registry = obs::MetricsRegistry::instance();
+  const auto runs0 = registry.counter("spice.transient.runs").value();
+  const auto acc0 = registry.counter("spice.transient.accepted_steps").value();
+  const auto rej0 = registry.counter("spice.transient.rejected_steps").value();
+  const auto newt0 = registry.counter("spice.transient.newton_iterations").value();
+  const auto lu0 = registry.counter("spice.transient.lu_factorizations").value();
+  const auto bp0 = registry.counter("spice.transient.breakpoint_hits").value();
+
+  spice::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  // A pulse source gives the engine breakpoints to snap to.
+  ckt.add<spice::VoltageSource>(
+      "V1", in, spice::kGround,
+      spice::Waveform::pulse(0.0, 1.0, 10e-6, 1e-6, 1e-6, 20e-6, 50e-6));
+  ckt.add<spice::Resistor>("R1", in, out, 1e3);
+  ckt.add<spice::Capacitor>("C1", out, spice::kGround, 1e-9);
+
+  spice::TransientOptions opts;
+  opts.t_stop = 100e-6;
+  opts.dt_max = 1e-6;
+  spice::TransientStats stats;
+  spice::run_transient(ckt, opts, &stats);
+
+  EXPECT_EQ(registry.counter("spice.transient.runs").value(), runs0 + 1);
+  EXPECT_EQ(registry.counter("spice.transient.accepted_steps").value(),
+            acc0 + stats.accepted_steps);
+  EXPECT_EQ(registry.counter("spice.transient.rejected_steps").value(),
+            rej0 + stats.rejected_steps);
+  EXPECT_EQ(registry.counter("spice.transient.newton_iterations").value(),
+            newt0 + stats.newton_iterations);
+  EXPECT_EQ(registry.counter("spice.transient.lu_factorizations").value(),
+            lu0 + stats.lu_factorizations);
+  EXPECT_EQ(registry.counter("spice.transient.breakpoint_hits").value(),
+            bp0 + stats.breakpoint_hits);
+
+  // The run itself produced sane stats.
+  EXPECT_GT(stats.accepted_steps, 0u);
+  EXPECT_GT(stats.breakpoint_hits, 0u);  // pulse edges were snapped
+  EXPECT_EQ(stats.newton_iterations, stats.lu_factorizations);
+  EXPECT_GE(stats.max_newton_iterations, 1u);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+}
+
+TEST(Instrumentation, SnappedBreakpointsAreAlwaysRecorded) {
+  // record_every large enough that decimation alone would skip the pulse
+  // edge; the engine must still emit the snapped point.
+  spice::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  ckt.add<spice::VoltageSource>(
+      "V1", in, spice::kGround,
+      spice::Waveform::pulse(0.0, 1.0, 50e-6, 1e-6, 1e-6, 100e-6, 1.0));
+  ckt.add<spice::Resistor>("R1", in, out, 1e3);
+  ckt.add<spice::Capacitor>("C1", out, spice::kGround, 1e-9);
+
+  spice::TransientOptions opts;
+  opts.t_stop = 60e-6;
+  opts.dt_max = 1e-6;
+  opts.record_every = 1000;  // would record almost nothing by phase alone
+  spice::TransientStats stats;
+  const auto res = spice::run_transient(ckt, opts, &stats);
+
+  EXPECT_GT(stats.breakpoint_hits, 0u);
+  bool recorded_edge = false;
+  for (const double t : res.time()) {
+    if (std::abs(t - 50e-6) < 1e-12) recorded_edge = true;
+  }
+  EXPECT_TRUE(recorded_edge);
+  // The final point is recorded regardless of decimation phase.
+  EXPECT_NEAR(res.time().back(), opts.t_stop, 1e-9);
+}
+
+TEST(RunReport, WritesParsableReportJson) {
+  // Run in a scratch directory; keep env mutations local to this test.
+  const std::string dir = ::testing::TempDir() + "obs_report_test";
+  ASSERT_EQ(::setenv("IRONIC_REPORT_DIR", dir.c_str(), 1), 0);
+  ::unsetenv("IRONIC_TRACE");
+  ::unsetenv("IRONIC_METRICS");
+  ::unsetenv("IRONIC_REPORT");
+
+  std::string path;
+  {
+    obs::RunReport report("obs_unit");
+    report.metric("answer", 42.0);
+    report.note("mode", "unit-test");
+    path = report.report_path();
+    ASSERT_FALSE(path.empty());
+    EXPECT_TRUE(report.write());
+  }
+  ::unsetenv("IRONIC_REPORT_DIR");
+
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good()) << "missing " << path;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  const Value root = Value::parse(ss.str());
+  EXPECT_EQ(root.at("schema").as_string(), "ironic.run_report/1");
+  EXPECT_EQ(root.at("name").as_string(), "obs_unit");
+  EXPECT_FALSE(root.at("git_sha").as_string().empty());
+  EXPECT_GE(root.at("wall_seconds").as_double(), 0.0);
+  EXPECT_TRUE(root.at("obs_compiled_in").as_bool());
+  EXPECT_DOUBLE_EQ(root.at("extras").at("answer").as_double(), 42.0);
+  EXPECT_EQ(root.at("notes").at("mode").as_string(), "unit-test");
+  EXPECT_TRUE(root.at("metrics").is_array());
+}
+
+TEST(RunReport, SuppressedWhenReportEnvIsZero) {
+  ASSERT_EQ(::setenv("IRONIC_REPORT", "0", 1), 0);
+  {
+    obs::RunReport report("obs_suppressed");
+    EXPECT_EQ(report.report_path(), "");
+  }
+  ::unsetenv("IRONIC_REPORT");
+}
+
+#else  // !IRONIC_OBS_ENABLED
+
+TEST(Disabled, SpanAndTimerAreNoOps) {
+  obs::Span span("noop", "test");
+  span.arg("k", "v");
+  span.end();
+  obs::Counter sink;
+  {
+    obs::ScopedTimer timer(sink);
+  }
+  SUCCEED();
+}
+
+#endif  // IRONIC_OBS_ENABLED
+
+}  // namespace

@@ -1,0 +1,143 @@
+// Validates the telemetry artifacts the observability subsystem emits:
+//   - Chrome trace_event JSON (object with "traceEvents")
+//   - BENCH_<name>.json run reports (schema ironic.run_report/1)
+//   - JSONL metric dumps (*.jsonl, one object per line)
+// Usage: trace_validate [--min-metrics N] [--min-events N] <file>...
+// Exits 0 when every file parses and satisfies its structural checks —
+// the ctest smoke target runs this over a traced telemetry_session run.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.hpp"
+
+using ironic::obs::json::JsonError;
+using ironic::obs::json::Value;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+// Chrome trace: every event needs name/ph/pid and a numeric ts; complete
+// events ('X') need a numeric dur.
+std::size_t validate_trace(const Value& root) {
+  const auto& events = root.at("traceEvents").as_array();
+  std::size_t real_events = 0;
+  for (const auto& ev : events) {
+    const std::string& ph = ev.at("ph").as_string();
+    if (ph.size() != 1) throw std::runtime_error("bad phase '" + ph + "'");
+    (void)ev.at("name").as_string();
+    (void)ev.at("pid").as_double();
+    if (ph == "M") continue;  // metadata has no timestamp requirement
+    if (ev.at("ts").as_double() < 0.0) throw std::runtime_error("negative ts");
+    if (ph == "X") (void)ev.at("dur").as_double();
+    ++real_events;
+  }
+  return real_events;
+}
+
+// Run report: identity fields plus a metrics array of {name, type, value}.
+std::size_t validate_report(const Value& root) {
+  if (root.at("schema").as_string() != "ironic.run_report/1") {
+    throw std::runtime_error("unknown report schema");
+  }
+  (void)root.at("name").as_string();
+  (void)root.at("git_sha").as_string();
+  if (root.at("wall_seconds").as_double() < 0.0) {
+    throw std::runtime_error("negative wall_seconds");
+  }
+  std::set<std::string> names;
+  for (const auto& m : root.at("metrics").as_array()) {
+    (void)m.at("value").as_double();
+    const std::string& type = m.at("type").as_string();
+    if (type != "counter" && type != "gauge" && type != "histogram") {
+      throw std::runtime_error("unknown metric type '" + type + "'");
+    }
+    names.insert(m.at("name").as_string());
+  }
+  for (const auto& [k, v] : root.at("extras").as_object()) {
+    (void)v.as_double();
+    names.insert(k);
+  }
+  return names.size();
+}
+
+std::size_t validate_jsonl(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const Value row = Value::parse(line);
+    (void)row.at("name").as_string();
+    (void)row.at("type").as_string();
+    ++rows;
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t min_metrics = 1;
+  std::size_t min_events = 1;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--min-metrics" && i + 1 < argc) {
+      min_metrics = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--min-events" && i + 1 < argc) {
+      min_events = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "usage: trace_validate [--min-metrics N] [--min-events N] <file>...\n";
+    return 2;
+  }
+
+  for (const auto& path : files) {
+    try {
+      const std::string text = read_file(path);
+      if (path.size() > 6 && path.substr(path.size() - 6) == ".jsonl") {
+        const std::size_t rows = validate_jsonl(text);
+        if (rows < min_metrics) {
+          throw std::runtime_error("only " + std::to_string(rows) + " metric rows");
+        }
+        std::cout << path << ": OK (" << rows << " metric rows)\n";
+        continue;
+      }
+      const Value root = Value::parse(text);
+      if (root.contains("traceEvents")) {
+        const std::size_t events = validate_trace(root);
+        if (events < min_events) {
+          throw std::runtime_error("only " + std::to_string(events) + " events");
+        }
+        std::cout << path << ": OK (" << events << " trace events)\n";
+      } else {
+        const std::size_t metrics = validate_report(root);
+        if (metrics < min_metrics) {
+          throw std::runtime_error("only " + std::to_string(metrics) +
+                                   " distinct metrics (need " +
+                                   std::to_string(min_metrics) + ")");
+        }
+        std::cout << path << ": OK (" << metrics << " distinct metrics)\n";
+      }
+    } catch (const std::exception& e) {
+      std::cerr << path << ": INVALID — " << e.what() << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
