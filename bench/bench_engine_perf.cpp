@@ -2,6 +2,8 @@
 // circuit simulator that all reproduction experiments stand on.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "src/linalg/lu.hpp"
 #include "src/obs/report.hpp"
 #include "src/magnetics/coupling.hpp"
@@ -54,6 +56,15 @@ static void report_transient_stats(benchmark::State& state,
                          benchmark::Counter::kIsRate);
 }
 
+// Build "<prefix><i>" without operator+(const char*, string&&); the
+// inlined rope concat trips a GCC 12 -Wrestrict false positive
+// (PR105329) at -O3 under -Werror.
+static std::string tag(const char* prefix, int i) {
+  std::string s(prefix);
+  s += std::to_string(i);
+  return s;
+}
+
 static void BM_TransientRcLadder(benchmark::State& state) {
   // N-section RC ladder driven by the 5 MHz carrier: pure linear cost.
   const int sections = static_cast<int>(state.range(0));
@@ -63,9 +74,9 @@ static void BM_TransientRcLadder(benchmark::State& state) {
     NodeId prev = ckt.node("in");
     ckt.add<VoltageSource>("V1", prev, kGround, Waveform::sine(1.0, 5e6));
     for (int i = 0; i < sections; ++i) {
-      const NodeId next = ckt.node("n" + std::to_string(i));
-      ckt.add<Resistor>("R" + std::to_string(i), prev, next, 100.0);
-      ckt.add<Capacitor>("C" + std::to_string(i), next, kGround, 100e-12);
+      const NodeId next = ckt.node(tag("n", i));
+      ckt.add<Resistor>(tag("R", i), prev, next, 100.0);
+      ckt.add<Capacitor>(tag("C", i), next, kGround, 100e-12);
       prev = next;
     }
     TransientOptions opts;

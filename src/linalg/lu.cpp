@@ -25,7 +25,9 @@ LuFactorization::LuFactorization(const Matrix& a, double pivot_tol) : lu_(a) {
         pivot_row = r;
       }
     }
-    if (pivot_mag < pivot_tol) {
+    // Negated comparison so a NaN pivot (poisoned stamp upstream) is
+    // rejected here instead of silently propagating through the solve.
+    if (!(pivot_mag >= pivot_tol)) {
       throw SingularMatrixError("LU pivot " + std::to_string(k) + " below tolerance (" +
                                 std::to_string(pivot_mag) + ") — floating node or " +
                                 "inconsistent circuit?");

@@ -25,6 +25,64 @@ enum class Integrator { kBackwardEuler, kTrapezoidal };
 
 class Circuit;
 
+// --- device reflection ------------------------------------------------------
+//
+// Devices describe their own topology so passes that are not analyses —
+// the netlist linter above all — can reason about connectivity without
+// growing a friend list or parsing stamps. `DeviceInfo` is a snapshot:
+// cheap to build, safe to cache, and independent of finalize().
+
+enum class DeviceKind {
+  kResistor,
+  kCapacitor,
+  kInductor,
+  kCoupledInductors,
+  kVoltageSource,
+  kCurrentSource,
+  kVcvs,
+  kVccs,
+  kDiode,
+  kMosfet,
+  kSwitch,
+  kOpAmp,
+  kOther,
+};
+
+const char* device_kind_name(DeviceKind kind);
+
+// How a terminal behaves at DC, for connectivity analysis.
+enum class TerminalDc {
+  kConducting,  // part of a DC-conducting path (R, L, V, D, switch, channel)
+  kBlocking,    // open at DC (capacitor plates)
+  kSensing,     // draws no current, only senses voltage (gates, control pins)
+};
+
+struct Terminal {
+  std::string label;  // "+", "-", "d", "g", "cp", ...
+  NodeId node = kGround;
+  TerminalDc dc = TerminalDc::kConducting;
+};
+
+struct DeviceInfo {
+  DeviceKind kind = DeviceKind::kOther;
+  std::vector<Terminal> terminals;
+  // Primary scalar value (resistance, capacitance, ...); meaningful only
+  // when has_value is true.
+  double value = 0.0;
+  bool has_value = false;
+  // Groups of terminal indices between which DC current can flow inside
+  // the device (a transformer has two separate groups; a MOSFET one).
+  // Empty means "all kConducting terminals form one group".
+  std::vector<std::vector<std::size_t>> dc_groups;
+  // Pairs of terminal indices that form an ideal-voltage branch (voltage
+  // sources, VCVS outputs, ESR-free inductor windings at DC): edges whose
+  // voltage is fixed by the device, hence the raw material of V-loops.
+  std::vector<std::pair<std::size_t, std::size_t>> rigid_pairs;
+  // Terminal indices whose voltage the device pins relative to ground
+  // (the op-amp output). Rigid edges to the reference node.
+  std::vector<std::size_t> rigid_to_ground;
+};
+
 // Everything a device needs to stamp one Newton iteration.
 struct StampContext {
   linalg::Matrix& a;
@@ -95,6 +153,17 @@ class Device {
 
   // True if the device's stamp depends on the iterate (forces Newton).
   virtual bool nonlinear() const { return false; }
+
+  // Topology/value snapshot for static passes (lint). The default is an
+  // opaque device with no terminals; every shipped device overrides this.
+  virtual DeviceInfo info() const { return {}; }
+
+  // Per-device model-parameter sanity check: append human-readable
+  // complaints (without device name; the linter adds it). `errors` are
+  // values that break the MNA formulation or integrator; `warnings` are
+  // physically implausible but simulable.
+  virtual void check_params(std::vector<std::string>& /*errors*/,
+                            std::vector<std::string>& /*warnings*/) const {}
 
   // Contribute the small-signal model at the operating point. Devices
   // without an AC model must override nothing — the engine reports them.

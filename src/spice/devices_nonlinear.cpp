@@ -418,5 +418,106 @@ void OpAmp::stamp(StampContext& ctx) {
   add_rhs(ctx, branch_, f - fprime * vd);
 }
 
+
+// ------------------------------------------------------------- reflection
+
+DeviceInfo Diode::info() const {
+  DeviceInfo d;
+  d.kind = DeviceKind::kDiode;
+  d.terminals = {{"a", anode_, TerminalDc::kConducting},
+                 {"k", cathode_, TerminalDc::kConducting}};
+  return d;
+}
+
+void Diode::check_params(std::vector<std::string>& errors,
+                         std::vector<std::string>& warnings) const {
+  if (params_.saturation_current <= 0.0) {
+    errors.push_back("saturation current must be > 0");
+  } else if (params_.saturation_current > 1e-3) {
+    warnings.push_back("saturation current " + std::to_string(params_.saturation_current) +
+                       " A is implausibly large for a junction diode");
+  }
+  if (params_.emission_coeff < 0.5 || params_.emission_coeff > 10.0) {
+    warnings.push_back("emission coefficient " + std::to_string(params_.emission_coeff) +
+                       " is outside the usual [0.5, 10] range");
+  }
+  if (params_.breakdown_voltage < 0.0) {
+    errors.push_back("breakdown voltage must be >= 0 (magnitude)");
+  }
+}
+
+DeviceInfo Mosfet::info() const {
+  DeviceInfo d;
+  d.kind = DeviceKind::kMosfet;
+  d.terminals = {{"d", d_, TerminalDc::kConducting},
+                 {"g", g_, TerminalDc::kSensing},
+                 {"s", s_, TerminalDc::kConducting},
+                 {"b", b_, params_.bulk_diodes ? TerminalDc::kConducting
+                                               : TerminalDc::kSensing}};
+  return d;
+}
+
+void Mosfet::check_params(std::vector<std::string>& errors,
+                          std::vector<std::string>& warnings) const {
+  if (params_.w <= 0.0 || params_.l <= 0.0) errors.push_back("W and L must be > 0");
+  if (params_.kp <= 0.0) errors.push_back("transconductance parameter KP must be > 0");
+  if (params_.lambda < 0.0) errors.push_back("channel-length modulation must be >= 0");
+  if (params_.w > 0.0 && params_.l > 0.0) {
+    const double ratio = params_.w / params_.l;
+    if (ratio < 1e-2 || ratio > 1e5) {
+      warnings.push_back("W/L ratio " + std::to_string(ratio) +
+                         " is outside the plausible [0.01, 1e5] range");
+    }
+  }
+  if (std::abs(params_.vt0) > 5.0) {
+    warnings.push_back("threshold magnitude " + std::to_string(params_.vt0) +
+                       " V is implausibly large");
+  }
+}
+
+DeviceInfo SmoothSwitch::info() const {
+  DeviceInfo d;
+  d.kind = DeviceKind::kSwitch;
+  d.terminals = {{"+", a_, TerminalDc::kConducting},
+                 {"-", b_, TerminalDc::kConducting},
+                 {"cp", cp_, TerminalDc::kSensing},
+                 {"cn", cn_, TerminalDc::kSensing}};
+  d.dc_groups = {{0, 1}};
+  return d;
+}
+
+void SmoothSwitch::check_params(std::vector<std::string>& errors,
+                                std::vector<std::string>& warnings) const {
+  if (!(params_.r_on > 0.0) || !(params_.r_off > params_.r_on)) {
+    errors.push_back("need 0 < r_on < r_off");
+  } else if (params_.r_off / params_.r_on > 1e12) {
+    warnings.push_back("r_off/r_on ratio exceeds 1e12 -- expect an ill-conditioned"
+                       " MNA matrix near the switching threshold");
+  }
+  if (params_.v_on == params_.v_off) errors.push_back("v_on must differ from v_off");
+}
+
+DeviceInfo OpAmp::info() const {
+  DeviceInfo d;
+  d.kind = DeviceKind::kOpAmp;
+  d.terminals = {{"out", out_, TerminalDc::kConducting},
+                 {"inp", inp_, TerminalDc::kSensing},
+                 {"inn", inn_, TerminalDc::kSensing}};
+  d.rigid_to_ground = {0};  // output voltage is pinned by the macromodel
+  return d;
+}
+
+void OpAmp::check_params(std::vector<std::string>& errors,
+                         std::vector<std::string>& warnings) const {
+  if (params_.v_out_max <= params_.v_out_min) {
+    errors.push_back("v_out_max must exceed v_out_min");
+  }
+  if (params_.gain <= 0.0) {
+    errors.push_back("gain must be > 0");
+  } else if (params_.gain < 1.0) {
+    warnings.push_back("gain below 1 -- the macromodel degenerates to an attenuator");
+  }
+}
+
 }  // namespace ironic::spice
 

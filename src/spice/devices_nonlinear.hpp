@@ -31,6 +31,9 @@ class Diode final : public Device {
 
   // Junction current at voltage v (exposed for tests and model fitting).
   double current(double v) const;
+  DeviceInfo info() const override;
+  void check_params(std::vector<std::string>& errors,
+                    std::vector<std::string>& warnings) const override;
 
  private:
   NodeId anode_, cathode_;
@@ -73,6 +76,9 @@ class Mosfet final : public Device {
 
   // Static drain current for given terminal voltages (exposed for tests).
   double drain_current(double vd, double vg, double vs, double vb) const;
+  DeviceInfo info() const override;
+  void check_params(std::vector<std::string>& errors,
+                    std::vector<std::string>& warnings) const override;
 
  private:
   struct Operating {
@@ -114,6 +120,9 @@ class SmoothSwitch final : public Device {
 
   // Conductance as a function of control voltage (exposed for tests).
   double conductance(double vc) const;
+  DeviceInfo info() const override;
+  void check_params(std::vector<std::string>& errors,
+                    std::vector<std::string>& warnings) const override;
 
  private:
   NodeId a_, b_, cp_, cn_;
@@ -144,6 +153,9 @@ class OpAmp final : public Device {
 
   // Transfer function (exposed for tests).
   double transfer(double v_diff) const;
+  DeviceInfo info() const override;
+  void check_params(std::vector<std::string>& errors,
+                    std::vector<std::string>& warnings) const override;
 
  private:
   NodeId out_, inp_, inn_;

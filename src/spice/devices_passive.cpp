@@ -239,4 +239,75 @@ void CoupledInductors::accept_step(std::span<const double> x, double /*time*/, d
   has_history_ = true;
 }
 
+
+// ------------------------------------------------------------- reflection
+
+DeviceInfo Resistor::info() const {
+  DeviceInfo d;
+  d.kind = DeviceKind::kResistor;
+  d.terminals = {{"+", a_, TerminalDc::kConducting}, {"-", b_, TerminalDc::kConducting}};
+  d.value = resistance_;
+  d.has_value = true;
+  return d;
+}
+
+void Resistor::check_params(std::vector<std::string>& errors,
+                            std::vector<std::string>& /*warnings*/) const {
+  if (resistance_ <= 0.0) errors.push_back("resistance must be > 0");
+}
+
+DeviceInfo Capacitor::info() const {
+  DeviceInfo d;
+  d.kind = DeviceKind::kCapacitor;
+  d.terminals = {{"+", a_, TerminalDc::kBlocking}, {"-", b_, TerminalDc::kBlocking}};
+  d.value = capacitance_;
+  d.has_value = true;
+  return d;
+}
+
+void Capacitor::check_params(std::vector<std::string>& errors,
+                             std::vector<std::string>& /*warnings*/) const {
+  if (capacitance_ <= 0.0) errors.push_back("capacitance must be > 0");
+}
+
+DeviceInfo Inductor::info() const {
+  DeviceInfo d;
+  d.kind = DeviceKind::kInductor;
+  d.terminals = {{"+", a_, TerminalDc::kConducting}, {"-", b_, TerminalDc::kConducting}};
+  d.value = inductance_;
+  d.has_value = true;
+  if (esr_ == 0.0) d.rigid_pairs = {{0, 1}};  // ideal winding: a DC short
+  return d;
+}
+
+void Inductor::check_params(std::vector<std::string>& errors,
+                            std::vector<std::string>& /*warnings*/) const {
+  if (inductance_ <= 0.0) errors.push_back("inductance must be > 0");
+  if (esr_ < 0.0) errors.push_back("series resistance must be >= 0");
+}
+
+DeviceInfo CoupledInductors::info() const {
+  DeviceInfo d;
+  d.kind = DeviceKind::kCoupledInductors;
+  d.terminals = {{"p1", p1_, TerminalDc::kConducting},
+                 {"p2", p2_, TerminalDc::kConducting},
+                 {"s1", s1_, TerminalDc::kConducting},
+                 {"s2", s2_, TerminalDc::kConducting}};
+  d.dc_groups = {{0, 1}, {2, 3}};  // windings are galvanically isolated
+  if (r1_ == 0.0) d.rigid_pairs.push_back({0, 1});
+  if (r2_ == 0.0) d.rigid_pairs.push_back({2, 3});
+  return d;
+}
+
+void CoupledInductors::check_params(std::vector<std::string>& errors,
+                                    std::vector<std::string>& warnings) const {
+  if (l1_ <= 0.0 || l2_ <= 0.0) errors.push_back("winding inductances must be > 0");
+  if (coupling_ < 0.0 || coupling_ >= 1.0) {
+    errors.push_back("coupling coefficient must be in [0, 1)");
+  } else if (coupling_ > 0.0 && coupling_ < 1e-6) {
+    warnings.push_back("coupling coefficient " + std::to_string(coupling_) +
+                       " is vanishingly small -- windings are effectively uncoupled");
+  }
+}
+
 }  // namespace ironic::spice

@@ -17,6 +17,9 @@ class Resistor final : public Device {
   void stamp_ac(AcStampContext& ctx) const override;
   double resistance() const { return resistance_; }
   void set_resistance(double r);
+  DeviceInfo info() const override;
+  void check_params(std::vector<std::string>& errors,
+                    std::vector<std::string>& warnings) const override;
 
  private:
   NodeId a_, b_;
@@ -35,6 +38,9 @@ class Capacitor final : public Device {
   void accept_step(std::span<const double> x, double time, double dt,
                    Integrator integrator) override;
   double capacitance() const { return capacitance_; }
+  DeviceInfo info() const override;
+  void check_params(std::vector<std::string>& errors,
+                    std::vector<std::string>& warnings) const override;
 
  private:
   double branch_voltage(std::span<const double> x) const;
@@ -59,6 +65,9 @@ class Inductor final : public Device {
                    Integrator integrator) override;
   double inductance() const { return inductance_; }
   int branch_index() const { return branch_; }
+  DeviceInfo info() const override;
+  void check_params(std::vector<std::string>& errors,
+                    std::vector<std::string>& warnings) const override;
 
  private:
   NodeId a_, b_;
@@ -96,6 +105,9 @@ class CoupledInductors final : public Device {
   void set_coupling(double coupling);
   int primary_branch() const { return bp_; }
   int secondary_branch() const { return bs_; }
+  DeviceInfo info() const override;
+  void check_params(std::vector<std::string>& errors,
+                    std::vector<std::string>& warnings) const override;
 
  private:
   NodeId p1_, p2_, s1_, s2_;

@@ -99,4 +99,47 @@ void Vccs::stamp_ac(AcStampContext& ctx) const {
   ac_add(ctx, b_, cn_, {gm_, 0.0});
 }
 
+
+// ------------------------------------------------------------- reflection
+
+DeviceInfo VoltageSource::info() const {
+  DeviceInfo d;
+  d.kind = DeviceKind::kVoltageSource;
+  d.terminals = {{"+", a_, TerminalDc::kConducting}, {"-", b_, TerminalDc::kConducting}};
+  d.rigid_pairs = {{0, 1}};
+  return d;
+}
+
+DeviceInfo CurrentSource::info() const {
+  DeviceInfo d;
+  d.kind = DeviceKind::kCurrentSource;
+  // A current source forces a branch current but establishes no DC path:
+  // the node voltages on either side are set entirely by the rest of the
+  // circuit, so for connectivity purposes its terminals are blocking.
+  d.terminals = {{"+", a_, TerminalDc::kBlocking}, {"-", b_, TerminalDc::kBlocking}};
+  return d;
+}
+
+DeviceInfo Vcvs::info() const {
+  DeviceInfo d;
+  d.kind = DeviceKind::kVcvs;
+  d.terminals = {{"+", a_, TerminalDc::kConducting},
+                 {"-", b_, TerminalDc::kConducting},
+                 {"cp", cp_, TerminalDc::kSensing},
+                 {"cn", cn_, TerminalDc::kSensing}};
+  d.dc_groups = {{0, 1}};
+  d.rigid_pairs = {{0, 1}};
+  return d;
+}
+
+DeviceInfo Vccs::info() const {
+  DeviceInfo d;
+  d.kind = DeviceKind::kVccs;
+  d.terminals = {{"+", a_, TerminalDc::kBlocking},
+                 {"-", b_, TerminalDc::kBlocking},
+                 {"cp", cp_, TerminalDc::kSensing},
+                 {"cn", cn_, TerminalDc::kSensing}};
+  return d;
+}
+
 }  // namespace ironic::spice

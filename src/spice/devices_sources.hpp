@@ -25,6 +25,7 @@ class VoltageSource final : public Device {
   int branch_index() const { return branch_; }
   void set_waveform(Waveform waveform) { waveform_ = std::move(waveform); }
   const Waveform& waveform() const { return waveform_; }
+  DeviceInfo info() const override;
 
  private:
   NodeId a_, b_;
@@ -46,6 +47,7 @@ class CurrentSource final : public Device {
   }
   void collect_breakpoints(double t0, double t1, std::vector<double>& out) const override;
   void set_waveform(Waveform waveform) { waveform_ = std::move(waveform); }
+  DeviceInfo info() const override;
 
  private:
   NodeId a_, b_;
@@ -61,6 +63,7 @@ class Vcvs final : public Device {
   void setup(Circuit& ckt) override;
   void stamp(StampContext& ctx) override;
   void stamp_ac(AcStampContext& ctx) const override;
+  DeviceInfo info() const override;
 
  private:
   NodeId a_, b_, cp_, cn_;
@@ -75,6 +78,7 @@ class Vccs final : public Device {
        double transconductance);
   void stamp(StampContext& ctx) override;
   void stamp_ac(AcStampContext& ctx) const override;
+  DeviceInfo info() const override;
 
  private:
   NodeId a_, b_, cp_, cn_;

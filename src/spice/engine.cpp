@@ -7,6 +7,7 @@
 
 #include "src/linalg/lu.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/spice/lint.hpp"
 #include "src/obs/trace.hpp"
 #include "src/util/log.hpp"
 
@@ -156,6 +157,11 @@ void reset_devices_for_point(Circuit& circuit, double time, double dt) {
 }  // namespace
 
 DcResult solve_dc(Circuit& circuit, const DcOptions& options) {
+  if (options.validate) {
+    LintOptions lint_opts;
+    lint_opts.dc_context = true;
+    validate(circuit, lint_opts);  // throws CircuitValidationError on errors
+  }
   circuit.finalize();
   const std::size_t n = circuit.num_unknowns();
   DcResult result;
@@ -257,6 +263,9 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
                               TransientStats* stats) {
   if (options.t_stop <= 0.0) throw std::invalid_argument("run_transient: t_stop must be > 0");
   if (options.dt_max <= 0.0) throw std::invalid_argument("run_transient: dt_max must be > 0");
+  if (options.validate) {
+    validate(circuit);  // throws CircuitValidationError on error diagnostics
+  }
   // Per-run tallies, kept even when the caller passes no stats: the
   // metrics registry is fed from the same numbers. Folded into the
   // caller's struct (accumulating, as before) on every exit path.
@@ -317,6 +326,7 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
   if (options.start_from_dc) {
     DcOptions dc_opts;
     dc_opts.newton = options.newton;
+    dc_opts.validate = options.validate;
     const DcResult dc = solve_dc(circuit, dc_opts);
     if (!dc.converged) {
       throw std::runtime_error("run_transient: DC operating point failed to converge");

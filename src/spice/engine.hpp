@@ -31,6 +31,10 @@ struct DcOptions {
   NewtonOptions newton;
   bool gmin_stepping = true;
   bool source_stepping = true;
+  // Run the netlist linter (see src/spice/lint.hpp) before solving and
+  // throw CircuitValidationError on error diagnostics, so misconfigured
+  // circuits fail with a named rule instead of a Newton non-convergence.
+  bool validate = true;
 };
 
 struct DcResult {
@@ -66,6 +70,9 @@ struct TransientOptions {
   // amps). dt never exceeds dt_max, so breakpoint snapping still works.
   bool adaptive = false;
   double lte_tol = 1e-3;
+  // Pre-run static validation, as in DcOptions::validate (transient
+  // context: DC-only hazards like inductor loops stay warnings).
+  bool validate = true;
 };
 
 struct TransientStats {

@@ -280,6 +280,11 @@ double parse_spice_value(const std::string& token) {
   } catch (...) {
     throw std::invalid_argument("not a number: " + token);
   }
+  // std::stod happily parses "nan", "inf", and overflowing exponents;
+  // none of them is a usable component value.
+  if (!std::isfinite(value)) {
+    throw std::invalid_argument("non-finite value: " + token);
+  }
   std::string suffix = t.substr(pos);
   // Strip trailing unit letters (10nF, 4.7kOhm) after the magnitude.
   static const std::map<std::string, double> kSuffixes = {

@@ -2,6 +2,7 @@
 
 #include <vector>
 #include <cmath>
+#include <limits>
 
 #include "src/linalg/lu.hpp"
 #include "src/linalg/matrix.hpp"
@@ -100,6 +101,15 @@ TEST(Lu, SingularMatrixThrows) {
   Matrix a(2, 2);
   a(0, 0) = 1.0; a(0, 1) = 2.0;
   a(1, 0) = 2.0; a(1, 1) = 4.0;  // rank 1
+  EXPECT_THROW(LuFactorization{a}, SingularMatrixError);
+}
+
+TEST(Lu, NanPivotThrowsInsteadOfPropagating) {
+  // A NaN stamp (0/0 in a device model upstream) must be caught at the
+  // pivot check, not carried through the factorization into the answer.
+  Matrix a(2, 2);
+  a(0, 0) = std::numeric_limits<double>::quiet_NaN(); a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 1.0;
   EXPECT_THROW(LuFactorization{a}, SingularMatrixError);
 }
 

@@ -1,0 +1,199 @@
+// Fuzz-style negative tests for the netlist parser: malformed input of
+// every flavor must produce NetlistError (or a clean parse) -- never a
+// crash, hang, or out-of-bounds access. Run under ASan/UBSan
+// (IRONIC_SANITIZE=address;undefined) these double as memory-safety
+// tests of the tokenizer and subcircuit expander.
+#include "src/spice/netlist_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/spice/circuit.hpp"
+
+namespace {
+
+using namespace ironic::spice;
+
+// Parse must either succeed or throw NetlistError; anything else
+// (std::bad_alloc aside) is a parser bug.
+void expect_contained(const std::string& text) {
+  Circuit ckt;
+  try {
+    parse_netlist(ckt, text);
+  } catch (const NetlistError&) {
+    // fine: structured rejection
+  }
+}
+
+TEST(NetlistFuzz, TruncatedElementLines) {
+  const std::vector<std::string> cases = {
+      "R1",
+      "R1 in",
+      "R1 in out",
+      "C1 a",
+      "L1 a b",
+      "V1 in",
+      "V1 in 0",
+      "V1 in 0 SIN(",
+      "V1 in 0 SIN(0 1",
+      "V1 in 0 PULSE(0 1 0)",
+      "V1 in 0 PWL(0)",
+      "V1 in 0 PWL(0 1 2)",
+      "I1 out",
+      "D1 a",
+      "M1 d g s",
+      "M1 d g s b",
+      "S1 a b",
+      "E1 a b cp",
+      "G1 a b cp cn",
+      "K1 L1",
+      "K1 L1 L2",
+      "X1 out",
+      ".subckt",
+  };
+  for (const auto& line : cases) {
+    Circuit ckt;
+    EXPECT_THROW(parse_netlist(ckt, line), NetlistError) << "input: " << line;
+  }
+}
+
+TEST(NetlistFuzz, UnknownDevicesAndDirectives) {
+  for (const std::string line : {"Q1 c b e NPN", "Z9 a b 5", "W1 a b 1k", "~~~"}) {
+    Circuit ckt;
+    EXPECT_THROW(parse_netlist(ckt, line), NetlistError) << "input: " << line;
+  }
+  // Unknown dot-directives are ignored by design (SPICE compatibility).
+  Circuit ckt;
+  EXPECT_NO_THROW(parse_netlist(ckt, ".options reltol=1e-4\nR1 a 0 1k\n"));
+}
+
+TEST(NetlistFuzz, AbsurdUnitSuffixes) {
+  const std::vector<std::string> bad_values = {
+      "1meg2", "--5", "1.2.3", "nan?", "1n1", "5k!", "emptysuffix(",
+      "nan",   "inf", "-inf",  "1e999",  // non-finite / overflow
+  };
+  for (const auto& value : bad_values) {
+    Circuit ckt;
+    EXPECT_THROW(parse_netlist(ckt, "R1 a 0 " + value), NetlistError)
+        << "value: " << value;
+    EXPECT_THROW(parse_spice_value(value), std::invalid_argument) << value;
+  }
+  // ... while legitimate suffixes (with trailing unit letters) parse.
+  EXPECT_DOUBLE_EQ(parse_spice_value("10nF"), 10e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_value("4.7kohm"), 4700.0);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2meg"), 2e6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("5V"), 5.0);
+  // SPICE convention: unknown trailing *letters* are units and ignored.
+  EXPECT_DOUBLE_EQ(parse_spice_value("10q"), 10.0);
+  EXPECT_DOUBLE_EQ(parse_spice_value("4.7kk"), 4700.0);
+  EXPECT_DOUBLE_EQ(parse_spice_value("1e"), 1.0);
+}
+
+TEST(NetlistFuzz, ExtremeMagnitudeValuesParseWithoutOverflow) {
+  // Overflowing exponents must be rejected or saturate -- not UB.
+  const std::vector<std::string> values = {"1e999", "-1e999",
+                                           "9" + std::string(400, '9')};
+  for (const auto& value : values) {
+    expect_contained("V1 a 0 DC " + value);
+  }
+}
+
+TEST(NetlistFuzz, DuplicateDeviceNamesRejected) {
+  Circuit ckt;
+  EXPECT_THROW(parse_netlist(ckt, "R1 a 0 1k\nR1 b 0 2k\n"), NetlistError);
+}
+
+TEST(NetlistFuzz, MalformedOptionTails) {
+  const std::vector<std::string> cases = {
+      "C1 a 0 1n IC",
+      "C1 a 0 1n IC=",
+      "C1 a 0 1n IC 5",
+      "C1 a 0 1n = 5",
+      "D1 a 0 IS=notanumber",
+      "M1 d g s b NMOS W=",
+      "M1 d g s b FETMODEL",
+      "S1 a b c d RON=0 ROFF",
+  };
+  for (const auto& line : cases) {
+    Circuit ckt;
+    EXPECT_THROW(parse_netlist(ckt, line), NetlistError) << "input: " << line;
+  }
+}
+
+TEST(NetlistFuzz, SubcircuitAbuse) {
+  // Unterminated definition.
+  {
+    Circuit ckt;
+    EXPECT_THROW(parse_netlist(ckt, ".subckt half in out\nR1 in out 1k\n"), NetlistError);
+  }
+  // Instance with the wrong port count.
+  {
+    Circuit ckt;
+    EXPECT_THROW(parse_netlist(ckt,
+                               ".subckt half in out\nR1 in out 1k\n.ends\n"
+                               "X1 a half\n"),
+                 NetlistError);
+  }
+  // Instance of an undefined subcircuit.
+  {
+    Circuit ckt;
+    EXPECT_THROW(parse_netlist(ckt, "X1 a b nothere\n"), NetlistError);
+  }
+  // Infinite recursion guard: a subcircuit instantiating itself.
+  {
+    Circuit ckt;
+    EXPECT_THROW(parse_netlist(ckt,
+                               ".subckt loop a b\nXinner a b loop\n.ends\n"
+                               "X1 p q loop\n"),
+                 NetlistError);
+  }
+  // Coupling line referencing inductors across a subckt boundary that
+  // do not exist at top level.
+  {
+    Circuit ckt;
+    EXPECT_THROW(parse_netlist(ckt, "K1 Lx Ly 0.5\n"), NetlistError);
+  }
+  // Same inductor coupled twice.
+  {
+    Circuit ckt;
+    EXPECT_THROW(parse_netlist(ckt,
+                               "L1 a 0 1u\nL2 b 0 1u\nL3 c 0 1u\n"
+                               "K1 L1 L2 0.5\nK2 L1 L3 0.5\n"),
+                 NetlistError);
+  }
+}
+
+TEST(NetlistFuzz, GarbageBytesNeverCrash) {
+  // Deterministic pseudo-garbage: every byte value, odd punctuation,
+  // pathological token shapes, huge single lines.
+  std::string soup;
+  for (int i = 1; i < 256; ++i) soup.push_back(static_cast<char>(i));
+  expect_contained(soup);
+  expect_contained(std::string(1 << 16, '('));
+  expect_contained(std::string(1 << 16, '='));
+  expect_contained("R1 " + std::string(10000, 'n') + " 0 1k");
+  expect_contained("V1 in 0 SIN" + std::string(5000, '('));
+  expect_contained("*" + std::string(100000, 'x'));
+  expect_contained(std::string("R1 a 0 1k\0V9 hidden 0 DC 1", 26));
+}
+
+TEST(NetlistFuzz, DeepButBoundedNesting) {
+  // 20 nested subckt levels exceeds the depth guard (16) and must be a
+  // structured error, not a stack overflow.
+  std::string text;
+  text += ".subckt s0 a b\nR0 a b 1k\n.ends\n";
+  for (int i = 1; i <= 20; ++i) {
+    text += ".subckt s" + std::to_string(i) + " a b\n";
+    text += "X1 a b s" + std::to_string(i - 1) + "\n";
+    text += ".ends\n";
+  }
+  text += "Xtop p q s20\n";
+  Circuit ckt;
+  // Either it expands fine (each level is finite) or trips the guard;
+  // both are acceptable containment. It must not crash.
+  expect_contained(text);
+}
+
+}  // namespace

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Offline CI gate for the ironic tree. Mirrors .github/workflows/ci.yml so
+# the same correctness bar can be enforced on a disconnected box:
+#
+#   1. release   Release-mode build with -Werror, full ctest suite
+#   2. sanitize  ASan+UBSan build (halt-on-error), full ctest suite
+#   3. tidy      clang-tidy over src/ and tools/ (skips if not installed)
+#   4. lint      netlist_lint --strict over every shipped .cir netlist,
+#                and the broken fixtures must FAIL
+#
+# Usage: tools/ci.sh [release|sanitize|tidy|lint|all]   (default: all)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+STAGE="${1:-all}"
+
+log() { printf '\n==== ci: %s ====\n' "$*"; }
+
+run_release() {
+  log "release build (-Werror) + ctest"
+  cmake -B "$ROOT/build-ci-release" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DIRONIC_WARNINGS_AS_ERRORS=ON
+  cmake --build "$ROOT/build-ci-release" -j "$JOBS"
+  ctest --test-dir "$ROOT/build-ci-release" --output-on-failure -j "$JOBS"
+}
+
+run_sanitize() {
+  log "ASan+UBSan build + ctest"
+  cmake -B "$ROOT/build-ci-asan" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DIRONIC_WARNINGS_AS_ERRORS=ON \
+    -DIRONIC_SANITIZE="address;undefined"
+  cmake --build "$ROOT/build-ci-asan" -j "$JOBS"
+  ASAN_OPTIONS=detect_leaks=0:halt_on_error=1 \
+  UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+    ctest --test-dir "$ROOT/build-ci-asan" --output-on-failure -j "$JOBS"
+}
+
+run_tidy() {
+  log "clang-tidy"
+  # The tidy target itself degrades to a notice when clang-tidy is absent.
+  cmake -B "$ROOT/build-ci-release" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$ROOT/build-ci-release" --target tidy
+}
+
+run_lint() {
+  log "netlist_lint sweep"
+  cmake -B "$ROOT/build-ci-release" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$ROOT/build-ci-release" -j "$JOBS" --target netlist_lint
+  local lint="$ROOT/build-ci-release/tools/netlist_lint"
+  # Shipped netlists: zero diagnostics, even at DC, even as warnings.
+  "$lint" --strict --dc "$ROOT"/examples/netlists/*.cir
+  # Broken fixtures: the linter must refuse them.
+  if "$lint" --dc "$ROOT"/tests/netlists/*.cir; then
+    echo "ci: FAIL -- broken fixtures were not flagged" >&2
+    exit 1
+  fi
+  echo "ci: broken fixtures correctly flagged"
+}
+
+case "$STAGE" in
+  release)  run_release ;;
+  sanitize) run_sanitize ;;
+  tidy)     run_tidy ;;
+  lint)     run_lint ;;
+  all)      run_release; run_sanitize; run_tidy; run_lint ;;
+  *) echo "usage: tools/ci.sh [release|sanitize|tidy|lint|all]" >&2; exit 2 ;;
+esac
+
+log "OK ($STAGE)"

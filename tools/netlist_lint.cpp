@@ -1,0 +1,154 @@
+// netlist_lint: static verification of SPICE netlists from the command
+// line. Parses each .cir file into a Circuit and runs the full lint rule
+// catalog (src/spice/lint.hpp); parse failures are reported as
+// lint.parse-error diagnostics rather than crashes, so a CI sweep over a
+// directory of netlists always produces a complete report.
+//
+// Usage:
+//   netlist_lint [options] <netlist.cir> [more.cir ...]
+//   netlist_lint --json --strict examples/netlists/*.cir
+//
+// Options:
+//   --json          machine-readable report on stdout (one JSON object)
+//   --strict        warnings also fail the run (exit 1)
+//   --dc            lint for a DC operating-point analysis (inductor
+//                   loops and current cutsets become errors)
+//   --no-magnitude  disable the unit-suffix magnitude heuristics
+//   --quiet         print nothing for clean files
+//   -               read one netlist from stdin
+//
+// Exit codes: 0 all files clean (or warnings without --strict),
+//             1 lint errors (or warnings with --strict),
+//             2 usage or I/O error.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.hpp"
+#include "src/spice/circuit.hpp"
+#include "src/spice/lint.hpp"
+#include "src/spice/netlist_parser.hpp"
+
+namespace {
+
+struct FileReport {
+  std::string file;
+  ironic::spice::LintReport report;
+};
+
+int usage(std::ostream& os) {
+  os << "usage: netlist_lint [--json] [--strict] [--dc] [--no-magnitude] [--quiet]\n"
+        "                    <netlist.cir> [more.cir ...] | -\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using ironic::spice::Circuit;
+  using ironic::spice::Diagnostic;
+  using ironic::spice::LintOptions;
+  using ironic::spice::Severity;
+
+  bool json = false, strict = false, quiet = false;
+  LintOptions options;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--dc") {
+      options.dc_context = true;
+    } else if (arg == "--no-magnitude") {
+      options.magnitude_checks = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (arg.size() > 1 && arg[0] == '-') {
+      std::cerr << "netlist_lint: unknown option '" << arg << "'\n";
+      return usage(std::cerr);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage(std::cerr);
+
+  std::vector<FileReport> results;
+  for (const auto& file : files) {
+    std::string text;
+    if (file == "-") {
+      std::ostringstream ss;
+      ss << std::cin.rdbuf();
+      text = ss.str();
+    } else {
+      std::ifstream in(file);
+      if (!in) {
+        std::cerr << "netlist_lint: cannot open '" << file << "'\n";
+        return 2;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      text = ss.str();
+    }
+
+    FileReport fr;
+    fr.file = file;
+    Circuit circuit;
+    try {
+      ironic::spice::parse_netlist(circuit, text);
+      fr.report = ironic::spice::lint(circuit, options);
+    } catch (const std::exception& e) {
+      fr.report.diagnostics.push_back(
+          Diagnostic{Severity::kError, "lint.parse-error", "", "", e.what()});
+    }
+    results.push_back(std::move(fr));
+  }
+
+  std::size_t total_errors = 0, total_warnings = 0;
+  for (const auto& fr : results) {
+    total_errors += fr.report.errors();
+    total_warnings += fr.report.warnings();
+  }
+
+  if (json) {
+    using ironic::obs::json::Value;
+    Value::Array file_array;
+    for (const auto& fr : results) {
+      // Re-use the report's own JSON and graft the filename in, keeping
+      // one source of truth for the diagnostic schema.
+      Value report = Value::parse(fr.report.to_json());
+      report.as_object()["file"] = fr.file;
+      file_array.push_back(std::move(report));
+    }
+    Value::Object root;
+    root["files"] = std::move(file_array);
+    root["errors"] = static_cast<std::uint64_t>(total_errors);
+    root["warnings"] = static_cast<std::uint64_t>(total_warnings);
+    root["strict"] = strict;
+    std::cout << Value(std::move(root)).dump(2) << "\n";
+  } else {
+    for (const auto& fr : results) {
+      if (fr.report.clean()) {
+        if (!quiet) std::cout << fr.file << ": OK\n";
+        continue;
+      }
+      for (const auto& d : fr.report.diagnostics) {
+        std::cout << fr.file << ": " << d.to_string() << "\n";
+      }
+    }
+    if (!quiet || total_errors + total_warnings > 0) {
+      std::cout << results.size() << " file(s): " << total_errors << " error(s), "
+                << total_warnings << " warning(s)\n";
+    }
+  }
+
+  if (total_errors > 0) return 1;
+  if (strict && total_warnings > 0) return 1;
+  return 0;
+}
