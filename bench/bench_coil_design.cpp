@@ -2,8 +2,14 @@
 // outline, in the spirit of the paper's companion study (ref [28]):
 // inductance, Q, and SRF across layers / turns / trace width inside the
 // 38 x 2 mm implant footprint.
+//
+// The grid is enumerated twice — serially and on the work-stealing pool —
+// and the bench fails unless both orderings (Q sort included) are
+// bit-identical.
+#include <cstdlib>
 #include <iostream>
 
+#include "src/exec/exec.hpp"
 #include "src/magnetics/coil_design.hpp"
 #include "src/util/table.hpp"
 
@@ -11,6 +17,25 @@
 
 using namespace ironic;
 using namespace ironic::magnetics;
+
+namespace {
+
+bool identical(const std::vector<CoilCandidate>& a,
+               const std::vector<CoilCandidate>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].spec.layers != b[i].spec.layers ||
+        a[i].spec.turns_per_layer != b[i].spec.turns_per_layer ||
+        a[i].spec.trace_width != b[i].spec.trace_width ||
+        a[i].inductance != b[i].inductance || a[i].q != b[i].q ||
+        a[i].srf != b[i].srf || a[i].meets_target != b[i].meets_target) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 int main() {
   ironic::obs::RunReport run_report("coil_design");
@@ -27,6 +52,14 @@ int main() {
   const std::vector<double> widths{80e-6, 120e-6, 200e-6};
 
   const auto all = enumerate_coil_designs(base, goal, layers, turns, widths);
+  exec::ThreadPool pool(4);
+  const auto all_parallel =
+      enumerate_coil_designs(base, goal, layers, turns, widths, &pool);
+  if (!identical(all, all_parallel)) {
+    std::cerr << "FAIL: serial and pooled design-space enumerations disagree\n";
+    return EXIT_FAILURE;
+  }
+
   util::Table t({"layers", "turns/layer", "trace (um)", "L (uH)", "Q @5MHz",
                  "SRF (MHz)", "meets target"});
   int shown = 0;
@@ -39,9 +72,10 @@ int main() {
                util::Table::cell(c.srf / 1e6, 3), util::Table::cell(c.meets_target)});
   }
   t.print(std::cout);
-  std::cout << "  (" << all.size() << " geometrically feasible candidates)\n";
+  std::cout << "  (" << all.size() << " geometrically feasible candidates; "
+            << "serial and 4-thread enumerations bit-identical)\n";
 
-  const auto best = design_coil(base, goal, layers, turns, widths);
+  const auto best = design_coil(base, goal, layers, turns, widths, &pool);
   std::cout << "\nChosen design: " << best.spec.layers << " layers x "
             << best.spec.turns_per_layer << " turns, "
             << best.spec.trace_width * 1e6 << " um trace -> L = "

@@ -2,10 +2,14 @@
 // circuit simulator that all reproduction experiments stand on.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+#include <sstream>
 #include <string>
 
+#include "src/exec/exec.hpp"
 #include "src/linalg/lu.hpp"
 #include "src/obs/report.hpp"
+#include "src/magnetics/coil_design.hpp"
 #include "src/magnetics/coupling.hpp"
 #include "src/pm/rectifier.hpp"
 #include "src/spice/devices_passive.hpp"
@@ -128,6 +132,91 @@ static void BM_NeumannOffsetFilament(benchmark::State& state) {
 }
 BENCHMARK(BM_NeumannOffsetFilament);
 
+// Sweep-engine scaling: the coil design-space grid as an exec::Sweep at
+// 1/2/4/8 worker threads. Emits BENCH_sweep_scaling.json with wall time,
+// throughput, speedup vs the 1-thread pool, and worker utilization per
+// thread count, and verifies every run's table is byte-identical to the
+// serial rendering (the exec determinism contract). Speedup numbers are
+// only meaningful on a machine with that many cores — the report records
+// hardware_concurrency so downstream diffs can tell.
+static void run_sweep_scaling() {
+  using namespace ironic::exec;
+  ironic::obs::RunReport report("sweep_scaling");
+  report.note("workload", "coil design-space grid, 8x6x16 = 768 points");
+  report.metric("hardware_concurrency",
+                static_cast<double>(std::thread::hardware_concurrency()));
+
+  const magnetics::CoilSpec base = magnetics::implant_coil_spec();
+  magnetics::CoilDesignGoal goal;
+  goal.target_inductance = 3.5e-6;
+  goal.tolerance = 0.3;
+  goal.frequency = 5e6;
+
+  Sweep sweep("coil_scaling");
+  sweep.axis(Axis::list("layers", {1, 2, 3, 4, 5, 6, 7, 8}))
+      .axis(Axis::list("turns", {1, 2, 3, 4, 5, 6}))
+      .axis(Axis::linear("width_um", 50.0, 200.0, 16));
+  const exec::SweepRowFn row = [&](const SweepPoint& p) {
+    magnetics::CoilSpec spec = base;
+    spec.layers = static_cast<int>(p["layers"]);
+    spec.turns_per_layer = static_cast<int>(p["turns"]);
+    spec.trace_width = p["width_um"] * 1e-6;
+    spec.turn_spacing = spec.trace_width;
+    double l = 0.0, q = 0.0, srf = 0.0;
+    try {
+      const magnetics::Coil coil{spec};
+      l = coil.inductance();
+      q = coil.quality_factor(goal.frequency);
+      srf = coil.self_resonance_frequency();
+    } catch (const std::invalid_argument&) {
+      // outside the outline; keep the zero row
+    }
+    return std::vector<std::string>{
+        util::Table::cell(p["layers"], 2), util::Table::cell(p["turns"], 2),
+        util::Table::cell(p["width_um"], 4), util::Table::cell(l * 1e6, 5),
+        util::Table::cell(q, 5), util::Table::cell(srf / 1e6, 5)};
+  };
+  const std::vector<std::string> columns{"layers", "turns", "width_um",
+                                         "L_uH", "Q", "SRF_MHz"};
+
+  const auto render = [](const util::Table& t) {
+    std::ostringstream os;
+    t.print_csv(os);
+    return os.str();
+  };
+
+  SweepOptions serial_opts;
+  serial_opts.threads = 1;
+  const auto serial = sweep.run(columns, row, serial_opts);
+  const std::string golden = render(serial.table);
+
+  std::cout << "\nsweep scaling (coil grid, " << serial.points << " points):\n";
+  double wall_1 = 0.0;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    SweepOptions opts;
+    opts.pool = &pool;
+    opts.grain = 8;
+    const auto result = sweep.run(columns, row, opts);
+    if (render(result.table) != golden) {
+      std::cerr << "FAIL: sweep at " << threads << " threads diverged from serial\n";
+      std::exit(EXIT_FAILURE);
+    }
+    if (threads == 1) wall_1 = result.wall_seconds;
+    const double per_s = static_cast<double>(result.points) / result.wall_seconds;
+    const std::string tagname = "threads_" + std::to_string(threads);
+    report.metric(tagname + "_wall_seconds", result.wall_seconds);
+    report.metric(tagname + "_points_per_second", per_s);
+    report.metric(tagname + "_speedup", wall_1 / result.wall_seconds);
+    std::cout << "  " << threads << " thread(s): "
+              << util::Table::cell(result.wall_seconds * 1e3, 4) << " ms, "
+              << util::Table::cell(per_s, 5) << " points/s, speedup "
+              << util::Table::cell(wall_1 / result.wall_seconds, 3) << "\n";
+  }
+  report.metric("serial_wall_seconds", serial.wall_seconds);
+  report.note("determinism", "all thread counts byte-identical to serial CSV");
+}
+
 // Hand-rolled main (instead of BENCHMARK_MAIN) so the run is wrapped in a
 // RunReport: BENCH_engine_perf.json gets the registry snapshot the
 // transient benchmarks populate, next to google-benchmark's own output.
@@ -137,5 +226,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  run_sweep_scaling();
   return 0;
 }

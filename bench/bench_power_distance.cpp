@@ -2,14 +2,31 @@
 // Paper anchors: 15 mW at 6 mm in air (maximum transmitter setting);
 // 1.17 mW through a 17 mm sirloin slab, "similar to that obtained in
 // air" at 17 mm.
+//
+// The distance table runs as a declarative exec::Sweep, once serially and
+// once on the work-stealing pool; the run aborts if the two renderings
+// differ by a single byte (the exec determinism contract).
+#include <cstdlib>
 #include <iostream>
+#include <sstream>
 
+#include "src/exec/exec.hpp"
 #include "src/magnetics/link.hpp"
 #include "src/util/table.hpp"
 
 #include "src/obs/report.hpp"
 
 using namespace ironic;
+
+namespace {
+
+std::string render_csv(const util::Table& table) {
+  std::ostringstream os;
+  table.print_csv(os);
+  return os.str();
+}
+
+}  // namespace
 
 int main() {
   ironic::obs::RunReport run_report("power_distance");
@@ -27,21 +44,48 @@ int main() {
   // 6 mm air point delivers exactly 15 mW, then never touch it again.
   const double drive = link.drive_for_power(15e-3, load);
 
-  util::Table t({"distance (mm)", "P air (mW)", "P sirloin (mW)", "ratio", "k"});
-  for (double d_mm : {3.0, 4.0, 6.0, 8.0, 10.0, 13.0, 17.0, 21.0, 25.0, 30.0}) {
+  const exec::Sweep sweep = [] {
+    exec::Sweep s("power_distance");
+    s.axis(exec::Axis::list("distance_mm",
+                            {3.0, 4.0, 6.0, 8.0, 10.0, 13.0, 17.0, 21.0, 25.0, 30.0}));
+    return s;
+  }();
+  const exec::SweepRowFn row = [&](const exec::SweepPoint& p) {
+    const double d_mm = p["distance_mm"];
     const double d = d_mm * 1e-3;
-    link.set_tissue(std::nullopt);
-    link.set_distance(d);
-    const auto air = link.analyze(drive, load);
-    link.set_tissue(magnetics::TissueSlab(magnetics::sirloin_properties(), d));
-    const auto meat = link.analyze(drive, load);
-    t.add_row({util::Table::cell(d_mm, 3),
-               util::Table::cell(air.power_delivered * 1e3, 4),
-               util::Table::cell(meat.power_delivered * 1e3, 4),
-               util::Table::cell(meat.power_delivered / air.power_delivered, 3),
-               util::Table::cell(air.coupling, 3)});
+    magnetics::InductiveLink l{cfg};  // per-point instance: analyze() retunes
+    l.set_distance(d);
+    const auto air = l.analyze(drive, load);
+    l.set_tissue(magnetics::TissueSlab(magnetics::sirloin_properties(), d));
+    const auto meat = l.analyze(drive, load);
+    return std::vector<std::string>{
+        util::Table::cell(d_mm, 3),
+        util::Table::cell(air.power_delivered * 1e3, 4),
+        util::Table::cell(meat.power_delivered * 1e3, 4),
+        util::Table::cell(meat.power_delivered / air.power_delivered, 3),
+        util::Table::cell(air.coupling, 3)};
+  };
+  const std::vector<std::string> columns{"distance (mm)", "P air (mW)",
+                                         "P sirloin (mW)", "ratio", "k"};
+
+  exec::SweepOptions serial;
+  serial.threads = 1;
+  const auto t_serial = sweep.run(columns, row, serial);
+
+  exec::SweepOptions parallel = serial;
+  parallel.threads = 4;
+  const auto t_parallel = sweep.run(columns, row, parallel);
+
+  if (render_csv(t_serial.table) != render_csv(t_parallel.table)) {
+    std::cerr << "FAIL: serial and parallel sweeps disagree\n";
+    return EXIT_FAILURE;
   }
-  t.print(std::cout);
+  t_serial.table.print(std::cout);
+  std::cout << "  (serial " << util::Table::cell(t_serial.wall_seconds * 1e3, 3)
+            << " ms, 4-thread " << util::Table::cell(t_parallel.wall_seconds * 1e3, 3)
+            << " ms, tables bit-identical)\n";
+  run_report.metric("sweep_serial_seconds", t_serial.wall_seconds);
+  run_report.metric("sweep_parallel_seconds", t_parallel.wall_seconds);
 
   link.set_tissue(std::nullopt);
   link.set_distance(6e-3);

@@ -18,14 +18,9 @@ EndToEndConfig shortened_fig11_config() {
   return cfg;
 }
 
-ToleranceResult run_tolerance_analysis(const ToleranceSpec& spec,
-                                       const EndToEndConfig& base) {
-  if (spec.runs < 1) throw std::invalid_argument("run_tolerance_analysis: runs >= 1");
-  util::Rng rng(spec.seed);
-  ToleranceResult out;
-  out.runs = spec.runs;
-  out.details.reserve(static_cast<std::size_t>(spec.runs));
-
+ToleranceRun evaluate_tolerance_draw(const ToleranceSpec& spec,
+                                     const EndToEndConfig& base,
+                                     util::Rng& rng) {
   const auto perturb = [&](double nominal, double tol) {
     // Log-normal spread (clamped at +/-3 sigma): multiplicative, always
     // positive, and equivalent to a relative gaussian for small tol.
@@ -33,24 +28,32 @@ ToleranceResult run_tolerance_analysis(const ToleranceSpec& spec,
     return nominal * std::exp(draw);
   };
 
-  for (int k = 0; k < spec.runs; ++k) {
-    EndToEndConfig cfg = base;
-    cfg.rectifier.storage_capacitance =
-        perturb(base.rectifier.storage_capacitance, spec.storage_cap_tol);
-    cfg.source_amplitude = perturb(base.source_amplitude, spec.drive_tol);
-    cfg.demodulator.threshold =
-        perturb(base.demodulator.threshold, spec.threshold_tol);
-    cfg.rectifier.diode_is = perturb(base.rectifier.diode_is, spec.diode_is_tol);
+  EndToEndConfig cfg = base;
+  cfg.rectifier.storage_capacitance =
+      perturb(base.rectifier.storage_capacitance, spec.storage_cap_tol);
+  cfg.source_amplitude = perturb(base.source_amplitude, spec.drive_tol);
+  cfg.demodulator.threshold =
+      perturb(base.demodulator.threshold, spec.threshold_tol);
+  cfg.rectifier.diode_is = perturb(base.rectifier.diode_is, spec.diode_is_tol);
 
-    const auto result = EndToEndSim{cfg}.run();
-    ToleranceRun run;
-    run.charged = result.charged;
-    run.downlink_ok = result.downlink_ok;
-    run.uplink_ok = result.uplink_ok;
-    run.regulation_ok = result.regulator_never_starved;
-    run.vo_min = result.vo_min_after_charge;
-    run.t_charge = result.t_charge;
+  const auto result = EndToEndSim{cfg}.run();
+  ToleranceRun run;
+  run.charged = result.charged;
+  run.downlink_ok = result.downlink_ok;
+  run.uplink_ok = result.uplink_ok;
+  run.regulation_ok = result.regulator_never_starved;
+  run.vo_min = result.vo_min_after_charge;
+  run.t_charge = result.t_charge;
+  return run;
+}
 
+namespace {
+
+// Fold per-run outcomes (already in run order) into the aggregate.
+ToleranceResult aggregate_tolerance_runs(std::vector<ToleranceRun> details) {
+  ToleranceResult out;
+  out.runs = static_cast<int>(details.size());
+  for (const auto& run : details) {
     out.pass_charged += run.charged;
     out.pass_downlink += run.downlink_ok;
     out.pass_uplink += run.uplink_ok;
@@ -58,9 +61,38 @@ ToleranceResult run_tolerance_analysis(const ToleranceSpec& spec,
     out.pass_all += (run.charged && run.downlink_ok && run.uplink_ok &&
                      run.regulation_ok);
     out.vo_min_worst = std::min(out.vo_min_worst, run.vo_min);
-    out.details.push_back(run);
   }
+  out.details = std::move(details);
   return out;
+}
+
+}  // namespace
+
+ToleranceResult run_tolerance_analysis(const ToleranceSpec& spec,
+                                       const EndToEndConfig& base) {
+  if (spec.runs < 1) throw std::invalid_argument("run_tolerance_analysis: runs >= 1");
+  const std::size_t runs = static_cast<std::size_t>(spec.runs);
+  auto streams = util::Rng(spec.seed).split(runs);
+  std::vector<ToleranceRun> details(runs);
+  for (std::size_t k = 0; k < runs; ++k) {
+    details[k] = evaluate_tolerance_draw(spec, base, streams[k]);
+  }
+  return aggregate_tolerance_runs(std::move(details));
+}
+
+ToleranceResult run_tolerance_analysis(const ToleranceSpec& spec,
+                                       const EndToEndConfig& base,
+                                       exec::ThreadPool& pool) {
+  if (spec.runs < 1) throw std::invalid_argument("run_tolerance_analysis: runs >= 1");
+  const std::size_t runs = static_cast<std::size_t>(spec.runs);
+  auto streams = util::Rng(spec.seed).split(runs);
+  std::vector<ToleranceRun> details(runs);
+  exec::parallel_for(pool, 0, runs,
+                     [&](std::size_t k) {
+                       details[k] = evaluate_tolerance_draw(spec, base, streams[k]);
+                     },
+                     exec::ParallelForOptions{/*grain=*/1, {}});
+  return aggregate_tolerance_runs(std::move(details));
 }
 
 }  // namespace ironic::core

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "src/core/system.hpp"
+#include "src/exec/thread_pool.hpp"
+#include "src/util/rng.hpp"
 
 namespace ironic::core {
 
@@ -52,9 +54,23 @@ struct ToleranceResult {
 // so a 20-run Monte Carlo stays interactive.
 EndToEndConfig shortened_fig11_config();
 
-// Run the Monte Carlo. Deterministic for a given spec/seed.
+// Run the Monte Carlo serially. Deterministic for a given spec/seed:
+// draw k perturbs from RNG stream k of the seed's family, so the result
+// is bit-identical to the parallel overload below.
 ToleranceResult run_tolerance_analysis(const ToleranceSpec& spec,
                                        const EndToEndConfig& base =
                                            shortened_fig11_config());
+
+// Fan the draws out over `pool`. Bit-identical to the serial overload
+// for any pool size and any scheduling.
+ToleranceResult run_tolerance_analysis(const ToleranceSpec& spec,
+                                       const EndToEndConfig& base,
+                                       exec::ThreadPool& pool);
+
+// One Monte-Carlo draw (run k of the analysis uses RNG stream k of the
+// spec's seed family). Exposed so sweep tooling can fan draws out itself;
+// pure function of (spec, base, rng state), safe from any worker thread.
+ToleranceRun evaluate_tolerance_draw(const ToleranceSpec& spec,
+                                     const EndToEndConfig& base, util::Rng& rng);
 
 }  // namespace ironic::core

@@ -1,0 +1,9 @@
+// Umbrella header for the parallel execution subsystem (ironic_exec):
+// work-stealing ThreadPool, TaskGroup, cooperative cancellation,
+// parallel_for, and the declarative Sweep engine. See DESIGN.md §9 for
+// the determinism contract and scheduling policy.
+#pragma once
+
+#include "src/exec/cancellation.hpp"
+#include "src/exec/sweep.hpp"
+#include "src/exec/thread_pool.hpp"

@@ -1,0 +1,125 @@
+// Declarative parameter sweeps over the thread pool.
+//
+// A Sweep is a named cartesian product of axes (linear / log / explicit
+// list grids, or seeded Monte Carlo draws). run() fans the row closure
+// out over a ThreadPool with parallel_for, hands every point its own
+// util::Rng stream (stream i for point i, via the xoshiro256++ jump), and
+// assembles the returned cells into a util::Table in point order — so the
+// table, its CSV rendering, and any statistics derived from it are
+// bit-identical for every thread count, serial included.
+//
+// Point order is row-major with the LAST axis fastest, matching the
+// nested-loop reading order of the bench tables this replaces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/exec/thread_pool.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/table.hpp"
+
+namespace ironic::exec {
+
+class Axis {
+ public:
+  // n evenly spaced values over [lo, hi] (endpoints included; n >= 1).
+  static Axis linear(std::string name, double lo, double hi, std::size_t n);
+  // n log-spaced values over [lo, hi] (lo, hi > 0).
+  static Axis log_space(std::string name, double lo, double hi, std::size_t n);
+  // Explicit values, kept in the given order.
+  static Axis list(std::string name, std::vector<double> values);
+  // n seeded uniform draws in [lo, hi) — materialized here, so the grid
+  // itself never depends on execution order.
+  static Axis monte_carlo_uniform(std::string name, std::size_t n, double lo,
+                                  double hi, std::uint64_t seed);
+  // n seeded normal draws (mean, sigma).
+  static Axis monte_carlo_normal(std::string name, std::size_t n, double mean,
+                                 double sigma, std::uint64_t seed);
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& values() const { return values_; }
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  Axis(std::string name, std::vector<double> values);
+
+  std::string name_;
+  std::vector<double> values_;
+};
+
+class Sweep;
+
+// One grid point handed to the row closure: the axis values plus a
+// dedicated deterministic RNG stream.
+class SweepPoint {
+ public:
+  SweepPoint(const Sweep& sweep, std::size_t index, util::Rng& rng)
+      : sweep_(&sweep), index_(index), rng_(&rng) {}
+
+  std::size_t index() const { return index_; }
+  // Value of the named axis at this point; throws std::out_of_range for
+  // an unknown axis name.
+  double value(std::string_view axis) const;
+  double operator[](std::string_view axis) const { return value(axis); }
+  // Stream `index()` of the sweep's RNG family: bit-identical draws no
+  // matter which worker runs the point.
+  util::Rng& rng() const { return *rng_; }
+
+ private:
+  const Sweep* sweep_;
+  std::size_t index_;
+  util::Rng* rng_;
+};
+
+using SweepRowFn = std::function<std::vector<std::string>(const SweepPoint&)>;
+
+struct SweepOptions {
+  // 1 → serial on the calling thread; 0 → hardware concurrency; n → a
+  // pool of n workers. Ignored when `pool` is set.
+  std::size_t threads = 1;
+  // Points per task; 0 → parallel_for's auto grain.
+  std::size_t grain = 1;
+  // Seed of the per-point RNG stream family.
+  std::uint64_t seed = 0x5eed0123456789abull;
+  CancellationToken token{};
+  // Run on an existing pool instead of creating one.
+  ThreadPool* pool = nullptr;
+};
+
+struct SweepResult {
+  std::string name;
+  util::Table table;
+  std::size_t points = 0;
+  double wall_seconds = 0.0;
+};
+
+class Sweep {
+ public:
+  explicit Sweep(std::string name) : name_(std::move(name)) {}
+
+  Sweep& axis(Axis a);
+  const std::string& name() const { return name_; }
+  const std::vector<Axis>& axes() const { return axes_; }
+  // Product of the axis sizes (1 for an axis-less sweep: a single point).
+  std::size_t size() const;
+  // Per-axis values at a row-major point index (last axis fastest).
+  std::vector<double> values_at(std::size_t index) const;
+
+  // Evaluate `row` at every point and collect the cells into a table
+  // under `columns`. Throws TaskCancelled if opts.token trips mid-sweep;
+  // a row closure's exception is rethrown (first one wins).
+  SweepResult run(std::vector<std::string> columns, const SweepRowFn& row,
+                  const SweepOptions& opts = {}) const;
+
+ private:
+  friend class SweepPoint;
+
+  std::string name_;
+  std::vector<Axis> axes_;
+};
+
+}  // namespace ironic::exec

@@ -1,44 +1,78 @@
 #include "src/magnetics/coil_design.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 namespace ironic::magnetics {
 
+namespace {
+
+// Evaluate one (layers, turns, width) grid cell; nullopt when the
+// geometry does not fit the outline. Pure — callable from any worker.
+std::optional<CoilCandidate> evaluate_candidate(const CoilSpec& base,
+                                                const CoilDesignGoal& goal,
+                                                int layers, int turns,
+                                                double width) {
+  CoilSpec spec = base;
+  spec.layers = layers;
+  spec.turns_per_layer = turns;
+  spec.trace_width = width;
+  spec.turn_spacing = width;  // keep pitch proportional to the trace
+  CoilCandidate candidate;
+  candidate.spec = spec;
+  try {
+    const Coil coil{spec};
+    candidate.inductance = coil.inductance();
+    candidate.q = coil.quality_factor(goal.frequency);
+    candidate.srf = coil.self_resonance_frequency();
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;  // does not fit the outline
+  }
+  const double lo = goal.target_inductance * (1.0 - goal.tolerance);
+  const double hi = goal.target_inductance * (1.0 + goal.tolerance);
+  candidate.meets_target = candidate.inductance >= lo &&
+                           candidate.inductance <= hi &&
+                           candidate.srf >= goal.min_srf_ratio * goal.frequency;
+  return candidate;
+}
+
+}  // namespace
+
 std::vector<CoilCandidate> enumerate_coil_designs(
     const CoilSpec& base, const CoilDesignGoal& goal,
     const std::vector<int>& layer_options, const std::vector<int>& turn_options,
-    const std::vector<double>& trace_width_options) {
+    const std::vector<double>& trace_width_options, exec::ThreadPool* pool) {
   if (layer_options.empty() || turn_options.empty() || trace_width_options.empty()) {
     throw std::invalid_argument("enumerate_coil_designs: empty option lists");
   }
+  // Grid-order slots: cell (l, t, w) lands at a fixed index whether it is
+  // evaluated serially or by a stolen task, so the pre-sort order — and
+  // therefore the sorted result, ties included — never depends on
+  // scheduling.
+  const std::size_t n_turns = turn_options.size();
+  const std::size_t n_widths = trace_width_options.size();
+  const std::size_t n = layer_options.size() * n_turns * n_widths;
+  std::vector<std::optional<CoilCandidate>> slots(n);
+
+  const auto eval_cell = [&](std::size_t i) {
+    const std::size_t w = i % n_widths;
+    const std::size_t t = (i / n_widths) % n_turns;
+    const std::size_t l = i / (n_widths * n_turns);
+    slots[i] = evaluate_candidate(base, goal, layer_options[l], turn_options[t],
+                                  trace_width_options[w]);
+  };
+
+  if (pool != nullptr) {
+    exec::parallel_for(*pool, 0, n, eval_cell);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) eval_cell(i);
+  }
+
   std::vector<CoilCandidate> out;
-  for (int layers : layer_options) {
-    for (int turns : turn_options) {
-      for (double width : trace_width_options) {
-        CoilSpec spec = base;
-        spec.layers = layers;
-        spec.turns_per_layer = turns;
-        spec.trace_width = width;
-        spec.turn_spacing = width;  // keep pitch proportional to the trace
-        CoilCandidate candidate;
-        candidate.spec = spec;
-        try {
-          const Coil coil{spec};
-          candidate.inductance = coil.inductance();
-          candidate.q = coil.quality_factor(goal.frequency);
-          candidate.srf = coil.self_resonance_frequency();
-        } catch (const std::invalid_argument&) {
-          continue;  // does not fit the outline
-        }
-        const double lo = goal.target_inductance * (1.0 - goal.tolerance);
-        const double hi = goal.target_inductance * (1.0 + goal.tolerance);
-        candidate.meets_target = candidate.inductance >= lo &&
-                                 candidate.inductance <= hi &&
-                                 candidate.srf >= goal.min_srf_ratio * goal.frequency;
-        out.push_back(candidate);
-      }
-    }
+  out.reserve(n);
+  for (auto& slot : slots) {
+    if (slot) out.push_back(std::move(*slot));
   }
   std::sort(out.begin(), out.end(),
             [](const CoilCandidate& a, const CoilCandidate& b) { return a.q > b.q; });
@@ -48,9 +82,11 @@ std::vector<CoilCandidate> enumerate_coil_designs(
 CoilCandidate design_coil(const CoilSpec& base, const CoilDesignGoal& goal,
                           const std::vector<int>& layer_options,
                           const std::vector<int>& turn_options,
-                          const std::vector<double>& trace_width_options) {
+                          const std::vector<double>& trace_width_options,
+                          exec::ThreadPool* pool) {
   const auto candidates = enumerate_coil_designs(base, goal, layer_options,
-                                                 turn_options, trace_width_options);
+                                                 turn_options, trace_width_options,
+                                                 pool);
   for (const auto& candidate : candidates) {
     if (candidate.meets_target) return candidate;  // highest-Q qualifier
   }

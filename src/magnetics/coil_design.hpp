@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "src/exec/thread_pool.hpp"
 #include "src/magnetics/coil.hpp"
 
 namespace ironic::magnetics {
@@ -28,17 +29,22 @@ struct CoilCandidate {
 
 // Enumerate the grid {layers} x {turns per layer} x {trace widths} within
 // the outline of `base` (other fields copied from it); returns all
-// candidates that fit geometrically, sorted by Q descending.
+// candidates that fit geometrically, sorted by Q descending. When `pool`
+// is non-null the grid is evaluated in parallel; candidates are filled
+// into grid-order slots before the sort, so the returned vector is
+// bit-identical to the serial enumeration for any pool size.
 std::vector<CoilCandidate> enumerate_coil_designs(
     const CoilSpec& base, const CoilDesignGoal& goal,
     const std::vector<int>& layer_options, const std::vector<int>& turn_options,
-    const std::vector<double>& trace_width_options);
+    const std::vector<double>& trace_width_options,
+    exec::ThreadPool* pool = nullptr);
 
 // Best candidate meeting the inductance band and SRF constraint; throws
 // std::runtime_error if none qualifies.
 CoilCandidate design_coil(const CoilSpec& base, const CoilDesignGoal& goal,
                           const std::vector<int>& layer_options,
                           const std::vector<int>& turn_options,
-                          const std::vector<double>& trace_width_options);
+                          const std::vector<double>& trace_width_options,
+                          exec::ThreadPool* pool = nullptr);
 
 }  // namespace ironic::magnetics

@@ -21,6 +21,10 @@ void atomic_apply(std::atomic<double>& target, double v, Op op) {
 
 }  // namespace
 
+void Gauge::add(double d) {
+  atomic_apply(value_, d, [](double a, double b) { return a + b; });
+}
+
 void Gauge::set_max(double v) {
   atomic_apply(value_, v, [](double a, double b) { return a > b ? a : b; });
 }
@@ -89,6 +93,14 @@ double Histogram::percentile(double p) const {
     cumulative += in_bucket;
   }
   return hi_seen;
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
 }
 
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
@@ -174,9 +186,9 @@ void MetricsRegistry::write_jsonl(std::ostream& os) const {
 
 void MetricsRegistry::reset() {
   const std::lock_guard<std::mutex> lock(mutex_);
-  counters_.clear();
-  gauges_.clear();
-  histograms_.clear();
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
 }
 
 std::vector<double> default_histogram_bounds() {

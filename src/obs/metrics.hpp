@@ -45,9 +45,13 @@ class Counter {
 class Gauge {
  public:
   void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  // Atomic increment (CAS loop) — `set(value() + d)` from worker threads
+  // is a lost-update race; this is the safe read-modify-write.
+  void add(double d);
   // Keep the larger of the current and the offered value (CAS loop).
   void set_max(double v);
   double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
   std::atomic<double> value_{0.0};
@@ -74,6 +78,9 @@ class Histogram {
 
   const std::vector<double>& bounds() const { return bounds_; }
   std::vector<std::uint64_t> bucket_counts() const;
+  // Zero all buckets and statistics (not atomic as a whole: a concurrent
+  // observe may land in either the old or new epoch, never torn).
+  void reset();
 
  private:
   std::vector<double> bounds_;
@@ -113,8 +120,10 @@ class MetricsRegistry {
   // One JSON object per line: {"name":..., "type":..., "value":...}.
   void write_jsonl(std::ostream& os) const;
 
-  // Drop every registered metric. Test-only: outstanding references from
-  // previous lookups dangle after this.
+  // Zero every registered metric IN PLACE. References handed out by
+  // earlier lookups stay valid (the engine and thread pool cache handles
+  // for their hot paths, so entries must never be deleted while workers
+  // may still be recording).
   void reset();
 
  private:

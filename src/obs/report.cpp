@@ -122,7 +122,7 @@ bool RunReport::write() {
       m["p50"] = s.p50;
       m["p95"] = s.p95;
     }
-    metrics.push_back(json::Value(std::move(m)));
+    metrics.emplace_back(std::move(m));
   }
   root["metrics"] = std::move(metrics);
 

@@ -85,4 +85,62 @@ std::vector<bool> Rng::bits(std::size_t n) {
   return result;
 }
 
+void Rng::apply_jump(const std::uint64_t (&polynomial)[4]) {
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (const std::uint64_t word : polynomial) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (1ull << bit)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      next_u64();
+    }
+  }
+  state_[0] = s0;
+  state_[1] = s1;
+  state_[2] = s2;
+  state_[3] = s3;
+  // A cached Box–Muller half drawn before the jump belongs to the old
+  // position in the sequence; the stream after a jump must depend on the
+  // state alone.
+  has_cached_normal_ = false;
+  cached_normal_ = 0.0;
+}
+
+void Rng::jump() {
+  // Published xoshiro256++ jump polynomial (Blackman & Vigna): advances
+  // the state by exactly 2^128 calls of next_u64().
+  static constexpr std::uint64_t kJump[4] = {
+      0x180ec6d33cfd0abaull, 0xd5a61266f0c9392cull,
+      0xa9582618e03fc9aaull, 0x39abdc4529b1661cull};
+  apply_jump(kJump);
+}
+
+void Rng::long_jump() {
+  // Published long-jump polynomial: 2^192 calls of next_u64().
+  static constexpr std::uint64_t kLongJump[4] = {
+      0x76e15d3efefdcbbfull, 0xc5004e441c522fb3ull,
+      0x77710069854ee241ull, 0x39109bb02acbe635ull};
+  apply_jump(kLongJump);
+}
+
+std::vector<Rng> Rng::split(std::size_t n) const {
+  std::vector<Rng> streams;
+  streams.reserve(n);
+  Rng cursor = *this;
+  for (std::size_t i = 0; i < n; ++i) {
+    cursor.jump();
+    streams.push_back(cursor);
+  }
+  return streams;
+}
+
+Rng Rng::stream(std::uint64_t seed, std::uint64_t index) {
+  Rng rng(seed);
+  for (std::uint64_t i = 0; i <= index; ++i) rng.jump();
+  return rng;
+}
+
 }  // namespace ironic::util

@@ -13,6 +13,14 @@ namespace ironic::util {
 // xoshiro256++ — small, fast, and statistically strong; deterministic
 // across platforms (unlike std::mt19937 + std::normal_distribution whose
 // stream is implementation-defined for floating-point distributions).
+//
+// Stream splitting for parallel work: jump() advances the state by 2^128
+// draws (the published xoshiro256++ jump polynomial), so split(n) hands
+// out n generators whose output segments cannot overlap for any feasible
+// draw count. Task i always draws from stream i regardless of which
+// worker thread executes it — parallel sweeps are bit-identical to
+// serial. A single Rng instance is NOT thread-safe; give each task its
+// own stream instead of sharing one generator behind a lock.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x1234abcd5678ef00ull);
@@ -34,7 +42,22 @@ class Rng {
   // A vector of `n` random bits, for test bitstreams.
   std::vector<bool> bits(std::size_t n);
 
+  // Advance the state by 2^128 draws (discards the Box–Muller cache so
+  // the post-jump stream is a clean function of the state alone).
+  void jump();
+  // Advance by 2^192 draws, for partitioning across whole machines.
+  void long_jump();
+  // n non-overlapping streams: the i-th result is this generator's state
+  // advanced by (i+1) jumps. The parent is left untouched and may keep
+  // drawing — it stays at least 2^128 draws clear of every child.
+  std::vector<Rng> split(std::size_t n) const;
+  // Convenience for task fan-out: the generator for stream `index` of the
+  // family seeded by `seed` (== Rng(seed).split(index + 1).back()).
+  static Rng stream(std::uint64_t seed, std::uint64_t index);
+
  private:
+  void apply_jump(const std::uint64_t (&polynomial)[4]);
+
   std::uint64_t state_[4];
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;

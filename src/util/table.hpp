@@ -30,6 +30,10 @@ class Table {
 
   std::size_t rows() const { return rows_.size(); }
 
+  // Read access for machine emitters (e.g. the sweep runner's JSON mode).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& data() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

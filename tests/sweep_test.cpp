@@ -1,0 +1,222 @@
+// exec::Sweep — axis construction, point ordering, per-point RNG streams,
+// and the bit-identical-for-any-thread-count contract.
+#include "src/exec/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/exec/cancellation.hpp"
+#include "src/exec/thread_pool.hpp"
+
+using namespace ironic;
+using namespace ironic::exec;
+
+namespace {
+
+std::string render_csv(const util::Table& t) {
+  std::ostringstream os;
+  t.print_csv(os);
+  return os.str();
+}
+
+TEST(SweepAxis, LinearEndpointsAndSpacing) {
+  const Axis a = Axis::linear("x", 0.0, 10.0, 5);
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_DOUBLE_EQ(a.values().front(), 0.0);
+  EXPECT_DOUBLE_EQ(a.values().back(), 10.0);
+  EXPECT_DOUBLE_EQ(a.values()[1], 2.5);
+}
+
+TEST(SweepAxis, LinearSinglePointIsLo) {
+  const Axis a = Axis::linear("x", 3.0, 9.0, 1);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_DOUBLE_EQ(a.values()[0], 3.0);
+}
+
+TEST(SweepAxis, LogSpaceIsGeometric) {
+  const Axis a = Axis::log_space("f", 1.0, 1000.0, 4);
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_DOUBLE_EQ(a.values()[0], 1.0);
+  EXPECT_NEAR(a.values()[1], 10.0, 1e-9);
+  EXPECT_NEAR(a.values()[2], 100.0, 1e-9);
+  EXPECT_NEAR(a.values()[3], 1000.0, 1e-6);
+}
+
+TEST(SweepAxis, LogSpaceRejectsNonPositive) {
+  EXPECT_THROW(Axis::log_space("f", 0.0, 10.0, 3), std::invalid_argument);
+  EXPECT_THROW(Axis::log_space("f", -1.0, 10.0, 3), std::invalid_argument);
+}
+
+TEST(SweepAxis, MonteCarloDrawsAreSeedDeterministic) {
+  const Axis a = Axis::monte_carlo_uniform("u", 16, 2.0, 5.0, 123);
+  const Axis b = Axis::monte_carlo_uniform("u", 16, 2.0, 5.0, 123);
+  const Axis c = Axis::monte_carlo_uniform("u", 16, 2.0, 5.0, 124);
+  EXPECT_EQ(a.values(), b.values());     // same seed → identical grid
+  EXPECT_NE(a.values(), c.values());     // different seed → different grid
+  for (const double v : a.values()) {
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(SweepAxis, MonteCarloNormalHasRequestedMoments) {
+  const Axis a = Axis::monte_carlo_normal("n", 4000, 10.0, 2.0, 7);
+  double sum = 0.0, sq = 0.0;
+  for (const double v : a.values()) {
+    sum += v;
+    sq += (v - 10.0) * (v - 10.0);
+  }
+  const double mean = sum / static_cast<double>(a.size());
+  const double sigma = std::sqrt(sq / static_cast<double>(a.size()));
+  EXPECT_NEAR(mean, 10.0, 0.15);
+  EXPECT_NEAR(sigma, 2.0, 0.15);
+}
+
+TEST(Sweep, SizeIsProductAndLastAxisFastest) {
+  Sweep s("order");
+  s.axis(Axis::list("a", {1.0, 2.0})).axis(Axis::list("b", {10.0, 20.0, 30.0}));
+  EXPECT_EQ(s.size(), 6u);
+  // Row-major, last axis fastest: (1,10)(1,20)(1,30)(2,10)(2,20)(2,30).
+  EXPECT_EQ(s.values_at(0), (std::vector<double>{1.0, 10.0}));
+  EXPECT_EQ(s.values_at(2), (std::vector<double>{1.0, 30.0}));
+  EXPECT_EQ(s.values_at(3), (std::vector<double>{2.0, 10.0}));
+  EXPECT_EQ(s.values_at(5), (std::vector<double>{2.0, 30.0}));
+}
+
+TEST(Sweep, DuplicateAxisNameRejected) {
+  Sweep s("dup");
+  s.axis(Axis::list("x", {1.0}));
+  EXPECT_THROW(s.axis(Axis::list("x", {2.0})), std::invalid_argument);
+}
+
+TEST(Sweep, UnknownAxisNameThrowsAtPoint) {
+  Sweep s("bad");
+  s.axis(Axis::list("x", {1.0, 2.0}));
+  SweepOptions opts;
+  const SweepRowFn row = [](const SweepPoint& p) {
+    return std::vector<std::string>{util::Table::cell(p["nope"], 3)};
+  };
+  EXPECT_THROW(s.run({"c"}, row, opts), std::out_of_range);
+}
+
+TEST(Sweep, SerialPoolAndOwnedThreadsAllBitIdentical) {
+  Sweep s("ident");
+  s.axis(Axis::linear("x", 0.0, 1.0, 9))
+      .axis(Axis::monte_carlo_uniform("u", 3, -1.0, 1.0, 55));
+  const SweepRowFn row = [](const SweepPoint& p) {
+    // Mix grid values with the per-point stream: any ordering or RNG
+    // assignment slip shows up as a byte difference.
+    util::Rng& rng = p.rng();
+    const double noisy = p["x"] + 0.01 * rng.normal() + p["u"] * rng.uniform();
+    return std::vector<std::string>{util::Table::cell(p["x"], 4),
+                                    util::Table::cell(p["u"], 4),
+                                    util::Table::cell(noisy, 12)};
+  };
+  const std::vector<std::string> cols{"x", "u", "noisy"};
+
+  SweepOptions serial;
+  serial.threads = 1;
+  const auto r1 = s.run(cols, row, serial);
+  EXPECT_EQ(r1.points, 27u);
+  EXPECT_EQ(r1.table.rows(), 27u);
+
+  SweepOptions own4;
+  own4.threads = 4;
+  const auto r4 = s.run(cols, row, own4);
+
+  ThreadPool pool(3);
+  SweepOptions shared;
+  shared.pool = &pool;
+  const auto rp = s.run(cols, row, shared);
+
+  EXPECT_EQ(render_csv(r1.table), render_csv(r4.table));
+  EXPECT_EQ(render_csv(r1.table), render_csv(rp.table));
+}
+
+TEST(Sweep, RepeatedRunsAreIdentical) {
+  Sweep s("repeat");
+  s.axis(Axis::list("x", {1.0, 2.0, 3.0}));
+  const SweepRowFn row = [](const SweepPoint& p) {
+    return std::vector<std::string>{util::Table::cell(p["x"], 3),
+                                    util::Table::cell(p.rng().uniform(), 9)};
+  };
+  const auto a = s.run({"x", "r"}, row);
+  const auto b = s.run({"x", "r"}, row);
+  EXPECT_EQ(render_csv(a.table), render_csv(b.table));
+}
+
+TEST(Sweep, SeedChangesPointStreams) {
+  Sweep s("seeded");
+  s.axis(Axis::list("x", {1.0}));
+  const SweepRowFn row = [](const SweepPoint& p) {
+    return std::vector<std::string>{util::Table::cell(p.rng().uniform(), 9)};
+  };
+  SweepOptions a;
+  SweepOptions b;
+  b.seed = a.seed + 1;
+  EXPECT_NE(render_csv(s.run({"r"}, row, a).table),
+            render_csv(s.run({"r"}, row, b).table));
+}
+
+TEST(Sweep, AxisLessSweepIsASinglePoint) {
+  Sweep s("point");
+  const SweepRowFn row = [](const SweepPoint& p) {
+    EXPECT_EQ(p.index(), 0u);
+    return std::vector<std::string>{"one"};
+  };
+  const auto r = s.run({"c"}, row);
+  EXPECT_EQ(r.points, 1u);
+  EXPECT_EQ(r.table.rows(), 1u);
+}
+
+TEST(Sweep, RowExceptionPropagates) {
+  Sweep s("thrower");
+  s.axis(Axis::list("x", {1.0, 2.0, 3.0, 4.0}));
+  const SweepRowFn row = [](const SweepPoint& p) -> std::vector<std::string> {
+    if (p.index() == 2) throw std::runtime_error("bad point");
+    return {util::Table::cell(p["x"], 3)};
+  };
+  SweepOptions opts;
+  opts.threads = 2;
+  EXPECT_THROW(s.run({"x"}, row, opts), std::runtime_error);
+}
+
+TEST(Sweep, CancellationMidSweepThrowsTaskCancelled) {
+  Sweep s("cancelled");
+  std::vector<double> grid(64);
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    grid[i] = static_cast<double>(i);
+  s.axis(Axis::list("i", std::move(grid)));
+  CancellationSource source;
+  std::atomic<std::size_t> ran{0};
+  std::atomic<bool> first{true};
+  const SweepRowFn row = [&](const SweepPoint& p) {
+    if (first.exchange(false)) source.cancel();
+    ++ran;
+    return std::vector<std::string>{util::Table::cell(p["i"], 3)};
+  };
+  SweepOptions opts;
+  opts.threads = 2;
+  opts.token = source.token();
+  EXPECT_THROW(s.run({"i"}, row, opts), TaskCancelled);
+  EXPECT_LT(ran.load(), 64u);
+}
+
+TEST(Sweep, WallSecondsIsPopulated) {
+  Sweep s("timing");
+  s.axis(Axis::list("x", {1.0, 2.0}));
+  const SweepRowFn row = [](const SweepPoint& p) {
+    return std::vector<std::string>{util::Table::cell(p["x"], 3)};
+  };
+  const auto r = s.run({"x"}, row);
+  EXPECT_GE(r.wall_seconds, 0.0);
+  EXPECT_EQ(r.name, "timing");
+}
+
+}  // namespace

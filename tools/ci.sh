@@ -4,11 +4,13 @@
 #
 #   1. release   Release-mode build with -Werror, full ctest suite
 #   2. sanitize  ASan+UBSan build (halt-on-error), full ctest suite
-#   3. tidy      clang-tidy over src/ and tools/ (skips if not installed)
-#   4. lint      netlist_lint --strict over every shipped .cir netlist,
+#   3. tsan      ThreadSanitizer build, exec/sweep/rng/obs test subset
+#                (the concurrency surface; the numeric suite stays on ASan)
+#   4. tidy      clang-tidy over src/ and tools/ (skips if not installed)
+#   5. lint      netlist_lint --strict over every shipped .cir netlist,
 #                and the broken fixtures must FAIL
 #
-# Usage: tools/ci.sh [release|sanitize|tidy|lint|all]   (default: all)
+# Usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|all]   (default: all)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -38,6 +40,19 @@ run_sanitize() {
     ctest --test-dir "$ROOT/build-ci-asan" --output-on-failure -j "$JOBS"
 }
 
+run_tsan() {
+  log "TSan build + exec/sweep/rng/obs tests"
+  cmake -B "$ROOT/build-ci-tsan" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DIRONIC_WARNINGS_AS_ERRORS=ON \
+    -DIRONIC_TSAN=ON
+  cmake --build "$ROOT/build-ci-tsan" -j "$JOBS" \
+    --target exec_test sweep_test rng_stream_test obs_test
+  TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+    ctest --test-dir "$ROOT/build-ci-tsan" --output-on-failure -j "$JOBS" \
+      -R '^(ThreadPool|ParallelFor|ExecTolerance|ObsConcurrency|Sweep|SweepAxis|RngStream|Metrics|Trace|RunReport)'
+}
+
 run_tidy() {
   log "clang-tidy"
   # The tidy target itself degrades to a notice when clang-tidy is absent.
@@ -63,10 +78,11 @@ run_lint() {
 case "$STAGE" in
   release)  run_release ;;
   sanitize) run_sanitize ;;
+  tsan)     run_tsan ;;
   tidy)     run_tidy ;;
   lint)     run_lint ;;
-  all)      run_release; run_sanitize; run_tidy; run_lint ;;
-  *) echo "usage: tools/ci.sh [release|sanitize|tidy|lint|all]" >&2; exit 2 ;;
+  all)      run_release; run_sanitize; run_tsan; run_tidy; run_lint ;;
+  *) echo "usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|all]" >&2; exit 2 ;;
 esac
 
 log "OK ($STAGE)"
