@@ -1,6 +1,41 @@
 #include "src/comms/protocol.hpp"
 
+#include "src/obs/metrics.hpp"
+
 namespace ironic::comms {
+namespace {
+
+// Registry handles for the transactor hot path, resolved once.
+struct TransactorMetrics {
+  obs::Counter& attempts;
+  obs::Counter& crc_failures;
+  obs::Counter& sequence_mismatches;
+  obs::Counter& stale_responses;
+  obs::Counter& retries_exhausted;
+  obs::Counter& duplicate_deliveries;
+  obs::Counter& bits_on_air;
+  obs::Histogram& attempt_ms;
+
+  static TransactorMetrics& get() {
+    static TransactorMetrics m = [] {
+      auto& r = obs::MetricsRegistry::instance();
+      return TransactorMetrics{
+          r.counter("comms.transactor.attempts"),
+          r.counter("comms.transactor.crc_failures"),
+          r.counter("comms.transactor.sequence_mismatches"),
+          r.counter("comms.transactor.stale_responses"),
+          r.counter("comms.transactor.retries_exhausted"),
+          r.counter("comms.transactor.duplicate_deliveries"),
+          r.counter("comms.transactor.bits_on_air"),
+          r.histogram("comms.transactor.attempt_ms",
+                      {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500}),
+      };
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 Bits encode_request(const Request& request) {
   Frame frame;
@@ -48,28 +83,91 @@ std::optional<Response> Transactor::execute(
     TransactorStats* stats) {
   for (int attempt = 0; attempt <= max_retries_; ++attempt) {
     if (stats) ++stats->attempts;
+    if constexpr (obs::kEnabled) TransactorMetrics::get().attempts.add();
+    std::uint64_t attempt_bits = 0;
+    // Per-attempt airtime at the current rate, booked on every exit from
+    // the attempt (success, CRC failure, mismatch alike).
+    const auto book_latency = [&] {
+      if constexpr (obs::kEnabled) {
+        auto& m = TransactorMetrics::get();
+        m.bits_on_air.add(attempt_bits);
+        if (bit_rate_ > 0.0) {
+          m.attempt_ms.observe(1e3 * static_cast<double>(attempt_bits) / bit_rate_);
+        }
+      }
+      if (stats) {
+        stats->bits_on_air += attempt_bits;
+        stats->attempt_seconds.push_back(
+            bit_rate_ > 0.0 ? static_cast<double>(attempt_bits) / bit_rate_ : 0.0);
+      }
+    };
     // Downlink: command to the implant.
-    const auto rx_request = decode_request(downlink(encode_request(request)));
+    const Bits tx_request = encode_request(request);
+    attempt_bits += tx_request.size();
+    const auto rx_request = decode_request(downlink(tx_request));
     if (!rx_request.has_value()) {
+      book_latency();
       if (stats) ++stats->crc_failures;
+      if constexpr (obs::kEnabled) TransactorMetrics::get().crc_failures.add();
       continue;  // the implant never acks a broken frame; patch retries
     }
     // The implant processes the command and answers with the sequence.
     Response response = implant_handler(*rx_request);
     response.sequence = rx_request->sequence;
     // Uplink: data back to the patch.
-    const auto rx_response = decode_response(uplink(encode_response(response)));
+    const Bits tx_response = encode_response(response);
+    attempt_bits += tx_response.size();
+    const auto rx_response = decode_response(uplink(tx_response));
+    book_latency();
     if (!rx_response.has_value()) {
       if (stats) ++stats->crc_failures;
+      if constexpr (obs::kEnabled) TransactorMetrics::get().crc_failures.add();
       continue;
     }
     if (rx_response->sequence != request.sequence) {
-      if (stats) ++stats->sequence_mismatches;
+      // Wrap-aware staleness: a response older than the outstanding
+      // request is a late frame from a previous exchange; anything else
+      // is corruption that survived the CRC.
+      if (stats) {
+        ++stats->sequence_mismatches;
+        if (sequence_delta(rx_response->sequence, request.sequence) < 0) {
+          ++stats->stale_responses;
+        }
+      }
+      if constexpr (obs::kEnabled) {
+        auto& m = TransactorMetrics::get();
+        m.sequence_mismatches.add();
+        if (sequence_delta(rx_response->sequence, request.sequence) < 0) {
+          m.stale_responses.add();
+        }
+      }
       continue;  // stale response from an earlier attempt
     }
     return rx_response;
   }
+  if (stats) ++stats->retries_exhausted;
+  if constexpr (obs::kEnabled) TransactorMetrics::get().retries_exhausted.add();
   return std::nullopt;
+}
+
+Response ImplantDedup::handle(
+    const Request& request,
+    const std::function<Response(const Request&)>& handler,
+    TransactorStats* stats) {
+  // A request that is not strictly newer than the last handled one is a
+  // re-delivery (retry after uplink-only loss): replay the cached
+  // response so side-effecting commands run exactly once per sequence.
+  // sequence_newer makes 0 newer than 255, so the wrap does not strand
+  // the implant replaying stale data for a fresh command.
+  if (have_last_ && !sequence_newer(request.sequence, last_sequence_)) {
+    if (stats) ++stats->duplicate_deliveries;
+    if constexpr (obs::kEnabled) TransactorMetrics::get().duplicate_deliveries.add();
+    return last_response_;
+  }
+  last_response_ = handler(request);
+  last_sequence_ = request.sequence;
+  have_last_ = true;
+  return last_response_;
 }
 
 }  // namespace ironic::comms

@@ -43,10 +43,37 @@ std::optional<Response> decode_response(const Bits& bits);
 // transactor retries on CRC failure or sequence mismatch.
 using Channel = std::function<Bits(const Bits&)>;
 
+// --- wrap-aware sequence arithmetic ----------------------------------------
+//
+// Sequence numbers live in uint8 space and wrap 255 -> 0 every 256
+// exchanges (a long monitoring session wraps thousands of times), so age
+// comparisons must use serial-number arithmetic (RFC 1982 style): the
+// signed interpretation of (a - b) mod 256. 0 is one step NEWER than
+// 255; a naive `a <= b` stale check misfires at every wrap.
+constexpr std::int8_t sequence_delta(std::uint8_t a, std::uint8_t b) {
+  return static_cast<std::int8_t>(static_cast<std::uint8_t>(a - b));
+}
+// True when `a` is strictly newer than `b` in wrap-aware order.
+constexpr bool sequence_newer(std::uint8_t a, std::uint8_t b) {
+  return sequence_delta(a, b) > 0;
+}
+
 struct TransactorStats {
   int attempts = 0;
   int crc_failures = 0;
   int sequence_mismatches = 0;
+  // Subset of sequence_mismatches: responses carrying a sequence OLDER
+  // than the outstanding request (late frames from a previous exchange).
+  int stale_responses = 0;
+  // Exchanges that returned nullopt after the retry budget ran out.
+  int retries_exhausted = 0;
+  // Implant-side duplicate deliveries absorbed by ImplantDedup.
+  int duplicate_deliveries = 0;
+  // Per-attempt airtime accounting at the transactor's bit rate:
+  // downlink frame bits plus (when the downlink decoded) uplink frame
+  // bits. One entry per attempt, across exchanges.
+  std::uint64_t bits_on_air = 0;
+  std::vector<double> attempt_seconds;
 };
 
 class Transactor {
@@ -63,9 +90,33 @@ class Transactor {
 
   std::uint8_t next_sequence() { return sequence_++; }
 
+  // Downlink bit rate used for per-attempt latency accounting (the
+  // session layer lowers it when the link degrades).
+  void set_bit_rate(double bits_per_second) { bit_rate_ = bits_per_second; }
+  double bit_rate() const { return bit_rate_; }
+
  private:
   int max_retries_;
   std::uint8_t sequence_ = 0;
+  double bit_rate_ = 100e3;  // paper's nominal ASK downlink rate
+};
+
+// Implant-side request de-duplication. Commands with side effects (a
+// measurement) must execute exactly once per sequence number even when
+// uplink-only corruption makes the patch re-send an already-handled
+// request: the implant replays the cached response instead of measuring
+// again. Newness uses sequence_newer, so the 255 -> 0 wrap does not
+// resurrect the stale-duplicate path.
+class ImplantDedup {
+ public:
+  Response handle(const Request& request,
+                  const std::function<Response(const Request&)>& handler,
+                  TransactorStats* stats = nullptr);
+
+ private:
+  bool have_last_ = false;
+  std::uint8_t last_sequence_ = 0;
+  Response last_response_;
 };
 
 }  // namespace ironic::comms

@@ -1,0 +1,468 @@
+#include "src/fault/campaign.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "src/comms/protocol.hpp"
+#include "src/exec/thread_pool.hpp"
+#include "src/fault/injector.hpp"
+#include "src/fault/session.hpp"
+#include "src/magnetics/link.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/patch/scheduler.hpp"
+#include "src/pm/rectifier.hpp"
+#include "src/pm/regulator.hpp"
+#include "src/spice/circuit.hpp"
+#include "src/spice/devices_passive.hpp"
+#include "src/spice/devices_sources.hpp"
+#include "src/spice/engine.hpp"
+#include "src/util/rng.hpp"
+
+namespace ironic::fault {
+namespace {
+
+// --- fingerprint ------------------------------------------------------------
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_u64(std::uint64_t& hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xffu;
+    hash *= kFnvPrime;
+  }
+}
+
+void fnv_double(std::uint64_t& hash, double value) {
+  fnv_u64(hash, std::bit_cast<std::uint64_t>(value));
+}
+
+std::uint64_t fingerprint_scenarios(const std::vector<ScenarioResult>& scenarios) {
+  std::uint64_t hash = kFnvOffset;
+  for (const auto& s : scenarios) {
+    fnv_u64(hash, static_cast<std::uint64_t>(s.index));
+    fnv_u64(hash, static_cast<std::uint64_t>(s.exchanges));
+    fnv_u64(hash, static_cast<std::uint64_t>(s.completed));
+    fnv_u64(hash, static_cast<std::uint64_t>(s.lost));
+    fnv_u64(hash, static_cast<std::uint64_t>(s.retries));
+    fnv_u64(hash, static_cast<std::uint64_t>(s.recovered));
+    fnv_double(hash, s.recover_seconds);
+    fnv_double(hash, s.backoff_seconds);
+    fnv_u64(hash, static_cast<std::uint64_t>(s.rate_fallbacks));
+    fnv_u64(hash, static_cast<std::uint64_t>(s.rate_recoveries));
+    fnv_u64(hash, static_cast<std::uint64_t>(s.restarts));
+    fnv_u64(hash, static_cast<std::uint64_t>(s.checkpoints));
+    fnv_u64(hash, static_cast<std::uint64_t>(s.ldo_violations));
+    fnv_u64(hash, static_cast<std::uint64_t>(s.brownouts));
+    fnv_double(hash, s.final_rate);
+    fnv_double(hash, s.sim_time);
+    for (const auto count : s.faults_injected) fnv_u64(hash, count);
+    for (const auto code : s.adc_codes) fnv_u64(hash, code);
+  }
+  return hash;
+}
+
+// --- shared plant pieces ----------------------------------------------------
+
+constexpr double kNominalRate = 100e3;  // paper's ASK downlink [bit/s]
+constexpr double kLoadOhms = 150.0;     // rectifier input impedance scale
+constexpr double kNominalDrive = 3.5;   // rectifier input amplitude [V]
+
+pm::RectifierOptions fast_rect_options() {
+  pm::RectifierOptions opt;
+  opt.storage_capacitance = 10e-9;  // small Co keeps segments quick
+  opt.diode_is = 1e-16;
+  return opt;
+}
+
+std::uint16_t adc_code(double vo) {
+  const double clamped = std::clamp(vo, 0.0, 4.0);
+  return static_cast<std::uint16_t>(std::lround(clamped / 4.0 * 4095.0));
+}
+
+// The tuned link with injector-perturbed geometry; power feeds the BER
+// model and the implant drive amplitude.
+struct LinkBudget {
+  magnetics::InductiveLink link;
+  double drive = 0.0;
+  double p_nominal = 0.0;
+
+  LinkBudget() : link(magnetics::LinkConfig{}) {
+    drive = link.drive_for_power(15e-3, kLoadOhms);  // paper's 15 mW point
+    p_nominal = link.analyze(drive, kLoadOhms).power_delivered;
+  }
+
+  double power_now(const FaultInjector& injector) {
+    link.set_distance(injector.distance(magnetics::LinkConfig{}.distance));
+    link.set_lateral_offset(injector.lateral_offset(0.0));
+    if (const auto thickness = injector.tissue_thickness()) {
+      link.set_tissue(
+          magnetics::TissueSlab(magnetics::sirloin_properties(), *thickness));
+    } else {
+      link.set_tissue(std::nullopt);
+    }
+    return link.analyze(drive, kLoadOhms).power_delivered;
+  }
+};
+
+// Implant drive amplitude: the patch partially compensates a weakened
+// link (floor at 0.6 of nominal — it cannot boost indefinitely), and an
+// overvoltage fault scales the drive past the clamp threshold.
+double drive_amplitude(double power, double p_nominal, const FaultInjector& injector) {
+  const double compensation =
+      std::clamp(std::sqrt(std::max(0.0, power) / p_nominal), 0.6, 1.0);
+  return kNominalDrive * compensation * injector.drive_scale();
+}
+
+// Rectifier transient segments spliced at committed checkpoints: the
+// implant's analog state persists between measurements, and a drive
+// change mid-flight (a fault landing inside a segment) costs a discarded
+// half segment plus a restart from the last committed checkpoint.
+struct RectifierPlant {
+  spice::TransientCheckpoint committed;
+  double committed_amplitude = -1.0;
+  double segment_length = 10e-6;
+  int restarts = 0;
+  int checkpoints = 0;
+
+  static std::unique_ptr<spice::Circuit> build(double amplitude) {
+    auto ckt = std::make_unique<spice::Circuit>();
+    const auto src = ckt->node("src");
+    const auto vi = ckt->node("vi");
+    ckt->add<spice::VoltageSource>("Vs", src, spice::kGround,
+                                   spice::Waveform::sine(amplitude, 5e6));
+    ckt->add<spice::Resistor>("Rs", src, vi, 50.0);
+    const auto rect =
+        pm::build_rectifier(*ckt, "r", vi, spice::Waveform::dc(0.0),
+                            spice::Waveform::dc(1.8), fast_rect_options());
+    // Light enough that the settled Vo clears the LDO's 2.1 V input
+    // floor at the nominal drive; violations then come from faults.
+    ckt->add<spice::Resistor>("Rl", rect.output, spice::kGround, 2.2e3);
+    return ckt;
+  }
+
+  spice::TransientResult run_segment(double amplitude, double length,
+                                     spice::TransientCheckpoint* capture) {
+    // A fresh circuit every segment: resume must carry ALL state through
+    // the checkpoint blob, never through device object identity.
+    auto ckt = build(amplitude);
+    spice::TransientOptions opts;
+    const double t0 = committed.valid() ? committed.time : 0.0;
+    opts.t_stop = t0 + length;
+    opts.dt_max = 10e-9;
+    opts.record_every = 8;
+    opts.record_signals = {"v(r.vo)"};
+    opts.checkpoint = capture;
+    if (committed.valid()) opts.resume_from = &committed;
+    return spice::run_transient(*ckt, opts);
+  }
+
+  double measure(double amplitude) {
+    if (committed.valid() && committed_amplitude >= 0.0 &&
+        amplitude != committed_amplitude) {
+      // The fault hit while a segment at the old drive was in flight:
+      // that half segment is wasted work, thrown away with its scratch
+      // checkpoint; the measurement restarts from the committed state.
+      spice::TransientCheckpoint doomed;
+      run_segment(committed_amplitude, segment_length / 2.0, &doomed);
+      ++restarts;
+    }
+    spice::TransientCheckpoint scratch;
+    const auto res = run_segment(amplitude, segment_length, &scratch);
+    const double t0 = committed.valid() ? committed.time : 0.0;
+    // Average the settled second half of the segment (the first half of
+    // the very first segment is still charging Co).
+    const double vo = res.mean_between("v(r.vo)", t0 + segment_length / 2.0,
+                                       t0 + segment_length);
+    committed = scratch;
+    committed_amplitude = amplitude;
+    ++checkpoints;
+    return vo;
+  }
+};
+
+// Physical BER from the link budget: snr scales with delivered power and
+// inversely with bit rate (energy per bit), so the session's rate ladder
+// buys back margin the coupling fault took away.
+double bit_error_rate_for(double power, double sensitivity, double rate) {
+  const double snr =
+      std::max(0.0, power / sensitivity) * (kNominalRate / rate);
+  return 0.5 * std::erfc(std::sqrt(snr));
+}
+
+// Tally the continuously-active fault kinds once per executed
+// measurement (the comms kinds tally per corrupted frame inside the
+// injector's channel wrapper).
+void tally_active(FaultInjector& injector, const FaultSchedule& schedule,
+                  double t) {
+  for (const auto kind :
+       {FaultKind::kCouplingStep, FaultKind::kMisalignment,
+        FaultKind::kTissueDrift, FaultKind::kOvervoltage,
+        FaultKind::kLdoDropout}) {
+    if (schedule.active(kind, t) != nullptr) injector.note_applied(kind);
+  }
+}
+
+// --- scenario runners -------------------------------------------------------
+
+// One end-to-end scenario against `schedule`: measurements flow through
+// the session layer over BER channels wrapped by the injector, each
+// executed measurement runs a rectifier transient segment (spice_plant)
+// or the behavioural front end, and the LDO regulation invariant is
+// checked under the injected rail scale.
+ScenarioResult run_link_scenario(const CampaignConfig& config, int index,
+                                 const FaultSchedule& schedule,
+                                 const SessionOptions& session_options,
+                                 bool spice_plant) {
+  ScenarioResult result;
+  result.index = index;
+
+  SimClock clock;
+  FaultInjector injector(&schedule, &clock,
+                         util::Rng::stream(config.seed, 3u * index + 0));
+  util::Rng channel_rng = util::Rng::stream(config.seed, 3u * index + 1);
+  LinkBudget budget;
+  const double sensitivity = budget.p_nominal / 8.0;  // snr 8 when nominal
+  RectifierPlant plant;
+  const pm::LdoModel ldo;
+
+  const auto make_factory = [&](LinkDirection direction) -> ChannelFactory {
+    return [&, direction](double rate) -> comms::Channel {
+      comms::Channel physical = [&, rate](const comms::Bits& bits) {
+        const double ber = bit_error_rate_for(budget.power_now(injector),
+                                              sensitivity, rate);
+        comms::Bits out = bits;
+        for (std::size_t i = 0; i < out.size(); ++i) {
+          if (channel_rng.bernoulli(ber)) out[i] = !out[i];
+        }
+        return out;
+      };
+      return injector.wrap(std::move(physical), direction);
+    };
+  };
+
+  const auto handler = [&](const comms::Request& request) -> comms::Response {
+    comms::Response response;
+    response.ok = true;
+    if (request.command == comms::Command::kMeasure) {
+      tally_active(injector, schedule, clock.now());
+      const double power = budget.power_now(injector);
+      const double amplitude = drive_amplitude(power, budget.p_nominal, injector);
+      double vo;
+      if (spice_plant) {
+        vo = plant.measure(amplitude);
+      } else {
+        // Behavioural front end for the soak: peak minus a diode drop,
+        // clamped at the four-diode chain voltage.
+        vo = std::clamp(amplitude - 0.75, 0.0, 3.0);
+      }
+      if (!ldo.in_regulation(vo * injector.rail_scale())) {
+        ++result.ldo_violations;
+      }
+      const std::uint16_t code = adc_code(vo);
+      response.payload = {static_cast<std::uint8_t>(code >> 8),
+                          static_cast<std::uint8_t>(code & 0xff)};
+    }
+    return response;
+  };
+
+  Session session(make_factory(LinkDirection::kDownlink),
+                  make_factory(LinkDirection::kUplink), handler, &clock,
+                  util::Rng::stream(config.seed, 3u * index + 2),
+                  session_options);
+
+  const double cadence = 0.25;  // [s] between measurement commands
+  for (int i = 0; i < config.exchanges; ++i) {
+    const auto outcome = session.exchange(comms::Command::kMeasure);
+    ++result.exchanges;
+    if (outcome.ok && outcome.response->payload.size() >= 2) {
+      ++result.completed;
+      result.adc_codes.push_back(static_cast<std::uint16_t>(
+          (outcome.response->payload[0] << 8) | outcome.response->payload[1]));
+    } else {
+      ++result.lost;
+    }
+    clock.advance(cadence);
+  }
+
+  const auto& stats = session.stats();
+  result.retries = stats.retries;
+  result.recovered = stats.recovered;
+  result.recover_seconds = stats.recover_seconds;
+  result.backoff_seconds = stats.backoff_seconds;
+  result.rate_fallbacks = stats.rate_fallbacks;
+  result.rate_recoveries = stats.rate_recoveries;
+  result.restarts = plant.restarts;
+  result.checkpoints = plant.checkpoints;
+  result.final_rate = session.current_rate();
+  result.sim_time = clock.now();
+  for (int k = 0; k < kFaultKindCount; ++k) {
+    result.faults_injected[k] = injector.injected(static_cast<FaultKind>(k));
+  }
+  return result;
+}
+
+// Scripted: a downlink burst-error window, an overvoltage transient, an
+// LDO rail sag, then a permanent coupling collapse (the paper's 17 mm
+// sirloin geometry) mid-session. The acceptance scenario: retries +
+// backoff ride out the burst, the rate ladder buys back the link after
+// the coupling drop, checkpoint restarts absorb the drive changes, and
+// no measurement is lost.
+ScenarioResult run_ask_burst_scenario(const CampaignConfig& config, int index) {
+  FaultSchedule schedule;
+  schedule.add({FaultKind::kBurstError, 0.35, 0.8,
+                static_cast<double>(10 + 2 * index), LinkDirection::kDownlink});
+  schedule.add({FaultKind::kOvervoltage, 0.55, 0.25, 1.8, LinkDirection::kBoth});
+  schedule.add({FaultKind::kLdoDropout, 1.0, 0.3, 0.5, LinkDirection::kBoth});
+  schedule.add({FaultKind::kCouplingStep, 1.3, -1.0, 17e-3, LinkDirection::kBoth});
+  schedule.add({FaultKind::kTissueDrift, 1.3, -1.0, 17e-3, LinkDirection::kBoth});
+
+  SessionOptions options;
+  options.max_attempts = 20;
+  options.exchange_timeout = 30.0;
+  options.rate_ladder = {100e3, 50e3, 25e3, 12.5e3, 6.25e3};
+  return run_link_scenario(config, index, schedule, options, /*spice_plant=*/true);
+}
+
+// Stochastic soak: every fault kind drawn from a seeded schedule, the
+// behavioural front end, and a tighter retry budget — partial recovery
+// is allowed and the campaign reports the achieved rate.
+ScenarioResult run_stochastic_scenario(const CampaignConfig& config, int index) {
+  util::Rng schedule_rng = util::Rng::stream(config.seed, 1000u + index);
+  StochasticScheduleConfig stochastic;
+  stochastic.horizon = 0.25 * config.exchanges + 1.0;
+  const FaultSchedule schedule = FaultSchedule::stochastic(schedule_rng, stochastic);
+
+  SessionOptions options;
+  options.max_attempts = 10;
+  options.exchange_timeout = 10.0;
+  return run_link_scenario(config, index, schedule, options, /*spice_plant=*/false);
+}
+
+// Brownouts against the degradation ladder: injected charge dips strike
+// a degrading mission; the ladder sheds bluetooth, then cadence, then
+// everything, and the scenario records what survived.
+ScenarioResult run_brownout_scenario(const CampaignConfig& config, int index) {
+  util::Rng rng = util::Rng::stream(config.seed, 2000u + index);
+  patch::DegradedMissionOptions options;
+  options.plan.connect_time = 20.0;
+  options.measurement_interval = 180.0;
+  options.horizon = 6.0 * 3600.0;
+  const int dips = 2 + static_cast<int>(rng.below(3));
+  for (int i = 0; i < dips; ++i) {
+    options.brownouts.push_back(
+        {rng.uniform(600.0, 0.6 * options.horizon), rng.uniform(0.05, 0.20)});
+  }
+  patch::BatterySpec battery;
+  battery.capacity_mah = 100.0;
+
+  const auto summary = patch::simulate_degrading_mission({}, battery, options);
+
+  ScenarioResult result;
+  result.index = index;
+  result.exchanges = summary.measurements + summary.measurements_shed;
+  result.completed = summary.measurements;
+  result.lost = 0;  // shed-by-policy is graceful degradation, not loss
+  result.brownouts = summary.brownouts_applied;
+  result.faults_injected[static_cast<int>(FaultKind::kBrownout)] =
+      static_cast<std::uint64_t>(summary.brownouts_applied);
+  result.sim_time =
+      summary.shutdown_time > 0.0 ? summary.shutdown_time : options.horizon;
+  return result;
+}
+
+using ScenarioRunner = ScenarioResult (*)(const CampaignConfig&, int);
+
+struct NamedCampaign {
+  const char* name;
+  ScenarioRunner run;
+};
+
+constexpr NamedCampaign kCampaigns[] = {
+    {"ask_burst_coupling_drop", run_ask_burst_scenario},
+    {"stochastic_soak", run_stochastic_scenario},
+    {"brownout_shedding", run_brownout_scenario},
+};
+
+}  // namespace
+
+std::vector<std::string> campaign_names() {
+  std::vector<std::string> names;
+  for (const auto& campaign : kCampaigns) names.emplace_back(campaign.name);
+  return names;
+}
+
+bool is_campaign(const std::string& name) {
+  for (const auto& campaign : kCampaigns) {
+    if (name == campaign.name) return true;
+  }
+  return false;
+}
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  if (config.scenarios < 1 || config.exchanges < 1) {
+    throw std::invalid_argument("run_campaign: scenarios and exchanges must be >= 1");
+  }
+  const NamedCampaign* chosen = nullptr;
+  for (const auto& campaign : kCampaigns) {
+    if (config.name == campaign.name) chosen = &campaign;
+  }
+  if (chosen == nullptr) {
+    throw std::invalid_argument("run_campaign: unknown campaign '" + config.name + "'");
+  }
+
+  CampaignResult result;
+  result.name = config.name;
+  result.scenarios.resize(static_cast<std::size_t>(config.scenarios));
+
+  // Scenario j writes slot j and draws only from streams keyed by
+  // (seed, j): bit-identical output for any thread count.
+  exec::ThreadPool pool(config.threads);
+  exec::ParallelForOptions options;
+  options.grain = 1;
+  exec::parallel_for(
+      pool, 0, static_cast<std::size_t>(config.scenarios),
+      [&](std::size_t j) {
+        result.scenarios[j] = chosen->run(config, static_cast<int>(j));
+      },
+      options);
+
+  int disturbed = 0;
+  for (const auto& s : result.scenarios) {
+    result.total_exchanges += s.exchanges;
+    result.completed += s.completed;
+    result.lost_measurements += s.lost;
+    result.retries += s.retries;
+    result.restarts += s.restarts;
+    result.checkpoints += s.checkpoints;
+    disturbed += s.recovered + s.lost;
+    result.mean_time_to_recover += s.recover_seconds;
+    for (int k = 0; k < kFaultKindCount; ++k) {
+      result.faults_injected[k] += s.faults_injected[k];
+    }
+  }
+  int recovered = 0;
+  for (const auto& s : result.scenarios) recovered += s.recovered;
+  result.recovery_rate =
+      disturbed > 0 ? static_cast<double>(recovered) / disturbed : 1.0;
+  result.mean_time_to_recover =
+      recovered > 0 ? result.mean_time_to_recover / recovered : 0.0;
+  result.fingerprint = fingerprint_scenarios(result.scenarios);
+
+  if constexpr (obs::kEnabled) {
+    auto& registry = obs::MetricsRegistry::instance();
+    registry.counter("fault.campaign.runs").add();
+    registry.gauge("fault.campaign.recovery_rate").set(result.recovery_rate);
+    registry.gauge("fault.campaign.lost_measurements")
+        .set(static_cast<double>(result.lost_measurements));
+    registry.gauge("fault.campaign.mean_time_to_recover_s")
+        .set(result.mean_time_to_recover);
+  }
+  return result;
+}
+
+}  // namespace ironic::fault

@@ -1,0 +1,85 @@
+// Named fault-resilience campaigns: end-to-end scenarios that drive the
+// whole stack — magnetics link budget, ASK/LSK comms with the session
+// layer, pm rectifier transients with checkpoint/restart, patch
+// degradation — through scripted or stochastic fault schedules, and
+// report recovery statistics.
+//
+// Campaigns are deterministic by construction: every scenario owns a
+// SimClock and util::Rng streams keyed by (seed, scenario), results land
+// in slot-indexed storage, so `run_campaign` is bit-identical for any
+// `threads` value and any two same-seed runs (the fingerprint in the
+// result is the contract the ctest gate checks).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fault/schedule.hpp"
+
+namespace ironic::fault {
+
+struct CampaignConfig {
+  std::string name = "ask_burst_coupling_drop";
+  std::uint64_t seed = 0x1badc0deULL;
+  int scenarios = 3;
+  int exchanges = 10;      // measurements attempted per scenario
+  std::size_t threads = 1; // scenario-level parallelism (1 = serial)
+};
+
+struct ScenarioResult {
+  int index = 0;
+  int exchanges = 0;   // measurement exchanges attempted
+  int completed = 0;   // exchanges that delivered data
+  int lost = 0;        // exchanges abandoned -> lost measurements
+  int retries = 0;
+  int recovered = 0;   // exchanges that needed >= 1 retry yet completed
+  double recover_seconds = 0.0;  // elapsed summed over recovered exchanges
+  double backoff_seconds = 0.0;
+  int rate_fallbacks = 0;
+  int rate_recoveries = 0;
+  int restarts = 0;     // spice segments re-run from a committed checkpoint
+  int checkpoints = 0;  // committed transient checkpoints
+  int ldo_violations = 0;
+  int brownouts = 0;
+  double final_rate = 0.0;  // [bit/s] session rate at scenario end
+  double sim_time = 0.0;    // scenario SimClock at the end [s]
+  std::uint64_t faults_injected[kFaultKindCount] = {};
+  std::vector<std::uint16_t> adc_codes;  // one per completed measurement
+};
+
+struct CampaignResult {
+  std::string name;
+  std::vector<ScenarioResult> scenarios;
+  int total_exchanges = 0;
+  int completed = 0;
+  int lost_measurements = 0;
+  int retries = 0;
+  int restarts = 0;
+  int checkpoints = 0;
+  // recovered / (exchanges that needed >= 1 retry); 1.0 when none did.
+  double recovery_rate = 1.0;
+  double mean_time_to_recover = 0.0;  // [s] over recovered exchanges
+  std::uint64_t faults_injected[kFaultKindCount] = {};
+  // FNV-1a over every deterministic scenario field, in index order; equal
+  // fingerprints mean bit-identical campaigns.
+  std::uint64_t fingerprint = 0;
+};
+
+// The registered campaign names:
+//   ask_burst_coupling_drop  scripted: downlink burst errors, an
+//                            overvoltage transient, then a permanent
+//                            17 mm-sirloin coupling drop mid-session
+//   stochastic_soak          every fault kind drawn from a seeded
+//                            schedule; partial recovery allowed
+//   brownout_shedding        battery brownouts against the patch
+//                            degradation ladder
+std::vector<std::string> campaign_names();
+bool is_campaign(const std::string& name);
+
+// Run the named campaign. Throws std::invalid_argument on an unknown
+// name or non-positive scenario/exchange counts.
+CampaignResult run_campaign(const CampaignConfig& config);
+
+}  // namespace ironic::fault

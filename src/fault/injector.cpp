@@ -1,0 +1,106 @@
+#include "src/fault/injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "src/obs/metrics.hpp"
+
+namespace ironic::fault {
+
+FaultInjector::FaultInjector(const FaultSchedule* schedule, const SimClock* clock,
+                             util::Rng rng)
+    : schedule_(schedule), clock_(clock), rng_(rng) {
+  if (schedule_ == nullptr || clock_ == nullptr) {
+    throw std::invalid_argument("FaultInjector: schedule and clock required");
+  }
+}
+
+double FaultInjector::now() const { return clock_->now(); }
+
+double FaultInjector::distance(double base) const {
+  const auto* event = schedule_->active(FaultKind::kCouplingStep, now());
+  return event != nullptr ? event->magnitude : base;
+}
+
+double FaultInjector::lateral_offset(double base) const {
+  const auto* event = schedule_->active(FaultKind::kMisalignment, now());
+  return event != nullptr ? event->magnitude : base;
+}
+
+std::optional<double> FaultInjector::tissue_thickness() const {
+  const auto* event = schedule_->active(FaultKind::kTissueDrift, now());
+  if (event == nullptr) return std::nullopt;
+  return event->magnitude;
+}
+
+double FaultInjector::drive_scale() const {
+  const auto* event = schedule_->active(FaultKind::kOvervoltage, now());
+  return event != nullptr ? event->magnitude : 1.0;
+}
+
+double FaultInjector::rail_scale() const {
+  const auto* event = schedule_->active(FaultKind::kLdoDropout, now());
+  return event != nullptr ? event->magnitude : 1.0;
+}
+
+double FaultInjector::brownout_fraction(double t0, double t1) {
+  double fraction = 0.0;
+  for (const auto* event :
+       schedule_->started_between(FaultKind::kBrownout, t0, t1)) {
+    fraction += event->magnitude;
+    note_applied(FaultKind::kBrownout);
+  }
+  return std::min(fraction, 1.0);
+}
+
+comms::Channel FaultInjector::wrap(comms::Channel inner, LinkDirection link) {
+  return [this, inner = std::move(inner), link](const comms::Bits& bits) {
+    comms::Bits out = inner ? inner(bits) : bits;
+    const double t = now();
+    if (const auto* flip = schedule_->active(FaultKind::kBitFlip, t, link)) {
+      bool applied = false;
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        if (rng_.bernoulli(flip->magnitude)) {
+          out[i] = !out[i];
+          applied = true;
+        }
+      }
+      if (applied) note_applied(FaultKind::kBitFlip);
+    }
+    if (const auto* burst = schedule_->active(FaultKind::kBurstError, t, link)) {
+      if (!out.empty()) {
+        const auto length = std::min<std::size_t>(
+            out.size(), static_cast<std::size_t>(
+                            std::max(1.0, burst->magnitude)));
+        const std::size_t start =
+            static_cast<std::size_t>(rng_.below(out.size() - length + 1));
+        for (std::size_t i = start; i < start + length; ++i) out[i] = !out[i];
+        note_applied(FaultKind::kBurstError);
+      }
+    }
+    return out;
+  };
+}
+
+std::uint64_t FaultInjector::injected(FaultKind kind) const {
+  return injected_[static_cast<int>(kind)];
+}
+
+std::uint64_t FaultInjector::total_injected() const {
+  std::uint64_t total = 0;
+  for (const auto count : injected_) total += count;
+  return total;
+}
+
+void FaultInjector::note_applied(FaultKind kind) {
+  ++injected_[static_cast<int>(kind)];
+  if constexpr (obs::kEnabled) {
+    obs::MetricsRegistry::instance()
+        .counter(std::string("fault.injected.") + fault_kind_name(kind))
+        .add();
+  }
+}
+
+}  // namespace ironic::fault

@@ -1,0 +1,71 @@
+// Fault injection points: the bridge between a FaultSchedule and the
+// subsystems it perturbs.
+//
+// The injector is pull-based — magnetics asks "what is the coil distance
+// now", comms channels are wrapped so every frame passing through picks
+// up the bit errors active at that instant, pm asks for the drive and
+// rail scales, the patch asks which brownouts fired since it last
+// looked. Every applied fault is tallied locally and mirrored to the
+// obs metrics registry as fault.injected.<kind>.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/comms/protocol.hpp"
+#include "src/fault/schedule.hpp"
+#include "src/util/rng.hpp"
+
+namespace ironic::fault {
+
+class FaultInjector {
+ public:
+  // `schedule` and `clock` must outlive the injector. `rng` drives the
+  // stochastic comms faults (bit flips, burst start positions); give each
+  // scenario its own util::Rng::stream so campaigns stay thread-count
+  // invariant.
+  FaultInjector(const FaultSchedule* schedule, const SimClock* clock,
+                util::Rng rng);
+
+  double now() const;
+
+  // --- magnetics injection points -------------------------------------------
+  // Base value unless a step fault of the matching kind governs `now()`.
+  double distance(double base) const;
+  double lateral_offset(double base) const;
+  // Tissue slab thickness; nullopt = keep the configured medium.
+  std::optional<double> tissue_thickness() const;
+
+  // --- pm injection points --------------------------------------------------
+  // Multiplier on the rectifier drive amplitude (kOvervoltage, >= 1).
+  double drive_scale() const;
+  // Multiplier on the LDO input rail (kLdoDropout, <= 1).
+  double rail_scale() const;
+
+  // --- patch injection points -----------------------------------------------
+  // Total battery charge fraction lost to brownouts striking in (t0, t1].
+  double brownout_fraction(double t0, double t1);
+
+  // --- comms injection points -----------------------------------------------
+  // Wrap a channel so frames passing through it at fault-active instants
+  // pick up bit flips and burst inversions. The wrapper holds a reference
+  // to this injector; keep the injector alive as long as the channel.
+  comms::Channel wrap(comms::Channel inner, LinkDirection link);
+
+  // Applied-fault tally (counted when a fault actually perturbs
+  // something, not merely when it is scheduled).
+  std::uint64_t injected(FaultKind kind) const;
+  std::uint64_t total_injected() const;
+  // Record one application of `kind`: the comms/brownout paths call this
+  // internally; pull-based consumers (magnetics geometry, pm scales) call
+  // it when they act on a non-default value.
+  void note_applied(FaultKind kind);
+
+ private:
+  const FaultSchedule* schedule_;
+  const SimClock* clock_;
+  util::Rng rng_;
+  std::uint64_t injected_[kFaultKindCount] = {};
+};
+
+}  // namespace ironic::fault

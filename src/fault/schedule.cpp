@@ -1,0 +1,135 @@
+#include "src/fault/schedule.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ironic::fault {
+
+void SimClock::advance(double dt) {
+  if (dt < 0.0) throw std::invalid_argument("SimClock::advance: dt must be >= 0");
+  t_ += dt;
+}
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCouplingStep: return "coupling_step";
+    case FaultKind::kMisalignment: return "misalignment";
+    case FaultKind::kTissueDrift: return "tissue_drift";
+    case FaultKind::kBitFlip: return "bit_flip";
+    case FaultKind::kBurstError: return "burst_error";
+    case FaultKind::kOvervoltage: return "overvoltage";
+    case FaultKind::kLdoDropout: return "ldo_dropout";
+    case FaultKind::kBrownout: return "brownout";
+  }
+  return "?";
+}
+
+void FaultSchedule::add(const FaultEvent& event) {
+  if (event.start < 0.0) {
+    throw std::invalid_argument("FaultSchedule::add: start must be >= 0");
+  }
+  events_.push_back(event);
+}
+
+const FaultEvent* FaultSchedule::active(FaultKind kind, double t,
+                                        LinkDirection link) const {
+  const FaultEvent* best = nullptr;
+  for (const auto& event : events_) {
+    if (event.kind != kind || !event.active_at(t) || !event.applies_to(link)) {
+      continue;
+    }
+    if (best == nullptr || event.start >= best->start) best = &event;
+  }
+  return best;
+}
+
+std::vector<const FaultEvent*> FaultSchedule::started_between(FaultKind kind,
+                                                              double t0,
+                                                              double t1) const {
+  std::vector<const FaultEvent*> hits;
+  for (const auto& event : events_) {
+    if (event.kind == kind && event.start > t0 && event.start <= t1) {
+      hits.push_back(&event);
+    }
+  }
+  return hits;
+}
+
+namespace {
+
+// Small deterministic Poisson via inversion; the per-kind means are O(1)
+// so the loop terminates quickly.
+int poisson_draw(util::Rng& rng, double mean) {
+  if (mean <= 0.0) return 0;
+  const double limit = std::exp(-mean);
+  double product = rng.uniform();
+  int count = 0;
+  while (product > limit) {
+    product *= rng.uniform();
+    ++count;
+  }
+  return count;
+}
+
+// Kind-specific magnitude ranges, spanning the paper's operating space:
+// coil separation up to the 20 mm where the link budget collapses,
+// sirloin slabs up to the 17 mm measurement, ASK error floors, clamp-
+// worthy overvoltage, sub-regulation rails, and patch brownout dips.
+double draw_magnitude(util::Rng& rng, FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCouplingStep: return rng.uniform(8e-3, 20e-3);
+    case FaultKind::kMisalignment: return rng.uniform(0.0, 10e-3);
+    case FaultKind::kTissueDrift: return rng.uniform(5e-3, 20e-3);
+    case FaultKind::kBitFlip: return rng.uniform(1e-3, 2e-2);
+    case FaultKind::kBurstError:
+      return static_cast<double>(4 + rng.below(21));  // 4..24 bits
+    case FaultKind::kOvervoltage: return rng.uniform(1.5, 2.5);
+    case FaultKind::kLdoDropout: return rng.uniform(0.3, 0.8);
+    case FaultKind::kBrownout: return rng.uniform(0.02, 0.10);
+  }
+  return 0.0;
+}
+
+bool is_step_kind(FaultKind kind) {
+  // Geometry/tissue changes are reconfigurations, not pulses: once the
+  // coil moved, it stays moved until the next event.
+  return kind == FaultKind::kCouplingStep || kind == FaultKind::kMisalignment ||
+         kind == FaultKind::kTissueDrift;
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::stochastic(util::Rng& rng,
+                                        const StochasticScheduleConfig& config) {
+  if (config.horizon <= 0.0) {
+    throw std::invalid_argument("FaultSchedule::stochastic: horizon must be > 0");
+  }
+  FaultSchedule schedule;
+  for (int k = 0; k < kFaultKindCount; ++k) {
+    const auto kind = static_cast<FaultKind>(k);
+    const int count = poisson_draw(rng, config.events_per_kind[k]);
+    for (int i = 0; i < count; ++i) {
+      FaultEvent event;
+      event.kind = kind;
+      event.start = rng.uniform(0.0, config.horizon);
+      event.magnitude = draw_magnitude(rng, kind);
+      if (kind == FaultKind::kBrownout) {
+        event.duration = 0.0;  // instantaneous charge loss
+      } else if (is_step_kind(kind)) {
+        event.duration = -1.0;  // permanent reconfiguration
+      } else {
+        event.duration =
+            -config.mean_duration * std::log(1.0 - rng.uniform());
+        if (event.duration <= 0.0) event.duration = config.mean_duration;
+      }
+      if (kind == FaultKind::kBitFlip || kind == FaultKind::kBurstError) {
+        const auto dir = rng.below(3);
+        event.direction = static_cast<LinkDirection>(dir);
+      }
+      schedule.add(event);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace ironic::fault

@@ -1,0 +1,99 @@
+// Deterministic fault schedules for resilience campaigns.
+//
+// A FaultSchedule is a timeline of FaultEvents — coil separation steps,
+// tissue drift, channel bit errors, rail transients, battery brownouts —
+// that the FaultInjector consults against a SimClock. Schedules are
+// either scripted (the campaign names each event) or stochastic (drawn
+// once, up front, from a seeded util::Rng stream, so a soak run is
+// bit-identical for any thread count per the PR-3 determinism contract).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace ironic::fault {
+
+// Simulated wall clock for a campaign scenario. All latency the session
+// layer books (airtime, backoff) advances this clock, and the injector
+// evaluates the schedule against it — no real time anywhere.
+class SimClock {
+ public:
+  double now() const { return t_; }
+  void advance(double dt);  // throws std::invalid_argument on dt < 0
+
+ private:
+  double t_ = 0.0;
+};
+
+enum class FaultKind : int {
+  kCouplingStep = 0,  // magnitude: new coil separation [m]
+  kMisalignment,      // magnitude: lateral coil offset [m]
+  kTissueDrift,       // magnitude: tissue slab thickness [m] (0 = air)
+  kBitFlip,           // magnitude: per-bit flip probability
+  kBurstError,        // magnitude: contiguous bits inverted per frame
+  kOvervoltage,       // magnitude: drive-amplitude scale (> 1)
+  kLdoDropout,        // magnitude: regulator input-rail scale (< 1)
+  kBrownout,          // magnitude: battery charge fraction lost at start
+};
+inline constexpr int kFaultKindCount = 8;
+
+// Stable short name, used for metric keys ("fault.injected.<name>") and
+// report rows.
+const char* fault_kind_name(FaultKind kind);
+
+// Which link direction a comms fault (kBitFlip/kBurstError) corrupts.
+enum class LinkDirection : int { kDownlink = 0, kUplink = 1, kBoth = 2 };
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kBitFlip;
+  double start = 0.0;      // [s] on the scenario SimClock
+  double duration = -1.0;  // [s]; <= 0 means permanent from `start`
+  double magnitude = 0.0;  // kind-specific, see FaultKind
+  LinkDirection direction = LinkDirection::kBoth;  // comms kinds only
+
+  bool active_at(double t) const {
+    return t >= start && (duration <= 0.0 || t < start + duration);
+  }
+  bool applies_to(LinkDirection link) const {
+    return direction == LinkDirection::kBoth || direction == link;
+  }
+};
+
+// Knobs for the stochastic generator. Event counts are drawn per kind so
+// disabling a kind is just a zero entry.
+struct StochasticScheduleConfig {
+  double horizon = 10.0;  // [s] events start uniformly in [0, horizon)
+  // Mean number of events of each kind across the horizon (Poisson).
+  double events_per_kind[kFaultKindCount] = {0.5, 0.5, 0.5, 1.5,
+                                             1.5, 0.5, 0.5, 0.5};
+  double mean_duration = 0.5;  // [s] exponential; step kinds stay permanent
+};
+
+class FaultSchedule {
+ public:
+  void add(const FaultEvent& event);
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  // The event of `kind` governing time `t` (latest start wins when
+  // windows overlap), or nullptr when none is active.
+  const FaultEvent* active(FaultKind kind, double t,
+                           LinkDirection link = LinkDirection::kBoth) const;
+
+  // All events of `kind` whose start lies in (t0, t1] — the edge-trigger
+  // query used for instantaneous kinds (kBrownout).
+  std::vector<const FaultEvent*> started_between(FaultKind kind, double t0,
+                                                 double t1) const;
+
+  // Draw a schedule from `rng`. Same rng state + config -> identical
+  // schedule, on any machine and thread count.
+  static FaultSchedule stochastic(util::Rng& rng,
+                                  const StochasticScheduleConfig& config = {});
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace ironic::fault

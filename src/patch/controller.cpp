@@ -19,13 +19,116 @@ const char* to_string(PatchState state) {
   return "?";
 }
 
+const char* to_string(DegradationLevel level) {
+  switch (level) {
+    case DegradationLevel::kNominal: return "nominal";
+    case DegradationLevel::kShedBackhaul: return "shed-backhaul";
+    case DegradationLevel::kReducedRate: return "reduced-rate";
+    case DegradationLevel::kSafeIdle: return "safe-idle";
+  }
+  return "?";
+}
+
+DegradationLevel DegradationPolicy::level_for(double soc,
+                                              DegradationLevel current) const {
+  const auto threshold = [this](DegradationLevel level) {
+    switch (level) {
+      case DegradationLevel::kShedBackhaul: return shed_backhaul_soc;
+      case DegradationLevel::kReducedRate: return reduced_rate_soc;
+      case DegradationLevel::kSafeIdle: return safe_idle_soc;
+      case DegradationLevel::kNominal: break;
+    }
+    return 1.0;
+  };
+  // Escalate to the deepest level whose threshold the SoC has crossed.
+  DegradationLevel target = DegradationLevel::kNominal;
+  for (const auto level : {DegradationLevel::kShedBackhaul,
+                           DegradationLevel::kReducedRate,
+                           DegradationLevel::kSafeIdle}) {
+    if (soc <= threshold(level)) target = level;
+  }
+  if (target >= current) return target;
+  // De-escalate one rung at a time, each requiring threshold + hysteresis
+  // headroom, so a recharge does not flap the shed functions.
+  DegradationLevel level = current;
+  while (level > target &&
+         soc >= threshold(level) + hysteresis) {
+    level = static_cast<DegradationLevel>(static_cast<int>(level) - 1);
+  }
+  return level;
+}
+
 PatchController::PatchController(PatchPowerSpec power, BatterySpec battery)
     : power_(power), battery_(battery) {
   push_log();
 }
 
+void PatchController::set_degradation_policy(DegradationPolicy policy) {
+  degradation_policy_ = policy;
+  degradation_enabled_ = true;
+  update_degradation();
+}
+
+void PatchController::update_degradation() {
+  if (!degradation_enabled_) return;
+  const DegradationLevel next =
+      degradation_policy_.level_for(battery_.state_of_charge(), degradation_level_);
+  if (next == degradation_level_) return;
+  const bool escalating = next > degradation_level_;
+  degradation_level_ = next;
+  if (escalating) {
+    // Shed in order: back-haul first, then any active powering burst.
+    if (next >= DegradationLevel::kShedBackhaul && bt_connected_) {
+      bt_connected_ = false;
+      if (state_ == PatchState::kConnected) state_ = PatchState::kIdle;
+    }
+    if (next >= DegradationLevel::kSafeIdle && state_ != PatchState::kIdle) {
+      state_ = PatchState::kIdle;
+    }
+    push_log();
+  }
+  if constexpr (obs::kEnabled) {
+    auto& registry = obs::MetricsRegistry::instance();
+    registry.gauge("patch.degradation_level").set(static_cast<double>(next));
+    if (escalating) registry.counter("patch.degradation.sheds").add();
+    auto& recorder = obs::TraceRecorder::instance();
+    if (recorder.enabled()) {
+      recorder.sim_instant("patch.degradation", "patch", time_,
+                           {{"level", to_string(next)}});
+    }
+  }
+}
+
+void PatchController::inject_brownout(double fraction) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument(
+        "PatchController::inject_brownout: fraction must be in [0, 1]");
+  }
+  battery_.draw(fraction * battery_.effective_capacity_coulombs(), 1.0);
+  if (shut_down() && state_ != PatchState::kIdle) {
+    state_ = PatchState::kIdle;
+    bt_connected_ = false;
+  }
+  update_degradation();
+  push_log();
+  if constexpr (obs::kEnabled) {
+    obs::MetricsRegistry::instance().counter("patch.brownouts").add();
+  }
+}
+
 bool PatchController::can_handle(PatchEvent event) const {
   if (shut_down()) return false;
+  // Degradation gating: a shed function cannot be re-acquired while the
+  // level forbids it.
+  if (degradation_level_ >= DegradationLevel::kShedBackhaul &&
+      event == PatchEvent::kBtConnect) {
+    return false;
+  }
+  if (degradation_level_ >= DegradationLevel::kSafeIdle &&
+      (event == PatchEvent::kStartPowering || event == PatchEvent::kSendDownlink ||
+       event == PatchEvent::kReceiveUplink)) {
+    return false;
+  }
   switch (event) {
     case PatchEvent::kBtConnect:
       return !bt_connected_;
@@ -94,6 +197,7 @@ void PatchController::advance(double dt) {
     state_ = PatchState::kIdle;
     bt_connected_ = false;
   }
+  update_degradation();
   push_log();
 
   // Battery-draw sampling for the scheduler/mission telemetry.

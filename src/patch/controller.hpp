@@ -28,6 +28,31 @@ struct LogEntry {
   double battery_soc = 1.0;
 };
 
+// Graceful-degradation ladder (mirrors the paper's battery tiers: ~10 h
+// idle, ~3.5 h bluetooth-connected, ~1.5 h transmitting power). As the
+// battery drains, the patch sheds its most expensive functions in order:
+// bluetooth back-haul first, then measurement cadence, then everything.
+enum class DegradationLevel {
+  kNominal = 0,       // full service
+  kShedBackhaul = 1,  // bluetooth dropped; data buffered on the patch
+  kReducedRate = 2,   // measurement cadence cut, robust low-rate link
+  kSafeIdle = 3,      // no sessions; MCU housekeeping only
+};
+
+const char* to_string(DegradationLevel level);
+
+// State-of-charge thresholds that ENTER each level, with hysteresis on
+// the way back up (a recharge must clear threshold + hysteresis before
+// the patch resumes the shed function).
+struct DegradationPolicy {
+  double shed_backhaul_soc = 0.50;
+  double reduced_rate_soc = 0.25;
+  double safe_idle_soc = 0.10;
+  double hysteresis = 0.05;
+
+  DegradationLevel level_for(double soc, DegradationLevel current) const;
+};
+
 // Deterministic FSM with battery bookkeeping. Invalid transitions throw;
 // time advances explicitly through `advance`.
 class PatchController {
@@ -51,14 +76,35 @@ class PatchController {
   // Seconds of runtime left at the present state's current draw.
   double remaining_runtime() const;
 
+  // --- graceful degradation ------------------------------------------------
+  // Off until a policy is installed (a plain controller behaves exactly
+  // as before). Once set, the level is re-evaluated after every
+  // advance(): entering kShedBackhaul force-drops the bluetooth link;
+  // entering kSafeIdle aborts any powering burst back to idle.
+  // can_handle() refuses to re-acquire shed functions while the level
+  // forbids them.
+  void set_degradation_policy(DegradationPolicy policy);
+  const DegradationPolicy& degradation_policy() const { return degradation_policy_; }
+  DegradationLevel degradation_level() const { return degradation_level_; }
+
+  // Fault injection point: lose `fraction` of the battery's effective
+  // capacity instantly (a brownout dip), then re-evaluate the ladder so
+  // a deep dip sheds functions on the spot. Throws on fraction outside
+  // [0, 1].
+  void inject_brownout(double fraction);
+
  private:
   void push_log();
+  void update_degradation();
 
   PatchPowerSpec power_;
   LiIonBattery battery_;
   PatchState state_ = PatchState::kIdle;
   bool bt_connected_ = false;
   double time_ = 0.0;
+  DegradationPolicy degradation_policy_;
+  bool degradation_enabled_ = false;
+  DegradationLevel degradation_level_ = DegradationLevel::kNominal;
   std::vector<LogEntry> log_;
 };
 

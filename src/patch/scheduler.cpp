@@ -1,5 +1,6 @@
 #include "src/patch/scheduler.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ironic::patch {
@@ -55,6 +56,130 @@ MissionSummary max_daily_sessions(const PatchPowerSpec& power,
     best.feasible = true;
   }
   return best;
+}
+
+SessionPlan degraded_plan(const SessionPlan& base, DegradationLevel level) {
+  SessionPlan plan = base;
+  if (level >= DegradationLevel::kShedBackhaul) {
+    plan.connect_time = 0.0;  // no bluetooth back-haul; buffer locally
+  }
+  if (level >= DegradationLevel::kReducedRate) {
+    // Robust quarter-rate links: cheaper per bit to get right, longer on
+    // air — the cadence stretch (rate_backoff) is what saves the charge.
+    plan.downlink_rate = base.downlink_rate / 4.0;
+    plan.uplink_rate = base.uplink_rate / 4.0;
+  }
+  return plan;
+}
+
+DegradedMissionSummary simulate_degrading_mission(const PatchPowerSpec& power,
+                                                  const BatterySpec& battery,
+                                                  const DegradedMissionOptions& options) {
+  if (options.measurement_interval <= 0.0 || options.horizon <= 0.0 ||
+      options.sample_interval <= 0.0 || options.rate_backoff < 1.0) {
+    throw std::invalid_argument("simulate_degrading_mission: invalid options");
+  }
+  PatchController controller(power, battery);
+  controller.set_degradation_policy(options.policy);
+  DegradedMissionSummary summary;
+
+  std::vector<BrownoutEvent> brownouts = options.brownouts;
+  std::sort(brownouts.begin(), brownouts.end(),
+            [](const BrownoutEvent& a, const BrownoutEvent& b) {
+              return a.time < b.time;
+            });
+  std::size_t next_brownout = 0;
+
+  const auto sample = [&] {
+    summary.timeline.push_back({controller.time(),
+                                controller.battery().state_of_charge(),
+                                controller.degradation_level()});
+  };
+  const auto apply_brownouts = [&] {
+    while (next_brownout < brownouts.size() &&
+           brownouts[next_brownout].time <= controller.time() &&
+           !controller.shut_down()) {
+      controller.inject_brownout(brownouts[next_brownout].fraction);
+      ++summary.brownouts_applied;
+      ++next_brownout;
+    }
+  };
+  // Spend `dt` seconds in the current state, attributing the time to the
+  // degradation level in effect as it passes.
+  const auto spend = [&](double dt) {
+    double remaining = dt;
+    while (remaining > 0.0 && !controller.shut_down()) {
+      const double chunk = std::min(remaining, options.sample_interval);
+      summary.time_in_level[static_cast<int>(controller.degradation_level())] += chunk;
+      controller.advance(chunk);
+      apply_brownouts();
+      remaining -= chunk;
+      sample();
+    }
+    return remaining <= 0.0;
+  };
+
+  apply_brownouts();
+  sample();
+  double next_measurement = 0.0;
+  while (controller.time() < options.horizon && !controller.shut_down()) {
+    if (controller.time() + 1e-9 >= next_measurement) {
+      const DegradationLevel level = controller.degradation_level();
+      const double cadence =
+          options.measurement_interval *
+          (level >= DegradationLevel::kReducedRate ? options.rate_backoff : 1.0);
+      if (level >= DegradationLevel::kSafeIdle) {
+        ++summary.measurements_shed;
+        next_measurement = controller.time() + cadence;
+      } else {
+        const SessionPlan plan = degraded_plan(options.plan, level);
+        // Route the session through the FSM; a mid-session shed (level
+        // escalation inside advance) aborts the remainder.
+        if (plan.connect_time > 0.0 && controller.can_handle(PatchEvent::kBtConnect)) {
+          controller.handle(PatchEvent::kBtConnect);
+          spend(plan.connect_time);
+        }
+        bool completed = false;
+        if (controller.can_handle(PatchEvent::kStartPowering)) {
+          controller.handle(PatchEvent::kStartPowering);
+          spend(plan.charge_time + plan.measure_time);
+          if (controller.can_handle(PatchEvent::kSendDownlink)) {
+            controller.handle(PatchEvent::kSendDownlink);
+            spend(plan.downlink_bits / plan.downlink_rate);
+            if (controller.can_handle(PatchEvent::kBurstDone)) {
+              controller.handle(PatchEvent::kBurstDone);
+              if (controller.can_handle(PatchEvent::kReceiveUplink)) {
+                controller.handle(PatchEvent::kReceiveUplink);
+                spend(plan.uplink_bits / plan.uplink_rate);
+                if (controller.can_handle(PatchEvent::kBurstDone)) {
+                  controller.handle(PatchEvent::kBurstDone);
+                  completed = true;
+                }
+              }
+            }
+          }
+          if (controller.can_handle(PatchEvent::kStopPowering)) {
+            controller.handle(PatchEvent::kStopPowering);
+          }
+        }
+        if (controller.can_handle(PatchEvent::kBtDisconnect)) {
+          controller.handle(PatchEvent::kBtDisconnect);
+        }
+        if (completed) {
+          ++summary.measurements;
+        } else {
+          ++summary.measurements_shed;
+        }
+        next_measurement = controller.time() + cadence;
+      }
+    }
+    const double idle_until = std::min(next_measurement, options.horizon);
+    if (idle_until > controller.time()) {
+      spend(idle_until - controller.time());
+    }
+  }
+  if (controller.shut_down()) summary.shutdown_time = controller.time();
+  return summary;
 }
 
 }  // namespace ironic::patch

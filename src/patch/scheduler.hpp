@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/patch/battery.hpp"
+#include "src/patch/controller.hpp"
 #include "src/patch/power_model.hpp"
 
 namespace ironic::patch {
@@ -54,5 +55,57 @@ struct MissionSummary {
 MissionSummary max_daily_sessions(const PatchPowerSpec& power,
                                   const BatterySpec& battery, const SessionPlan& plan,
                                   double awake_hours, double reserve_soc = 0.2);
+
+// --- graceful degradation ---------------------------------------------------
+
+// The session plan actually run at a degradation level: kShedBackhaul
+// drops the bluetooth setup (data buffered on the patch), kReducedRate
+// additionally falls back to quarter-rate robust links, kSafeIdle runs
+// no sessions at all (callers must not schedule one).
+SessionPlan degraded_plan(const SessionPlan& base, DegradationLevel level);
+
+// An injected battery brownout: at `time` the cell instantly loses
+// `fraction` of its effective capacity (see
+// PatchController::inject_brownout).
+struct BrownoutEvent {
+  double time = 0.0;
+  double fraction = 0.0;
+};
+
+struct DegradedMissionOptions {
+  SessionPlan plan;
+  DegradationPolicy policy;
+  double measurement_interval = 300.0;  // nominal cadence [s]
+  double rate_backoff = 4.0;            // cadence stretch at kReducedRate
+  double horizon = 12.0 * 3600.0;       // [s]
+  double sample_interval = 60.0;        // telemetry granularity [s]
+  // Brownouts to inject, applied in time order as the mission passes
+  // their timestamps (fault-campaign hook; empty = none).
+  std::vector<BrownoutEvent> brownouts;
+};
+
+struct DegradationSample {
+  double time = 0.0;
+  double soc = 1.0;
+  DegradationLevel level = DegradationLevel::kNominal;
+};
+
+struct DegradedMissionSummary {
+  int measurements = 0;                // sessions completed
+  int measurements_shed = 0;           // cadence slots skipped by the ladder
+  int brownouts_applied = 0;           // injected BrownoutEvents that fired
+  double time_in_level[4] = {0, 0, 0, 0};
+  double shutdown_time = -1.0;         // battery empty; -1 = survived horizon
+  std::vector<DegradationSample> timeline;
+};
+
+// Run the mission through a PatchController with the degradation policy
+// installed: measurements fire on the (level-stretched) cadence, each
+// session's events route through the FSM, and the ladder sheds bluetooth
+// -> cadence -> everything as the battery drains. Deterministic — no
+// randomness anywhere.
+DegradedMissionSummary simulate_degrading_mission(const PatchPowerSpec& power,
+                                                  const BatterySpec& battery,
+                                                  const DegradedMissionOptions& options);
 
 }  // namespace ironic::patch

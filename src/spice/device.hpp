@@ -154,6 +154,16 @@ class Device {
   // True if the device's stamp depends on the iterate (forces Newton).
   virtual bool nonlinear() const { return false; }
 
+  // --- checkpoint/restart ---------------------------------------------------
+  // Serialize the device's cross-step integration state (companion-model
+  // history) by appending doubles to `out`. Stateless devices — anything
+  // whose per-step state is rebuilt in start_step — keep the empty
+  // default. restore_state must consume exactly the doubles save_state
+  // produced and return that count; the engine concatenates the blobs in
+  // device order (see spice::TransientCheckpoint).
+  virtual void save_state(std::vector<double>& /*out*/) const {}
+  virtual std::size_t restore_state(std::span<const double> /*in*/) { return 0; }
+
   // Topology/value snapshot for static passes (lint). The default is an
   // opaque device with no terminals; every shipped device overrides this.
   virtual DeviceInfo info() const { return {}; }

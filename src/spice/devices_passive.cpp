@@ -70,6 +70,20 @@ void Capacitor::accept_step(std::span<const double> x, double /*time*/, double d
   has_history_ = true;
 }
 
+void Capacitor::save_state(std::vector<double>& out) const {
+  out.push_back(v_state_);
+  out.push_back(i_state_);
+  out.push_back(has_history_ ? 1.0 : 0.0);
+}
+
+std::size_t Capacitor::restore_state(std::span<const double> in) {
+  if (in.size() < 3) throw std::invalid_argument("Capacitor::restore_state: blob too short");
+  v_state_ = in[0];
+  i_state_ = in[1];
+  has_history_ = in[2] != 0.0;
+  return 3;
+}
+
 // ---------------------------------------------------------------- Inductor
 
 Inductor::Inductor(std::string name, NodeId a, NodeId b, double inductance,
@@ -131,6 +145,20 @@ void Inductor::accept_step(std::span<const double> x, double /*time*/, double /*
   const double vb = b_ == kGround ? 0.0 : x[static_cast<std::size_t>(b_)];
   v_state_ = va - vb - esr_ * i_state_;
   has_history_ = true;
+}
+
+void Inductor::save_state(std::vector<double>& out) const {
+  out.push_back(i_state_);
+  out.push_back(v_state_);
+  out.push_back(has_history_ ? 1.0 : 0.0);
+}
+
+std::size_t Inductor::restore_state(std::span<const double> in) {
+  if (in.size() < 3) throw std::invalid_argument("Inductor::restore_state: blob too short");
+  i_state_ = in[0];
+  v_state_ = in[1];
+  has_history_ = in[2] != 0.0;
+  return 3;
 }
 
 // --------------------------------------------------------- CoupledInductors
@@ -237,6 +265,26 @@ void CoupledInductors::accept_step(std::span<const double> x, double /*time*/, d
   v1_state_ = volt(p1_) - volt(p2_) - r1_ * i1_state_;
   v2_state_ = volt(s1_) - volt(s2_) - r2_ * i2_state_;
   has_history_ = true;
+}
+
+void CoupledInductors::save_state(std::vector<double>& out) const {
+  out.push_back(i1_state_);
+  out.push_back(i2_state_);
+  out.push_back(v1_state_);
+  out.push_back(v2_state_);
+  out.push_back(has_history_ ? 1.0 : 0.0);
+}
+
+std::size_t CoupledInductors::restore_state(std::span<const double> in) {
+  if (in.size() < 5) {
+    throw std::invalid_argument("CoupledInductors::restore_state: blob too short");
+  }
+  i1_state_ = in[0];
+  i2_state_ = in[1];
+  v1_state_ = in[2];
+  v2_state_ = in[3];
+  has_history_ = in[4] != 0.0;
+  return 5;
 }
 
 

@@ -37,6 +37,8 @@ class Capacitor final : public Device {
   void initialize(std::span<const double> x0) override;
   void accept_step(std::span<const double> x, double time, double dt,
                    Integrator integrator) override;
+  void save_state(std::vector<double>& out) const override;
+  std::size_t restore_state(std::span<const double> in) override;
   double capacitance() const { return capacitance_; }
   DeviceInfo info() const override;
   void check_params(std::vector<std::string>& errors,
@@ -63,6 +65,8 @@ class Inductor final : public Device {
   void initialize(std::span<const double> x0) override;
   void accept_step(std::span<const double> x, double time, double dt,
                    Integrator integrator) override;
+  void save_state(std::vector<double>& out) const override;
+  std::size_t restore_state(std::span<const double> in) override;
   double inductance() const { return inductance_; }
   int branch_index() const { return branch_; }
   DeviceInfo info() const override;
@@ -98,6 +102,8 @@ class CoupledInductors final : public Device {
   void initialize(std::span<const double> x0) override;
   void accept_step(std::span<const double> x, double time, double dt,
                    Integrator integrator) override;
+  void save_state(std::vector<double>& out) const override;
+  std::size_t restore_state(std::span<const double> in) override;
 
   double mutual() const { return mutual_; }
   double coupling() const { return coupling_; }

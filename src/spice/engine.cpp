@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
+#include <span>
 #include <stdexcept>
 
 #include "src/linalg/lu.hpp"
@@ -35,6 +37,8 @@ struct EngineMetrics {
   obs::Counter& tr_newton_iterations;
   obs::Counter& tr_lu_factorizations;
   obs::Counter& tr_breakpoint_hits;
+  obs::Counter& tr_checkpoints;
+  obs::Counter& tr_resumes;
   obs::Counter& tr_lu_ns;       // time inside LU factor+solve (transient)
   obs::Counter& dc_lu_ns;
   obs::Gauge& tr_last_steps_per_sec;
@@ -56,6 +60,8 @@ struct EngineMetrics {
           r.counter("spice.transient.newton_iterations"),
           r.counter("spice.transient.lu_factorizations"),
           r.counter("spice.transient.breakpoint_hits"),
+          r.counter("spice.transient.checkpoints"),
+          r.counter("spice.transient.resumes"),
           r.counter("spice.transient.lu_ns"),
           r.counter("spice.dc.lu_ns"),
           r.gauge("spice.transient.last_steps_per_sec"),
@@ -321,9 +327,26 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
   const double dt_min =
       options.dt_min > 0.0 ? options.dt_min : options.dt_max / 65536.0;
 
+  const TransientCheckpoint* resume = options.resume_from;
+  const bool resuming = resume != nullptr && resume->valid();
+  if (resuming) {
+    if (resume->x.size() != n) {
+      throw std::invalid_argument(
+          "run_transient: resume_from checkpoint does not match circuit size");
+    }
+    if (resume->dt <= 0.0) {
+      throw std::invalid_argument("run_transient: resume_from has no step size");
+    }
+    if (resume->time >= options.t_stop - 1e-15 * options.t_stop) {
+      throw std::invalid_argument("run_transient: resume_from.time is at/after t_stop");
+    }
+  }
+
   // Initial solution.
   std::vector<double> x(n, 0.0);
-  if (options.start_from_dc) {
+  if (resuming) {
+    x = resume->x;
+  } else if (options.start_from_dc) {
     DcOptions dc_opts;
     dc_opts.newton = options.newton;
     dc_opts.validate = options.validate;
@@ -335,6 +358,21 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
     circuit.finalize();  // re-run setup in case solve_dc's finalize reordered branches
   }
   for (const auto& dev : circuit.devices()) dev->initialize(x);
+  if (resuming) {
+    // initialize() above seeded companion models from the checkpointed
+    // solution; now overwrite their cross-step history with the exact
+    // state captured by save_state, in the same device order.
+    const std::span<const double> blob(resume->device_state);
+    std::size_t offset = 0;
+    for (const auto& dev : circuit.devices()) {
+      offset += dev->restore_state(blob.subspan(offset));
+    }
+    if (offset != resume->device_state.size()) {
+      throw std::invalid_argument(
+          "run_transient: resume_from device-state blob does not match circuit");
+    }
+    if constexpr (obs::kEnabled) EngineMetrics::get().tr_resumes.add();
+  }
 
   // Recording setup.
   const auto all_names = circuit.signal_names();
@@ -369,16 +407,30 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
                     breakpoints.end());
   std::size_t bp_index = 0;
 
-  if (options.record_start <= 0.0) result.append(0.0, x);
+  // The checkpointed point itself was recorded by the run that captured
+  // it, so a resumed run starts recording strictly after resume->time.
+  if (!resuming && options.record_start <= 0.0) result.append(0.0, x);
 
-  double t = 0.0;
-  double dt = options.dt_max;
-  int success_streak = 0;
+  double t = resuming ? resume->time : 0.0;
+  double dt = resuming ? resume->dt : options.dt_max;
+  int success_streak = resuming ? resume->success_streak : 0;
+  // Accepted-step ordinal used for record decimation; restored on resume
+  // so the record phase is continuous across the splice.
+  std::size_t step_index = resuming ? resume->step_index : 0;
   std::vector<double> x_try(n);
   // LTE controller history: the previous accepted point and its step.
   std::vector<double> x_prev(n, 0.0);
   double dt_prev = 0.0;
   bool have_prev_point = false;
+  if (resuming) {
+    if (resume->x_prev.size() == n) x_prev = resume->x_prev;
+    dt_prev = resume->dt_prev;
+    have_prev_point = resume->have_prev_point;
+  }
+  const bool checkpointing = options.checkpoint != nullptr;
+  double next_checkpoint_time = options.checkpoint_interval > 0.0
+                                    ? t + options.checkpoint_interval
+                                    : std::numeric_limits<double>::infinity();
   const std::size_t kMaxSteps = 200'000'000;
 
   obs::Histogram* newton_hist = nullptr;
@@ -473,14 +525,18 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
     x.swap(x_try);
     t = t_next;
     ++run.accepted_steps;
+    ++step_index;
     if (snapped_to_bp) ++run.breakpoint_hits;
 
     const bool is_final = t >= options.t_stop - 1e-15 * options.t_stop;
-    // Recording guarantee: breakpoint-snapped points and the final point
-    // are never decimated away (see TransientOptions::record_every).
+    const bool take_checkpoint =
+        checkpointing && (is_final || snapped_to_bp || t >= next_checkpoint_time);
+    // Recording guarantee: breakpoint-snapped points, checkpointed points
+    // and the final point are never decimated away (see
+    // TransientOptions::record_every).
     if (t >= options.record_start &&
-        (is_final || snapped_to_bp ||
-         run.accepted_steps %
+        (is_final || snapped_to_bp || take_checkpoint ||
+         step_index %
                  static_cast<std::size_t>(std::max(options.record_every, 1)) ==
              0)) {
       result.append(t, x);
@@ -492,6 +548,26 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
     if (!options.adaptive && success_streak >= 4 && dt < options.dt_max) {
       dt = std::min(dt * 2.0, options.dt_max);
       success_streak = 0;
+    }
+
+    // Capture after the step-control update so a resume continues with
+    // exactly the dt/streak the uninterrupted run would have used next.
+    if (take_checkpoint) {
+      TransientCheckpoint& cp = *options.checkpoint;
+      cp.time = t;
+      cp.dt = dt;
+      cp.x = x;
+      cp.device_state.clear();
+      for (const auto& dev : circuit.devices()) dev->save_state(cp.device_state);
+      cp.success_streak = success_streak;
+      cp.step_index = step_index;
+      cp.x_prev = x_prev;
+      cp.dt_prev = dt_prev;
+      cp.have_prev_point = have_prev_point;
+      if (options.checkpoint_interval > 0.0) {
+        next_checkpoint_time = t + options.checkpoint_interval;
+      }
+      if constexpr (obs::kEnabled) EngineMetrics::get().tr_checkpoints.add();
     }
   }
   return result;

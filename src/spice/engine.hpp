@@ -48,6 +48,28 @@ struct DcResult {
 // circuits; returns converged == false if all strategies fail.
 DcResult solve_dc(Circuit& circuit, const DcOptions& options = {});
 
+// A resumable snapshot of a transient run: the accepted solution, the
+// concatenated device integration state (Device::save_state, device
+// order), and the step-control variables. Captured at breakpoint-snapped
+// accepted points, at the checkpoint interval, and at the final point.
+// Resuming is bit-exact: the tail of a resumed run equals the tail of an
+// uninterrupted run sample for sample, because every loop variable that
+// influences step selection is part of the snapshot.
+struct TransientCheckpoint {
+  double time = -1.0;
+  double dt = 0.0;                   // next-step size in effect at capture
+  std::vector<double> x;             // accepted solution at `time`
+  std::vector<double> device_state;  // Device::save_state blobs, device order
+  // Step-control state needed for bit-exact resume.
+  int success_streak = 0;
+  std::size_t step_index = 0;        // accepted steps since t = 0 (record phase)
+  std::vector<double> x_prev;        // LTE predictor history (adaptive mode)
+  double dt_prev = 0.0;
+  bool have_prev_point = false;
+
+  bool valid() const { return time >= 0.0 && !x.empty(); }
+};
+
 struct TransientOptions {
   double t_stop = 1e-3;
   double dt_max = 1e-6;     // nominal step (engine may shorten, never exceed)
@@ -73,6 +95,19 @@ struct TransientOptions {
   // Pre-run static validation, as in DcOptions::validate (transient
   // context: DC-only hazards like inductor loops stay warnings).
   bool validate = true;
+  // --- checkpoint/restart (DESIGN.md §10) ----------------------------------
+  // When non-null, the engine overwrites *checkpoint at every accepted
+  // breakpoint-snapped step, every `checkpoint_interval` seconds of
+  // simulated time (0 = breakpoints and final point only), and at the
+  // final accepted point. Checkpointed points carry the same recording
+  // guarantee as breakpoint-snapped ones.
+  TransientCheckpoint* checkpoint = nullptr;
+  double checkpoint_interval = 0.0;
+  // When valid, resume from this snapshot instead of t = 0: solution,
+  // device history, and step control are restored, initialization is
+  // skipped, and only points after resume_from->time are recorded (the
+  // checkpointed point itself was recorded by the run that captured it).
+  const TransientCheckpoint* resume_from = nullptr;
 };
 
 struct TransientStats {

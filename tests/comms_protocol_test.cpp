@@ -144,4 +144,146 @@ TEST(Transactor, SequenceCounterWraps) {
   EXPECT_EQ(last, static_cast<std::uint8_t>(299));
 }
 
+TEST(Transactor, ExhaustedRetriesCountedAndLatencyBooked) {
+  Transactor tx(2);
+  Request request;
+  request.sequence = tx.next_sequence();
+  const Channel dead = [](const Bits& bits) {
+    Bits out = bits;
+    out[0] = !out[0];
+    return out;
+  };
+  TransactorStats stats;
+  EXPECT_FALSE(tx.execute(request, dead, clean_channel(), echo_handler, &stats)
+                   .has_value());
+  EXPECT_EQ(stats.retries_exhausted, 1);
+  // One latency entry per attempt; a dead downlink still burns downlink
+  // airtime on every attempt.
+  ASSERT_EQ(stats.attempt_seconds.size(), 3u);
+  EXPECT_GT(stats.bits_on_air, 0u);
+  for (const double s : stats.attempt_seconds) EXPECT_GT(s, 0.0);
+
+  // A successful exchange books downlink + uplink bits, so it is longer.
+  TransactorStats ok_stats;
+  Request ping;
+  ping.sequence = tx.next_sequence();
+  ASSERT_TRUE(tx.execute(ping, clean_channel(), clean_channel(), echo_handler,
+                         &ok_stats)
+                  .has_value());
+  EXPECT_EQ(ok_stats.retries_exhausted, 0);
+  ASSERT_EQ(ok_stats.attempt_seconds.size(), 1u);
+  EXPECT_GT(ok_stats.attempt_seconds[0], stats.attempt_seconds[0]);
+
+  // Halving the rate doubles the booked attempt time.
+  Transactor slow;
+  slow.set_bit_rate(tx.bit_rate() / 2.0);
+  TransactorStats slow_stats;
+  Request ping2;
+  ping2.sequence = slow.next_sequence();  // frame length is payload-determined
+  ASSERT_TRUE(slow.execute(ping2, clean_channel(), clean_channel(), echo_handler,
+                           &slow_stats)
+                  .has_value());
+  EXPECT_DOUBLE_EQ(slow_stats.attempt_seconds[0], 2.0 * ok_stats.attempt_seconds[0]);
+}
+
+TEST(Protocol, SequenceArithmeticWrapAware) {
+  EXPECT_EQ(sequence_delta(5, 5), 0);
+  EXPECT_GT(sequence_delta(6, 5), 0);
+  EXPECT_LT(sequence_delta(4, 5), 0);
+  // The wrap: 0 is one step newer than 255, not 255 steps older.
+  EXPECT_EQ(sequence_delta(0, 255), 1);
+  EXPECT_TRUE(sequence_newer(0, 255));
+  EXPECT_FALSE(sequence_newer(255, 0));
+  // Within half the space the nearer interpretation wins: 200 -> 100 is
+  // 100 steps back, not 156 forward.
+  EXPECT_FALSE(sequence_newer(100, 200));
+  EXPECT_TRUE(sequence_newer(200, 100));
+  // Exactly half a space away reads as "older" (delta == -128).
+  EXPECT_FALSE(sequence_newer(128, 0));
+  EXPECT_TRUE(sequence_newer(127, 0));
+}
+
+TEST(Transactor, DedupSurvivesSequenceWraparound) {
+  // 600 exchanges (two full wraps). The uplink corrupts the first
+  // delivery of every response, so the implant sees each request twice;
+  // the dedup layer must execute the side-effecting handler exactly once
+  // per exchange — including at 255 -> 0, where a naive `seq <= last`
+  // staleness check would replay the stale cached response forever.
+  Transactor tx(3);
+  ImplantDedup dedup;
+  int executions = 0;
+  TransactorStats stats;
+  const auto measure = [&](const Request& request) {
+    ++executions;
+    Response response;
+    response.ok = true;
+    response.payload = request.payload;
+    return response;
+  };
+  int uplink_calls = 0;
+  const Channel flaky_uplink = [&](const Bits& bits) {
+    Bits out = bits;
+    if (++uplink_calls % 2 == 1) out[0] = !out[0];  // kill first delivery
+    return out;
+  };
+  for (int k = 0; k < 600; ++k) {
+    Request request;
+    request.sequence = tx.next_sequence();
+    request.command = Command::kMeasure;
+    request.payload = {static_cast<std::uint8_t>(k & 0xFF),
+                       static_cast<std::uint8_t>((k >> 8) & 0xFF)};
+    const auto response = tx.execute(
+        request, clean_channel(), flaky_uplink,
+        [&](const Request& rx) { return dedup.handle(rx, measure, &stats); },
+        &stats);
+    ASSERT_TRUE(response.has_value()) << "exchange " << k;
+    // The replayed response must be THIS exchange's data, not a stale
+    // cache entry from before the wrap.
+    ASSERT_EQ(response->payload.size(), 2u);
+    EXPECT_EQ(response->payload[0], static_cast<std::uint8_t>(k & 0xFF));
+    EXPECT_EQ(response->payload[1], static_cast<std::uint8_t>((k >> 8) & 0xFF));
+  }
+  EXPECT_EQ(executions, 600);               // exactly once per exchange
+  EXPECT_EQ(stats.duplicate_deliveries, 600);  // every retry was absorbed
+  EXPECT_EQ(stats.retries_exhausted, 0);
+}
+
+TEST(Transactor, StaleResponseClassifiedWrapAware) {
+  // The uplink delays: it replays the previous response frame once
+  // before delivering the current one — the classic late-frame hazard.
+  // Run past the wrap; every first attempt sees a genuinely OLDER
+  // sequence, which must land in stale_responses (subset of
+  // sequence_mismatches) and never be accepted.
+  Transactor tx(3);
+  Bits delayed;
+  const Channel delaying_uplink = [&](const Bits& bits) {
+    if (delayed.empty()) {
+      delayed = bits;
+      return bits;
+    }
+    Bits out = delayed;
+    delayed = bits;
+    return out;
+  };
+  TransactorStats stats;
+  int delivered = 0;
+  for (int k = 0; k < 300; ++k) {
+    Request request;
+    request.sequence = tx.next_sequence();
+    request.command = Command::kMeasure;
+    request.payload = {static_cast<std::uint8_t>(k & 0xFF)};
+    const auto response = tx.execute(request, clean_channel(), delaying_uplink,
+                                     echo_handler, &stats);
+    if (response.has_value()) {
+      ++delivered;
+      EXPECT_EQ(response->payload[0], static_cast<std::uint8_t>(k & 0xFF));
+    }
+  }
+  EXPECT_EQ(delivered, 300);
+  // Exchange k >= 1 rejects one stale frame then succeeds; across the
+  // wrap these must still classify as stale, not as forward jumps.
+  EXPECT_EQ(stats.stale_responses, 299);
+  EXPECT_EQ(stats.sequence_mismatches, 299);
+}
+
 }  // namespace

@@ -1,0 +1,240 @@
+// Session layer: retry/backoff against transient faults on a SimClock,
+// rate fallback and recovery, exactly-once implant side effects, and
+// same-seed determinism.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "src/comms/protocol.hpp"
+#include "src/fault/session.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace ironic;
+using namespace ironic::fault;
+
+comms::Channel clean_channel() {
+  return [](const comms::Bits& bits) { return bits; };
+}
+
+comms::Channel corrupting_channel() {
+  return [](const comms::Bits& bits) {
+    comms::Bits out = bits;
+    if (!out.empty()) out[0] = !out[0];
+    return out;
+  };
+}
+
+ChannelFactory clean_factory() {
+  return [](double) { return clean_channel(); };
+}
+
+comms::Response measure_handler(const comms::Request& request, int* side_effects) {
+  if (side_effects != nullptr) ++*side_effects;
+  comms::Response response;
+  response.sequence = request.sequence;
+  response.ok = true;
+  response.payload = {0xAB};
+  return response;
+}
+
+TEST(Session, CleanLinkSucceedsFirstAttempt) {
+  SimClock clock;
+  int side_effects = 0;
+  Session session(
+      clean_factory(), clean_factory(),
+      [&](const comms::Request& r) { return measure_handler(r, &side_effects); },
+      &clock, util::Rng(1));
+
+  const auto outcome = session.exchange(comms::Command::kMeasure);
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 1);
+  EXPECT_EQ(side_effects, 1);
+  EXPECT_EQ(session.stats().retries, 0);
+  EXPECT_EQ(session.stats().failures, 0);
+  EXPECT_DOUBLE_EQ(session.stats().backoff_seconds, 0.0);
+  // The clock advanced by the frame airtime, nothing else.
+  EXPECT_GT(clock.now(), 0.0);
+  EXPECT_DOUBLE_EQ(outcome.elapsed, clock.now());
+  EXPECT_DOUBLE_EQ(session.link_quality(), 1.0);
+  ASSERT_TRUE(outcome.response.has_value());
+  EXPECT_EQ(outcome.response->payload, std::vector<std::uint8_t>{0xAB});
+}
+
+TEST(Session, BackoffRidesOutTransientFaultWindow) {
+  // The downlink corrupts every frame until t = 40 ms on the SimClock;
+  // only the booked airtime and backoff can move the clock past it.
+  SimClock clock;
+  const double fault_end = 40e-3;
+  ChannelFactory downlink = [&clock, fault_end](double) -> comms::Channel {
+    return [&clock, fault_end](const comms::Bits& bits) {
+      comms::Bits out = bits;
+      if (clock.now() < fault_end && !out.empty()) out[0] = !out[0];
+      return out;
+    };
+  };
+  Session session(
+      downlink, clean_factory(),
+      [](const comms::Request& r) { return measure_handler(r, nullptr); },
+      &clock, util::Rng(7));
+
+  const auto outcome = session.exchange(comms::Command::kMeasure);
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_GT(outcome.attempts, 1);
+  EXPECT_GE(clock.now(), fault_end);
+  EXPECT_GT(session.stats().backoff_seconds, 0.0);
+  EXPECT_EQ(session.stats().recovered, 1);
+  EXPECT_GT(session.stats().recover_seconds, 0.0);
+  EXPECT_EQ(session.stats().retries, outcome.attempts - 1);
+}
+
+TEST(Session, ExhaustedAttemptsFail) {
+  SimClock clock;
+  SessionOptions options;
+  options.max_attempts = 3;
+  Session session(
+      [](double) { return corrupting_channel(); }, clean_factory(),
+      [](const comms::Request& r) { return measure_handler(r, nullptr); },
+      &clock, util::Rng(2), options);
+
+  const auto outcome = session.exchange(comms::Command::kPing);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 3);
+  EXPECT_EQ(session.stats().failures, 1);
+  EXPECT_EQ(session.transactor_stats().retries_exhausted, 3);
+}
+
+TEST(Session, TimeoutAbandonsBeforeAttemptBudget) {
+  SimClock clock;
+  SessionOptions options;
+  options.max_attempts = 50;
+  options.exchange_timeout = 10e-3;  // the backoff passes 10 ms quickly
+  Session session(
+      [](double) { return corrupting_channel(); }, clean_factory(),
+      [](const comms::Request& r) { return measure_handler(r, nullptr); },
+      &clock, util::Rng(3), options);
+
+  const auto outcome = session.exchange(comms::Command::kPing);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_LT(outcome.attempts, 50);
+  EXPECT_GE(outcome.elapsed, options.exchange_timeout);
+  EXPECT_EQ(session.stats().failures, 1);
+}
+
+TEST(Session, FallsBackDownTheRateLadderUntilTheLinkWorks) {
+  // The physical link only decodes at 25 kbit/s or slower — the session
+  // must walk the ladder down and finish the exchange there.
+  SimClock clock;
+  ChannelFactory downlink = [](double bit_rate) -> comms::Channel {
+    if (bit_rate > 25e3) return corrupting_channel();
+    return clean_channel();
+  };
+  Session session(
+      downlink, clean_factory(),
+      [](const comms::Request& r) { return measure_handler(r, nullptr); },
+      &clock, util::Rng(5));
+
+  const auto outcome = session.exchange(comms::Command::kMeasure);
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_EQ(session.stats().rate_fallbacks, 2);  // 100k -> 50k -> 25k
+  EXPECT_DOUBLE_EQ(session.current_rate(), 25e3);
+  EXPECT_DOUBLE_EQ(outcome.rate, 25e3);
+
+  // With the link healthy at 25k and below, sustained clean exchanges
+  // climb back up through probation.
+  for (int i = 0; i < 64 && session.current_rate() < 100e3; ++i) {
+    (void)session.exchange(comms::Command::kPing);
+  }
+  // NB: the downlink factory is fixed at construction, so the climb here
+  // is driven by quality alone; the original factory still corrupts above
+  // 25k, which keeps the session honest: it can climb one rung, fail,
+  // and fall back — assert it at least attempted recoveries.
+  EXPECT_GE(session.stats().rate_recoveries, 1);
+}
+
+TEST(Session, DedupKeepsMeasurementsExactlyOnceAcrossRetries) {
+  // Uplink-only corruption: the implant handled the request, the patch
+  // never saw the response, so it re-sends. The dedup layer must replay
+  // the cached response instead of re-measuring.
+  SimClock clock;
+  auto uplink_calls = std::make_shared<int>(0);
+  ChannelFactory uplink = [uplink_calls](double) -> comms::Channel {
+    return [uplink_calls](const comms::Bits& bits) {
+      comms::Bits out = bits;
+      if ((*uplink_calls)++ % 2 == 0 && !out.empty()) out[0] = !out[0];
+      return out;
+    };
+  };
+  int side_effects = 0;
+  Session session(
+      clean_factory(), uplink,
+      [&](const comms::Request& r) { return measure_handler(r, &side_effects); },
+      &clock, util::Rng(9));
+
+  const int exchanges = 3;
+  for (int i = 0; i < exchanges; ++i) {
+    const auto outcome = session.exchange(comms::Command::kMeasure);
+    ASSERT_TRUE(outcome.ok);
+    EXPECT_EQ(outcome.attempts, 2);
+  }
+  EXPECT_EQ(side_effects, exchanges);  // exactly once per exchange
+  EXPECT_EQ(session.transactor_stats().duplicate_deliveries, exchanges);
+  EXPECT_EQ(session.stats().recovered, exchanges);
+}
+
+TEST(Session, SameSeedRunsAreBitIdentical) {
+  const auto run = [] {
+    SimClock clock;
+    const double fault_end = 25e-3;
+    ChannelFactory downlink = [&clock, fault_end](double) -> comms::Channel {
+      return [&clock, fault_end](const comms::Bits& bits) {
+        comms::Bits out = bits;
+        if (clock.now() < fault_end && !out.empty()) out[0] = !out[0];
+        return out;
+      };
+    };
+    Session session(
+        downlink, clean_factory(),
+        [](const comms::Request& r) { return measure_handler(r, nullptr); },
+        &clock, util::Rng::stream(0x5e55, 0));
+    double elapsed = 0.0;
+    for (int i = 0; i < 4; ++i) {
+      elapsed += session.exchange(comms::Command::kMeasure).elapsed;
+    }
+    return std::pair<double, double>(elapsed, session.stats().backoff_seconds);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_GT(a.second, 0.0);
+}
+
+TEST(Session, RejectsBadConfiguration) {
+  SimClock clock;
+  auto handler = [](const comms::Request& r) {
+    return measure_handler(r, nullptr);
+  };
+  EXPECT_THROW(
+      Session(clean_factory(), clean_factory(), handler, nullptr, util::Rng(1)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      Session({}, clean_factory(), handler, &clock, util::Rng(1)),
+      std::invalid_argument);
+  SessionOptions no_ladder;
+  no_ladder.rate_ladder.clear();
+  EXPECT_THROW(Session(clean_factory(), clean_factory(), handler, &clock,
+                       util::Rng(1), no_ladder),
+               std::invalid_argument);
+  SessionOptions no_attempts;
+  no_attempts.max_attempts = 0;
+  EXPECT_THROW(Session(clean_factory(), clean_factory(), handler, &clock,
+                       util::Rng(1), no_attempts),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Graceful degradation: the patch sheds bluetooth back-haul, then
+// measurement cadence, then all activity as the battery drains —
+// mirroring the paper's 10 h / 3.5 h / 1.5 h battery tiers.
+#include <gtest/gtest.h>
+
+#include "src/patch/controller.hpp"
+#include "src/patch/scheduler.hpp"
+
+namespace {
+
+using namespace ironic::patch;
+
+TEST(Degradation, PolicyLadderAndHysteresis) {
+  DegradationPolicy policy;  // 0.50 / 0.25 / 0.10, hysteresis 0.05
+  EXPECT_EQ(policy.level_for(1.0, DegradationLevel::kNominal),
+            DegradationLevel::kNominal);
+  EXPECT_EQ(policy.level_for(0.45, DegradationLevel::kNominal),
+            DegradationLevel::kShedBackhaul);
+  EXPECT_EQ(policy.level_for(0.20, DegradationLevel::kShedBackhaul),
+            DegradationLevel::kReducedRate);
+  EXPECT_EQ(policy.level_for(0.05, DegradationLevel::kReducedRate),
+            DegradationLevel::kSafeIdle);
+  // Escalation can skip rungs on a fast sag.
+  EXPECT_EQ(policy.level_for(0.08, DegradationLevel::kNominal),
+            DegradationLevel::kSafeIdle);
+  // De-escalation needs threshold + hysteresis: 0.52 is NOT enough to
+  // leave shed-backhaul, 0.56 is.
+  EXPECT_EQ(policy.level_for(0.52, DegradationLevel::kShedBackhaul),
+            DegradationLevel::kShedBackhaul);
+  EXPECT_EQ(policy.level_for(0.56, DegradationLevel::kShedBackhaul),
+            DegradationLevel::kNominal);
+  // A full recharge walks all the way back.
+  EXPECT_EQ(policy.level_for(1.0, DegradationLevel::kSafeIdle),
+            DegradationLevel::kNominal);
+}
+
+TEST(Degradation, ControllerShedsBackhaulAndRefusesReconnect) {
+  PatchController controller;
+  controller.set_degradation_policy({});
+  controller.handle(PatchEvent::kBtConnect);
+  ASSERT_EQ(controller.state(), PatchState::kConnected);
+
+  // Drain until SoC crosses the shed threshold.
+  while (controller.battery().state_of_charge() > 0.49) controller.advance(60.0);
+  EXPECT_EQ(controller.degradation_level(), DegradationLevel::kShedBackhaul);
+  // The controller dropped bluetooth on its own...
+  EXPECT_EQ(controller.state(), PatchState::kIdle);
+  // ...and refuses to re-acquire it while shed.
+  EXPECT_FALSE(controller.can_handle(PatchEvent::kBtConnect));
+  // Powering is still allowed at this level.
+  EXPECT_TRUE(controller.can_handle(PatchEvent::kStartPowering));
+}
+
+TEST(Degradation, SafeIdleAbortsPoweringBurst) {
+  PatchController controller;
+  DegradationPolicy policy;
+  policy.safe_idle_soc = 0.90;  // trip quickly for the test
+  controller.set_degradation_policy(policy);
+  controller.handle(PatchEvent::kStartPowering);
+  while (controller.battery().state_of_charge() > 0.89 && !controller.shut_down()) {
+    controller.advance(60.0);
+  }
+  EXPECT_EQ(controller.degradation_level(), DegradationLevel::kSafeIdle);
+  EXPECT_EQ(controller.state(), PatchState::kIdle);
+  EXPECT_FALSE(controller.can_handle(PatchEvent::kStartPowering));
+}
+
+TEST(Degradation, DisabledByDefault) {
+  PatchController controller;
+  while (controller.battery().state_of_charge() > 0.3) controller.advance(600.0);
+  EXPECT_EQ(controller.degradation_level(), DegradationLevel::kNominal);
+  EXPECT_TRUE(controller.can_handle(PatchEvent::kBtConnect));
+}
+
+TEST(Degradation, DegradedPlanShedsInOrder) {
+  SessionPlan base;
+  const auto shed = degraded_plan(base, DegradationLevel::kShedBackhaul);
+  EXPECT_EQ(shed.connect_time, 0.0);
+  EXPECT_EQ(shed.downlink_rate, base.downlink_rate);
+
+  const auto reduced = degraded_plan(base, DegradationLevel::kReducedRate);
+  EXPECT_EQ(reduced.connect_time, 0.0);
+  EXPECT_EQ(reduced.downlink_rate, base.downlink_rate / 4.0);
+  EXPECT_EQ(reduced.uplink_rate, base.uplink_rate / 4.0);
+
+  const auto nominal = degraded_plan(base, DegradationLevel::kNominal);
+  EXPECT_EQ(nominal.connect_time, base.connect_time);
+}
+
+TEST(Degradation, MissionWalksTheLadderAndOutlivesNominal) {
+  // An aggressive cadence on a small battery: the nominal mission dies
+  // early; the degrading mission sheds its way down the ladder and keeps
+  // measuring longer.
+  DegradedMissionOptions options;
+  options.plan.connect_time = 20.0;
+  options.measurement_interval = 120.0;
+  options.horizon = 12.0 * 3600.0;
+  BatterySpec small;
+  small.capacity_mah = 60.0;
+
+  const auto summary = simulate_degrading_mission({}, small, options);
+  EXPECT_GT(summary.measurements, 0);
+  // The ladder was actually walked: time spent in every level.
+  for (int level = 0; level < 4; ++level) {
+    EXPECT_GT(summary.time_in_level[level], 0.0) << "level " << level;
+  }
+  EXPECT_FALSE(summary.timeline.empty());
+  // Levels never regress during a pure discharge.
+  for (std::size_t i = 1; i < summary.timeline.size(); ++i) {
+    EXPECT_GE(static_cast<int>(summary.timeline[i].level),
+              static_cast<int>(summary.timeline[i - 1].level));
+  }
+
+  // Reference: the same mission with shedding disabled (thresholds at 0)
+  // drains flat sooner.
+  DegradedMissionOptions greedy = options;
+  greedy.policy.shed_backhaul_soc = 0.0;
+  greedy.policy.reduced_rate_soc = 0.0;
+  greedy.policy.safe_idle_soc = 0.0;
+  const auto reference = simulate_degrading_mission({}, small, greedy);
+  ASSERT_GT(reference.shutdown_time, 0.0);
+  // Shedding must buy survival time (or outlast the horizon entirely).
+  if (summary.shutdown_time > 0.0) {
+    EXPECT_GT(summary.shutdown_time, reference.shutdown_time);
+  }
+}
+
+TEST(Degradation, MissionIsDeterministic) {
+  DegradedMissionOptions options;
+  options.measurement_interval = 240.0;
+  options.horizon = 6.0 * 3600.0;
+  BatterySpec small;
+  small.capacity_mah = 80.0;
+  const auto a = simulate_degrading_mission({}, small, options);
+  const auto b = simulate_degrading_mission({}, small, options);
+  EXPECT_EQ(a.measurements, b.measurements);
+  EXPECT_EQ(a.measurements_shed, b.measurements_shed);
+  EXPECT_EQ(a.shutdown_time, b.shutdown_time);
+  ASSERT_EQ(a.timeline.size(), b.timeline.size());
+  for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+    EXPECT_EQ(a.timeline[i].soc, b.timeline[i].soc);
+    EXPECT_EQ(a.timeline[i].level, b.timeline[i].level);
+  }
+}
+
+}  // namespace

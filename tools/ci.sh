@@ -4,13 +4,15 @@
 #
 #   1. release   Release-mode build with -Werror, full ctest suite
 #   2. sanitize  ASan+UBSan build (halt-on-error), full ctest suite
-#   3. tsan      ThreadSanitizer build, exec/sweep/rng/obs test subset
+#   3. tsan      ThreadSanitizer build, exec/sweep/rng/obs/fault subset
 #                (the concurrency surface; the numeric suite stays on ASan)
 #   4. tidy      clang-tidy over src/ and tools/ (skips if not installed)
 #   5. lint      netlist_lint --strict over every shipped .cir netlist,
 #                and the broken fixtures must FAIL
+#   6. fault     fault_runner over every registered campaign, plus the
+#                exit-code contract (unwritable --out must exit 2)
 #
-# Usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|all]   (default: all)
+# Usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|fault|all]   (default: all)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -41,16 +43,17 @@ run_sanitize() {
 }
 
 run_tsan() {
-  log "TSan build + exec/sweep/rng/obs tests"
+  log "TSan build + exec/sweep/rng/obs/fault tests"
   cmake -B "$ROOT/build-ci-tsan" -S "$ROOT" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DIRONIC_WARNINGS_AS_ERRORS=ON \
     -DIRONIC_TSAN=ON
   cmake --build "$ROOT/build-ci-tsan" -j "$JOBS" \
-    --target exec_test sweep_test rng_stream_test obs_test
+    --target exec_test sweep_test rng_stream_test obs_test \
+             fault_session_test fault_campaign_test
   TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
     ctest --test-dir "$ROOT/build-ci-tsan" --output-on-failure -j "$JOBS" \
-      -R '^(ThreadPool|ParallelFor|ExecTolerance|ObsConcurrency|Sweep|SweepAxis|RngStream|Metrics|Trace|RunReport)'
+      -R '^(ThreadPool|ParallelFor|ExecTolerance|ObsConcurrency|Sweep|SweepAxis|RngStream|Metrics|Trace|RunReport|Session|FaultCampaign)'
 }
 
 run_tidy() {
@@ -75,14 +78,36 @@ run_lint() {
   echo "ci: broken fixtures correctly flagged"
 }
 
+run_fault() {
+  log "fault campaigns (fault_runner all) + exit-code contract"
+  cmake -B "$ROOT/build-ci-release" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$ROOT/build-ci-release" -j "$JOBS" --target fault_runner
+  local runner="$ROOT/build-ci-release/tools/fault_runner"
+  local out="$ROOT/build-ci-release/fault_campaigns.json"
+  # Every registered campaign must complete, on >1 thread, and land its
+  # JSON report (the determinism/zero-loss assertions live in ctest).
+  "$runner" --threads 2 --out "$out" all
+  test -s "$out"
+  # An unwritable --out must exit 2, distinct from a failed campaign.
+  local rc=0
+  "$runner" --out /nonexistent-ci-dir/fault.json ask_burst_coupling_drop \
+    >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "ci: FAIL -- unwritable --out exited $rc, want 2" >&2
+    exit 1
+  fi
+  echo "ci: campaigns wrote $out; exit-code contract holds"
+}
+
 case "$STAGE" in
   release)  run_release ;;
   sanitize) run_sanitize ;;
   tsan)     run_tsan ;;
   tidy)     run_tidy ;;
   lint)     run_lint ;;
-  all)      run_release; run_sanitize; run_tsan; run_tidy; run_lint ;;
-  *) echo "usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|all]" >&2; exit 2 ;;
+  fault)    run_fault ;;
+  all)      run_release; run_sanitize; run_tsan; run_tidy; run_lint; run_fault ;;
+  *) echo "usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|fault|all]" >&2; exit 2 ;;
 esac
 
 log "OK ($STAGE)"

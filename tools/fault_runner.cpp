@@ -1,0 +1,195 @@
+// fault_runner — run a named fault-resilience campaign from the command
+// line.
+//
+//   fault_runner --list
+//   fault_runner [--seed S] [--scenarios N] [--exchanges N] [--threads N]
+//                [--out FILE] <campaign|all>
+//
+// Campaigns drive the full stack (link budget, session retry/backoff,
+// rectifier transients with checkpoint restart, patch degradation)
+// through fault schedules and emit recovery statistics: the console/
+// --out JSON carries the per-scenario detail, and the obs run report
+// lands in BENCH_fault_resilience.json (recovery rate, mean time to
+// recover, exchanges survived per fault class). Output is bit-identical
+// for any --threads value.
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/fault/campaign.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/report.hpp"
+
+using namespace ironic;
+
+namespace {
+
+obs::json::Value to_json(const fault::CampaignResult& result,
+                         const fault::CampaignConfig& config) {
+  obs::json::Value::Object doc;
+  doc["campaign"] = result.name;
+  doc["seed"] = static_cast<std::uint64_t>(config.seed);
+  doc["threads"] = static_cast<std::uint64_t>(config.threads);
+  doc["total_exchanges"] = static_cast<std::uint64_t>(result.total_exchanges);
+  doc["completed"] = static_cast<std::uint64_t>(result.completed);
+  doc["lost_measurements"] =
+      static_cast<std::uint64_t>(result.lost_measurements);
+  doc["retries"] = static_cast<std::uint64_t>(result.retries);
+  doc["restarts"] = static_cast<std::uint64_t>(result.restarts);
+  doc["checkpoints"] = static_cast<std::uint64_t>(result.checkpoints);
+  doc["recovery_rate"] = result.recovery_rate;
+  doc["mean_time_to_recover_s"] = result.mean_time_to_recover;
+  // JSON numbers are doubles; a 64-bit fingerprint must ride as a string.
+  std::ostringstream fingerprint;
+  fingerprint << "0x" << std::hex << std::setw(16) << std::setfill('0')
+              << result.fingerprint;
+  doc["fingerprint"] = fingerprint.str();
+  obs::json::Value::Object faults;
+  for (int k = 0; k < fault::kFaultKindCount; ++k) {
+    faults[fault::fault_kind_name(static_cast<fault::FaultKind>(k))] =
+        result.faults_injected[k];
+  }
+  doc["faults_injected"] = std::move(faults);
+  obs::json::Value::Array scenarios;
+  for (const auto& s : result.scenarios) {
+    obs::json::Value::Object row;
+    row["index"] = static_cast<std::uint64_t>(s.index);
+    row["exchanges"] = static_cast<std::uint64_t>(s.exchanges);
+    row["completed"] = static_cast<std::uint64_t>(s.completed);
+    row["lost"] = static_cast<std::uint64_t>(s.lost);
+    row["retries"] = static_cast<std::uint64_t>(s.retries);
+    row["recovered"] = static_cast<std::uint64_t>(s.recovered);
+    row["backoff_seconds"] = s.backoff_seconds;
+    row["rate_fallbacks"] = static_cast<std::uint64_t>(s.rate_fallbacks);
+    row["restarts"] = static_cast<std::uint64_t>(s.restarts);
+    row["checkpoints"] = static_cast<std::uint64_t>(s.checkpoints);
+    row["ldo_violations"] = static_cast<std::uint64_t>(s.ldo_violations);
+    row["brownouts"] = static_cast<std::uint64_t>(s.brownouts);
+    row["final_rate_bps"] = s.final_rate;
+    row["sim_time_s"] = s.sim_time;
+    scenarios.emplace_back(std::move(row));
+  }
+  doc["scenarios"] = std::move(scenarios);
+  return obs::json::Value(std::move(doc));
+}
+
+int usage(int code) {
+  std::ostream& os = code == 0 ? std::cout : std::cerr;
+  os << "usage: fault_runner [--seed S] [--scenarios N] [--exchanges N]\n"
+        "                    [--threads N] [--out FILE] <campaign|all>\n"
+        "       fault_runner --list\n"
+        "  --seed S       campaign seed (default 0x1badc0de)\n"
+        "  --scenarios N  scenarios per campaign (default 3)\n"
+        "  --exchanges N  measurement exchanges per scenario (default 10)\n"
+        "  --threads N    scenario-level workers (1 = serial, 0 = hardware)\n"
+        "  --out FILE     write the JSON results to FILE instead of stdout\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fault::CampaignConfig config;
+  std::string out_path;
+  std::string name;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      for (const auto& campaign : fault::campaign_names())
+        std::cout << campaign << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(0);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      config.seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--scenarios" && i + 1 < argc) {
+      config.scenarios = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--exchanges" && i + 1 < argc) {
+      config.exchanges = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      config.threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "fault_runner: unknown option '" << arg << "'\n";
+      return usage(EXIT_FAILURE);
+    } else if (name.empty()) {
+      name = arg;
+    } else {
+      std::cerr << "fault_runner: more than one campaign named\n";
+      return usage(EXIT_FAILURE);
+    }
+  }
+  if (name.empty()) {
+    std::cerr << "fault_runner: no campaign named (try --list)\n";
+    return usage(EXIT_FAILURE);
+  }
+  if (name != "all" && !fault::is_campaign(name)) {
+    std::cerr << "fault_runner: unknown campaign '" << name << "' (try --list)\n";
+    return EXIT_FAILURE;
+  }
+
+  std::vector<std::string> names;
+  if (name == "all") {
+    names = fault::campaign_names();
+  } else {
+    names.push_back(name);
+  }
+
+  obs::RunReport run_report("fault_resilience");
+  try {
+    obs::json::Value::Array campaigns;
+    for (const auto& campaign_name : names) {
+      fault::CampaignConfig one = config;
+      one.name = campaign_name;
+      const auto result = fault::run_campaign(one);
+      campaigns.emplace_back(to_json(result, one));
+      run_report.metric(campaign_name + ".recovery_rate", result.recovery_rate);
+      run_report.metric(campaign_name + ".mean_time_to_recover_s",
+                        result.mean_time_to_recover);
+      run_report.metric(campaign_name + ".lost_measurements",
+                        static_cast<double>(result.lost_measurements));
+      run_report.metric(campaign_name + ".exchanges_survived",
+                        static_cast<double>(result.completed));
+      run_report.metric(campaign_name + ".retries",
+                        static_cast<double>(result.retries));
+      run_report.metric(campaign_name + ".restarts",
+                        static_cast<double>(result.restarts));
+      std::cerr << "fault_runner: " << campaign_name << " recovery_rate="
+                << result.recovery_rate << " lost=" << result.lost_measurements
+                << " retries=" << result.retries << " restarts="
+                << result.restarts << "\n";
+    }
+    obs::json::Value::Object doc;
+    doc["campaigns"] = std::move(campaigns);
+    std::ostringstream rendered;
+    rendered << obs::json::Value(std::move(doc)).dump(2) << "\n";
+
+    if (out_path.empty()) {
+      std::cout << rendered.str();
+    } else {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::cerr << "fault_runner: cannot open '" << out_path
+                  << "' for writing\n";
+        return 2;
+      }
+      out << rendered.str();
+      if (!out) {
+        std::cerr << "fault_runner: write to '" << out_path << "' failed\n";
+        return 2;
+      }
+      std::cout << "fault_runner: wrote " << names.size() << " campaign(s) to "
+                << out_path << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "fault_runner: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+  return 0;
+}

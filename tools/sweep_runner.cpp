@@ -244,10 +244,17 @@ int main(int argc, char** argv) {
     } else {
       std::ofstream out(out_path);
       if (!out) {
-        std::cerr << "sweep_runner: cannot open '" << out_path << "'\n";
-        return EXIT_FAILURE;
+        // Exit 2 distinguishes "could not write the results" from a
+        // failed sweep, so CI wrappers can tell the cases apart.
+        std::cerr << "sweep_runner: cannot open '" << out_path
+                  << "' for writing\n";
+        return 2;
       }
       out << rendered.str();
+      if (!out) {
+        std::cerr << "sweep_runner: write to '" << out_path << "' failed\n";
+        return 2;
+      }
       std::cout << "sweep_runner: wrote " << result.points << " points to "
                 << out_path << "\n";
     }
