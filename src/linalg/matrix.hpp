@@ -1,8 +1,10 @@
-// Dense row-major matrix for the MNA system.
+// Dense row-major matrix.
 //
-// Circuit matrices in this library are small (tens of rows), so dense
-// storage with partial-pivoting LU is both simpler and faster than a
-// sparse package at this scale.
+// The MNA engines assemble through the pluggable solver layer
+// (src/linalg/solver.hpp) and only use dense storage below the sparse
+// auto-threshold, where it is both simpler and faster. This type remains
+// the general-purpose dense matrix for everything else (filters, field
+// solvers, tests).
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,111 @@
+// Pluggable linear-solver layer behind the MNA engines (DESIGN.md §11).
+//
+// The circuit engines assemble A x = rhs through this interface instead
+// of a concrete matrix type: an assembly pass (`begin_assembly` + `add`)
+// followed by `factor` + `solve_in_place` per Newton iteration. Two
+// backends implement it:
+//
+//   dense   The historical dense partial-pivot LU (src/linalg/lu.cpp
+//           semantics, bit-for-bit), plus a values-identical factor skip:
+//           re-factoring the exact same matrix is a no-op.
+//   sparse  CSR storage with a cached call-sequence slot map for O(1)
+//           re-stamping, symbolic-pattern caching, and numeric-only
+//           refactorization (src/linalg/sparse.hpp).
+//
+// `SolverKind::kAuto` picks dense below kSparseAutoThreshold unknowns and
+// sparse at/above it — implant-scale netlists are overwhelmingly sparse,
+// but tiny systems fit in cache and the dense kernel wins there.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "src/linalg/complex_matrix.hpp"
+#include "src/linalg/lu.hpp"
+
+namespace ironic::linalg {
+
+enum class SolverKind { kAuto, kDense, kSparse };
+
+// "auto", "dense", "sparse".
+const char* solver_kind_name(SolverKind kind);
+// Parse the names above; returns false (out untouched) on anything else.
+bool parse_solver_kind(std::string_view text, SolverKind& out);
+
+// Counters a backend maintains across its lifetime. Callers that want
+// per-run numbers snapshot stats() before and after and subtract.
+struct SolverStats {
+  std::uint64_t factorizations = 0;   // numeric factorizations performed
+  std::uint64_t refactorizations = 0; // ... of which reused cached symbolic structure
+  std::uint64_t factor_skips = 0;     // factor() calls with bit-identical values
+  std::uint64_t solves = 0;           // triangular solve_in_place calls
+  std::uint64_t pattern_builds = 0;   // sparsity-pattern (re)constructions
+  std::uint64_t pattern_reuses = 0;   // assemblies that fit the cached pattern
+  std::size_t nnz = 0;                // structural nonzeros of A (n*n for dense)
+  std::size_t factor_nnz = 0;         // nonzeros of L+U incl. fill (n*n for dense)
+};
+
+// One linear system A x = b of fixed size n, reusable across solves.
+// Assembly protocol per Newton iteration:
+//
+//   solver.begin_assembly();          // zero A, arm the slot cache
+//   solver.add(r, c, v); ...          // accumulate stamps (any order)
+//   solver.factor();                  // throws SingularMatrixError
+//   solver.solve_in_place(b);         // b := A^-1 b
+//
+// add() ignores nothing: callers filter ground (negative) indices first,
+// as the Device stamping helpers already do.
+template <typename T>
+class LinearSolverT {
+ public:
+  static constexpr double kDefaultPivotTol = 1e-30;
+
+  virtual ~LinearSolverT() = default;
+
+  virtual const char* name() const = 0;
+  virtual SolverKind kind() const = 0;
+  virtual std::size_t size() const = 0;
+
+  virtual void begin_assembly() = 0;
+  virtual void add(int row, int col, T value) = 0;
+
+  // Factor the assembled matrix. Throws SingularMatrixError when a pivot
+  // falls below `pivot_tol` (NaN-aware: poisoned stamps are rejected here
+  // rather than propagated through the solve).
+  virtual void factor(double pivot_tol) = 0;
+  void factor() { factor(kDefaultPivotTol); }
+
+  virtual void solve_in_place(std::span<T> b) = 0;
+
+  // Conditioning estimate of the last factorization: max|U_ii|/min|U_ii|,
+  // identical semantics across backends (see LuFactorization).
+  virtual double diagonal_ratio() const = 0;
+
+  // Drop every cached structure (pattern, slot sequence, symbolic
+  // factorization). Correctness never requires this — unseen entries are
+  // merged automatically — but it returns the solver to a cold state
+  // after a topology change when the caller prefers a rebuilt pattern
+  // over a grown one.
+  virtual void invalidate_structure() = 0;
+
+  virtual const SolverStats& stats() const = 0;
+};
+
+using LinearSolver = LinearSolverT<double>;
+using ComplexLinearSolver = LinearSolverT<Complex>;
+
+// kAuto resolution threshold: systems with n >= this many unknowns go to
+// the sparse backend (MNA matrices at that size are a few % dense).
+constexpr std::size_t kSparseAutoThreshold = 32;
+
+// Resolve kAuto by system size; kDense/kSparse pass through.
+SolverKind resolve_solver_kind(SolverKind requested, std::size_t n);
+
+// Factories. kAuto is resolved with resolve_solver_kind(n).
+std::unique_ptr<LinearSolver> make_solver(SolverKind kind, std::size_t n);
+std::unique_ptr<ComplexLinearSolver> make_complex_solver(SolverKind kind, std::size_t n);
+
+}  // namespace ironic::linalg

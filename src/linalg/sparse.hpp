@@ -1,0 +1,134 @@
+// Sparse MNA backend: CSR assembly with a call-sequence slot cache and a
+// left-looking partial-pivot LU with symbolic caching (DESIGN.md §11).
+//
+// Assembly. Devices call add(r, c, v) in whatever order their stamps
+// produce. The first assembly records that call sequence; subsequent
+// assemblies replay it with a cursor, so the steady state is one compare
+// plus one indexed accumulate per stamp — no hashing, no searches. When
+// the order diverges (a MOSFET swapping source/drain roles between
+// operating regions reorders its stamp calls), the matched prefix is
+// kept, the rest falls back to a binary search per entry, and the
+// sequence is re-recorded — a speed blip, never a correctness issue.
+// Entries the pattern has never seen land in an overflow triplet list and
+// are merged at factor() time (capacitors stamp nothing at DC, so a DC
+// solve followed by a transient grows the pattern once).
+//
+// Factorization. Left-looking column LU with a dense accumulator, partial
+// pivoting, and a static column pre-order by ascending column count (a
+// cheap Markowitz flavor that keeps fill low on MNA matrices). Structure
+// decisions are symbolic — an entry that is numerically zero this
+// iteration still occupies its slot — so the elimination structure (pivot
+// order, L/U patterns) is cached and later factorizations only redo the
+// numbers along it. If a cached pivot degrades (falls below tolerance or
+// loses too much ground to its column), the solver silently falls back to
+// a fresh full factorization before reporting SingularMatrixError.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/linalg/solver.hpp"
+
+namespace ironic::linalg {
+
+template <typename T>
+class SparseSolver final : public LinearSolverT<T> {
+ public:
+  explicit SparseSolver(std::size_t n);
+
+  const char* name() const override { return "sparse"; }
+  SolverKind kind() const override { return SolverKind::kSparse; }
+  std::size_t size() const override { return n_; }
+
+  void begin_assembly() override;
+  void add(int row, int col, T value) override;
+  using LinearSolverT<T>::factor;  // the argless default-tolerance overload
+  void factor(double pivot_tol) override;
+  void solve_in_place(std::span<T> b) override;
+  double diagonal_ratio() const override;
+  void invalidate_structure() override;
+  const SolverStats& stats() const override { return stats_; }
+
+  // Structural nonzeros of the cached pattern (test hook).
+  std::size_t pattern_nnz() const { return cols_.size(); }
+
+ private:
+  static std::int64_t pack(int row, int col) {
+    return (static_cast<std::int64_t>(row) << 32) |
+           static_cast<std::int64_t>(static_cast<std::uint32_t>(col));
+  }
+
+  int find_slot(int row, int col) const;
+  void finalize_assembly();
+  void merge_pattern();
+  void build_csc();
+  void build_col_order();
+  void full_factor(double pivot_tol);
+  bool refactor_numeric(double pivot_tol);
+  void clear_column_workspace();
+
+  std::size_t n_ = 0;
+
+  // --- assembled matrix (CSR; columns sorted within each row) -------------
+  std::vector<int> row_ptr_;  // n_ + 1
+  std::vector<int> cols_;     // nnz
+  std::vector<T> values_;     // nnz, current assembly
+  bool pattern_valid_ = false;
+
+  // --- call-sequence slot cache -------------------------------------------
+  std::vector<std::int64_t> seq_rc_;   // packed (row, col) per recorded call
+  std::vector<std::int32_t> seq_slot_; // slot into values_ per recorded call
+  bool seq_valid_ = false;
+  // Per-assembly state.
+  bool assembling_ = false;
+  bool fast_ = false;       // cursor replay still aligned with seq_rc_
+  bool recording_ = false;  // re-recording the sequence this assembly
+  bool had_pattern_ = false;
+  std::size_t cursor_ = 0;
+  std::vector<std::int64_t> new_rc_;
+  std::vector<std::int32_t> new_slot_;
+  struct Triplet {
+    int row;
+    int col;
+    T value;
+  };
+  std::vector<Triplet> extra_;  // entries outside the current pattern
+
+  // --- CSC view of the pattern (column access for the factorization) -----
+  std::vector<int> csc_ptr_, csc_rows_, csc_slots_;
+  bool csc_valid_ = false;
+
+  // --- cached factorization -----------------------------------------------
+  struct LEntry {
+    int row;  // original row id
+    T value;
+  };
+  struct UEntry {
+    int k;  // elimination step of the pivot this entry multiplies
+    T value;
+  };
+  std::vector<std::vector<LEntry>> lcols_;
+  std::vector<std::vector<UEntry>> ucols_;
+  std::vector<int> pivot_row_;  // elimination step -> original row
+  std::vector<int> row_pos_;    // original row -> elimination step
+  std::vector<int> col_order_;  // elimination step -> original column
+  std::vector<T> upiv_;         // U diagonal, elimination order
+  bool symbolic_valid_ = false;
+  bool factored_ = false;
+  std::vector<T> last_factored_;  // values_ snapshot behind the factor skip
+
+  // --- scratch -------------------------------------------------------------
+  std::vector<T> work_;
+  std::vector<unsigned char> mark_;
+  std::vector<int> touched_;
+  std::vector<T> fwd_;
+
+  SolverStats stats_;
+};
+
+extern template class SparseSolver<double>;
+extern template class SparseSolver<Complex>;
+
+}  // namespace ironic::linalg

@@ -100,6 +100,7 @@ AcResult run_ac(Circuit& circuit, const AcOptions& options) {
   } else if (options.use_operating_point) {
     DcOptions dc_opts;
     dc_opts.newton = options.newton;
+    dc_opts.solver = options.solver;
     const DcResult dc = solve_dc(circuit, dc_opts);
     if (!dc.converged) {
       throw std::runtime_error("run_ac: DC operating point failed to converge");
@@ -127,18 +128,25 @@ AcResult run_ac(Circuit& circuit, const AcOptions& options) {
   }
 
   AcResult result(circuit.signal_names(), freqs);
-  linalg::CMatrix a(n, n);
+  linalg::ComplexLinearSolver& solver =
+      circuit.acquire_complex_solver(effective_solver_kind(options.solver));
   linalg::CVector rhs(n);
+  linalg::CVector x(n);
 
   for (std::size_t fi = 0; fi < freqs.size(); ++fi) {
     const double omega = constants::kTwoPi * freqs[fi];
-    a.fill({0.0, 0.0});
+    solver.begin_assembly();
     std::fill(rhs.begin(), rhs.end(), linalg::Complex{0.0, 0.0});
-    AcStampContext ctx{a, rhs, op, omega};
+    AcStampContext ctx{solver, rhs, op, omega};
     for (const auto& dev : circuit.devices()) dev->stamp_ac(ctx);
     // Regularizing shunt, mirroring the transient engine's gshunt.
-    for (std::size_t i = 0; i < circuit.num_nodes(); ++i) a(i, i) += 1e-12;
-    result.set_point(fi, linalg::solve_complex(a, rhs));
+    for (std::size_t i = 0; i < circuit.num_nodes(); ++i) {
+      solver.add(static_cast<int>(i), static_cast<int>(i), {1e-12, 0.0});
+    }
+    solver.factor();
+    x = rhs;
+    solver.solve_in_place(x);
+    result.set_point(fi, x);
   }
   return result;
 }

@@ -33,6 +33,11 @@ struct AcOptions {
   // the final state of a settling transient).
   std::vector<double> operating_point;
   NewtonOptions newton;
+  // Linear-solver backend for the complex system (and the DC operating
+  // point), as in DcOptions::solver. The AC pattern is frequency-
+  // invariant, so under the sparse backend every frequency after the
+  // first is a numeric-only refactorization.
+  linalg::SolverKind solver = linalg::SolverKind::kAuto;
 };
 
 class AcResult {

@@ -63,6 +63,25 @@ int Circuit::allocate_branch(const std::string& label) {
   return index;
 }
 
+linalg::LinearSolver& Circuit::acquire_solver(linalg::SolverKind kind) {
+  const std::size_t n = num_unknowns();
+  const linalg::SolverKind resolved = linalg::resolve_solver_kind(kind, n);
+  if (!solver_ || solver_->size() != n || solver_->kind() != resolved) {
+    solver_ = linalg::make_solver(resolved, n);
+  }
+  return *solver_;
+}
+
+linalg::ComplexLinearSolver& Circuit::acquire_complex_solver(linalg::SolverKind kind) {
+  const std::size_t n = num_unknowns();
+  const linalg::SolverKind resolved = linalg::resolve_solver_kind(kind, n);
+  if (!complex_solver_ || complex_solver_->size() != n ||
+      complex_solver_->kind() != resolved) {
+    complex_solver_ = linalg::make_complex_solver(resolved, n);
+  }
+  return *complex_solver_;
+}
+
 std::vector<std::string> Circuit::signal_names() const {
   std::vector<std::string> names;
   names.reserve(num_unknowns());

@@ -68,6 +68,17 @@ class Circuit {
   // Signal names in unknown order: v(<node>) then i(<branch>).
   std::vector<std::string> signal_names() const;
 
+  // Circuit-owned linear solvers, so the cached stamp slots, sparsity
+  // pattern, and symbolic factorization survive across Newton iterations,
+  // time steps, and whole runs (a checkpoint-resumed transient re-uses
+  // the pattern its capturing run built). `kind` is resolved against the
+  // current number of unknowns; the solver is re-created when the size or
+  // the resolved backend changed, and topology growth at a constant size
+  // is absorbed by the solver's own pattern merging. Call after
+  // finalize().
+  linalg::LinearSolver& acquire_solver(linalg::SolverKind kind);
+  linalg::ComplexLinearSolver& acquire_complex_solver(linalg::SolverKind kind);
+
  private:
   void register_device(std::unique_ptr<Device> device);
 
@@ -78,6 +89,8 @@ class Circuit {
   std::vector<std::string> branch_labels_;
   bool finalized_ = false;
   int internal_counter_ = 0;
+  std::unique_ptr<linalg::LinearSolver> solver_;
+  std::unique_ptr<linalg::ComplexLinearSolver> complex_solver_;
 };
 
 }  // namespace ironic::spice

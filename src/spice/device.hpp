@@ -14,6 +14,7 @@
 
 #include "src/linalg/complex_matrix.hpp"
 #include "src/linalg/matrix.hpp"
+#include "src/linalg/solver.hpp"
 
 namespace ironic::spice {
 
@@ -83,9 +84,14 @@ struct DeviceInfo {
   std::vector<std::size_t> rigid_to_ground;
 };
 
-// Everything a device needs to stamp one Newton iteration.
+// Everything a device needs to stamp one Newton iteration. Matrix
+// entries accumulate into the pluggable solver (dense or sparse); the
+// sparse backend caches the stamp-call sequence, so devices should go
+// through the add_a/stamp_* helpers and need not — must not — try to
+// write structure themselves (see DESIGN.md §11 for the slot-cache
+// contract).
 struct StampContext {
-  linalg::Matrix& a;
+  linalg::LinearSolver& a;
   std::vector<double>& rhs;
   std::span<const double> x;  // current Newton iterate (full unknown vector)
   double time = 0.0;          // time point being solved
@@ -108,7 +114,7 @@ struct StampContext {
 // Small-signal (AC) stamping context: the complex MNA system at one
 // angular frequency, linearized around the DC operating point `op`.
 struct AcStampContext {
-  linalg::CMatrix& a;
+  linalg::ComplexLinearSolver& a;
   linalg::CVector& rhs;
   std::span<const double> op;  // DC operating point (full unknown vector)
   double omega = 0.0;
@@ -185,7 +191,7 @@ class Device {
   // --- ground-aware stamping helpers -------------------------------------
   static void add_a(StampContext& ctx, int row, int col, double value) {
     if (row < 0 || col < 0) return;
-    ctx.a(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += value;
+    ctx.a.add(row, col, value);
   }
   static void add_rhs(StampContext& ctx, int row, double value) {
     if (row < 0) return;
@@ -207,7 +213,7 @@ class Device {
   // --- complex (AC) stamping helpers --------------------------------------
   static void ac_add(AcStampContext& ctx, int row, int col, linalg::Complex value) {
     if (row < 0 || col < 0) return;
-    ctx.a(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += value;
+    ctx.a.add(row, col, value);
   }
   static void ac_rhs(AcStampContext& ctx, int row, linalg::Complex value) {
     if (row < 0) return;

@@ -1,13 +1,14 @@
 #include "src/spice/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <limits>
 #include <span>
 #include <stdexcept>
 
-#include "src/linalg/lu.hpp"
+#include "src/linalg/solver.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/spice/lint.hpp"
 #include "src/obs/trace.hpp"
@@ -16,10 +17,14 @@
 namespace ironic::spice {
 namespace {
 
+std::atomic<linalg::SolverKind> g_default_solver_kind{linalg::SolverKind::kAuto};
+
 struct NewtonOutcome {
   bool converged = false;
-  int iterations = 0;            // == LU factor+solve pairs attempted
-  std::uint64_t lu_ns = 0;       // wall time spent factoring + solving
+  int iterations = 0;                     // Newton iterations attempted
+  std::uint64_t factorizations = 0;       // numeric LU factorizations performed
+  std::uint64_t solves = 0;               // triangular solves (== iterations)
+  std::uint64_t lu_ns = 0;                // wall time spent factoring + solving
 };
 
 // Cached handles into the metrics registry for the engine's hot paths;
@@ -35,12 +40,23 @@ struct EngineMetrics {
   obs::Counter& tr_rejected_steps;
   obs::Counter& tr_lte_rejections;
   obs::Counter& tr_newton_iterations;
-  obs::Counter& tr_lu_factorizations;
+  obs::Counter& tr_factorizations;
+  obs::Counter& tr_solves;
   obs::Counter& tr_breakpoint_hits;
   obs::Counter& tr_checkpoints;
   obs::Counter& tr_resumes;
   obs::Counter& tr_lu_ns;       // time inside LU factor+solve (transient)
   obs::Counter& dc_lu_ns;
+  // Solver-layer counters, fed with per-run deltas of the backend's
+  // SolverStats (the backend outlives runs via the circuit cache).
+  obs::Counter& sv_factorizations;
+  obs::Counter& sv_refactorizations;
+  obs::Counter& sv_factor_skips;
+  obs::Counter& sv_solves;
+  obs::Counter& sv_pattern_builds;
+  obs::Counter& sv_pattern_reuses;
+  obs::Gauge& sv_nnz;
+  obs::Gauge& sv_factor_nnz;
   obs::Gauge& tr_last_steps_per_sec;
   obs::Histogram& tr_newton_iters_per_step;
 
@@ -58,12 +74,21 @@ struct EngineMetrics {
           r.counter("spice.transient.rejected_steps"),
           r.counter("spice.transient.lte_rejections"),
           r.counter("spice.transient.newton_iterations"),
-          r.counter("spice.transient.lu_factorizations"),
+          r.counter("spice.transient.factorizations"),
+          r.counter("spice.transient.solves"),
           r.counter("spice.transient.breakpoint_hits"),
           r.counter("spice.transient.checkpoints"),
           r.counter("spice.transient.resumes"),
           r.counter("spice.transient.lu_ns"),
           r.counter("spice.dc.lu_ns"),
+          r.counter("spice.solver.factorizations"),
+          r.counter("spice.solver.refactorizations"),
+          r.counter("spice.solver.factor_skips"),
+          r.counter("spice.solver.solves"),
+          r.counter("spice.solver.pattern_builds"),
+          r.counter("spice.solver.pattern_reuses"),
+          r.gauge("spice.solver.nnz"),
+          r.gauge("spice.solver.factor_nnz"),
           r.gauge("spice.transient.last_steps_per_sec"),
           r.histogram("spice.transient.newton_iters_per_step",
                       {1, 2, 3, 4, 5, 6, 8, 10, 15, 20, 30, 50, 100, 150}),
@@ -74,42 +99,47 @@ struct EngineMetrics {
 };
 
 // One Newton solve of the (possibly nonlinear) MNA system at a fixed
-// time point. `x` is both the initial guess and the result.
-NewtonOutcome newton_solve(Circuit& circuit, std::vector<double>& x, double time,
-                           double dt, Integrator integrator, bool dc,
-                           const NewtonOptions& opts, double source_scale,
-                           double extra_gshunt) {
+// time point. `x` is both the initial guess and the result. The solver
+// persists across calls (circuit-owned), so its cached stamp slots and
+// symbolic factorization carry over between iterations and time steps.
+NewtonOutcome newton_solve(Circuit& circuit, linalg::LinearSolver& solver,
+                           std::vector<double>& x, double time, double dt,
+                           Integrator integrator, bool dc, const NewtonOptions& opts,
+                           double source_scale, double extra_gshunt) {
   const std::size_t n = circuit.num_unknowns();
   const std::size_t num_nodes = circuit.num_nodes();
-  linalg::Matrix a(n, n);
   std::vector<double> rhs(n, 0.0);
   std::vector<double> x_new(n, 0.0);
   NewtonOutcome outcome;
+  const linalg::SolverStats entry_stats = solver.stats();
 
   bool any_nonlinear = false;
   for (const auto& dev : circuit.devices()) any_nonlinear |= dev->nonlinear();
 
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
     ++outcome.iterations;
-    a.fill(0.0);
+    solver.begin_assembly();
     std::fill(rhs.begin(), rhs.end(), 0.0);
 
-    StampContext ctx{a, rhs, x, time, dt, integrator, dc, opts.gmin, source_scale, false};
+    StampContext ctx{solver, rhs, x, time, dt, integrator, dc, opts.gmin, source_scale, false};
     for (const auto& dev : circuit.devices()) dev->stamp(ctx);
     const bool limiting_active = ctx.limited;
 
+    // Node-to-ground leak. Stamped even when it is 0.0 so the node
+    // diagonals belong to the sparse pattern unconditionally: the gmin
+    // ladder reaching zero then changes values, never structure.
     const double gshunt = opts.gshunt + extra_gshunt;
-    if (gshunt > 0.0) {
-      for (std::size_t i = 0; i < num_nodes; ++i) a(i, i) += gshunt;
+    for (std::size_t i = 0; i < num_nodes; ++i) {
+      solver.add(static_cast<int>(i), static_cast<int>(i), gshunt);
     }
 
     std::chrono::steady_clock::time_point lu_start;
     if constexpr (obs::kEnabled) lu_start = std::chrono::steady_clock::now();
     bool singular = false;
     try {
-      linalg::LuFactorization lu(a);
+      solver.factor();
       x_new = rhs;
-      lu.solve_in_place(x_new);
+      solver.solve_in_place(x_new);
     } catch (const linalg::SingularMatrixError&) {
       singular = true;
     }
@@ -119,7 +149,7 @@ NewtonOutcome newton_solve(Circuit& circuit, std::vector<double>& x, double time
               std::chrono::steady_clock::now() - lu_start)
               .count());
     }
-    if (singular) return outcome;  // not converged
+    if (singular) break;  // not converged
 
     // Convergence check on the update.
     bool converged = true;
@@ -145,15 +175,34 @@ NewtonOutcome newton_solve(Circuit& circuit, std::vector<double>& x, double time
     x = x_new;
     if (converged && (iter >= 1 || !any_nonlinear)) {
       outcome.converged = true;
-      return outcome;
+      break;
     }
     if (!any_nonlinear && iter >= 1) {
       // Linear circuit: second solve is identical; accept.
       outcome.converged = true;
-      return outcome;
+      break;
     }
   }
+  const linalg::SolverStats& exit_stats = solver.stats();
+  outcome.factorizations = exit_stats.factorizations - entry_stats.factorizations;
+  outcome.solves = exit_stats.solves - entry_stats.solves;
   return outcome;
+}
+
+// Feed the per-run delta of a backend's lifetime stats into the metrics
+// registry (the backend outlives runs via the circuit's solver cache).
+void add_solver_metrics(const linalg::SolverStats& before, const linalg::SolverStats& after) {
+  if constexpr (obs::kEnabled) {
+    auto& m = EngineMetrics::get();
+    m.sv_factorizations.add(after.factorizations - before.factorizations);
+    m.sv_refactorizations.add(after.refactorizations - before.refactorizations);
+    m.sv_factor_skips.add(after.factor_skips - before.factor_skips);
+    m.sv_solves.add(after.solves - before.solves);
+    m.sv_pattern_builds.add(after.pattern_builds - before.pattern_builds);
+    m.sv_pattern_reuses.add(after.pattern_reuses - before.pattern_reuses);
+    m.sv_nnz.set(static_cast<double>(after.nnz));
+    m.sv_factor_nnz.set(static_cast<double>(after.factor_nnz));
+  }
 }
 
 void reset_devices_for_point(Circuit& circuit, double time, double dt) {
@@ -161,6 +210,18 @@ void reset_devices_for_point(Circuit& circuit, double time, double dt) {
 }
 
 }  // namespace
+
+void set_default_solver_kind(linalg::SolverKind kind) {
+  g_default_solver_kind.store(kind, std::memory_order_relaxed);
+}
+
+linalg::SolverKind default_solver_kind() {
+  return g_default_solver_kind.load(std::memory_order_relaxed);
+}
+
+linalg::SolverKind effective_solver_kind(linalg::SolverKind from_options) {
+  return from_options != linalg::SolverKind::kAuto ? from_options : default_solver_kind();
+}
 
 DcResult solve_dc(Circuit& circuit, const DcOptions& options) {
   if (options.validate) {
@@ -170,6 +231,9 @@ DcResult solve_dc(Circuit& circuit, const DcOptions& options) {
   }
   circuit.finalize();
   const std::size_t n = circuit.num_unknowns();
+  linalg::LinearSolver& solver =
+      circuit.acquire_solver(effective_solver_kind(options.solver));
+  const linalg::SolverStats solver_before = solver.stats();
   DcResult result;
   result.x.assign(n, 0.0);
 
@@ -182,8 +246,10 @@ DcResult solve_dc(Circuit& circuit, const DcOptions& options) {
       m.dc_newton_iterations.add(static_cast<std::uint64_t>(done.total_iterations));
       m.dc_lu_ns.add(lu_ns);
       if (!done.converged) m.dc_failures.add();
+      add_solver_metrics(solver_before, solver.stats());
       span.arg("strategy", done.converged ? done.strategy : "failed");
       span.arg("iterations", std::to_string(done.total_iterations));
+      span.arg("solver", solver.name());
     }
     return std::move(done);
   };
@@ -192,7 +258,7 @@ DcResult solve_dc(Circuit& circuit, const DcOptions& options) {
   {
     std::vector<double> x(n, 0.0);
     reset_devices_for_point(circuit, 0.0, 0.0);
-    const auto outcome = newton_solve(circuit, x, 0.0, 0.0, Integrator::kBackwardEuler,
+    const auto outcome = newton_solve(circuit, solver, x, 0.0, 0.0, Integrator::kBackwardEuler,
                                       /*dc=*/true, options.newton, 1.0, 0.0);
     result.total_iterations += outcome.iterations;
     lu_ns += outcome.lu_ns;
@@ -211,7 +277,7 @@ DcResult solve_dc(Circuit& circuit, const DcOptions& options) {
     bool ladder_ok = true;
     for (double g = 1e-2; g >= 1e-12; g /= 10.0) {
       reset_devices_for_point(circuit, 0.0, 0.0);
-      const auto outcome = newton_solve(circuit, x, 0.0, 0.0, Integrator::kBackwardEuler,
+      const auto outcome = newton_solve(circuit, solver, x, 0.0, 0.0, Integrator::kBackwardEuler,
                                         true, options.newton, 1.0, g);
       result.total_iterations += outcome.iterations;
       lu_ns += outcome.lu_ns;
@@ -222,7 +288,7 @@ DcResult solve_dc(Circuit& circuit, const DcOptions& options) {
     }
     if (ladder_ok) {
       reset_devices_for_point(circuit, 0.0, 0.0);
-      const auto outcome = newton_solve(circuit, x, 0.0, 0.0, Integrator::kBackwardEuler,
+      const auto outcome = newton_solve(circuit, solver, x, 0.0, 0.0, Integrator::kBackwardEuler,
                                         true, options.newton, 1.0, 0.0);
       result.total_iterations += outcome.iterations;
       lu_ns += outcome.lu_ns;
@@ -242,7 +308,7 @@ DcResult solve_dc(Circuit& circuit, const DcOptions& options) {
     bool ladder_ok = true;
     for (double scale = 0.05; scale <= 1.0 + 1e-12; scale += 0.05) {
       reset_devices_for_point(circuit, 0.0, 0.0);
-      const auto outcome = newton_solve(circuit, x, 0.0, 0.0, Integrator::kBackwardEuler,
+      const auto outcome = newton_solve(circuit, solver, x, 0.0, 0.0, Integrator::kBackwardEuler,
                                         true, options.newton, std::min(scale, 1.0), 0.0);
       result.total_iterations += outcome.iterations;
       lu_ns += outcome.lu_ns;
@@ -287,6 +353,9 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
     std::chrono::steady_clock::time_point start;
     std::uint64_t& lu_ns;
     obs::Span& span;
+    // Set once the circuit's solver is acquired (after validation).
+    const linalg::LinearSolver* solver = nullptr;
+    linalg::SolverStats solver_before{};
     ~Finalize() {
       run.wall_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -295,7 +364,8 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
         out->accepted_steps += run.accepted_steps;
         out->rejected_steps += run.rejected_steps;
         out->newton_iterations += run.newton_iterations;
-        out->lu_factorizations += run.lu_factorizations;
+        out->factorizations += run.factorizations;
+        out->solves += run.solves;
         out->breakpoint_hits += run.breakpoint_hits;
         out->lte_rejections += run.lte_rejections;
         out->max_newton_iterations =
@@ -309,12 +379,17 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
         m.tr_rejected_steps.add(run.rejected_steps);
         m.tr_lte_rejections.add(run.lte_rejections);
         m.tr_newton_iterations.add(run.newton_iterations);
-        m.tr_lu_factorizations.add(run.lu_factorizations);
+        m.tr_factorizations.add(run.factorizations);
+        m.tr_solves.add(run.solves);
         m.tr_breakpoint_hits.add(run.breakpoint_hits);
         m.tr_lu_ns.add(lu_ns);
         if (run.wall_seconds > 0.0) {
           m.tr_last_steps_per_sec.set(static_cast<double>(run.accepted_steps) /
                                       run.wall_seconds);
+        }
+        if (solver != nullptr) {
+          add_solver_metrics(solver_before, solver->stats());
+          span.arg("solver", solver->name());
         }
         span.arg("accepted_steps", std::to_string(run.accepted_steps));
         span.arg("rejected_steps", std::to_string(run.rejected_steps));
@@ -324,6 +399,10 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
   } finalize{run, stats, wall_start, lu_ns, span};
   circuit.finalize();
   const std::size_t n = circuit.num_unknowns();
+  linalg::LinearSolver& solver =
+      circuit.acquire_solver(effective_solver_kind(options.solver));
+  finalize.solver = &solver;
+  finalize.solver_before = solver.stats();
   const double dt_min =
       options.dt_min > 0.0 ? options.dt_min : options.dt_max / 65536.0;
 
@@ -350,12 +429,16 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
     DcOptions dc_opts;
     dc_opts.newton = options.newton;
     dc_opts.validate = options.validate;
+    dc_opts.solver = options.solver;
     const DcResult dc = solve_dc(circuit, dc_opts);
     if (!dc.converged) {
       throw std::runtime_error("run_transient: DC operating point failed to converge");
     }
     x = dc.x;
     circuit.finalize();  // re-run setup in case solve_dc's finalize reordered branches
+    // solve_dc emitted its own solver-metric delta; restart ours here so
+    // the DC share is not counted twice.
+    finalize.solver_before = solver.stats();
   }
   for (const auto& dev : circuit.devices()) dev->initialize(x);
   if (resuming) {
@@ -469,10 +552,12 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
     const double t_next = t + dt_step;
     reset_devices_for_point(circuit, t_next, dt_step);
     x_try = x;
-    const auto outcome = newton_solve(circuit, x_try, t_next, dt_step, options.integrator,
+    const auto outcome = newton_solve(circuit, solver, x_try, t_next, dt_step,
+                                      options.integrator,
                                       /*dc=*/false, options.newton, 1.0, 0.0);
     run.newton_iterations += static_cast<std::size_t>(outcome.iterations);
-    run.lu_factorizations += static_cast<std::size_t>(outcome.iterations);
+    run.factorizations += static_cast<std::size_t>(outcome.factorizations);
+    run.solves += static_cast<std::size_t>(outcome.solves);
     run.max_newton_iterations =
         std::max(run.max_newton_iterations, static_cast<std::size_t>(outcome.iterations));
     lu_ns += outcome.lu_ns;

@@ -12,10 +12,21 @@
 #include <vector>
 
 #include "src/linalg/matrix.hpp"
+#include "src/linalg/solver.hpp"
 #include "src/spice/circuit.hpp"
 #include "src/spice/trace.hpp"
 
 namespace ironic::spice {
+
+// Process-wide default linear-solver backend, consulted when per-analysis
+// options leave `solver` at kAuto. Lets CLI layers (sweep_runner and
+// fault_runner's --solver flag) steer every solve in the process without
+// threading a kind through each config struct. Defaults to kAuto (size
+// heuristic, see linalg::resolve_solver_kind).
+void set_default_solver_kind(linalg::SolverKind kind);
+linalg::SolverKind default_solver_kind();
+// options-level kind if explicit, else the process default.
+linalg::SolverKind effective_solver_kind(linalg::SolverKind from_options);
 
 struct NewtonOptions {
   int max_iterations = 150;
@@ -31,6 +42,9 @@ struct DcOptions {
   NewtonOptions newton;
   bool gmin_stepping = true;
   bool source_stepping = true;
+  // Linear-solver backend; kAuto defers to the process default, then the
+  // size heuristic.
+  linalg::SolverKind solver = linalg::SolverKind::kAuto;
   // Run the netlist linter (see src/spice/lint.hpp) before solving and
   // throw CircuitValidationError on error diagnostics, so misconfigured
   // circuits fail with a named rule instead of a Newton non-convergence.
@@ -92,6 +106,8 @@ struct TransientOptions {
   // amps). dt never exceeds dt_max, so breakpoint snapping still works.
   bool adaptive = false;
   double lte_tol = 1e-3;
+  // Linear-solver backend, as in DcOptions::solver.
+  linalg::SolverKind solver = linalg::SolverKind::kAuto;
   // Pre-run static validation, as in DcOptions::validate (transient
   // context: DC-only hazards like inductor loops stay warnings).
   bool validate = true;
@@ -114,7 +130,13 @@ struct TransientStats {
   std::size_t accepted_steps = 0;
   std::size_t rejected_steps = 0;       // Newton failures + LTE rejections
   std::size_t newton_iterations = 0;
-  std::size_t lu_factorizations = 0;    // one LU factor+solve per iteration
+  // Numeric LU factorizations actually performed, and triangular solves.
+  // Every Newton iteration solves once, but the solver layer skips
+  // factoring when the assembled values are bit-identical to the matrix
+  // it just factored (linear circuits at a fixed step), so
+  // factorizations <= solves == newton_iterations.
+  std::size_t factorizations = 0;
+  std::size_t solves = 0;
   std::size_t breakpoint_hits = 0;      // accepted steps snapped to a breakpoint
   std::size_t lte_rejections = 0;       // subset of rejected_steps (adaptive mode)
   std::size_t max_newton_iterations = 0;  // worst single step attempt

@@ -1,0 +1,360 @@
+// Unit tests for the sparse MNA backend (src/linalg/sparse.hpp): dense
+// parity on random systems, slot-cache behaviour under pattern growth and
+// stamp reordering, the factor-skip / refactorization ladder, and the
+// NaN-aware singular diagnostics shared with the dense backend.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "src/linalg/lu.hpp"
+#include "src/linalg/solver.hpp"
+#include "src/linalg/sparse.hpp"
+
+using namespace ironic::linalg;
+
+namespace {
+
+struct Entry {
+  int row;
+  int col;
+  double value;
+};
+
+// Assemble the same triplets into any backend.
+template <typename Solver>
+void assemble(Solver& s, const std::vector<Entry>& entries) {
+  s.begin_assembly();
+  for (const auto& e : entries) s.add(e.row, e.col, e.value);
+}
+
+// Random diagonally-dominant sparse system, deterministic per (n, seed).
+std::vector<Entry> random_system(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  std::uniform_int_distribution<int> pick(0, static_cast<int>(n) - 1);
+  std::vector<Entry> entries;
+  for (int i = 0; i < static_cast<int>(n); ++i) {
+    entries.push_back({i, i, 4.0 + val(rng)});
+    for (int k = 0; k < 3; ++k) {
+      entries.push_back({i, pick(rng), val(rng)});
+      entries.push_back({pick(rng), i, val(rng)});
+    }
+  }
+  return entries;
+}
+
+std::vector<double> solve_with(LinearSolver& s, const std::vector<Entry>& entries,
+                               const std::vector<double>& rhs) {
+  assemble(s, entries);
+  s.factor();
+  std::vector<double> x = rhs;
+  s.solve_in_place(x);
+  return x;
+}
+
+}  // namespace
+
+TEST(SparseSolver, MatchesDenseOnRandomSystems) {
+  for (const std::size_t n : {2u, 5u, 17u, 64u}) {
+    for (unsigned seed = 1; seed <= 3; ++seed) {
+      const auto entries = random_system(n, seed);
+      std::vector<double> rhs(n);
+      for (std::size_t i = 0; i < n; ++i) rhs[i] = std::sin(1.0 + double(i));
+      auto dense = make_solver(SolverKind::kDense, n);
+      auto sparse = make_solver(SolverKind::kSparse, n);
+      const auto xd = solve_with(*dense, entries, rhs);
+      const auto xs = solve_with(*sparse, entries, rhs);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(xs[i], xd[i], 1e-9 * (1.0 + std::abs(xd[i])))
+            << "n=" << n << " seed=" << seed << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SparseSolver, EmptySystemIsANoOp) {
+  SparseSolver<double> s(0);
+  s.begin_assembly();
+  EXPECT_NO_THROW(s.factor());
+  std::vector<double> b;
+  EXPECT_NO_THROW(s.solve_in_place(b));
+}
+
+TEST(SparseSolver, OneByOneSolves) {
+  SparseSolver<double> s(1);
+  s.begin_assembly();
+  s.add(0, 0, 2.0);
+  s.factor();
+  std::vector<double> b{6.0};
+  s.solve_in_place(b);
+  EXPECT_DOUBLE_EQ(b[0], 3.0);
+  EXPECT_EQ(s.pattern_nnz(), 1u);
+}
+
+TEST(SparseSolver, AddRejectsOutOfRangeIndices) {
+  SparseSolver<double> s(2);
+  s.begin_assembly();
+  EXPECT_THROW(s.add(-1, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(s.add(0, 2, 1.0), std::out_of_range);
+}
+
+TEST(SparseSolver, SingularMatrixDiagnosticsMatchDense) {
+  // Structurally present but numerically empty column: both backends must
+  // throw SingularMatrixError with the same diagnostic wording.
+  const std::vector<Entry> singular{{0, 0, 1.0}, {0, 1, 1.0}, {1, 0, 0.0}, {1, 1, 0.0}};
+  for (const SolverKind kind : {SolverKind::kDense, SolverKind::kSparse}) {
+    auto s = make_solver(kind, 2);
+    assemble(*s, singular);
+    try {
+      s->factor();
+      FAIL() << solver_kind_name(kind) << " backend accepted a singular matrix";
+    } catch (const SingularMatrixError& err) {
+      EXPECT_NE(std::string(err.what()).find("below tolerance"), std::string::npos)
+          << err.what();
+      EXPECT_NE(std::string(err.what()).find("floating node"), std::string::npos)
+          << err.what();
+    }
+  }
+}
+
+TEST(SparseSolver, NaNPoisonedAssemblyIsRejectedNotPropagated) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (const SolverKind kind : {SolverKind::kDense, SolverKind::kSparse}) {
+    auto s = make_solver(kind, 2);
+    assemble(*s, {{0, 0, nan}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 2.0}});
+    EXPECT_THROW(s->factor(), SingularMatrixError) << solver_kind_name(kind);
+  }
+}
+
+TEST(SparseSolver, NaNDefeatsTheFactorSkipAndTheRefactorPath) {
+  // Factor a healthy matrix first so both the factor-skip comparison and
+  // the cached symbolic structure are armed, then poison one entry: the
+  // NaN must fail the refactor pivot check and then the full
+  // factorization, never reach solve_in_place.
+  SparseSolver<double> s(2);
+  const std::vector<Entry> good{{0, 0, 3.0}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 2.0}};
+  assemble(s, good);
+  s.factor();
+  EXPECT_EQ(s.stats().factorizations, 1u);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  assemble(s, {{0, 0, nan}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 2.0}});
+  EXPECT_THROW(s.factor(), SingularMatrixError);
+  EXPECT_EQ(s.stats().factor_skips, 0u);
+  EXPECT_EQ(s.stats().refactorizations, 0u);
+}
+
+TEST(SparseSolver, OverflowEntriesGrowThePatternOnce) {
+  // DC-then-transient shape: the first assembly misses the capacitor
+  // coupling entries, the second introduces them. The pattern must grow
+  // exactly once and the grown system must still match dense.
+  const std::size_t n = 4;
+  std::vector<Entry> dc;
+  for (int i = 0; i < 4; ++i) dc.push_back({i, i, 2.0});
+  SparseSolver<double> s(n);
+  std::vector<double> rhs{1.0, 2.0, 3.0, 4.0};
+  auto x = solve_with(s, dc, rhs);
+  EXPECT_EQ(s.stats().pattern_builds, 1u);
+  EXPECT_EQ(s.pattern_nnz(), 4u);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(x[i], rhs[i] / 2.0);
+
+  std::vector<Entry> tran = dc;
+  tran.push_back({0, 1, -0.5});
+  tran.push_back({1, 0, -0.5});
+  auto dense = make_solver(SolverKind::kDense, n);
+  const auto xd = solve_with(*dense, tran, rhs);
+  const auto xs = solve_with(s, tran, rhs);
+  EXPECT_EQ(s.stats().pattern_builds, 2u);
+  EXPECT_EQ(s.pattern_nnz(), 6u);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(xs[i], xd[i], 1e-12);
+
+  // Third assembly with the same entries: the grown pattern is reused.
+  (void)solve_with(s, tran, rhs);
+  EXPECT_EQ(s.stats().pattern_builds, 2u);
+  EXPECT_GE(s.stats().pattern_reuses, 1u);
+}
+
+TEST(SparseSolver, OmittedStampLeavesAStructuralZero) {
+  // An entry stamped once stays in the pattern forever; an assembly that
+  // skips it sees a numeric zero there, not a pattern rebuild.
+  SparseSolver<double> s(2);
+  assemble(s, {{0, 0, 2.0}, {0, 1, 1.0}, {1, 1, 2.0}, {1, 0, 1.0}});
+  s.factor();
+  EXPECT_EQ(s.pattern_nnz(), 4u);
+  // Re-stamp without the trailing (1, 0) coupling.
+  assemble(s, {{0, 0, 2.0}, {0, 1, 1.0}, {1, 1, 4.0}});
+  s.factor();
+  EXPECT_EQ(s.pattern_nnz(), 4u);
+  EXPECT_EQ(s.stats().pattern_builds, 1u);
+  std::vector<double> b{2.0, 4.0};
+  s.solve_in_place(b);
+  // [[2, 1], [0, 4]] x = [2, 4] -> x = [0.5, 1].
+  EXPECT_NEAR(b[0], 0.5, 1e-12);
+  EXPECT_NEAR(b[1], 1.0, 1e-12);
+}
+
+TEST(SparseSolver, StampOrderReorderingIsCorrectnessNeutral) {
+  // A MOSFET swapping source/drain roles reorders its add() calls. The
+  // slot cache must keep the matched prefix, re-record, and produce the
+  // same numbers as a cold solver.
+  const std::size_t n = 6;
+  const auto entries = random_system(n, 42);
+  std::vector<double> rhs(n, 1.0);
+  SparseSolver<double> warm(n);
+  (void)solve_with(warm, entries, rhs);
+
+  std::vector<Entry> reordered(entries.rbegin(), entries.rend());
+  const auto x_warm = solve_with(warm, reordered, rhs);
+  SparseSolver<double> cold(n);
+  const auto x_cold = solve_with(cold, reordered, rhs);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(x_warm[i], x_cold[i]);
+  // Same entry set: the pattern survived the reorder untouched.
+  EXPECT_EQ(warm.stats().pattern_builds, 1u);
+  EXPECT_EQ(warm.pattern_nnz(), cold.pattern_nnz());
+}
+
+TEST(SparseSolver, FactorLadderSkipsRefactorsAndRepivots) {
+  const std::vector<Entry> a1{{0, 0, 10.0}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 5.0}};
+  SparseSolver<double> s(2);
+  assemble(s, a1);
+  s.factor();
+  EXPECT_EQ(s.stats().factorizations, 1u);
+  EXPECT_EQ(s.stats().refactorizations, 0u);
+
+  // Same values again: bit-identical, factor is skipped outright.
+  assemble(s, a1);
+  s.factor();
+  EXPECT_EQ(s.stats().factorizations, 1u);
+  EXPECT_EQ(s.stats().factor_skips, 1u);
+
+  // New values on the same pattern: numeric-only refactorization.
+  assemble(s, {{0, 0, 8.0}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 4.0}});
+  s.factor();
+  EXPECT_EQ(s.stats().factorizations, 2u);
+  EXPECT_EQ(s.stats().refactorizations, 1u);
+
+  // Degrade the cached pivot (column 0 now dominated by the off-diagonal):
+  // the refactor check must reject it and fall back to a full, re-pivoted
+  // factorization that still solves correctly.
+  const std::vector<Entry> flipped{
+      {0, 0, 1e-9}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 1e-9}};
+  auto dense = make_solver(SolverKind::kDense, 2);
+  const std::vector<double> rhs{1.0, 2.0};
+  const auto xd = solve_with(*dense, flipped, rhs);
+  const auto xs = solve_with(s, flipped, rhs);
+  EXPECT_EQ(s.stats().factorizations, 3u);
+  EXPECT_EQ(s.stats().refactorizations, 1u);  // unchanged: fallback path
+  for (std::size_t i = 0; i < 2; ++i) EXPECT_NEAR(xs[i], xd[i], 1e-9);
+}
+
+TEST(SparseSolver, SingularityIsDetectedOnTheRefactorPathToo) {
+  SparseSolver<double> s(2);
+  assemble(s, {{0, 0, 3.0}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 2.0}});
+  s.factor();
+  // Numerically singular values on the cached structure: the refactor
+  // rejects the pivot, the full fallback throws.
+  assemble(s, {{0, 0, 1.0}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 1.0}});
+  EXPECT_THROW(s.factor(), SingularMatrixError);
+}
+
+TEST(SparseSolver, InvalidateStructureReturnsToColdStateCorrectly) {
+  const std::size_t n = 8;
+  const auto entries = random_system(n, 7);
+  std::vector<double> rhs(n, 1.0);
+  SparseSolver<double> s(n);
+  const auto x1 = solve_with(s, entries, rhs);
+  s.invalidate_structure();
+  const auto x2 = solve_with(s, entries, rhs);
+  EXPECT_EQ(s.stats().pattern_builds, 2u);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(x1[i], x2[i]);
+}
+
+TEST(SparseSolver, DiagonalRatioReportsConditioning) {
+  SparseSolver<double> good(2);
+  assemble(good, {{0, 0, 2.0}, {1, 1, 2.0}});
+  good.factor();
+  EXPECT_DOUBLE_EQ(good.diagonal_ratio(), 1.0);
+
+  SparseSolver<double> skewed(2);
+  assemble(skewed, {{0, 0, 1e6}, {1, 1, 1.0}});
+  skewed.factor();
+  EXPECT_NEAR(skewed.diagonal_ratio(), 1e6, 1.0);
+}
+
+TEST(SparseSolver, BandedSystemFillStaysLinear) {
+  // 200-unknown tridiagonal ladder: the factorization must stay O(n) in
+  // stored entries (the point of the sparse backend) and match dense.
+  const std::size_t n = 200;
+  std::vector<Entry> entries;
+  for (int i = 0; i < static_cast<int>(n); ++i) {
+    entries.push_back({i, i, 4.0});
+    if (i > 0) {
+      entries.push_back({i, i - 1, -1.0});
+      entries.push_back({i - 1, i, -1.0});
+    }
+  }
+  std::vector<double> rhs(n);
+  for (std::size_t i = 0; i < n; ++i) rhs[i] = std::cos(double(i));
+  auto dense = make_solver(SolverKind::kDense, n);
+  const auto xd = solve_with(*dense, entries, rhs);
+  SparseSolver<double> s(n);
+  const auto xs = solve_with(s, entries, rhs);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(xs[i], xd[i], 1e-10);
+  EXPECT_LT(s.stats().factor_nnz, 10 * n) << "tridiagonal factor filled in";
+  EXPECT_LT(s.stats().factor_nnz, dense->stats().factor_nnz);
+}
+
+TEST(SparseSolver, ComplexBackendMatchesComplexDense) {
+  const std::size_t n = 12;
+  auto dense = make_complex_solver(SolverKind::kDense, n);
+  auto sparse = make_complex_solver(SolverKind::kSparse, n);
+  for (auto* s : {dense.get(), sparse.get()}) s->begin_assembly();
+  std::mt19937 rng_d(3), rng_s(3);
+  auto stamp = [&](ComplexLinearSolver& s, std::mt19937& r) {
+    std::uniform_real_distribution<double> v(-1.0, 1.0);
+    for (int i = 0; i < static_cast<int>(n); ++i) {
+      s.add(i, i, {5.0 + v(r), v(r)});
+      s.add(i, (i + 3) % static_cast<int>(n), {v(r), v(r)});
+      s.add((i + 5) % static_cast<int>(n), i, {v(r), v(r)});
+    }
+  };
+  stamp(*dense, rng_d);
+  stamp(*sparse, rng_s);
+  dense->factor();
+  sparse->factor();
+  std::vector<Complex> bd(n), bs(n);
+  for (std::size_t i = 0; i < n; ++i) bd[i] = bs[i] = Complex{1.0, double(i)};
+  dense->solve_in_place(bd);
+  sparse->solve_in_place(bs);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(bs[i].real(), bd[i].real(), 1e-9);
+    EXPECT_NEAR(bs[i].imag(), bd[i].imag(), 1e-9);
+  }
+}
+
+TEST(SparseSolver, KindParsingAndAutoResolution) {
+  SolverKind k = SolverKind::kAuto;
+  EXPECT_TRUE(parse_solver_kind("dense", k));
+  EXPECT_EQ(k, SolverKind::kDense);
+  EXPECT_TRUE(parse_solver_kind("sparse", k));
+  EXPECT_EQ(k, SolverKind::kSparse);
+  EXPECT_TRUE(parse_solver_kind("auto", k));
+  EXPECT_EQ(k, SolverKind::kAuto);
+  EXPECT_FALSE(parse_solver_kind("cholesky", k));
+  EXPECT_EQ(k, SolverKind::kAuto);
+
+  EXPECT_EQ(resolve_solver_kind(SolverKind::kAuto, kSparseAutoThreshold - 1),
+            SolverKind::kDense);
+  EXPECT_EQ(resolve_solver_kind(SolverKind::kAuto, kSparseAutoThreshold),
+            SolverKind::kSparse);
+  EXPECT_EQ(resolve_solver_kind(SolverKind::kDense, 1000), SolverKind::kDense);
+  EXPECT_EQ(resolve_solver_kind(SolverKind::kSparse, 2), SolverKind::kSparse);
+
+  EXPECT_STREQ(solver_kind_name(SolverKind::kAuto), "auto");
+  EXPECT_STREQ(make_solver(SolverKind::kAuto, 4)->name(), "dense");
+  EXPECT_STREQ(make_solver(SolverKind::kAuto, 64)->name(), "sparse");
+  EXPECT_STREQ(make_complex_solver(SolverKind::kSparse, 4)->name(), "sparse");
+}

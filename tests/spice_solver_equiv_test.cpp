@@ -1,0 +1,281 @@
+// Backend-equivalence sweep (DESIGN.md §11): every shipped example
+// netlist must produce the same DC operating point and the same transient
+// waveforms under the dense and sparse linear-solver backends, and the
+// sparse backend's caching ladder (pattern reuse, numeric-only
+// refactorization, bit-identical factor skip) must actually engage on
+// engine-shaped workloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/spice/ac.hpp"
+#include "src/spice/circuit.hpp"
+#include "src/spice/devices_passive.hpp"
+#include "src/spice/devices_sources.hpp"
+#include "src/spice/engine.hpp"
+#include "src/spice/netlist_parser.hpp"
+#include "src/spice/trace.hpp"
+
+namespace {
+
+using namespace ironic::spice;
+
+const std::filesystem::path kSourceDir = IRONIC_SOURCE_DIR;
+
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream in(p);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::vector<std::filesystem::path> example_netlists() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(kSourceDir / "examples" / "netlists")) {
+    if (entry.path().extension() == ".cir") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+// Uniform comparison grid inside [t0, t1].
+std::vector<double> grid(double t0, double t1, std::size_t points) {
+  std::vector<double> t(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    t[i] = t0 + (t1 - t0) * static_cast<double>(i) / static_cast<double>(points - 1);
+  }
+  return t;
+}
+
+// Waveform agreement: at least 98% of samples within atol + rtol * range.
+// The slack fraction absorbs single-sample jitter where a comparator or
+// switch crosses its threshold a rounding error apart between backends;
+// a wrong factorization diverges everywhere, not at isolated edges.
+void expect_signals_close(const TransientResult& a, const TransientResult& b,
+                          const std::vector<double>& times,
+                          const std::string& context) {
+  ASSERT_EQ(a.names().size(), b.names().size()) << context;
+  for (const auto& name : a.names()) {
+    ASSERT_TRUE(b.has_signal(name)) << context << " signal " << name;
+    const auto sa = a.sample(name, times);
+    const auto sb = b.sample(name, times);
+    const auto [lo, hi] = std::minmax_element(sa.begin(), sa.end());
+    const double range = *hi - *lo;
+    const double tol = 1e-6 + 2e-2 * range;
+    std::size_t bad = 0;
+    double worst = 0.0;
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      const double err = std::abs(sa[i] - sb[i]);
+      worst = std::max(worst, err);
+      if (err > tol) ++bad;
+    }
+    EXPECT_LE(bad, times.size() / 50)
+        << context << " signal " << name << ": " << bad << "/" << times.size()
+        << " samples beyond tol " << tol << " (worst " << worst << ")";
+  }
+}
+
+}  // namespace
+
+TEST(SolverEquiv, DcOperatingPointsAgreeOnEveryExampleNetlist) {
+  const auto files = example_netlists();
+  ASSERT_GE(files.size(), 7u);
+  for (const auto& file : files) {
+    Circuit dense_ckt, sparse_ckt;
+    const std::string text = read_file(file);
+    ASSERT_NO_THROW(parse_netlist(dense_ckt, text)) << file;
+    parse_netlist(sparse_ckt, text);
+
+    DcOptions dense_opts, sparse_opts;
+    dense_opts.solver = ironic::linalg::SolverKind::kDense;
+    sparse_opts.solver = ironic::linalg::SolverKind::kSparse;
+    const DcResult xd = solve_dc(dense_ckt, dense_opts);
+    const DcResult xs = solve_dc(sparse_ckt, sparse_opts);
+    ASSERT_TRUE(xd.converged) << file;
+    ASSERT_TRUE(xs.converged) << file;
+    ASSERT_EQ(xd.x.size(), xs.x.size()) << file;
+    for (std::size_t i = 0; i < xd.x.size(); ++i) {
+      EXPECT_NEAR(xs.x[i], xd.x[i], 1e-3 * (1.0 + std::abs(xd.x[i])))
+          << file << " unknown " << i;
+    }
+  }
+}
+
+TEST(SolverEquiv, TransientWaveformsAgreeOnEveryExampleNetlist) {
+  for (const auto& file : example_netlists()) {
+    const std::string text = read_file(file);
+    TransientOptions opts;
+    opts.t_stop = 1.5e-6;
+    opts.dt_max = 2e-9;
+    opts.record_every = 4;
+
+    TransientResult results[2];
+    const ironic::linalg::SolverKind kinds[2] = {
+        ironic::linalg::SolverKind::kDense, ironic::linalg::SolverKind::kSparse};
+    for (int k = 0; k < 2; ++k) {
+      Circuit ckt;
+      parse_netlist(ckt, text);
+      TransientOptions o = opts;
+      o.solver = kinds[k];
+      ASSERT_NO_THROW(results[k] = run_transient(ckt, o)) << file;
+      ASSERT_GT(results[k].num_points(), 10u) << file;
+    }
+    expect_signals_close(results[0], results[1], grid(0.0, 1.4e-6, 200),
+                         file.filename().string());
+  }
+}
+
+TEST(SolverEquiv, TissueLadderAutoSelectsSparseAndCachesFactorizations) {
+  // The 60-segment Fricke ladder is the largest shipped netlist: well
+  // past kSparseAutoThreshold, so kAuto must resolve to the sparse
+  // backend — and the circuit is linear, so the bit-identical factor skip
+  // must make numeric factorizations lag triangular solves.
+  Circuit ckt;
+  parse_netlist(ckt, read_file(kSourceDir / "examples" / "netlists" /
+                               "tissue_ladder.cir"));
+  ckt.finalize();
+  ASSERT_GE(ckt.num_unknowns(), 100u);
+  auto& solver = ckt.acquire_solver(ironic::linalg::SolverKind::kAuto);
+  EXPECT_STREQ(solver.name(), "sparse");
+
+  TransientOptions opts;
+  opts.t_stop = 5e-6;
+  opts.dt_max = 5e-9;
+  opts.record_every = 8;
+  TransientStats stats;
+  const auto result = run_transient(ckt, opts, &stats);
+  EXPECT_GT(result.num_points(), 10u);
+  EXPECT_EQ(stats.solves, stats.newton_iterations);
+  EXPECT_GT(stats.factorizations, 0u);
+  EXPECT_LT(stats.factorizations, stats.solves)
+      << "linear circuit: identical matrices must skip refactoring";
+
+  // The engine re-acquires the circuit-owned solver, so its lifetime
+  // stats reflect the run: one pattern build, reuse ever after.
+  const auto& st = ckt.acquire_solver(ironic::linalg::SolverKind::kAuto).stats();
+  EXPECT_EQ(st.pattern_builds, 1u);
+  EXPECT_GT(st.pattern_reuses, 0u);
+  EXPECT_LT(st.factor_nnz, ckt.num_unknowns() * ckt.num_unknowns() / 10)
+      << "banded ladder must not fill in";
+}
+
+TEST(SolverEquiv, AcSweepAgreesAndRefactorizesAcrossFrequencies) {
+  // 40-section RC ladder, built twice: the complex sparse backend must
+  // match complex dense across the sweep, and because the AC pattern is
+  // frequency-invariant every frequency after the first must be a
+  // numeric-only refactorization.
+  const auto build = [](Circuit& ckt) {
+    NodeId prev = ckt.node("in");
+    auto& vs = ckt.add<VoltageSource>("V1", prev, kGround, Waveform::dc(0.0));
+    vs.set_ac(1.0);
+    for (int i = 0; i < 40; ++i) {
+      const NodeId next = ckt.node("n" + std::to_string(i));
+      ckt.add<Resistor>("R" + std::to_string(i), prev, next, 220.0);
+      ckt.add<Capacitor>("C" + std::to_string(i), next, kGround, 47e-12);
+      prev = next;
+    }
+    ckt.add<Resistor>("RL", prev, kGround, 10e3);
+  };
+
+  AcOptions opts;
+  opts.f_start = 1e4;
+  opts.f_stop = 1e8;
+  opts.points_per_decade = 5;
+  opts.use_operating_point = false;
+
+  Circuit dense_ckt, sparse_ckt;
+  build(dense_ckt);
+  build(sparse_ckt);
+  AcOptions dense_opts = opts, sparse_opts = opts;
+  dense_opts.solver = ironic::linalg::SolverKind::kDense;
+  sparse_opts.solver = ironic::linalg::SolverKind::kSparse;
+  const AcResult rd = run_ac(dense_ckt, dense_opts);
+  const AcResult rs = run_ac(sparse_ckt, sparse_opts);
+  ASSERT_EQ(rd.num_points(), rs.num_points());
+  const auto md = rd.magnitude("v(n39)");
+  const auto ms = rs.magnitude("v(n39)");
+  for (std::size_t i = 0; i < md.size(); ++i) {
+    EXPECT_NEAR(ms[i], md[i], 1e-9 + 1e-6 * md[i]) << "frequency index " << i;
+  }
+
+  const auto& st =
+      sparse_ckt.acquire_complex_solver(ironic::linalg::SolverKind::kSparse).stats();
+  EXPECT_EQ(st.pattern_builds, 1u);
+  EXPECT_EQ(st.factorizations, rs.num_points());
+  EXPECT_EQ(st.refactorizations, rs.num_points() - 1);
+}
+
+TEST(SolverEquiv, CheckpointResumeIsBitExactUnderTheSparseBackend) {
+  // The checkpoint contract (DESIGN.md §10) is backend-independent: a
+  // resumed sparse run must reproduce the uninterrupted sparse run sample
+  // for sample, even though the resumed solver starts with a cold cache.
+  // Power-of-two step and split: t accumulates k * 2^-28 s exactly, so
+  // the uninterrupted run passes through the split time bit-exactly at
+  // the same accepted-step ordinal the capturing run stops at (no
+  // rounding micro-step, no breakpoint/t_stop edge cases — the pulse's
+  // first edge at 1 us lies beyond the split).
+  const double kDt = std::ldexp(1.0, -28);    // ~3.73 ns
+  const double kSplit = std::ldexp(1.0, -20); // ~0.954 us = 256 * kDt
+  const double kStop = 4e-6;
+  const auto build = [](Circuit& ckt) {
+    parse_netlist(ckt, read_file(kSourceDir / "examples" / "netlists" /
+                                 "tissue_ladder.cir"));
+  };
+  const auto options = [kDt](double t_stop) {
+    TransientOptions o;
+    o.t_stop = t_stop;
+    o.dt_max = kDt;
+    o.record_every = 3;  // decimation phase must survive the splice
+    o.solver = ironic::linalg::SolverKind::kSparse;
+    return o;
+  };
+  const auto tail_rows = [](const TransientResult& res, double after) {
+    std::vector<std::vector<double>> rows;
+    for (std::size_t i = 0; i < res.num_points(); ++i) {
+      const double t = res.time()[i];
+      if (t <= after) continue;
+      std::vector<double> row{t};
+      for (const auto& name : res.names()) row.push_back(res.signal(name)[i]);
+      rows.push_back(std::move(row));
+    }
+    return rows;
+  };
+
+  Circuit full_ckt;
+  build(full_ckt);
+  const auto full = run_transient(full_ckt, options(kStop));
+
+  Circuit head_ckt;
+  build(head_ckt);
+  TransientCheckpoint cp;
+  auto head = options(kSplit);
+  head.checkpoint = &cp;
+  (void)run_transient(head_ckt, head);
+  ASSERT_TRUE(cp.valid());
+  ASSERT_DOUBLE_EQ(cp.time, kSplit);
+
+  Circuit tail_ckt;
+  build(tail_ckt);
+  auto tail = options(kStop);
+  tail.resume_from = &cp;
+  const auto resumed = run_transient(tail_ckt, tail);
+
+  const auto want = tail_rows(full, cp.time);
+  const auto got = tail_rows(resumed, 0.0);  // records only t > split
+  ASSERT_FALSE(want.empty());
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got[i].size(), want[i].size());
+    for (std::size_t j = 0; j < want[i].size(); ++j) {
+      EXPECT_EQ(got[i][j], want[i][j])
+          << "row " << i << " col " << j << " (t=" << want[i][0] << ")";
+    }
+  }
+}

@@ -5,12 +5,17 @@
 #   1. release   Release-mode build with -Werror, full ctest suite
 #   2. sanitize  ASan+UBSan build (halt-on-error), full ctest suite
 #   3. tsan      ThreadSanitizer build, exec/sweep/rng/obs/fault subset
-#                (the concurrency surface; the numeric suite stays on ASan)
+#                plus the solver-backend suites (campaign workers solve
+#                circuits concurrently; the rest of the numeric suite
+#                stays on ASan)
 #   4. tidy      clang-tidy over src/ and tools/ (skips if not installed)
 #   5. lint      netlist_lint --strict over every shipped .cir netlist,
 #                and the broken fixtures must FAIL
 #   6. fault     fault_runner over every registered campaign, plus the
-#                exit-code contract (unwritable --out must exit 2)
+#                exit-code contract (unwritable --out must exit 2), the
+#                sparse-backend acceptance campaign (fingerprints must be
+#                thread-count invariant per backend), and the
+#                trace_validate pin on the spice.solver.* telemetry
 #
 # Usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|fault|all]   (default: all)
 set -euo pipefail
@@ -50,10 +55,11 @@ run_tsan() {
     -DIRONIC_TSAN=ON
   cmake --build "$ROOT/build-ci-tsan" -j "$JOBS" \
     --target exec_test sweep_test rng_stream_test obs_test \
-             fault_session_test fault_campaign_test
+             fault_session_test fault_campaign_test \
+             linalg_sparse_test spice_solver_equiv_test
   TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
     ctest --test-dir "$ROOT/build-ci-tsan" --output-on-failure -j "$JOBS" \
-      -R '^(ThreadPool|ParallelFor|ExecTolerance|ObsConcurrency|Sweep|SweepAxis|RngStream|Metrics|Trace|RunReport|Session|FaultCampaign)'
+      -R '^(ThreadPool|ParallelFor|ExecTolerance|ObsConcurrency|Sweep|SweepAxis|RngStream|Metrics|Trace|RunReport|Session|FaultCampaign|SparseSolver|SolverEquiv)'
 }
 
 run_tidy() {
@@ -81,8 +87,10 @@ run_lint() {
 run_fault() {
   log "fault campaigns (fault_runner all) + exit-code contract"
   cmake -B "$ROOT/build-ci-release" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
-  cmake --build "$ROOT/build-ci-release" -j "$JOBS" --target fault_runner
+  cmake --build "$ROOT/build-ci-release" -j "$JOBS" \
+    --target fault_runner trace_validate
   local runner="$ROOT/build-ci-release/tools/fault_runner"
+  local validator="$ROOT/build-ci-release/tools/trace_validate"
   local out="$ROOT/build-ci-release/fault_campaigns.json"
   # Every registered campaign must complete, on >1 thread, and land its
   # JSON report (the determinism/zero-loss assertions live in ctest).
@@ -96,7 +104,31 @@ run_fault() {
     echo "ci: FAIL -- unwritable --out exited $rc, want 2" >&2
     exit 1
   fi
-  echo "ci: campaigns wrote $out; exit-code contract holds"
+  # Sparse-backend acceptance campaign: every campaign again under
+  # --solver sparse, at two thread counts — the per-scenario fingerprints
+  # must be bit-identical, or the backend leaks state across scenarios.
+  local sp1="$ROOT/build-ci-release/fault_sparse_t1.json"
+  local sp4="$ROOT/build-ci-release/fault_sparse_t4.json"
+  IRONIC_REPORT_DIR="$ROOT/build-ci-release" \
+    "$runner" --solver sparse --threads 1 --out "$sp1" all
+  IRONIC_REPORT_DIR="$ROOT/build-ci-release" \
+    "$runner" --solver sparse --threads 4 --out "$sp4" all
+  if ! diff <(grep '"fingerprint"' "$sp1") <(grep '"fingerprint"' "$sp4"); then
+    echo "ci: FAIL -- sparse fault fingerprints differ across thread counts" >&2
+    exit 1
+  fi
+  # The run report the sparse campaign emits must carry the solver-layer
+  # telemetry (DESIGN.md §11) — pin the names so a registry rename or a
+  # silently-dead counter fails CI instead of an offline dashboard.
+  "$validator" \
+    --require spice.solver.factorizations \
+    --require spice.solver.refactorizations \
+    --require spice.solver.factor_skips \
+    --require spice.solver.pattern_builds \
+    --require spice.solver.pattern_reuses \
+    "$ROOT/build-ci-release/BENCH_fault_resilience.json"
+  echo "ci: campaigns wrote $out; sparse fingerprints thread-count" \
+       "invariant; exit-code contract holds"
 }
 
 case "$STAGE" in

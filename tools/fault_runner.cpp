@@ -23,6 +23,7 @@
 #include "src/fault/campaign.hpp"
 #include "src/obs/json.hpp"
 #include "src/obs/report.hpp"
+#include "src/spice/engine.hpp"
 
 using namespace ironic;
 
@@ -80,12 +81,16 @@ obs::json::Value to_json(const fault::CampaignResult& result,
 int usage(int code) {
   std::ostream& os = code == 0 ? std::cout : std::cerr;
   os << "usage: fault_runner [--seed S] [--scenarios N] [--exchanges N]\n"
-        "                    [--threads N] [--out FILE] <campaign|all>\n"
+        "                    [--threads N] [--solver auto|dense|sparse]\n"
+        "                    [--out FILE] <campaign|all>\n"
         "       fault_runner --list\n"
         "  --seed S       campaign seed (default 0x1badc0de)\n"
         "  --scenarios N  scenarios per campaign (default 3)\n"
         "  --exchanges N  measurement exchanges per scenario (default 10)\n"
         "  --threads N    scenario-level workers (1 = serial, 0 = hardware)\n"
+        "  --solver S     linear-solver backend for the embedded circuit\n"
+        "                 solves; fingerprints are bit-identical per backend\n"
+        "                 for any --threads value\n"
         "  --out FILE     write the JSON results to FILE instead of stdout\n";
   return code;
 }
@@ -115,6 +120,14 @@ int main(int argc, char** argv) {
       config.threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--solver" && i + 1 < argc) {
+      ironic::linalg::SolverKind kind;
+      if (!ironic::linalg::parse_solver_kind(argv[++i], kind)) {
+        std::cerr << "fault_runner: unknown solver '" << argv[i]
+                  << "' (want auto, dense, or sparse)\n";
+        return usage(EXIT_FAILURE);
+      }
+      spice::set_default_solver_kind(kind);
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "fault_runner: unknown option '" << arg << "'\n";
       return usage(EXIT_FAILURE);

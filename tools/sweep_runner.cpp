@@ -22,6 +22,7 @@
 #include "src/magnetics/link.hpp"
 #include "src/obs/json.hpp"
 #include "src/obs/report.hpp"
+#include "src/spice/engine.hpp"
 #include "src/util/table.hpp"
 
 using namespace ironic;
@@ -161,10 +162,12 @@ obs::json::Value to_json(const exec::SweepResult& result,
 int usage(int code) {
   std::ostream& os = code == 0 ? std::cout : std::cerr;
   os << "usage: sweep_runner [--threads N] [--format table|csv|json]\n"
-        "                    [--out FILE] <sweep>\n"
+        "                    [--solver auto|dense|sparse] [--out FILE] <sweep>\n"
         "       sweep_runner --list\n"
         "  --threads N   worker threads (1 = serial, 0 = hardware); default 1\n"
         "  --format F    table (default), csv, or json\n"
+        "  --solver S    linear-solver backend for every embedded circuit\n"
+        "                solve: auto (default, size heuristic), dense, sparse\n"
         "  --out FILE    write the result to FILE instead of stdout\n";
   return code;
 }
@@ -191,6 +194,14 @@ int main(int argc, char** argv) {
       format = argv[++i];
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--solver" && i + 1 < argc) {
+      ironic::linalg::SolverKind kind;
+      if (!ironic::linalg::parse_solver_kind(argv[++i], kind)) {
+        std::cerr << "sweep_runner: unknown solver '" << argv[i]
+                  << "' (want auto, dense, or sparse)\n";
+        return usage(EXIT_FAILURE);
+      }
+      spice::set_default_solver_kind(kind);
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "sweep_runner: unknown option '" << arg << "'\n";
       return usage(EXIT_FAILURE);

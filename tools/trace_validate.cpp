@@ -2,7 +2,11 @@
 //   - Chrome trace_event JSON (object with "traceEvents")
 //   - BENCH_<name>.json run reports (schema ironic.run_report/1)
 //   - JSONL metric dumps (*.jsonl, one object per line)
-// Usage: trace_validate [--min-metrics N] [--min-events N] <file>...
+// Usage: trace_validate [--min-metrics N] [--min-events N]
+//                       [--require <metric>]... <file>...
+// --require asserts that a named metric is present in every run report or
+// JSONL dump checked (repeatable) — CI uses it to pin the solver-layer
+// telemetry (spice.solver.*) to the artifacts the benches emit.
 // Exits 0 when every file parses and satisfies its structural checks —
 // the ctest smoke target runs this over a traced telemetry_session run.
 #include <cstdlib>
@@ -11,6 +15,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/obs/json.hpp"
@@ -46,8 +51,19 @@ std::size_t validate_trace(const Value& root) {
   return real_events;
 }
 
+// Every --require name must appear in the collected metric-name set.
+void check_required(const std::set<std::string>& names,
+                    const std::vector<std::string>& required) {
+  for (const auto& want : required) {
+    if (names.count(want) == 0) {
+      throw std::runtime_error("required metric '" + want + "' missing");
+    }
+  }
+}
+
 // Run report: identity fields plus a metrics array of {name, type, value}.
-std::size_t validate_report(const Value& root) {
+// Returns the distinct metric names seen.
+std::set<std::string> validate_report(const Value& root) {
   if (root.at("schema").as_string() != "ironic.run_report/1") {
     throw std::runtime_error("unknown report schema");
   }
@@ -69,21 +85,23 @@ std::size_t validate_report(const Value& root) {
     (void)v.as_double();
     names.insert(k);
   }
-  return names.size();
+  return names;
 }
 
-std::size_t validate_jsonl(const std::string& text) {
+// Returns (row count, distinct metric names).
+std::pair<std::size_t, std::set<std::string>> validate_jsonl(const std::string& text) {
   std::istringstream is(text);
   std::string line;
   std::size_t rows = 0;
+  std::set<std::string> names;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     const Value row = Value::parse(line);
-    (void)row.at("name").as_string();
+    names.insert(row.at("name").as_string());
     (void)row.at("type").as_string();
     ++rows;
   }
-  return rows;
+  return {rows, names};
 }
 
 }  // namespace
@@ -91,6 +109,7 @@ std::size_t validate_jsonl(const std::string& text) {
 int main(int argc, char** argv) {
   std::size_t min_metrics = 1;
   std::size_t min_events = 1;
+  std::vector<std::string> required;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -98,12 +117,15 @@ int main(int argc, char** argv) {
       min_metrics = static_cast<std::size_t>(std::atol(argv[++i]));
     } else if (arg == "--min-events" && i + 1 < argc) {
       min_events = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--require" && i + 1 < argc) {
+      required.emplace_back(argv[++i]);
     } else {
       files.push_back(arg);
     }
   }
   if (files.empty()) {
-    std::cerr << "usage: trace_validate [--min-metrics N] [--min-events N] <file>...\n";
+    std::cerr << "usage: trace_validate [--min-metrics N] [--min-events N] "
+                 "[--require <metric>]... <file>...\n";
     return 2;
   }
 
@@ -111,10 +133,11 @@ int main(int argc, char** argv) {
     try {
       const std::string text = read_file(path);
       if (path.size() > 6 && path.substr(path.size() - 6) == ".jsonl") {
-        const std::size_t rows = validate_jsonl(text);
+        const auto [rows, names] = validate_jsonl(text);
         if (rows < min_metrics) {
           throw std::runtime_error("only " + std::to_string(rows) + " metric rows");
         }
+        check_required(names, required);
         std::cout << path << ": OK (" << rows << " metric rows)\n";
         continue;
       }
@@ -126,13 +149,14 @@ int main(int argc, char** argv) {
         }
         std::cout << path << ": OK (" << events << " trace events)\n";
       } else {
-        const std::size_t metrics = validate_report(root);
-        if (metrics < min_metrics) {
-          throw std::runtime_error("only " + std::to_string(metrics) +
+        const auto names = validate_report(root);
+        if (names.size() < min_metrics) {
+          throw std::runtime_error("only " + std::to_string(names.size()) +
                                    " distinct metrics (need " +
                                    std::to_string(min_metrics) + ")");
         }
-        std::cout << path << ": OK (" << metrics << " distinct metrics)\n";
+        check_required(names, required);
+        std::cout << path << ": OK (" << names.size() << " distinct metrics)\n";
       }
     } catch (const std::exception& e) {
       std::cerr << path << ": INVALID — " << e.what() << "\n";
