@@ -198,6 +198,11 @@ static void run_sweep_scaling() {
   const std::string golden = render(serial.table);
 
   std::cout << "\nsweep scaling (coil grid, " << serial.points << " points):\n";
+  // One scoped registry per thread-count configuration: the cohort
+  // aggregation across them lands in BENCH_engine_perf.json as
+  // cohort.sweep_scaling.* gauges (count/sum/min/max/percentiles).
+  auto& registry = ironic::obs::MetricsRegistry::instance();
+  std::vector<std::shared_ptr<ironic::obs::MetricsRegistry>> cohort;
   double wall_1 = 0.0;
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
     ThreadPool pool(threads);
@@ -215,11 +220,18 @@ static void run_sweep_scaling() {
     report.metric(tagname + "_wall_seconds", result.wall_seconds);
     report.metric(tagname + "_points_per_second", per_s);
     report.metric(tagname + "_speedup", wall_1 / result.wall_seconds);
+    auto scoped = registry.scoped(
+        {{"bench", "sweep_scaling"}, {"threads", std::to_string(threads)}});
+    scoped->histogram("sweep.wall_seconds").observe(result.wall_seconds);
+    scoped->gauge("sweep.points_per_second").set(per_s);
+    scoped->gauge("sweep.speedup").set(wall_1 / result.wall_seconds);
+    cohort.push_back(std::move(scoped));
     std::cout << "  " << threads << " thread(s): "
               << util::Table::cell(result.wall_seconds * 1e3, 4) << " ms, "
               << util::Table::cell(per_s, 5) << " points/s, speedup "
               << util::Table::cell(wall_1 / result.wall_seconds, 3) << "\n";
   }
+  registry.publish_cohorts("cohort.sweep_scaling");
   report.metric("serial_wall_seconds", serial.wall_seconds);
   report.note("determinism", "all thread counts byte-identical to serial CSV");
 }

@@ -5,7 +5,10 @@
 #include <stdexcept>
 
 #include "src/obs/metrics.hpp"
+#include "src/obs/profiler.hpp"
 #include "src/obs/trace.hpp"
+
+#include <atomic>
 
 namespace ironic::exec {
 
@@ -120,9 +123,26 @@ SweepResult Sweep::run(std::vector<std::string> columns, const SweepRowFn& row,
     points_run = &r.counter("exec.sweep.points_run");
   }
 
+  // One flow per point ties the dispatch (flow 's' on this thread, below)
+  // to the execution span (flow 'f' on whichever pool worker runs it), so
+  // the trace viewer draws arrows across thread tracks. Ids come from a
+  // process-wide base so concurrent sweeps never share a flow.
+  static std::atomic<std::uint64_t> flow_base{1};
+  const std::uint64_t flow0 = flow_base.fetch_add(n, std::memory_order_relaxed);
+  auto& recorder = obs::TraceRecorder::instance();
+  if (recorder.enabled()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      recorder.flow_begin("sweep." + name_, "exec", flow0 + i);
+    }
+  }
+
   const auto eval_point = [&](std::size_t i) {
+    PROF_ZONE("exec.sweep_point");
     obs::Span span("sweep." + name_, "exec");
     span.arg("point", std::to_string(i));
+    if (recorder.enabled()) {
+      recorder.flow_end("sweep." + name_, "exec", flow0 + i);
+    }
     const auto start = std::chrono::steady_clock::now();
     const SweepPoint point(*this, i, streams[i]);
     rows[i] = row(point);

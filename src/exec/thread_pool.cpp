@@ -155,6 +155,9 @@ void ThreadPool::execute(Task& task) {
 void ThreadPool::worker_main(std::size_t index) {
   tls_pool = this;
   tls_worker = index;
+  // Pin this worker's metric shard slot and trace tid before the first
+  // task, so no hot-path recording pays the one-time ordinal assignment.
+  const obs::ThreadRegistration obs_registration;
   for (;;) {
     Task task;
     if (pop_task(index, task, /*count_steal=*/true)) {

@@ -13,6 +13,7 @@
 #include "src/fault/session.hpp"
 #include "src/magnetics/link.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/telemetry.hpp"
 #include "src/patch/scheduler.hpp"
 #include "src/pm/rectifier.hpp"
 #include "src/pm/regulator.hpp"
@@ -217,7 +218,8 @@ void tally_active(FaultInjector& injector, const FaultSchedule& schedule,
 ScenarioResult run_link_scenario(const CampaignConfig& config, int index,
                                  const FaultSchedule& schedule,
                                  const SessionOptions& session_options,
-                                 bool spice_plant) {
+                                 bool spice_plant,
+                                 obs::MetricsRegistry& scoped) {
   ScenarioResult result;
   result.index = index;
 
@@ -275,10 +277,18 @@ ScenarioResult run_link_scenario(const CampaignConfig& config, int index,
                   util::Rng::stream(config.seed, 3u * index + 2),
                   session_options);
 
+  // Per-scenario (cohort) telemetry lands in the scoped child registry;
+  // run_campaign aggregates the children into cohort.* percentiles.
+  obs::Histogram* latency = nullptr;
+  if constexpr (obs::kEnabled) {
+    latency = &scoped.histogram("fault.scenario.exchange_latency_s");
+  }
+
   const double cadence = 0.25;  // [s] between measurement commands
   for (int i = 0; i < config.exchanges; ++i) {
     const auto outcome = session.exchange(comms::Command::kMeasure);
     ++result.exchanges;
+    if constexpr (obs::kEnabled) latency->observe(outcome.elapsed);
     if (outcome.ok && outcome.response->payload.size() >= 2) {
       ++result.completed;
       result.adc_codes.push_back(static_cast<std::uint16_t>(
@@ -303,6 +313,13 @@ ScenarioResult run_link_scenario(const CampaignConfig& config, int index,
   for (int k = 0; k < kFaultKindCount; ++k) {
     result.faults_injected[k] = injector.injected(static_cast<FaultKind>(k));
   }
+  if constexpr (obs::kEnabled) {
+    scoped.counter("fault.scenario.retries")
+        .add(static_cast<std::uint64_t>(result.retries));
+    scoped.counter("fault.scenario.lost")
+        .add(static_cast<std::uint64_t>(result.lost));
+    scoped.gauge("fault.scenario.final_rate_bps").set(result.final_rate);
+  }
   return result;
 }
 
@@ -312,7 +329,8 @@ ScenarioResult run_link_scenario(const CampaignConfig& config, int index,
 // backoff ride out the burst, the rate ladder buys back the link after
 // the coupling drop, checkpoint restarts absorb the drive changes, and
 // no measurement is lost.
-ScenarioResult run_ask_burst_scenario(const CampaignConfig& config, int index) {
+ScenarioResult run_ask_burst_scenario(const CampaignConfig& config, int index,
+                                      obs::MetricsRegistry& scoped) {
   FaultSchedule schedule;
   schedule.add({FaultKind::kBurstError, 0.35, 0.8,
                 static_cast<double>(10 + 2 * index), LinkDirection::kDownlink});
@@ -325,13 +343,15 @@ ScenarioResult run_ask_burst_scenario(const CampaignConfig& config, int index) {
   options.max_attempts = 20;
   options.exchange_timeout = 30.0;
   options.rate_ladder = {100e3, 50e3, 25e3, 12.5e3, 6.25e3};
-  return run_link_scenario(config, index, schedule, options, /*spice_plant=*/true);
+  return run_link_scenario(config, index, schedule, options,
+                           /*spice_plant=*/true, scoped);
 }
 
 // Stochastic soak: every fault kind drawn from a seeded schedule, the
 // behavioural front end, and a tighter retry budget — partial recovery
 // is allowed and the campaign reports the achieved rate.
-ScenarioResult run_stochastic_scenario(const CampaignConfig& config, int index) {
+ScenarioResult run_stochastic_scenario(const CampaignConfig& config, int index,
+                                       obs::MetricsRegistry& scoped) {
   util::Rng schedule_rng = util::Rng::stream(config.seed, 1000u + index);
   StochasticScheduleConfig stochastic;
   stochastic.horizon = 0.25 * config.exchanges + 1.0;
@@ -340,13 +360,15 @@ ScenarioResult run_stochastic_scenario(const CampaignConfig& config, int index) 
   SessionOptions options;
   options.max_attempts = 10;
   options.exchange_timeout = 10.0;
-  return run_link_scenario(config, index, schedule, options, /*spice_plant=*/false);
+  return run_link_scenario(config, index, schedule, options,
+                           /*spice_plant=*/false, scoped);
 }
 
 // Brownouts against the degradation ladder: injected charge dips strike
 // a degrading mission; the ladder sheds bluetooth, then cadence, then
 // everything, and the scenario records what survived.
-ScenarioResult run_brownout_scenario(const CampaignConfig& config, int index) {
+ScenarioResult run_brownout_scenario(const CampaignConfig& config, int index,
+                                     obs::MetricsRegistry& scoped) {
   util::Rng rng = util::Rng::stream(config.seed, 2000u + index);
   patch::DegradedMissionOptions options;
   options.plan.connect_time = 20.0;
@@ -372,10 +394,19 @@ ScenarioResult run_brownout_scenario(const CampaignConfig& config, int index) {
       static_cast<std::uint64_t>(summary.brownouts_applied);
   result.sim_time =
       summary.shutdown_time > 0.0 ? summary.shutdown_time : options.horizon;
+  if constexpr (obs::kEnabled) {
+    scoped.counter("fault.scenario.lost")
+        .add(static_cast<std::uint64_t>(result.lost));
+    scoped.gauge("fault.scenario.measurements_completed")
+        .set(static_cast<double>(result.completed));
+    scoped.gauge("fault.scenario.brownouts")
+        .set(static_cast<double>(result.brownouts));
+  }
   return result;
 }
 
-using ScenarioRunner = ScenarioResult (*)(const CampaignConfig&, int);
+using ScenarioRunner = ScenarioResult (*)(const CampaignConfig&, int,
+                                          obs::MetricsRegistry&);
 
 struct NamedCampaign {
   const char* name;
@@ -419,6 +450,17 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   result.name = config.name;
   result.scenarios.resize(static_cast<std::size_t>(config.scenarios));
 
+  // One labelled child registry per scenario, forked before the workers
+  // start: scenario j records into scoped[j] only, so cohort statistics
+  // (and the fingerprint) are independent of the thread count.
+  auto& registry = obs::MetricsRegistry::instance();
+  std::vector<std::shared_ptr<obs::MetricsRegistry>> scoped;
+  scoped.reserve(static_cast<std::size_t>(config.scenarios));
+  for (int j = 0; j < config.scenarios; ++j) {
+    scoped.push_back(registry.scoped(
+        {{"campaign", config.name}, {"scenario", std::to_string(j)}}));
+  }
+
   // Scenario j writes slot j and draws only from streams keyed by
   // (seed, j): bit-identical output for any thread count.
   exec::ThreadPool pool(config.threads);
@@ -427,7 +469,8 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   exec::parallel_for(
       pool, 0, static_cast<std::size_t>(config.scenarios),
       [&](std::size_t j) {
-        result.scenarios[j] = chosen->run(config, static_cast<int>(j));
+        result.scenarios[j] =
+            chosen->run(config, static_cast<int>(j), *scoped[j]);
       },
       options);
 
@@ -454,13 +497,25 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   result.fingerprint = fingerprint_scenarios(result.scenarios);
 
   if constexpr (obs::kEnabled) {
-    auto& registry = obs::MetricsRegistry::instance();
     registry.counter("fault.campaign.runs").add();
     registry.gauge("fault.campaign.recovery_rate").set(result.recovery_rate);
     registry.gauge("fault.campaign.lost_measurements")
         .set(static_cast<double>(result.lost_measurements));
     registry.gauge("fault.campaign.mean_time_to_recover_s")
         .set(result.mean_time_to_recover);
+    // Fold the per-scenario children into cohort.<campaign>.* gauges
+    // (sessions/count/min/max/mean/p50/p95/p99 per metric) while the
+    // children are still alive; they expire when `scoped` goes away.
+    registry.publish_cohorts("cohort." + config.name);
+    auto& sink = obs::TelemetrySink::instance();
+    if (sink.is_open()) {
+      for (const auto& child : scoped) sink.emit_metrics_snapshot(*child);
+      sink.emit_event("fault.campaign", "complete",
+                      {{"campaign", obs::json::Value(config.name)},
+                       {"recovery_rate", obs::json::Value(result.recovery_rate)},
+                       {"lost", obs::json::Value(static_cast<std::uint64_t>(
+                                    result.lost_measurements))}});
+    }
   }
   return result;
 }

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "src/obs/metrics.hpp"
+#include "src/obs/profiler.hpp"
+#include "src/obs/telemetry.hpp"
 
 namespace ironic::fault {
 namespace {
@@ -40,6 +42,19 @@ struct SessionMetrics {
     return m;
   }
 };
+
+// Stream a session state transition to the telemetry sink when one is
+// open. Pure observation: never blocks and never perturbs the
+// simulation's RNG or clock, so campaign fingerprints are identical
+// with telemetry on or off.
+void emit_session_event(const char* event, double quality, double rate_bps) {
+  auto& sink = obs::TelemetrySink::instance();
+  if (!sink.is_open()) return;
+  obs::json::Value::Object fields;
+  fields["quality"] = quality;
+  fields["rate_bps"] = rate_bps;
+  sink.emit_event("fault.session", event, std::move(fields));
+}
 
 }  // namespace
 
@@ -84,12 +99,20 @@ void Session::maybe_move_rate() {
       rung_ + 1 < options_.rate_ladder.size()) {
     ++rung_;
     ++stats_.rate_fallbacks;
-    if constexpr (obs::kEnabled) SessionMetrics::get().rate_fallbacks.add();
+    if constexpr (obs::kEnabled) {
+      SessionMetrics::get().rate_fallbacks.add();
+      emit_session_event("rate_fallback", quality_,
+                         options_.rate_ladder[rung_]);
+    }
     moved = true;
   } else if (quality_ > options_.recovery_threshold && rung_ > 0) {
     --rung_;
     ++stats_.rate_recoveries;
-    if constexpr (obs::kEnabled) SessionMetrics::get().rate_recoveries.add();
+    if constexpr (obs::kEnabled) {
+      SessionMetrics::get().rate_recoveries.add();
+      emit_session_event("rate_recovery", quality_,
+                         options_.rate_ladder[rung_]);
+    }
     moved = true;
   }
   if (moved) {
@@ -105,6 +128,7 @@ void Session::maybe_move_rate() {
 
 ExchangeOutcome Session::exchange(comms::Command command,
                                   std::vector<std::uint8_t> payload) {
+  PROF_ZONE("comms.exchange");
   ++stats_.exchanges;
   if constexpr (obs::kEnabled) SessionMetrics::get().exchanges.add();
 
@@ -157,7 +181,10 @@ ExchangeOutcome Session::exchange(comms::Command command,
   outcome.rate = current_rate();
   if (!outcome.ok) {
     ++stats_.failures;
-    if constexpr (obs::kEnabled) SessionMetrics::get().failures.add();
+    if constexpr (obs::kEnabled) {
+      SessionMetrics::get().failures.add();
+      emit_session_event("exchange_failed", quality_, current_rate());
+    }
   } else if (outcome.attempts > 1) {
     ++stats_.recovered;
     stats_.recover_seconds += outcome.elapsed;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <ostream>
+#include <thread>
 
 #include "src/obs/json.hpp"
 
@@ -15,79 +16,32 @@ namespace {
 template <typename Op>
 void atomic_apply(std::atomic<double>& target, double v, Op op) {
   double cur = target.load(std::memory_order_relaxed);
-  while (!target.compare_exchange_weak(cur, op(cur, v), std::memory_order_relaxed)) {
+  while (!target.compare_exchange_weak(cur, op(cur, v),
+                                       std::memory_order_relaxed)) {
   }
 }
 
-}  // namespace
-
-void Gauge::add(double d) {
-  atomic_apply(value_, d, [](double a, double b) { return a + b; });
-}
-
-void Gauge::set_max(double v) {
-  atomic_apply(value_, v, [](double a, double b) { return a > b ? a : b; });
-}
-
-Histogram::Histogram(std::vector<double> bounds)
-    : bounds_(std::move(bounds)),
-      buckets_(bounds_.size() + 1),
-      min_(std::numeric_limits<double>::infinity()),
-      max_(-std::numeric_limits<double>::infinity()) {
-  if (bounds_.empty()) bounds_ = default_histogram_bounds();
-  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
-    std::sort(bounds_.begin(), bounds_.end());
-  }
-  if (buckets_.size() != bounds_.size() + 1) {
-    // bounds_ may have been replaced by the default ladder above.
-    std::vector<std::atomic<std::uint64_t>> fresh(bounds_.size() + 1);
-    buckets_.swap(fresh);
-  }
-}
-
-void Histogram::observe(double v) {
-  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
-  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
-  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  atomic_apply(sum_, v, [](double a, double b) { return a + b; });
-  atomic_apply(min_, v, [](double a, double b) { return a < b ? a : b; });
-  atomic_apply(max_, v, [](double a, double b) { return a > b ? a : b; });
-}
-
-double Histogram::mean() const {
-  const std::uint64_t n = count();
-  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
-}
-
-double Histogram::min() const {
-  const double v = min_.load(std::memory_order_relaxed);
-  return std::isinf(v) ? 0.0 : v;
-}
-
-double Histogram::max() const {
-  const double v = max_.load(std::memory_order_relaxed);
-  return std::isinf(v) ? 0.0 : v;
-}
-
-double Histogram::percentile(double p) const {
-  const std::uint64_t n = count();
-  if (n == 0) return 0.0;
+// Percentile by linear interpolation inside the containing bucket,
+// clamped to the observed range so sparse tails do not report values
+// never seen. Shared by Histogram::percentile and the cohort
+// aggregation (which merges child buckets before calling it).
+double percentile_from_buckets(const std::vector<double>& bounds,
+                               const std::vector<std::uint64_t>& buckets,
+                               std::uint64_t count, double lo_seen,
+                               double hi_seen, double p) {
+  if (count == 0) return 0.0;
   p = std::clamp(p, 0.0, 100.0);
-  const double target = p / 100.0 * static_cast<double>(n);
-  const double lo_seen = min();
-  const double hi_seen = max();
+  const double target = p / 100.0 * static_cast<double>(count);
   double cumulative = 0.0;
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    const double in_bucket =
-        static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
     if (in_bucket == 0.0) continue;
     if (cumulative + in_bucket >= target) {
-      // Interpolate inside this bucket, clamped to the observed range so
-      // sparse tails do not report values never seen.
-      const double lower = std::max(i == 0 ? lo_seen : bounds_[i - 1], lo_seen);
-      const double upper = std::min(i < bounds_.size() ? bounds_[i] : hi_seen, hi_seen);
-      const double frac = std::clamp((target - cumulative) / in_bucket, 0.0, 1.0);
+      const double lower = std::max(i == 0 ? lo_seen : bounds[i - 1], lo_seen);
+      const double upper =
+          std::min(i < bounds.size() ? bounds[i] : hi_seen, hi_seen);
+      const double frac =
+          std::clamp((target - cumulative) / in_bucket, 0.0, 1.0);
       return lower + (upper - lower) * frac;
     }
     cumulative += in_bucket;
@@ -95,25 +49,351 @@ double Histogram::percentile(double p) const {
   return hi_seen;
 }
 
-void Histogram::reset() {
-  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-  sum_.store(0.0, std::memory_order_relaxed);
-  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
-  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+// Exact percentile over a sorted sample set (cohort scalar metrics):
+// linear interpolation between closest ranks.
+double sorted_percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
-std::vector<std::uint64_t> Histogram::bucket_counts() const {
-  std::vector<std::uint64_t> out(buckets_.size());
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    out[i] = buckets_[i].load(std::memory_order_relaxed);
+}  // namespace
+
+namespace detail {
+
+std::size_t assign_thread_ordinal() {
+  static std::atomic<std::size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+void set_runtime_enabled(bool on) {
+  detail::g_runtime_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::size_t thread_index() { return detail::thread_ordinal() + 1; }
+
+void Gauge::set(double v) {
+  if (!detail::runtime_on()) return;
+  // Rebase: zero the shards so value() == v afterwards (a concurrent
+  // add() may land before or after the rebase — benign, same contract
+  // as the CAS-based predecessor).
+  for (auto& cell : cells_) cell.v.store(0.0, std::memory_order_relaxed);
+  base_.store(v, std::memory_order_relaxed);
+}
+
+void Gauge::add(double d) {
+  if (!detail::runtime_on()) return;
+  atomic_apply(cells_[detail::shard_slot()].v, d,
+               [](double a, double b) { return a + b; });
+}
+
+void Gauge::set_max(double v) {
+  if (!detail::runtime_on()) return;
+  // Raise the base until the combined value is at least v. Approximate
+  // under concurrent add() (the shard sum can move between the read and
+  // the CAS); exact for the single-writer high-water-mark use it serves.
+  double cur = base_.load(std::memory_order_relaxed);
+  for (;;) {
+    double shards = 0.0;
+    for (const auto& cell : cells_) {
+      shards += cell.v.load(std::memory_order_relaxed);
+    }
+    if (cur + shards >= v) return;
+    if (base_.compare_exchange_weak(cur, v - shards,
+                                    std::memory_order_relaxed)) {
+      return;
+    }
   }
-  return out;
+}
+
+// One thread's slice of a histogram, allocated on first observation so
+// idle metrics cost one pointer array. The bucket vector never resizes
+// after construction, so element addresses are stable for readers.
+struct Histogram::Shard {
+  explicit Shard(std::size_t n_buckets)
+      : buckets(n_buckets),
+        min(std::numeric_limits<double>::infinity()),
+        max(-std::numeric_limits<double>::infinity()) {}
+  std::vector<std::atomic<std::uint64_t>> buckets;
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+  std::atomic<double> min;
+  std::atomic<double> max;
+};
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = default_histogram_bounds();
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    std::sort(bounds_.begin(), bounds_.end());
+  }
+}
+
+Histogram::~Histogram() {
+  for (auto& slot : shards_) delete slot.load(std::memory_order_acquire);
+}
+
+Histogram::Shard& Histogram::shard() {
+  auto& slot = shards_[detail::shard_slot()];
+  Shard* existing = slot.load(std::memory_order_acquire);
+  if (existing) return *existing;
+  auto* fresh = new Shard(bounds_.size() + 1);
+  Shard* expected = nullptr;
+  if (slot.compare_exchange_strong(expected, fresh, std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+    return *fresh;
+  }
+  // Another thread hashed onto the same slot and won the install race.
+  delete fresh;
+  return *expected;
+}
+
+void Histogram::observe(double v) {
+  if (!detail::runtime_on()) return;
+  Shard& s = shard();
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  s.buckets[idx].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_apply(s.sum, v, [](double a, double b) { return a + b; });
+  atomic_apply(s.min, v, [](double a, double b) { return a < b ? a : b; });
+  atomic_apply(s.max, v, [](double a, double b) { return a > b ? a : b; });
+}
+
+Histogram::Merged Histogram::merged() const {
+  const std::size_t n_buckets = bounds_.size() + 1;
+  for (;;) {
+    const std::uint64_t before = epoch_.load(std::memory_order_acquire);
+    if (before & 1) {
+      // A reset is zeroing the shards; wait for the even epoch.
+      std::this_thread::yield();
+      continue;
+    }
+    Merged m;
+    m.buckets.assign(n_buckets, 0);
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (const auto& slot : shards_) {
+      const Shard* s = slot.load(std::memory_order_acquire);
+      if (!s) continue;
+      for (std::size_t i = 0; i < n_buckets; ++i) {
+        m.buckets[i] += s->buckets[i].load(std::memory_order_relaxed);
+      }
+      m.count += s->count.load(std::memory_order_relaxed);
+      m.sum += s->sum.load(std::memory_order_relaxed);
+      lo = std::min(lo, s->min.load(std::memory_order_relaxed));
+      hi = std::max(hi, s->max.load(std::memory_order_relaxed));
+    }
+    // Re-check via a dummy RMW: its release half keeps the shard loads
+    // above from sinking past this point (a plain atomic_thread_fence
+    // is not instrumented by -fsanitize=thread).
+    if (epoch_.fetch_add(0, std::memory_order_acq_rel) != before) continue;
+    m.min = (m.count == 0 || std::isinf(lo)) ? 0.0 : lo;
+    m.max = (m.count == 0 || std::isinf(hi)) ? 0.0 : hi;
+    return m;
+  }
+}
+
+double Histogram::mean() const {
+  const Merged m = merged();
+  return m.count == 0 ? 0.0 : m.sum / static_cast<double>(m.count);
+}
+
+double Histogram::percentile(double p) const {
+  const Merged m = merged();
+  return percentile_from_buckets(bounds_, m.buckets, m.count, m.min, m.max, p);
+}
+
+void Histogram::reset() {
+  const std::lock_guard<std::mutex> lock(reset_mutex_);
+  // Odd epoch: merges that started earlier retry; merges that start now
+  // spin until the zeroing below is complete, so nobody observes a
+  // half-zeroed histogram.
+  epoch_.fetch_add(1, std::memory_order_release);
+  for (auto& slot : shards_) {
+    Shard* s = slot.load(std::memory_order_acquire);
+    if (!s) continue;
+    for (auto& bucket : s->buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    s->count.store(0, std::memory_order_relaxed);
+    s->sum.store(0.0, std::memory_order_relaxed);
+    s->min.store(std::numeric_limits<double>::infinity(),
+                 std::memory_order_relaxed);
+    s->max.store(-std::numeric_limits<double>::infinity(),
+                 std::memory_order_relaxed);
+  }
+  epoch_.fetch_add(1, std::memory_order_release);
 }
 
 MetricsRegistry& MetricsRegistry::instance() {
   static MetricsRegistry registry;
   return registry;
+}
+
+std::string MetricsRegistry::label_string() const {
+  std::string out;
+  for (const auto& [k, v] : labels_) {
+    if (!out.empty()) out += ',';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+std::shared_ptr<MetricsRegistry> MetricsRegistry::scoped(Labels extra) {
+  Labels combined = labels_;
+  for (auto& kv : extra) combined.push_back(std::move(kv));
+  auto child = std::make_shared<MetricsRegistry>(std::move(combined));
+  const std::lock_guard<std::mutex> lock(children_mutex_);
+  children_.push_back(child);
+  return child;
+}
+
+std::vector<CohortAggregate> MetricsRegistry::aggregate_cohorts() const {
+  // Pin the live children first; expired ones are pruned in passing.
+  std::vector<std::shared_ptr<MetricsRegistry>> children;
+  {
+    const std::lock_guard<std::mutex> lock(children_mutex_);
+    std::vector<std::weak_ptr<MetricsRegistry>> live;
+    live.reserve(children_.size());
+    for (const auto& weak : children_) {
+      if (auto strong = weak.lock()) {
+        children.push_back(std::move(strong));
+        live.push_back(weak);
+      }
+    }
+    children_.swap(live);
+  }
+
+  // Scalar metrics contribute one sample per session; histograms merge
+  // buckets when every child shares the bounds, else fall back to the
+  // per-session means as a scalar sample set.
+  struct ScalarAgg {
+    std::string type;
+    std::vector<double> samples;
+  };
+  struct HistAgg {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t sessions = 0;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    std::vector<double> means;  // fallback when bounds differ
+    bool mixed_bounds = false;
+  };
+  std::map<std::string, ScalarAgg> scalars;
+  std::map<std::string, HistAgg> hists;
+
+  for (const auto& child : children) {
+    const std::lock_guard<std::mutex> lock(child->mutex_);
+    for (const auto& [name, c] : child->counters_) {
+      auto& agg = scalars[name];
+      agg.type = "counter";
+      agg.samples.push_back(static_cast<double>(c->value()));
+    }
+    for (const auto& [name, g] : child->gauges_) {
+      auto& agg = scalars[name];
+      agg.type = "gauge";
+      agg.samples.push_back(g->value());
+    }
+    for (const auto& [name, h] : child->histograms_) {
+      auto& agg = hists[name];
+      const Histogram::Merged m = h->merged();
+      if (agg.sessions == 0) {
+        agg.bounds = h->bounds();
+        agg.buckets.assign(m.buckets.size(), 0);
+      } else if (agg.bounds != h->bounds()) {
+        agg.mixed_bounds = true;
+      }
+      ++agg.sessions;
+      if (!agg.mixed_bounds) {
+        for (std::size_t i = 0; i < m.buckets.size(); ++i) {
+          agg.buckets[i] += m.buckets[i];
+        }
+      }
+      agg.count += m.count;
+      agg.sum += m.sum;
+      if (m.count > 0) {
+        agg.min = std::min(agg.min, m.min);
+        agg.max = std::max(agg.max, m.max);
+        agg.means.push_back(m.sum / static_cast<double>(m.count));
+      }
+    }
+  }
+
+  std::vector<CohortAggregate> out;
+  out.reserve(scalars.size() + hists.size());
+  for (auto& [name, agg] : scalars) {
+    CohortAggregate row;
+    row.name = name;
+    row.type = agg.type;
+    row.sessions = agg.samples.size();
+    row.count = agg.samples.size();
+    std::sort(agg.samples.begin(), agg.samples.end());
+    for (const double v : agg.samples) row.sum += v;
+    row.min = agg.samples.front();
+    row.max = agg.samples.back();
+    row.mean = row.sum / static_cast<double>(agg.samples.size());
+    row.p50 = sorted_percentile(agg.samples, 50.0);
+    row.p95 = sorted_percentile(agg.samples, 95.0);
+    row.p99 = sorted_percentile(agg.samples, 99.0);
+    out.push_back(std::move(row));
+  }
+  for (auto& [name, agg] : hists) {
+    CohortAggregate row;
+    row.name = name;
+    row.type = "histogram";
+    row.sessions = agg.sessions;
+    row.count = agg.count;
+    row.sum = agg.sum;
+    row.min = std::isinf(agg.min) ? 0.0 : agg.min;
+    row.max = std::isinf(agg.max) ? 0.0 : agg.max;
+    row.mean = agg.count == 0 ? 0.0 : agg.sum / static_cast<double>(agg.count);
+    if (!agg.mixed_bounds) {
+      row.p50 = percentile_from_buckets(agg.bounds, agg.buckets, agg.count,
+                                        row.min, row.max, 50.0);
+      row.p95 = percentile_from_buckets(agg.bounds, agg.buckets, agg.count,
+                                        row.min, row.max, 95.0);
+      row.p99 = percentile_from_buckets(agg.bounds, agg.buckets, agg.count,
+                                        row.min, row.max, 99.0);
+    } else {
+      std::sort(agg.means.begin(), agg.means.end());
+      row.p50 = sorted_percentile(agg.means, 50.0);
+      row.p95 = sorted_percentile(agg.means, 95.0);
+      row.p99 = sorted_percentile(agg.means, 99.0);
+    }
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CohortAggregate& a, const CohortAggregate& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void MetricsRegistry::publish_cohorts(const std::string& prefix) {
+  for (const auto& agg : aggregate_cohorts()) {
+    const std::string base =
+        prefix.empty() ? agg.name : prefix + "." + agg.name;
+    gauge(base + ".sessions").set(static_cast<double>(agg.sessions));
+    gauge(base + ".count").set(static_cast<double>(agg.count));
+    gauge(base + ".sum").set(agg.sum);
+    gauge(base + ".min").set(agg.min);
+    gauge(base + ".max").set(agg.max);
+    gauge(base + ".mean").set(agg.mean);
+    gauge(base + ".p50").set(agg.p50);
+    gauge(base + ".p95").set(agg.p95);
+    gauge(base + ".p99").set(agg.p99);
+  }
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
@@ -140,12 +420,14 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 
 std::vector<MetricSample> MetricsRegistry::snapshot() const {
   const std::lock_guard<std::mutex> lock(mutex_);
+  const std::string labels = label_string();
   std::vector<MetricSample> out;
   out.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, c] : counters_) {
     MetricSample s;
     s.name = name;
     s.type = "counter";
+    s.labels = labels;
     s.value = static_cast<double>(c->value());
     out.push_back(std::move(s));
   }
@@ -153,6 +435,7 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
     MetricSample s;
     s.name = name;
     s.type = "gauge";
+    s.labels = labels;
     s.value = g->value();
     out.push_back(std::move(s));
   }
@@ -160,12 +443,18 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
     MetricSample s;
     s.name = name;
     s.type = "histogram";
-    s.value = h->mean();
-    s.count = h->count();
-    s.min = h->min();
-    s.max = h->max();
-    s.p50 = h->percentile(50.0);
-    s.p95 = h->percentile(95.0);
+    s.labels = labels;
+    const Histogram::Merged m = h->merged();
+    s.value = m.count == 0 ? 0.0 : m.sum / static_cast<double>(m.count);
+    s.count = m.count;
+    s.min = m.min;
+    s.max = m.max;
+    s.p50 = percentile_from_buckets(h->bounds(), m.buckets, m.count, m.min,
+                                    m.max, 50.0);
+    s.p95 = percentile_from_buckets(h->bounds(), m.buckets, m.count, m.min,
+                                    m.max, 95.0);
+    s.p99 = percentile_from_buckets(h->bounds(), m.buckets, m.count, m.min,
+                                    m.max, 99.0);
     out.push_back(std::move(s));
   }
   return out;
@@ -175,10 +464,15 @@ void MetricsRegistry::write_jsonl(std::ostream& os) const {
   for (const auto& s : snapshot()) {
     os << "{\"name\":\"" << json::escape(s.name) << "\",\"type\":\"" << s.type
        << "\",\"value\":" << json::number(s.value);
+    if (!s.labels.empty()) {
+      os << ",\"labels\":\"" << json::escape(s.labels) << "\"";
+    }
     if (s.type == "histogram") {
       os << ",\"count\":" << s.count << ",\"min\":" << json::number(s.min)
-         << ",\"max\":" << json::number(s.max) << ",\"p50\":" << json::number(s.p50)
-         << ",\"p95\":" << json::number(s.p95);
+         << ",\"max\":" << json::number(s.max)
+         << ",\"p50\":" << json::number(s.p50)
+         << ",\"p95\":" << json::number(s.p95)
+         << ",\"p99\":" << json::number(s.p99);
     }
     os << "}\n";
   }

@@ -1,23 +1,34 @@
 // Process-wide metrics registry: counters, gauges, and fixed-bucket
-// histograms with atomic updates, so the (future) multi-threaded solver
-// sweeps can record into the same registry the single-threaded engine
-// uses today. Registration takes a mutex; recording into an already
-// obtained metric is lock-free.
+// histograms, sharded per thread so recording under the exec
+// work-stealing pool is a relaxed store into a thread-private cache line
+// with no cross-core CAS traffic. Shards are merged on snapshot.
+// Registration takes a mutex; recording into an already obtained metric
+// is lock-free.
+//
+// Registries can be forked per scenario/session with labels
+// (`registry.scoped({{"scenario", "ask_burst"}})`) and aggregated back
+// into cohort views (count/sum/min/max/p50/p95/p99 across sessions) —
+// the aggregation substrate the fleet subsystem consumes.
 //
 // Compile-time gate: IRONIC_OBS_ENABLED (default 1, see CMake option of
 // the same name). When 0, `ironic::obs::kEnabled` is false and the
 // instrumented call sites in spice/core/comms/patch compile away; the
 // registry itself stays available so code linking against it still
-// builds.
+// builds. A separate *runtime* kill switch (`set_runtime_enabled(false)`)
+// turns every recording call into an early return — bench_obs_overhead
+// uses it as the in-process proxy for a compiled-out build.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #ifndef IRONIC_OBS_ENABLED
@@ -30,71 +41,181 @@ namespace ironic::obs {
 // `if constexpr` so a disabled build carries zero overhead.
 inline constexpr bool kEnabled = IRONIC_OBS_ENABLED != 0;
 
-// Monotonic event count. `add` is a relaxed atomic increment.
-class Counter {
- public:
-  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
-  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
-  void reset() { value_.store(0, std::memory_order_relaxed); }
+// Per-thread shard count (power of two). Threads hash onto slots by a
+// monotonically assigned ordinal, so the first kMetricShards threads get
+// private slots; beyond that, slots are shared but stay correct (every
+// shard update is atomic). 16 slots x 64 B = 1 KiB per scalar metric.
+inline constexpr std::size_t kMetricShards = 16;
 
- private:
-  std::atomic<std::uint64_t> value_{0};
+namespace detail {
+
+// Runtime kill switch (see set_runtime_enabled below). Relaxed: recording
+// sites may observe a toggle late; that is fine for a diagnostics switch.
+inline std::atomic<bool> g_runtime_enabled{true};
+inline bool runtime_on() {
+  return g_runtime_enabled.load(std::memory_order_relaxed);
+}
+
+// Stable per-thread ordinal, assigned on first use (main thread usually
+// gets 0). Never recycled: ordinals identify threads in traces.
+std::size_t assign_thread_ordinal();
+inline std::size_t thread_ordinal() {
+  thread_local const std::size_t ordinal = assign_thread_ordinal();
+  return ordinal;
+}
+inline std::size_t shard_slot() {
+  return thread_ordinal() & (kMetricShards - 1);
+}
+
+// One cache line per shard so two hot threads never false-share.
+struct alignas(64) ShardU64 {
+  std::atomic<std::uint64_t> v{0};
+};
+struct alignas(64) ShardF64 {
+  std::atomic<double> v{0.0};
 };
 
-// Last-written instantaneous value.
-class Gauge {
+}  // namespace detail
+
+// Runtime recording switch: when off, Counter::add / Gauge::set / add /
+// set_max / Histogram::observe return immediately without touching their
+// storage. Reads (value(), snapshot()) are unaffected. Defaults to on.
+inline bool runtime_enabled() { return detail::runtime_on(); }
+void set_runtime_enabled(bool on);
+
+// 1-based stable ordinal for the calling thread; the trace recorder uses
+// it as the Chrome-trace tid so spans from different pool workers land on
+// separate tracks.
+std::size_t thread_index();
+
+// Thread-registration hook for long-lived workers (exec pool threads):
+// constructing one pins the thread's metric shard slot and trace tid up
+// front, so the first recording on the hot path does not pay the
+// one-time ordinal assignment.
+class ThreadRegistration {
  public:
-  void set(double v) { value_.store(v, std::memory_order_relaxed); }
-  // Atomic increment (CAS loop) — `set(value() + d)` from worker threads
-  // is a lost-update race; this is the safe read-modify-write.
-  void add(double d);
-  // Keep the larger of the current and the offered value (CAS loop).
-  void set_max(double v);
-  double value() const { return value_.load(std::memory_order_relaxed); }
-  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+  ThreadRegistration() { (void)thread_index(); }
+  ThreadRegistration(const ThreadRegistration&) = delete;
+  ThreadRegistration& operator=(const ThreadRegistration&) = delete;
+};
+
+// Monotonic event count. `add` is a relaxed atomic increment into the
+// calling thread's shard; `value` sums the shards.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (!detail::runtime_on()) return;
+    cells_[detail::shard_slot()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void reset() {
+    for (auto& cell : cells_) cell.v.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  std::atomic<double> value_{0.0};
+  std::array<detail::ShardU64, kMetricShards> cells_;
+};
+
+// Last-written instantaneous value plus sharded deltas: `set` stores the
+// base, `add` accumulates into the calling thread's shard, `value` is
+// base + the shard sum. A `set` concurrent with `add`s is a benign race
+// (the add may land before or after the rebase), same contract as the
+// CAS-based predecessor.
+class Gauge {
+ public:
+  void set(double v);
+  // Lock-free increment; per-shard, so concurrent adds from pool workers
+  // do not contend on one cache line.
+  void add(double d);
+  // Keep the larger of the current combined value and the offered one.
+  void set_max(double v);
+  double value() const {
+    double total = base_.load(std::memory_order_relaxed);
+    for (const auto& cell : cells_) {
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> base_{0.0};
+  std::array<detail::ShardF64, kMetricShards> cells_;
 };
 
 // Fixed-boundary histogram: `bounds` are the inclusive upper edges of the
 // buckets; one overflow bucket catches everything above the last edge.
-// Observation is one relaxed atomic increment plus CAS-maintained
-// sum/min/max.
+// Observation updates the calling thread's lazily allocated shard
+// (bucket increment plus CAS-maintained sum/min/max, all thread-private
+// when ordinals do not collide).
+//
+// Snapshot coherence contract: merge-style readers (count/sum/min/max/
+// percentile/bucket_counts/merged) are seqlock-protected against
+// reset(): a reader never observes a half-zeroed histogram — it sees the
+// state either entirely before or entirely after a concurrent reset.
+// Individual observe() calls are NOT transactional: a reader overlapping
+// an in-flight observe may see its bucket increment before its
+// count/sum update (bounded by the number of in-flight observers).
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+  ~Histogram();
 
   void observe(double v);
 
-  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  // A coherent merged view across shards (see the class contract).
+  struct Merged {
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  // 0 when empty
+    double max = 0.0;  // 0 when empty
+  };
+  Merged merged() const;
+
+  std::uint64_t count() const { return merged().count; }
+  double sum() const { return merged().sum; }
   double mean() const;
-  double min() const;
-  double max() const;
+  double min() const { return merged().min; }
+  double max() const { return merged().max; }
   // Percentile estimate (p in [0, 100]) by linear interpolation inside
-  // the containing bucket; exact at observed min/max.
+  // the containing bucket; exact at observed min/max (p0 returns the
+  // observed minimum, p100 the observed maximum).
   double percentile(double p) const;
 
   const std::vector<double>& bounds() const { return bounds_; }
-  std::vector<std::uint64_t> bucket_counts() const;
-  // Zero all buckets and statistics (not atomic as a whole: a concurrent
-  // observe may land in either the old or new epoch, never torn).
+  std::vector<std::uint64_t> bucket_counts() const { return merged().buckets; }
+  // Zero all shards. Guarded by the seqlock epoch: concurrent snapshots
+  // retry instead of reading a torn (half-zeroed) state. Concurrent
+  // resets serialize on an internal mutex.
   void reset();
 
  private:
+  struct Shard;
+  Shard& shard();
+
   std::vector<double> bounds_;
-  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<double> sum_{0.0};
-  std::atomic<double> min_;
-  std::atomic<double> max_;
+  std::array<std::atomic<Shard*>, kMetricShards> shards_{};
+  // Seqlock epoch: odd while a reset is zeroing shards; readers retry
+  // until they bracket a stable even epoch (mutable: the const read
+  // side re-checks it with a dummy RMW, see merged()).
+  mutable std::atomic<std::uint64_t> epoch_{0};
+  std::mutex reset_mutex_;
 };
 
 // A flat snapshot row, used for the JSONL dump and the run reports.
 struct MetricSample {
   std::string name;
   std::string type;  // "counter" | "gauge" | "histogram"
+  std::string labels;  // "k=v,k=v" from the owning registry ("" = root)
   double value = 0.0;  // counter/gauge value; histogram mean
   // Histogram extras (count == 0 for the scalar kinds).
   std::uint64_t count = 0;
@@ -102,12 +223,61 @@ struct MetricSample {
   double max = 0.0;
   double p50 = 0.0;
   double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+// One metric aggregated across every live scoped child of a registry:
+// the per-cohort view (count/sum/min/max/p50/p95/p99 over sessions).
+// For histograms the child buckets are merged, so percentiles are as
+// exact as a single histogram's; for counters/gauges the per-session
+// scalar values form the sample set and percentiles are exact.
+struct CohortAggregate {
+  std::string name;
+  std::string type;  // "counter" | "gauge" | "histogram"
+  std::uint64_t sessions = 0;  // scoped registries reporting this metric
+  std::uint64_t count = 0;     // histogram: total observations; else == sessions
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
 };
 
 class MetricsRegistry {
  public:
-  // The process-wide registry used by all instrumentation.
+  // Label set attached to a registry, rendered as "k=v,k=v" in dumps.
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  // The process-wide root registry used by all instrumentation.
   static MetricsRegistry& instance();
+
+  // Standalone registries are allowed (benches, scoped sessions);
+  // `scoped` is the usual way to create one.
+  MetricsRegistry() = default;
+  explicit MetricsRegistry(Labels labels) : labels_(std::move(labels)) {}
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  const Labels& labels() const { return labels_; }
+  std::string label_string() const;
+
+  // Fork a child registry carrying this registry's labels plus `extra`.
+  // The child is independent storage (its metrics do not feed the
+  // parent's); the parent keeps a weak reference so aggregate_cohorts()
+  // can fold live children into cohort views. Children may outlive the
+  // parent's interest and expire naturally.
+  std::shared_ptr<MetricsRegistry> scoped(Labels extra);
+
+  // Aggregate every metric across the live scoped children (expired
+  // children are pruned). Ordered by metric name.
+  std::vector<CohortAggregate> aggregate_cohorts() const;
+  // Fold aggregate_cohorts() into this registry as gauges named
+  // `<prefix>.<metric>.<stat>` (stat in sessions/count/sum/min/max/mean/
+  // p50/p95/p99), so run reports and trace_validate --require can pin
+  // the cohort views.
+  void publish_cohorts(const std::string& prefix);
 
   // Find-or-create. References stay valid for the registry's lifetime.
   Counter& counter(const std::string& name);
@@ -127,12 +297,13 @@ class MetricsRegistry {
   void reset();
 
  private:
-  MetricsRegistry() = default;
-
+  Labels labels_;
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable std::mutex children_mutex_;
+  mutable std::vector<std::weak_ptr<MetricsRegistry>> children_;
 };
 
 // Default histogram bucket edges: 1-2-5 ladder spanning 1e-9 .. 1e9.

@@ -1,6 +1,8 @@
 // Umbrella header for the observability subsystem:
 //   - MetricsRegistry / Counter / Gauge / Histogram  (metrics.hpp)
 //   - TraceRecorder / Span / ScopedTimer             (trace.hpp)
+//   - PROF_ZONE wall-time profiler                   (profiler.hpp)
+//   - TelemetrySink streaming JSONL sink             (telemetry.hpp)
 //   - RunReport                                      (report.hpp)
 //   - minimal JSON value model                       (json.hpp)
 //
@@ -11,5 +13,7 @@
 
 #include "src/obs/json.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/profiler.hpp"
 #include "src/obs/report.hpp"
+#include "src/obs/telemetry.hpp"
 #include "src/obs/trace.hpp"

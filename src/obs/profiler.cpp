@@ -1,0 +1,181 @@
+#include "src/obs/profiler.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ironic::obs {
+
+#if IRONIC_OBS_ENABLED
+
+namespace detail {
+namespace {
+
+struct ProfilerState {
+  std::mutex mutex;
+  // Leaked on purpose: pool threads may die while their totals are
+  // still wanted in the end-of-run report.
+  std::vector<ThreadProfile*> profiles;
+  std::vector<std::string> zone_names;
+  std::map<std::string, std::uint32_t> zone_index;
+  std::uint64_t ticks0 = 0;
+  std::chrono::steady_clock::time_point t0;
+};
+
+ProfilerState& state() {
+  // Heap-allocated and never freed so worker threads can't race static
+  // destruction at exit.
+  static ProfilerState* s = [] {
+    auto* fresh = new ProfilerState();
+    fresh->ticks0 = prof_now_ticks();
+    fresh->t0 = std::chrono::steady_clock::now();
+    return fresh;
+  }();
+  return *s;
+}
+
+double ns_per_tick() {
+  auto& s = state();
+  const std::uint64_t dticks = prof_now_ticks() - s.ticks0;
+  const auto dns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - s.t0)
+                       .count();
+  if (dticks == 0 || dns <= 0) return 1.0;
+  return static_cast<double>(dns) / static_cast<double>(dticks);
+}
+
+}  // namespace
+
+ThreadProfile& prepare_zone(std::uint32_t index) {
+  thread_local ThreadProfile* profile = [] {
+    auto* fresh = new ThreadProfile();
+    auto& s = state();
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    s.profiles.push_back(fresh);
+    return fresh;
+  }();
+  // Only the owner grows the deque, so the unlocked size check in the
+  // ZoneScope fast path is safe; the lock orders growth against a
+  // concurrent snapshot.
+  if (index >= profile->zones.size()) {
+    const std::lock_guard<std::mutex> lock(profile->mutex);
+    while (profile->zones.size() <= index) profile->zones.emplace_back();
+  }
+  t_profile = profile;
+  return *profile;
+}
+
+}  // namespace detail
+
+ZoneId register_zone(const char* name) {
+  auto& s = detail::state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.zone_index.find(name);
+  if (it != s.zone_index.end()) return ZoneId{it->second};
+  const auto index = static_cast<std::uint32_t>(s.zone_names.size());
+  s.zone_names.emplace_back(name);
+  s.zone_index.emplace(name, index);
+  return ZoneId{index};
+}
+
+void ZoneScope::finish() {
+  auto& profile = *profile_;
+  const detail::ThreadProfile::Frame frame = profile.stack.back();
+  profile.stack.pop_back();
+  const std::uint64_t end = detail::prof_now_ticks();
+  const std::uint64_t dur = end >= frame.start ? end - frame.start : 0;
+  // frame.child accumulates children in full units (each sampled child
+  // adds dur * its scale, compensating its own decimation), so the raw
+  // frame duration compares against it directly; scaling the clamped
+  // difference keeps exclusive <= inclusive per frame by construction.
+  const std::uint64_t excl = dur >= frame.child ? dur - frame.child : 0;
+  if (!profile.stack.empty()) {
+    profile.stack.back().child += dur * frame.scale;
+  }
+  auto& z = profile.zones[frame.zone];
+  z.inclusive.store(
+      z.inclusive.load(std::memory_order_relaxed) + dur * frame.scale,
+      std::memory_order_relaxed);
+  z.exclusive.store(
+      z.exclusive.load(std::memory_order_relaxed) + excl * frame.scale,
+      std::memory_order_relaxed);
+}
+
+std::vector<ZoneReport> profiler_snapshot() {
+  auto& s = detail::state();
+  const double ratio = detail::ns_per_tick();
+  std::vector<std::string> names;
+  std::vector<detail::ThreadProfile*> profiles;
+  {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    names = s.zone_names;
+    profiles = s.profiles;
+  }
+  std::vector<ZoneReport> out(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) out[i].name = names[i];
+  for (auto* profile : profiles) {
+    const std::lock_guard<std::mutex> lock(profile->mutex);
+    const std::size_t n = std::min(profile->zones.size(), names.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& z = profile->zones[i];
+      const std::uint64_t calls = z.calls.load(std::memory_order_relaxed);
+      if (calls == 0) continue;
+      out[i].calls += calls;
+      out[i].inclusive_ns += static_cast<std::uint64_t>(
+          static_cast<double>(z.inclusive.load(std::memory_order_relaxed)) *
+          ratio);
+      out[i].exclusive_ns += static_cast<std::uint64_t>(
+          static_cast<double>(z.exclusive.load(std::memory_order_relaxed)) *
+          ratio);
+      out[i].threads += 1;
+    }
+  }
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](const ZoneReport& r) { return r.calls == 0; }),
+            out.end());
+  std::sort(out.begin(), out.end(), [](const ZoneReport& a,
+                                       const ZoneReport& b) {
+    return a.inclusive_ns != b.inclusive_ns ? a.inclusive_ns > b.inclusive_ns
+                                            : a.name < b.name;
+  });
+  return out;
+}
+
+void profiler_reset() {
+  auto& s = detail::state();
+  std::vector<detail::ThreadProfile*> profiles;
+  {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    profiles = s.profiles;
+  }
+  for (auto* profile : profiles) {
+    const std::lock_guard<std::mutex> lock(profile->mutex);
+    for (auto& z : profile->zones) {
+      z.calls.store(0, std::memory_order_relaxed);
+      z.inclusive.store(0, std::memory_order_relaxed);
+      z.exclusive.store(0, std::memory_order_relaxed);
+      // exact/countdown are owner-thread-only and deliberately left
+      // alone: a hot zone stays in its sampled regime across resets.
+    }
+  }
+}
+
+void profiler_mirror_to_registry(MetricsRegistry& registry) {
+  for (const auto& zone : profiler_snapshot()) {
+    const std::string base = "prof." + zone.name;
+    registry.gauge(base + ".calls").set(static_cast<double>(zone.calls));
+    registry.gauge(base + ".inclusive_ns")
+        .set(static_cast<double>(zone.inclusive_ns));
+    registry.gauge(base + ".exclusive_ns")
+        .set(static_cast<double>(zone.exclusive_ns));
+  }
+}
+
+#else  // !IRONIC_OBS_ENABLED
+
+std::vector<ZoneReport> profiler_snapshot() { return {}; }
+void profiler_reset() {}
+void profiler_mirror_to_registry(MetricsRegistry&) {}
+
+#endif  // IRONIC_OBS_ENABLED
+
+}  // namespace ironic::obs

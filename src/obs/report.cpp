@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "src/obs/json.hpp"
+#include "src/obs/profiler.hpp"
 #include "src/obs/trace.hpp"
 #include "src/util/log.hpp"
 
@@ -109,18 +110,38 @@ bool RunReport::write() {
   for (const auto& [k, v] : notes_) notes[k] = v;
   root["notes"] = std::move(notes);
 
+  // Fold the profiler zone totals in as prof.<zone>.* gauges first, so
+  // the metrics snapshot below (and trace_validate --require pins)
+  // always see the per-zone breakdown; then attach the flame-style
+  // "profile" array for human/tooling consumption.
+  const auto zones = profiler_snapshot();
+  profiler_mirror_to_registry(MetricsRegistry::instance());
+  json::Value::Array profile;
+  for (const auto& zone : zones) {
+    json::Value::Object row;
+    row["zone"] = zone.name;
+    row["calls"] = static_cast<double>(zone.calls);
+    row["inclusive_ns"] = static_cast<double>(zone.inclusive_ns);
+    row["exclusive_ns"] = static_cast<double>(zone.exclusive_ns);
+    row["threads"] = static_cast<double>(zone.threads);
+    profile.emplace_back(std::move(row));
+  }
+  root["profile"] = std::move(profile);
+
   json::Value::Array metrics;
   for (const auto& s : MetricsRegistry::instance().snapshot()) {
     json::Value::Object m;
     m["name"] = s.name;
     m["type"] = s.type;
     m["value"] = s.value;
+    if (!s.labels.empty()) m["labels"] = s.labels;
     if (s.type == "histogram") {
       m["count"] = static_cast<double>(s.count);
       m["min"] = s.min;
       m["max"] = s.max;
       m["p50"] = s.p50;
       m["p95"] = s.p95;
+      m["p99"] = s.p99;
     }
     metrics.emplace_back(std::move(m));
   }

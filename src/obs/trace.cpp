@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "src/obs/json.hpp"
+#include "src/obs/telemetry.hpp"
 #include "src/util/log.hpp"
 
 namespace ironic::obs {
@@ -36,6 +37,7 @@ void TraceRecorder::complete_event(
   ev.ts_us = ts_us;
   ev.dur_us = dur_us;
   ev.pid = 1;
+  ev.tid = static_cast<int>(thread_index());
   ev.args = std::move(args);
   push(std::move(ev));
 }
@@ -50,6 +52,7 @@ void TraceRecorder::instant_event(
   ev.phase = 'i';
   ev.ts_us = now_us();
   ev.pid = 1;
+  ev.tid = static_cast<int>(thread_index());
   ev.args = std::move(args);
   push(std::move(ev));
 }
@@ -63,6 +66,34 @@ void TraceRecorder::counter_event(std::string name, double value) {
   ev.ts_us = now_us();
   ev.pid = 1;
   ev.args.emplace_back("value", json::number(value));
+  push(std::move(ev));
+}
+
+void TraceRecorder::flow_begin(std::string name, std::string category,
+                               std::uint64_t id) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.phase = 's';
+  ev.ts_us = now_us();
+  ev.pid = 1;
+  ev.tid = static_cast<int>(thread_index());
+  ev.flow_id = id;
+  push(std::move(ev));
+}
+
+void TraceRecorder::flow_end(std::string name, std::string category,
+                             std::uint64_t id) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.phase = 'f';
+  ev.ts_us = now_us();
+  ev.pid = 1;
+  ev.tid = static_cast<int>(thread_index());
+  ev.flow_id = id;
   push(std::move(ev));
 }
 
@@ -127,7 +158,12 @@ void TraceRecorder::write_chrome_trace(std::ostream& os) const {
        << ev.phase << "\",\"ts\":" << json::number(ev.ts_us);
     if (ev.phase == 'X') os << ",\"dur\":" << json::number(ev.dur_us);
     if (ev.phase == 'i') os << ",\"s\":\"t\"";
-    os << ",\"pid\":" << ev.pid << ",\"tid\":1";
+    if (ev.phase == 's' || ev.phase == 'f') {
+      os << ",\"id\":" << ev.flow_id;
+      // Bind the arrow to the enclosing slice on the receiving thread.
+      if (ev.phase == 'f') os << ",\"bp\":\"e\"";
+    }
+    os << ",\"pid\":" << ev.pid << ",\"tid\":" << ev.tid;
     if (!ev.args.empty()) {
       os << ",\"args\":{";
       bool first = true;
@@ -191,6 +227,12 @@ void install_log_bridge() {
       auto& recorder = TraceRecorder::instance();
       if (recorder.enabled()) {
         recorder.instant_event(component, "log", fields);
+      }
+      auto& sink = TelemetrySink::instance();
+      if (sink.is_open()) {
+        json::Value::Object extra;
+        for (const auto& [key, value] : fields) extra[key] = value;
+        sink.emit_event("log", component, std::move(extra));
       }
     }
   });

@@ -29,10 +29,15 @@ namespace ironic::obs {
 struct TraceEvent {
   std::string name;
   std::string category;
-  char phase = 'X';   // 'X' complete, 'i' instant, 'C' counter
+  char phase = 'X';   // 'X' complete, 'i' instant, 'C' counter,
+                      // 's'/'f' flow start/finish
   double ts_us = 0.0;
   double dur_us = 0.0;  // complete events only
   int pid = 1;
+  // Chrome-trace thread track: obs::thread_index() of the recording
+  // thread for wall-clock events, 1 for the simulation timeline.
+  int tid = 1;
+  std::uint64_t flow_id = 0;  // flow events only; pairs 's' with 'f'
   std::vector<std::pair<std::string, std::string>> args;
 };
 
@@ -55,6 +60,14 @@ class TraceRecorder {
   void instant_event(std::string name, std::string category,
                      std::vector<std::pair<std::string, std::string>> args = {});
   void counter_event(std::string name, double value);
+
+  // Flow events tie spans on different threads together in the viewer:
+  // emit flow_begin on the dispatching thread and flow_end (binding
+  // point "enclosing slice") inside the span that executes the work,
+  // with the same `id`. The sweep engine uses one flow per point so a
+  // point's dispatch and execution connect across pool threads.
+  void flow_begin(std::string name, std::string category, std::uint64_t id);
+  void flow_end(std::string name, std::string category, std::uint64_t id);
 
   // Simulation-timeline events (pid 2); timestamps are simulated seconds,
   // converted to microseconds for the trace viewer.

@@ -10,6 +10,7 @@
 
 #include "src/linalg/solver.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/profiler.hpp"
 #include "src/spice/lint.hpp"
 #include "src/obs/trace.hpp"
 #include "src/util/log.hpp"
@@ -106,6 +107,7 @@ NewtonOutcome newton_solve(Circuit& circuit, linalg::LinearSolver& solver,
                            std::vector<double>& x, double time, double dt,
                            Integrator integrator, bool dc, const NewtonOptions& opts,
                            double source_scale, double extra_gshunt) {
+  PROF_ZONE("spice.newton");
   const std::size_t n = circuit.num_unknowns();
   const std::size_t num_nodes = circuit.num_nodes();
   std::vector<double> rhs(n, 0.0);
@@ -118,28 +120,38 @@ NewtonOutcome newton_solve(Circuit& circuit, linalg::LinearSolver& solver,
 
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
     ++outcome.iterations;
-    solver.begin_assembly();
-    std::fill(rhs.begin(), rhs.end(), 0.0);
+    bool limiting_active = false;
+    {
+      PROF_ZONE("spice.stamp");
+      solver.begin_assembly();
+      std::fill(rhs.begin(), rhs.end(), 0.0);
 
-    StampContext ctx{solver, rhs, x, time, dt, integrator, dc, opts.gmin, source_scale, false};
-    for (const auto& dev : circuit.devices()) dev->stamp(ctx);
-    const bool limiting_active = ctx.limited;
+      StampContext ctx{solver, rhs, x, time, dt, integrator, dc, opts.gmin, source_scale, false};
+      for (const auto& dev : circuit.devices()) dev->stamp(ctx);
+      limiting_active = ctx.limited;
 
-    // Node-to-ground leak. Stamped even when it is 0.0 so the node
-    // diagonals belong to the sparse pattern unconditionally: the gmin
-    // ladder reaching zero then changes values, never structure.
-    const double gshunt = opts.gshunt + extra_gshunt;
-    for (std::size_t i = 0; i < num_nodes; ++i) {
-      solver.add(static_cast<int>(i), static_cast<int>(i), gshunt);
+      // Node-to-ground leak. Stamped even when it is 0.0 so the node
+      // diagonals belong to the sparse pattern unconditionally: the gmin
+      // ladder reaching zero then changes values, never structure.
+      const double gshunt = opts.gshunt + extra_gshunt;
+      for (std::size_t i = 0; i < num_nodes; ++i) {
+        solver.add(static_cast<int>(i), static_cast<int>(i), gshunt);
+      }
     }
 
     std::chrono::steady_clock::time_point lu_start;
     if constexpr (obs::kEnabled) lu_start = std::chrono::steady_clock::now();
     bool singular = false;
     try {
-      solver.factor();
+      {
+        PROF_ZONE("spice.lu_factor");
+        solver.factor();
+      }
       x_new = rhs;
-      solver.solve_in_place(x_new);
+      {
+        PROF_ZONE("spice.lu_solve");
+        solver.solve_in_place(x_new);
+      }
     } catch (const linalg::SingularMatrixError&) {
       singular = true;
     }

@@ -5,9 +5,12 @@
 // thread count and any two same-seed runs.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <stdexcept>
+#include <string>
 
 #include "src/fault/campaign.hpp"
+#include "src/obs/obs.hpp"
 
 namespace {
 
@@ -80,6 +83,32 @@ TEST(FaultCampaign, ScriptedCampaignIsThreadCountInvariant) {
     EXPECT_EQ(a.scenarios[i].sim_time, b.scenarios[i].sim_time);
   }
 }
+
+#if IRONIC_OBS_ENABLED
+// Streaming telemetry is an observer, not a participant: a campaign run
+// with the sink wide open must produce the same fingerprint as one with
+// telemetry off entirely.
+TEST(FaultCampaign, TelemetryDoesNotPerturbFingerprint) {
+  namespace obs = ironic::obs;
+  CampaignConfig config;
+  config.exchanges = 6;  // keep the telemetry leg quick
+
+  obs::TelemetrySink::instance().close();
+  obs::set_runtime_enabled(false);
+  const auto quiet = run_campaign(config);
+  obs::set_runtime_enabled(true);
+
+  const std::string path =
+      ::testing::TempDir() + "/ironic_campaign_fingerprint.jsonl";
+  ASSERT_TRUE(obs::TelemetrySink::instance().open(path));
+  const auto streamed = run_campaign(config);
+  obs::TelemetrySink::instance().close();
+  std::remove(path.c_str());
+
+  EXPECT_NE(quiet.fingerprint, 0u);
+  EXPECT_EQ(quiet.fingerprint, streamed.fingerprint);
+}
+#endif  // IRONIC_OBS_ENABLED
 
 TEST(FaultCampaign, DifferentSeedsDiverge) {
   CampaignConfig config;

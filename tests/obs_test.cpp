@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
+#include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/obs/obs.hpp"
@@ -137,6 +140,203 @@ TEST(Histogram, EmptyIsWellDefined) {
   EXPECT_DOUBLE_EQ(h.mean(), 0.0);
   EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
   EXPECT_FALSE(h.bounds().empty());  // default 1-2-5 ladder kicks in
+}
+
+TEST(Histogram, PercentileSingleObservation) {
+  // With one observation every percentile collapses to it: both bucket
+  // edges clamp to the observed range [v, v].
+  obs::Histogram h({});
+  h.observe(3.7);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 3.7);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 3.7);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 3.7);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 3.7);
+}
+
+TEST(Histogram, BucketBoundaryInterpolation) {
+  // Both observations land in the (0, 10] bucket, whose edges clamp to
+  // the observed range [2, 8]; the p50 target is halfway through the
+  // bucket, so linear interpolation gives exactly the midpoint.
+  obs::Histogram h(std::vector<double>{0.0, 10.0});
+  h.observe(2.0);
+  h.observe(8.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 5.0);
+  // p25 is a quarter through the bucket: 2 + (8 - 2) * 0.25.
+  EXPECT_DOUBLE_EQ(h.percentile(25.0), 3.5);
+}
+
+TEST(Histogram, P0AndP100ClampToObservedRange) {
+  obs::Histogram h(std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8, 9});
+  for (int v = 1; v <= 10; ++v) h.observe(static_cast<double>(v));
+  // p0 is the smallest observation and p100 the largest, never the
+  // (infinite) edges of the first/last buckets; out-of-range requests
+  // clamp rather than extrapolate.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(-5.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(400.0), 10.0);
+}
+
+TEST(MetricsShard, CounterConcurrentAddsSumExactly) {
+  auto& counter =
+      obs::MetricsRegistry::instance().counter("test.obs.shard_counter");
+  counter.reset();
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter] {
+      const obs::ThreadRegistration registration;
+      for (int i = 0; i < kAdds; ++i) counter.add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(MetricsShard, GaugeBalancedConcurrentAddsCancel) {
+  auto& gauge = obs::MetricsRegistry::instance().gauge("test.obs.shard_gauge");
+  gauge.set(10.0);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&gauge] {
+      const obs::ThreadRegistration registration;
+      for (int i = 0; i < 5000; ++i) {
+        gauge.add(1.0);
+        gauge.add(-1.0);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_DOUBLE_EQ(gauge.value(), 10.0);
+}
+
+TEST(MetricsShard, ThreadIndicesAreStableAndDistinct) {
+  const auto mine = obs::thread_index();
+  EXPECT_GE(mine, 1u);
+  EXPECT_EQ(obs::thread_index(), mine);  // stable within a thread
+  std::set<std::uint32_t> seen;
+  std::mutex mutex;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      const auto index = obs::thread_index();
+      const std::lock_guard<std::mutex> lock(mutex);
+      seen.insert(index);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen.count(mine), 0u);
+}
+
+TEST(MetricsShard, HistogramResetNeverTearsTheMergedView) {
+  // The documented reset contract: a merge that overlaps reset() retries
+  // (seqlock) and never returns a half-zeroed mixture. With one writer
+  // in flight, the bucket total may lead the count by at most the one
+  // in-progress observation.
+  auto& h = obs::MetricsRegistry::instance().histogram(
+      "test.obs.shard_reset_hist", {1.0, 2.0, 5.0});
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    const obs::ThreadRegistration registration;
+    while (!stop.load(std::memory_order_relaxed)) h.observe(1.5);
+  });
+  for (int round = 0; round < 200; ++round) {
+    h.reset();
+    const auto m = h.merged();
+    std::uint64_t in_buckets = 0;
+    for (const auto b : m.buckets) in_buckets += b;
+    ASSERT_GE(in_buckets, m.count);
+    ASSERT_LE(in_buckets - m.count, 1u);
+    if (m.count > 0) {
+      ASSERT_DOUBLE_EQ(m.min, 1.5);
+      ASSERT_DOUBLE_EQ(m.max, 1.5);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+}
+
+TEST(ScopedRegistry, ChildLabelsExtendTheParent) {
+  obs::MetricsRegistry parent(
+      obs::MetricsRegistry::Labels{{"campaign", "unit"}});
+  const auto child = parent.scoped({{"scenario", "ask_burst"}});
+  child->counter("test.obs.scoped_counter").add(2);
+  const auto samples = child->snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].labels, "campaign=unit,scenario=ask_burst");
+  EXPECT_DOUBLE_EQ(samples[0].value, 2.0);
+}
+
+TEST(ScopedRegistry, CohortAggregatesAcrossSessions) {
+  obs::MetricsRegistry parent;
+  std::vector<std::shared_ptr<obs::MetricsRegistry>> sessions;
+  for (int j = 0; j < 4; ++j) {
+    auto child = parent.scoped({{"scenario", std::to_string(j)}});
+    // Scalar: one sample per session -> cohort percentiles over 1,2,3,4.
+    child->gauge("session.final").set(static_cast<double>(j + 1));
+    // Histogram: same bounds everywhere -> bucket-level merge.
+    auto& h = child->histogram("session.latency", {1.0, 10.0, 100.0});
+    h.observe(static_cast<double>(j + 1));
+    h.observe(static_cast<double>((j + 1) * 10));
+    sessions.push_back(std::move(child));
+  }
+  const auto cohorts = parent.aggregate_cohorts();
+  const obs::CohortAggregate* final_agg = nullptr;
+  const obs::CohortAggregate* latency_agg = nullptr;
+  for (const auto& c : cohorts) {
+    if (c.name == "session.final") final_agg = &c;
+    if (c.name == "session.latency") latency_agg = &c;
+  }
+  ASSERT_NE(final_agg, nullptr);
+  EXPECT_EQ(final_agg->sessions, 4u);
+  EXPECT_EQ(final_agg->count, 4u);
+  EXPECT_DOUBLE_EQ(final_agg->min, 1.0);
+  EXPECT_DOUBLE_EQ(final_agg->max, 4.0);
+  EXPECT_DOUBLE_EQ(final_agg->mean, 2.5);
+  EXPECT_DOUBLE_EQ(final_agg->p50, 2.5);  // rank interpolation over 1..4
+
+  ASSERT_NE(latency_agg, nullptr);
+  EXPECT_EQ(latency_agg->sessions, 4u);
+  EXPECT_EQ(latency_agg->count, 8u);
+  EXPECT_DOUBLE_EQ(latency_agg->min, 1.0);
+  EXPECT_DOUBLE_EQ(latency_agg->max, 40.0);
+  EXPECT_GE(latency_agg->p95, latency_agg->p50);
+  EXPECT_LE(latency_agg->p99, 40.0);
+
+  // Expired sessions drop out of later aggregations.
+  sessions.resize(2);
+  const auto pruned = parent.aggregate_cohorts();
+  for (const auto& c : pruned) {
+    if (c.name == "session.final") {
+      EXPECT_EQ(c.sessions, 2u);
+    }
+  }
+}
+
+TEST(ScopedRegistry, PublishCohortsWritesPrefixedGauges) {
+  obs::MetricsRegistry parent;
+  const auto child = parent.scoped({{"scenario", "0"}});
+  child->gauge("session.quality").set(0.75);
+  parent.publish_cohorts("cohort.unit");
+  bool saw_mean = false, saw_sessions = false;
+  for (const auto& s : parent.snapshot()) {
+    if (s.name == "cohort.unit.session.quality.mean") {
+      saw_mean = true;
+      EXPECT_DOUBLE_EQ(s.value, 0.75);
+    }
+    if (s.name == "cohort.unit.session.quality.sessions") {
+      saw_sessions = true;
+      EXPECT_DOUBLE_EQ(s.value, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_mean);
+  EXPECT_TRUE(saw_sessions);
 }
 
 TEST(Json, RoundTripThroughDumpAndParse) {

@@ -7,17 +7,24 @@
 #   3. tsan      ThreadSanitizer build, exec/sweep/rng/obs/fault subset
 #                plus the solver-backend suites (campaign workers solve
 #                circuits concurrently; the rest of the numeric suite
-#                stays on ASan)
+#                stays on ASan) and the telemetry drainer / sharded-merge
+#                races (TelemetrySink, Profiler, MetricsShard)
 #   4. tidy      clang-tidy over src/ and tools/ (skips if not installed)
 #   5. lint      netlist_lint --strict over every shipped .cir netlist,
 #                and the broken fixtures must FAIL
 #   6. fault     fault_runner over every registered campaign, plus the
-#                exit-code contract (unwritable --out must exit 2), the
-#                sparse-backend acceptance campaign (fingerprints must be
-#                thread-count invariant per backend), and the
-#                trace_validate pin on the spice.solver.* telemetry
+#                exit-code contract (unwritable --out and --telemetry must
+#                exit 2), the sparse-backend acceptance campaign
+#                (fingerprints must be thread-count invariant per
+#                backend), and the trace_validate pins on the
+#                spice.solver.*, obs.telemetry.*, prof.<zone>.* and
+#                cohort.* telemetry
+#   7. obs       bench_obs_overhead in-process budget gate (instrumented
+#                fault campaign must stay within 5% of the obs-off run),
+#                and every *committed* BENCH_*.json must have been
+#                produced with observability compiled in
 #
-# Usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|fault|all]   (default: all)
+# Usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|fault|obs|all]   (default: all)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -55,11 +62,11 @@ run_tsan() {
     -DIRONIC_TSAN=ON
   cmake --build "$ROOT/build-ci-tsan" -j "$JOBS" \
     --target exec_test sweep_test rng_stream_test obs_test \
-             fault_session_test fault_campaign_test \
+             obs_telemetry_test fault_session_test fault_campaign_test \
              linalg_sparse_test spice_solver_equiv_test
   TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
     ctest --test-dir "$ROOT/build-ci-tsan" --output-on-failure -j "$JOBS" \
-      -R '^(ThreadPool|ParallelFor|ExecTolerance|ObsConcurrency|Sweep|SweepAxis|RngStream|Metrics|Trace|RunReport|Session|FaultCampaign|SparseSolver|SolverEquiv)'
+      -R '^(ThreadPool|ParallelFor|ExecTolerance|ObsConcurrency|Sweep|SweepAxis|RngStream|Metrics|Trace|RunReport|Session|FaultCampaign|SparseSolver|SolverEquiv|TelemetrySink|Profiler)'
 }
 
 run_tidy() {
@@ -104,31 +111,82 @@ run_fault() {
     echo "ci: FAIL -- unwritable --out exited $rc, want 2" >&2
     exit 1
   fi
+  # An unwritable --telemetry path must exit 2 as well.
+  rc=0
+  "$runner" --telemetry /nonexistent-ci-dir/t.jsonl ask_burst_coupling_drop \
+    >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "ci: FAIL -- unwritable --telemetry exited $rc, want 2" >&2
+    exit 1
+  fi
   # Sparse-backend acceptance campaign: every campaign again under
   # --solver sparse, at two thread counts — the per-scenario fingerprints
   # must be bit-identical, or the backend leaks state across scenarios.
+  # The wide leg streams JSONL telemetry while it runs, so the report it
+  # leaves behind carries live obs.telemetry.* counters.
   local sp1="$ROOT/build-ci-release/fault_sparse_t1.json"
   local sp4="$ROOT/build-ci-release/fault_sparse_t4.json"
+  local stream="$ROOT/build-ci-release/fault_sparse_t4.telemetry.jsonl"
   IRONIC_REPORT_DIR="$ROOT/build-ci-release" \
     "$runner" --solver sparse --threads 1 --out "$sp1" all
   IRONIC_REPORT_DIR="$ROOT/build-ci-release" \
-    "$runner" --solver sparse --threads 4 --out "$sp4" all
+    "$runner" --solver sparse --threads 4 --telemetry "$stream" \
+    --out "$sp4" all
   if ! diff <(grep '"fingerprint"' "$sp1") <(grep '"fingerprint"' "$sp4"); then
     echo "ci: FAIL -- sparse fault fingerprints differ across thread counts" >&2
     exit 1
   fi
+  test -s "$stream"
   # The run report the sparse campaign emits must carry the solver-layer
-  # telemetry (DESIGN.md §11) — pin the names so a registry rename or a
-  # silently-dead counter fails CI instead of an offline dashboard.
-  "$validator" \
+  # telemetry (DESIGN.md §11), the streaming-sink counters, the profiler
+  # zone totals, and the cohort percentile aggregates (DESIGN.md §12) —
+  # pin the names so a registry rename or a silently-dead counter fails
+  # CI instead of an offline dashboard.
+  "$validator" --require-obs \
     --require spice.solver.factorizations \
     --require spice.solver.refactorizations \
     --require spice.solver.factor_skips \
     --require spice.solver.pattern_builds \
     --require spice.solver.pattern_reuses \
+    --require obs.telemetry.emitted \
+    --require obs.telemetry.written \
+    --require obs.telemetry.flushes \
+    --require prof.spice.newton.inclusive_ns \
+    --require prof.spice.stamp.inclusive_ns \
+    --require prof.spice.lu_factor.inclusive_ns \
+    --require prof.spice.lu_solve.inclusive_ns \
+    --require prof.comms.exchange.inclusive_ns \
+    --require cohort.ask_burst_coupling_drop.fault.scenario.exchange_latency_s.p99 \
+    --require cohort.ask_burst_coupling_drop.fault.scenario.retries.p50 \
+    --require cohort.brownout_shedding.fault.scenario.brownouts.max \
     "$ROOT/build-ci-release/BENCH_fault_resilience.json"
   echo "ci: campaigns wrote $out; sparse fingerprints thread-count" \
-       "invariant; exit-code contract holds"
+       "invariant; exit-code and telemetry contracts hold"
+}
+
+run_obs() {
+  log "obs overhead budget + committed-report provenance"
+  cmake -B "$ROOT/build-ci-release" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$ROOT/build-ci-release" -j "$JOBS" \
+    --target bench_obs_overhead trace_validate
+  # The bench enforces its own <=5% budget in-process (exit 1 on breach)
+  # and cross-checks fingerprint invariance with telemetry on/off.
+  IRONIC_REPORT_DIR="$ROOT/build-ci-release" \
+    "$ROOT/build-ci-release/bench/bench_obs_overhead"
+  # Every benchmark report checked into the tree must have been produced
+  # with observability compiled in — a BENCH_*.json regenerated from a
+  # stripped build silently loses the profiler/cohort sections.
+  local validator="$ROOT/build-ci-release/tools/trace_validate"
+  local committed
+  committed="$(cd "$ROOT" && git ls-files 'BENCH_*.json')"
+  if [ -z "$committed" ]; then
+    echo "ci: no committed BENCH_*.json reports to check" >&2
+    exit 1
+  fi
+  for report in $committed; do
+    "$validator" --require-obs "$ROOT/$report"
+  done
+  echo "ci: obs overhead within budget; committed reports carry obs"
 }
 
 case "$STAGE" in
@@ -138,8 +196,9 @@ case "$STAGE" in
   tidy)     run_tidy ;;
   lint)     run_lint ;;
   fault)    run_fault ;;
-  all)      run_release; run_sanitize; run_tsan; run_tidy; run_lint; run_fault ;;
-  *) echo "usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|fault|all]" >&2; exit 2 ;;
+  obs)      run_obs ;;
+  all)      run_release; run_sanitize; run_tsan; run_tidy; run_lint; run_fault; run_obs ;;
+  *) echo "usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|fault|obs|all]" >&2; exit 2 ;;
 esac
 
 log "OK ($STAGE)"

@@ -3,7 +3,7 @@
 //
 //   fault_runner --list
 //   fault_runner [--seed S] [--scenarios N] [--exchanges N] [--threads N]
-//                [--out FILE] <campaign|all>
+//                [--out FILE] [--telemetry FILE|-] <campaign|all>
 //
 // Campaigns drive the full stack (link budget, session retry/backoff,
 // rectifier transients with checkpoint restart, patch degradation)
@@ -23,6 +23,7 @@
 #include "src/fault/campaign.hpp"
 #include "src/obs/json.hpp"
 #include "src/obs/report.hpp"
+#include "src/obs/telemetry.hpp"
 #include "src/spice/engine.hpp"
 
 using namespace ironic;
@@ -91,7 +92,9 @@ int usage(int code) {
         "  --solver S     linear-solver backend for the embedded circuit\n"
         "                 solves; fingerprints are bit-identical per backend\n"
         "                 for any --threads value\n"
-        "  --out FILE     write the JSON results to FILE instead of stdout\n";
+        "  --out FILE     write the JSON results to FILE instead of stdout\n"
+        "  --telemetry F  stream JSONL telemetry events to F ('-' = stdout);\n"
+        "                 exits 2 when F cannot be opened\n";
   return code;
 }
 
@@ -100,6 +103,7 @@ int usage(int code) {
 int main(int argc, char** argv) {
   fault::CampaignConfig config;
   std::string out_path;
+  std::string telemetry_path;
   std::string name;
 
   for (int i = 1; i < argc; ++i) {
@@ -120,6 +124,8 @@ int main(int argc, char** argv) {
       config.threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--telemetry" && i + 1 < argc) {
+      telemetry_path = argv[++i];
     } else if (arg == "--solver" && i + 1 < argc) {
       ironic::linalg::SolverKind kind;
       if (!ironic::linalg::parse_solver_kind(argv[++i], kind)) {
@@ -145,6 +151,14 @@ int main(int argc, char** argv) {
   if (name != "all" && !fault::is_campaign(name)) {
     std::cerr << "fault_runner: unknown campaign '" << name << "' (try --list)\n";
     return EXIT_FAILURE;
+  }
+  if (!telemetry_path.empty() &&
+      !obs::TelemetrySink::instance().open(telemetry_path)) {
+    // Exit 2 matches the --out contract: "could not write the artifact"
+    // is distinct from a failed campaign.
+    std::cerr << "fault_runner: cannot open '" << telemetry_path
+              << "' for telemetry\n";
+    return 2;
   }
 
   std::vector<std::string> names;
@@ -204,5 +218,9 @@ int main(int argc, char** argv) {
     std::cerr << "fault_runner: " << e.what() << "\n";
     return EXIT_FAILURE;
   }
+  // Drain and close before the RunReport destructor snapshots the
+  // registry, so the obs.telemetry.* counters in the BENCH file are
+  // final (including the flush-on-exit).
+  obs::TelemetrySink::instance().close();
   return 0;
 }

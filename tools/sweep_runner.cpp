@@ -1,7 +1,8 @@
 // sweep_runner — run a named parameter sweep from the command line.
 //
 //   sweep_runner --list
-//   sweep_runner [--threads N] [--format table|csv|json] [--out FILE] <name>
+//   sweep_runner [--threads N] [--format table|csv|json] [--out FILE]
+//                [--telemetry FILE|-] <name>
 //
 // The named sweeps mirror the paper benches (power vs distance, the coil
 // design space, the tolerance Monte Carlo) but go through the declarative
@@ -22,6 +23,7 @@
 #include "src/magnetics/link.hpp"
 #include "src/obs/json.hpp"
 #include "src/obs/report.hpp"
+#include "src/obs/telemetry.hpp"
 #include "src/spice/engine.hpp"
 #include "src/util/table.hpp"
 
@@ -168,7 +170,9 @@ int usage(int code) {
         "  --format F    table (default), csv, or json\n"
         "  --solver S    linear-solver backend for every embedded circuit\n"
         "                solve: auto (default, size heuristic), dense, sparse\n"
-        "  --out FILE    write the result to FILE instead of stdout\n";
+        "  --out FILE    write the result to FILE instead of stdout\n"
+        "  --telemetry F stream JSONL telemetry events to F ('-' = stdout);\n"
+        "                exits 2 when F cannot be opened\n";
   return code;
 }
 
@@ -178,6 +182,7 @@ int main(int argc, char** argv) {
   std::size_t threads = 1;
   std::string format = "table";
   std::string out_path;
+  std::string telemetry_path;
   std::string name;
 
   for (int i = 1; i < argc; ++i) {
@@ -194,6 +199,8 @@ int main(int argc, char** argv) {
       format = argv[++i];
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--telemetry" && i + 1 < argc) {
+      telemetry_path = argv[++i];
     } else if (arg == "--solver" && i + 1 < argc) {
       ironic::linalg::SolverKind kind;
       if (!ironic::linalg::parse_solver_kind(argv[++i], kind)) {
@@ -227,6 +234,14 @@ int main(int argc, char** argv) {
   if (chosen == nullptr) {
     std::cerr << "sweep_runner: unknown sweep '" << name << "' (try --list)\n";
     return EXIT_FAILURE;
+  }
+  if (!telemetry_path.empty() &&
+      !obs::TelemetrySink::instance().open(telemetry_path)) {
+    // Exit 2 matches the --out contract: "could not write the artifact"
+    // is distinct from a failed sweep.
+    std::cerr << "sweep_runner: cannot open '" << telemetry_path
+              << "' for telemetry\n";
+    return 2;
   }
 
   obs::RunReport run_report("sweep_runner");
@@ -276,5 +291,8 @@ int main(int argc, char** argv) {
     std::cerr << "sweep_runner: " << e.what() << "\n";
     return EXIT_FAILURE;
   }
+  // Drain and close before the RunReport destructor snapshots the
+  // registry, so the obs.telemetry.* counters in the report are final.
+  obs::TelemetrySink::instance().close();
   return 0;
 }

@@ -1,0 +1,168 @@
+// telemetry_tail — filter and pretty-print a streaming JSONL telemetry
+// file produced by `fault_runner --telemetry` / `sweep_runner
+// --telemetry` (or any TelemetrySink output).
+//
+//   telemetry_tail [--stream S] [--event E] [--grep SUBSTR]
+//                  [--stats] [--raw] <file|->
+//
+// Each input line is one JSON object with at least {"ts_us", "stream",
+// "event"}. Default output is a human-oriented rendering:
+//
+//   [  1.234s] fault.session  rate_fallback   quality=0.42 rate_bps=50000
+//
+// --stream / --event select matching rows (exact match, repeatable
+// semantics: last flag wins), --grep keeps rows whose raw text contains
+// the substring, --raw echoes the matching JSON lines unchanged, and
+// --stats appends per-stream/event counts. A torn final line (the
+// producer was killed mid-write) is tolerated and counted, not fatal.
+// Exits 2 when the input cannot be opened, matching the runners'
+// unwritable-path contract; 1 on malformed flags.
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.hpp"
+
+using ironic::obs::json::Value;
+
+namespace {
+
+int usage(int code) {
+  std::ostream& os = code == 0 ? std::cout : std::cerr;
+  os << "usage: telemetry_tail [--stream S] [--event E] [--grep SUBSTR]\n"
+        "                      [--stats] [--raw] <file|->\n"
+        "  --stream S   only rows whose \"stream\" equals S\n"
+        "  --event E    only rows whose \"event\" equals E\n"
+        "  --grep T     only rows whose raw JSON contains T\n"
+        "  --raw        echo matching JSON lines instead of pretty text\n"
+        "  --stats      append per-stream/event row counts\n"
+        "  file         JSONL telemetry stream; '-' reads stdin\n";
+  return code;
+}
+
+// Render one parsed row as a fixed-width human line; unknown extra
+// fields ride along as key=value pairs in row order.
+std::string pretty(const Value& row) {
+  std::ostringstream os;
+  const double ts_s = row.contains("ts_us") ? row.at("ts_us").as_double() / 1e6
+                                            : 0.0;
+  os << '[' << std::setw(9) << std::fixed << std::setprecision(3) << ts_s
+     << "s] ";
+  const std::string stream =
+      row.contains("stream") ? row.at("stream").as_string() : "?";
+  const std::string event =
+      row.contains("event") ? row.at("event").as_string() : "?";
+  os << std::left << std::setw(14) << stream << ' ' << std::setw(16) << event;
+  for (const auto& [key, value] : row.as_object()) {
+    if (key == "ts_us" || key == "stream" || key == "event") continue;
+    os << ' ' << key << '=';
+    if (value.is_string()) {
+      os << value.as_string();
+    } else {
+      os << value.dump();
+    }
+  }
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string stream_filter;
+  std::string event_filter;
+  std::string grep;
+  bool stats = false;
+  bool raw = false;
+  std::string path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      return usage(0);
+    } else if (arg == "--stream" && i + 1 < argc) {
+      stream_filter = argv[++i];
+    } else if (arg == "--event" && i + 1 < argc) {
+      event_filter = argv[++i];
+    } else if (arg == "--grep" && i + 1 < argc) {
+      grep = argv[++i];
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--raw") {
+      raw = true;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::cerr << "telemetry_tail: unknown option '" << arg << "'\n";
+      return usage(1);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::cerr << "telemetry_tail: more than one input named\n";
+      return usage(1);
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "telemetry_tail: no input named\n";
+    return usage(1);
+  }
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (path != "-") {
+    file.open(path);
+    if (!file) {
+      std::cerr << "telemetry_tail: cannot open '" << path << "'\n";
+      return 2;
+    }
+    in = &file;
+  }
+
+  std::size_t matched = 0;
+  std::size_t total = 0;
+  std::size_t malformed = 0;
+  std::map<std::string, std::size_t> counts;  // "stream/event" -> rows
+  std::string line;
+  while (std::getline(*in, line)) {
+    if (line.empty()) continue;
+    ++total;
+    Value row;
+    try {
+      row = Value::parse(line);
+    } catch (const std::exception&) {
+      ++malformed;
+      continue;
+    }
+    if (!row.is_object()) {
+      ++malformed;
+      continue;
+    }
+    const std::string stream =
+        row.contains("stream") ? row.at("stream").as_string() : "?";
+    const std::string event =
+        row.contains("event") ? row.at("event").as_string() : "?";
+    if (!stream_filter.empty() && stream != stream_filter) continue;
+    if (!event_filter.empty() && event != event_filter) continue;
+    if (!grep.empty() && line.find(grep) == std::string::npos) continue;
+    ++matched;
+    ++counts[stream + "/" + event];
+    if (raw) {
+      std::cout << line << "\n";
+    } else {
+      std::cout << pretty(row) << "\n";
+    }
+  }
+
+  if (stats) {
+    std::cout << "---\n";
+    for (const auto& [key, n] : counts) {
+      std::cout << std::left << std::setw(32) << key << ' ' << n << "\n";
+    }
+    std::cout << "matched " << matched << " of " << total << " rows";
+    if (malformed > 0) std::cout << " (" << malformed << " malformed)";
+    std::cout << "\n";
+  }
+  return 0;
+}

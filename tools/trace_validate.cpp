@@ -2,11 +2,16 @@
 //   - Chrome trace_event JSON (object with "traceEvents")
 //   - BENCH_<name>.json run reports (schema ironic.run_report/1)
 //   - JSONL metric dumps (*.jsonl, one object per line)
-// Usage: trace_validate [--min-metrics N] [--min-events N]
+// Usage: trace_validate [--min-metrics N] [--min-events N] [--require-obs]
 //                       [--require <metric>]... <file>...
 // --require asserts that a named metric is present in every run report or
 // JSONL dump checked (repeatable) — CI uses it to pin the solver-layer
-// telemetry (spice.solver.*) to the artifacts the benches emit.
+// telemetry (spice.solver.*), the streaming-sink counters
+// (obs.telemetry.*), the profiler zone totals (prof.<zone>.*), and the
+// cohort aggregates (cohort.*) to the artifacts the benches emit.
+// --require-obs asserts that every run report checked was produced by a
+// binary with observability compiled in (obs_compiled_in == true) — the
+// gate that keeps obs-off stubs out of the committed BENCH_*.json files.
 // Exits 0 when every file parses and satisfies its structural checks —
 // the ctest smoke target runs this over a traced telemetry_session run.
 #include <cstdlib>
@@ -46,6 +51,8 @@ std::size_t validate_trace(const Value& root) {
     if (ph == "M") continue;  // metadata has no timestamp requirement
     if (ev.at("ts").as_double() < 0.0) throw std::runtime_error("negative ts");
     if (ph == "X") (void)ev.at("dur").as_double();
+    // Flow events must carry the pairing id.
+    if (ph == "s" || ph == "f") (void)ev.at("id").as_double();
     ++real_events;
   }
   return real_events;
@@ -63,7 +70,7 @@ void check_required(const std::set<std::string>& names,
 
 // Run report: identity fields plus a metrics array of {name, type, value}.
 // Returns the distinct metric names seen.
-std::set<std::string> validate_report(const Value& root) {
+std::set<std::string> validate_report(const Value& root, bool require_obs) {
   if (root.at("schema").as_string() != "ironic.run_report/1") {
     throw std::runtime_error("unknown report schema");
   }
@@ -71,6 +78,32 @@ std::set<std::string> validate_report(const Value& root) {
   (void)root.at("git_sha").as_string();
   if (root.at("wall_seconds").as_double() < 0.0) {
     throw std::runtime_error("negative wall_seconds");
+  }
+  if (require_obs) {
+    if (!root.contains("obs_compiled_in") ||
+        !root.at("obs_compiled_in").as_bool()) {
+      throw std::runtime_error(
+          "report was produced without obs compiled in (obs_compiled_in)");
+    }
+  }
+  // Profiler breakdown, when present: structural sanity per zone.
+  if (root.contains("profile")) {
+    for (const auto& zone : root.at("profile").as_array()) {
+      (void)zone.at("zone").as_string();
+      const double calls = zone.at("calls").as_double();
+      const double inclusive = zone.at("inclusive_ns").as_double();
+      const double exclusive = zone.at("exclusive_ns").as_double();
+      if (calls < 1.0) {
+        throw std::runtime_error("profile zone '" +
+                                 zone.at("zone").as_string() +
+                                 "' reported with zero calls");
+      }
+      if (exclusive > inclusive + 0.5) {
+        throw std::runtime_error("profile zone '" +
+                                 zone.at("zone").as_string() +
+                                 "' exclusive time exceeds inclusive");
+      }
+    }
   }
   std::set<std::string> names;
   for (const auto& m : root.at("metrics").as_array()) {
@@ -109,6 +142,7 @@ std::pair<std::size_t, std::set<std::string>> validate_jsonl(const std::string& 
 int main(int argc, char** argv) {
   std::size_t min_metrics = 1;
   std::size_t min_events = 1;
+  bool require_obs = false;
   std::vector<std::string> required;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
@@ -119,13 +153,15 @@ int main(int argc, char** argv) {
       min_events = static_cast<std::size_t>(std::atol(argv[++i]));
     } else if (arg == "--require" && i + 1 < argc) {
       required.emplace_back(argv[++i]);
+    } else if (arg == "--require-obs") {
+      require_obs = true;
     } else {
       files.push_back(arg);
     }
   }
   if (files.empty()) {
     std::cerr << "usage: trace_validate [--min-metrics N] [--min-events N] "
-                 "[--require <metric>]... <file>...\n";
+                 "[--require-obs] [--require <metric>]... <file>...\n";
     return 2;
   }
 
@@ -149,7 +185,7 @@ int main(int argc, char** argv) {
         }
         std::cout << path << ": OK (" << events << " trace events)\n";
       } else {
-        const auto names = validate_report(root);
+        const auto names = validate_report(root, require_obs);
         if (names.size() < min_metrics) {
           throw std::runtime_error("only " + std::to_string(names.size()) +
                                    " distinct metrics (need " +
