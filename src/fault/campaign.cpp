@@ -11,12 +11,14 @@
 #include "src/exec/thread_pool.hpp"
 #include "src/fault/injector.hpp"
 #include "src/fault/session.hpp"
+#include "src/fault/validate.hpp"
 #include "src/magnetics/link.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/telemetry.hpp"
 #include "src/patch/scheduler.hpp"
 #include "src/pm/rectifier.hpp"
 #include "src/pm/regulator.hpp"
+#include "src/spice/analysis/analysis.hpp"
 #include "src/spice/circuit.hpp"
 #include "src/spice/devices_passive.hpp"
 #include "src/spice/devices_sources.hpp"
@@ -70,6 +72,7 @@ std::uint64_t fingerprint_scenarios(const std::vector<ScenarioResult>& scenarios
 // --- shared plant pieces ----------------------------------------------------
 
 constexpr double kNominalRate = 100e3;  // paper's ASK downlink [bit/s]
+constexpr double kCadence = 0.25;       // [s] between measurement commands
 constexpr double kLoadOhms = 150.0;     // rectifier input impedance scale
 constexpr double kNominalDrive = 3.5;   // rectifier input amplitude [V]
 
@@ -129,6 +132,10 @@ struct RectifierPlant {
   double segment_length = 10e-6;
   int restarts = 0;
   int checkpoints = 0;
+  // When set, the static-analysis passes run over each fresh segment
+  // circuit and install the solver/dt hints before the transient.
+  bool analysis_hints = false;
+  spice::analysis::AnalysisManager analyzer;
 
   static std::unique_ptr<spice::Circuit> build(double amplitude) {
     auto ckt = std::make_unique<spice::Circuit>();
@@ -151,6 +158,7 @@ struct RectifierPlant {
     // A fresh circuit every segment: resume must carry ALL state through
     // the checkpoint blob, never through device object identity.
     auto ckt = build(amplitude);
+    if (analysis_hints) analyzer.apply_hints(*ckt);
     spice::TransientOptions opts;
     const double t0 = committed.valid() ? committed.time : 0.0;
     opts.t_stop = t0 + length;
@@ -230,6 +238,7 @@ ScenarioResult run_link_scenario(const CampaignConfig& config, int index,
   LinkBudget budget;
   const double sensitivity = budget.p_nominal / 8.0;  // snr 8 when nominal
   RectifierPlant plant;
+  plant.analysis_hints = config.analysis_hints;
   const pm::LdoModel ldo;
 
   const auto make_factory = [&](LinkDirection direction) -> ChannelFactory {
@@ -284,7 +293,6 @@ ScenarioResult run_link_scenario(const CampaignConfig& config, int index,
     latency = &scoped.histogram("fault.scenario.exchange_latency_s");
   }
 
-  const double cadence = 0.25;  // [s] between measurement commands
   for (int i = 0; i < config.exchanges; ++i) {
     const auto outcome = session.exchange(comms::Command::kMeasure);
     ++result.exchanges;
@@ -296,7 +304,7 @@ ScenarioResult run_link_scenario(const CampaignConfig& config, int index,
     } else {
       ++result.lost;
     }
-    clock.advance(cadence);
+    clock.advance(kCadence);
   }
 
   const auto& stats = session.stats();
@@ -329,8 +337,7 @@ ScenarioResult run_link_scenario(const CampaignConfig& config, int index,
 // backoff ride out the burst, the rate ladder buys back the link after
 // the coupling drop, checkpoint restarts absorb the drive changes, and
 // no measurement is lost.
-ScenarioResult run_ask_burst_scenario(const CampaignConfig& config, int index,
-                                      obs::MetricsRegistry& scoped) {
+FaultSchedule make_ask_burst_schedule(int index) {
   FaultSchedule schedule;
   schedule.add({FaultKind::kBurstError, 0.35, 0.8,
                 static_cast<double>(10 + 2 * index), LinkDirection::kDownlink});
@@ -338,6 +345,12 @@ ScenarioResult run_ask_burst_scenario(const CampaignConfig& config, int index,
   schedule.add({FaultKind::kLdoDropout, 1.0, 0.3, 0.5, LinkDirection::kBoth});
   schedule.add({FaultKind::kCouplingStep, 1.3, -1.0, 17e-3, LinkDirection::kBoth});
   schedule.add({FaultKind::kTissueDrift, 1.3, -1.0, 17e-3, LinkDirection::kBoth});
+  return schedule;
+}
+
+ScenarioResult run_ask_burst_scenario(const CampaignConfig& config, int index,
+                                      obs::MetricsRegistry& scoped) {
+  const FaultSchedule schedule = make_ask_burst_schedule(index);
 
   SessionOptions options;
   options.max_attempts = 20;
@@ -350,12 +363,16 @@ ScenarioResult run_ask_burst_scenario(const CampaignConfig& config, int index,
 // Stochastic soak: every fault kind drawn from a seeded schedule, the
 // behavioural front end, and a tighter retry budget — partial recovery
 // is allowed and the campaign reports the achieved rate.
-ScenarioResult run_stochastic_scenario(const CampaignConfig& config, int index,
-                                       obs::MetricsRegistry& scoped) {
+FaultSchedule make_stochastic_schedule(const CampaignConfig& config, int index) {
   util::Rng schedule_rng = util::Rng::stream(config.seed, 1000u + index);
   StochasticScheduleConfig stochastic;
   stochastic.horizon = 0.25 * config.exchanges + 1.0;
-  const FaultSchedule schedule = FaultSchedule::stochastic(schedule_rng, stochastic);
+  return FaultSchedule::stochastic(schedule_rng, stochastic);
+}
+
+ScenarioResult run_stochastic_scenario(const CampaignConfig& config, int index,
+                                       obs::MetricsRegistry& scoped) {
+  const FaultSchedule schedule = make_stochastic_schedule(config, index);
 
   SessionOptions options;
   options.max_attempts = 10;
@@ -367,8 +384,8 @@ ScenarioResult run_stochastic_scenario(const CampaignConfig& config, int index,
 // Brownouts against the degradation ladder: injected charge dips strike
 // a degrading mission; the ladder sheds bluetooth, then cadence, then
 // everything, and the scenario records what survived.
-ScenarioResult run_brownout_scenario(const CampaignConfig& config, int index,
-                                     obs::MetricsRegistry& scoped) {
+patch::DegradedMissionOptions make_brownout_options(const CampaignConfig& config,
+                                                    int index) {
   util::Rng rng = util::Rng::stream(config.seed, 2000u + index);
   patch::DegradedMissionOptions options;
   options.plan.connect_time = 20.0;
@@ -379,6 +396,12 @@ ScenarioResult run_brownout_scenario(const CampaignConfig& config, int index,
     options.brownouts.push_back(
         {rng.uniform(600.0, 0.6 * options.horizon), rng.uniform(0.05, 0.20)});
   }
+  return options;
+}
+
+ScenarioResult run_brownout_scenario(const CampaignConfig& config, int index,
+                                     obs::MetricsRegistry& scoped) {
+  const patch::DegradedMissionOptions options = make_brownout_options(config, index);
   patch::BatterySpec battery;
   battery.capacity_mah = 100.0;
 
@@ -405,18 +428,74 @@ ScenarioResult run_brownout_scenario(const CampaignConfig& config, int index,
   return result;
 }
 
+// --- static plan validation -------------------------------------------------
+
+std::string plan_label(const CampaignConfig& config, int index) {
+  return config.name + " scenario " + std::to_string(index);
+}
+
+// Peak |node voltage| of the shared rectifier plant at nominal drive,
+// from the static interval-envelope pass. Computed once per process:
+// the plant topology is fixed, and reachability is anchored at the
+// nominal operating point.
+double plant_envelope_vmax() {
+  static const double vmax = [] {
+    const auto ckt = RectifierPlant::build(kNominalDrive);
+    const auto report = spice::analysis::analyze(*ckt);
+    double peak = 0.0;
+    for (const auto& node : report.envelope.nodes) {
+      if (std::isfinite(node.lo)) peak = std::max(peak, std::abs(node.lo));
+      if (std::isfinite(node.hi)) peak = std::max(peak, std::abs(node.hi));
+    }
+    return peak;
+  }();
+  return vmax;
+}
+
+void validate_ask_burst_plan(const CampaignConfig& config, int index) {
+  PlanContext context;
+  context.horizon = kCadence * config.exchanges;
+  context.envelope_vmax = plant_envelope_vmax();
+  // An overvoltage only matters if the scaled drive can push the rail
+  // past the LDO's input floor.
+  context.overvoltage_limit = pm::LdoSpec{}.min_input_voltage();
+  require_valid_schedule(make_ask_burst_schedule(index), context,
+                         plan_label(config, index));
+}
+
+void validate_stochastic_plan(const CampaignConfig& config, int index) {
+  PlanContext context;
+  context.horizon = kCadence * config.exchanges + 1.0;  // generator horizon
+  require_valid_schedule(make_stochastic_schedule(config, index), context,
+                         plan_label(config, index));
+}
+
+void validate_brownout_plan(const CampaignConfig& config, int index) {
+  const auto options = make_brownout_options(config, index);
+  FaultSchedule schedule;
+  for (const auto& dip : options.brownouts) {
+    schedule.add({FaultKind::kBrownout, dip.time, 0.0, dip.fraction,
+                  LinkDirection::kBoth});
+  }
+  PlanContext context;
+  context.horizon = options.horizon;
+  require_valid_schedule(schedule, context, plan_label(config, index));
+}
+
 using ScenarioRunner = ScenarioResult (*)(const CampaignConfig&, int,
                                           obs::MetricsRegistry&);
+using PlanValidator = void (*)(const CampaignConfig&, int);
 
 struct NamedCampaign {
   const char* name;
   ScenarioRunner run;
+  PlanValidator validate;
 };
 
 constexpr NamedCampaign kCampaigns[] = {
-    {"ask_burst_coupling_drop", run_ask_burst_scenario},
-    {"stochastic_soak", run_stochastic_scenario},
-    {"brownout_shedding", run_brownout_scenario},
+    {"ask_burst_coupling_drop", run_ask_burst_scenario, validate_ask_burst_plan},
+    {"stochastic_soak", run_stochastic_scenario, validate_stochastic_plan},
+    {"brownout_shedding", run_brownout_scenario, validate_brownout_plan},
 };
 
 }  // namespace
@@ -445,6 +524,11 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   if (chosen == nullptr) {
     throw std::invalid_argument("run_campaign: unknown campaign '" + config.name + "'");
   }
+
+  // Static pre-validation: every scenario's fault plan is checked against
+  // the run horizon, magnitude domains, and envelope reachability before
+  // any scenario executes (throws std::invalid_argument on a bad plan).
+  for (int j = 0; j < config.scenarios; ++j) chosen->validate(config, j);
 
   CampaignResult result;
   result.name = config.name;

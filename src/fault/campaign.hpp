@@ -26,6 +26,11 @@ struct CampaignConfig {
   int scenarios = 3;
   int exchanges = 10;      // measurements attempted per scenario
   std::size_t threads = 1; // scenario-level parallelism (1 = serial)
+  // Run the static-analysis passes over each rectifier-plant circuit and
+  // install the solver/dt hints before the transient segments. Must not
+  // change the fingerprint (the hints agree with the engine's own
+  // choices; the ctest gate pins this).
+  bool analysis_hints = false;
 };
 
 struct ScenarioResult {
@@ -79,7 +84,12 @@ std::vector<std::string> campaign_names();
 bool is_campaign(const std::string& name);
 
 // Run the named campaign. Throws std::invalid_argument on an unknown
-// name or non-positive scenario/exchange counts.
+// name, non-positive scenario/exchange counts, or a fault plan that
+// fails static pre-validation (see validate.hpp): every scenario's
+// schedule is checked against the run horizon, the per-kind magnitude
+// domains, and — for the spice-plant campaign — the overvoltage
+// reachability of the plant's static operating envelope, before any
+// scenario executes.
 CampaignResult run_campaign(const CampaignConfig& config);
 
 }  // namespace ironic::fault

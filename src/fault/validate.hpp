@@ -1,0 +1,63 @@
+// Static pre-validation of fault-campaign plans (DESIGN.md §13).
+//
+// A FaultSchedule is data, so a bad plan — an overvoltage scale the
+// plant's operating envelope can never realise, a dip landing after the
+// scenario ends, a magnitude outside its kind's physical domain — is
+// detectable before any transient runs. run_campaign() validates every
+// scenario's schedule up front and rejects the whole campaign with the
+// issue list, so fault_runner fails at load instead of soaking for
+// minutes and silently injecting nothing.
+//
+// Issue codes (stable ids, mirroring the spice diagnostic catalog):
+//   plan.bad-window               start/duration not a usable time window
+//   plan.after-horizon            event starts at or past the run horizon
+//   plan.bad-magnitude            magnitude outside the FaultKind's domain
+//   plan.overvoltage-unreachable  scale * envelope peak never clears the
+//                                 rail limit, so the fault cannot bite
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/fault/schedule.hpp"
+
+namespace ironic::fault {
+
+// Static facts about the run a schedule will be injected into. Zero
+// disables the corresponding check (a context-free validation still
+// enforces windows and magnitude domains).
+struct PlanContext {
+  // Scenario length on the SimClock [s]; events must start inside it.
+  double horizon = 0.0;
+  // Peak |node voltage| from the plant's static operating envelope [V]
+  // (spice::analysis interval pass at nominal drive).
+  double envelope_vmax = 0.0;
+  // Rail level an overvoltage-scaled drive must be able to exceed for
+  // the fault to be observable [V] (e.g. the LDO input floor).
+  double overvoltage_limit = 0.0;
+};
+
+struct PlanIssue {
+  std::string code;       // stable id from the catalog above
+  std::size_t event = 0;  // index into FaultSchedule::events()
+  std::string message;
+};
+
+struct PlanReport {
+  std::vector<PlanIssue> issues;
+  bool ok() const { return issues.empty(); }
+  std::string to_text() const;
+};
+
+PlanReport validate_schedule(const FaultSchedule& schedule,
+                             const PlanContext& context = {});
+
+// Throws std::invalid_argument carrying the report text when the
+// schedule has any issue. `label` names the campaign/scenario in the
+// message.
+void require_valid_schedule(const FaultSchedule& schedule,
+                            const PlanContext& context = {},
+                            const std::string& label = "schedule");
+
+}  // namespace ironic::fault

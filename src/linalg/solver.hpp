@@ -99,6 +99,11 @@ using ComplexLinearSolver = LinearSolverT<Complex>;
 
 // kAuto resolution threshold: systems with n >= this many unknowns go to
 // the sparse backend (MNA matrices at that size are a few % dense).
+// This is the *fallback* for circuits nobody has analyzed: the static
+// sparsity pass (src/spice/analysis) predicts the actual fill and flop
+// count and installs a cost-model-driven hint via Circuit::set_solver_hint,
+// which refines kAuto before this threshold is consulted (see
+// src/linalg/costmodel.hpp).
 constexpr std::size_t kSparseAutoThreshold = 32;
 
 // Resolve kAuto by system size; kDense/kSparse pass through.

@@ -19,7 +19,9 @@ namespace ironic::obs {
 namespace {
 
 std::string env_or(const char* name, const std::string& fallback) {
-  const char* v = std::getenv(name);
+  // Read once, in the RunReport constructor at the top of main(), before
+  // any worker threads exist — nothing mutates the environment after.
+  const char* v = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
   return v != nullptr && *v != '\0' ? std::string(v) : fallback;
 }
 

@@ -1,0 +1,262 @@
+#include "src/spice/analysis/analysis.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "src/obs/json.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/profiler.hpp"
+#include "src/spice/analysis/passes.hpp"
+
+namespace ironic::spice::analysis {
+namespace {
+
+using detail::Entry;
+
+struct AnalysisMetrics {
+  obs::Counter& runs;
+  obs::Counter& cache_hits;
+  obs::Counter& hints_applied;
+  obs::Counter& lint_ns;
+  obs::Counter& envelope_ns;
+  obs::Counter& sparsity_ns;
+  obs::Counter& timescale_ns;
+  obs::Gauge& last_unknowns;
+  obs::Gauge& last_factor_nnz;
+  obs::Gauge& last_dt_recommend;
+
+  static AnalysisMetrics& get() {
+    static AnalysisMetrics m = [] {
+      auto& r = obs::MetricsRegistry::instance();
+      return AnalysisMetrics{
+          r.counter("spice.analysis.runs"),
+          r.counter("spice.analysis.cache_hits"),
+          r.counter("spice.analysis.hints_applied"),
+          r.counter("spice.analysis.lint_ns"),
+          r.counter("spice.analysis.envelope_ns"),
+          r.counter("spice.analysis.sparsity_ns"),
+          r.counter("spice.analysis.timescale_ns"),
+          r.gauge("spice.analysis.last_unknowns"),
+          r.gauge("spice.analysis.last_factor_nnz"),
+          r.gauge("spice.analysis.last_dt_recommend"),
+      };
+    }();
+    return m;
+  }
+};
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// JSON helper: finite -> number, non-finite -> null (JSON has no inf).
+obs::json::Value json_number(double v) {
+  using obs::json::Value;
+  return std::isfinite(v) ? Value(v) : Value(nullptr);
+}
+
+obs::json::Value diagnostics_json(const std::vector<Diagnostic>& diagnostics) {
+  using obs::json::Value;
+  Value::Array items;
+  for (const auto& d : diagnostics) {
+    Value::Object o;
+    o["severity"] = severity_name(d.severity);
+    o["rule"] = d.rule_id;
+    if (!d.device.empty()) o["device"] = d.device;
+    if (!d.node.empty()) o["node"] = d.node;
+    o["message"] = d.message;
+    items.emplace_back(std::move(o));
+  }
+  return Value(std::move(items));
+}
+
+}  // namespace
+
+std::size_t AnalysisReport::errors() const {
+  return lint.errors() +
+         static_cast<std::size_t>(std::count_if(
+             diagnostics.begin(), diagnostics.end(),
+             [](const Diagnostic& d) { return d.severity == Severity::kError; }));
+}
+
+std::size_t AnalysisReport::warnings() const {
+  return lint.warnings() +
+         static_cast<std::size_t>(std::count_if(
+             diagnostics.begin(), diagnostics.end(),
+             [](const Diagnostic& d) { return d.severity == Severity::kWarning; }));
+}
+
+std::string AnalysisReport::to_text() const {
+  std::ostringstream os;
+  os << "analysis: " << sparsity.unknowns << " unknowns, "
+     << sparsity.prediction.pattern_nnz << " nnz, predicted factor nnz "
+     << sparsity.prediction.factor_nnz << "\n";
+  os << "solver choice: " << sparsity.choice() << " (dense cost "
+     << sparsity.cost.dense_cost << ", sparse cost " << sparsity.cost.sparse_cost
+     << (sparsity.prediction.singular ? ", prediction singular" : "") << ")\n";
+  if (timescale.dt_recommend > 0.0) {
+    os << "dt recommendation: " << timescale.dt_recommend << " s";
+    if (timescale.tau_min > 0.0) {
+      os << " (tau " << timescale.tau_min << " .. " << timescale.tau_max << " s)";
+    }
+    os << "\n";
+  }
+  os << "node envelopes:\n";
+  for (const auto& n : envelope.nodes) {
+    os << "  " << n.node << ": [" << n.lo << ", " << n.hi << "]"
+       << (n.anchored ? " anchored" : "") << "\n";
+  }
+  for (const auto& d : lint.diagnostics) os << d.to_string() << "\n";
+  for (const auto& d : diagnostics) os << d.to_string() << "\n";
+  os << errors() << " error(s), " << warnings() << " warning(s)\n";
+  return os.str();
+}
+
+std::string AnalysisReport::to_json() const {
+  using obs::json::Value;
+  Value::Object root;
+  root["unknowns"] = static_cast<std::uint64_t>(sparsity.unknowns);
+
+  Value::Array nodes;
+  for (const auto& n : envelope.nodes) {
+    Value::Object o;
+    o["node"] = n.node;
+    o["lo"] = json_number(n.lo);
+    o["hi"] = json_number(n.hi);
+    o["anchored"] = n.anchored;
+    nodes.emplace_back(std::move(o));
+  }
+  Value::Array currents;
+  for (const auto& c : envelope.currents) {
+    Value::Object o;
+    o["device"] = c.device;
+    o["bounded"] = c.bounded;
+    if (c.bounded) o["max_abs_current"] = json_number(c.max_abs_current);
+    currents.emplace_back(std::move(o));
+  }
+  Value::Object env;
+  env["nodes"] = std::move(nodes);
+  env["currents"] = std::move(currents);
+  root["envelope"] = std::move(env);
+
+  Value::Object sp;
+  sp["pattern_nnz"] = static_cast<std::uint64_t>(sparsity.prediction.pattern_nnz);
+  sp["factor_nnz"] = static_cast<std::uint64_t>(sparsity.prediction.factor_nnz);
+  sp["factor_flops"] = sparsity.prediction.factor_flops;
+  sp["solve_flops"] = sparsity.prediction.solve_flops;
+  sp["singular"] = sparsity.prediction.singular;
+  sp["dense_cost"] = sparsity.cost.dense_cost;
+  sp["sparse_cost"] = sparsity.cost.sparse_cost;
+  sp["solver_choice"] = sparsity.choice();
+  root["sparsity"] = std::move(sp);
+
+  Value::Object ts;
+  ts["tau_min"] = timescale.tau_min;
+  ts["tau_max"] = timescale.tau_max;
+  ts["t_osc_min"] = timescale.t_osc_min;
+  ts["t_stim_min"] = timescale.t_stim_min;
+  ts["t_breakpoint_min"] = timescale.t_breakpoint_min;
+  ts["stiffness_ratio"] = timescale.stiffness_ratio;
+  ts["dt_recommend"] = timescale.dt_recommend;
+  root["timescale"] = std::move(ts);
+
+  Value::Array passes;
+  for (const auto& t : timings) {
+    Value::Object o;
+    o["pass"] = t.pass;
+    o["ns"] = static_cast<std::uint64_t>(t.ns);
+    o["cached"] = t.cached;
+    passes.emplace_back(std::move(o));
+  }
+  root["passes"] = std::move(passes);
+
+  root["lint"] = Value::parse(lint.to_json());
+  root["diagnostics"] = diagnostics_json(diagnostics);
+  root["errors"] = static_cast<std::uint64_t>(errors());
+  root["warnings"] = static_cast<std::uint64_t>(warnings());
+  return Value(std::move(root)).dump(2);
+}
+
+const AnalysisReport& AnalysisManager::run(Circuit& circuit) {
+  if (valid_ && circuit_ == &circuit && revision_ == circuit.revision()) {
+    if constexpr (obs::kEnabled) AnalysisMetrics::get().cache_hits.add();
+    for (auto& t : report_.timings) t.cached = true;
+    return report_;
+  }
+  PROF_ZONE("spice.analysis");
+  report_ = AnalysisReport{};
+
+  std::vector<Entry> entries;
+  entries.reserve(circuit.devices().size());
+  for (const auto& dev : circuit.devices()) {
+    entries.push_back(Entry{dev.get(), dev->info()});
+  }
+
+  const auto timed = [this](const char* pass, obs::Counter& sink, auto&& body) {
+    const std::uint64_t t0 = now_ns();
+    body();
+    const std::uint64_t ns = now_ns() - t0;
+    report_.timings.push_back(PassTiming{pass, ns, false});
+    if constexpr (obs::kEnabled) sink.add(ns);
+  };
+
+  auto& m = AnalysisMetrics::get();
+  timed("lint", m.lint_ns, [&] {
+    LintOptions lint_options;
+    lint_options.dc_context = options_.dc_context;
+    report_.lint = lint(circuit, lint_options);
+  });
+  timed("envelope", m.envelope_ns, [&] {
+    report_.envelope = detail::run_envelope(circuit, entries, report_.diagnostics);
+  });
+  timed("sparsity", m.sparsity_ns,
+        [&] { report_.sparsity = detail::run_sparsity(circuit); });
+  timed("timescale", m.timescale_ns, [&] {
+    report_.timescale =
+        detail::run_timescale(circuit, entries, report_.envelope,
+                              options_.transient_horizon, report_.diagnostics);
+  });
+
+  if constexpr (obs::kEnabled) {
+    m.runs.add();
+    m.last_unknowns.set(static_cast<double>(report_.sparsity.unknowns));
+    m.last_factor_nnz.set(static_cast<double>(report_.sparsity.prediction.factor_nnz));
+    m.last_dt_recommend.set(report_.timescale.dt_recommend);
+  }
+
+  circuit_ = &circuit;
+  revision_ = circuit.revision();
+  valid_ = true;
+  return report_;
+}
+
+const AnalysisReport& AnalysisManager::apply_hints(Circuit& circuit) {
+  const AnalysisReport& report = run(circuit);
+  analysis::apply_hints(circuit, report);
+  return report;
+}
+
+AnalysisReport analyze(Circuit& circuit, const AnalysisOptions& options) {
+  AnalysisManager manager(options);
+  return manager.run(circuit);
+}
+
+void apply_hints(Circuit& circuit, const AnalysisReport& report) {
+  // A singular prediction means the replayed factorization never
+  // finished; leave the backend choice to the engine's escalation path.
+  if (report.sparsity.unknowns > 0 && !report.sparsity.prediction.singular) {
+    circuit.set_solver_hint(report.sparsity.cost.recommendation);
+  }
+  if (report.timescale.dt_recommend > 0.0) {
+    circuit.set_dt_hint(report.timescale.dt_recommend);
+  }
+  if constexpr (obs::kEnabled) AnalysisMetrics::get().hints_applied.add();
+}
+
+}  // namespace ironic::spice::analysis

@@ -1,0 +1,159 @@
+// Netlist static-analysis framework (DESIGN.md §13).
+//
+// `AnalysisManager` runs an ordered sequence of passes over a Circuit's
+// reflection data (Device::info) and the MNA stamp stream, without ever
+// solving the system:
+//
+//   lint       the existing rule-based linter (src/spice/lint.hpp)
+//   envelope   interval operating-envelope analysis: propagate source
+//              value ranges through the DC-conductivity graph with
+//              interval arithmetic, bounding worst-case node voltages
+//              and branch currents
+//   sparsity   symbolic fill prediction: replay the sparse backend's
+//              pattern merge and left-looking LU on the captured stamp
+//              stream (src/linalg/costmodel.hpp), predicting factor nnz
+//              and flop count, then pick dense vs sparse from the cost
+//              model instead of the bare kSparseAutoThreshold cutoff
+//   timescale  RC / L-over-R time constants, LC periods, and stimulus
+//              breakpoint density, distilled into an initial/max-dt
+//              recommendation and a stiffness warning
+//
+// Results are cached per (circuit, topology revision) — re-running on an
+// unchanged netlist is a pointer-and-counter compare. `apply_hints`
+// installs the solver recommendation (Circuit::set_solver_hint) and the
+// dt recommendation (Circuit::set_dt_hint); the engine honors them only
+// where the caller left the corresponding option at auto, so hints can
+// never override an explicit request.
+//
+// Diagnostic catalog (extends the lint.* set, same Diagnostic type):
+//   analysis.overvoltage-risk   worst-case reverse voltage across a rated
+//                               junction exceeds its rating     (warning)
+//   analysis.envelope-unbounded a node's static envelope is unbounded or
+//                               implausibly wide                (warning)
+//   analysis.stiff              time-constant spread exceeds 1e6 (info)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/linalg/costmodel.hpp"
+#include "src/spice/circuit.hpp"
+#include "src/spice/lint.hpp"
+
+namespace ironic::spice::analysis {
+
+struct AnalysisOptions {
+  // Lint in DC-operating-point context (inductor loops and current
+  // cutsets escalate to errors); forwarded to the embedded lint pass.
+  bool dc_context = false;
+  // Window scanned for stimulus breakpoints by the timescale pass.
+  double transient_horizon = 1e-3;
+};
+
+// Worst-case static voltage band of one node. `anchored` nodes are tied
+// to ground through a chain of rigid (ideal-voltage) branches, so the
+// band is exact source arithmetic; unanchored nodes carry a conservative
+// max-principle bound over their DC-conducting component.
+struct NodeEnvelope {
+  std::string node;
+  double lo = 0.0;
+  double hi = 0.0;
+  bool anchored = false;
+};
+
+// Conservative worst-case current magnitude through one device (the
+// larger winding/branch for multi-branch devices). `bounded` is false
+// when the envelope gives no finite bound (e.g. an exponential junction
+// across an unbounded voltage band).
+struct DeviceCurrentBound {
+  std::string device;
+  double max_abs_current = 0.0;
+  bool bounded = false;
+};
+
+struct EnvelopeResult {
+  std::vector<NodeEnvelope> nodes;  // circuit node-id order
+  std::vector<DeviceCurrentBound> currents;  // device registration order
+};
+
+struct SparsityResult {
+  std::size_t unknowns = 0;
+  linalg::FactorPrediction prediction;
+  linalg::SolverCostModel cost;
+  // "dense" or "sparse" — the cost model's recommendation.
+  const char* choice() const {
+    return cost.recommendation == linalg::SolverKind::kSparse ? "sparse" : "dense";
+  }
+};
+
+// All timescale fields use 0 for "no such term found".
+struct TimescaleResult {
+  double tau_min = 0.0;          // smallest RC / L-over-R time constant
+  double tau_max = 0.0;
+  double t_osc_min = 0.0;        // smallest LC period 2*pi*sqrt(LC)
+  double t_stim_min = 0.0;       // smallest intrinsic stimulus timescale
+  double t_breakpoint_min = 0.0; // smallest gap between source breakpoints
+  double stiffness_ratio = 0.0;  // tau_max / tau_min
+  double dt_recommend = 0.0;     // recommended max transient step
+};
+
+struct PassTiming {
+  std::string pass;
+  std::uint64_t ns = 0;
+  bool cached = false;  // result served from the manager's cache
+};
+
+struct AnalysisReport {
+  LintReport lint;
+  EnvelopeResult envelope;
+  SparsityResult sparsity;
+  TimescaleResult timescale;
+  // analysis.* diagnostics (the lint.* ones live in `lint`).
+  std::vector<Diagnostic> diagnostics;
+  std::vector<PassTiming> timings;
+
+  // Combined severity counts across lint.* and analysis.* diagnostics.
+  std::size_t errors() const;
+  std::size_t warnings() const;
+  bool ok() const { return errors() == 0; }
+  bool clean() const { return lint.clean() && diagnostics.empty(); }
+
+  // Multi-line human-readable summary (always non-empty).
+  std::string to_text() const;
+  // Machine-readable report: envelope bands, predicted fill + costs, dt
+  // recommendation, pass timings, and both diagnostic sets.
+  std::string to_json() const;
+};
+
+class AnalysisManager {
+ public:
+  explicit AnalysisManager(AnalysisOptions options = {}) : options_(options) {}
+
+  // Run every pass (or serve the cached report when the circuit and its
+  // topology revision are unchanged). Finalizes the circuit; stamps
+  // devices once but leaves no lasting device state (the engines reset
+  // per-point state on entry).
+  const AnalysisReport& run(Circuit& circuit);
+
+  // run() + install the solver/dt hints on the circuit. The solver hint
+  // is withheld when the symbolic factorization predicts a singular
+  // matrix (the engine's escalation path should keep its own choice).
+  const AnalysisReport& apply_hints(Circuit& circuit);
+
+  void invalidate() { valid_ = false; }
+
+ private:
+  AnalysisOptions options_;
+  const Circuit* circuit_ = nullptr;
+  std::uint64_t revision_ = 0;
+  bool valid_ = false;
+  AnalysisReport report_;
+};
+
+// One-shot conveniences over a throwaway manager.
+AnalysisReport analyze(Circuit& circuit, const AnalysisOptions& options = {});
+void apply_hints(Circuit& circuit, const AnalysisReport& report);
+
+}  // namespace ironic::spice::analysis

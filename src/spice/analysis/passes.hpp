@@ -1,0 +1,85 @@
+// Internal pass entry points and shared helpers for the static-analysis
+// framework. Not installed as public API — include analysis.hpp instead.
+#pragma once
+
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "src/spice/analysis/analysis.hpp"
+#include "src/spice/device.hpp"
+
+namespace ironic::spice::analysis::detail {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Closed interval [lo, hi]; lo may be -inf, hi may be +inf, lo <= hi.
+// The bound shapes guarantee additions below never pair +inf with -inf,
+// so no NaN can appear (see envelope.cpp).
+struct Interval {
+  double lo = -kInf;
+  double hi = kInf;
+
+  bool finite() const { return lo > -kInf && hi < kInf; }
+  double width() const { return hi - lo; }
+};
+
+inline Interval iv_add(Interval a, Interval b) { return {a.lo + b.lo, a.hi + b.hi}; }
+inline Interval iv_sub(Interval a, Interval b) { return {a.lo - b.hi, a.hi - b.lo}; }
+inline Interval iv_scale(double k, Interval a) {
+  if (k == 0.0) return {0.0, 0.0};  // 0 * inf would be NaN
+  if (k > 0.0) return {k * a.lo, k * a.hi};
+  return {k * a.hi, k * a.lo};
+}
+// Largest magnitude in the interval; +inf when unbounded.
+inline double iv_max_abs(Interval a) {
+  const double lo = a.lo < 0.0 ? -a.lo : a.lo;
+  const double hi = a.hi < 0.0 ? -a.hi : a.hi;
+  return lo > hi ? lo : hi;
+}
+
+// Union-find over node slots (ground mapped to the extra slot n), the
+// same component semantics the linter uses for DC connectivity.
+struct Dsu {
+  std::vector<int> parent;
+  explicit Dsu(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  int find(int a) {
+    while (parent[static_cast<std::size_t>(a)] != a) {
+      parent[static_cast<std::size_t>(a)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(a)])];
+      a = parent[static_cast<std::size_t>(a)];
+    }
+    return a;
+  }
+  void unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[static_cast<std::size_t>(a)] = b;
+  }
+};
+
+// Reflection snapshot, taken once per analysis run and shared by passes.
+struct Entry {
+  const Device* device = nullptr;
+  DeviceInfo info;
+};
+
+// Unite the slots of `e`'s DC-conducting terminal groups (dc_groups, or
+// all kConducting terminals when empty) plus its rigid-to-ground pins.
+void unite_dc_groups(Dsu& dsu, const Entry& e, int ground_slot);
+
+EnvelopeResult run_envelope(const Circuit& circuit,
+                            const std::vector<Entry>& entries,
+                            std::vector<Diagnostic>& diagnostics);
+
+SparsityResult run_sparsity(Circuit& circuit);
+
+TimescaleResult run_timescale(const Circuit& circuit,
+                              const std::vector<Entry>& entries,
+                              const EnvelopeResult& envelope,
+                              double transient_horizon,
+                              std::vector<Diagnostic>& diagnostics);
+
+}  // namespace ironic::spice::analysis::detail

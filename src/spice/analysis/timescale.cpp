@@ -1,0 +1,236 @@
+// Timescale / stiffness pass.
+//
+// Estimates the circuit's dynamic timescales from reflection data alone:
+//
+//   tau_RC   C * (R_a + R_b) with R_x the cheapest ohmic exit at each
+//            capacitor terminal (0 at ground or at a rigidly anchored
+//            node, whose voltage the sources pin)
+//   tau_LR   L / (ESR + R_a + R_b) for inductive branches
+//   t_LC     2*pi*sqrt(L*C) for inductor/capacitor pairs that share a
+//            DC-conducting component (resonant tanks)
+//   t_stim   the smallest intrinsic stimulus timescale any waveform
+//            advertises (period, edge time, PWL segment)
+//   t_bp     the smallest gap between stimulus breakpoints in
+//            [0, transient_horizon]
+//
+// The dt recommendation resolves over whichever terms exist:
+//   dt = min(t_stim/4, t_LC/16, tau_min/4, t_bp), floored at 1 ps,
+// which by construction never exceeds the smallest breakpoint interval
+// (pinned by the property test in tests/spice_analysis_test.cpp).
+// A tau_max/tau_min spread beyond 1e6 earns an informational
+// analysis.stiff diagnostic.
+#include <algorithm>
+#include <cmath>
+
+#include "src/spice/analysis/passes.hpp"
+#include "src/spice/devices_passive.hpp"
+
+namespace ironic::spice::analysis::detail {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kDtFloor = 1e-12;
+constexpr double kStiffnessThreshold = 1e6;
+
+void track_min(double& slot, double candidate) {
+  if (candidate <= 0.0 || !std::isfinite(candidate)) return;
+  if (slot == 0.0 || candidate < slot) slot = candidate;
+}
+
+void track_max(double& slot, double candidate) {
+  if (candidate <= 0.0 || !std::isfinite(candidate)) return;
+  if (candidate > slot) slot = candidate;
+}
+
+}  // namespace
+
+TimescaleResult run_timescale(const Circuit& circuit,
+                              const std::vector<Entry>& entries,
+                              const EnvelopeResult& envelope,
+                              double transient_horizon,
+                              std::vector<Diagnostic>& diagnostics) {
+  TimescaleResult result;
+  const std::size_t num_nodes = circuit.num_nodes();
+  const int ground_slot = static_cast<int>(num_nodes);
+  const auto slot = [ground_slot](NodeId n) {
+    return n == kGround ? ground_slot : static_cast<int>(n);
+  };
+
+  // Cheapest ohmic exit per node slot (0 = none known).
+  std::vector<double> min_r(num_nodes + 1, 0.0);
+  const auto offer_r = [&](NodeId node, double r) {
+    if (r <= 0.0) return;
+    auto& cell = min_r[static_cast<std::size_t>(slot(node))];
+    if (cell == 0.0 || r < cell) cell = r;
+  };
+  for (const auto& e : entries) {
+    const auto& info = e.info;
+    switch (info.kind) {
+      case DeviceKind::kResistor:
+        if (info.has_value) {
+          offer_r(info.terminals[0].node, info.value);
+          offer_r(info.terminals[1].node, info.value);
+        }
+        break;
+      case DeviceKind::kInductor: {
+        const auto* l = dynamic_cast<const Inductor*>(e.device);
+        if (l != nullptr && l->esr() > 0.0) {
+          offer_r(info.terminals[0].node, l->esr());
+          offer_r(info.terminals[1].node, l->esr());
+        }
+        break;
+      }
+      case DeviceKind::kCoupledInductors: {
+        const auto* x = dynamic_cast<const CoupledInductors*>(e.device);
+        if (x != nullptr) {
+          if (x->r_primary() > 0.0) {
+            offer_r(info.terminals[0].node, x->r_primary());
+            offer_r(info.terminals[1].node, x->r_primary());
+          }
+          if (x->r_secondary() > 0.0) {
+            offer_r(info.terminals[2].node, x->r_secondary());
+            offer_r(info.terminals[3].node, x->r_secondary());
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // R seen from one terminal: 0 at ground/anchored nodes, the cheapest
+  // adjacent ohmic exit otherwise; negative = unknown (no ohmic exit).
+  const auto terminal_r = [&](NodeId node) -> double {
+    if (node == kGround) return 0.0;
+    const std::size_t s = static_cast<std::size_t>(node);
+    if (s < envelope.nodes.size() && envelope.nodes[s].anchored) return 0.0;
+    const double r = min_r[s];
+    return r > 0.0 ? r : -1.0;
+  };
+
+  // DC components for LC-tank pairing.
+  Dsu dsu(num_nodes + 1);
+  for (const auto& e : entries) unite_dc_groups(dsu, e, ground_slot);
+
+  struct Reactive {
+    double value = 0.0;
+    int comp = 0;
+  };
+  std::vector<Reactive> inductors;
+  std::vector<Reactive> capacitors;
+
+  for (const auto& e : entries) {
+    const auto& info = e.info;
+    switch (info.kind) {
+      case DeviceKind::kCapacitor: {
+        if (!info.has_value || info.value <= 0.0) break;
+        const double ra = terminal_r(info.terminals[0].node);
+        const double rb = terminal_r(info.terminals[1].node);
+        if (ra >= 0.0 && rb >= 0.0 && ra + rb > 0.0) {
+          const double tau = info.value * (ra + rb);
+          track_min(result.tau_min, tau);
+          track_max(result.tau_max, tau);
+        }
+        capacitors.push_back(
+            {info.value, dsu.find(slot(info.terminals[0].node))});
+        break;
+      }
+      case DeviceKind::kInductor: {
+        const auto* l = dynamic_cast<const Inductor*>(e.device);
+        if (l == nullptr || l->inductance() <= 0.0) break;
+        const double ra = terminal_r(info.terminals[0].node);
+        const double rb = terminal_r(info.terminals[1].node);
+        const double r_total =
+            l->esr() + std::max(ra, 0.0) + std::max(rb, 0.0);
+        if (r_total > 0.0) {
+          const double tau = l->inductance() / r_total;
+          track_min(result.tau_min, tau);
+          track_max(result.tau_max, tau);
+        }
+        inductors.push_back(
+            {l->inductance(), dsu.find(slot(info.terminals[0].node))});
+        break;
+      }
+      case DeviceKind::kCoupledInductors: {
+        const auto* x = dynamic_cast<const CoupledInductors*>(e.device);
+        if (x == nullptr) break;
+        struct Winding {
+          double l, r;
+          std::size_t ta, tb;
+        };
+        const Winding windings[2] = {
+            {x->l_primary(), x->r_primary(), 0, 1},
+            {x->l_secondary(), x->r_secondary(), 2, 3},
+        };
+        for (const auto& w : windings) {
+          if (w.l <= 0.0) continue;
+          const double ra = terminal_r(info.terminals[w.ta].node);
+          const double rb = terminal_r(info.terminals[w.tb].node);
+          const double r_total = w.r + std::max(ra, 0.0) + std::max(rb, 0.0);
+          if (r_total > 0.0) {
+            const double tau = w.l / r_total;
+            track_min(result.tau_min, tau);
+            track_max(result.tau_max, tau);
+          }
+          inductors.push_back(
+              {w.l, dsu.find(slot(info.terminals[w.ta].node))});
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    track_min(result.t_stim_min, info.stimulus_timescale);
+  }
+
+  // LC tanks: a capacitor whose terminal nodes touch an inductor's
+  // DC component rings at 2*pi*sqrt(LC).
+  for (const auto& cap : capacitors) {
+    for (const auto& ind : inductors) {
+      if (cap.comp != ind.comp) continue;
+      track_min(result.t_osc_min, 2.0 * kPi * std::sqrt(ind.value * cap.value));
+    }
+  }
+
+  // Breakpoint density over [0, horizon]; t = 0 always counts.
+  std::vector<double> breakpoints{0.0};
+  for (const auto& e : entries) {
+    e.device->collect_breakpoints(0.0, transient_horizon, breakpoints);
+  }
+  std::sort(breakpoints.begin(), breakpoints.end());
+  for (std::size_t i = 1; i < breakpoints.size(); ++i) {
+    const double gap = breakpoints[i] - breakpoints[i - 1];
+    if (gap > 1e-15) track_min(result.t_breakpoint_min, gap);
+  }
+
+  if (result.tau_min > 0.0 && result.tau_max > 0.0) {
+    result.stiffness_ratio = result.tau_max / result.tau_min;
+    if (result.stiffness_ratio > kStiffnessThreshold) {
+      diagnostics.push_back(Diagnostic{
+          Severity::kInfo, "analysis.stiff", "", "",
+          "time constants span " + std::to_string(result.stiffness_ratio) +
+              "x (" + std::to_string(result.tau_min) + " s to " +
+              std::to_string(result.tau_max) +
+              " s) -- expect small steps or consider an implicit-stiff "
+              "integrator"});
+    }
+  }
+
+  double dt = 0.0;
+  track_min(dt, result.t_stim_min / 4.0);
+  track_min(dt, result.t_osc_min / 16.0);
+  track_min(dt, result.tau_min / 4.0);
+  track_min(dt, result.t_breakpoint_min);
+  if (dt > 0.0) {
+    result.dt_recommend = std::max(dt, kDtFloor);
+    // The floor must never push the recommendation past the breakpoint
+    // spacing (the property the tests pin), however dense the stimulus.
+    if (result.t_breakpoint_min > 0.0) {
+      result.dt_recommend = std::min(result.dt_recommend, result.t_breakpoint_min);
+    }
+  }
+  return result;
+}
+
+}  // namespace ironic::spice::analysis::detail

@@ -10,6 +10,7 @@ NodeId Circuit::node(const std::string& name) {
   node_ids_.emplace(name, id);
   node_names_.push_back(name);
   finalized_ = false;
+  ++revision_;
   return id;
 }
 
@@ -44,6 +45,7 @@ void Circuit::register_device(std::unique_ptr<Device> device) {
   device_index_.emplace(device->name(), device.get());
   devices_.push_back(std::move(device));
   finalized_ = false;
+  ++revision_;
 }
 
 Device* Circuit::find_device(const std::string& name) {
@@ -65,6 +67,10 @@ int Circuit::allocate_branch(const std::string& label) {
 
 linalg::LinearSolver& Circuit::acquire_solver(linalg::SolverKind kind) {
   const std::size_t n = num_unknowns();
+  // The static-analysis hint refines kAuto only; explicit requests win.
+  if (kind == linalg::SolverKind::kAuto && solver_hint_ != linalg::SolverKind::kAuto) {
+    kind = solver_hint_;
+  }
   const linalg::SolverKind resolved = linalg::resolve_solver_kind(kind, n);
   if (!solver_ || solver_->size() != n || solver_->kind() != resolved) {
     solver_ = linalg::make_solver(resolved, n);

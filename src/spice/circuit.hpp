@@ -9,6 +9,7 @@
 //   auto result = TransientSolver(spec).run(ckt);
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -79,6 +80,22 @@ class Circuit {
   linalg::LinearSolver& acquire_solver(linalg::SolverKind kind);
   linalg::ComplexLinearSolver& acquire_complex_solver(linalg::SolverKind kind);
 
+  // --- static-analysis hints ---------------------------------------------
+  // Monotonic topology revision: bumped whenever a node or device is
+  // added. Analysis passes key their caches on it.
+  std::uint64_t revision() const { return revision_; }
+
+  // Backend recommendation from the static sparsity/cost-model pass.
+  // Consulted by acquire_solver only when the caller asked for kAuto;
+  // an explicit kDense/kSparse request always wins. kAuto = no hint.
+  void set_solver_hint(linalg::SolverKind hint) { solver_hint_ = hint; }
+  linalg::SolverKind solver_hint() const { return solver_hint_; }
+
+  // Recommended max transient step from the timescale pass; <= 0 = none.
+  // Honored by run_transient when the caller leaves dt_max at auto (0).
+  void set_dt_hint(double dt) { dt_hint_ = dt; }
+  double dt_hint() const { return dt_hint_; }
+
  private:
   void register_device(std::unique_ptr<Device> device);
 
@@ -89,6 +106,9 @@ class Circuit {
   std::vector<std::string> branch_labels_;
   bool finalized_ = false;
   int internal_counter_ = 0;
+  std::uint64_t revision_ = 0;
+  linalg::SolverKind solver_hint_ = linalg::SolverKind::kAuto;
+  double dt_hint_ = 0.0;
   std::unique_ptr<linalg::LinearSolver> solver_;
   std::unique_ptr<linalg::ComplexLinearSolver> complex_solver_;
 };

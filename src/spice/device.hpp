@@ -82,6 +82,28 @@ struct DeviceInfo {
   // Terminal indices whose voltage the device pins relative to ground
   // (the op-amp output). Rigid edges to the reference node.
   std::vector<std::size_t> rigid_to_ground;
+
+  // --- static-analysis annotations (src/spice/analysis) -------------------
+  // Stimulus range for independent sources: the waveform's static
+  // [source_min, source_max] band, valid when has_source_range.
+  bool has_source_range = false;
+  double source_min = 0.0;
+  double source_max = 0.0;
+  // Smallest intrinsic stimulus timescale (period, edge, segment); 0 when
+  // the device carries no time-varying stimulus.
+  double stimulus_timescale = 0.0;
+  // Controlled-source coefficient (VCVS voltage gain, VCCS
+  // transconductance), valid when has_gain.
+  bool has_gain = false;
+  double gain = 0.0;
+  // Output rail clamp (op-amp [v_out_min, v_out_max]), valid when
+  // has_output_range.
+  bool has_output_range = false;
+  double output_min = 0.0;
+  double output_max = 0.0;
+  // Maximum safe terminal-to-terminal voltage magnitude (diode reverse
+  // breakdown). 0 means unrated.
+  double voltage_rating = 0.0;
 };
 
 // Everything a device needs to stamp one Newton iteration. Matrix

@@ -426,6 +426,7 @@ DeviceInfo Diode::info() const {
   d.kind = DeviceKind::kDiode;
   d.terminals = {{"a", anode_, TerminalDc::kConducting},
                  {"k", cathode_, TerminalDc::kConducting}};
+  d.voltage_rating = params_.breakdown_voltage;  // 0 = unrated
   return d;
 }
 
@@ -504,6 +505,9 @@ DeviceInfo OpAmp::info() const {
                  {"inp", inp_, TerminalDc::kSensing},
                  {"inn", inn_, TerminalDc::kSensing}};
   d.rigid_to_ground = {0};  // output voltage is pinned by the macromodel
+  d.has_output_range = true;
+  d.output_min = params_.v_out_min;
+  d.output_max = params_.v_out_max;
   return d;
 }
 

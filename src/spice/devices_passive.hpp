@@ -68,6 +68,7 @@ class Inductor final : public Device {
   void save_state(std::vector<double>& out) const override;
   std::size_t restore_state(std::span<const double> in) override;
   double inductance() const { return inductance_; }
+  double esr() const { return esr_; }
   int branch_index() const { return branch_; }
   DeviceInfo info() const override;
   void check_params(std::vector<std::string>& errors,
@@ -107,6 +108,10 @@ class CoupledInductors final : public Device {
 
   double mutual() const { return mutual_; }
   double coupling() const { return coupling_; }
+  double l_primary() const { return l1_; }
+  double l_secondary() const { return l2_; }
+  double r_primary() const { return r1_; }
+  double r_secondary() const { return r2_; }
   // Retune the link (e.g. a distance change between transient runs).
   void set_coupling(double coupling);
   int primary_branch() const { return bp_; }

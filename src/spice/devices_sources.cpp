@@ -107,6 +107,8 @@ DeviceInfo VoltageSource::info() const {
   d.kind = DeviceKind::kVoltageSource;
   d.terminals = {{"+", a_, TerminalDc::kConducting}, {"-", b_, TerminalDc::kConducting}};
   d.rigid_pairs = {{0, 1}};
+  d.has_source_range = waveform_.value_range(d.source_min, d.source_max);
+  d.stimulus_timescale = waveform_.min_timescale();
   return d;
 }
 
@@ -117,6 +119,8 @@ DeviceInfo CurrentSource::info() const {
   // the node voltages on either side are set entirely by the rest of the
   // circuit, so for connectivity purposes its terminals are blocking.
   d.terminals = {{"+", a_, TerminalDc::kBlocking}, {"-", b_, TerminalDc::kBlocking}};
+  d.has_source_range = waveform_.value_range(d.source_min, d.source_max);
+  d.stimulus_timescale = waveform_.min_timescale();
   return d;
 }
 
@@ -129,6 +133,8 @@ DeviceInfo Vcvs::info() const {
                  {"cn", cn_, TerminalDc::kSensing}};
   d.dc_groups = {{0, 1}};
   d.rigid_pairs = {{0, 1}};
+  d.has_gain = true;
+  d.gain = gain_;
   return d;
 }
 
@@ -139,6 +145,8 @@ DeviceInfo Vccs::info() const {
                  {"-", b_, TerminalDc::kBlocking},
                  {"cp", cp_, TerminalDc::kSensing},
                  {"cn", cn_, TerminalDc::kSensing}};
+  d.has_gain = true;
+  d.gain = gm_;
   return d;
 }
 

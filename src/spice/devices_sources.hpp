@@ -47,6 +47,7 @@ class CurrentSource final : public Device {
   }
   void collect_breakpoints(double t0, double t1, std::vector<double>& out) const override;
   void set_waveform(Waveform waveform) { waveform_ = std::move(waveform); }
+  const Waveform& waveform() const { return waveform_; }
   DeviceInfo info() const override;
 
  private:

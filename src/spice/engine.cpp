@@ -20,6 +20,11 @@ namespace {
 
 std::atomic<linalg::SolverKind> g_default_solver_kind{linalg::SolverKind::kAuto};
 
+// Fallback nominal step when the caller leaves dt_max at auto (0) and the
+// circuit carries no timescale-analysis hint. Matches the historical
+// TransientOptions default.
+constexpr double kDefaultDtMax = 1e-6;
+
 struct NewtonOutcome {
   bool converged = false;
   int iterations = 0;                     // Newton iterations attempted
@@ -346,9 +351,24 @@ DcResult solve_dc(Circuit& circuit, const DcOptions& options) {
 TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
                               TransientStats* stats) {
   if (options.t_stop <= 0.0) throw std::invalid_argument("run_transient: t_stop must be > 0");
-  if (options.dt_max <= 0.0) throw std::invalid_argument("run_transient: dt_max must be > 0");
+  if (options.dt_max < 0.0) {
+    throw std::invalid_argument("run_transient: dt_max must be > 0 (or 0 for auto)");
+  }
+  // dt_max 0 = auto: the static timescale pass's hint when one is
+  // installed on the circuit, else the historical 1 us default.
+  const double dt_max =
+      options.dt_max > 0.0
+          ? options.dt_max
+          : (circuit.dt_hint() > 0.0 ? circuit.dt_hint() : kDefaultDtMax);
+  const bool will_resume =
+      options.resume_from != nullptr && options.resume_from->valid();
   if (options.validate) {
-    validate(circuit);  // throws CircuitValidationError on error diagnostics
+    // Validate exactly once per run. When the internal DC solve will run,
+    // lint with dc_context escalation here and tell solve_dc the circuit
+    // is already validated — previously lint ran twice per transient.
+    LintOptions lint_options;
+    lint_options.dc_context = options.start_from_dc && !will_resume;
+    validate(circuit, lint_options);  // throws CircuitValidationError on errors
   }
   // Per-run tallies, kept even when the caller passes no stats: the
   // metrics registry is fed from the same numbers. Folded into the
@@ -416,7 +436,7 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
   finalize.solver = &solver;
   finalize.solver_before = solver.stats();
   const double dt_min =
-      options.dt_min > 0.0 ? options.dt_min : options.dt_max / 65536.0;
+      options.dt_min > 0.0 ? options.dt_min : dt_max / 65536.0;
 
   const TransientCheckpoint* resume = options.resume_from;
   const bool resuming = resume != nullptr && resume->valid();
@@ -440,7 +460,7 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
   } else if (options.start_from_dc) {
     DcOptions dc_opts;
     dc_opts.newton = options.newton;
-    dc_opts.validate = options.validate;
+    dc_opts.validate = false;  // validated above (with dc_context) already
     dc_opts.solver = options.solver;
     const DcResult dc = solve_dc(circuit, dc_opts);
     if (!dc.converged) {
@@ -488,7 +508,7 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
     }
   }
   TransientResult result(std::move(record_names), std::move(record_indices));
-  result.reserve(static_cast<std::size_t>(options.t_stop / options.dt_max /
+  result.reserve(static_cast<std::size_t>(options.t_stop / dt_max /
                                           std::max(options.record_every, 1)) + 16);
 
   // Breakpoints from stimulus waveforms.
@@ -507,7 +527,7 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
   if (!resuming && options.record_start <= 0.0) result.append(0.0, x);
 
   double t = resuming ? resume->time : 0.0;
-  double dt = resuming ? resume->dt : options.dt_max;
+  double dt = resuming ? resume->dt : dt_max;
   int success_streak = resuming ? resume->success_streak : 0;
   // Accepted-step ordinal used for record decimation; restored on resume
   // so the record phase is continuous across the splice.
@@ -606,7 +626,7 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
       // Accepted: pick the next step from the error (clamped growth).
       const double scale =
           err > 0.0 ? std::sqrt(options.lte_tol / err) : 2.0;
-      dt = std::min(options.dt_max,
+      dt = std::min(dt_max,
                     std::max(dt_min, dt_step * std::min(std::max(scale, 0.5), 2.0)));
     }
 
@@ -642,8 +662,8 @@ TransientResult run_transient(Circuit& circuit, const TransientOptions& options,
     // Step recovery after a run of clean accepts (the LTE controller
     // manages dt itself in adaptive mode).
     ++success_streak;
-    if (!options.adaptive && success_streak >= 4 && dt < options.dt_max) {
-      dt = std::min(dt * 2.0, options.dt_max);
+    if (!options.adaptive && success_streak >= 4 && dt < dt_max) {
+      dt = std::min(dt * 2.0, dt_max);
       success_streak = 0;
     }
 

@@ -86,7 +86,10 @@ struct TransientCheckpoint {
 
 struct TransientOptions {
   double t_stop = 1e-3;
-  double dt_max = 1e-6;     // nominal step (engine may shorten, never exceed)
+  // Nominal step (engine may shorten, never exceed). 0 = auto: use the
+  // circuit's timescale-analysis hint (Circuit::dt_hint) when one is
+  // installed, else 1 us. Negative values are rejected.
+  double dt_max = 0.0;
   double dt_min = 0.0;      // 0 -> dt_max / 65536
   Integrator integrator = Integrator::kTrapezoidal;
   bool start_from_dc = false;  // false: use-initial-conditions (x = 0 + device ICs)

@@ -17,6 +17,11 @@ class DcImpl final : public WaveformImpl {
   explicit DcImpl(double v) : v_(v) {}
   double value(double) const override { return v_; }
 
+  bool value_range(double& lo, double& hi) const override {
+    lo = hi = v_;
+    return true;
+  }
+
  private:
   double v_;
 };
@@ -37,6 +42,17 @@ class SineImpl final : public WaveformImpl {
 
   void breakpoints(double t0, double t1, std::vector<double>& out) const override {
     if (delay_ > t0 && delay_ < t1) out.push_back(delay_);
+  }
+
+  bool value_range(double& lo, double& hi) const override {
+    // The pre-delay value is offset_, already inside the band.
+    lo = offset_ - std::abs(amplitude_);
+    hi = offset_ + std::abs(amplitude_);
+    return true;
+  }
+
+  double min_timescale() const override {
+    return frequency_ > 0.0 ? 1.0 / frequency_ : 0.0;
   }
 
  private:
@@ -86,6 +102,19 @@ class PulseImpl final : public WaveformImpl {
     }
   }
 
+  bool value_range(double& lo, double& hi) const override {
+    lo = std::min(v1_, v2_);
+    hi = std::max(v1_, v2_);
+    return true;
+  }
+
+  double min_timescale() const override {
+    double t = std::min(rise_, fall_);
+    if (width_ > 0.0) t = std::min(t, width_);
+    if (period_ > 0.0) t = std::min(t, period_);
+    return t;
+  }
+
  private:
   double v1_, v2_, delay_, rise_, fall_, width_, period_;
 };
@@ -100,6 +129,27 @@ class PwlImpl final : public WaveformImpl {
     for (double t : pwl_.xs()) {
       if (t > t0 && t < t1) out.push_back(t);
     }
+  }
+
+  bool value_range(double& lo, double& hi) const override {
+    const auto ys = pwl_.ys();
+    if (ys.empty()) return false;
+    lo = hi = ys[0];
+    for (double y : ys) {
+      lo = std::min(lo, y);
+      hi = std::max(hi, y);
+    }
+    return true;
+  }
+
+  double min_timescale() const override {
+    const auto xs = pwl_.xs();
+    double dt = 0.0;
+    for (std::size_t i = 1; i < xs.size(); ++i) {
+      const double gap = xs[i] - xs[i - 1];
+      if (gap > 0.0 && (dt == 0.0 || gap < dt)) dt = gap;
+    }
+    return dt;
   }
 
  private:
@@ -119,6 +169,20 @@ class ModulatedSineImpl final : public WaveformImpl {
     for (double t : envelope_.xs()) {
       if (t > t0 && t < t1) out.push_back(t);
     }
+  }
+
+  bool value_range(double& lo, double& hi) const override {
+    const auto ys = envelope_.ys();
+    if (ys.empty()) return false;
+    double peak = 0.0;
+    for (double y : ys) peak = std::max(peak, std::abs(y));
+    lo = -peak;
+    hi = peak;
+    return true;
+  }
+
+  double min_timescale() const override {
+    return frequency_ > 0.0 ? 1.0 / frequency_ : 0.0;
   }
 
  private:
@@ -142,6 +206,15 @@ class CustomImpl final : public WaveformImpl {
     }
   }
 
+  double min_timescale() const override {
+    double dt = 0.0;
+    for (std::size_t i = 1; i < bps_.size(); ++i) {
+      const double gap = bps_[i] - bps_[i - 1];
+      if (gap > 0.0 && (dt == 0.0 || gap < dt)) dt = gap;
+    }
+    return dt;
+  }
+
  private:
   std::function<double(double)> fn_;
   std::vector<double> bps_;
@@ -150,6 +223,10 @@ class CustomImpl final : public WaveformImpl {
 }  // namespace
 
 void WaveformImpl::breakpoints(double, double, std::vector<double>&) const {}
+
+bool WaveformImpl::value_range(double&, double&) const { return false; }
+
+double WaveformImpl::min_timescale() const { return 0.0; }
 
 Waveform::Waveform() : impl_(std::make_shared<DcImpl>(0.0)) {}
 

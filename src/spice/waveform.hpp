@@ -21,6 +21,13 @@ class WaveformImpl {
   virtual double value(double t) const = 0;
   // Append all breakpoints in [t0, t1] to `out`.
   virtual void breakpoints(double t0, double t1, std::vector<double>& out) const;
+  // Static range of the waveform over all time, for the interval
+  // envelope analysis. Returns false when no finite bound is known
+  // (e.g. an arbitrary custom function).
+  virtual bool value_range(double& lo, double& hi) const;
+  // Smallest intrinsic timescale (period, edge time, segment length);
+  // 0 when the waveform has none (DC, unknown custom).
+  virtual double min_timescale() const;
 };
 
 // Value-semantics handle. Copyable; shares the immutable implementation.
@@ -33,6 +40,10 @@ class Waveform {
   void breakpoints(double t0, double t1, std::vector<double>& out) const {
     impl_->breakpoints(t0, t1, out);
   }
+  bool value_range(double& lo, double& hi) const {
+    return impl_->value_range(lo, hi);
+  }
+  double min_timescale() const { return impl_->min_timescale(); }
 
   // --- factories ---------------------------------------------------------
 

@@ -1,0 +1,345 @@
+// Static-analysis framework gates (DESIGN.md §13).
+//
+// The load-bearing contracts pinned here:
+//   - the symbolic fill prediction matches SparseSolver's runtime
+//     stats().factor_nnz EXACTLY on every shipped example netlist
+//     (same merge, same column order, same pivot rule)
+//   - the cost-model dense/sparse choice agrees with the measured
+//     crossover: every small example stays dense, the 122-unknown
+//     tissue ladder goes sparse
+//   - the dt recommendation never exceeds the smallest stimulus
+//     breakpoint interval, over the shipped + broken corpus
+//   - the static envelope always contains the actual DC operating
+//     point wherever solve_dc converges
+//   - run_transient validates once (the internal DC solve must not
+//     re-lint), and the engine honors the solver/dt hints only where
+//     the caller left the options at auto.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+#include "src/spice/analysis/analysis.hpp"
+#include "src/spice/circuit.hpp"
+#include "src/spice/devices_nonlinear.hpp"
+#include "src/spice/devices_passive.hpp"
+#include "src/spice/devices_sources.hpp"
+#include "src/spice/engine.hpp"
+#include "src/spice/netlist_parser.hpp"
+
+namespace {
+
+using namespace ironic;
+using namespace ironic::spice;
+
+const std::filesystem::path kSourceDir = IRONIC_SOURCE_DIR;
+
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream in(p);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::vector<std::filesystem::path> netlists_in(const char* dir) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(kSourceDir / dir)) {
+    if (entry.path().extension() == ".cir") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<std::filesystem::path> all_corpus() {
+  auto files = netlists_in("examples/netlists");
+  const auto broken = netlists_in("tests/netlists");
+  files.insert(files.end(), broken.begin(), broken.end());
+  return files;
+}
+
+}  // namespace
+
+// The headline exactness gate: predicted factor nnz == the sparse
+// backend's own count after a real DC solve, for every example.
+TEST(Analysis, PredictedFillMatchesSparseRuntimeExactly) {
+  for (const auto& path : netlists_in("examples/netlists")) {
+    SCOPED_TRACE(path.filename().string());
+    Circuit circuit;
+    parse_netlist(circuit, read_file(path));
+    const auto report = analysis::analyze(circuit);
+    ASSERT_GT(report.sparsity.unknowns, 0u);
+    EXPECT_FALSE(report.sparsity.prediction.singular);
+
+    DcOptions options;
+    options.solver = linalg::SolverKind::kSparse;
+    const auto dc = solve_dc(circuit, options);
+    ASSERT_TRUE(dc.converged);
+    const auto& stats =
+        circuit.acquire_solver(linalg::SolverKind::kSparse).stats();
+    EXPECT_EQ(report.sparsity.prediction.factor_nnz, stats.factor_nnz);
+    EXPECT_EQ(report.sparsity.prediction.pattern_nnz, stats.nnz);
+  }
+}
+
+// The static choice must agree with the measured crossover on this
+// corpus: everything under the historical 32-unknown threshold is
+// faster dense; the tissue ladder (122 unknowns) is faster sparse.
+TEST(Analysis, SolverChoiceMatchesMeasuredCrossover) {
+  for (const auto& path : netlists_in("examples/netlists")) {
+    SCOPED_TRACE(path.filename().string());
+    Circuit circuit;
+    parse_netlist(circuit, read_file(path));
+    const auto report = analysis::analyze(circuit);
+    if (path.filename() == "tissue_ladder.cir") {
+      EXPECT_EQ(report.sparsity.unknowns, 122u);
+      EXPECT_STREQ(report.sparsity.choice(), "sparse");
+    } else {
+      EXPECT_LT(report.sparsity.unknowns, 32u);
+      EXPECT_STREQ(report.sparsity.choice(), "dense");
+    }
+  }
+}
+
+// Property: the recommended step never exceeds the smallest breakpoint
+// interval — a recommendation that steps over a stimulus edge is wrong
+// no matter what the time constants say.
+TEST(Analysis, DtRecommendationNeverExceedsBreakpointSpacing) {
+  for (const auto& path : all_corpus()) {
+    SCOPED_TRACE(path.filename().string());
+    Circuit circuit;
+    try {
+      parse_netlist(circuit, read_file(path));
+    } catch (const std::exception&) {
+      continue;  // parse-error fixtures have no circuit to analyze
+    }
+    const auto report = analysis::analyze(circuit);
+    if (report.timescale.dt_recommend > 0.0 &&
+        report.timescale.t_breakpoint_min > 0.0) {
+      EXPECT_LE(report.timescale.dt_recommend,
+                report.timescale.t_breakpoint_min);
+    }
+  }
+}
+
+// Property: wherever a DC operating point exists, it lies inside the
+// static envelope (the bound is conservative, never wrong).
+TEST(Analysis, EnvelopeContainsDcOperatingPoint) {
+  for (const auto& path : all_corpus()) {
+    SCOPED_TRACE(path.filename().string());
+    Circuit circuit;
+    try {
+      parse_netlist(circuit, read_file(path));
+    } catch (const std::exception&) {
+      continue;
+    }
+    const auto report = analysis::analyze(circuit);
+    DcResult dc;
+    try {
+      dc = solve_dc(circuit);
+    } catch (const std::exception&) {
+      continue;  // validation-rejected fixtures have no operating point
+    }
+    if (!dc.converged) continue;
+    ASSERT_EQ(report.envelope.nodes.size(), circuit.num_nodes());
+    for (std::size_t i = 0; i < circuit.num_nodes(); ++i) {
+      const auto& band = report.envelope.nodes[i];
+      const double v = dc.x[i];
+      const double slack = 1e-6 + 1e-9 * std::abs(v);
+      EXPECT_GE(v, band.lo - slack) << "node " << band.node;
+      EXPECT_LE(v, band.hi + slack) << "node " << band.node;
+    }
+  }
+}
+
+// Shipped examples are strict-clean through the whole pipeline: no lint
+// findings and no analysis.* diagnostics (the CI analyze stage sweeps
+// the same corpus through the CLI).
+TEST(Analysis, ExampleNetlistsAreStrictClean) {
+  for (const auto& path : netlists_in("examples/netlists")) {
+    SCOPED_TRACE(path.filename().string());
+    Circuit circuit;
+    parse_netlist(circuit, read_file(path));
+    const auto report = analysis::analyze(circuit);
+    EXPECT_EQ(report.errors(), 0u);
+    EXPECT_EQ(report.warnings(), 0u);
+  }
+}
+
+TEST(Analysis, CacheServesUnchangedCircuitAndInvalidatesOnTopologyChange) {
+  Circuit circuit;
+  const auto a = circuit.node("a");
+  circuit.add<VoltageSource>("V1", a, kGround, Waveform::dc(1.0));
+  circuit.add<Resistor>("R1", a, kGround, 1e3);
+
+  analysis::AnalysisManager manager;
+  const auto& first = manager.run(circuit);
+  for (const auto& timing : first.timings) EXPECT_FALSE(timing.cached);
+
+  const auto& second = manager.run(circuit);
+  ASSERT_FALSE(second.timings.empty());
+  for (const auto& timing : second.timings) EXPECT_TRUE(timing.cached);
+
+  // A topology change bumps the revision and re-runs the passes.
+  circuit.add<Resistor>("R2", a, kGround, 2e3);
+  const auto& third = manager.run(circuit);
+  for (const auto& timing : third.timings) EXPECT_FALSE(timing.cached);
+
+  manager.invalidate();
+  const auto& fourth = manager.run(circuit);
+  for (const auto& timing : fourth.timings) EXPECT_FALSE(timing.cached);
+}
+
+TEST(Analysis, ApplyHintsInstallsSolverAndDtRecommendations) {
+  Circuit circuit;
+  const auto in = circuit.node("in");
+  const auto out = circuit.node("out");
+  circuit.add<VoltageSource>("V1", in, kGround, Waveform::sine(1.0, 1e3));
+  circuit.add<Resistor>("R1", in, out, 1e3);
+  circuit.add<Capacitor>("C1", out, kGround, 1e-6);
+
+  analysis::AnalysisManager manager;
+  const auto& report = manager.apply_hints(circuit);
+  ASSERT_GT(report.timescale.dt_recommend, 0.0);
+  EXPECT_EQ(circuit.dt_hint(), report.timescale.dt_recommend);
+  EXPECT_EQ(circuit.solver_hint(), report.sparsity.cost.recommendation);
+  // kAuto now resolves to the recommendation; explicit kinds still win.
+  EXPECT_EQ(circuit.acquire_solver(linalg::SolverKind::kAuto).kind(),
+            report.sparsity.cost.recommendation);
+  EXPECT_EQ(circuit.acquire_solver(linalg::SolverKind::kSparse).kind(),
+            linalg::SolverKind::kSparse);
+}
+
+// The engine's dt_max=0 default defers to the circuit's hint; an
+// explicit dt_max must override it; negative is rejected.
+TEST(Analysis, TransientHonorsDtHintOnlyWhenAuto) {
+  const auto build = [](Circuit& circuit) {
+    const auto in = circuit.node("in");
+    const auto out = circuit.node("out");
+    circuit.add<VoltageSource>("V1", in, kGround, Waveform::dc(1.0));
+    circuit.add<Resistor>("R1", in, out, 1e3);
+    circuit.add<Capacitor>("C1", out, kGround, 1e-3);
+  };
+
+  TransientOptions options;
+  options.t_stop = 1e-4;
+  options.record_signals = {"v(out)"};
+
+  Circuit hinted;
+  build(hinted);
+  hinted.set_dt_hint(1e-5);
+  const auto with_hint = run_transient(hinted, options);
+
+  Circuit explicit_dt;
+  build(explicit_dt);
+  explicit_dt.set_dt_hint(1e-5);
+  TransientOptions explicit_options = options;
+  explicit_options.dt_max = 1e-6;  // caller's choice beats the hint
+  const auto with_explicit = run_transient(explicit_dt, explicit_options);
+
+  // 1e-5 steps over 1e-4 is ~10 points; 1e-6 is ~100.
+  EXPECT_LT(with_hint.num_points() * 5, with_explicit.num_points());
+
+  Circuit bad;
+  build(bad);
+  TransientOptions negative = options;
+  negative.dt_max = -1.0;
+  EXPECT_THROW(run_transient(bad, negative), std::invalid_argument);
+}
+
+// run_transient validates exactly once up front; the internal DC solve
+// must not run a second lint pass.
+TEST(Analysis, TransientValidatesOnce) {
+  if constexpr (!obs::kEnabled) GTEST_SKIP() << "metrics compiled out";
+
+  Circuit circuit;
+  const auto in = circuit.node("in");
+  const auto out = circuit.node("out");
+  circuit.add<VoltageSource>("V1", in, kGround, Waveform::sine(1.0, 1e6));
+  circuit.add<Resistor>("R1", in, out, 1e3);
+  circuit.add<Capacitor>("C1", out, kGround, 1e-9);
+
+  auto& runs = obs::MetricsRegistry::instance().counter("spice.lint.runs");
+  const std::uint64_t before = runs.value();
+  TransientOptions options;
+  options.t_stop = 1e-6;
+  options.start_from_dc = true;
+  run_transient(circuit, options);
+  EXPECT_EQ(runs.value() - before, 1u);
+}
+
+TEST(Analysis, OvervoltageRiskFlaggedOnRatedJunction) {
+  Circuit circuit;
+  const auto in = circuit.node("in");
+  circuit.add<VoltageSource>("V1", in, kGround, Waveform::sine(10.0, 1e3));
+  DiodeParams params;
+  params.breakdown_voltage = 5.0;  // rated well below the 10 V swing
+  circuit.add<Diode>("D1", kGround, in, params);
+  circuit.add<Resistor>("R1", in, kGround, 1e3);
+
+  const auto report = analysis::analyze(circuit);
+  bool flagged = false;
+  for (const auto& d : report.diagnostics) {
+    if (d.rule_id == "analysis.overvoltage-risk" && d.device == "D1") {
+      flagged = true;
+      EXPECT_EQ(d.severity, Severity::kWarning);
+    }
+  }
+  EXPECT_TRUE(flagged) << report.to_text();
+
+  // A rating above the worst-case reverse voltage stays quiet.
+  Circuit quiet;
+  const auto qin = quiet.node("in");
+  quiet.add<VoltageSource>("V1", qin, kGround, Waveform::sine(10.0, 1e3));
+  DiodeParams rated;
+  rated.breakdown_voltage = 25.0;
+  quiet.add<Diode>("D1", kGround, qin, rated);
+  quiet.add<Resistor>("R1", qin, kGround, 1e3);
+  const auto quiet_report = analysis::analyze(quiet);
+  for (const auto& d : quiet_report.diagnostics) {
+    EXPECT_NE(d.rule_id, "analysis.overvoltage-risk") << d.to_string();
+  }
+}
+
+TEST(Analysis, StiffnessSpreadEarnsInfoDiagnostic) {
+  Circuit circuit;
+  const auto a = circuit.node("a");
+  const auto b = circuit.node("b");
+  circuit.add<VoltageSource>("V1", a, kGround, Waveform::dc(1.0));
+  circuit.add<Resistor>("R1", a, b, 1e3);
+  circuit.add<Capacitor>("Cslow", b, kGround, 1e-3);   // tau ~ 1 s
+  circuit.add<Capacitor>("Cfast", b, kGround, 1e-12);  // tau ~ 1 ns
+
+  const auto report = analysis::analyze(circuit);
+  ASSERT_GT(report.timescale.stiffness_ratio, 1e6);
+  bool flagged = false;
+  for (const auto& d : report.diagnostics) {
+    if (d.rule_id == "analysis.stiff") {
+      flagged = true;
+      EXPECT_EQ(d.severity, Severity::kInfo);
+    }
+  }
+  EXPECT_TRUE(flagged) << report.to_text();
+}
+
+// The JSON report carries the schema the CI analyze stage greps.
+TEST(Analysis, JsonReportCarriesSchema) {
+  Circuit circuit;
+  parse_netlist(circuit, read_file(kSourceDir / "examples" / "netlists" /
+                                   "tissue_ladder.cir"));
+  const auto report = analysis::analyze(circuit);
+  const std::string json = report.to_json();
+  for (const char* key :
+       {"\"unknowns\"", "\"envelope\"", "\"sparsity\"", "\"factor_nnz\"",
+        "\"solver_choice\"", "\"timescale\"", "\"dt_recommend\"",
+        "\"passes\"", "\"lint\"", "\"diagnostics\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(json.find("\"solver_choice\": \"sparse\""), std::string::npos);
+}

@@ -276,7 +276,7 @@ TEST(Transient, InvalidOptionsRejected) {
   opts.t_stop = 0.0;
   EXPECT_THROW(run_transient(ckt, opts), std::invalid_argument);
   opts.t_stop = 1e-3;
-  opts.dt_max = 0.0;
+  opts.dt_max = -1e-6;  // 0 now means "auto" (dt hint or 1 us), < 0 is bad
   EXPECT_THROW(run_transient(ckt, opts), std::invalid_argument);
   opts.dt_max = 1e-6;
   opts.record_signals = {"v(nonexistent)"};

@@ -12,19 +12,26 @@
 #   4. tidy      clang-tidy over src/ and tools/ (skips if not installed)
 #   5. lint      netlist_lint --strict over every shipped .cir netlist,
 #                and the broken fixtures must FAIL
-#   6. fault     fault_runner over every registered campaign, plus the
+#   6. analyze   netlist_analyze --strict over every shipped netlist
+#                (clean envelopes, fill prediction, dt planning), the
+#                static solver choice pinned against what the engine
+#                engages (tissue ladder -> sparse, small examples ->
+#                dense), the spice.analysis.* telemetry schema pinned
+#                via trace_validate, and fault campaign fingerprints
+#                bit-identical with --analysis-hints on vs off
+#   7. fault     fault_runner over every registered campaign, plus the
 #                exit-code contract (unwritable --out and --telemetry must
 #                exit 2), the sparse-backend acceptance campaign
 #                (fingerprints must be thread-count invariant per
 #                backend), and the trace_validate pins on the
 #                spice.solver.*, obs.telemetry.*, prof.<zone>.* and
 #                cohort.* telemetry
-#   7. obs       bench_obs_overhead in-process budget gate (instrumented
+#   8. obs       bench_obs_overhead in-process budget gate (instrumented
 #                fault campaign must stay within 5% of the obs-off run),
 #                and every *committed* BENCH_*.json must have been
 #                produced with observability compiled in
 #
-# Usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|fault|obs|all]   (default: all)
+# Usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|analyze|fault|obs|all]   (default: all)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -89,6 +96,52 @@ run_lint() {
     exit 1
   fi
   echo "ci: broken fixtures correctly flagged"
+}
+
+run_analyze() {
+  log "netlist_analyze sweep + static-choice, schema, and hint-fingerprint pins"
+  cmake -B "$ROOT/build-ci-release" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$ROOT/build-ci-release" -j "$JOBS" \
+    --target netlist_analyze fault_runner trace_validate
+  local analyzer="$ROOT/build-ci-release/tools/netlist_analyze"
+  local runner="$ROOT/build-ci-release/tools/fault_runner"
+  local validator="$ROOT/build-ci-release/tools/trace_validate"
+  # Shipped netlists: the whole pipeline (lint + envelope + sparsity +
+  # timescale) must come back clean, warnings included.
+  "$analyzer" --strict --quiet "$ROOT"/examples/netlists/*.cir
+  # The static dense/sparse choice must match what the engine engages:
+  # the 122-unknown tissue ladder goes sparse (the small examples are
+  # pinned dense by the Analysis.* ctest gate). The JSON sweep also
+  # leaves behind the BENCH report whose spice.analysis.* schema is
+  # pinned below.
+  local ladder="$ROOT/build-ci-release/analyze_ladder.json"
+  IRONIC_REPORT_DIR="$ROOT/build-ci-release" \
+    "$analyzer" --json "$ROOT/examples/netlists/tissue_ladder.cir" > "$ladder"
+  grep -q '"solver_choice": "sparse"' "$ladder"
+  grep -q '"unknowns": 122' "$ladder"
+  "$validator" --require-obs \
+    --require spice.analysis.runs \
+    --require spice.analysis.lint_ns \
+    --require spice.analysis.envelope_ns \
+    --require spice.analysis.sparsity_ns \
+    --require spice.analysis.timescale_ns \
+    --require spice.analysis.last_unknowns \
+    --require spice.analysis.last_factor_nnz \
+    --require spice.analysis.last_dt_recommend \
+    "$ROOT/build-ci-release/BENCH_netlist_analyze.json"
+  # Analysis hints must be invisible to the campaign fingerprints: the
+  # static solver choice agrees with the engine's auto pick and the dt
+  # hint only fills options left at auto.
+  local plain="$ROOT/build-ci-release/fault_hints_off.json"
+  local hinted="$ROOT/build-ci-release/fault_hints_on.json"
+  "$runner" --out "$plain" all
+  "$runner" --analysis-hints --out "$hinted" all
+  if ! diff <(grep '"fingerprint"' "$plain") <(grep '"fingerprint"' "$hinted"); then
+    echo "ci: FAIL -- fingerprints changed under --analysis-hints" >&2
+    exit 1
+  fi
+  echo "ci: analyzer sweep clean; ladder goes sparse; analysis schema" \
+       "pinned; hint fingerprints bit-identical"
 }
 
 run_fault() {
@@ -195,10 +248,11 @@ case "$STAGE" in
   tsan)     run_tsan ;;
   tidy)     run_tidy ;;
   lint)     run_lint ;;
+  analyze)  run_analyze ;;
   fault)    run_fault ;;
   obs)      run_obs ;;
-  all)      run_release; run_sanitize; run_tsan; run_tidy; run_lint; run_fault; run_obs ;;
-  *) echo "usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|fault|obs|all]" >&2; exit 2 ;;
+  all)      run_release; run_sanitize; run_tsan; run_tidy; run_lint; run_analyze; run_fault; run_obs ;;
+  *) echo "usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|analyze|fault|obs|all]" >&2; exit 2 ;;
 esac
 
 log "OK ($STAGE)"

@@ -92,6 +92,10 @@ int usage(int code) {
         "  --solver S     linear-solver backend for the embedded circuit\n"
         "                 solves; fingerprints are bit-identical per backend\n"
         "                 for any --threads value\n"
+        "  --analysis-hints\n"
+        "                 run the static-analysis passes on each plant\n"
+        "                 circuit and install solver/dt hints; fingerprints\n"
+        "                 must not change (the hints agree with the engine)\n"
         "  --out FILE     write the JSON results to FILE instead of stdout\n"
         "  --telemetry F  stream JSONL telemetry events to F ('-' = stdout);\n"
         "                 exits 2 when F cannot be opened\n";
@@ -126,6 +130,8 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--telemetry" && i + 1 < argc) {
       telemetry_path = argv[++i];
+    } else if (arg == "--analysis-hints") {
+      config.analysis_hints = true;
     } else if (arg == "--solver" && i + 1 < argc) {
       ironic::linalg::SolverKind kind;
       if (!ironic::linalg::parse_solver_kind(argv[++i], kind)) {
