@@ -150,6 +150,9 @@ std::optional<Response> Transactor::execute(
   return std::nullopt;
 }
 
+ImplantDedup::ImplantDedup(std::size_t window)
+    : capacity_(window == 0 ? 1 : window) {}
+
 Response ImplantDedup::handle(
     const Request& request,
     const std::function<Response(const Request&)>& handler,
@@ -162,12 +165,22 @@ Response ImplantDedup::handle(
   if (have_last_ && !sequence_newer(request.sequence, last_sequence_)) {
     if (stats) ++stats->duplicate_deliveries;
     if constexpr (obs::kEnabled) TransactorMetrics::get().duplicate_deliveries.add();
-    return last_response_;
+    for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
+      if (it->sequence == request.sequence) return it->response;
+    }
+    // Older than the whole window: replay the newest entry — the patch
+    // already abandoned that exchange, and the mismatched sequence makes
+    // the transactor discard the frame anyway.
+    return window_.back().response;
   }
-  last_response_ = handler(request);
+  Entry entry;
+  entry.sequence = request.sequence;
+  entry.response = handler(request);
+  window_.push_back(std::move(entry));
+  if (window_.size() > capacity_) window_.pop_front();
   last_sequence_ = request.sequence;
   have_last_ = true;
-  return last_response_;
+  return window_.back().response;
 }
 
 }  // namespace ironic::comms

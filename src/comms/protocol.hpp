@@ -4,7 +4,9 @@
 // transmitted to the user by means of the bluetooth link".
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -107,16 +109,38 @@ class Transactor {
 // request: the implant replays the cached response instead of measuring
 // again. Newness uses sequence_newer, so the 255 -> 0 wrap does not
 // resurrect the stale-duplicate path.
+//
+// History is bounded by a sliding window of the most recent `window`
+// handled sequences: a multi-hour soak (a fleet session wraps the
+// sequence space thousands of times) holds at most `window` cached
+// responses, never an unbounded history. A duplicate still inside the
+// window replays its *own* cached response; a duplicate older than the
+// window (the patch gave up on it long ago — only a pathologically late
+// frame gets here) replays the newest cached response, which the
+// transactor then discards as a sequence mismatch.
 class ImplantDedup {
  public:
+  static constexpr std::size_t kDefaultWindow = 8;
+  explicit ImplantDedup(std::size_t window = kDefaultWindow);
+
   Response handle(const Request& request,
                   const std::function<Response(const Request&)>& handler,
                   TransactorStats* stats = nullptr);
 
+  // Responses currently cached (<= window_capacity(), the memory bound).
+  std::size_t cached() const { return window_.size(); }
+  std::size_t window_capacity() const { return capacity_; }
+
  private:
+  struct Entry {
+    std::uint8_t sequence = 0;
+    Response response;
+  };
+
+  std::size_t capacity_;
+  std::deque<Entry> window_;  // oldest first; newest is back()
   bool have_last_ = false;
   std::uint8_t last_sequence_ = 0;
-  Response last_response_;
 };
 
 }  // namespace ironic::comms

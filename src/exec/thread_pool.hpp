@@ -152,6 +152,14 @@ class TaskGroup {
 struct ParallelForOptions {
   std::size_t grain = 0;
   CancellationToken token{};
+  // Optional progress hook for long fan-outs (fleet soaks): invoked once
+  // per completed chunk with the cumulative completed-item count and the
+  // total. Called from whichever worker finished the chunk, so the call
+  // order across workers is unspecified and `completed` values may
+  // arrive out of order — use it for monitoring/telemetry only, never
+  // for results (the determinism contract covers results, not callback
+  // interleaving). Must be thread-safe.
+  std::function<void(std::size_t completed, std::size_t total)> progress{};
 };
 
 // Apply fn(i) for i in [begin, end). fn must be safe to invoke
@@ -172,15 +180,26 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, Fn&& fn,
     for (std::size_t i = begin; i < end; ++i) {
       if ((i - begin) % grain == 0) opts.token.throw_if_cancelled();
       fn(i);
+      const std::size_t done = i - begin + 1;
+      if (opts.progress && (done % grain == 0 || done == n)) {
+        opts.progress(done, n);
+      }
     }
     return;
   }
 
   TaskGroup group(pool, opts.token);
+  std::atomic<std::size_t> completed{0};
   for (std::size_t lo = begin; lo < end; lo += grain) {
     const std::size_t hi = std::min(end, lo + grain);
-    group.run([&fn, lo, hi] {
+    group.run([&fn, &opts, &completed, lo, hi, n] {
       for (std::size_t i = lo; i < hi; ++i) fn(i);
+      if (opts.progress) {
+        const std::size_t done =
+            completed.fetch_add(hi - lo, std::memory_order_relaxed) +
+            (hi - lo);
+        opts.progress(done, n);
+      }
     });
   }
   group.wait();

@@ -1,7 +1,6 @@
 #include "src/fault/campaign.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
@@ -10,6 +9,7 @@
 #include "src/comms/protocol.hpp"
 #include "src/exec/thread_pool.hpp"
 #include "src/fault/injector.hpp"
+#include "src/fault/plant.hpp"
 #include "src/fault/session.hpp"
 #include "src/fault/validate.hpp"
 #include "src/magnetics/link.hpp"
@@ -20,200 +20,38 @@
 #include "src/pm/regulator.hpp"
 #include "src/spice/analysis/analysis.hpp"
 #include "src/spice/circuit.hpp"
-#include "src/spice/devices_passive.hpp"
-#include "src/spice/devices_sources.hpp"
 #include "src/spice/engine.hpp"
+#include "src/util/fingerprint.hpp"
 #include "src/util/rng.hpp"
 
 namespace ironic::fault {
 namespace {
 
-// --- fingerprint ------------------------------------------------------------
-
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
-constexpr std::uint64_t kFnvPrime = 1099511628211ull;
-
-void fnv_u64(std::uint64_t& hash, std::uint64_t value) {
-  for (int i = 0; i < 8; ++i) {
-    hash ^= (value >> (8 * i)) & 0xffu;
-    hash *= kFnvPrime;
-  }
-}
-
-void fnv_double(std::uint64_t& hash, double value) {
-  fnv_u64(hash, std::bit_cast<std::uint64_t>(value));
-}
-
+// FNV-1a over every deterministic scenario field, in index order (see
+// util::Fingerprint): equal fingerprints mean bit-identical campaigns.
 std::uint64_t fingerprint_scenarios(const std::vector<ScenarioResult>& scenarios) {
-  std::uint64_t hash = kFnvOffset;
+  util::Fingerprint fp;
   for (const auto& s : scenarios) {
-    fnv_u64(hash, static_cast<std::uint64_t>(s.index));
-    fnv_u64(hash, static_cast<std::uint64_t>(s.exchanges));
-    fnv_u64(hash, static_cast<std::uint64_t>(s.completed));
-    fnv_u64(hash, static_cast<std::uint64_t>(s.lost));
-    fnv_u64(hash, static_cast<std::uint64_t>(s.retries));
-    fnv_u64(hash, static_cast<std::uint64_t>(s.recovered));
-    fnv_double(hash, s.recover_seconds);
-    fnv_double(hash, s.backoff_seconds);
-    fnv_u64(hash, static_cast<std::uint64_t>(s.rate_fallbacks));
-    fnv_u64(hash, static_cast<std::uint64_t>(s.rate_recoveries));
-    fnv_u64(hash, static_cast<std::uint64_t>(s.restarts));
-    fnv_u64(hash, static_cast<std::uint64_t>(s.checkpoints));
-    fnv_u64(hash, static_cast<std::uint64_t>(s.ldo_violations));
-    fnv_u64(hash, static_cast<std::uint64_t>(s.brownouts));
-    fnv_double(hash, s.final_rate);
-    fnv_double(hash, s.sim_time);
-    for (const auto count : s.faults_injected) fnv_u64(hash, count);
-    for (const auto code : s.adc_codes) fnv_u64(hash, code);
+    fp.feed_i(s.index);
+    fp.feed_i(s.exchanges);
+    fp.feed_i(s.completed);
+    fp.feed_i(s.lost);
+    fp.feed_i(s.retries);
+    fp.feed_i(s.recovered);
+    fp.feed(s.recover_seconds);
+    fp.feed(s.backoff_seconds);
+    fp.feed_i(s.rate_fallbacks);
+    fp.feed_i(s.rate_recoveries);
+    fp.feed_i(s.restarts);
+    fp.feed_i(s.checkpoints);
+    fp.feed_i(s.ldo_violations);
+    fp.feed_i(s.brownouts);
+    fp.feed(s.final_rate);
+    fp.feed(s.sim_time);
+    for (const auto count : s.faults_injected) fp.feed(count);
+    for (const auto code : s.adc_codes) fp.feed(static_cast<std::uint64_t>(code));
   }
-  return hash;
-}
-
-// --- shared plant pieces ----------------------------------------------------
-
-constexpr double kNominalRate = 100e3;  // paper's ASK downlink [bit/s]
-constexpr double kCadence = 0.25;       // [s] between measurement commands
-constexpr double kLoadOhms = 150.0;     // rectifier input impedance scale
-constexpr double kNominalDrive = 3.5;   // rectifier input amplitude [V]
-
-pm::RectifierOptions fast_rect_options() {
-  pm::RectifierOptions opt;
-  opt.storage_capacitance = 10e-9;  // small Co keeps segments quick
-  opt.diode_is = 1e-16;
-  return opt;
-}
-
-std::uint16_t adc_code(double vo) {
-  const double clamped = std::clamp(vo, 0.0, 4.0);
-  return static_cast<std::uint16_t>(std::lround(clamped / 4.0 * 4095.0));
-}
-
-// The tuned link with injector-perturbed geometry; power feeds the BER
-// model and the implant drive amplitude.
-struct LinkBudget {
-  magnetics::InductiveLink link;
-  double drive = 0.0;
-  double p_nominal = 0.0;
-
-  LinkBudget() : link(magnetics::LinkConfig{}) {
-    drive = link.drive_for_power(15e-3, kLoadOhms);  // paper's 15 mW point
-    p_nominal = link.analyze(drive, kLoadOhms).power_delivered;
-  }
-
-  double power_now(const FaultInjector& injector) {
-    link.set_distance(injector.distance(magnetics::LinkConfig{}.distance));
-    link.set_lateral_offset(injector.lateral_offset(0.0));
-    if (const auto thickness = injector.tissue_thickness()) {
-      link.set_tissue(
-          magnetics::TissueSlab(magnetics::sirloin_properties(), *thickness));
-    } else {
-      link.set_tissue(std::nullopt);
-    }
-    return link.analyze(drive, kLoadOhms).power_delivered;
-  }
-};
-
-// Implant drive amplitude: the patch partially compensates a weakened
-// link (floor at 0.6 of nominal — it cannot boost indefinitely), and an
-// overvoltage fault scales the drive past the clamp threshold.
-double drive_amplitude(double power, double p_nominal, const FaultInjector& injector) {
-  const double compensation =
-      std::clamp(std::sqrt(std::max(0.0, power) / p_nominal), 0.6, 1.0);
-  return kNominalDrive * compensation * injector.drive_scale();
-}
-
-// Rectifier transient segments spliced at committed checkpoints: the
-// implant's analog state persists between measurements, and a drive
-// change mid-flight (a fault landing inside a segment) costs a discarded
-// half segment plus a restart from the last committed checkpoint.
-struct RectifierPlant {
-  spice::TransientCheckpoint committed;
-  double committed_amplitude = -1.0;
-  double segment_length = 10e-6;
-  int restarts = 0;
-  int checkpoints = 0;
-  // When set, the static-analysis passes run over each fresh segment
-  // circuit and install the solver/dt hints before the transient.
-  bool analysis_hints = false;
-  spice::analysis::AnalysisManager analyzer;
-
-  static std::unique_ptr<spice::Circuit> build(double amplitude) {
-    auto ckt = std::make_unique<spice::Circuit>();
-    const auto src = ckt->node("src");
-    const auto vi = ckt->node("vi");
-    ckt->add<spice::VoltageSource>("Vs", src, spice::kGround,
-                                   spice::Waveform::sine(amplitude, 5e6));
-    ckt->add<spice::Resistor>("Rs", src, vi, 50.0);
-    const auto rect =
-        pm::build_rectifier(*ckt, "r", vi, spice::Waveform::dc(0.0),
-                            spice::Waveform::dc(1.8), fast_rect_options());
-    // Light enough that the settled Vo clears the LDO's 2.1 V input
-    // floor at the nominal drive; violations then come from faults.
-    ckt->add<spice::Resistor>("Rl", rect.output, spice::kGround, 2.2e3);
-    return ckt;
-  }
-
-  spice::TransientResult run_segment(double amplitude, double length,
-                                     spice::TransientCheckpoint* capture) {
-    // A fresh circuit every segment: resume must carry ALL state through
-    // the checkpoint blob, never through device object identity.
-    auto ckt = build(amplitude);
-    if (analysis_hints) analyzer.apply_hints(*ckt);
-    spice::TransientOptions opts;
-    const double t0 = committed.valid() ? committed.time : 0.0;
-    opts.t_stop = t0 + length;
-    opts.dt_max = 10e-9;
-    opts.record_every = 8;
-    opts.record_signals = {"v(r.vo)"};
-    opts.checkpoint = capture;
-    if (committed.valid()) opts.resume_from = &committed;
-    return spice::run_transient(*ckt, opts);
-  }
-
-  double measure(double amplitude) {
-    if (committed.valid() && committed_amplitude >= 0.0 &&
-        amplitude != committed_amplitude) {
-      // The fault hit while a segment at the old drive was in flight:
-      // that half segment is wasted work, thrown away with its scratch
-      // checkpoint; the measurement restarts from the committed state.
-      spice::TransientCheckpoint doomed;
-      run_segment(committed_amplitude, segment_length / 2.0, &doomed);
-      ++restarts;
-    }
-    spice::TransientCheckpoint scratch;
-    const auto res = run_segment(amplitude, segment_length, &scratch);
-    const double t0 = committed.valid() ? committed.time : 0.0;
-    // Average the settled second half of the segment (the first half of
-    // the very first segment is still charging Co).
-    const double vo = res.mean_between("v(r.vo)", t0 + segment_length / 2.0,
-                                       t0 + segment_length);
-    committed = scratch;
-    committed_amplitude = amplitude;
-    ++checkpoints;
-    return vo;
-  }
-};
-
-// Physical BER from the link budget: snr scales with delivered power and
-// inversely with bit rate (energy per bit), so the session's rate ladder
-// buys back margin the coupling fault took away.
-double bit_error_rate_for(double power, double sensitivity, double rate) {
-  const double snr =
-      std::max(0.0, power / sensitivity) * (kNominalRate / rate);
-  return 0.5 * std::erfc(std::sqrt(snr));
-}
-
-// Tally the continuously-active fault kinds once per executed
-// measurement (the comms kinds tally per corrupted frame inside the
-// injector's channel wrapper).
-void tally_active(FaultInjector& injector, const FaultSchedule& schedule,
-                  double t) {
-  for (const auto kind :
-       {FaultKind::kCouplingStep, FaultKind::kMisalignment,
-        FaultKind::kTissueDrift, FaultKind::kOvervoltage,
-        FaultKind::kLdoDropout}) {
-    if (schedule.active(kind, t) != nullptr) injector.note_applied(kind);
-  }
+  return fp.value();
 }
 
 // --- scenario runners -------------------------------------------------------

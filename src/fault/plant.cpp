@@ -1,0 +1,153 @@
+#include "src/fault/plant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/spice/devices_passive.hpp"
+#include "src/spice/devices_sources.hpp"
+
+namespace ironic::fault {
+
+pm::RectifierOptions fast_rect_options() {
+  pm::RectifierOptions opt;
+  opt.storage_capacitance = 10e-9;  // small Co keeps segments quick
+  opt.diode_is = 1e-16;
+  return opt;
+}
+
+std::uint16_t adc_code(double vo) {
+  const double clamped = std::clamp(vo, 0.0, 4.0);
+  return static_cast<std::uint16_t>(std::lround(clamped / 4.0 * 4095.0));
+}
+
+LinkBudget::LinkBudget() : link(magnetics::LinkConfig{}) {
+  drive = link.drive_for_power(15e-3, kLoadOhms);  // paper's 15 mW point
+  p_nominal = link.analyze(drive, kLoadOhms).power_delivered;
+}
+
+double LinkBudget::power_now(const FaultInjector& injector) {
+  link.set_distance(injector.distance(magnetics::LinkConfig{}.distance));
+  link.set_lateral_offset(injector.lateral_offset(0.0));
+  if (const auto thickness = injector.tissue_thickness()) {
+    link.set_tissue(
+        magnetics::TissueSlab(magnetics::sirloin_properties(), *thickness));
+  } else {
+    link.set_tissue(std::nullopt);
+  }
+  return link.analyze(drive, kLoadOhms).power_delivered;
+}
+
+double drive_amplitude(double power, double p_nominal,
+                       const FaultInjector& injector) {
+  const double compensation =
+      std::clamp(std::sqrt(std::max(0.0, power) / p_nominal), 0.6, 1.0);
+  return kNominalDrive * compensation * injector.drive_scale();
+}
+
+double bit_error_rate_for(double power, double sensitivity, double rate) {
+  const double snr =
+      std::max(0.0, power / sensitivity) * (kNominalRate / rate);
+  return 0.5 * std::erfc(std::sqrt(snr));
+}
+
+void tally_active(FaultInjector& injector, const FaultSchedule& schedule,
+                  double t) {
+  for (const auto kind :
+       {FaultKind::kCouplingStep, FaultKind::kMisalignment,
+        FaultKind::kTissueDrift, FaultKind::kOvervoltage,
+        FaultKind::kLdoDropout}) {
+    if (schedule.active(kind, t) != nullptr) injector.note_applied(kind);
+  }
+}
+
+std::unique_ptr<spice::Circuit> RectifierPlant::build(double amplitude) {
+  auto ckt = std::make_unique<spice::Circuit>();
+  const auto src = ckt->node("src");
+  const auto vi = ckt->node("vi");
+  ckt->add<spice::VoltageSource>("Vs", src, spice::kGround,
+                                 spice::Waveform::sine(amplitude, 5e6));
+  ckt->add<spice::Resistor>("Rs", src, vi, 50.0);
+  const auto rect =
+      pm::build_rectifier(*ckt, "r", vi, spice::Waveform::dc(0.0),
+                          spice::Waveform::dc(1.8), fast_rect_options());
+  // Light enough that the settled Vo clears the LDO's 2.1 V input
+  // floor at the nominal drive; violations then come from faults.
+  ckt->add<spice::Resistor>("Rl", rect.output, spice::kGround, 2.2e3);
+  return ckt;
+}
+
+void RectifierPlant::fork_from(
+    std::shared_ptr<const spice::TransientCheckpoint> base,
+    double base_amplitude) {
+  base_ = std::move(base);
+  owned_ = spice::TransientCheckpoint{};
+  committed_amplitude_ = base_amplitude;
+}
+
+const spice::TransientCheckpoint* RectifierPlant::committed() const {
+  if (base_ != nullptr && base_->valid()) return base_.get();
+  if (owned_.valid()) return &owned_;
+  return nullptr;
+}
+
+spice::TransientResult RectifierPlant::run_segment(
+    double amplitude, double length, spice::TransientCheckpoint* capture) {
+  // A fresh circuit every segment: resume must carry ALL state through
+  // the checkpoint blob, never through device object identity.
+  auto ckt = build(amplitude);
+  if (analysis_hints) analyzer.apply_hints(*ckt);
+  spice::TransientOptions opts;
+  const spice::TransientCheckpoint* from = committed();
+  const double t0 = from != nullptr ? from->time : 0.0;
+  opts.t_stop = t0 + length;
+  opts.dt_max = 10e-9;
+  opts.record_every = 8;
+  opts.record_signals = {"v(r.vo)"};
+  opts.checkpoint = capture;
+  if (from != nullptr) opts.resume_from = from;
+  return spice::run_transient(*ckt, opts);
+}
+
+double RectifierPlant::measure(double amplitude) {
+  if (committed() != nullptr && committed_amplitude_ >= 0.0 &&
+      amplitude != committed_amplitude_) {
+    // The fault hit while a segment at the old drive was in flight:
+    // that half segment is wasted work, thrown away with its scratch
+    // checkpoint; the measurement restarts from the committed state.
+    spice::TransientCheckpoint doomed;
+    run_segment(committed_amplitude_, segment_length / 2.0, &doomed);
+    ++restarts;
+  }
+  spice::TransientCheckpoint scratch;
+  const auto res = run_segment(amplitude, segment_length, &scratch);
+  const spice::TransientCheckpoint* from = committed();
+  const double t0 = from != nullptr ? from->time : 0.0;
+  // Average the settled second half of the segment (the first half of
+  // the very first segment is still charging Co).
+  const double vo = res.mean_between("v(r.vo)", t0 + segment_length / 2.0,
+                                     t0 + segment_length);
+  // Copy-on-write commit: the plant's state is now its own private
+  // checkpoint, and the shared base (if any) is released untouched.
+  owned_ = std::move(scratch);
+  base_.reset();
+  committed_amplitude_ = amplitude;
+  ++checkpoints;
+  return vo;
+}
+
+spice::TransientCheckpoint capture_charged_checkpoint(
+    const ChargeUpSpec& spec, spice::TransientStats* stats) {
+  auto ckt = RectifierPlant::build(spec.amplitude);
+  spice::TransientOptions opts;
+  opts.t_stop = spec.duration;
+  opts.dt_max = spec.dt_max;
+  opts.record_every = spec.record_every;
+  opts.record_signals = {"v(r.vo)"};
+  spice::TransientCheckpoint checkpoint;
+  opts.checkpoint = &checkpoint;
+  spice::run_transient(*ckt, opts, stats);
+  return checkpoint;
+}
+
+}  // namespace ironic::fault

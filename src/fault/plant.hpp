@@ -1,0 +1,124 @@
+// The shared end-to-end "patient plant": the tuned inductive link with
+// injector-perturbed geometry, the physical BER model the session rate
+// ladder plays against, and the rectifier transient plant whose analog
+// state persists between measurements through spice checkpoints.
+//
+// Extracted from the campaign runner so the fleet service can run the
+// same pipeline per patient session. The plant adds the fleet's scaling
+// lever: `fork_from` adopts a shared charged-up TransientCheckpoint as
+// the committed operating point *without copying it* — thousands of
+// sessions reference one immutable blob, and each plant detaches onto
+// its own private checkpoint the first time it commits a segment
+// (copy-on-write). `capture_charged_checkpoint` produces that shared
+// blob by running the ~270 us charge-up transient once.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/fault/injector.hpp"
+#include "src/fault/schedule.hpp"
+#include "src/magnetics/link.hpp"
+#include "src/pm/rectifier.hpp"
+#include "src/spice/analysis/analysis.hpp"
+#include "src/spice/circuit.hpp"
+#include "src/spice/engine.hpp"
+
+namespace ironic::fault {
+
+// Shared operating constants (the paper's nominal link numbers).
+inline constexpr double kNominalRate = 100e3;  // ASK downlink [bit/s]
+inline constexpr double kCadence = 0.25;       // [s] between measurements
+inline constexpr double kLoadOhms = 150.0;     // rectifier input impedance scale
+inline constexpr double kNominalDrive = 3.5;   // rectifier input amplitude [V]
+
+pm::RectifierOptions fast_rect_options();
+
+// 12-bit ADC code for a rectifier output voltage clamped to [0, 4] V.
+std::uint16_t adc_code(double vo);
+
+// The tuned link with injector-perturbed geometry; power feeds the BER
+// model and the implant drive amplitude.
+struct LinkBudget {
+  magnetics::InductiveLink link;
+  double drive = 0.0;
+  double p_nominal = 0.0;
+
+  LinkBudget();
+  double power_now(const FaultInjector& injector);
+};
+
+// Implant drive amplitude: the patch partially compensates a weakened
+// link (floor at 0.6 of nominal — it cannot boost indefinitely), and an
+// overvoltage fault scales the drive past the clamp threshold.
+double drive_amplitude(double power, double p_nominal,
+                       const FaultInjector& injector);
+
+// Physical BER from the link budget: snr scales with delivered power and
+// inversely with bit rate (energy per bit), so the session's rate ladder
+// buys back margin the coupling fault took away.
+double bit_error_rate_for(double power, double sensitivity, double rate);
+
+// Tally the continuously-active fault kinds once per executed
+// measurement (the comms kinds tally per corrupted frame inside the
+// injector's channel wrapper).
+void tally_active(FaultInjector& injector, const FaultSchedule& schedule,
+                  double t);
+
+// Rectifier transient segments spliced at committed checkpoints: the
+// implant's analog state persists between measurements, and a drive
+// change mid-flight (a fault landing inside a segment) costs a discarded
+// half segment plus a restart from the last committed checkpoint.
+struct RectifierPlant {
+  double segment_length = 10e-6;
+  int restarts = 0;
+  int checkpoints = 0;
+  // When set, the static-analysis passes run over each fresh segment
+  // circuit and install the solver/dt hints before the transient.
+  bool analysis_hints = false;
+  spice::analysis::AnalysisManager analyzer;
+
+  static std::unique_ptr<spice::Circuit> build(double amplitude);
+
+  // Adopt `base` as the committed operating point without copying the
+  // blob. `base_amplitude` is the drive the blob was captured at, so the
+  // first measurement at a different drive pays the usual doomed-segment
+  // restart. The shared checkpoint is only ever read through a const
+  // pointer; the plant detaches onto its own private checkpoint when it
+  // commits its first segment, so mutating this plant can never perturb
+  // sibling plants forked from the same blob.
+  void fork_from(std::shared_ptr<const spice::TransientCheckpoint> base,
+                 double base_amplitude);
+  // True until the first committed segment replaces the shared blob.
+  bool shares_base() const { return base_ != nullptr; }
+
+  double measure(double amplitude);
+
+  // The committed operating point (shared or private), nullptr before
+  // the first segment when the plant was not forked.
+  const spice::TransientCheckpoint* committed() const;
+
+  spice::TransientResult run_segment(double amplitude, double length,
+                                     spice::TransientCheckpoint* capture);
+
+ private:
+  std::shared_ptr<const spice::TransientCheckpoint> base_;  // forked, immutable
+  spice::TransientCheckpoint owned_;  // private once a segment commits
+  double committed_amplitude_ = -1.0;
+};
+
+// One charge-up transient at a fixed drive, checkpointed at the final
+// accepted point — the operating point every fleet session forks from.
+struct ChargeUpSpec {
+  double amplitude = kNominalDrive;
+  double duration = 270e-6;  // [s] the paper's charge-up time scale
+  double dt_max = 10e-9;     // matches the measurement segments
+  int record_every = 64;     // charge-up trace decimation (state unaffected)
+
+  bool operator==(const ChargeUpSpec&) const = default;
+};
+
+spice::TransientCheckpoint capture_charged_checkpoint(
+    const ChargeUpSpec& spec = {}, spice::TransientStats* stats = nullptr);
+
+}  // namespace ironic::fault

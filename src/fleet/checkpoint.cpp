@@ -1,0 +1,32 @@
+#include "src/fleet/checkpoint.hpp"
+
+#include <chrono>
+
+namespace ironic::fleet {
+
+std::shared_ptr<const spice::TransientCheckpoint> CheckpointCache::charged(
+    const fault::ChargeUpSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [cached_spec, blob] : entries_) {
+    if (cached_spec == spec) {
+      ++stats_.hits;
+      return blob;
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  auto blob = std::make_shared<const spice::TransientCheckpoint>(
+      fault::capture_charged_checkpoint(spec));
+  stats_.capture_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ++stats_.captures;
+  entries_.emplace_back(spec, blob);
+  return blob;
+}
+
+CheckpointCache::Stats CheckpointCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace ironic::fleet

@@ -1,0 +1,47 @@
+// Shared charged-up operating points for the fleet service.
+//
+// Capturing the ~270 us charge-up transient is the dominant per-session
+// cost (~27k solver steps against ~1k per measurement segment), and
+// every session with the same ChargeUpSpec charges up to the bit-same
+// operating point. The cache runs that transient once per distinct spec
+// and hands every session a shared_ptr to one immutable checkpoint;
+// plants fork it copy-on-write (fault::RectifierPlant::fork_from), so a
+// thousand sessions cost one capture plus a thousand pointer copies.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/fault/plant.hpp"
+#include "src/spice/engine.hpp"
+
+namespace ironic::fleet {
+
+class CheckpointCache {
+ public:
+  // The charged checkpoint for `spec`, capturing it on first use. The
+  // returned blob is immutable and shared: sessions must only read it
+  // (the plant's fork contract). Thread-safe; a concurrent miss on the
+  // same spec waits for the one capture instead of duplicating it.
+  std::shared_ptr<const spice::TransientCheckpoint> charged(
+      const fault::ChargeUpSpec& spec = {});
+
+  struct Stats {
+    std::size_t captures = 0;       // charge-up transients actually run
+    std::size_t hits = 0;           // requests served from the cache
+    double capture_seconds = 0.0;   // wall-clock spent capturing
+  };
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<fault::ChargeUpSpec,
+                        std::shared_ptr<const spice::TransientCheckpoint>>>
+      entries_;
+  Stats stats_;
+};
+
+}  // namespace ironic::fleet

@@ -1,0 +1,260 @@
+#include "src/fleet/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "src/obs/json.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/telemetry.hpp"
+#include "src/util/fingerprint.hpp"
+
+namespace ironic::fleet {
+namespace {
+
+SessionSpec make_spec(const FleetConfig& config, std::uint64_t index) {
+  SessionSpec spec;
+  spec.seed = config.seed;
+  spec.index = index;
+  spec.exchanges = effective_exchanges(config);
+  spec.cohort = config.cohorts[index % config.cohorts.size()];
+  spec.charge = config.charge;
+  spec.analysis_hints = config.analysis_hints;
+  return spec;
+}
+
+void validate(const FleetConfig& config) {
+  if (config.sessions < 1) {
+    throw std::invalid_argument("fleet: sessions must be >= 1");
+  }
+  if (config.cohorts.empty()) {
+    throw std::invalid_argument("fleet: at least one cohort profile");
+  }
+  if (effective_exchanges(config) < 1) {
+    throw std::invalid_argument("fleet: exchanges must be >= 1");
+  }
+}
+
+}  // namespace
+
+int effective_exchanges(const FleetConfig& config) {
+  if (config.soak_seconds > 0.0) {
+    return std::max(
+        1, static_cast<int>(std::ceil(config.soak_seconds / fault::kCadence)));
+  }
+  return config.exchanges;
+}
+
+double exact_percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double pos = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+FleetService::FleetService(std::size_t threads) : pool_(threads) {}
+
+FleetResult FleetService::run(const FleetConfig& config) {
+  validate(config);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto cache_before = cache_.stats();
+  const std::size_t n_cohorts = config.cohorts.size();
+
+  FleetResult result;
+  result.sessions.resize(config.sessions);
+
+  // One capture per distinct spec, shared by every session. When
+  // sharing is off each session pays its own charge-up inside
+  // run_patient_session — same results, different wall clock.
+  std::shared_ptr<const spice::TransientCheckpoint> blob;
+  if (config.share_checkpoint) blob = cache_.charged(config.charge);
+
+  // Registries forked up front on this thread: session i records into
+  // session_regs[i] only (slot-indexed like the results), parented on
+  // its cohort's registry so each cohort aggregates its own children.
+  auto& root = obs::MetricsRegistry::instance();
+  std::vector<std::shared_ptr<obs::MetricsRegistry>> cohort_regs;
+  std::vector<std::shared_ptr<obs::MetricsRegistry>> session_regs;
+  if constexpr (obs::kEnabled) {
+    cohort_regs.reserve(n_cohorts);
+    for (const auto& cohort : config.cohorts) {
+      cohort_regs.push_back(root.scoped({{"cohort", cohort.name}}));
+    }
+    session_regs.reserve(config.sessions);
+    for (std::size_t i = 0; i < config.sessions; ++i) {
+      session_regs.push_back(
+          cohort_regs[i % n_cohorts]->scoped({{"session", std::to_string(i)}}));
+    }
+  }
+
+  auto& sink = obs::TelemetrySink::instance();
+  const bool stream = obs::kEnabled && sink.is_open();
+  std::size_t every = config.progress_every;
+  if (every == 0) every = std::max<std::size_t>(1, config.sessions / 32);
+
+  exec::ParallelForOptions options;
+  options.grain = 1;
+  if (stream) {
+    options.progress = [&sink, every](std::size_t done, std::size_t total) {
+      if (done % every == 0 || done == total) {
+        sink.emit_event(
+            "fleet", "progress",
+            {{"done", obs::json::Value(static_cast<std::uint64_t>(done))},
+             {"total", obs::json::Value(static_cast<std::uint64_t>(total))}});
+      }
+    };
+  }
+  exec::parallel_for(
+      pool_, 0, config.sessions,
+      [&](std::size_t i) {
+        const SessionSpec spec = make_spec(config, i);
+        obs::MetricsRegistry* scoped =
+            session_regs.empty() ? nullptr : session_regs[i].get();
+        result.sessions[i] = run_patient_session(spec, blob, scoped);
+        if (stream) {
+          const auto& s = result.sessions[i];
+          sink.emit_event(
+              "fleet.session", "complete",
+              {{"session", obs::json::Value(static_cast<std::uint64_t>(i))},
+               {"cohort", obs::json::Value(s.cohort)},
+               {"completed",
+                obs::json::Value(static_cast<std::uint64_t>(s.completed))},
+               {"lost", obs::json::Value(static_cast<std::uint64_t>(s.lost))},
+               {"retries",
+                obs::json::Value(static_cast<std::uint64_t>(s.retries))},
+               {"recover_s", obs::json::Value(s.recover_seconds)}});
+        }
+      },
+      options);
+
+  // Fold the slot-indexed sessions into cohort summaries and the fleet
+  // roll-up. Samples are sorted before the percentile walk, so the
+  // statistics (like the fingerprint) never depend on completion order.
+  result.cohorts.resize(n_cohorts);
+  std::vector<std::vector<double>> cohort_samples(n_cohorts);
+  std::vector<double> all_samples;
+  util::Fingerprint fp;
+  double wall_sum = 0.0;
+  for (std::size_t i = 0; i < result.sessions.size(); ++i) {
+    const auto& s = result.sessions[i];
+    auto& cohort = result.cohorts[i % n_cohorts];
+    ++cohort.sessions;
+    cohort.exchanges += s.exchanges;
+    cohort.completed += s.completed;
+    cohort.lost += s.lost;
+    cohort.retries += s.retries;
+    cohort.recovered += s.recovered;
+    cohort.restarts += s.restarts;
+    if (s.recovered > 0) {
+      const double sample = s.recover_seconds / s.recovered;
+      cohort_samples[i % n_cohorts].push_back(sample);
+      all_samples.push_back(sample);
+    }
+    if (s.forked) ++result.checkpoint_forks;
+    result.charge_capture_seconds += s.charge_wall_seconds;
+    wall_sum += s.wall_seconds;
+    result.total_exchanges += s.exchanges;
+    result.lost_measurements += s.lost;
+    fp.feed(fingerprint_session(s));
+  }
+  for (std::size_t c = 0; c < n_cohorts; ++c) {
+    auto& cohort = result.cohorts[c];
+    cohort.name = config.cohorts[c].name;
+    cohort.lost_rate =
+        cohort.exchanges > 0
+            ? static_cast<double>(cohort.lost) / static_cast<double>(cohort.exchanges)
+            : 0.0;
+    auto& samples = cohort_samples[c];
+    std::sort(samples.begin(), samples.end());
+    cohort.recovery_p50_s = exact_percentile(samples, 50.0);
+    cohort.recovery_p95_s = exact_percentile(samples, 95.0);
+    cohort.recovery_p99_s = exact_percentile(samples, 99.0);
+    if (!samples.empty()) {
+      double sum = 0.0;
+      for (const double sample : samples) sum += sample;
+      cohort.mean_recovery_s = sum / static_cast<double>(samples.size());
+    }
+  }
+  std::sort(all_samples.begin(), all_samples.end());
+  result.recovery_p50_s = exact_percentile(all_samples, 50.0);
+  result.recovery_p95_s = exact_percentile(all_samples, 95.0);
+  result.recovery_p99_s = exact_percentile(all_samples, 99.0);
+  result.lost_rate = result.total_exchanges > 0
+                         ? static_cast<double>(result.lost_measurements) /
+                               static_cast<double>(result.total_exchanges)
+                         : 0.0;
+  result.fingerprint = fp.value();
+  result.session_wall_mean_s =
+      wall_sum / static_cast<double>(result.sessions.size());
+
+  // Solo-path captures were booked per session above; add the cache's
+  // share (0 extra when this spec was already cached by a prior run).
+  const auto cache_after = cache_.stats();
+  result.charge_captures = (cache_after.captures - cache_before.captures) +
+                           (config.sessions - result.checkpoint_forks);
+  result.charge_capture_seconds +=
+      cache_after.capture_seconds - cache_before.capture_seconds;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if constexpr (obs::kEnabled) {
+    root.counter("fleet.runs").add();
+    root.gauge("fleet.sessions").set(static_cast<double>(config.sessions));
+    root.gauge("fleet.threads").set(static_cast<double>(pool_.size()));
+    root.gauge("fleet.total_exchanges")
+        .set(static_cast<double>(result.total_exchanges));
+    root.gauge("fleet.lost_measurements")
+        .set(static_cast<double>(result.lost_measurements));
+    root.gauge("fleet.lost_rate").set(result.lost_rate);
+    root.gauge("fleet.recovery_p50_s").set(result.recovery_p50_s);
+    root.gauge("fleet.recovery_p95_s").set(result.recovery_p95_s);
+    root.gauge("fleet.recovery_p99_s").set(result.recovery_p99_s);
+    root.gauge("fleet.charge_captures")
+        .set(static_cast<double>(result.charge_captures));
+    root.gauge("fleet.charge_capture_seconds")
+        .set(result.charge_capture_seconds);
+    root.gauge("fleet.checkpoint_forks")
+        .set(static_cast<double>(result.checkpoint_forks));
+    root.gauge("fleet.wall_seconds").set(result.wall_seconds);
+    root.gauge("fleet.session_wall_mean_s").set(result.session_wall_mean_s);
+    if (result.wall_seconds > 0.0) {
+      root.gauge("fleet.sessions_per_second")
+          .set(static_cast<double>(config.sessions) / result.wall_seconds);
+    }
+    // Per-cohort aggregates land in the root registry so one run report
+    // (and trace_validate --require) pins every cohort's statistics.
+    for (std::size_t c = 0; c < n_cohorts; ++c) {
+      cohort_regs[c]->publish_cohorts("cohort.fleet." + config.cohorts[c].name,
+                                      root);
+    }
+    if (stream) {
+      sink.emit_event(
+          "fleet", "complete",
+          {{"sessions",
+            obs::json::Value(static_cast<std::uint64_t>(config.sessions))},
+           {"lost_rate", obs::json::Value(result.lost_rate)},
+           {"recovery_p95_s", obs::json::Value(result.recovery_p95_s)},
+           {"fingerprint", obs::json::Value(result.fingerprint)}});
+    }
+  }
+  return result;
+}
+
+FleetResult run_fleet(const FleetConfig& config) {
+  FleetService service(config.threads);
+  return service.run(config);
+}
+
+SessionResult run_solo_session(const FleetConfig& config, std::uint64_t index) {
+  validate(config);
+  return run_patient_session(make_spec(config, index), nullptr, nullptr);
+}
+
+}  // namespace ironic::fleet

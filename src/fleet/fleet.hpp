@@ -1,0 +1,127 @@
+// Fleet-scale session service: N independent patient sessions — each
+// the full spice + magnetics + comms + fault pipeline with its own
+// SimClock and RNG lanes — sharded across the exec work-stealing pool.
+//
+// The scaling lever is checkpoint sharing: one charge-up transient is
+// captured per distinct ChargeUpSpec (CheckpointCache) and every
+// session forks the immutable blob copy-on-write instead of
+// re-simulating the ~270 us charge-up. The hard contract: every
+// session's deterministic results are bit-identical to running that
+// session solo with the same seed, for any thread count and whether or
+// not the checkpoint was shared — slot-indexed results, per-session
+// hashed RNG streams, and a deterministic capture make that structural.
+//
+// Observability: each session records into a scoped registry parented
+// on its cohort's registry; after the run the service aggregates each
+// cohort's children and publishes cohort.fleet.<cohort>.* gauges plus
+// the fleet.* roll-ups into the root registry, and streams fleet.session
+// / fleet progress events through TelemetrySink when it is open.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/exec/thread_pool.hpp"
+#include "src/fleet/checkpoint.hpp"
+#include "src/fleet/session.hpp"
+
+namespace ironic::fleet {
+
+struct FleetConfig {
+  std::size_t sessions = 8;
+  std::size_t threads = 1;  // pool size for run_fleet (0 = hardware)
+  std::uint64_t seed = 0xf1ee70001ull;
+  int exchanges = 4;  // per session; overridden when soak_seconds > 0
+  // Simulated per-session horizon [s]: > 0 runs ceil(soak / kCadence)
+  // exchanges. Simulated time, not wall time, so a soak is exactly as
+  // deterministic as a fixed exchange count.
+  double soak_seconds = 0.0;
+  // false = every session captures its own charge-up (the solo path,
+  // fleet-wide). Results are bit-identical either way; only wall clock
+  // moves. The A/B lever behind BENCH_fleet_soak's fork-speedup row.
+  bool share_checkpoint = true;
+  bool analysis_hints = false;
+  fault::ChargeUpSpec charge;
+  // Session i belongs to cohorts[i % cohorts.size()].
+  std::vector<CohortProfile> cohorts = default_cohorts();
+  // Emit a fleet progress telemetry event every this many completed
+  // sessions (0 = about 32 events across the run).
+  std::size_t progress_every = 0;
+};
+
+// ceil(soak_seconds / kCadence) when soaking, else config.exchanges.
+int effective_exchanges(const FleetConfig& config);
+
+struct CohortSummary {
+  std::string name;
+  std::size_t sessions = 0;
+  long long exchanges = 0;
+  long long completed = 0;
+  long long lost = 0;
+  long long retries = 0;
+  long long recovered = 0;
+  long long restarts = 0;
+  // Lost-measurement rate: lost / exchanges across the cohort.
+  double lost_rate = 0.0;
+  // Exact percentiles (sorted samples, linear interpolation — not
+  // histogram-bucket estimates) of per-session mean recovery time
+  // [s/recovered exchange] over the cohort's sessions that recovered at
+  // least one exchange. 0 when no session recovered anything.
+  double recovery_p50_s = 0.0;
+  double recovery_p95_s = 0.0;
+  double recovery_p99_s = 0.0;
+  double mean_recovery_s = 0.0;
+};
+
+struct FleetResult {
+  std::vector<SessionResult> sessions;  // index order, slot-indexed
+  std::vector<CohortSummary> cohorts;   // config order
+  // FNV-1a over fingerprint_session of every session in index order.
+  std::uint64_t fingerprint = 0;
+  // Fleet-wide recovery percentiles (same sample definition as the
+  // cohort summaries, across all sessions).
+  double recovery_p50_s = 0.0;
+  double recovery_p95_s = 0.0;
+  double recovery_p99_s = 0.0;
+  long long total_exchanges = 0;
+  long long lost_measurements = 0;
+  double lost_rate = 0.0;
+  // Wall-clock accounting, excluded from the fingerprint.
+  double wall_seconds = 0.0;
+  std::size_t charge_captures = 0;        // 1 when shared, N when not
+  double charge_capture_seconds = 0.0;    // total wall spent charging up
+  std::size_t checkpoint_forks = 0;       // sessions that ran from the blob
+  double session_wall_mean_s = 0.0;       // mean session body wall clock
+};
+
+// Exact percentile (p in [0, 100]) of a sorted sample set by linear
+// interpolation; 0 on an empty set. Shared with the runner's reporting.
+double exact_percentile(const std::vector<double>& sorted, double p);
+
+// Long-lived service: owns the worker pool and the checkpoint cache, so
+// successive runs (a soak driver, a growing fleet) reuse both.
+class FleetService {
+ public:
+  explicit FleetService(std::size_t threads = 1);
+
+  FleetResult run(const FleetConfig& config);
+
+  const CheckpointCache& checkpoints() const { return cache_; }
+  std::size_t threads() const { return pool_.size(); }
+
+ private:
+  exec::ThreadPool pool_;
+  CheckpointCache cache_;
+};
+
+// One-shot convenience: a service sized config.threads, run once.
+FleetResult run_fleet(const FleetConfig& config);
+
+// The parity reference: session `index` of `config`, run alone with a
+// private charge-up and no shared state. fingerprint_session of the
+// result must equal the fleet's session `index` — the contract CI pins.
+SessionResult run_solo_session(const FleetConfig& config, std::uint64_t index);
+
+}  // namespace ironic::fleet

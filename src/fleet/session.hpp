@@ -1,0 +1,105 @@
+// One patient session: the full spice + magnetics + comms + fault
+// pipeline (the campaign's link scenario with the rectifier transient
+// plant) run against a per-session stochastic fault schedule, with its
+// own SimClock and private RNG lanes.
+//
+// Determinism contract (the fleet's hard guarantee): every value in
+// SessionResult that feeds fingerprint_session is a pure function of
+// (seed, index, exchanges, cohort, charge) — independent of thread
+// count, of sibling sessions, and of whether the charged checkpoint was
+// forked from a shared blob or captured by the session itself
+// (capture_charged_checkpoint is deterministic, so the forked blob is
+// bit-identical to a private capture). `run solo == run in fleet`,
+// bitwise, is enforced by tests and CI on this property.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fault/plant.hpp"
+#include "src/fault/schedule.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/spice/engine.hpp"
+
+namespace ironic::fleet {
+
+// A patient cohort: how hostile this group's environment is (event
+// rates feed the stochastic schedule generator) and how hard its patch
+// firmware fights back (retry budget, timeout, rate ladder).
+struct CohortProfile {
+  std::string name = "nominal";
+  // Mean stochastic events per schedule horizon, by family.
+  double comms_fault_rate = 1.0;  // kBitFlip / kBurstError, each
+  double link_fault_rate = 0.3;   // kCouplingStep / kMisalignment / kTissueDrift
+  double rail_fault_rate = 0.3;   // kOvervoltage / kLdoDropout, each
+  double mean_fault_duration = 0.5;  // [s] exponential
+  // Session-layer firmware knobs.
+  int max_attempts = 12;
+  double exchange_timeout = 10.0;  // [s]
+  std::vector<double> rate_ladder = {100e3, 50e3, 25e3, 12.5e3};
+};
+
+// The stock fleet mix: nominal wearers, a noisy-link cohort (dense
+// comms faults — urban RF, loose patch), and a deep-implant cohort
+// (weak coupling, long-lived link and rail faults, slower ladder).
+std::vector<CohortProfile> default_cohorts();
+
+// Everything that determines a session's results (see the contract
+// above): identity, horizon, cohort, and the charge-up operating point.
+struct SessionSpec {
+  std::uint64_t seed = 0;
+  std::uint64_t index = 0;  // fleet-wide session index; keys the RNG lanes
+  int exchanges = 4;
+  CohortProfile cohort;
+  fault::ChargeUpSpec charge;
+  bool analysis_hints = false;
+};
+
+struct SessionResult {
+  std::uint64_t index = 0;
+  std::string cohort;
+  // Deterministic outcome fields (all of these feed the fingerprint).
+  int exchanges = 0;
+  int completed = 0;
+  int lost = 0;
+  int retries = 0;
+  int recovered = 0;
+  double recover_seconds = 0.0;
+  double backoff_seconds = 0.0;
+  int rate_fallbacks = 0;
+  int rate_recoveries = 0;
+  int restarts = 0;
+  int checkpoints = 0;
+  int ldo_violations = 0;
+  double final_rate = 0.0;
+  double sim_time = 0.0;
+  std::array<std::uint64_t, fault::kFaultKindCount> faults_injected{};
+  std::vector<std::uint16_t> adc_codes;
+  // Wall-clock accounting, excluded from the fingerprint.
+  bool forked = false;               // ran from a shared checkpoint
+  double wall_seconds = 0.0;         // session body (charge-up excluded)
+  double charge_wall_seconds = 0.0;  // private charge-up cost (0 if forked)
+};
+
+// FNV-1a over the deterministic fields in declaration order; equal
+// fingerprints mean bit-identical sessions.
+std::uint64_t fingerprint_session(const SessionResult& result);
+
+// The per-session stochastic schedule, drawn from the session's
+// schedule RNG lane (exposed for plan-validation and tests).
+fault::FaultSchedule make_session_schedule(const SessionSpec& spec);
+
+// Run one session to completion. `charged` is the shared charged-up
+// operating point the plant forks copy-on-write; pass nullptr and the
+// session captures its own (the solo path — bit-identical results by
+// the contract above, just slower). `scoped` (optional) receives the
+// session's fleet.session.* metrics for cohort aggregation.
+SessionResult run_patient_session(
+    const SessionSpec& spec,
+    std::shared_ptr<const spice::TransientCheckpoint> charged,
+    obs::MetricsRegistry* scoped);
+
+}  // namespace ironic::fleet

@@ -381,18 +381,23 @@ std::vector<CohortAggregate> MetricsRegistry::aggregate_cohorts() const {
 }
 
 void MetricsRegistry::publish_cohorts(const std::string& prefix) {
+  publish_cohorts(prefix, *this);
+}
+
+void MetricsRegistry::publish_cohorts(const std::string& prefix,
+                                      MetricsRegistry& into) const {
   for (const auto& agg : aggregate_cohorts()) {
     const std::string base =
         prefix.empty() ? agg.name : prefix + "." + agg.name;
-    gauge(base + ".sessions").set(static_cast<double>(agg.sessions));
-    gauge(base + ".count").set(static_cast<double>(agg.count));
-    gauge(base + ".sum").set(agg.sum);
-    gauge(base + ".min").set(agg.min);
-    gauge(base + ".max").set(agg.max);
-    gauge(base + ".mean").set(agg.mean);
-    gauge(base + ".p50").set(agg.p50);
-    gauge(base + ".p95").set(agg.p95);
-    gauge(base + ".p99").set(agg.p99);
+    into.gauge(base + ".sessions").set(static_cast<double>(agg.sessions));
+    into.gauge(base + ".count").set(static_cast<double>(agg.count));
+    into.gauge(base + ".sum").set(agg.sum);
+    into.gauge(base + ".min").set(agg.min);
+    into.gauge(base + ".max").set(agg.max);
+    into.gauge(base + ".mean").set(agg.mean);
+    into.gauge(base + ".p50").set(agg.p50);
+    into.gauge(base + ".p95").set(agg.p95);
+    into.gauge(base + ".p99").set(agg.p99);
   }
 }
 

@@ -278,6 +278,11 @@ class MetricsRegistry {
   // p50/p95/p99), so run reports and trace_validate --require can pin
   // the cohort views.
   void publish_cohorts(const std::string& prefix);
+  // Same, but the gauges land in `into` — the fleet layer aggregates an
+  // intermediate per-cohort registry's children and publishes the result
+  // into the root registry, so every cohort's stats appear in one run
+  // report without the intermediate registries feeding each other.
+  void publish_cohorts(const std::string& prefix, MetricsRegistry& into) const;
 
   // Find-or-create. References stay valid for the registry's lifetime.
   Counter& counter(const std::string& name);

@@ -1,0 +1,36 @@
+// FNV-1a fingerprint accumulator over deterministic result fields.
+//
+// Campaign and fleet results prove their bit-identical-for-any-thread-
+// count contract by hashing every deterministic field in slot order;
+// equal fingerprints mean bit-identical runs. Doubles are hashed through
+// their IEEE-754 bit pattern, so "close" values still diverge — that is
+// the point: the fingerprint is an equality witness, not a similarity
+// metric.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace ironic::util {
+
+class Fingerprint {
+ public:
+  static constexpr std::uint64_t kOffset = 1469598103934665603ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  void feed(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (value >> (8 * i)) & 0xffu;
+      hash_ *= kPrime;
+    }
+  }
+  void feed(double value) { feed(std::bit_cast<std::uint64_t>(value)); }
+  void feed_i(long long value) { feed(static_cast<std::uint64_t>(value)); }
+
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kOffset;
+};
+
+}  // namespace ironic::util

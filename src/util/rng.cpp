@@ -143,4 +143,14 @@ Rng Rng::stream(std::uint64_t seed, std::uint64_t index) {
   return rng;
 }
 
+Rng Rng::hashed_stream(std::uint64_t seed, std::uint64_t index) {
+  // Fold the index into the seed through one splitmix64 round before the
+  // constructor's expansion, so adjacent indices land on unrelated
+  // states ((seed, 0) and (seed + 1, anything) differ too: the index is
+  // pre-scaled by the splitmix increment, not added raw).
+  std::uint64_t s = seed;
+  std::uint64_t folded = splitmix64(s) ^ (index * 0x9e3779b97f4a7c15ull);
+  return Rng(splitmix64(folded) ^ index);
+}
+
 }  // namespace ironic::util

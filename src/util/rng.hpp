@@ -54,6 +54,15 @@ class Rng {
   // Convenience for task fan-out: the generator for stream `index` of the
   // family seeded by `seed` (== Rng(seed).split(index + 1).back()).
   static Rng stream(std::uint64_t seed, std::uint64_t index);
+  // O(1) keyed stream derivation for fleet-scale fan-out: stream() costs
+  // `index` jumps, which turns quadratic when thousands of sessions each
+  // ask for their own stream. hashed_stream mixes (seed, index) through
+  // splitmix64 into a fresh generator state instead — constant cost per
+  // stream, still bit-reproducible and thread-count independent. The
+  // streams are statistically independent rather than provably
+  // non-overlapping; call split() on the result when a session needs
+  // provably disjoint sub-streams.
+  static Rng hashed_stream(std::uint64_t seed, std::uint64_t index);
 
  private:
   void apply_jump(const std::uint64_t (&polynomial)[4]);

@@ -248,6 +248,54 @@ TEST(Transactor, DedupSurvivesSequenceWraparound) {
   EXPECT_EQ(stats.retries_exhausted, 0);
 }
 
+TEST(Transactor, DedupHistoryBoundedBySlidingWindow) {
+  // A multi-hour fleet soak wraps the sequence space thousands of times;
+  // the dedup history must stay bounded at the window capacity while
+  // still executing every fresh sequence exactly once.
+  ImplantDedup dedup(4);
+  EXPECT_EQ(dedup.window_capacity(), 4u);
+  EXPECT_EQ(dedup.cached(), 0u);
+  int executions = 0;
+  const auto measure = [&](const Request& request) {
+    ++executions;
+    Response response;
+    response.ok = true;
+    response.payload = {request.sequence};
+    return response;
+  };
+  for (int k = 0; k < 100; ++k) {
+    Request request;
+    request.sequence = static_cast<std::uint8_t>(k);
+    request.command = Command::kMeasure;
+    dedup.handle(request, measure);
+    EXPECT_LE(dedup.cached(), dedup.window_capacity());
+  }
+  EXPECT_EQ(executions, 100);
+  EXPECT_EQ(dedup.cached(), 4u);  // saturated, not grown
+
+  // A duplicate still inside the window replays its OWN cached response
+  // without re-executing the handler.
+  Request dup;
+  dup.sequence = 97;
+  dup.command = Command::kMeasure;
+  const Response replay = dedup.handle(dup, measure);
+  EXPECT_EQ(executions, 100);
+  ASSERT_EQ(replay.payload.size(), 1u);
+  EXPECT_EQ(replay.payload[0], 97);
+
+  // A duplicate that aged out of the window must still not re-execute
+  // (exactly-once survives the bound); the fallback replay is the newest
+  // entry, which the transactor discards as a sequence mismatch.
+  Request ancient;
+  ancient.sequence = 42;
+  ancient.command = Command::kMeasure;
+  const Response stale = dedup.handle(ancient, measure);
+  EXPECT_EQ(executions, 100);
+  ASSERT_EQ(stale.payload.size(), 1u);
+  EXPECT_EQ(stale.payload[0], 99);
+  EXPECT_EQ(dedup.cached(), 4u);
+}
+
 TEST(Transactor, StaleResponseClassifiedWrapAware) {
   // The uplink delays: it replays the previous response frame once
   // before delivering the current one — the classic late-frame hazard.

@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -311,6 +313,48 @@ TEST(ObsConcurrency, TraceSpansFromManyWorkersAreWellFormed) {
     EXPECT_TRUE(events.empty());
   }
   rec.clear();
+}
+
+TEST(ParallelFor, ProgressReportsEveryChunkOnPooledPath) {
+  // n=100, grain=7 -> 15 chunks. Cumulative counts arrive out of order
+  // across workers, but the multiset of values is fixed: 15 distinct
+  // cumulative totals, ending at exactly n.
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::vector<std::size_t> done;
+  std::atomic<std::size_t> sum{0};
+  ParallelForOptions opts;
+  opts.grain = 7;
+  opts.progress = [&](std::size_t completed, std::size_t total) {
+    EXPECT_EQ(total, 100u);
+    const std::lock_guard<std::mutex> lock(mutex);
+    done.push_back(completed);
+  };
+  parallel_for(
+      pool, 0, 100, [&](std::size_t i) { sum += i; }, opts);
+  EXPECT_EQ(sum.load(), 4950u);
+  ASSERT_EQ(done.size(), 15u);
+  std::sort(done.begin(), done.end());
+  EXPECT_EQ(std::unique(done.begin(), done.end()), done.end());
+  EXPECT_EQ(done.back(), 100u);
+}
+
+TEST(ParallelFor, ProgressReportsInOrderOnInlinePath) {
+  // A single-worker pool runs the range inline: progress fires at every
+  // grain boundary plus the final partial chunk, strictly in order.
+  ThreadPool pool(1);
+  std::vector<std::size_t> done;
+  ParallelForOptions opts;
+  opts.grain = 7;
+  opts.progress = [&](std::size_t completed, std::size_t total) {
+    EXPECT_EQ(total, 100u);
+    done.push_back(completed);
+  };
+  parallel_for(pool, 0, 100, [](std::size_t) {}, opts);
+  std::vector<std::size_t> expected;
+  for (std::size_t d = 7; d < 100; d += 7) expected.push_back(d);
+  expected.push_back(100);
+  EXPECT_EQ(done, expected);
 }
 
 TEST(ObsConcurrency, LogEventsFromPoolWorkersAreSerialized) {

@@ -1,0 +1,233 @@
+// Fleet service: checkpoint forking, the solo-parity contract, and the
+// cohort statistics.
+//
+// The load-bearing guarantees:
+//   - every session run inside a fleet is bit-identical to running that
+//     session solo with the same seed (fork == private charge-up);
+//   - the fleet fingerprint is invariant to the thread count and to
+//     whether the charged checkpoint was shared;
+//   - mutating one forked plant never perturbs siblings forked from the
+//     same blob (copy-on-write isolation).
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/fault/plant.hpp"
+#include "src/fleet/checkpoint.hpp"
+#include "src/fleet/fleet.hpp"
+#include "src/fleet/session.hpp"
+
+namespace {
+
+using namespace ironic;
+
+// Small but real: every session runs actual rectifier transients, so
+// keep the counts low and reuse one config across tests.
+fleet::FleetConfig small_config() {
+  fleet::FleetConfig config;
+  config.sessions = 6;
+  config.threads = 2;
+  config.seed = 0x5eedf1ee7ull;
+  config.exchanges = 2;
+  return config;
+}
+
+TEST(Fleet, EverySessionBitIdenticalToSolo) {
+  const auto config = small_config();
+  const auto result = fleet::run_fleet(config);
+  ASSERT_EQ(result.sessions.size(), config.sessions);
+  // Shared capture: one charge-up for the whole fleet, every session
+  // forked from it.
+  EXPECT_EQ(result.charge_captures, 1u);
+  EXPECT_EQ(result.checkpoint_forks, config.sessions);
+  for (std::size_t i = 0; i < config.sessions; ++i) {
+    const auto solo = fleet::run_solo_session(config, i);
+    EXPECT_FALSE(solo.forked);
+    EXPECT_GT(solo.charge_wall_seconds, 0.0);
+    EXPECT_EQ(fleet::fingerprint_session(result.sessions[i]),
+              fleet::fingerprint_session(solo))
+        << "session " << i << " diverged from its solo run";
+    // Fingerprint equality is the contract; spot-check the fields that
+    // feed it so a fingerprint bug cannot mask a real divergence.
+    EXPECT_EQ(result.sessions[i].completed, solo.completed);
+    EXPECT_EQ(result.sessions[i].retries, solo.retries);
+    EXPECT_EQ(result.sessions[i].restarts, solo.restarts);
+    EXPECT_EQ(result.sessions[i].adc_codes, solo.adc_codes);
+    EXPECT_EQ(result.sessions[i].recover_seconds, solo.recover_seconds);
+  }
+}
+
+TEST(Fleet, FingerprintInvariantToThreadCount) {
+  auto config = small_config();
+  config.threads = 1;
+  const auto serial = fleet::run_fleet(config);
+  config.threads = 3;
+  const auto pooled = fleet::run_fleet(config);
+  EXPECT_EQ(serial.fingerprint, pooled.fingerprint);
+  // The derived statistics ride on the same deterministic fields.
+  ASSERT_EQ(serial.cohorts.size(), pooled.cohorts.size());
+  for (std::size_t c = 0; c < serial.cohorts.size(); ++c) {
+    EXPECT_EQ(serial.cohorts[c].lost, pooled.cohorts[c].lost);
+    EXPECT_EQ(serial.cohorts[c].recovery_p95_s, pooled.cohorts[c].recovery_p95_s);
+  }
+}
+
+TEST(Fleet, FingerprintInvariantToCheckpointSharing) {
+  auto config = small_config();
+  config.sessions = 3;
+  const auto shared = fleet::run_fleet(config);
+  config.share_checkpoint = false;
+  const auto isolated = fleet::run_fleet(config);
+  EXPECT_EQ(shared.fingerprint, isolated.fingerprint);
+  EXPECT_EQ(shared.charge_captures, 1u);
+  EXPECT_EQ(shared.checkpoint_forks, 3u);
+  // Without sharing every session pays its own charge-up.
+  EXPECT_EQ(isolated.charge_captures, 3u);
+  EXPECT_EQ(isolated.checkpoint_forks, 0u);
+}
+
+TEST(Fleet, ForkedPlantMutationNeverPerturbsSiblings) {
+  const fault::ChargeUpSpec spec;
+  auto blob = std::make_shared<const spice::TransientCheckpoint>(
+      fault::capture_charged_checkpoint(spec));
+
+  fault::RectifierPlant a;
+  fault::RectifierPlant b;
+  a.fork_from(blob, spec.amplitude);
+  b.fork_from(blob, spec.amplitude);
+  EXPECT_TRUE(a.shares_base());
+  EXPECT_EQ(a.committed(), blob.get());
+  EXPECT_EQ(b.committed(), blob.get());
+
+  // Drive plant A through measurements (including an amplitude change,
+  // which restarts from the committed point and commits new state).
+  const double a1 = a.measure(spec.amplitude);
+  const double a2 = a.measure(spec.amplitude * 0.8);
+  EXPECT_FALSE(a.shares_base());      // detached onto its private copy
+  EXPECT_NE(a.committed(), blob.get());
+  // B still references the shared blob, untouched by A's detach.
+  EXPECT_TRUE(b.shares_base());
+  EXPECT_EQ(b.committed(), blob.get());
+
+  // B now measures the same sequence and must see exactly what A saw —
+  // the shared blob cannot have been mutated by A's run.
+  const double b1 = b.measure(spec.amplitude);
+  const double b2 = b.measure(spec.amplitude * 0.8);
+  EXPECT_EQ(a1, b1);
+  EXPECT_EQ(a2, b2);
+
+  // A fresh fork repeats it again, bit-for-bit.
+  fault::RectifierPlant c;
+  c.fork_from(blob, spec.amplitude);
+  EXPECT_EQ(c.measure(spec.amplitude), a1);
+  EXPECT_EQ(c.measure(spec.amplitude * 0.8), a2);
+}
+
+TEST(Fleet, CheckpointCacheCapturesOncePerSpec) {
+  fleet::CheckpointCache cache;
+  const auto first = cache.charged();
+  const auto second = cache.charged();
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.stats().captures, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  fault::ChargeUpSpec shorter;
+  shorter.duration = 100e-6;
+  const auto third = cache.charged(shorter);
+  EXPECT_NE(third.get(), first.get());
+  EXPECT_EQ(cache.stats().captures, 2u);
+}
+
+TEST(Fleet, CohortAssignmentRoundRobin) {
+  auto config = small_config();
+  config.sessions = 5;  // 3 cohorts -> 2/2/1 split
+  const auto result = fleet::run_fleet(config);
+  ASSERT_EQ(result.cohorts.size(), 3u);
+  EXPECT_EQ(result.cohorts[0].sessions, 2u);
+  EXPECT_EQ(result.cohorts[1].sessions, 2u);
+  EXPECT_EQ(result.cohorts[2].sessions, 1u);
+  long long exchanges = 0;
+  long long lost = 0;
+  for (const auto& cohort : result.cohorts) {
+    exchanges += cohort.exchanges;
+    lost += cohort.lost;
+    if (cohort.exchanges > 0) {
+      EXPECT_DOUBLE_EQ(cohort.lost_rate,
+                       static_cast<double>(cohort.lost) /
+                           static_cast<double>(cohort.exchanges));
+    }
+  }
+  EXPECT_EQ(exchanges, result.total_exchanges);
+  EXPECT_EQ(lost, result.lost_measurements);
+  for (std::size_t i = 0; i < config.sessions; ++i) {
+    EXPECT_EQ(result.sessions[i].cohort,
+              config.cohorts[i % config.cohorts.size()].name);
+  }
+}
+
+TEST(Fleet, ExactPercentileInterpolates) {
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(fleet::exact_percentile(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(fleet::exact_percentile(sorted, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(fleet::exact_percentile(sorted, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(fleet::exact_percentile(sorted, 25.0), 1.75);
+  EXPECT_DOUBLE_EQ(fleet::exact_percentile({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(fleet::exact_percentile({7.0}, 95.0), 7.0);
+}
+
+TEST(Fleet, SoakHorizonDrivesExchangeCount) {
+  fleet::FleetConfig config;
+  config.exchanges = 4;
+  EXPECT_EQ(fleet::effective_exchanges(config), 4);
+  config.soak_seconds = 1.0;  // cadence 0.25 s -> 4 exchanges
+  EXPECT_EQ(fleet::effective_exchanges(config), 4);
+  config.soak_seconds = 1.1;
+  EXPECT_EQ(fleet::effective_exchanges(config), 5);
+}
+
+TEST(Fleet, InvalidConfigsThrow) {
+  fleet::FleetConfig config;
+  config.sessions = 0;
+  EXPECT_THROW(fleet::run_fleet(config), std::invalid_argument);
+  config = {};
+  config.cohorts.clear();
+  EXPECT_THROW(fleet::run_fleet(config), std::invalid_argument);
+  config = {};
+  config.exchanges = 0;
+  EXPECT_THROW(fleet::run_fleet(config), std::invalid_argument);
+}
+
+TEST(Fleet, HashedStreamsGiveCohortsIndependentSchedules) {
+  // Two sessions in the same cohort (indices 0 and 3 with 3 cohorts)
+  // must draw different stochastic schedules — shared streams would
+  // collapse the fleet into N copies of one patient.
+  fleet::FleetConfig config = small_config();
+  fleet::SessionSpec s0;
+  s0.seed = config.seed;
+  s0.index = 0;
+  s0.exchanges = 8;
+  s0.cohort = config.cohorts[0];
+  fleet::SessionSpec s3 = s0;
+  s3.index = 3;
+  const auto sched0 = fleet::make_session_schedule(s0);
+  const auto sched3 = fleet::make_session_schedule(s3);
+  // Identical inputs reproduce bit-identically...
+  const auto sched0_again = fleet::make_session_schedule(s0);
+  ASSERT_EQ(sched0.events().size(), sched0_again.events().size());
+  for (std::size_t i = 0; i < sched0.events().size(); ++i) {
+    EXPECT_EQ(sched0.events()[i].start, sched0_again.events()[i].start);
+    EXPECT_EQ(sched0.events()[i].magnitude, sched0_again.events()[i].magnitude);
+  }
+  // ...while distinct indices diverge.
+  bool differs = sched0.events().size() != sched3.events().size();
+  for (std::size_t i = 0; !differs && i < sched0.events().size(); ++i) {
+    differs = sched0.events()[i].start != sched3.events()[i].start ||
+              sched0.events()[i].magnitude != sched3.events()[i].magnitude;
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace

@@ -339,6 +339,39 @@ TEST(ScopedRegistry, PublishCohortsWritesPrefixedGauges) {
   EXPECT_TRUE(saw_sessions);
 }
 
+TEST(ScopedRegistry, PublishCohortsIntoForeignRegistry) {
+  // The fleet layer aggregates an intermediate per-cohort registry's
+  // children and publishes the result into the ROOT registry: the gauges
+  // must land in `into`, and the intermediate registry must stay clean
+  // (no cohort.* gauges feeding back into its own aggregation).
+  obs::MetricsRegistry cohort;
+  auto s0 = cohort.scoped({{"session", "0"}});
+  auto s1 = cohort.scoped({{"session", "1"}});
+  s0->gauge("session.recover_s").set(1.0);
+  s1->gauge("session.recover_s").set(3.0);
+
+  obs::MetricsRegistry root;
+  cohort.publish_cohorts("cohort.fleet.nominal", root);
+
+  double mean = -1.0, sessions = -1.0, min = -1.0, max = -1.0;
+  for (const auto& s : root.snapshot()) {
+    if (s.name == "cohort.fleet.nominal.session.recover_s.mean") mean = s.value;
+    if (s.name == "cohort.fleet.nominal.session.recover_s.sessions")
+      sessions = s.value;
+    if (s.name == "cohort.fleet.nominal.session.recover_s.min") min = s.value;
+    if (s.name == "cohort.fleet.nominal.session.recover_s.max") max = s.value;
+  }
+  EXPECT_DOUBLE_EQ(mean, 2.0);
+  EXPECT_DOUBLE_EQ(sessions, 2.0);
+  EXPECT_DOUBLE_EQ(min, 1.0);
+  EXPECT_DOUBLE_EQ(max, 3.0);
+  // The intermediate registry's own snapshot holds no published gauges.
+  for (const auto& s : cohort.snapshot()) {
+    EXPECT_TRUE(s.name.rfind("cohort.", 0) != 0)
+        << "leaked into source registry: " << s.name;
+  }
+}
+
 TEST(Json, RoundTripThroughDumpAndParse) {
   Value::Object obj;
   obj["name"] = "bench \"quoted\" \\ with\nnewline";

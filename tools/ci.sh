@@ -26,12 +26,18 @@
 #                backend), and the trace_validate pins on the
 #                spice.solver.*, obs.telemetry.*, prof.<zone>.* and
 #                cohort.* telemetry
-#   8. obs       bench_obs_overhead in-process budget gate (instrumented
+#   8. fleet     fleet_runner 1000-session smoke with solo-parity spot
+#                checks (--verify-solo exits 1 on any fingerprint
+#                mismatch), checkpoint forking pinned to exactly one
+#                charge-up capture, the fleet fingerprint bit-identical
+#                across two thread counts, and the fleet.* / cohort.fleet.*
+#                telemetry schema pinned via trace_validate
+#   9. obs       bench_obs_overhead in-process budget gate (instrumented
 #                fault campaign must stay within 5% of the obs-off run),
 #                and every *committed* BENCH_*.json must have been
 #                produced with observability compiled in
 #
-# Usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|analyze|fault|obs|all]   (default: all)
+# Usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|analyze|fault|fleet|obs|all]   (default: all)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -217,6 +223,64 @@ run_fault() {
        "invariant; exit-code and telemetry contracts hold"
 }
 
+run_fleet() {
+  log "fleet 1000-session smoke + solo parity + thread-count invariance"
+  cmake -B "$ROOT/build-ci-release" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$ROOT/build-ci-release" -j "$JOBS" \
+    --target fleet_runner trace_validate
+  local runner="$ROOT/build-ci-release/tools/fleet_runner"
+  local validator="$ROOT/build-ci-release/tools/trace_validate"
+  # 1000 concurrent sessions, one exchange each: completes in seconds at
+  # 4 threads because every session forks the single shared charge-up
+  # checkpoint. --verify-solo re-runs two sessions alone (private
+  # charge-up) and exits 1 if either diverges from its fleet twin. The
+  # run leaves behind the BENCH report whose schema is pinned below.
+  local smoke="$ROOT/build-ci-release/fleet_smoke.json"
+  local stream="$ROOT/build-ci-release/fleet_smoke.telemetry.jsonl"
+  IRONIC_REPORT_DIR="$ROOT/build-ci-release" \
+    "$runner" --sessions 1000 --threads 4 --exchanges 1 \
+    --verify-solo 2 --telemetry "$stream" --out "$smoke"
+  test -s "$stream"
+  # Forking must have amortized the charge-up: one capture, 1000 forks.
+  grep -q '"charge_captures": 1' "$smoke"
+  grep -q '"checkpoint_forks": 1000' "$smoke"
+  # The fleet fingerprint must be bit-identical across thread counts.
+  local t1="$ROOT/build-ci-release/fleet_t1.json"
+  local t3="$ROOT/build-ci-release/fleet_t3.json"
+  "$runner" --sessions 24 --threads 1 --exchanges 2 --out "$t1"
+  "$runner" --sessions 24 --threads 3 --exchanges 2 --out "$t3"
+  if ! diff <(grep '"fingerprint"' "$t1") <(grep '"fingerprint"' "$t3"); then
+    echo "ci: FAIL -- fleet fingerprints differ across thread counts" >&2
+    exit 1
+  fi
+  # An unwritable --out must exit 2, same contract as the other runners.
+  local rc=0
+  "$runner" --sessions 2 --exchanges 1 --out /nonexistent-ci-dir/fleet.json \
+    >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "ci: FAIL -- unwritable --out exited $rc, want 2" >&2
+    exit 1
+  fi
+  # Pin the fleet roll-ups and the per-cohort aggregates (DESIGN.md §14)
+  # so a metric rename or a silently-dead gauge fails CI.
+  "$validator" --require-obs \
+    --require fleet.sessions \
+    --require fleet.total_exchanges \
+    --require fleet.lost_rate \
+    --require fleet.recovery_p50_s \
+    --require fleet.recovery_p95_s \
+    --require fleet.recovery_p99_s \
+    --require fleet.charge_captures \
+    --require fleet.checkpoint_forks \
+    --require fleet.sessions_per_second \
+    --require cohort.fleet.nominal.fleet.session.retries.sum \
+    --require cohort.fleet.noisy_link.fleet.session.exchange_latency_s.p95 \
+    --require cohort.fleet.deep_implant.fleet.session.recover_s.max \
+    "$ROOT/build-ci-release/BENCH_fleet_soak.json"
+  echo "ci: 1000-session fleet smoke parity-clean; fingerprints" \
+       "thread-count invariant; fleet telemetry schema pinned"
+}
+
 run_obs() {
   log "obs overhead budget + committed-report provenance"
   cmake -B "$ROOT/build-ci-release" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
@@ -250,9 +314,10 @@ case "$STAGE" in
   lint)     run_lint ;;
   analyze)  run_analyze ;;
   fault)    run_fault ;;
+  fleet)    run_fleet ;;
   obs)      run_obs ;;
-  all)      run_release; run_sanitize; run_tsan; run_tidy; run_lint; run_analyze; run_fault; run_obs ;;
-  *) echo "usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|analyze|fault|obs|all]" >&2; exit 2 ;;
+  all)      run_release; run_sanitize; run_tsan; run_tidy; run_lint; run_analyze; run_fault; run_fleet; run_obs ;;
+  *) echo "usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|analyze|fault|fleet|obs|all]" >&2; exit 2 ;;
 esac
 
 log "OK ($STAGE)"

@@ -25,6 +25,7 @@
 #include "src/obs/report.hpp"
 #include "src/obs/telemetry.hpp"
 #include "src/spice/engine.hpp"
+#include "tools/runner_args.hpp"
 
 using namespace ironic;
 
@@ -85,20 +86,13 @@ int usage(int code) {
         "                    [--threads N] [--solver auto|dense|sparse]\n"
         "                    [--out FILE] <campaign|all>\n"
         "       fault_runner --list\n"
-        "  --seed S       campaign seed (default 0x1badc0de)\n"
-        "  --scenarios N  scenarios per campaign (default 3)\n"
+     << ironic::tools::CommonArgs::usage_lines()
+     << "  --scenarios N  scenarios per campaign (default 3)\n"
         "  --exchanges N  measurement exchanges per scenario (default 10)\n"
-        "  --threads N    scenario-level workers (1 = serial, 0 = hardware)\n"
-        "  --solver S     linear-solver backend for the embedded circuit\n"
-        "                 solves; fingerprints are bit-identical per backend\n"
-        "                 for any --threads value\n"
         "  --analysis-hints\n"
         "                 run the static-analysis passes on each plant\n"
         "                 circuit and install solver/dt hints; fingerprints\n"
-        "                 must not change (the hints agree with the engine)\n"
-        "  --out FILE     write the JSON results to FILE instead of stdout\n"
-        "  --telemetry F  stream JSONL telemetry events to F ('-' = stdout);\n"
-        "                 exits 2 when F cannot be opened\n";
+        "                 must not change (the hints agree with the engine)\n";
   return code;
 }
 
@@ -106,40 +100,31 @@ int usage(int code) {
 
 int main(int argc, char** argv) {
   fault::CampaignConfig config;
-  std::string out_path;
-  std::string telemetry_path;
+  tools::CommonArgs args;
+  args.program = "fault_runner";
+  args.seed = config.seed;
+  args.threads = config.threads;
   std::string name;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    switch (args.consume(argc, argv, i)) {
+      case tools::CommonArgs::Parse::kConsumed: continue;
+      case tools::CommonArgs::Parse::kError: return usage(EXIT_FAILURE);
+      case tools::CommonArgs::Parse::kNotMine: break;
+    }
     if (arg == "--list") {
       for (const auto& campaign : fault::campaign_names())
         std::cout << campaign << "\n";
       return 0;
     } else if (arg == "--help" || arg == "-h") {
       return usage(0);
-    } else if (arg == "--seed" && i + 1 < argc) {
-      config.seed = std::strtoull(argv[++i], nullptr, 0);
     } else if (arg == "--scenarios" && i + 1 < argc) {
       config.scenarios = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (arg == "--exchanges" && i + 1 < argc) {
       config.exchanges = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
-    } else if (arg == "--threads" && i + 1 < argc) {
-      config.threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
-    } else if (arg == "--out" && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (arg == "--telemetry" && i + 1 < argc) {
-      telemetry_path = argv[++i];
     } else if (arg == "--analysis-hints") {
       config.analysis_hints = true;
-    } else if (arg == "--solver" && i + 1 < argc) {
-      ironic::linalg::SolverKind kind;
-      if (!ironic::linalg::parse_solver_kind(argv[++i], kind)) {
-        std::cerr << "fault_runner: unknown solver '" << argv[i]
-                  << "' (want auto, dense, or sparse)\n";
-        return usage(EXIT_FAILURE);
-      }
-      spice::set_default_solver_kind(kind);
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "fault_runner: unknown option '" << arg << "'\n";
       return usage(EXIT_FAILURE);
@@ -150,6 +135,8 @@ int main(int argc, char** argv) {
       return usage(EXIT_FAILURE);
     }
   }
+  config.seed = args.seed;
+  config.threads = args.threads;
   if (name.empty()) {
     std::cerr << "fault_runner: no campaign named (try --list)\n";
     return usage(EXIT_FAILURE);
@@ -158,14 +145,7 @@ int main(int argc, char** argv) {
     std::cerr << "fault_runner: unknown campaign '" << name << "' (try --list)\n";
     return EXIT_FAILURE;
   }
-  if (!telemetry_path.empty() &&
-      !obs::TelemetrySink::instance().open(telemetry_path)) {
-    // Exit 2 matches the --out contract: "could not write the artifact"
-    // is distinct from a failed campaign.
-    std::cerr << "fault_runner: cannot open '" << telemetry_path
-              << "' for telemetry\n";
-    return 2;
-  }
+  if (const int code = args.open_telemetry(); code != 0) return code;
 
   std::vector<std::string> names;
   if (name == "all") {
@@ -203,22 +183,10 @@ int main(int argc, char** argv) {
     std::ostringstream rendered;
     rendered << obs::json::Value(std::move(doc)).dump(2) << "\n";
 
-    if (out_path.empty()) {
-      std::cout << rendered.str();
-    } else {
-      std::ofstream out(out_path);
-      if (!out) {
-        std::cerr << "fault_runner: cannot open '" << out_path
-                  << "' for writing\n";
-        return 2;
-      }
-      out << rendered.str();
-      if (!out) {
-        std::cerr << "fault_runner: write to '" << out_path << "' failed\n";
-        return 2;
-      }
-      std::cout << "fault_runner: wrote " << names.size() << " campaign(s) to "
-                << out_path << "\n";
+    if (const int code = args.write_artifact(
+            rendered.str(), std::to_string(names.size()) + " campaign(s)");
+        code != 0) {
+      return code;
     }
   } catch (const std::exception& e) {
     std::cerr << "fault_runner: " << e.what() << "\n";

@@ -1,0 +1,266 @@
+// fleet_runner — run the fleet-scale session service from the command
+// line: N independent patient sessions (full spice + magnetics + comms
+// + fault pipeline each), sharded across the exec pool, forking one
+// shared charged-up checkpoint per session instead of re-simulating the
+// charge-up per patient.
+//
+//   fleet_runner [--sessions N] [--threads N] [--seed S]
+//                [--exchanges N | --soak SECONDS] [--no-share]
+//                [--verify-solo N] [--out FILE] [--telemetry FILE|-]
+//
+// Determinism contract: the result is bit-identical for any --threads
+// value, and every session is bit-identical to running it alone
+// (--verify-solo re-runs a sample of sessions solo, with their own
+// charge-up, and exits 1 on any fingerprint mismatch). The obs run
+// report lands in BENCH_fleet_soak.json: per-cohort percentile recovery
+// time, lost-measurement rate, and the checkpoint-fork accounting.
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/fleet/fleet.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/report.hpp"
+#include "src/obs/telemetry.hpp"
+#include "tools/runner_args.hpp"
+
+using namespace ironic;
+
+namespace {
+
+std::string hex64(std::uint64_t value) {
+  std::ostringstream os;
+  os << "0x" << std::hex << std::setw(16) << std::setfill('0') << value;
+  return os.str();
+}
+
+obs::json::Value to_json(const fleet::FleetResult& result,
+                         const fleet::FleetConfig& config) {
+  obs::json::Value::Object doc;
+  doc["sessions"] = static_cast<std::uint64_t>(config.sessions);
+  doc["threads"] = static_cast<std::uint64_t>(config.threads);
+  doc["seed"] = static_cast<std::uint64_t>(config.seed);
+  doc["exchanges_per_session"] =
+      static_cast<std::uint64_t>(fleet::effective_exchanges(config));
+  doc["soak_seconds"] = config.soak_seconds;
+  doc["share_checkpoint"] = config.share_checkpoint;
+  // JSON numbers are doubles; the 64-bit fingerprint rides as a string.
+  doc["fingerprint"] = hex64(result.fingerprint);
+  doc["total_exchanges"] = static_cast<std::uint64_t>(result.total_exchanges);
+  doc["lost_measurements"] =
+      static_cast<std::uint64_t>(result.lost_measurements);
+  doc["lost_rate"] = result.lost_rate;
+  doc["recovery_p50_s"] = result.recovery_p50_s;
+  doc["recovery_p95_s"] = result.recovery_p95_s;
+  doc["recovery_p99_s"] = result.recovery_p99_s;
+  doc["wall_seconds"] = result.wall_seconds;
+  doc["session_wall_mean_s"] = result.session_wall_mean_s;
+  doc["charge_captures"] = static_cast<std::uint64_t>(result.charge_captures);
+  doc["charge_capture_seconds"] = result.charge_capture_seconds;
+  doc["checkpoint_forks"] =
+      static_cast<std::uint64_t>(result.checkpoint_forks);
+  obs::json::Value::Array cohorts;
+  for (const auto& c : result.cohorts) {
+    obs::json::Value::Object row;
+    row["name"] = c.name;
+    row["sessions"] = static_cast<std::uint64_t>(c.sessions);
+    row["exchanges"] = static_cast<std::uint64_t>(c.exchanges);
+    row["completed"] = static_cast<std::uint64_t>(c.completed);
+    row["lost"] = static_cast<std::uint64_t>(c.lost);
+    row["retries"] = static_cast<std::uint64_t>(c.retries);
+    row["recovered"] = static_cast<std::uint64_t>(c.recovered);
+    row["restarts"] = static_cast<std::uint64_t>(c.restarts);
+    row["lost_rate"] = c.lost_rate;
+    row["recovery_p50_s"] = c.recovery_p50_s;
+    row["recovery_p95_s"] = c.recovery_p95_s;
+    row["recovery_p99_s"] = c.recovery_p99_s;
+    row["mean_recovery_s"] = c.mean_recovery_s;
+    cohorts.emplace_back(std::move(row));
+  }
+  doc["cohorts"] = std::move(cohorts);
+  return obs::json::Value(std::move(doc));
+}
+
+int usage(int code) {
+  std::ostream& os = code == 0 ? std::cout : std::cerr;
+  os << "usage: fleet_runner [--sessions N] [--threads N] [--seed S]\n"
+        "                    [--exchanges N | --soak SECONDS] [--no-share]\n"
+        "                    [--verify-solo N] [--out FILE]\n"
+        "                    [--telemetry FILE|-]\n"
+     << ironic::tools::CommonArgs::usage_lines()
+     << "  --sessions N   concurrent patient sessions (default 64)\n"
+        "  --exchanges N  measurement exchanges per session (default 4)\n"
+        "  --soak SECS    simulated per-session horizon; overrides\n"
+        "                 --exchanges with ceil(SECS / 0.25) exchanges\n"
+        "  --no-share     every session captures its own charge-up instead\n"
+        "                 of forking the shared checkpoint (same results,\n"
+        "                 the A/B lever for the fork speedup)\n"
+        "  --verify-solo N\n"
+        "                 re-run N evenly spaced sessions solo and compare\n"
+        "                 fingerprints; exits 1 on any mismatch\n"
+        "  --analysis-hints\n"
+        "                 run the static-analysis passes on the plant\n"
+        "                 circuits (fingerprints must not change)\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fleet::FleetConfig config;
+  config.sessions = 64;
+  tools::CommonArgs args;
+  args.program = "fleet_runner";
+  args.seed = config.seed;
+  args.threads = config.threads;
+  std::size_t verify_solo = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    switch (args.consume(argc, argv, i)) {
+      case tools::CommonArgs::Parse::kConsumed: continue;
+      case tools::CommonArgs::Parse::kError: return usage(EXIT_FAILURE);
+      case tools::CommonArgs::Parse::kNotMine: break;
+    }
+    if (arg == "--help" || arg == "-h") {
+      return usage(0);
+    } else if (arg == "--sessions" && i + 1 < argc) {
+      config.sessions =
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--exchanges" && i + 1 < argc) {
+      config.exchanges = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--soak" && i + 1 < argc) {
+      config.soak_seconds = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--no-share") {
+      config.share_checkpoint = false;
+    } else if (arg == "--verify-solo" && i + 1 < argc) {
+      verify_solo =
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--analysis-hints") {
+      config.analysis_hints = true;
+    } else {
+      std::cerr << "fleet_runner: unknown argument '" << arg << "'\n";
+      return usage(EXIT_FAILURE);
+    }
+  }
+  config.seed = args.seed;
+  config.threads = args.threads;
+  if (const int code = args.open_telemetry(); code != 0) return code;
+
+  obs::RunReport run_report("fleet_soak");
+  try {
+    const auto result = fleet::run_fleet(config);
+    std::cerr << "fleet_runner: " << config.sessions << " sessions, "
+              << fleet::effective_exchanges(config)
+              << " exchanges each: lost_rate=" << result.lost_rate
+              << " recovery_p95_s=" << result.recovery_p95_s
+              << " charge_captures=" << result.charge_captures
+              << " forks=" << result.checkpoint_forks << " wall="
+              << result.wall_seconds << "s\n";
+
+    // Solo parity: the contract the fleet stands on. Evenly spaced
+    // indices cover every cohort (stride vs cohort count are coprime
+    // often enough; index 0 and the last session are always included).
+    std::size_t mismatches = 0;
+    double solo_wall_sum = 0.0;
+    obs::json::Value::Array verified;
+    if (verify_solo > 0) {
+      const std::size_t n = std::min(verify_solo, config.sessions);
+      const std::size_t stride = std::max<std::size_t>(1, config.sessions / n);
+      std::size_t checked = 0;
+      for (std::size_t i = 0; checked < n && i < config.sessions;
+           i += stride, ++checked) {
+        const auto solo = fleet::run_solo_session(config, i);
+        const auto fleet_fp =
+            fleet::fingerprint_session(result.sessions[i]);
+        const auto solo_fp = fleet::fingerprint_session(solo);
+        solo_wall_sum += solo.wall_seconds + solo.charge_wall_seconds;
+        obs::json::Value::Object row;
+        row["session"] = static_cast<std::uint64_t>(i);
+        row["fleet_fingerprint"] = hex64(fleet_fp);
+        row["solo_fingerprint"] = hex64(solo_fp);
+        row["match"] = fleet_fp == solo_fp;
+        verified.emplace_back(std::move(row));
+        if (fleet_fp != solo_fp) {
+          ++mismatches;
+          std::cerr << "fleet_runner: PARITY MISMATCH session " << i
+                    << ": fleet " << hex64(fleet_fp) << " != solo "
+                    << hex64(solo_fp) << "\n";
+        }
+      }
+      const double solo_mean = checked > 0 ? solo_wall_sum / checked : 0.0;
+      std::cerr << "fleet_runner: verified " << checked
+                << " session(s) solo: " << (checked - mismatches)
+                << " matched, solo_wall_mean=" << solo_mean << "s vs fleet "
+                << result.session_wall_mean_s << "s\n";
+      run_report.metric("verify_solo.checked", static_cast<double>(checked));
+      run_report.metric("verify_solo.mismatches",
+                        static_cast<double>(mismatches));
+      run_report.metric("verify_solo.wall_mean_s", solo_mean);
+      if (solo_mean > 0.0 && result.session_wall_mean_s > 0.0) {
+        // The fork speedup: a solo session pays its own charge-up; a
+        // fleet session amortizes one capture across the whole fleet.
+        const double amortized =
+            result.session_wall_mean_s +
+            result.charge_capture_seconds /
+                static_cast<double>(config.sessions);
+        run_report.metric("fork_speedup", solo_mean / amortized);
+      }
+    }
+
+    auto doc_value = to_json(result, config);
+    auto& doc = doc_value.as_object();
+    if (!verified.empty()) doc["verified_solo"] = std::move(verified);
+    std::ostringstream rendered;
+    rendered << doc_value.dump(2) << "\n";
+    if (const int code = args.write_artifact(
+            rendered.str(), std::to_string(config.sessions) + " sessions");
+        code != 0) {
+      return code;
+    }
+
+    run_report.metric("sessions", static_cast<double>(config.sessions));
+    run_report.metric("threads", static_cast<double>(config.threads));
+    run_report.metric("exchanges_per_session",
+                      static_cast<double>(fleet::effective_exchanges(config)));
+    run_report.metric("wall_seconds", result.wall_seconds);
+    run_report.metric("session_wall_mean_s", result.session_wall_mean_s);
+    run_report.metric("sessions_per_second",
+                      result.wall_seconds > 0.0
+                          ? static_cast<double>(config.sessions) /
+                                result.wall_seconds
+                          : 0.0);
+    run_report.metric("charge_captures",
+                      static_cast<double>(result.charge_captures));
+    run_report.metric("charge_capture_seconds", result.charge_capture_seconds);
+    run_report.metric("checkpoint_forks",
+                      static_cast<double>(result.checkpoint_forks));
+    run_report.metric("lost_rate", result.lost_rate);
+    run_report.metric("recovery_p50_s", result.recovery_p50_s);
+    run_report.metric("recovery_p95_s", result.recovery_p95_s);
+    run_report.metric("recovery_p99_s", result.recovery_p99_s);
+    for (const auto& c : result.cohorts) {
+      run_report.metric(c.name + ".lost_rate", c.lost_rate);
+      run_report.metric(c.name + ".recovery_p95_s", c.recovery_p95_s);
+      run_report.metric(c.name + ".mean_recovery_s", c.mean_recovery_s);
+    }
+    run_report.note("fingerprint", hex64(result.fingerprint));
+
+    if (mismatches > 0) {
+      std::cerr << "fleet_runner: " << mismatches
+                << " solo-parity mismatch(es)\n";
+      return EXIT_FAILURE;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "fleet_runner: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+  // Drain and close before the RunReport destructor snapshots the
+  // registry, so the obs.telemetry.* counters in the BENCH file are
+  // final.
+  obs::TelemetrySink::instance().close();
+  return 0;
+}

@@ -26,6 +26,7 @@
 #include "src/obs/telemetry.hpp"
 #include "src/spice/engine.hpp"
 #include "src/util/table.hpp"
+#include "tools/runner_args.hpp"
 
 using namespace ironic;
 
@@ -166,49 +167,34 @@ int usage(int code) {
   os << "usage: sweep_runner [--threads N] [--format table|csv|json]\n"
         "                    [--solver auto|dense|sparse] [--out FILE] <sweep>\n"
         "       sweep_runner --list\n"
-        "  --threads N   worker threads (1 = serial, 0 = hardware); default 1\n"
-        "  --format F    table (default), csv, or json\n"
-        "  --solver S    linear-solver backend for every embedded circuit\n"
-        "                solve: auto (default, size heuristic), dense, sparse\n"
-        "  --out FILE    write the result to FILE instead of stdout\n"
-        "  --telemetry F stream JSONL telemetry events to F ('-' = stdout);\n"
-        "                exits 2 when F cannot be opened\n";
+     << ironic::tools::CommonArgs::usage_lines()
+     << "  --format F     table (default), csv, or json\n";
   return code;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::size_t threads = 1;
+  tools::CommonArgs args;
+  args.program = "sweep_runner";
   std::string format = "table";
-  std::string out_path;
-  std::string telemetry_path;
   std::string name;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    switch (args.consume(argc, argv, i)) {
+      case tools::CommonArgs::Parse::kConsumed: continue;
+      case tools::CommonArgs::Parse::kError: return usage(EXIT_FAILURE);
+      case tools::CommonArgs::Parse::kNotMine: break;
+    }
     if (arg == "--list") {
       for (const auto& s : kSweeps)
         std::cout << s.name << "  -  " << s.description << "\n";
       return 0;
     } else if (arg == "--help" || arg == "-h") {
       return usage(0);
-    } else if (arg == "--threads" && i + 1 < argc) {
-      threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--format" && i + 1 < argc) {
       format = argv[++i];
-    } else if (arg == "--out" && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (arg == "--telemetry" && i + 1 < argc) {
-      telemetry_path = argv[++i];
-    } else if (arg == "--solver" && i + 1 < argc) {
-      ironic::linalg::SolverKind kind;
-      if (!ironic::linalg::parse_solver_kind(argv[++i], kind)) {
-        std::cerr << "sweep_runner: unknown solver '" << argv[i]
-                  << "' (want auto, dense, or sparse)\n";
-        return usage(EXIT_FAILURE);
-      }
-      spice::set_default_solver_kind(kind);
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "sweep_runner: unknown option '" << arg << "'\n";
       return usage(EXIT_FAILURE);
@@ -219,6 +205,7 @@ int main(int argc, char** argv) {
       return usage(EXIT_FAILURE);
     }
   }
+  const std::size_t threads = args.threads;
   if (name.empty()) {
     std::cerr << "sweep_runner: no sweep named (try --list)\n";
     return usage(EXIT_FAILURE);
@@ -235,14 +222,7 @@ int main(int argc, char** argv) {
     std::cerr << "sweep_runner: unknown sweep '" << name << "' (try --list)\n";
     return EXIT_FAILURE;
   }
-  if (!telemetry_path.empty() &&
-      !obs::TelemetrySink::instance().open(telemetry_path)) {
-    // Exit 2 matches the --out contract: "could not write the artifact"
-    // is distinct from a failed sweep.
-    std::cerr << "sweep_runner: cannot open '" << telemetry_path
-              << "' for telemetry\n";
-    return 2;
-  }
+  if (const int code = args.open_telemetry(); code != 0) return code;
 
   obs::RunReport run_report("sweep_runner");
   try {
@@ -265,24 +245,10 @@ int main(int argc, char** argv) {
       rendered << to_json(result, def.columns, threads).dump(2) << "\n";
     }
 
-    if (out_path.empty()) {
-      std::cout << rendered.str();
-    } else {
-      std::ofstream out(out_path);
-      if (!out) {
-        // Exit 2 distinguishes "could not write the results" from a
-        // failed sweep, so CI wrappers can tell the cases apart.
-        std::cerr << "sweep_runner: cannot open '" << out_path
-                  << "' for writing\n";
-        return 2;
-      }
-      out << rendered.str();
-      if (!out) {
-        std::cerr << "sweep_runner: write to '" << out_path << "' failed\n";
-        return 2;
-      }
-      std::cout << "sweep_runner: wrote " << result.points << " points to "
-                << out_path << "\n";
+    if (const int code = args.write_artifact(
+            rendered.str(), std::to_string(result.points) + " points");
+        code != 0) {
+      return code;
     }
     run_report.metric("points", static_cast<double>(result.points));
     run_report.metric("wall_seconds", result.wall_seconds);

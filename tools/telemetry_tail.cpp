@@ -3,7 +3,7 @@
 // --telemetry` (or any TelemetrySink output).
 //
 //   telemetry_tail [--stream S] [--event E] [--grep SUBSTR]
-//                  [--stats] [--raw] <file|->
+//                  [--stats] [--raw] [--follow [--idle-exit SECS]] <file|->
 //
 // Each input line is one JSON object with at least {"ts_us", "stream",
 // "event"}. Default output is a human-oriented rendering:
@@ -15,15 +15,27 @@
 // the substring, --raw echoes the matching JSON lines unchanged, and
 // --stats appends per-stream/event counts. A torn final line (the
 // producer was killed mid-write) is tolerated and counted, not fatal.
+//
+// --follow keeps the file open after EOF and emits new rows as the
+// producer appends them (a live fleet soak), polling every 50 ms. A
+// line is only consumed once its newline has landed — a partially
+// flushed tail is left in the file, never half-parsed. --idle-exit S
+// stops following after S seconds with no new data (0 = follow
+// forever), so scripted consumers (the CI fleet stage) terminate.
+// Follow requires a real file; stdin is already a stream.
+//
 // Exits 2 when the input cannot be opened, matching the runners'
 // unwritable-path contract; 1 on malformed flags.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/obs/json.hpp"
@@ -35,13 +47,18 @@ namespace {
 int usage(int code) {
   std::ostream& os = code == 0 ? std::cout : std::cerr;
   os << "usage: telemetry_tail [--stream S] [--event E] [--grep SUBSTR]\n"
-        "                      [--stats] [--raw] <file|->\n"
-        "  --stream S   only rows whose \"stream\" equals S\n"
-        "  --event E    only rows whose \"event\" equals E\n"
-        "  --grep T     only rows whose raw JSON contains T\n"
-        "  --raw        echo matching JSON lines instead of pretty text\n"
-        "  --stats      append per-stream/event row counts\n"
-        "  file         JSONL telemetry stream; '-' reads stdin\n";
+        "                      [--stats] [--raw] [--follow [--idle-exit S]]\n"
+        "                      <file|->\n"
+        "  --stream S    only rows whose \"stream\" equals S\n"
+        "  --event E     only rows whose \"event\" equals E\n"
+        "  --grep T      only rows whose raw JSON contains T\n"
+        "  --raw         echo matching JSON lines instead of pretty text\n"
+        "  --stats       append per-stream/event row counts\n"
+        "  --follow      keep the file open and emit rows as they are\n"
+        "                appended (files only, not stdin)\n"
+        "  --idle-exit S stop following after S seconds without new data\n"
+        "                (default 0 = follow forever)\n"
+        "  file          JSONL telemetry stream; '-' reads stdin\n";
   return code;
 }
 
@@ -78,6 +95,8 @@ int main(int argc, char** argv) {
   std::string grep;
   bool stats = false;
   bool raw = false;
+  bool follow = false;
+  double idle_exit = 0.0;
   std::string path;
 
   for (int i = 1; i < argc; ++i) {
@@ -94,6 +113,10 @@ int main(int argc, char** argv) {
       stats = true;
     } else if (arg == "--raw") {
       raw = true;
+    } else if (arg == "--follow") {
+      follow = true;
+    } else if (arg == "--idle-exit" && i + 1 < argc) {
+      idle_exit = std::strtod(argv[++i], nullptr);
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       std::cerr << "telemetry_tail: unknown option '" << arg << "'\n";
       return usage(1);
@@ -106,6 +129,11 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) {
     std::cerr << "telemetry_tail: no input named\n";
+    return usage(1);
+  }
+  if (follow && path == "-") {
+    std::cerr << "telemetry_tail: --follow needs a file (stdin is already a "
+                 "stream)\n";
     return usage(1);
   }
 
@@ -124,34 +152,68 @@ int main(int argc, char** argv) {
   std::size_t total = 0;
   std::size_t malformed = 0;
   std::map<std::string, std::size_t> counts;  // "stream/event" -> rows
-  std::string line;
-  while (std::getline(*in, line)) {
-    if (line.empty()) continue;
+
+  const auto process_line = [&](const std::string& line) {
+    if (line.empty()) return;
     ++total;
     Value row;
     try {
       row = Value::parse(line);
     } catch (const std::exception&) {
       ++malformed;
-      continue;
+      return;
     }
     if (!row.is_object()) {
       ++malformed;
-      continue;
+      return;
     }
     const std::string stream =
         row.contains("stream") ? row.at("stream").as_string() : "?";
     const std::string event =
         row.contains("event") ? row.at("event").as_string() : "?";
-    if (!stream_filter.empty() && stream != stream_filter) continue;
-    if (!event_filter.empty() && event != event_filter) continue;
-    if (!grep.empty() && line.find(grep) == std::string::npos) continue;
+    if (!stream_filter.empty() && stream != stream_filter) return;
+    if (!event_filter.empty() && event != event_filter) return;
+    if (!grep.empty() && line.find(grep) == std::string::npos) return;
     ++matched;
     ++counts[stream + "/" + event];
     if (raw) {
       std::cout << line << "\n";
     } else {
       std::cout << pretty(row) << "\n";
+    }
+    std::cout.flush();
+  };
+
+  std::string line;
+  if (!follow) {
+    while (std::getline(*in, line)) process_line(line);
+  } else {
+    // Tail the growing file: consume only newline-terminated lines (a
+    // getline that hits EOF mid-line is a partial flush — rewind and
+    // wait for the rest), poll for appended data, and give up after
+    // idle_exit seconds of silence when one was requested.
+    auto last_data = std::chrono::steady_clock::now();
+    std::streampos pos = file.tellg();
+    while (true) {
+      bool consumed = false;
+      if (std::getline(file, line) && !file.eof()) {
+        pos = file.tellg();
+        process_line(line);
+        consumed = true;
+      } else {
+        file.clear();
+        file.seekg(pos);
+      }
+      if (consumed) {
+        last_data = std::chrono::steady_clock::now();
+        continue;
+      }
+      if (idle_exit > 0.0) {
+        const std::chrono::duration<double> idle =
+            std::chrono::steady_clock::now() - last_data;
+        if (idle.count() >= idle_exit) break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
   }
 
