@@ -236,6 +236,7 @@ void TaskGroup::schedule(std::function<void(const CancellationToken&)> fn,
       } catch (...) {
         {
           const std::lock_guard<std::mutex> lock(mutex_);
+          ++errors_;
           if (!first_error_) first_error_ = std::current_exception();
         }
         // First failure cancels the group's remaining queued tasks.

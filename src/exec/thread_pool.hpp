@@ -92,9 +92,13 @@ class ThreadPool {
   std::atomic<std::uint64_t> n_steals_{0};
 };
 
-// A set of tasks on one pool, waited on together. The first exception a
-// task throws cancels the group's remaining queued tasks and is rethrown
-// from wait(). wait() *helps*: the caller runs pending pool tasks while
+// A set of tasks on one pool, waited on together. Multi-exception
+// semantics (pinned by ThreadPoolSimultaneousThrowers): when several
+// tasks throw concurrently, exactly the *first* captured exception is
+// rethrown from wait(); every other throwing task is still fully
+// accounted (the group never deadlocks, pending_ reaches zero) and
+// counted in errors(). The first failure cancels the group's remaining
+// queued tasks. wait() *helps*: the caller runs pending pool tasks while
 // the group drains, so a worker thread may safely create and wait on a
 // nested group.
 class TaskGroup {
@@ -125,6 +129,13 @@ class TaskGroup {
   // themselves.)
   CancellationToken token() const { return token_; }
 
+  // Total tasks that threw since construction (cumulative across waits —
+  // wait() rethrows only the first exception, this counts them all).
+  std::size_t errors() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return errors_;
+  }
+
   // Wait for all tasks, helping the pool meanwhile. Rethrows the first
   // task exception; if tasks were skipped due to cancellation and no task
   // threw, throws TaskCancelled.
@@ -139,10 +150,11 @@ class TaskGroup {
   CancellationToken token_;     // source_'s token
   CancellationToken external_;  // caller-supplied outer scope
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable done_cv_;
   std::size_t pending_ = 0;
   std::size_t skipped_ = 0;
+  std::size_t errors_ = 0;  // cumulative; never reset by wait()
   std::exception_ptr first_error_;
 };
 

@@ -68,6 +68,41 @@ FleetResult FleetService::run(const FleetConfig& config) {
 
   FleetResult result;
   result.sessions.resize(config.sessions);
+  result.health.resize(config.sessions);
+
+  // Crash-durable journal: when resuming, replay the previous run's
+  // terminal outcomes and append to the same file; otherwise start a
+  // fresh journal with a header pinning the run identity. Outcomes are
+  // deterministic, so a replayed entry stands in for a re-run exactly.
+  RunJournal journal;
+  RunJournal::State journal_state;
+  const SupervisorPolicy& policy = config.supervise;
+  if (!policy.journal_path.empty()) {
+    bool append = false;
+    if (policy.resume) {
+      journal_state = RunJournal::load(policy.journal_path);
+      if (!journal_state.error.empty()) {
+        throw std::invalid_argument("fleet: resume: " + journal_state.error);
+      }
+      if (journal_state.valid) {
+        if (journal_state.seed != config.seed ||
+            journal_state.sessions != config.sessions ||
+            journal_state.exchanges != effective_exchanges(config)) {
+          throw std::invalid_argument(
+              "fleet: resume: journal header does not match this run "
+              "(seed/sessions/exchanges)");
+        }
+        append = true;
+      }
+    }
+    if (!journal.open(policy.journal_path, append)) {
+      throw std::invalid_argument("fleet: cannot open journal: " +
+                                  policy.journal_path);
+    }
+    if (!append) {
+      journal.begin(config.sessions, config.seed, effective_exchanges(config));
+    }
+  }
 
   // One capture per distinct spec, shared by every session. When
   // sharing is off each session pays its own charge-up inside
@@ -113,16 +148,33 @@ FleetResult FleetService::run(const FleetConfig& config) {
   exec::parallel_for(
       pool_, 0, config.sessions,
       [&](std::size_t i) {
+        // Resume: a journaled terminal outcome replaces the re-run.
+        const auto done = journal_state.completed.find(i);
+        if (done != journal_state.completed.end()) {
+          result.sessions[i] = done->second.summary;
+          result.health[i] = done->second.health;
+          return;
+        }
         const SessionSpec spec = make_spec(config, i);
         obs::MetricsRegistry* scoped =
             session_regs.empty() ? nullptr : session_regs[i].get();
-        result.sessions[i] = run_patient_session(spec, blob, scoped);
+        // Containment is unconditional: a throwing session comes back
+        // as a recorded SessionHealth, never an unwound parallel_for.
+        SupervisedSession sup =
+            run_supervised_session(spec, blob, scoped, policy);
+        if (journal.is_open()) journal.record(sup.health, sup.result);
+        result.sessions[i] = std::move(sup.result);
+        result.health[i] = std::move(sup.health);
         if (stream) {
           const auto& s = result.sessions[i];
+          const auto& h = result.health[i];
           sink.emit_event(
               "fleet.session", "complete",
               {{"session", obs::json::Value(static_cast<std::uint64_t>(i))},
                {"cohort", obs::json::Value(s.cohort)},
+               {"ok", obs::json::Value(h.ok)},
+               {"code", obs::json::Value(
+                            std::string(failure_code_name(h.code)))},
                {"completed",
                 obs::json::Value(static_cast<std::uint64_t>(s.completed))},
                {"lost", obs::json::Value(static_cast<std::uint64_t>(s.lost))},
@@ -141,8 +193,11 @@ FleetResult FleetService::run(const FleetConfig& config) {
   std::vector<double> all_samples;
   util::Fingerprint fp;
   double wall_sum = 0.0;
+  std::size_t fresh_sessions = 0;  // ran this invocation (not replayed)
+  std::size_t fresh_private = 0;   // healthy fresh sessions, own charge-up
   for (std::size_t i = 0; i < result.sessions.size(); ++i) {
     const auto& s = result.sessions[i];
+    const auto& h = result.health[i];
     auto& cohort = result.cohorts[i % n_cohorts];
     ++cohort.sessions;
     cohort.exchanges += s.exchanges;
@@ -156,12 +211,32 @@ FleetResult FleetService::run(const FleetConfig& config) {
       cohort_samples[i % n_cohorts].push_back(sample);
       all_samples.push_back(sample);
     }
-    if (s.forked) ++result.checkpoint_forks;
-    result.charge_capture_seconds += s.charge_wall_seconds;
-    wall_sum += s.wall_seconds;
+    if (!h.ok) {
+      ++cohort.failed;
+      ++result.failed;
+      ++result.failures_by_code[failure_code_name(h.code)];
+      if (h.quarantined) {
+        ++cohort.quarantined;
+        ++result.quarantined;
+      }
+    }
+    if (h.attempts > 1) ++result.retried;
+    if (h.resumed) {
+      // Replayed outcomes cost no wall clock this run; their summary
+      // fields fold into the aggregates above, nothing else.
+      ++result.resumed;
+    } else {
+      ++fresh_sessions;
+      if (s.forked) ++result.checkpoint_forks;
+      if (h.ok && !s.forked) ++fresh_private;
+      result.charge_capture_seconds += s.charge_wall_seconds;
+      wall_sum += s.wall_seconds;
+    }
     result.total_exchanges += s.exchanges;
     result.lost_measurements += s.lost;
-    fp.feed(fingerprint_session(s));
+    // fingerprint_session for healthy sessions, failure_fingerprint for
+    // failed ones — equal to the historical fingerprint when all heal.
+    fp.feed(h.fingerprint);
   }
   for (std::size_t c = 0; c < n_cohorts; ++c) {
     auto& cohort = result.cohorts[c];
@@ -169,6 +244,11 @@ FleetResult FleetService::run(const FleetConfig& config) {
     cohort.lost_rate =
         cohort.exchanges > 0
             ? static_cast<double>(cohort.lost) / static_cast<double>(cohort.exchanges)
+            : 0.0;
+    cohort.failure_rate =
+        cohort.sessions > 0
+            ? static_cast<double>(cohort.failed) /
+                  static_cast<double>(cohort.sessions)
             : 0.0;
     auto& samples = cohort_samples[c];
     std::sort(samples.begin(), samples.end());
@@ -191,13 +271,16 @@ FleetResult FleetService::run(const FleetConfig& config) {
                          : 0.0;
   result.fingerprint = fp.value();
   result.session_wall_mean_s =
-      wall_sum / static_cast<double>(result.sessions.size());
+      fresh_sessions > 0 ? wall_sum / static_cast<double>(fresh_sessions)
+                         : 0.0;
 
   // Solo-path captures were booked per session above; add the cache's
   // share (0 extra when this spec was already cached by a prior run).
+  // Only healthy fresh sessions book a private capture: failed slots are
+  // zeroed and resumed slots cost nothing this run.
   const auto cache_after = cache_.stats();
-  result.charge_captures = (cache_after.captures - cache_before.captures) +
-                           (config.sessions - result.checkpoint_forks);
+  result.charge_captures =
+      (cache_after.captures - cache_before.captures) + fresh_private;
   result.charge_capture_seconds +=
       cache_after.capture_seconds - cache_before.capture_seconds;
   result.wall_seconds =
@@ -224,6 +307,22 @@ FleetResult FleetService::run(const FleetConfig& config) {
         .set(static_cast<double>(result.checkpoint_forks));
     root.gauge("fleet.wall_seconds").set(result.wall_seconds);
     root.gauge("fleet.session_wall_mean_s").set(result.session_wall_mean_s);
+    // Supervision roll-ups: always published (zero on a clean run) so
+    // trace_validate --require can pin them either way.
+    root.gauge("fleet.failed").set(static_cast<double>(result.failed));
+    root.gauge("fleet.retried").set(static_cast<double>(result.retried));
+    root.gauge("fleet.quarantined")
+        .set(static_cast<double>(result.quarantined));
+    root.gauge("fleet.resumed").set(static_cast<double>(result.resumed));
+    for (const auto& [code, count] : result.failures_by_code) {
+      root.gauge("fleet.failures." + code).set(static_cast<double>(count));
+    }
+    for (const auto& cohort : result.cohorts) {
+      root.gauge("cohort.fleet." + cohort.name + ".failed")
+          .set(static_cast<double>(cohort.failed));
+      root.gauge("cohort.fleet." + cohort.name + ".failure_rate")
+          .set(cohort.failure_rate);
+    }
     if (result.wall_seconds > 0.0) {
       root.gauge("fleet.sessions_per_second")
           .set(static_cast<double>(config.sessions) / result.wall_seconds);
@@ -239,6 +338,12 @@ FleetResult FleetService::run(const FleetConfig& config) {
           "fleet", "complete",
           {{"sessions",
             obs::json::Value(static_cast<std::uint64_t>(config.sessions))},
+           {"failed",
+            obs::json::Value(static_cast<std::uint64_t>(result.failed))},
+           {"quarantined",
+            obs::json::Value(static_cast<std::uint64_t>(result.quarantined))},
+           {"resumed",
+            obs::json::Value(static_cast<std::uint64_t>(result.resumed))},
            {"lost_rate", obs::json::Value(result.lost_rate)},
            {"recovery_p95_s", obs::json::Value(result.recovery_p95_s)},
            {"fingerprint", obs::json::Value(result.fingerprint)}});

@@ -20,12 +20,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "src/exec/thread_pool.hpp"
 #include "src/fleet/checkpoint.hpp"
 #include "src/fleet/session.hpp"
+#include "src/fleet/supervisor.hpp"
 
 namespace ironic::fleet {
 
@@ -49,6 +51,10 @@ struct FleetConfig {
   // Emit a fleet progress telemetry event every this many completed
   // sessions (0 = about 32 events across the run).
   std::size_t progress_every = 0;
+  // Supervision: containment is unconditional (a throwing session is
+  // always recorded, never a fleet abort); this shapes retries,
+  // watchdog deadlines, chaos injection, and the crash-durable journal.
+  SupervisorPolicy supervise;
 };
 
 // ceil(soak_seconds / kCadence) when soaking, else config.exchanges.
@@ -73,13 +79,29 @@ struct CohortSummary {
   double recovery_p95_s = 0.0;
   double recovery_p99_s = 0.0;
   double mean_recovery_s = 0.0;
+  // Supervision roll-up: sessions that ended unhealthy / were
+  // quarantined, and failed / cohort-sessions.
+  long long failed = 0;
+  long long quarantined = 0;
+  double failure_rate = 0.0;
 };
 
 struct FleetResult {
   std::vector<SessionResult> sessions;  // index order, slot-indexed
+  std::vector<SessionHealth> health;    // index order, slot-indexed
   std::vector<CohortSummary> cohorts;   // config order
-  // FNV-1a over fingerprint_session of every session in index order.
+  // FNV-1a over every session's health fingerprint in index order:
+  // fingerprint_session for healthy sessions, failure_fingerprint for
+  // failed ones. For an all-healthy run this is exactly the historical
+  // fingerprint, and it is invariant to thread count, checkpoint
+  // sharing, and kill/resume.
   std::uint64_t fingerprint = 0;
+  // Supervision roll-ups.
+  long long failed = 0;       // sessions whose terminal outcome is unhealthy
+  long long retried = 0;      // sessions that consumed >= 1 retry
+  long long quarantined = 0;  // failed sessions that exhausted retries
+  long long resumed = 0;      // sessions replayed from the journal
+  std::map<std::string, long long> failures_by_code;  // code -> sessions
   // Fleet-wide recovery percentiles (same sample definition as the
   // cohort summaries, across all sessions).
   double recovery_p50_s = 0.0;

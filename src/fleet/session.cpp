@@ -1,6 +1,8 @@
 #include "src/fleet/session.hpp"
 
 #include <chrono>
+#include <string>
+#include <thread>
 #include <utility>
 
 #include "src/comms/protocol.hpp"
@@ -30,6 +32,30 @@ fault::SessionOptions session_options(const CohortProfile& cohort) {
   options.exchange_timeout = cohort.exchange_timeout;
   options.rate_ladder = cohort.rate_ladder;
   return options;
+}
+
+// The chaos action for a doomed attempt, fired at its planned exchange.
+// kThrow raises the classified failure; kStall spins wall-clock (no
+// SimClock, no RNG) until the watchdog token trips — reported as a
+// deadline, the runaway-session path — or the stall cap elapses, after
+// which the session resumes and completes normally.
+void apply_chaos(const SessionControls& controls) {
+  if (controls.action == ChaosAction::kThrow) {
+    throw SessionFailure(FailureCode::kChaos,
+                         "chaos: injected failure at exchange " +
+                             std::to_string(controls.at_exchange));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (;;) {
+    if (controls.token.cancelled()) {
+      throw exec::TaskCancelled(
+          "fleet: session stalled past its watchdog deadline");
+    }
+    const std::chrono::duration<double> stalled =
+        std::chrono::steady_clock::now() - t0;
+    if (stalled.count() >= controls.stall_seconds) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
 }
 
 }  // namespace
@@ -82,7 +108,7 @@ fault::FaultSchedule make_session_schedule(const SessionSpec& spec) {
 SessionResult run_patient_session(
     const SessionSpec& spec,
     std::shared_ptr<const spice::TransientCheckpoint> charged,
-    obs::MetricsRegistry* scoped) {
+    obs::MetricsRegistry* scoped, const SessionControls& controls) {
   SessionResult result;
   result.index = spec.index;
   result.cohort = spec.cohort.name;
@@ -165,6 +191,13 @@ SessionResult run_patient_session(
   }
 
   for (int i = 0; i < spec.exchanges; ++i) {
+    // Watchdog: cooperative cancellation between exchanges, so a
+    // runaway session surfaces as a `deadline` failure instead of
+    // holding its pool worker hostage.
+    controls.token.throw_if_cancelled();
+    if (controls.action != ChaosAction::kNone && i == controls.at_exchange) {
+      apply_chaos(controls);
+    }
     const auto outcome = session.exchange(comms::Command::kMeasure);
     ++result.exchanges;
     if (latency != nullptr) latency->observe(outcome.elapsed);

@@ -21,6 +21,7 @@
 
 #include "src/fault/plant.hpp"
 #include "src/fault/schedule.hpp"
+#include "src/fleet/failure.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/spice/engine.hpp"
 
@@ -97,9 +98,18 @@ fault::FaultSchedule make_session_schedule(const SessionSpec& spec);
 // session captures its own (the solo path — bit-identical results by
 // the contract above, just slower). `scoped` (optional) receives the
 // session's fleet.session.* metrics for cohort aggregation.
+//
+// `controls` is the supervision surface: the watchdog token is polled
+// at the top of every exchange (a tripped deadline throws
+// exec::TaskCancelled, which the supervisor records as `deadline`
+// instead of letting the attempt hang its pool worker), and the chaos
+// action — when the supervisor doomed this attempt — throws
+// SessionFailure{kChaos} or stalls at the planned exchange. Controls
+// never touch the session's RNG lanes or SimClock, so any attempt that
+// runs to completion is bit-identical to an uncontrolled run.
 SessionResult run_patient_session(
     const SessionSpec& spec,
     std::shared_ptr<const spice::TransientCheckpoint> charged,
-    obs::MetricsRegistry* scoped);
+    obs::MetricsRegistry* scoped, const SessionControls& controls = {});
 
 }  // namespace ironic::fleet

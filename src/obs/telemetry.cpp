@@ -41,7 +41,7 @@ TelemetrySink::TelemetrySink()
 
 TelemetrySink::~TelemetrySink() { close(); }
 
-bool TelemetrySink::open(const std::string& path) {
+bool TelemetrySink::open(const std::string& path, bool append) {
   const std::lock_guard<std::mutex> lock(control_mutex_);
   close_locked();
   std::FILE* out = nullptr;
@@ -49,7 +49,7 @@ bool TelemetrySink::open(const std::string& path) {
   if (path == "-") {
     out = stdout;
   } else {
-    out = std::fopen(path.c_str(), "w");
+    out = std::fopen(path.c_str(), append ? "a" : "w");
     if (!out) return false;
     owns = true;
   }
@@ -171,8 +171,13 @@ void TelemetrySink::drain_loop() {
 
 bool TelemetrySink::emit(std::string line) {
   // The runtime kill switch silences telemetry too, so disabling obs at
-  // runtime is a faithful proxy for compiling it out.
-  if (!runtime_enabled()) return false;
+  // runtime is a faithful proxy for compiling it out. Durable sinks
+  // (the fleet run journal) are exempt: losing journal lines would cost
+  // correctness (resume would re-run completed sessions), not just
+  // observability.
+  if (!durable_.load(std::memory_order_acquire) && !runtime_enabled()) {
+    return false;
+  }
   if (!accepting_.load(std::memory_order_acquire)) return false;
   if (!try_push(std::move(line))) {
     dropped_.add(1);
@@ -185,7 +190,9 @@ bool TelemetrySink::emit(std::string line) {
 bool TelemetrySink::emit_event(const std::string& stream,
                                const std::string& event,
                                json::Value::Object fields) {
-  if (!runtime_enabled()) return false;
+  if (!durable_.load(std::memory_order_acquire) && !runtime_enabled()) {
+    return false;
+  }
   if (!accepting_.load(std::memory_order_acquire)) return false;
   json::Value::Object row;
   row["ts_us"] = static_cast<double>(telemetry_ts_us());

@@ -50,9 +50,18 @@ class TelemetrySink {
   // Open the output stream ("-" = stdout) and start the drainer.
   // Returns false (sink stays closed) if the path cannot be opened —
   // the runners map that to exit code 2. Reopening closes the previous
-  // stream first.
-  bool open(const std::string& path);
+  // stream first. `append` opens an existing file for appending instead
+  // of truncating (the fleet run journal's --resume path).
+  bool open(const std::string& path, bool append = false);
   bool is_open() const { return accepting_.load(std::memory_order_acquire); }
+
+  // A durable sink ignores the obs runtime kill switch: the fleet run
+  // journal must record every terminal session outcome even when the
+  // process has silenced telemetry, or a resume would re-run (and a
+  // crash would lose) sessions that already completed.
+  void set_durable(bool durable) {
+    durable_.store(durable, std::memory_order_release);
+  }
 
   // Stop accepting, drain the ring, flush, and close the stream. After
   // close() returns the obs.telemetry.* counters are final. Safe to
@@ -105,6 +114,7 @@ class TelemetrySink {
   std::atomic<bool> accepting_{false};
   std::atomic<bool> running_{false};
   std::atomic<bool> paused_{false};
+  std::atomic<bool> durable_{false};
 
   Counter& emitted_;
   Counter& dropped_;

@@ -118,6 +118,51 @@ TEST(ThreadPool, TaskExceptionCancelsQueuedSiblings) {
   EXPECT_EQ(ran.load(), 0);
 }
 
+TEST(ThreadPool, SimultaneousThrowersFirstWinsOthersCounted) {
+  // Multi-exception semantics under real concurrency: 8 tasks rendezvous
+  // on a barrier, then all throw at once. Exactly one exception (the
+  // first captured) propagates from wait(), every thrower is accounted
+  // in errors(), nothing deadlocks, and the pool survives. The
+  // fleet supervisor's containment layer is built on this contract.
+  ThreadPool pool(8);
+  constexpr int kThrowers = 8;
+  std::atomic<int> arrived{0};
+  std::atomic<int> threw{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < kThrowers; ++i) {
+    group.run([&arrived, &threw, i] {
+      arrived.fetch_add(1, std::memory_order_relaxed);
+      // Spin until every task is in flight so the throws overlap; no
+      // task can be skipped by a sibling's cancellation because all of
+      // them are already past the dequeue check.
+      while (arrived.load(std::memory_order_relaxed) < kThrowers) {
+        std::this_thread::yield();
+      }
+      threw.fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error("thrower " + std::to_string(i));
+    });
+  }
+  try {
+    group.wait();
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    // One of the 8, whichever was captured first.
+    EXPECT_EQ(std::string(e.what()).rfind("thrower ", 0), 0u);
+  }
+  EXPECT_EQ(threw.load(), kThrowers);
+  EXPECT_EQ(group.errors(), static_cast<std::size_t>(kThrowers));
+
+  // The pool is intact: a fresh group on the same pool runs clean, and
+  // the old group's error count is cumulative, not reset by wait().
+  std::atomic<int> count{0};
+  TaskGroup after(pool);
+  for (int i = 0; i < 16; ++i) after.run([&count] { ++count; });
+  after.wait();
+  EXPECT_EQ(count.load(), 16);
+  EXPECT_EQ(after.errors(), 0u);
+  EXPECT_EQ(group.errors(), static_cast<std::size_t>(kThrowers));
+}
+
 TEST(ThreadPool, CancelSkipsQueuedTasksAndWaitThrows) {
   ThreadPool pool(1);
   std::atomic<int> ran{0};

@@ -9,16 +9,21 @@
 //   - mutating one forked plant never perturbs siblings forked from the
 //     same blob (copy-on-write isolation).
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/exec/cancellation.hpp"
 #include "src/fault/plant.hpp"
 #include "src/fleet/checkpoint.hpp"
 #include "src/fleet/fleet.hpp"
 #include "src/fleet/session.hpp"
+#include "src/fleet/supervisor.hpp"
 
 namespace {
 
@@ -198,6 +203,258 @@ TEST(Fleet, InvalidConfigsThrow) {
   config = {};
   config.exchanges = 0;
   EXPECT_THROW(fleet::run_fleet(config), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- supervision
+
+// Chaos config used across the supervision tests: with this seed the
+// 0.2 rate dooms exactly sessions {3, 4, 5} — a deterministic half/half
+// split of the 6-session fleet.
+fleet::FleetConfig chaos_config() {
+  auto config = small_config();
+  config.supervise.chaos.throw_rate = 0.2;
+  return config;
+}
+
+std::size_t doomed_count(const fleet::FleetConfig& config) {
+  std::size_t doomed = 0;
+  for (std::size_t i = 0; i < config.sessions; ++i) {
+    const auto plan =
+        fleet::chaos_plan(config.supervise.chaos, config.seed, i,
+                          fleet::effective_exchanges(config));
+    if (plan.action != fleet::ChaosAction::kNone) ++doomed;
+  }
+  return doomed;
+}
+
+TEST(FleetSupervisor, ClassifiesKnownFailureMessages) {
+  using fleet::FailureCode;
+  EXPECT_EQ(fleet::classify_failure(std::runtime_error(
+                "linalg: matrix is singular at row 3")),
+            FailureCode::kSolverSingular);
+  EXPECT_EQ(fleet::classify_failure(std::runtime_error(
+                "run_transient: DC operating point failed to converge")),
+            FailureCode::kNewtonNonconverge);
+  EXPECT_EQ(fleet::classify_failure(std::runtime_error(
+                "run_transient: Newton failed below minimum step")),
+            FailureCode::kNewtonNonconverge);
+  EXPECT_EQ(fleet::classify_failure(
+                std::runtime_error("transactor: retry budget exhausted")),
+            FailureCode::kCommsExhausted);
+  EXPECT_EQ(fleet::classify_failure(std::invalid_argument("bad spec")),
+            FailureCode::kValidation);
+  EXPECT_EQ(fleet::classify_failure(exec::TaskCancelled()),
+            FailureCode::kDeadline);
+  EXPECT_EQ(fleet::classify_failure(
+                fleet::SessionFailure(FailureCode::kChaos, "injected")),
+            FailureCode::kChaos);
+  EXPECT_EQ(fleet::classify_failure(std::runtime_error("meteor strike")),
+            FailureCode::kUnknown);
+  // The code <-> name mapping is a wire format: it must round-trip.
+  for (int i = 0; i < fleet::kFailureCodeCount; ++i) {
+    const auto code = static_cast<FailureCode>(i);
+    EXPECT_EQ(fleet::failure_code_from_name(fleet::failure_code_name(code)),
+              code);
+  }
+}
+
+TEST(FleetSupervisor, ChaosPlanIsDeterministic) {
+  const auto config = chaos_config();
+  const std::size_t doomed = doomed_count(config);
+  // The 0.5 rate must produce a mix — all-doomed or all-spared would
+  // make the containment tests vacuous.
+  ASSERT_GT(doomed, 0u);
+  ASSERT_LT(doomed, config.sessions);
+  for (std::size_t i = 0; i < config.sessions; ++i) {
+    const auto a = fleet::chaos_plan(config.supervise.chaos, config.seed, i,
+                                     fleet::effective_exchanges(config));
+    const auto b = fleet::chaos_plan(config.supervise.chaos, config.seed, i,
+                                     fleet::effective_exchanges(config));
+    EXPECT_EQ(a.action, b.action);
+    EXPECT_EQ(a.at_exchange, b.at_exchange);
+    if (a.action != fleet::ChaosAction::kNone) {
+      EXPECT_GE(a.at_exchange, 0);
+      EXPECT_LT(a.at_exchange, fleet::effective_exchanges(config));
+    }
+  }
+}
+
+TEST(FleetSupervisor, ChaosContainedAndHealthySiblingsBitIdentical) {
+  // Persistent chaos (more doomed attempts than retries): the doomed
+  // sessions quarantine, the fleet completes, and every spared session
+  // is bit-identical to the same session in a no-chaos run.
+  auto config = chaos_config();
+  config.supervise.chaos.fail_attempts = 99;
+  config.supervise.max_retries = 1;
+  const auto chaotic = fleet::run_fleet(config);
+
+  const auto clean = fleet::run_fleet(small_config());
+
+  const auto doomed = doomed_count(config);
+  EXPECT_EQ(static_cast<std::size_t>(chaotic.failed), doomed);
+  EXPECT_EQ(chaotic.quarantined, chaotic.failed);
+  EXPECT_EQ(chaotic.failures_by_code.at("chaos"),
+            static_cast<long long>(doomed));
+  long long cohort_failed = 0;
+  for (const auto& c : chaotic.cohorts) {
+    cohort_failed += c.failed;
+    if (c.sessions > 0) {
+      EXPECT_DOUBLE_EQ(c.failure_rate, static_cast<double>(c.failed) /
+                                           static_cast<double>(c.sessions));
+    }
+  }
+  EXPECT_EQ(cohort_failed, chaotic.failed);
+
+  ASSERT_EQ(chaotic.health.size(), config.sessions);
+  for (std::size_t i = 0; i < config.sessions; ++i) {
+    const auto& h = chaotic.health[i];
+    EXPECT_EQ(h.index, i);
+    if (h.ok) {
+      // Spared: bit-identical to the clean run's same slot.
+      EXPECT_EQ(fleet::fingerprint_session(chaotic.sessions[i]),
+                fleet::fingerprint_session(clean.sessions[i]))
+          << "healthy session " << i << " perturbed by sibling chaos";
+      EXPECT_EQ(h.fingerprint, fleet::fingerprint_session(clean.sessions[i]));
+    } else {
+      EXPECT_EQ(h.code, fleet::FailureCode::kChaos);
+      EXPECT_TRUE(h.quarantined);
+      EXPECT_EQ(h.attempts, 2);  // initial try + 1 retry, all doomed
+      // The failed slot is zeroed so aggregates never see phantom data.
+      EXPECT_EQ(chaotic.sessions[i].exchanges, 0);
+      EXPECT_EQ(h.fingerprint, fleet::failure_fingerprint(h));
+    }
+  }
+}
+
+TEST(FleetSupervisor, ChaosFingerprintInvariantToThreadCount) {
+  auto config = chaos_config();
+  config.supervise.chaos.fail_attempts = 99;
+  config.supervise.max_retries = 1;
+  config.threads = 1;
+  const auto serial = fleet::run_fleet(config);
+  config.threads = 3;
+  const auto pooled = fleet::run_fleet(config);
+  EXPECT_GT(serial.failed, 0);
+  EXPECT_EQ(serial.fingerprint, pooled.fingerprint);
+  EXPECT_EQ(serial.failed, pooled.failed);
+  EXPECT_EQ(serial.quarantined, pooled.quarantined);
+}
+
+TEST(FleetSupervisor, RetriedSessionBitIdenticalToCleanRun) {
+  // One doomed attempt, two retries granted: every chaos-picked session
+  // fails once, then re-runs clean with its exact original seed — the
+  // whole fleet must come out bit-identical to a run with no chaos.
+  auto config = chaos_config();
+  config.supervise.chaos.fail_attempts = 1;
+  config.supervise.max_retries = 2;
+  const auto retried = fleet::run_fleet(config);
+  const auto clean = fleet::run_fleet(small_config());
+
+  EXPECT_EQ(retried.failed, 0);
+  EXPECT_EQ(retried.quarantined, 0);
+  EXPECT_GT(retried.retried, 0);
+  EXPECT_EQ(retried.fingerprint, clean.fingerprint);
+  for (std::size_t i = 0; i < config.sessions; ++i) {
+    EXPECT_EQ(fleet::fingerprint_session(retried.sessions[i]),
+              fleet::fingerprint_session(clean.sessions[i]));
+    // A retried session is also bit-identical to a clean *solo* run —
+    // the retry rebuilt its RNG lanes and plant from scratch.
+    if (retried.health[i].attempts > 1) {
+      const auto solo = fleet::run_solo_session(small_config(), i);
+      EXPECT_EQ(fleet::fingerprint_session(retried.sessions[i]),
+                fleet::fingerprint_session(solo));
+    }
+  }
+}
+
+TEST(FleetSupervisor, WatchdogDeadlineContainsStalledSession) {
+  auto config = small_config();
+  config.sessions = 2;
+  config.exchanges = 1;
+  config.supervise.chaos.stall_rate = 1.0;  // every session stalls
+  config.supervise.chaos.stall_seconds = 30.0;
+  config.supervise.session_deadline_s = 0.1;  // watchdog fires first
+  config.supervise.max_retries = 0;
+  const auto result = fleet::run_fleet(config);
+  EXPECT_EQ(result.failed, 2);
+  EXPECT_EQ(result.quarantined, 0);  // no retries granted -> failed, not
+                                     // quarantined
+  for (const auto& h : result.health) {
+    EXPECT_FALSE(h.ok);
+    EXPECT_EQ(h.code, fleet::FailureCode::kDeadline);
+  }
+  EXPECT_EQ(result.failures_by_code.at("deadline"), 2);
+}
+
+TEST(FleetSupervisor, JournalRoundTripAndResumeReproducesFingerprint) {
+  const std::string path =
+      ::testing::TempDir() + "/ironic_fleet_journal_test.jsonl";
+  std::remove(path.c_str());
+
+  auto config = chaos_config();
+  config.supervise.chaos.fail_attempts = 99;
+  config.supervise.max_retries = 1;
+  config.supervise.journal_path = path;
+  const auto full = fleet::run_fleet(config);
+  EXPECT_GT(full.failed, 0);
+  EXPECT_EQ(full.resumed, 0);
+
+  // The journal replays to exactly the run's outcomes.
+  const auto state = fleet::RunJournal::load(path);
+  ASSERT_TRUE(state.valid) << state.error;
+  EXPECT_EQ(state.seed, config.seed);
+  EXPECT_EQ(state.sessions, config.sessions);
+  ASSERT_EQ(state.completed.size(), config.sessions);
+  for (std::size_t i = 0; i < config.sessions; ++i) {
+    EXPECT_EQ(state.completed.at(i).health.fingerprint,
+              full.health[i].fingerprint);
+  }
+
+  // Simulate a mid-run kill: keep the header + the first three session
+  // lines, then a torn partial line (killed mid-write).
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_GE(lines.size(), 4u);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    for (std::size_t i = 0; i < 4; ++i) out << lines[i] << "\n";
+    out << R"({"event":"session","session":5,"co)";  // torn, no newline
+  }
+  const auto torn = fleet::RunJournal::load(path);
+  ASSERT_TRUE(torn.valid);
+  EXPECT_EQ(torn.completed.size(), 3u);  // torn line ignored
+
+  config.supervise.resume = true;
+  const auto resumed = fleet::run_fleet(config);
+  EXPECT_EQ(resumed.fingerprint, full.fingerprint);
+  EXPECT_EQ(resumed.resumed, 3);
+  EXPECT_EQ(resumed.failed, full.failed);
+  EXPECT_EQ(resumed.quarantined, full.quarantined);
+
+  // After the resumed run the journal is whole again: a second resume
+  // replays everything.
+  const auto replayed = fleet::run_fleet(config);
+  EXPECT_EQ(replayed.fingerprint, full.fingerprint);
+  EXPECT_EQ(static_cast<std::size_t>(replayed.resumed), config.sessions);
+  std::remove(path.c_str());
+}
+
+TEST(FleetSupervisor, ResumeRejectsMismatchedJournalHeader) {
+  const std::string path =
+      ::testing::TempDir() + "/ironic_fleet_journal_mismatch.jsonl";
+  std::remove(path.c_str());
+  auto config = small_config();
+  config.supervise.journal_path = path;
+  (void)fleet::run_fleet(config);
+
+  config.supervise.resume = true;
+  config.seed ^= 1;  // different run identity
+  EXPECT_THROW(fleet::run_fleet(config), std::invalid_argument);
+  std::remove(path.c_str());
 }
 
 TEST(Fleet, HashedStreamsGiveCohortsIndependentSchedules) {

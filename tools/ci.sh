@@ -32,12 +32,20 @@
 #                charge-up capture, the fleet fingerprint bit-identical
 #                across two thread counts, and the fleet.* / cohort.fleet.*
 #                telemetry schema pinned via trace_validate
-#   9. obs       bench_obs_overhead in-process budget gate (instrumented
+#   9. chaos     fleet supervision: injected chaos is contained (exact
+#                fleet.failed/quarantined pins, exit code 1), a
+#                retried-to-health chaos run is bit-identical to a
+#                no-chaos run (exit 0), kill -9 mid-run + --resume
+#                reproduces the uninterrupted fingerprint from the
+#                journal (telemetry_tail tolerates the torn tail), and
+#                the exit-code contract (0 healthy / 1 failures / 2
+#                usage) holds end to end
+#  10. obs       bench_obs_overhead in-process budget gate (instrumented
 #                fault campaign must stay within 5% of the obs-off run),
 #                and every *committed* BENCH_*.json must have been
 #                produced with observability compiled in
 #
-# Usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|analyze|fault|fleet|obs|all]   (default: all)
+# Usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|analyze|fault|fleet|chaos|obs|all]   (default: all)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -281,6 +289,117 @@ run_fleet() {
        "thread-count invariant; fleet telemetry schema pinned"
 }
 
+run_chaos() {
+  log "fleet supervision: chaos containment, retry determinism, kill+resume"
+  cmake -B "$ROOT/build-ci-release" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$ROOT/build-ci-release" -j "$JOBS" \
+    --target fleet_runner trace_validate telemetry_tail
+  local runner="$ROOT/build-ci-release/tools/fleet_runner"
+  local validator="$ROOT/build-ci-release/tools/trace_validate"
+  local tail_tool="$ROOT/build-ci-release/tools/telemetry_tail"
+
+  # Leg 1 — containment + quarantine. With the default seed, 24 sessions
+  # and --chaos 0.2 doom exactly sessions {9, 11, 14, 15}; more doomed
+  # attempts than retries means all four quarantine. The run must still
+  # complete every healthy session, report the failures per code, and
+  # exit 1 (failures present), never abort.
+  local chaos_out="$ROOT/build-ci-release/fleet_chaos.json"
+  local rc=0
+  IRONIC_REPORT_DIR="$ROOT/build-ci-release" \
+    "$runner" --sessions 24 --threads 4 --exchanges 2 \
+    --chaos 0.2 --chaos-attempts 9 --retries 1 --out "$chaos_out" \
+    >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 1 ]; then
+    echo "ci: FAIL -- chaos run with quarantines exited $rc, want 1" >&2
+    exit 1
+  fi
+  grep -q '"failed": 4' "$chaos_out"
+  grep -q '"quarantined": 4' "$chaos_out"
+  grep -q '"chaos": 4' "$chaos_out"
+  # The supervision roll-ups must land in the run report's registry.
+  "$validator" --require-obs \
+    --require fleet.failed \
+    --require fleet.retried \
+    --require fleet.quarantined \
+    --require fleet.resumed \
+    --require fleet.failures.chaos \
+    --require cohort.fleet.nominal.failure_rate \
+    "$ROOT/build-ci-release/BENCH_fleet_soak.json"
+
+  # The chaos fingerprint (healthy results + deterministic failure
+  # markers) must be thread-count invariant like everything else.
+  local chaos_t1="$ROOT/build-ci-release/fleet_chaos_t1.json"
+  "$runner" --sessions 24 --threads 1 --exchanges 2 \
+    --chaos 0.2 --chaos-attempts 9 --retries 1 --out "$chaos_t1" \
+    >/dev/null 2>&1 || true
+  if ! diff <(grep '"fingerprint"' "$chaos_out") <(grep '"fingerprint"' "$chaos_t1"); then
+    echo "ci: FAIL -- chaos fingerprints differ across thread counts" >&2
+    exit 1
+  fi
+
+  # Leg 2 — deterministic retry. One doomed attempt + two retries means
+  # every chaos-picked session re-runs clean with its original seed: the
+  # run exits 0 and its fingerprint is bit-identical to a no-chaos run.
+  local clean_out="$ROOT/build-ci-release/fleet_nochaos.json"
+  local retry_out="$ROOT/build-ci-release/fleet_retried.json"
+  "$runner" --sessions 24 --threads 4 --exchanges 2 --out "$clean_out"
+  "$runner" --sessions 24 --threads 4 --exchanges 2 \
+    --chaos 0.2 --retries 2 --out "$retry_out"
+  if ! diff <(grep '"fingerprint"' "$clean_out") <(grep '"fingerprint"' "$retry_out"); then
+    echo "ci: FAIL -- retried chaos run diverged from the no-chaos run" >&2
+    exit 1
+  fi
+  grep -q '"failed": 0' "$retry_out"
+
+  # Leg 3 — crash durability. Kill a journaled run mid-flight (SIGKILL,
+  # no cleanup), then --resume: completed sessions replay from the
+  # journal, the rest re-run, and the fleet fingerprint matches an
+  # uninterrupted reference run bit-for-bit.
+  local journal="$ROOT/build-ci-release/fleet_kill.journal.jsonl"
+  local ref_out="$ROOT/build-ci-release/fleet_kill_ref.json"
+  local res_out="$ROOT/build-ci-release/fleet_kill_resumed.json"
+  rm -f "$journal"
+  "$runner" --sessions 400 --threads 2 --exchanges 2 --out "$ref_out"
+  "$runner" --sessions 400 --threads 2 --exchanges 2 --journal "$journal" \
+    --out /dev/null >/dev/null 2>&1 &
+  local pid=$!
+  sleep 3
+  kill -9 "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+  local journaled
+  journaled="$(grep -c '"event":"session"' "$journal" || true)"
+  echo "ci: killed journaled run after $journaled recorded session(s)"
+  # The torn tail (if the kill landed mid-write) must not break the
+  # schema-agnostic tooling either.
+  "$tail_tool" --stats "$journal" >/dev/null
+  "$runner" --sessions 400 --threads 4 --exchanges 2 --journal "$journal" \
+    --resume --out "$res_out"
+  if ! diff <(grep '"fingerprint"' "$ref_out") <(grep '"fingerprint"' "$res_out"); then
+    echo "ci: FAIL -- resumed fingerprint differs from uninterrupted run" >&2
+    exit 1
+  fi
+  grep -o '"resumed": [0-9]*' "$res_out"
+
+  # Leg 4 — exit-code contract edges not already covered above: healthy
+  # exit 0 is leg 2's clean run; usage and unwritable-journal exit 2.
+  rc=0; "$runner" --bogus >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "ci: FAIL -- unknown flag exited $rc, want 2" >&2; exit 1
+  fi
+  rc=0; "$runner" --sessions 2 --exchanges 1 \
+    --journal /nonexistent-ci-dir/j.jsonl >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "ci: FAIL -- unwritable --journal exited $rc, want 2" >&2; exit 1
+  fi
+  rc=0; "$runner" --resume >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "ci: FAIL -- --resume without --journal exited $rc, want 2" >&2
+    exit 1
+  fi
+  echo "ci: chaos contained with exact failure pins; retried run" \
+       "bit-identical to no-chaos; kill+resume fingerprint parity holds"
+}
+
 run_obs() {
   log "obs overhead budget + committed-report provenance"
   cmake -B "$ROOT/build-ci-release" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
@@ -315,9 +434,10 @@ case "$STAGE" in
   analyze)  run_analyze ;;
   fault)    run_fault ;;
   fleet)    run_fleet ;;
+  chaos)    run_chaos ;;
   obs)      run_obs ;;
-  all)      run_release; run_sanitize; run_tsan; run_tidy; run_lint; run_analyze; run_fault; run_fleet; run_obs ;;
-  *) echo "usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|analyze|fault|fleet|obs|all]" >&2; exit 2 ;;
+  all)      run_release; run_sanitize; run_tsan; run_tidy; run_lint; run_analyze; run_fault; run_fleet; run_chaos; run_obs ;;
+  *) echo "usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|analyze|fault|fleet|chaos|obs|all]" >&2; exit 2 ;;
 esac
 
 log "OK ($STAGE)"

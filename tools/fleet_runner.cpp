@@ -6,6 +6,9 @@
 //
 //   fleet_runner [--sessions N] [--threads N] [--seed S]
 //                [--exchanges N | --soak SECONDS] [--no-share]
+//                [--retries N] [--deadline SECS]
+//                [--chaos RATE] [--chaos-stall RATE] [--chaos-attempts N]
+//                [--journal FILE] [--resume]
 //                [--verify-solo N] [--out FILE] [--telemetry FILE|-]
 //
 // Determinism contract: the result is bit-identical for any --threads
@@ -13,7 +16,14 @@
 // (--verify-solo re-runs a sample of sessions solo, with their own
 // charge-up, and exits 1 on any fingerprint mismatch). The obs run
 // report lands in BENCH_fleet_soak.json: per-cohort percentile recovery
-// time, lost-measurement rate, and the checkpoint-fork accounting.
+// time, lost-measurement rate, the checkpoint-fork accounting, and the
+// supervision health roll-ups (fleet.failed / retried / quarantined and
+// per-code failure counters).
+//
+// Exit-code contract (pinned by FleetRunner.* tests and the CI chaos
+// stage): 0 = every session healthy; 1 = at least one failed or
+// quarantined session, or a solo-parity mismatch; 2 = usage error or an
+// unwritable --out/--telemetry/--journal path.
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
@@ -49,6 +59,28 @@ obs::json::Value to_json(const fleet::FleetResult& result,
   doc["share_checkpoint"] = config.share_checkpoint;
   // JSON numbers are doubles; the 64-bit fingerprint rides as a string.
   doc["fingerprint"] = hex64(result.fingerprint);
+  doc["failed"] = static_cast<std::uint64_t>(result.failed);
+  doc["retried"] = static_cast<std::uint64_t>(result.retried);
+  doc["quarantined"] = static_cast<std::uint64_t>(result.quarantined);
+  doc["resumed"] = static_cast<std::uint64_t>(result.resumed);
+  obs::json::Value::Object by_code;
+  for (const auto& [code, count] : result.failures_by_code) {
+    by_code[code] = static_cast<std::uint64_t>(count);
+  }
+  doc["failures_by_code"] = std::move(by_code);
+  obs::json::Value::Array failures;
+  for (const auto& h : result.health) {
+    if (h.ok) continue;
+    obs::json::Value::Object row;
+    row["session"] = static_cast<std::uint64_t>(h.index);
+    row["cohort"] = h.cohort;
+    row["code"] = std::string(fleet::failure_code_name(h.code));
+    row["quarantined"] = h.quarantined;
+    row["attempts"] = static_cast<std::uint64_t>(h.attempts);
+    row["message"] = h.message;
+    failures.emplace_back(std::move(row));
+  }
+  doc["failures"] = std::move(failures);
   doc["total_exchanges"] = static_cast<std::uint64_t>(result.total_exchanges);
   doc["lost_measurements"] =
       static_cast<std::uint64_t>(result.lost_measurements);
@@ -78,6 +110,9 @@ obs::json::Value to_json(const fleet::FleetResult& result,
     row["recovery_p95_s"] = c.recovery_p95_s;
     row["recovery_p99_s"] = c.recovery_p99_s;
     row["mean_recovery_s"] = c.mean_recovery_s;
+    row["failed"] = static_cast<std::uint64_t>(c.failed);
+    row["quarantined"] = static_cast<std::uint64_t>(c.quarantined);
+    row["failure_rate"] = c.failure_rate;
     cohorts.emplace_back(std::move(row));
   }
   doc["cohorts"] = std::move(cohorts);
@@ -88,7 +123,10 @@ int usage(int code) {
   std::ostream& os = code == 0 ? std::cout : std::cerr;
   os << "usage: fleet_runner [--sessions N] [--threads N] [--seed S]\n"
         "                    [--exchanges N | --soak SECONDS] [--no-share]\n"
-        "                    [--verify-solo N] [--out FILE]\n"
+        "                    [--retries N] [--deadline SECS]\n"
+        "                    [--chaos RATE] [--chaos-stall RATE]\n"
+        "                    [--chaos-attempts N] [--journal FILE]\n"
+        "                    [--resume] [--verify-solo N] [--out FILE]\n"
         "                    [--telemetry FILE|-]\n"
      << ironic::tools::CommonArgs::usage_lines()
      << "  --sessions N   concurrent patient sessions (default 64)\n"
@@ -98,12 +136,35 @@ int usage(int code) {
         "  --no-share     every session captures its own charge-up instead\n"
         "                 of forking the shared checkpoint (same results,\n"
         "                 the A/B lever for the fork speedup)\n"
+        "  --retries N    re-runs granted to a failed session before it is\n"
+        "                 quarantined (default 2); retries replay the exact\n"
+        "                 original seed, so a retried success is\n"
+        "                 bit-identical to a clean run\n"
+        "  --deadline S   per-attempt watchdog deadline in wall seconds\n"
+        "                 (0 = none); an expired attempt is contained and\n"
+        "                 classified as `deadline`\n"
+        "  --chaos RATE   deterministically make ~RATE of sessions throw\n"
+        "                 (seeded; healthy sessions stay bit-identical)\n"
+        "  --chaos-stall RATE\n"
+        "                 deterministically make ~RATE of sessions stall\n"
+        "                 until the watchdog fires (or a 30 s cap)\n"
+        "  --chaos-attempts N\n"
+        "                 attempts doomed per chaos-picked session; set\n"
+        "                 above --retries to force quarantine (default 1)\n"
+        "  --journal FILE append-only JSONL run journal: one line per\n"
+        "                 terminal session outcome, crash-durable\n"
+        "  --resume       replay completed sessions from --journal FILE and\n"
+        "                 re-run only the rest; the fleet fingerprint is\n"
+        "                 identical to an uninterrupted run\n"
         "  --verify-solo N\n"
         "                 re-run N evenly spaced sessions solo and compare\n"
         "                 fingerprints; exits 1 on any mismatch\n"
         "  --analysis-hints\n"
         "                 run the static-analysis passes on the plant\n"
-        "                 circuits (fingerprints must not change)\n";
+        "                 circuits (fingerprints must not change)\n"
+        "exit codes: 0 = all sessions healthy; 1 = failed/quarantined\n"
+        "sessions or solo-parity mismatch; 2 = usage error or unwritable\n"
+        "--out/--telemetry/--journal path\n";
   return code;
 }
 
@@ -122,7 +183,7 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     switch (args.consume(argc, argv, i)) {
       case tools::CommonArgs::Parse::kConsumed: continue;
-      case tools::CommonArgs::Parse::kError: return usage(EXIT_FAILURE);
+      case tools::CommonArgs::Parse::kError: return usage(2);
       case tools::CommonArgs::Parse::kNotMine: break;
     }
     if (arg == "--help" || arg == "-h") {
@@ -136,6 +197,22 @@ int main(int argc, char** argv) {
       config.soak_seconds = std::strtod(argv[++i], nullptr);
     } else if (arg == "--no-share") {
       config.share_checkpoint = false;
+    } else if (arg == "--retries" && i + 1 < argc) {
+      config.supervise.max_retries =
+          static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--deadline" && i + 1 < argc) {
+      config.supervise.session_deadline_s = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--chaos" && i + 1 < argc) {
+      config.supervise.chaos.throw_rate = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--chaos-stall" && i + 1 < argc) {
+      config.supervise.chaos.stall_rate = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--chaos-attempts" && i + 1 < argc) {
+      config.supervise.chaos.fail_attempts =
+          static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--journal" && i + 1 < argc) {
+      config.supervise.journal_path = argv[++i];
+    } else if (arg == "--resume") {
+      config.supervise.resume = true;
     } else if (arg == "--verify-solo" && i + 1 < argc) {
       verify_solo =
           static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
@@ -143,12 +220,21 @@ int main(int argc, char** argv) {
       config.analysis_hints = true;
     } else {
       std::cerr << "fleet_runner: unknown argument '" << arg << "'\n";
-      return usage(EXIT_FAILURE);
+      return usage(2);
     }
+  }
+  if (config.supervise.resume && config.supervise.journal_path.empty()) {
+    std::cerr << "fleet_runner: --resume requires --journal FILE\n";
+    return usage(2);
   }
   config.seed = args.seed;
   config.threads = args.threads;
   if (const int code = args.open_telemetry(); code != 0) return code;
+
+  // Flush-on-abnormal-path: every exit below — including the error
+  // ones — drains and closes the sink first, so enqueued telemetry
+  // lines are never stranded in the ring by an error return.
+  const auto close_sink = [] { obs::TelemetrySink::instance().close(); };
 
   obs::RunReport run_report("fleet_soak");
   try {
@@ -160,6 +246,17 @@ int main(int argc, char** argv) {
               << " charge_captures=" << result.charge_captures
               << " forks=" << result.checkpoint_forks << " wall="
               << result.wall_seconds << "s\n";
+    std::cerr << "fleet_runner: health: failed=" << result.failed
+              << " retried=" << result.retried
+              << " quarantined=" << result.quarantined
+              << " resumed=" << result.resumed << "\n";
+    for (const auto& h : result.health) {
+      if (h.ok) continue;
+      std::cerr << "fleet_runner: session " << h.index << " (" << h.cohort
+                << ") " << (h.quarantined ? "QUARANTINED" : "FAILED") << " ["
+                << fleet::failure_code_name(h.code) << "] after " << h.attempts
+                << " attempt(s): " << h.message << "\n";
+    }
 
     // Solo parity: the contract the fleet stands on. Evenly spaced
     // indices cover every cohort (stride vs cohort count are coprime
@@ -219,6 +316,7 @@ int main(int argc, char** argv) {
     if (const int code = args.write_artifact(
             rendered.str(), std::to_string(config.sessions) + " sessions");
         code != 0) {
+      close_sink();
       return code;
     }
 
@@ -242,20 +340,42 @@ int main(int argc, char** argv) {
     run_report.metric("recovery_p50_s", result.recovery_p50_s);
     run_report.metric("recovery_p95_s", result.recovery_p95_s);
     run_report.metric("recovery_p99_s", result.recovery_p99_s);
+    run_report.metric("failed", static_cast<double>(result.failed));
+    run_report.metric("retried", static_cast<double>(result.retried));
+    run_report.metric("quarantined", static_cast<double>(result.quarantined));
+    run_report.metric("resumed", static_cast<double>(result.resumed));
+    for (const auto& [code, count] : result.failures_by_code) {
+      run_report.metric("failures." + code, static_cast<double>(count));
+    }
     for (const auto& c : result.cohorts) {
       run_report.metric(c.name + ".lost_rate", c.lost_rate);
       run_report.metric(c.name + ".recovery_p95_s", c.recovery_p95_s);
       run_report.metric(c.name + ".mean_recovery_s", c.mean_recovery_s);
+      run_report.metric(c.name + ".failure_rate", c.failure_rate);
     }
     run_report.note("fingerprint", hex64(result.fingerprint));
 
     if (mismatches > 0) {
       std::cerr << "fleet_runner: " << mismatches
                 << " solo-parity mismatch(es)\n";
+      close_sink();
       return EXIT_FAILURE;
     }
+    if (result.failed > 0 || result.quarantined > 0) {
+      std::cerr << "fleet_runner: " << result.failed << " failed, "
+                << result.quarantined << " quarantined session(s)\n";
+      close_sink();
+      return EXIT_FAILURE;
+    }
+  } catch (const std::invalid_argument& e) {
+    // Config/journal problems are usage errors, distinct from a failed
+    // run — the CI wrappers rely on the 1-vs-2 split.
+    std::cerr << "fleet_runner: " << e.what() << "\n";
+    close_sink();
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "fleet_runner: " << e.what() << "\n";
+    close_sink();
     return EXIT_FAILURE;
   }
   // Drain and close before the RunReport destructor snapshots the
