@@ -3,7 +3,10 @@
 // calls patch wearability and receiver miniaturization "still an open
 // research topic").
 #include <iostream>
+#include <memory>
+#include <vector>
 
+#include "src/link/phy.hpp"
 #include "src/magnetics/coupling.hpp"
 #include "src/magnetics/link.hpp"
 #include "src/rf/classe.hpp"
@@ -13,6 +16,46 @@
 #include "src/obs/report.hpp"
 
 using namespace ironic;
+
+// Every registered LinkPhy backend side by side: operating point,
+// modulation pair, and the power/efficiency falloff with depth — the
+// comparison the paper frames as inductive vs. emerging transducers.
+void backend_survey() {
+  std::cout << "\nLinkPhy backend survey:\n";
+  util::Table profile({"backend", "downlink", "uplink", "rate (bit/s)",
+                       "drive (V)", "cadence (s)", "P_nominal (mW)"});
+  std::vector<std::unique_ptr<link::LinkPhy>> backends;
+  for (const auto& name : link::backend_names()) {
+    backends.push_back(link::make_backend(name));
+    auto& phy = *backends.back();
+    profile.add_row({name, phy.downlink_modulation(), phy.uplink_modulation(),
+                     util::Table::cell(phy.nominal().rate_bps, 4),
+                     util::Table::cell(phy.nominal().drive_v, 3),
+                     util::Table::cell(phy.nominal().cadence_s, 3),
+                     util::Table::cell(phy.nominal_power() * 1e3, 4)});
+  }
+  profile.print(std::cout);
+
+  for (auto& phy : backends) {
+    std::cout << "\n  " << phy->name()
+              << ": power vs depth (lateral offset 0 / 6 mm):\n";
+    util::Table falloff({"extra depth (mm)", "P (mW)", "eff (%)",
+                         "P @6mm off (mW)"});
+    for (double extra : {0.0, 4.0, 8.0, 12.0, 20.0}) {
+      link::LinkCondition cond = phy->nominal_condition();
+      cond.distance += extra * 1e-3;
+      const double p_axis = phy->power_delivered(cond);
+      const double eff = phy->efficiency(cond);
+      cond.lateral_offset = 6e-3;
+      const double p_off = phy->power_delivered(cond);
+      falloff.add_row({util::Table::cell(extra, 3),
+                       util::Table::cell(p_axis * 1e3, 4),
+                       util::Table::cell(eff * 100.0, 3),
+                       util::Table::cell(p_off * 1e3, 4)});
+    }
+    falloff.print(std::cout);
+  }
+}
 
 int main() {
   ironic::obs::RunReport run_report("link_tuning");
@@ -81,5 +124,7 @@ int main() {
             << ", C_series " << util::format_si(design.series_capacitance, "F")
             << ", L_tank " << util::format_si(design.series_inductance, "H")
             << ", P_out " << util::format_si(design.output_power, "W") << "\n";
+
+  backend_survey();
   return 0;
 }

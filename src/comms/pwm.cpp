@@ -1,0 +1,28 @@
+#include "src/comms/pwm.hpp"
+
+namespace ironic::comms {
+
+Bits PwmCodec::encode(const Bits& data) const {
+  Bits chips;
+  chips.reserve(data.size() * static_cast<std::size_t>(chips_per_bit));
+  for (const bool bit : data) {
+    const int high = bit ? duty_one : duty_zero;
+    for (int c = 0; c < chips_per_bit; ++c) chips.push_back(c < high);
+  }
+  return chips;
+}
+
+Bits PwmCodec::decode(const Bits& chips) const {
+  const auto n = static_cast<std::size_t>(chips_per_bit);
+  Bits data;
+  data.reserve(chips.size() / n);
+  for (std::size_t s = 0; s + n <= chips.size(); s += n) {
+    int ones = 0;
+    for (std::size_t c = 0; c < n; ++c) ones += chips[s + c] ? 1 : 0;
+    // Threshold at the duty midpoint: ones > (duty_zero + duty_one) / 2.
+    data.push_back(2 * ones > duty_zero + duty_one);
+  }
+  return data;
+}
+
+}  // namespace ironic::comms

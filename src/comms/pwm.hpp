@@ -1,0 +1,30 @@
+// PWM duty-cycle line code for the magnetoelectric backscatter uplink
+// (arXiv 2412.02499): the implant keys its load across the ME film for
+// a duty-cycle-encoded fraction of each symbol window, and the wearable
+// TX demodulates the reflected field. A data bit becomes chips_per_bit
+// channel chips — duty_one of them high for a 1, duty_zero for a 0 —
+// and the decoder thresholds the per-symbol ones count at the midpoint,
+// so up to (duty_one - duty_zero) / 2 - 1 chip errors per symbol are
+// absorbed for free. Deterministic both ways (no RNG, no state): safe
+// to splice into a fault-injected channel without perturbing the
+// campaign's thread-count-invariant fingerprints.
+#pragma once
+
+#include "src/comms/bitstream.hpp"
+
+namespace ironic::comms {
+
+struct PwmCodec {
+  int chips_per_bit = 8;
+  int duty_zero = 2;  // chips high per 0 symbol
+  int duty_one = 6;   // chips high per 1 symbol
+
+  // data bits -> chips, each symbol high-first then low.
+  Bits encode(const Bits& data) const;
+
+  // chips -> data bits: per-symbol ones count thresholded at the
+  // duty midpoint. A trailing partial symbol is dropped.
+  Bits decode(const Bits& chips) const;
+};
+
+}  // namespace ironic::comms

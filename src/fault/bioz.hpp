@@ -1,0 +1,62 @@
+// Bio-impedance sensing workload (arXiv 1507.03388): the implant
+// energizes a pair of tissue electrodes and digitizes the voltage a few
+// segments into the distributed Fricke-Morse ladder — the third
+// workload beside the lactate potentiostat, sharing the session/fault/
+// fleet machinery through the same per-measurement handler shape.
+//
+// The circuit is the programmatic twin of examples/netlists/
+// tissue_ladder.cir (60 cascaded FRICKE cells, ~122 MNA unknowns, the
+// canonical sparse-solver workload); tests/link_test.cpp pins the two
+// against each other. Tissue-drift faults scale the ionic resistances
+// (Re/Ri) — hydration and oedema move the electrolyte resistivity while
+// the membrane capacitance and electrode access resistance stay put —
+// so a kTissueDrift event shifts the measured code instead of (as on
+// the inductive power link) collapsing the coupling.
+//
+// Unlike RectifierPlant there is no analog state carried between
+// measurements: each sample is its own short stimulation transient
+// (the electrodes are re-energized per measurement), so fleet sessions
+// on this workload skip the charge-up checkpoint entirely.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "src/spice/analysis/analysis.hpp"
+#include "src/spice/circuit.hpp"
+#include "src/spice/engine.hpp"
+
+namespace ironic::fault {
+
+// The tissue-ladder stimulation circuit: `amplitude` is the pulse high
+// level (the implant's compensated drive rail), `tissue_scale`
+// multiplies every segment's Re/Ri (1.0 = the shipped netlist's
+// sirloin numbers), `segments` cascaded cells.
+std::unique_ptr<spice::Circuit> build_tissue_ladder(double amplitude,
+                                                    double tissue_scale,
+                                                    int segments = 60);
+
+struct BioZPlant {
+  int segments = 60;
+  // Voltage tap: v(t<sense_tap>), a few cells past the near electrode —
+  // deep enough that tissue drift moves the divider, shallow enough
+  // that the level stays in the ADC's [0, 4] V window.
+  int sense_tap = 5;
+  int measurements = 0;
+  // When set, the static-analysis passes run over each measurement
+  // circuit and install the solver/dt hints before the transient.
+  bool analysis_hints = false;
+  spice::analysis::AnalysisManager analyzer;
+
+  // One measurement: a 20 us stimulation pulse into the ladder, the
+  // sense voltage averaged over the settled back half of the pulse.
+  // Deterministic: pure function of (amplitude, tissue_scale).
+  double measure(double amplitude, double tissue_scale);
+};
+
+// Maps an injected tissue-thickness fault onto the ladder's Re/Ri
+// scale: the 10 mm baseline slab is scale 1.0, clamped to [0.5, 3.0]
+// (an electrode path, not an open circuit). No fault -> 1.0.
+double bioz_tissue_scale(const std::optional<double>& thickness);
+
+}  // namespace ironic::fault

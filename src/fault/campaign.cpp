@@ -8,8 +8,10 @@
 
 #include "src/comms/protocol.hpp"
 #include "src/exec/thread_pool.hpp"
+#include "src/fault/bioz.hpp"
 #include "src/fault/injector.hpp"
 #include "src/fault/plant.hpp"
+#include "src/link/phy.hpp"
 #include "src/fault/session.hpp"
 #include "src/fault/validate.hpp"
 #include "src/magnetics/link.hpp"
@@ -57,14 +59,15 @@ std::uint64_t fingerprint_scenarios(const std::vector<ScenarioResult>& scenarios
 // --- scenario runners -------------------------------------------------------
 
 // One end-to-end scenario against `schedule`: measurements flow through
-// the session layer over BER channels wrapped by the injector, each
-// executed measurement runs a rectifier transient segment (spice_plant)
-// or the behavioural front end, and the LDO regulation invariant is
-// checked under the injected rail scale.
+// the session layer over BER channels wrapped by the injector and the
+// backend's modulation hooks, each executed measurement drives the
+// scenario's workload (rectifier transient segment, behavioural front
+// end, or the bio-impedance ladder), and the LDO regulation invariant
+// is checked under the injected rail scale.
 ScenarioResult run_link_scenario(const CampaignConfig& config, int index,
                                  const FaultSchedule& schedule,
                                  const SessionOptions& session_options,
-                                 bool spice_plant,
+                                 Workload workload,
                                  obs::MetricsRegistry& scoped) {
   ScenarioResult result;
   result.index = index;
@@ -73,24 +76,34 @@ ScenarioResult run_link_scenario(const CampaignConfig& config, int index,
   FaultInjector injector(&schedule, &clock,
                          util::Rng::stream(config.seed, 3u * index + 0));
   util::Rng channel_rng = util::Rng::stream(config.seed, 3u * index + 1);
-  LinkBudget budget;
+  LinkBudget budget(config.link);
   const double sensitivity = budget.p_nominal / 8.0;  // snr 8 when nominal
+  const double cadence = budget.nominal().cadence_s;
   RectifierPlant plant;
+  plant.carrier_hz = budget.nominal().carrier_hz;
   plant.analysis_hints = config.analysis_hints;
+  BioZPlant bioz;
+  bioz.analysis_hints = config.analysis_hints;
   const pm::LdoModel ldo;
 
   const auto make_factory = [&](LinkDirection direction) -> ChannelFactory {
     return [&, direction](double rate) -> comms::Channel {
       comms::Channel physical = [&, rate](const comms::Bits& bits) {
-        const double ber = bit_error_rate_for(budget.power_now(injector),
-                                              sensitivity, rate);
+        const double ber = budget.bit_error_rate(budget.power_now(injector),
+                                                 sensitivity, rate);
         comms::Bits out = bits;
         for (std::size_t i = 0; i < out.size(); ++i) {
           if (channel_rng.bernoulli(ber)) out[i] = !out[i];
         }
         return out;
       };
-      return injector.wrap(std::move(physical), direction);
+      // Fault wrapper inside, backend modulation outside: burst faults
+      // corrupt the backend's channel symbols (PWM chips on the ME
+      // uplink), and the codec gets to absorb what it can.
+      comms::Channel faulted = injector.wrap(std::move(physical), direction);
+      return direction == LinkDirection::kUplink
+                 ? budget.phy->wrap_uplink(std::move(faulted))
+                 : budget.phy->wrap_downlink(std::move(faulted));
     };
   };
 
@@ -100,16 +113,29 @@ ScenarioResult run_link_scenario(const CampaignConfig& config, int index,
     if (request.command == comms::Command::kMeasure) {
       tally_active(injector, schedule, clock.now());
       const double power = budget.power_now(injector);
-      const double amplitude = drive_amplitude(power, budget.p_nominal, injector);
-      double vo;
-      if (spice_plant) {
-        vo = plant.measure(amplitude);
-      } else {
-        // Behavioural front end for the soak: peak minus a diode drop,
-        // clamped at the four-diode chain voltage.
-        vo = std::clamp(amplitude - 0.75, 0.0, 3.0);
+      const double amplitude = budget.drive_amplitude(power, injector);
+      double vo = 0.0;    // what the ADC digitizes
+      double rail = 0.0;  // what the LDO regulates
+      switch (workload) {
+        case Workload::kLactateSpice:
+          vo = plant.measure(amplitude);
+          rail = vo;
+          break;
+        case Workload::kLactateBehavioural:
+          // Behavioural front end for the soak: peak minus a diode
+          // drop, clamped at the four-diode chain voltage.
+          vo = std::clamp(amplitude - 0.75, 0.0, 3.0);
+          rail = vo;
+          break;
+        case Workload::kBioZ:
+          // The sense tap is a tissue voltage, not the supply: the rail
+          // the LDO sees is the behavioural rectifier output.
+          vo = bioz.measure(amplitude,
+                            bioz_tissue_scale(injector.tissue_thickness()));
+          rail = std::clamp(amplitude - 0.75, 0.0, 3.0);
+          break;
       }
-      if (!ldo.in_regulation(vo * injector.rail_scale())) {
+      if (!ldo.in_regulation(rail * injector.rail_scale())) {
         ++result.ldo_violations;
       }
       const std::uint16_t code = adc_code(vo);
@@ -142,7 +168,7 @@ ScenarioResult run_link_scenario(const CampaignConfig& config, int index,
     } else {
       ++result.lost;
     }
-    clock.advance(kCadence);
+    clock.advance(cadence);
   }
 
   const auto& stats = session.stats();
@@ -153,7 +179,11 @@ ScenarioResult run_link_scenario(const CampaignConfig& config, int index,
   result.rate_fallbacks = stats.rate_fallbacks;
   result.rate_recoveries = stats.rate_recoveries;
   result.restarts = plant.restarts;
-  result.checkpoints = plant.checkpoints;
+  // The bio-impedance plant is stateless; its committed work is the
+  // measurement count, reported in the same column.
+  result.checkpoints =
+      workload == Workload::kBioZ ? bioz.measurements : plant.checkpoints;
+  result.power_queries = budget.power_queries;
   result.final_rate = session.current_rate();
   result.sim_time = clock.now();
   for (int k = 0; k < kFaultKindCount; ++k) {
@@ -195,7 +225,7 @@ ScenarioResult run_ask_burst_scenario(const CampaignConfig& config, int index,
   options.exchange_timeout = 30.0;
   options.rate_ladder = {100e3, 50e3, 25e3, 12.5e3, 6.25e3};
   return run_link_scenario(config, index, schedule, options,
-                           /*spice_plant=*/true, scoped);
+                           Workload::kLactateSpice, scoped);
 }
 
 // Stochastic soak: every fault kind drawn from a seeded schedule, the
@@ -216,7 +246,67 @@ ScenarioResult run_stochastic_scenario(const CampaignConfig& config, int index,
   options.max_attempts = 10;
   options.exchange_timeout = 10.0;
   return run_link_scenario(config, index, schedule, options,
-                           /*spice_plant=*/false, scoped);
+                           Workload::kLactateBehavioural, scoped);
+}
+
+// The magnetoelectric acceptance scenario: a chip-level burst strikes
+// the PWM backscatter uplink, then the wearable field coil slips 10 mm
+// off the lobe axis while a 17 mm slab appears — a power collapse the
+// inductive link would not survive at rate, which the ME rate ladder
+// buys back — and a rail sag lands near the end. Event times are
+// fractions of the horizon so the plan stays valid for any --exchanges.
+FaultSchedule make_me_schedule(const CampaignConfig& config, int index) {
+  const double horizon =
+      link::nominal_profile("me").cadence_s * config.exchanges;
+  FaultSchedule schedule;
+  schedule.add({FaultKind::kBurstError, 0.12 * horizon, 0.25 * horizon,
+                static_cast<double>(12 + 2 * index), LinkDirection::kUplink});
+  schedule.add({FaultKind::kMisalignment, 0.5 * horizon, -1.0, 10e-3,
+                LinkDirection::kBoth});
+  schedule.add({FaultKind::kTissueDrift, 0.5 * horizon, -1.0, 17e-3,
+                LinkDirection::kBoth});
+  schedule.add({FaultKind::kLdoDropout, 0.8 * horizon, 0.08 * horizon, 0.5,
+                LinkDirection::kBoth});
+  return schedule;
+}
+
+ScenarioResult run_me_scenario(const CampaignConfig& config, int index,
+                               obs::MetricsRegistry& scoped) {
+  const FaultSchedule schedule = make_me_schedule(config, index);
+
+  SessionOptions options;
+  options.max_attempts = 20;
+  options.exchange_timeout = 30.0;
+  options.rate_ladder = {4e3, 2e3, 1e3};
+  return run_link_scenario(config, index, schedule, options,
+                           Workload::kLactateSpice, scoped);
+}
+
+// Bio-impedance under drift: a permanent Re/Ri drift (oedema onset)
+// shifts the measured codes mid-session while a downlink burst and a
+// rail sag exercise the retry and regulation paths around it.
+FaultSchedule make_bioz_schedule(const CampaignConfig& config, int index) {
+  const double horizon =
+      link::nominal_profile(config.link).cadence_s * config.exchanges;
+  FaultSchedule schedule;
+  schedule.add({FaultKind::kBurstError, 0.15 * horizon, 0.2 * horizon,
+                static_cast<double>(10 + 2 * index), LinkDirection::kDownlink});
+  schedule.add({FaultKind::kTissueDrift, 0.45 * horizon, -1.0,
+                (14.0 + 2.0 * index) * 1e-3, LinkDirection::kBoth});
+  schedule.add({FaultKind::kLdoDropout, 0.75 * horizon, 0.1 * horizon, 0.55,
+                LinkDirection::kBoth});
+  return schedule;
+}
+
+ScenarioResult run_bioz_scenario(const CampaignConfig& config, int index,
+                                 obs::MetricsRegistry& scoped) {
+  const FaultSchedule schedule = make_bioz_schedule(config, index);
+
+  SessionOptions options;
+  options.max_attempts = 12;
+  options.exchange_timeout = 10.0;
+  return run_link_scenario(config, index, schedule, options, Workload::kBioZ,
+                           scoped);
 }
 
 // Brownouts against the degradation ladder: injected charge dips strike
@@ -308,6 +398,21 @@ void validate_stochastic_plan(const CampaignConfig& config, int index) {
                          plan_label(config, index));
 }
 
+void validate_me_plan(const CampaignConfig& config, int index) {
+  PlanContext context;
+  context.horizon = link::nominal_profile("me").cadence_s * config.exchanges;
+  require_valid_schedule(make_me_schedule(config, index), context,
+                         plan_label(config, index));
+}
+
+void validate_bioz_plan(const CampaignConfig& config, int index) {
+  PlanContext context;
+  context.horizon =
+      link::nominal_profile(config.link).cadence_s * config.exchanges;
+  require_valid_schedule(make_bioz_schedule(config, index), context,
+                         plan_label(config, index));
+}
+
 void validate_brownout_plan(const CampaignConfig& config, int index) {
   const auto options = make_brownout_options(config, index);
   FaultSchedule schedule;
@@ -328,12 +433,21 @@ struct NamedCampaign {
   const char* name;
   ScenarioRunner run;
   PlanValidator validate;
+  // Non-null pins the campaign to a specific LinkPhy backend (the
+  // scenario script is written for that physical layer); null runs on
+  // config.link.
+  const char* backend;
 };
 
 constexpr NamedCampaign kCampaigns[] = {
-    {"ask_burst_coupling_drop", run_ask_burst_scenario, validate_ask_burst_plan},
-    {"stochastic_soak", run_stochastic_scenario, validate_stochastic_plan},
-    {"brownout_shedding", run_brownout_scenario, validate_brownout_plan},
+    {"ask_burst_coupling_drop", run_ask_burst_scenario, validate_ask_burst_plan,
+     nullptr},
+    {"stochastic_soak", run_stochastic_scenario, validate_stochastic_plan,
+     nullptr},
+    {"brownout_shedding", run_brownout_scenario, validate_brownout_plan,
+     nullptr},
+    {"me_backscatter_soak", run_me_scenario, validate_me_plan, "me"},
+    {"bioz_tissue_drift", run_bioz_scenario, validate_bioz_plan, nullptr},
 };
 
 }  // namespace
@@ -363,10 +477,17 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     throw std::invalid_argument("run_campaign: unknown campaign '" + config.name + "'");
   }
 
+  // Resolve the LinkPhy backend: a campaign written for a specific
+  // physical layer overrides config.link; either way the name must be
+  // registered (throws std::invalid_argument with the known names).
+  CampaignConfig effective = config;
+  if (chosen->backend != nullptr) effective.link = chosen->backend;
+  link::nominal_profile(effective.link);
+
   // Static pre-validation: every scenario's fault plan is checked against
   // the run horizon, magnitude domains, and envelope reachability before
   // any scenario executes (throws std::invalid_argument on a bad plan).
-  for (int j = 0; j < config.scenarios; ++j) chosen->validate(config, j);
+  for (int j = 0; j < effective.scenarios; ++j) chosen->validate(effective, j);
 
   CampaignResult result;
   result.name = config.name;
@@ -392,7 +513,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
       pool, 0, static_cast<std::size_t>(config.scenarios),
       [&](std::size_t j) {
         result.scenarios[j] =
-            chosen->run(config, static_cast<int>(j), *scoped[j]);
+            chosen->run(effective, static_cast<int>(j), *scoped[j]);
       },
       options);
 
@@ -419,6 +540,20 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   result.fingerprint = fingerprint_scenarios(result.scenarios);
 
   if constexpr (obs::kEnabled) {
+    // link.* schema: which physical layer served this campaign, its
+    // nominal numbers, and the power queries the scenarios issued
+    // (trace_validate --require pins these in CI).
+    std::uint64_t power_queries = 0;
+    for (const auto& s : result.scenarios) power_queries += s.power_queries;
+    const auto& profile = link::nominal_profile(effective.link);
+    registry.counter("link.power_queries").add(power_queries);
+    LinkBudget probe(effective.link);
+    registry.gauge("link." + effective.link + ".p_nominal_w")
+        .set(probe.p_nominal);
+    registry.gauge("link." + effective.link + ".nominal_rate_bps")
+        .set(profile.rate_bps);
+    registry.gauge("link." + effective.link + ".cadence_s")
+        .set(profile.cadence_s);
     registry.counter("fault.campaign.runs").add();
     registry.gauge("fault.campaign.recovery_rate").set(result.recovery_rate);
     registry.gauge("fault.campaign.lost_measurements")

@@ -26,6 +26,11 @@ struct CampaignConfig {
   int scenarios = 3;
   int exchanges = 10;      // measurements attempted per scenario
   std::size_t threads = 1; // scenario-level parallelism (1 = serial)
+  // LinkPhy backend the scenarios run on (see link::backend_names()).
+  // Campaigns written for a specific physical layer (me_backscatter_soak)
+  // override this; the rest dispatch through it, and "inductive" is
+  // bit-identical to the pre-LinkPhy pipeline.
+  std::string link = "inductive";
   // Run the static-analysis passes over each rectifier-plant circuit and
   // install the solver/dt hints before the transient segments. Must not
   // change the fingerprint (the hints agree with the engine's own
@@ -52,6 +57,8 @@ struct ScenarioResult {
   double sim_time = 0.0;    // scenario SimClock at the end [s]
   std::uint64_t faults_injected[kFaultKindCount] = {};
   std::vector<std::uint16_t> adc_codes;  // one per completed measurement
+  // LinkPhy power queries served (telemetry only, never fingerprinted).
+  std::uint64_t power_queries = 0;
 };
 
 struct CampaignResult {
@@ -80,6 +87,13 @@ struct CampaignResult {
 //                            schedule; partial recovery allowed
 //   brownout_shedding        battery brownouts against the patch
 //                            degradation ladder
+//   me_backscatter_soak      the magnetoelectric backend: a PWM chip
+//                            burst, then a permanent field misalignment
+//                            the rate ladder must buy back (always runs
+//                            on --link me)
+//   bioz_tissue_drift        bio-impedance workload: the Fricke ladder
+//                            under a permanent Re/Ri drift plus comms
+//                            and rail faults (runs on config.link)
 std::vector<std::string> campaign_names();
 bool is_campaign(const std::string& name);
 

@@ -9,6 +9,28 @@
 
 namespace ironic::fault {
 
+const char* workload_name(Workload workload) {
+  switch (workload) {
+    case Workload::kLactateSpice: return "lactate";
+    case Workload::kLactateBehavioural: return "lactate-behavioural";
+    case Workload::kBioZ: return "bioz";
+  }
+  return "?";
+}
+
+bool parse_workload(const std::string& text, Workload& out) {
+  if (text == "lactate") {
+    out = Workload::kLactateSpice;
+  } else if (text == "lactate-behavioural") {
+    out = Workload::kLactateBehavioural;
+  } else if (text == "bioz") {
+    out = Workload::kBioZ;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 pm::RectifierOptions fast_rect_options() {
   pm::RectifierOptions opt;
   opt.storage_capacitance = 10e-9;  // small Co keeps segments quick
@@ -21,21 +43,33 @@ std::uint16_t adc_code(double vo) {
   return static_cast<std::uint16_t>(std::lround(clamped / 4.0 * 4095.0));
 }
 
-LinkBudget::LinkBudget() : link(magnetics::LinkConfig{}) {
-  drive = link.drive_for_power(15e-3, kLoadOhms);  // paper's 15 mW point
-  p_nominal = link.analyze(drive, kLoadOhms).power_delivered;
+LinkBudget::LinkBudget() : LinkBudget(link::make_backend("inductive")) {}
+
+LinkBudget::LinkBudget(const std::string& backend)
+    : LinkBudget(link::make_backend(backend)) {}
+
+LinkBudget::LinkBudget(std::unique_ptr<link::LinkPhy> backend)
+    : phy(std::move(backend)) {
+  p_nominal = phy->nominal_power();
 }
 
 double LinkBudget::power_now(const FaultInjector& injector) {
-  link.set_distance(injector.distance(magnetics::LinkConfig{}.distance));
-  link.set_lateral_offset(injector.lateral_offset(0.0));
-  if (const auto thickness = injector.tissue_thickness()) {
-    link.set_tissue(
-        magnetics::TissueSlab(magnetics::sirloin_properties(), *thickness));
-  } else {
-    link.set_tissue(std::nullopt);
-  }
-  return link.analyze(drive, kLoadOhms).power_delivered;
+  link::LinkCondition condition = phy->nominal_condition();
+  condition.distance = injector.distance(condition.distance);
+  condition.lateral_offset = injector.lateral_offset(condition.lateral_offset);
+  condition.tissue_thickness = injector.tissue_thickness();
+  ++power_queries;
+  return phy->power_delivered(condition);
+}
+
+double LinkBudget::drive_amplitude(double power,
+                                   const FaultInjector& injector) const {
+  return phy->drive_amplitude(power) * injector.drive_scale();
+}
+
+double LinkBudget::bit_error_rate(double power, double sensitivity,
+                                  double rate) const {
+  return phy->bit_error_rate(power, sensitivity, rate);
 }
 
 double drive_amplitude(double power, double p_nominal,
@@ -61,12 +95,13 @@ void tally_active(FaultInjector& injector, const FaultSchedule& schedule,
   }
 }
 
-std::unique_ptr<spice::Circuit> RectifierPlant::build(double amplitude) {
+std::unique_ptr<spice::Circuit> RectifierPlant::build(double amplitude,
+                                                      double carrier_hz) {
   auto ckt = std::make_unique<spice::Circuit>();
   const auto src = ckt->node("src");
   const auto vi = ckt->node("vi");
   ckt->add<spice::VoltageSource>("Vs", src, spice::kGround,
-                                 spice::Waveform::sine(amplitude, 5e6));
+                                 spice::Waveform::sine(amplitude, carrier_hz));
   ckt->add<spice::Resistor>("Rs", src, vi, 50.0);
   const auto rect =
       pm::build_rectifier(*ckt, "r", vi, spice::Waveform::dc(0.0),
@@ -95,7 +130,7 @@ spice::TransientResult RectifierPlant::run_segment(
     double amplitude, double length, spice::TransientCheckpoint* capture) {
   // A fresh circuit every segment: resume must carry ALL state through
   // the checkpoint blob, never through device object identity.
-  auto ckt = build(amplitude);
+  auto ckt = build(amplitude, carrier_hz);
   if (analysis_hints) analyzer.apply_hints(*ckt);
   spice::TransientOptions opts;
   const spice::TransientCheckpoint* from = committed();
@@ -138,7 +173,7 @@ double RectifierPlant::measure(double amplitude) {
 
 spice::TransientCheckpoint capture_charged_checkpoint(
     const ChargeUpSpec& spec, spice::TransientStats* stats) {
-  auto ckt = RectifierPlant::build(spec.amplitude);
+  auto ckt = RectifierPlant::build(spec.amplitude, spec.carrier_hz);
   spice::TransientOptions opts;
   opts.t_stop = spec.duration;
   opts.dt_max = spec.dt_max;

@@ -1,4 +1,4 @@
-// The shared end-to-end "patient plant": the tuned inductive link with
+// The shared end-to-end "patient plant": the LinkPhy backend with
 // injector-perturbed geometry, the physical BER model the session rate
 // ladder plays against, and the rectifier transient plant whose analog
 // state persists between measurements through spice checkpoints.
@@ -11,14 +11,22 @@
 // its own private checkpoint the first time it commits a segment
 // (copy-on-write). `capture_charged_checkpoint` produces that shared
 // blob by running the ~270 us charge-up transient once.
+//
+// Since the LinkPhy refactor the physical layer is pluggable: LinkBudget
+// dispatches through a link::LinkPhy backend ("inductive" reproduces the
+// pre-refactor pipeline bit-for-bit; "me" swaps in the magnetoelectric
+// transducer with PWM backscatter), and the nominal operating point
+// lives in the backend's link::NominalProfile instead of free constants.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "src/fault/injector.hpp"
 #include "src/fault/schedule.hpp"
-#include "src/magnetics/link.hpp"
+#include "src/link/inductive.hpp"
+#include "src/link/phy.hpp"
 #include "src/pm/rectifier.hpp"
 #include "src/spice/analysis/analysis.hpp"
 #include "src/spice/circuit.hpp"
@@ -26,37 +34,66 @@
 
 namespace ironic::fault {
 
-// Shared operating constants (the paper's nominal link numbers).
-inline constexpr double kNominalRate = 100e3;  // ASK downlink [bit/s]
-inline constexpr double kCadence = 0.25;       // [s] between measurements
-inline constexpr double kLoadOhms = 150.0;     // rectifier input impedance scale
-inline constexpr double kNominalDrive = 3.5;   // rectifier input amplitude [V]
+// Deprecated aliases for the former hard-coded nominal link constants;
+// they are the *inductive* backend's numbers. New code should read
+// LinkBudget::nominal() (or link::nominal_profile(name)) so multi-
+// backend call sites can never mix one backend's BER model with
+// another's operating point.
+inline constexpr double kNominalRate =
+    link::kInductiveNominal.rate_bps;  // ASK downlink [bit/s]
+inline constexpr double kCadence =
+    link::kInductiveNominal.cadence_s;  // [s] between measurements
+inline constexpr double kLoadOhms =
+    link::kInductiveNominal.load_ohms;  // rectifier input impedance scale
+inline constexpr double kNominalDrive =
+    link::kInductiveNominal.drive_v;  // rectifier input amplitude [V]
+
+// Which sensing front end a scenario/session drives per measurement:
+// the spice rectifier + lactate potentiostat plant, its behavioural
+// stand-in for long soaks, or the Fricke bio-impedance ladder.
+enum class Workload { kLactateSpice, kLactateBehavioural, kBioZ };
+
+const char* workload_name(Workload workload);
+// Parses "lactate" / "lactate-behavioural" / "bioz"; false on others.
+bool parse_workload(const std::string& text, Workload& out);
 
 pm::RectifierOptions fast_rect_options();
 
 // 12-bit ADC code for a rectifier output voltage clamped to [0, 4] V.
 std::uint16_t adc_code(double vo);
 
-// The tuned link with injector-perturbed geometry; power feeds the BER
-// model and the implant drive amplitude.
+// The link budget behind a session: a LinkPhy backend plus the
+// injector-perturbed geometry; power feeds the BER model and the
+// implant drive amplitude.
 struct LinkBudget {
-  magnetics::InductiveLink link;
-  double drive = 0.0;
+  std::unique_ptr<link::LinkPhy> phy;
   double p_nominal = 0.0;
+  // Power queries served (telemetry only; never fed to fingerprints).
+  std::uint64_t power_queries = 0;
 
+  // Backend #1, the paper's inductive ASK/LSK chain.
   LinkBudget();
+  // Any registered backend by name; throws std::invalid_argument on an
+  // unknown one (see link::backend_names()).
+  explicit LinkBudget(const std::string& backend);
+  explicit LinkBudget(std::unique_ptr<link::LinkPhy> backend);
+
+  const link::NominalProfile& nominal() const { return phy->nominal(); }
+
+  // Delivered power under the injector's current geometry faults [W].
   double power_now(const FaultInjector& injector);
+
+  // Backend compensation law x the injected overvoltage drive scale.
+  double drive_amplitude(double power, const FaultInjector& injector) const;
+
+  double bit_error_rate(double power, double sensitivity, double rate) const;
 };
 
-// Implant drive amplitude: the patch partially compensates a weakened
-// link (floor at 0.6 of nominal — it cannot boost indefinitely), and an
-// overvoltage fault scales the drive past the clamp threshold.
+// Deprecated free-function forms of the inductive backend's laws (the
+// pre-LinkPhy API); prefer the LinkBudget members, which dispatch to
+// the session's actual backend.
 double drive_amplitude(double power, double p_nominal,
                        const FaultInjector& injector);
-
-// Physical BER from the link budget: snr scales with delivered power and
-// inversely with bit rate (energy per bit), so the session's rate ladder
-// buys back margin the coupling fault took away.
 double bit_error_rate_for(double power, double sensitivity, double rate);
 
 // Tally the continuously-active fault kinds once per executed
@@ -71,6 +108,9 @@ void tally_active(FaultInjector& injector, const FaultSchedule& schedule,
 // half segment plus a restart from the last committed checkpoint.
 struct RectifierPlant {
   double segment_length = 10e-6;
+  // Source carrier [Hz]; set from the backend's NominalProfile (5 MHz
+  // inductive, 1 MHz magnetoelectric).
+  double carrier_hz = link::kInductiveNominal.carrier_hz;
   int restarts = 0;
   int checkpoints = 0;
   // When set, the static-analysis passes run over each fresh segment
@@ -78,7 +118,8 @@ struct RectifierPlant {
   bool analysis_hints = false;
   spice::analysis::AnalysisManager analyzer;
 
-  static std::unique_ptr<spice::Circuit> build(double amplitude);
+  static std::unique_ptr<spice::Circuit> build(
+      double amplitude, double carrier_hz = link::kInductiveNominal.carrier_hz);
 
   // Adopt `base` as the committed operating point without copying the
   // blob. `base_amplitude` is the drive the blob was captured at, so the
@@ -109,8 +150,12 @@ struct RectifierPlant {
 
 // One charge-up transient at a fixed drive, checkpointed at the final
 // accepted point — the operating point every fleet session forks from.
+// The CheckpointCache dedupes by value equality, so two cohorts on
+// different backends (different amplitude/carrier) get distinct blobs
+// while same-backend cohorts share one.
 struct ChargeUpSpec {
   double amplitude = kNominalDrive;
+  double carrier_hz = link::kInductiveNominal.carrier_hz;
   double duration = 270e-6;  // [s] the paper's charge-up time scale
   double dt_max = 10e-9;     // matches the measurement segments
   int record_every = 64;     // charge-up trace decimation (state unaffected)

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/link/phy.hpp"
 #include "src/obs/json.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/telemetry.hpp"
@@ -15,13 +16,28 @@
 namespace ironic::fleet {
 namespace {
 
+// The charge-up operating point for one cohort: the fleet-wide spec,
+// with the amplitude/carrier retargeted to the cohort backend's nominal
+// drive when it is not the inductive default. CheckpointCache dedupes
+// by value, so same-backend cohorts still share one blob.
+fault::ChargeUpSpec charge_for(const FleetConfig& config,
+                               const CohortProfile& cohort) {
+  fault::ChargeUpSpec charge = config.charge;
+  if (cohort.link != "inductive") {
+    const link::NominalProfile& profile = link::nominal_profile(cohort.link);
+    charge.amplitude = profile.drive_v;
+    charge.carrier_hz = profile.carrier_hz;
+  }
+  return charge;
+}
+
 SessionSpec make_spec(const FleetConfig& config, std::uint64_t index) {
   SessionSpec spec;
   spec.seed = config.seed;
   spec.index = index;
   spec.exchanges = effective_exchanges(config);
   spec.cohort = config.cohorts[index % config.cohorts.size()];
-  spec.charge = config.charge;
+  spec.charge = charge_for(config, spec.cohort);
   spec.analysis_hints = config.analysis_hints;
   return spec;
 }
@@ -35,6 +51,13 @@ void validate(const FleetConfig& config) {
   }
   if (effective_exchanges(config) < 1) {
     throw std::invalid_argument("fleet: exchanges must be >= 1");
+  }
+  for (const auto& cohort : config.cohorts) {
+    if (!link::is_backend(cohort.link)) {
+      throw std::invalid_argument("fleet: cohort '" + cohort.name +
+                                  "': unknown link backend '" + cohort.link +
+                                  "'");
+    }
   }
 }
 
@@ -104,11 +127,21 @@ FleetResult FleetService::run(const FleetConfig& config) {
     }
   }
 
-  // One capture per distinct spec, shared by every session. When
-  // sharing is off each session pays its own charge-up inside
-  // run_patient_session — same results, different wall clock.
-  std::shared_ptr<const spice::TransientCheckpoint> blob;
-  if (config.share_checkpoint) blob = cache_.charged(config.charge);
+  // One capture per distinct spec, shared by every session in the
+  // cohorts that need it (the bio-impedance workload is stateless and
+  // skips charge-up entirely). cache_.charged dedupes by spec value, so
+  // same-backend cohorts resolve to the same blob. When sharing is off
+  // each session pays its own charge-up inside run_patient_session —
+  // same results, different wall clock.
+  std::vector<std::shared_ptr<const spice::TransientCheckpoint>> blobs(
+      n_cohorts);
+  if (config.share_checkpoint) {
+    for (std::size_t c = 0; c < n_cohorts; ++c) {
+      if (config.cohorts[c].workload == fault::Workload::kLactateSpice) {
+        blobs[c] = cache_.charged(charge_for(config, config.cohorts[c]));
+      }
+    }
+  }
 
   // Registries forked up front on this thread: session i records into
   // session_regs[i] only (slot-indexed like the results), parented on
@@ -161,7 +194,7 @@ FleetResult FleetService::run(const FleetConfig& config) {
         // Containment is unconditional: a throwing session comes back
         // as a recorded SessionHealth, never an unwound parallel_for.
         SupervisedSession sup =
-            run_supervised_session(spec, blob, scoped, policy);
+            run_supervised_session(spec, blobs[i % n_cohorts], scoped, policy);
         if (journal.is_open()) journal.record(sup.health, sup.result);
         result.sessions[i] = std::move(sup.result);
         result.health[i] = std::move(sup.health);
@@ -228,7 +261,13 @@ FleetResult FleetService::run(const FleetConfig& config) {
     } else {
       ++fresh_sessions;
       if (s.forked) ++result.checkpoint_forks;
-      if (h.ok && !s.forked) ++fresh_private;
+      // Only the spice-plant workload ever captures privately; stateless
+      // workloads run un-forked without a charge-up to book.
+      if (h.ok && !s.forked &&
+          config.cohorts[i % n_cohorts].workload ==
+              fault::Workload::kLactateSpice) {
+        ++fresh_private;
+      }
       result.charge_capture_seconds += s.charge_wall_seconds;
       wall_sum += s.wall_seconds;
     }

@@ -1,13 +1,16 @@
 #include "src/fleet/session.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <string>
 #include <thread>
 #include <utility>
 
 #include "src/comms/protocol.hpp"
+#include "src/fault/bioz.hpp"
 #include "src/fault/injector.hpp"
 #include "src/fault/session.hpp"
+#include "src/link/phy.hpp"
 #include "src/pm/regulator.hpp"
 #include "src/util/fingerprint.hpp"
 #include "src/util/rng.hpp"
@@ -86,7 +89,10 @@ std::vector<CohortProfile> default_cohorts() {
 fault::FaultSchedule make_session_schedule(const SessionSpec& spec) {
   auto lanes = session_lanes(spec);
   fault::StochasticScheduleConfig config;
-  config.horizon = fault::kCadence * spec.exchanges + 1.0;
+  // Horizon tracks the cohort backend's exchange cadence (0.25 s for
+  // the inductive link — bit-identical to the pre-LinkPhy fleets).
+  config.horizon =
+      link::nominal_profile(spec.cohort.link).cadence_s * spec.exchanges + 1.0;
   config.mean_duration = spec.cohort.mean_fault_duration;
   using fault::FaultKind;
   auto rate = [&config](FaultKind kind, double events) {
@@ -113,18 +119,23 @@ SessionResult run_patient_session(
   result.index = spec.index;
   result.cohort = spec.cohort.name;
 
+  // Only the rectifier transient plant carries analog state between
+  // measurements; the other workloads never touch the charge-up blob.
+  const bool spice_plant =
+      spec.cohort.workload == fault::Workload::kLactateSpice;
+
   // Solo path: no shared blob, so this session pays its own charge-up.
   // capture_charged_checkpoint is deterministic, so the private blob is
   // bit-identical to the fleet's shared one — forking changes wall
   // clock, never results.
-  if (charged == nullptr) {
+  if (spice_plant && charged == nullptr) {
     const auto t0 = std::chrono::steady_clock::now();
     charged = std::make_shared<const spice::TransientCheckpoint>(
         fault::capture_charged_checkpoint(spec.charge));
     result.charge_wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-  } else {
+  } else if (spice_plant) {
     result.forked = true;
   }
   const auto body_t0 = std::chrono::steady_clock::now();
@@ -135,27 +146,37 @@ SessionResult run_patient_session(
   fault::SimClock clock;
   fault::FaultInjector injector(&schedule, &clock, lanes[kLaneInjector]);
   util::Rng channel_rng = lanes[kLaneChannel];
-  fault::LinkBudget budget;
+  fault::LinkBudget budget(spec.cohort.link);
   const double sensitivity = budget.p_nominal / 8.0;  // snr 8 when nominal
+  const double cadence = budget.nominal().cadence_s;
 
   fault::RectifierPlant plant;
+  plant.carrier_hz = budget.nominal().carrier_hz;
   plant.analysis_hints = spec.analysis_hints;
-  plant.fork_from(charged, spec.charge.amplitude);
+  if (spice_plant) plant.fork_from(charged, spec.charge.amplitude);
+  fault::BioZPlant bioz;
+  bioz.analysis_hints = spec.analysis_hints;
   const pm::LdoModel ldo;
 
   const auto make_factory =
       [&](fault::LinkDirection direction) -> fault::ChannelFactory {
     return [&, direction](double rate) -> comms::Channel {
       comms::Channel physical = [&, rate](const comms::Bits& bits) {
-        const double ber = fault::bit_error_rate_for(
-            budget.power_now(injector), sensitivity, rate);
+        const double ber = budget.bit_error_rate(budget.power_now(injector),
+                                                 sensitivity, rate);
         comms::Bits out = bits;
         for (std::size_t i = 0; i < out.size(); ++i) {
           if (channel_rng.bernoulli(ber)) out[i] = !out[i];
         }
         return out;
       };
-      return injector.wrap(std::move(physical), direction);
+      // Fault wrapper inside, backend modulation outside — same layering
+      // as the campaign runner, so cohort sessions and campaign
+      // scenarios see identical channel symbol streams.
+      comms::Channel faulted = injector.wrap(std::move(physical), direction);
+      return direction == fault::LinkDirection::kUplink
+                 ? budget.phy->wrap_uplink(std::move(faulted))
+                 : budget.phy->wrap_downlink(std::move(faulted));
     };
   };
 
@@ -165,10 +186,27 @@ SessionResult run_patient_session(
     if (request.command == comms::Command::kMeasure) {
       fault::tally_active(injector, schedule, clock.now());
       const double power = budget.power_now(injector);
-      const double amplitude =
-          fault::drive_amplitude(power, budget.p_nominal, injector);
-      const double vo = plant.measure(amplitude);
-      if (!ldo.in_regulation(vo * injector.rail_scale())) {
+      const double amplitude = budget.drive_amplitude(power, injector);
+      double vo = 0.0;    // what the ADC digitizes
+      double rail = 0.0;  // what the LDO regulates
+      switch (spec.cohort.workload) {
+        case fault::Workload::kLactateSpice:
+          vo = plant.measure(amplitude);
+          rail = vo;
+          break;
+        case fault::Workload::kLactateBehavioural:
+          vo = std::clamp(amplitude - 0.75, 0.0, 3.0);
+          rail = vo;
+          break;
+        case fault::Workload::kBioZ:
+          // The sense tap is a tissue voltage, not the supply: the rail
+          // the LDO sees is the behavioural rectifier output.
+          vo = bioz.measure(amplitude,
+                            fault::bioz_tissue_scale(injector.tissue_thickness()));
+          rail = std::clamp(amplitude - 0.75, 0.0, 3.0);
+          break;
+      }
+      if (!ldo.in_regulation(rail * injector.rail_scale())) {
         ++result.ldo_violations;
       }
       const std::uint16_t code = fault::adc_code(vo);
@@ -208,7 +246,7 @@ SessionResult run_patient_session(
     } else {
       ++result.lost;
     }
-    clock.advance(fault::kCadence);
+    clock.advance(cadence);
   }
 
   const auto& stats = session.stats();
@@ -219,7 +257,11 @@ SessionResult run_patient_session(
   result.rate_fallbacks = stats.rate_fallbacks;
   result.rate_recoveries = stats.rate_recoveries;
   result.restarts = plant.restarts;
-  result.checkpoints = plant.checkpoints;
+  // The bio-impedance plant is stateless; its committed work is the
+  // measurement count, reported in the same column.
+  result.checkpoints = spec.cohort.workload == fault::Workload::kBioZ
+                           ? bioz.measurements
+                           : plant.checkpoints;
   result.final_rate = session.current_rate();
   result.sim_time = clock.now();
   for (int k = 0; k < fault::kFaultKindCount; ++k) {

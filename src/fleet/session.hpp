@@ -28,8 +28,9 @@
 namespace ironic::fleet {
 
 // A patient cohort: how hostile this group's environment is (event
-// rates feed the stochastic schedule generator) and how hard its patch
-// firmware fights back (retry budget, timeout, rate ladder).
+// rates feed the stochastic schedule generator), how hard its patch
+// firmware fights back (retry budget, timeout, rate ladder), and which
+// physical layer / sensing workload its implants run.
 struct CohortProfile {
   std::string name = "nominal";
   // Mean stochastic events per schedule horizon, by family.
@@ -41,6 +42,14 @@ struct CohortProfile {
   int max_attempts = 12;
   double exchange_timeout = 10.0;  // [s]
   std::vector<double> rate_ladder = {100e3, 50e3, 25e3, 12.5e3};
+  // LinkPhy backend this cohort's implants are powered by (see
+  // link::backend_names()); sets the session cadence and — for
+  // non-inductive backends — the charge-up amplitude/carrier.
+  std::string link = "inductive";
+  // Sensing front end per measurement. kLactateSpice runs the rectifier
+  // transient plant (and forks the shared charge-up checkpoint); kBioZ
+  // runs the stateless Fricke tissue ladder and needs no charge-up.
+  fault::Workload workload = fault::Workload::kLactateSpice;
 };
 
 // The stock fleet mix: nominal wearers, a noisy-link cohort (dense

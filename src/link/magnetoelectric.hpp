@@ -1,0 +1,67 @@
+// Backend #2: magnetoelectric power transfer with PWM backscatter
+// uplink (arXiv 2412.02499), behind the same LinkPhy interface as the
+// paper's inductive stack.
+//
+// Fault-kind mapping (the FaultInjector speaks geometry, each backend
+// maps it onto its own physics):
+//   kCouplingStep  -> implant depth step (the TX coil's near-field
+//                     dipole falloff, cubic in depth)
+//   kMisalignment  -> field-lobe misalignment (Gaussian lateral factor)
+//   kTissueDrift   -> slab attenuation — percent-level at the ~MHz
+//                     acoustic resonance, the ME robustness story
+//   kOvervoltage / kLdoDropout / comms kinds -> unchanged semantics
+//
+// Sensitivities differ from the inductive backend on purpose: depth
+// steps hurt more (cubic falloff from a 20 mm operating point), tissue
+// barely registers, and the downlink runs 25x slower (the field
+// carrier is the laminate's acoustic resonance, not 5 MHz).
+#pragma once
+
+#include "src/comms/pwm.hpp"
+#include "src/link/phy.hpp"
+#include "src/magnetics/me_transducer.hpp"
+
+namespace ironic::link {
+
+// rate: OOK field keying at the ~1 MHz resonance supports ~4 kbit/s of
+// robust downlink; cadence relaxes to 0.5 s (the ME sensor duty-cycles
+// harder on its smaller power budget); drive: the rectified laminate
+// output at the nominal 20 mm depth.
+inline constexpr NominalProfile kMagnetoelectricNominal{
+    /*rate_bps=*/4e3, /*drive_v=*/3.2, /*load_ohms=*/150.0,
+    /*cadence_s=*/0.5, /*carrier_hz=*/1e6};
+
+class MagnetoelectricPwm final : public LinkPhy {
+ public:
+  explicit MagnetoelectricPwm(magnetics::MeTransducerSpec spec = {});
+
+  const char* name() const override { return "me"; }
+  const NominalProfile& nominal() const override {
+    return kMagnetoelectricNominal;
+  }
+  LinkCondition nominal_condition() const override;
+  double nominal_power() const override;
+
+  double power_delivered(const LinkCondition& condition) override;
+  double efficiency(const LinkCondition& condition) override;
+  double bit_error_rate(double power, double sensitivity,
+                        double rate) const override;
+  double drive_amplitude(double power) const override;
+
+  // PWM duty-cycle chips on the uplink: the codec rides outside the
+  // fault-wrapped channel, so burst faults corrupt chips and the
+  // majority threshold absorbs isolated flips.
+  comms::Channel wrap_uplink(comms::Channel inner) const override;
+
+  const char* downlink_modulation() const override { return "OOK field"; }
+  const char* uplink_modulation() const override { return "PWM backscatter"; }
+
+  const magnetics::MeTransducer& transducer() const { return transducer_; }
+  const comms::PwmCodec& codec() const { return codec_; }
+
+ private:
+  magnetics::MeTransducer transducer_;
+  comms::PwmCodec codec_;
+};
+
+}  // namespace ironic::link

@@ -1,0 +1,51 @@
+#include "src/magnetics/me_transducer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ironic::magnetics {
+
+namespace {
+
+// Near-field dipole magnitude of the TX coil along its axis, normalized
+// to 1 at zero depth: H(d) = 1 / (1 + (d / d_ref)^3).
+double dipole_falloff(double depth, double depth_ref) {
+  const double d = std::max(0.0, depth) / depth_ref;
+  return 1.0 / (1.0 + d * d * d);
+}
+
+}  // namespace
+
+MeTransducer::MeTransducer(MeTransducerSpec spec) : spec_(spec) {
+  axial_nominal_ = dipole_falloff(spec_.depth_nominal_m, spec_.depth_ref_m);
+}
+
+double MeTransducer::field_factor(double depth, double lateral_offset,
+                                  double tissue_thickness) const {
+  const double axial =
+      dipole_falloff(depth, spec_.depth_ref_m) / axial_nominal_;
+  const double u = lateral_offset / spec_.align_width_m;
+  const double lateral = std::exp(-(u * u));
+  const double tissue =
+      std::exp(-spec_.tissue_np_per_m * std::max(0.0, tissue_thickness));
+  return axial * lateral * tissue;
+}
+
+double MeTransducer::power_at(double depth, double lateral_offset,
+                              double tissue_thickness) const {
+  const double f = field_factor(depth, lateral_offset, tissue_thickness);
+  return spec_.p_nominal_w * f * f;
+}
+
+double MeTransducer::efficiency_at(double depth, double lateral_offset,
+                                   double tissue_thickness) const {
+  const double f = field_factor(depth, lateral_offset, tissue_thickness);
+  const double f2 = f * f;
+  // eta(f2) = f2 / (f2 + (1 - eta0) / eta0): equals eta0 at f2 = 1,
+  // monotone in the field, and bounded by 1 for any geometry.
+  const double knee =
+      (1.0 - spec_.efficiency_nominal) / spec_.efficiency_nominal;
+  return f2 / (f2 + knee);
+}
+
+}  // namespace ironic::magnetics

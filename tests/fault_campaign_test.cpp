@@ -16,11 +16,13 @@ namespace {
 
 using namespace ironic::fault;
 
-TEST(FaultCampaign, RegistryListsTheThreeCampaigns) {
+TEST(FaultCampaign, RegistryListsTheFiveCampaigns) {
   const auto names = campaign_names();
-  ASSERT_EQ(names.size(), 3u);
+  ASSERT_EQ(names.size(), 5u);
   for (const auto& name : names) EXPECT_TRUE(is_campaign(name));
   EXPECT_TRUE(is_campaign("ask_burst_coupling_drop"));
+  EXPECT_TRUE(is_campaign("me_backscatter_soak"));
+  EXPECT_TRUE(is_campaign("bioz_tissue_drift"));
   EXPECT_FALSE(is_campaign("nonexistent"));
 }
 

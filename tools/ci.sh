@@ -40,12 +40,21 @@
 #                journal (telemetry_tail tolerates the torn tail), and
 #                the exit-code contract (0 healthy / 1 failures / 2
 #                usage) holds end to end
-#  10. obs       bench_obs_overhead in-process budget gate (instrumented
+#  10. linkphy   the LinkPhy backend contract: backend #1 (inductive)
+#                campaign fingerprints bit-identical across thread counts
+#                (the exact pre-refactor value pins live in
+#                link_neutrality_test), the magnetoelectric campaign
+#                fingerprint pinned across three thread counts, the
+#                bio-impedance campaign and fleet smoke (stateless
+#                workload -> zero charge-ups, zero forks), the --link
+#                exit-2 contract on all three runners, and the link.*
+#                telemetry schema pinned via trace_validate
+#  11. obs       bench_obs_overhead in-process budget gate (instrumented
 #                fault campaign must stay within 5% of the obs-off run),
 #                and every *committed* BENCH_*.json must have been
 #                produced with observability compiled in
 #
-# Usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|analyze|fault|fleet|chaos|obs|all]   (default: all)
+# Usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|analyze|fault|fleet|chaos|linkphy|obs|all]   (default: all)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -400,6 +409,109 @@ run_chaos() {
        "bit-identical to no-chaos; kill+resume fingerprint parity holds"
 }
 
+run_linkphy() {
+  log "LinkPhy: backend-#1 neutrality, ME pins, bioz smoke, --link contract"
+  cmake -B "$ROOT/build-ci-release" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$ROOT/build-ci-release" -j "$JOBS" \
+    --target fault_runner fleet_runner sweep_runner trace_validate
+  local fault="$ROOT/build-ci-release/tools/fault_runner"
+  local fleet="$ROOT/build-ci-release/tools/fleet_runner"
+  local sweep="$ROOT/build-ci-release/tools/sweep_runner"
+  local validator="$ROOT/build-ci-release/tools/trace_validate"
+
+  # Backend #1 neutrality + thread invariance: every registered campaign
+  # (the three pre-LinkPhy ones now dispatching through the inductive
+  # backend, plus the ME and bioz additions) must fingerprint
+  # bit-identically at 1 and 4 threads. The exact pre-refactor constants
+  # are pinned by link_neutrality_test; the diff here catches divergence
+  # without assuming this runner's libm.
+  local t1="$ROOT/build-ci-release/linkphy_t1.json"
+  local t4="$ROOT/build-ci-release/linkphy_t4.json"
+  "$fault" --threads 1 --out "$t1" all
+  IRONIC_REPORT_DIR="$ROOT/build-ci-release" \
+    "$fault" --threads 4 --out "$t4" all
+  if ! diff <(grep '"fingerprint"' "$t1") <(grep '"fingerprint"' "$t4"); then
+    echo "ci: FAIL -- campaign fingerprints differ across thread counts" >&2
+    exit 1
+  fi
+  grep -q '"campaign": "me_backscatter_soak"' "$t1"
+  grep -q '"campaign": "bioz_tissue_drift"' "$t1"
+
+  # The magnetoelectric campaign again at a third thread count: its
+  # fingerprint must match the wide leg exactly.
+  local me3="$ROOT/build-ci-release/linkphy_me_t3.json"
+  "$fault" --threads 3 --out "$me3" me_backscatter_soak
+  local me_pin
+  me_pin="$(grep -o '"fingerprint": "0x[0-9a-f]*"' "$me3" | head -1)"
+  if ! grep -qF "$me_pin" "$t4"; then
+    echo "ci: FAIL -- me_backscatter_soak fingerprint differs at 3 threads" >&2
+    exit 1
+  fi
+
+  # The link.* telemetry published by run_campaign must land in the run
+  # report: the query counter plus both backends' operating points.
+  "$validator" --require-obs \
+    --require link.power_queries \
+    --require link.inductive.p_nominal_w \
+    --require link.inductive.nominal_rate_bps \
+    --require link.inductive.cadence_s \
+    --require link.me.p_nominal_w \
+    --require link.me.nominal_rate_bps \
+    --require link.me.cadence_s \
+    "$ROOT/build-ci-release/BENCH_fault_resilience.json"
+
+  # Bio-impedance smoke: the campaign must deliver every measurement,
+  # and a bioz fleet must run with zero charge-up captures and zero
+  # checkpoint forks (the workload is stateless).
+  local bioz="$ROOT/build-ci-release/linkphy_bioz.json"
+  "$fault" --out "$bioz" bioz_tissue_drift
+  grep -q '"lost_measurements": 0' "$bioz"
+  local bfleet="$ROOT/build-ci-release/linkphy_bioz_fleet.json"
+  "$fleet" --workload bioz --sessions 48 --exchanges 2 --threads 4 \
+    --out "$bfleet"
+  grep -q '"charge_captures": 0' "$bfleet"
+  grep -q '"checkpoint_forks": 0' "$bfleet"
+
+  # A magnetoelectric fleet must be thread-count invariant like the
+  # inductive one (per-cohort charge-up blobs, PWM chips through the
+  # fault-wrapped channel).
+  local mf1="$ROOT/build-ci-release/linkphy_me_fleet_t1.json"
+  local mf3="$ROOT/build-ci-release/linkphy_me_fleet_t3.json"
+  "$fleet" --link me --sessions 24 --threads 1 --exchanges 2 --out "$mf1"
+  "$fleet" --link me --sessions 24 --threads 3 --exchanges 2 --out "$mf3"
+  if ! diff <(grep '"fingerprint"' "$mf1") <(grep '"fingerprint"' "$mf3"); then
+    echo "ci: FAIL -- me fleet fingerprints differ across thread counts" >&2
+    exit 1
+  fi
+
+  # --link contract: an unknown backend is a usage error (exit 2) on
+  # every runner that takes the flag, with the registered names listed.
+  local rc
+  rc=0; "$fault" --link bogus stochastic_soak >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "ci: FAIL -- fault_runner --link bogus exited $rc, want 2" >&2
+    exit 1
+  fi
+  rc=0; "$fleet" --link bogus --sessions 1 --exchanges 1 >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "ci: FAIL -- fleet_runner --link bogus exited $rc, want 2" >&2
+    exit 1
+  fi
+  rc=0; "$sweep" --link bogus --list >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "ci: FAIL -- sweep_runner --link bogus exited $rc, want 2" >&2
+    exit 1
+  fi
+  local diag
+  diag=$("$fault" --link bogus stochastic_soak 2>&1 || true)
+  if ! printf '%s' "$diag" | grep -q 'inductive, me'; then
+    echo "ci: FAIL -- --link diagnostic does not list the backends" >&2
+    exit 1
+  fi
+  echo "ci: linkphy neutrality diff clean; me pinned at 3 thread counts;" \
+       "bioz campaign+fleet smoke pass; --link exit-2 contract holds"
+}
+
 run_obs() {
   log "obs overhead budget + committed-report provenance"
   cmake -B "$ROOT/build-ci-release" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
@@ -435,9 +547,10 @@ case "$STAGE" in
   fault)    run_fault ;;
   fleet)    run_fleet ;;
   chaos)    run_chaos ;;
+  linkphy)  run_linkphy ;;
   obs)      run_obs ;;
-  all)      run_release; run_sanitize; run_tsan; run_tidy; run_lint; run_analyze; run_fault; run_fleet; run_chaos; run_obs ;;
-  *) echo "usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|analyze|fault|fleet|chaos|obs|all]" >&2; exit 2 ;;
+  all)      run_release; run_sanitize; run_tsan; run_tidy; run_lint; run_analyze; run_fault; run_fleet; run_chaos; run_linkphy; run_obs ;;
+  *) echo "usage: tools/ci.sh [release|sanitize|tsan|tidy|lint|analyze|fault|fleet|chaos|linkphy|obs|all]" >&2; exit 2 ;;
 esac
 
 log "OK ($STAGE)"

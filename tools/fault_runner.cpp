@@ -3,7 +3,8 @@
 //
 //   fault_runner --list
 //   fault_runner [--seed S] [--scenarios N] [--exchanges N] [--threads N]
-//                [--out FILE] [--telemetry FILE|-] <campaign|all>
+//                [--link inductive|me] [--out FILE] [--telemetry FILE|-]
+//                <campaign|all>
 //
 // Campaigns drive the full stack (link budget, session retry/backoff,
 // rectifier transients with checkpoint restart, patch degradation)
@@ -83,7 +84,8 @@ obs::json::Value to_json(const fault::CampaignResult& result,
 int usage(int code) {
   std::ostream& os = code == 0 ? std::cout : std::cerr;
   os << "usage: fault_runner [--seed S] [--scenarios N] [--exchanges N]\n"
-        "                    [--threads N] [--solver auto|dense|sparse]\n"
+        "                    [--threads N] [--link inductive|me]\n"
+        "                    [--solver auto|dense|sparse]\n"
         "                    [--out FILE] <campaign|all>\n"
         "       fault_runner --list\n"
      << ironic::tools::CommonArgs::usage_lines()
@@ -110,7 +112,7 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     switch (args.consume(argc, argv, i)) {
       case tools::CommonArgs::Parse::kConsumed: continue;
-      case tools::CommonArgs::Parse::kError: return usage(EXIT_FAILURE);
+      case tools::CommonArgs::Parse::kError: return usage(2);
       case tools::CommonArgs::Parse::kNotMine: break;
     }
     if (arg == "--list") {
@@ -127,23 +129,24 @@ int main(int argc, char** argv) {
       config.analysis_hints = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "fault_runner: unknown option '" << arg << "'\n";
-      return usage(EXIT_FAILURE);
+      return usage(2);
     } else if (name.empty()) {
       name = arg;
     } else {
       std::cerr << "fault_runner: more than one campaign named\n";
-      return usage(EXIT_FAILURE);
+      return usage(2);
     }
   }
   config.seed = args.seed;
   config.threads = args.threads;
+  config.link = args.link;
   if (name.empty()) {
     std::cerr << "fault_runner: no campaign named (try --list)\n";
-    return usage(EXIT_FAILURE);
+    return usage(2);
   }
   if (name != "all" && !fault::is_campaign(name)) {
     std::cerr << "fault_runner: unknown campaign '" << name << "' (try --list)\n";
-    return EXIT_FAILURE;
+    return 2;
   }
   if (const int code = args.open_telemetry(); code != 0) return code;
 

@@ -6,6 +6,7 @@
 //
 //   fleet_runner [--sessions N] [--threads N] [--seed S]
 //                [--exchanges N | --soak SECONDS] [--no-share]
+//                [--link inductive|me] [--workload lactate|bioz]
 //                [--retries N] [--deadline SECS]
 //                [--chaos RATE] [--chaos-stall RATE] [--chaos-attempts N]
 //                [--journal FILE] [--resume]
@@ -123,6 +124,7 @@ int usage(int code) {
   std::ostream& os = code == 0 ? std::cout : std::cerr;
   os << "usage: fleet_runner [--sessions N] [--threads N] [--seed S]\n"
         "                    [--exchanges N | --soak SECONDS] [--no-share]\n"
+        "                    [--link inductive|me] [--workload W]\n"
         "                    [--retries N] [--deadline SECS]\n"
         "                    [--chaos RATE] [--chaos-stall RATE]\n"
         "                    [--chaos-attempts N] [--journal FILE]\n"
@@ -136,6 +138,10 @@ int usage(int code) {
         "  --no-share     every session captures its own charge-up instead\n"
         "                 of forking the shared checkpoint (same results,\n"
         "                 the A/B lever for the fork speedup)\n"
+        "  --workload W   sensing front end every cohort drives per\n"
+        "                 measurement: lactate (default; spice rectifier +\n"
+        "                 potentiostat), lactate-behavioural, or bioz (the\n"
+        "                 Fricke tissue ladder; stateless, no charge-up)\n"
         "  --retries N    re-runs granted to a failed session before it is\n"
         "                 quarantined (default 2); retries replay the exact\n"
         "                 original seed, so a retried success is\n"
@@ -216,6 +222,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--verify-solo" && i + 1 < argc) {
       verify_solo =
           static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--workload" && i + 1 < argc) {
+      fault::Workload workload;
+      if (!fault::parse_workload(argv[++i], workload)) {
+        std::cerr << "fleet_runner: unknown workload '" << argv[i]
+                  << "' (want lactate, lactate-behavioural, or bioz)\n";
+        return usage(2);
+      }
+      for (auto& cohort : config.cohorts) cohort.workload = workload;
     } else if (arg == "--analysis-hints") {
       config.analysis_hints = true;
     } else {
@@ -229,6 +243,7 @@ int main(int argc, char** argv) {
   }
   config.seed = args.seed;
   config.threads = args.threads;
+  for (auto& cohort : config.cohorts) cohort.link = args.link;
   if (const int code = args.open_telemetry(); code != 0) return code;
 
   // Flush-on-abnormal-path: every exit below — including the error

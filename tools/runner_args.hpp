@@ -13,6 +13,7 @@
 #include <string>
 
 #include "src/linalg/solver.hpp"
+#include "src/link/phy.hpp"
 #include "src/obs/telemetry.hpp"
 #include "src/spice/engine.hpp"
 
@@ -22,6 +23,7 @@ struct CommonArgs {
   std::string program;  // argv[0] basename, for diagnostics
   std::uint64_t seed = 0;
   std::size_t threads = 1;  // 1 = serial, 0 = hardware concurrency
+  std::string link = "inductive";  // LinkPhy backend name
   std::string out_path;
   std::string telemetry_path;
 
@@ -49,6 +51,21 @@ struct CommonArgs {
       telemetry_path = argv[++i];
       return Parse::kConsumed;
     }
+    if (arg == "--link" && i + 1 < argc) {
+      link = argv[++i];
+      if (!link::is_backend(link)) {
+        std::cerr << program << ": unknown link backend '" << link
+                  << "' (want";
+        const char* sep = " ";
+        for (const auto& name : link::backend_names()) {
+          std::cerr << sep << name;
+          sep = ", ";
+        }
+        std::cerr << ")\n";
+        return Parse::kError;
+      }
+      return Parse::kConsumed;
+    }
     if (arg == "--solver" && i + 1 < argc) {
       linalg::SolverKind kind;
       if (!linalg::parse_solver_kind(argv[++i], kind)) {
@@ -68,6 +85,10 @@ struct CommonArgs {
     return "  --seed S       deterministic run seed (any --threads value is\n"
            "                 bit-identical for a fixed seed)\n"
            "  --threads N    worker threads (1 = serial, 0 = hardware)\n"
+           "  --link B       LinkPhy backend for power delivery + modulation:\n"
+           "                 inductive (default; ASK/LSK coil link) or me\n"
+           "                 (magnetoelectric, PWM backscatter); exits 2 on\n"
+           "                 an unknown backend name\n"
            "  --solver S     linear-solver backend for embedded circuit\n"
            "                 solves: auto (default), dense, sparse\n"
            "  --out FILE     write the JSON results to FILE instead of stdout\n"

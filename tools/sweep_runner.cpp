@@ -184,7 +184,7 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     switch (args.consume(argc, argv, i)) {
       case tools::CommonArgs::Parse::kConsumed: continue;
-      case tools::CommonArgs::Parse::kError: return usage(EXIT_FAILURE);
+      case tools::CommonArgs::Parse::kError: return usage(2);
       case tools::CommonArgs::Parse::kNotMine: break;
     }
     if (arg == "--list") {
@@ -197,22 +197,22 @@ int main(int argc, char** argv) {
       format = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "sweep_runner: unknown option '" << arg << "'\n";
-      return usage(EXIT_FAILURE);
+      return usage(2);
     } else if (name.empty()) {
       name = arg;
     } else {
       std::cerr << "sweep_runner: more than one sweep named\n";
-      return usage(EXIT_FAILURE);
+      return usage(2);
     }
   }
   const std::size_t threads = args.threads;
   if (name.empty()) {
     std::cerr << "sweep_runner: no sweep named (try --list)\n";
-    return usage(EXIT_FAILURE);
+    return usage(2);
   }
   if (format != "table" && format != "csv" && format != "json") {
     std::cerr << "sweep_runner: unknown format '" << format << "'\n";
-    return usage(EXIT_FAILURE);
+    return usage(2);
   }
 
   const NamedSweep* chosen = nullptr;
